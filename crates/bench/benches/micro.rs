@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks for Pangolin's data-path primitives:
+//! checksums (full vs incremental, Adler32 vs CRC32), XOR strategies, and
+//! micro-buffer round trips.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pangolin::checksum::{adler32, adler32_update};
+use pgl_nvm::{DeviceConfig, NvmDevice};
+use pgl_pmemobj::util::crc32;
+use std::sync::Arc;
+
+fn checksums(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checksum");
+    for &size in &[64usize, 1024, 4096, 65536] {
+        let data = vec![0xA5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("adler32_full", size), &data, |b, d| {
+            b.iter(|| adler32(d))
+        });
+        g.bench_with_input(BenchmarkId::new("crc32_full", size), &data, |b, d| {
+            b.iter(|| crc32(d))
+        });
+        // Incremental update of a 64-byte range inside the object: the cost
+        // the paper's §3.5 argument is about (O(range), not O(object)).
+        let csum = adler32(&data);
+        let old = vec![0xA5u8; 64.min(size)];
+        let new = vec![0x5Au8; 64.min(size)];
+        g.bench_with_input(BenchmarkId::new("adler32_incremental64", size), &size, |b, _| {
+            b.iter(|| adler32_update(csum, size as u64, 0, &old, &new))
+        });
+    }
+    g.finish();
+}
+
+fn xor_strategies(c: &mut Criterion) {
+    let dev = Arc::new(NvmDevice::new(1 << 20, DeviceConfig::fast()).unwrap());
+    let mut g = c.benchmark_group("parity_xor");
+    for &size in &[64usize, 1024, 8192, 65536] {
+        let patch = vec![0x3Cu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("vectorized", size), &patch, |b, p| {
+            b.iter(|| dev.xor_range(0, p).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("atomic_words", size), &patch, |b, p| {
+            b.iter(|| {
+                for (w, chunk) in p.chunks_exact(8).enumerate() {
+                    let v = u64::from_le_bytes(chunk.try_into().unwrap());
+                    dev.atomic_xor_u64(w as u64 * 8, v).unwrap();
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ubuf_roundtrip(c: &mut Criterion) {
+    use pangolin::ubuf::UBuf;
+    use pgl_pmemobj::{ObjectHeader, PMEMoid};
+    let mut g = c.benchmark_group("micro_buffer");
+    for &size in &[64usize, 408, 4136] {
+        let data = vec![7u8; size];
+        let hdr = ObjectHeader { size: size as u64, type_num: 1, csum: adler32(&data) };
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("open_verify", size), &data, |b, d| {
+            b.iter(|| {
+                let u = UBuf::from_nvmm(PMEMoid::new(1, 4096), hdr, d);
+                assert!(u.verify_checksum());
+                u
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, checksums, xor_strategies, ubuf_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion view of Figure 3's overwrite path: one 1 KiB single-object
+//! transaction per mode (statistically rigorous companion to the
+//! `fig3_tx_latency` sweep binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pgl_bench::{make_store, Mode};
+use pgl_kv::store::Store;
+use pgl_nvm::LatencyModel;
+
+fn tx_overwrite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tx_overwrite_1k");
+    g.sample_size(40);
+    for mode in Mode::all() {
+        let store = make_store(mode, 256 << 20, LatencyModel::disabled());
+        let payload = vec![0xEEu8; 1024];
+        let oid = store
+            .txn(&mut |tx| {
+                let oid = tx.alloc(1024, 1)?;
+                tx.write_bytes(oid, 0, &payload)?;
+                Ok(oid)
+            })
+            .unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(mode.label()), &oid, |b, oid| {
+            b.iter(|| store.txn(&mut |tx| tx.write_bytes(*oid, 0, &payload)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, tx_overwrite);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! §4.6: error detection and correction — inject media errors and
+//! scribbles, verify online repair, and measure page-repair latency
+//! (the paper reports ~180 µs per page at 100 GB/1 GB-parity scale).
+//!
+//! Run: `cargo run --release -p pgl-bench --bin sec46_recovery`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pangolin::{inject, PglConfig, PglError, PglMode, PglPool};
+use pgl_bench::{print_table, Args};
+use pgl_nvm::{DeviceConfig, NvmDevice, PAGE_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let args = Args::parse();
+    println!("§4.6 reproduction: error injection and online recovery");
+    let dev = Arc::new(
+        NvmDevice::new(args.pool_bytes, DeviceConfig { latency: args.latency, ..DeviceConfig::fast() })
+            .expect("device"),
+    );
+    let pool = PglPool::create(dev, PglConfig::bench(args.pool_bytes, PglMode::Mlpc))
+        .expect("create");
+
+    // Populate with objects of assorted sizes.
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let mut oids = Vec::new();
+    for i in 0..500u64 {
+        let size = [64u64, 256, 1024, 4096][i as usize % 4];
+        let oid = pool
+            .tx(|tx| {
+                let oid = tx.alloc(size, 1)?;
+                tx.write(oid, 0, &vec![(i % 251) as u8; size as usize])?;
+                Ok(oid)
+            })
+            .expect("populate");
+        oids.push((oid, size, (i % 251) as u8));
+    }
+
+    // Experiment 1: media errors (poisoned pages) repaired online.
+    let trials = 100;
+    let mut repair_ns = Vec::with_capacity(trials);
+    for t in 0..trials {
+        let (oid, size, fill) = oids[rng.gen_range(0..oids.len())];
+        inject::poison_object_page(&pool, oid).expect("poison");
+        let start = Instant::now();
+        let data = pool.read_verified(oid).expect("online recovery");
+        repair_ns.push(start.elapsed().as_nanos() as f64);
+        assert_eq!(data, vec![fill; size as usize], "trial {t} content");
+    }
+    repair_ns.sort_by(|a, b| a.partial_cmp(b).expect("ordered"));
+    let mean = repair_ns.iter().sum::<f64>() / repair_ns.len() as f64;
+    let p50 = repair_ns[repair_ns.len() / 2];
+    let p99 = repair_ns[repair_ns.len() * 99 / 100];
+
+    // Experiment 2: scribbles detected by checksums and repaired.
+    let mut scribble_ok = 0;
+    for _ in 0..trials {
+        let (oid, size, fill) = oids[rng.gen_range(0..oids.len())];
+        let off = rng.gen_range(0..size / 2);
+        let len = rng.gen_range(1..=(size - off).min(512)) as usize;
+        inject::scribble_object(&pool, oid, off, len, 0xEE).expect("scribble");
+        let data = pool.read_verified(oid).expect("scribble recovery");
+        if data == vec![fill; size as usize] {
+            scribble_ok += 1;
+        }
+    }
+
+    // Experiment 3: canary catches a buffer overrun before commit.
+    let (oid, size, fill) = oids[0];
+    let canary_err = pool.tx(|tx| {
+        tx.write(oid, 0, &vec![0u8; size as usize])?;
+        tx.ubuf_mut(oid)?.smash_back_canary(); // simulated overrun
+        Ok(())
+    });
+    let canary_caught = matches!(canary_err, Err(PglError::CanaryMismatch { .. }));
+    let post = pool.read_verified(oid).expect("read after abort");
+    let canary_protected = post == vec![fill; size as usize];
+
+    // Experiment 4: metadata (chunk metadata) scribble repaired by scrub.
+    let layout = *pool.layout();
+    let (z, c, _) = layout.chunk_of(oids[10].0.off - 16).expect("locate chunk");
+    inject::scribble_chunk_meta(&pool, z, c, 0x99).expect("cm scribble");
+    let report = pool.scrub_now().expect("scrub");
+
+    let rows = vec![
+        vec![
+            "media errors (poisoned pages)".into(),
+            format!("{trials}/{trials} repaired"),
+            format!(
+                "repair: mean {:.0} us, p50 {:.0} us, p99 {:.0} us",
+                mean / 1000.0,
+                p50 / 1000.0,
+                p99 / 1000.0
+            ),
+        ],
+        vec![
+            "software scribbles".into(),
+            format!("{scribble_ok}/{trials} repaired"),
+            "detected via Adler32 at open".into(),
+        ],
+        vec![
+            "buffer overrun (canary)".into(),
+            format!("caught={canary_caught}, NVMM untouched={canary_protected}"),
+            "transaction aborted pre-commit".into(),
+        ],
+        vec![
+            "chunk-metadata scribble".into(),
+            format!("scrub repaired {} page(s)", report.pages_repaired),
+            format!("{} objects verified", report.objects_verified),
+        ],
+    ];
+    print_table("§4.6: detection and correction", &["fault", "outcome", "notes"], &rows);
+
+    assert!(pool.verify_parity().expect("verify"), "parity consistent after all repairs");
+    assert!(pool.find_corrupt_objects().expect("sweep").is_empty());
+    println!(
+        "\nAll injected faults recovered online; pool parity verified. \
+         Page size {} B; paper reports ~180 us per page-column repair.",
+        PAGE_SIZE
+    );
+    println!(
+        "recoveries: {} pages, {} objects, {} scrubs",
+        pool.counters().page_recoveries.load(std::sync::atomic::Ordering::Relaxed),
+        pool.counters().object_recoveries.load(std::sync::atomic::Ordering::Relaxed),
+        pool.counters().scrubs.load(std::sync::atomic::Ordering::Relaxed),
+    );
+}

@@ -1,0 +1,112 @@
+//! Object checksums: Adler32 with O(modified-range) incremental updates.
+//!
+//! Pangolin checksums every object's user data. CRC32 would force a full
+//! recompute on every update, so the paper picks Adler32, whose structure
+//! (`A` = byte sum, `B` = position-weighted byte sum) allows updating the
+//! checksum from just the old and new bytes of the modified range —
+//! "the cost of updating an object's checksum proportional to the size of
+//! the modified range rather than the object size" (paper §3.5).
+
+const MOD: u64 = 65521;
+
+/// Computes the Adler32 checksum of `data`.
+pub fn adler32(data: &[u8]) -> u32 {
+    let mut a: u64 = 1;
+    let mut b: u64 = 0;
+    // Defer the modulo: u64 accumulators overflow only after ~2^32 bytes of
+    // 0xFF for `a`; chunk to stay far below that.
+    for chunk in data.chunks(4096) {
+        for &d in chunk {
+            a += d as u64;
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    ((b as u32) << 16) | a as u32
+}
+
+/// Incrementally updates an Adler32 checksum after replacing the bytes at
+/// `[off, off+len)` of an object of `total_len` bytes.
+///
+/// `old` and `new` are the range's previous and replacement contents (equal
+/// lengths). The result equals recomputing [`adler32`] over the whole new
+/// object, at cost O(`len`).
+pub fn adler32_update(csum: u32, total_len: u64, off: u64, old: &[u8], new: &[u8]) -> u32 {
+    assert_eq!(old.len(), new.len(), "incremental update requires equal-length ranges");
+    assert!(off + old.len() as u64 <= total_len, "range exceeds object");
+    let mut a = (csum & 0xFFFF) as u64;
+    let mut b = (csum >> 16) as u64;
+    // For byte i (absolute position p = off + i):
+    //   A' = A + (new - old)
+    //   B' = B + (total_len - p) * (new - old)
+    // computed mod 65521 with a positive bias to avoid signed arithmetic.
+    for (i, (&o, &n)) in old.iter().zip(new.iter()).enumerate() {
+        if o == n {
+            continue;
+        }
+        let p = off + i as u64;
+        let weight = (total_len - p) % MOD;
+        // new - old mod MOD, biased positive.
+        let delta = (MOD + n as u64 - o as u64) % MOD;
+        a = (a + delta) % MOD;
+        b = (b + weight * delta) % MOD;
+    }
+    ((b as u32) << 16) | a as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute() {
+        let mut data: Vec<u8> = (0..1000u32).map(|i| (i * 31 % 251) as u8).collect();
+        let mut csum = adler32(&data);
+        // A sequence of range replacements.
+        let edits: Vec<(usize, Vec<u8>)> = vec![
+            (0, vec![9, 9, 9]),
+            (997, vec![1, 2, 3]),
+            (500, (0..100).collect()),
+            (42, vec![0]),
+        ];
+        for (off, new) in edits {
+            let old = data[off..off + new.len()].to_vec();
+            csum = adler32_update(csum, data.len() as u64, off as u64, &old, &new);
+            data[off..off + new.len()].copy_from_slice(&new);
+            assert_eq!(csum, adler32(&data), "after edit at {off}");
+        }
+    }
+
+    #[test]
+    fn identical_replacement_is_identity() {
+        let data = vec![7u8; 64];
+        let c = adler32(&data);
+        assert_eq!(adler32_update(c, 64, 10, &data[10..20], &data[10..20]), c);
+    }
+
+    #[test]
+    fn large_object_no_overflow() {
+        // Exercise the deferred-modulo path with a large all-0xFF object.
+        let data = vec![0xFFu8; 1 << 20];
+        let c = adler32(&data);
+        let old = &data[12345..12345 + 512];
+        let new = vec![0u8; 512];
+        let c2 = adler32_update(c, data.len() as u64, 12345, old, &new);
+        let mut copy = data.clone();
+        copy[12345..12345 + 512].copy_from_slice(&new);
+        assert_eq!(c2, adler32(&copy));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_ranges_panic() {
+        adler32_update(1, 10, 0, &[1, 2], &[1]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Pangolin operation modes and tuning knobs (paper Table 2 and §3.3).
+
+use pgl_pmemobj::PoolConfig;
+
+/// Which fault-tolerance mechanisms are active — the incremental modes the
+/// paper evaluates (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PglMode {
+    /// Micro-buffering only: no replication, parity or checksums.
+    Baseline,
+    /// `+ML`: metadata and redo-log replication.
+    Ml,
+    /// `+MLP`: ML plus object parity.
+    Mlp,
+    /// `+MLPC`: MLP plus object checksums (the full system, the default).
+    Mlpc,
+}
+
+impl PglMode {
+    /// Log/metadata replication active?
+    pub fn replicates_logs(&self) -> bool {
+        !matches!(self, PglMode::Baseline)
+    }
+
+    /// Zone parity active?
+    pub fn has_parity(&self) -> bool {
+        matches!(self, PglMode::Mlp | PglMode::Mlpc)
+    }
+
+    /// Object checksums active?
+    pub fn has_checksums(&self) -> bool {
+        matches!(self, PglMode::Mlpc)
+    }
+
+    /// Short label used by the benchmark tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PglMode::Baseline => "pgl",
+            PglMode::Ml => "pgl-ML",
+            PglMode::Mlp => "pgl-MLP",
+            PglMode::Mlpc => "pgl-MLPC",
+        }
+    }
+}
+
+/// When object checksums are verified (paper §3.3 and Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsumPolicy {
+    /// Verify only when an object is micro-buffered for modification
+    /// (the paper's default mode).
+    Default,
+    /// Default verification plus a scrub pass every `n` committed
+    /// transactions ("Scrub 100K" / "Scrub 50K" in Figure 6).
+    ScrubEvery(u64),
+    /// Verify on every access, including reads (`pgl_get`).
+    Conservative,
+}
+
+/// Full Pangolin pool configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PglConfig {
+    /// Underlying pool geometry (zones, chunks, rows, lanes).
+    pub pool: PoolConfig,
+    /// Fault-tolerance mode.
+    pub mode: PglMode,
+    /// Checksum verification policy.
+    pub policy: CsumPolicy,
+    /// Parity updates at or above this many bytes take an exclusive
+    /// range-lock and use vectorized XOR; smaller ones use lock-free atomic
+    /// XOR under a shared lock. The paper measured 8 KiB as the crossover.
+    pub hybrid_threshold: u64,
+    /// Bytes of parity covered by one range-lock (the paper's 1 % / 16 GiB
+    /// zone configuration yields ~8 KiB granules, "20 K range-locks").
+    pub parity_lock_granule: u64,
+    /// Run the scrubber on a background thread (otherwise scrubs happen
+    /// synchronously inside the triggering commit).
+    pub background_scrub: bool,
+}
+
+impl PglConfig {
+    /// Small test configuration in the full `Mlpc` mode.
+    pub fn small() -> Self {
+        PglConfig {
+            pool: PoolConfig::small(),
+            mode: PglMode::Mlpc,
+            policy: CsumPolicy::Default,
+            hybrid_threshold: 8 << 10,
+            parity_lock_granule: 8 << 10,
+            background_scrub: false,
+        }
+    }
+
+    /// Benchmark configuration scaled from the paper.
+    pub fn bench(pool_size: usize, mode: PglMode) -> Self {
+        PglConfig {
+            pool: PoolConfig::bench(pool_size),
+            mode,
+            policy: CsumPolicy::Default,
+            hybrid_threshold: 8 << 10,
+            parity_lock_granule: 8 << 10,
+            background_scrub: false,
+        }
+    }
+
+    /// Sets the fault-tolerance mode.
+    pub fn with_mode(mut self, mode: PglMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the checksum verification policy.
+    pub fn with_policy(mut self, policy: CsumPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Validates internal consistency (e.g. parity modes need a parity row).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mode.has_parity() && !self.pool.parity {
+            return Err("parity mode requires PoolConfig::parity".into());
+        }
+        if self.hybrid_threshold == 0 {
+            return Err("hybrid threshold must be positive".into());
+        }
+        if self.parity_lock_granule < 8 || self.parity_lock_granule % 8 != 0 {
+            return Err("parity lock granule must be a positive multiple of 8".into());
+        }
+        if matches!(self.policy, CsumPolicy::ScrubEvery(0)) {
+            return Err("scrub interval must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_flags_are_incremental() {
+        assert!(!PglMode::Baseline.replicates_logs());
+        assert!(PglMode::Ml.replicates_logs() && !PglMode::Ml.has_parity());
+        assert!(PglMode::Mlp.has_parity() && !PglMode::Mlp.has_checksums());
+        assert!(PglMode::Mlpc.has_checksums() && PglMode::Mlpc.has_parity());
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        assert!(PglConfig::small().validate().is_ok());
+        let mut c = PglConfig::small();
+        c.pool.parity = false;
+        assert!(c.validate().is_err(), "Mlpc without a parity row");
+        c.mode = PglMode::Ml;
+        assert!(c.validate().is_ok(), "Ml needs no parity row");
+        let mut c = PglConfig::small();
+        c.policy = CsumPolicy::ScrubEvery(0);
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Pangolin error type.
+
+use std::fmt;
+
+use pgl_nvm::MemError;
+use pgl_pmemobj::ObjError;
+
+/// Errors surfaced by the Pangolin library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PglError {
+    /// An error from the underlying object-store machinery.
+    Obj(ObjError),
+    /// A micro-buffer canary was overwritten: the application scribbled past
+    /// an object boundary; the transaction aborts before the corruption can
+    /// reach NVMM (paper §3.2).
+    CanaryMismatch {
+        /// Offset of the object whose micro-buffer was damaged.
+        off: u64,
+    },
+    /// An object checksum did not match its content and online recovery
+    /// could not restore it.
+    ChecksumMismatch {
+        /// Offset of the corrupt object's user data.
+        off: u64,
+    },
+    /// Data was lost beyond the fault-tolerance guarantee (e.g. two pages
+    /// of the same page column).
+    Unrecoverable(String),
+    /// The configuration is internally inconsistent.
+    Config(String),
+}
+
+impl fmt::Display for PglError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PglError::Obj(e) => write!(f, "{e}"),
+            PglError::CanaryMismatch { off } => {
+                write!(f, "micro-buffer canary destroyed for object at {off:#x}")
+            }
+            PglError::ChecksumMismatch { off } => {
+                write!(f, "object checksum mismatch at {off:#x}")
+            }
+            PglError::Unrecoverable(s) => write!(f, "unrecoverable: {s}"),
+            PglError::Config(s) => write!(f, "bad configuration: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PglError {}
+
+impl From<ObjError> for PglError {
+    fn from(e: ObjError) -> Self {
+        PglError::Obj(e)
+    }
+}
+
+impl From<MemError> for PglError {
+    fn from(e: MemError) -> Self {
+        PglError::Obj(ObjError::Mem(e))
+    }
+}
+
+impl PglError {
+    /// Returns the poisoned page index if this error stems from a media
+    /// error (the `SIGBUS` analogue), enabling the online-recovery path.
+    pub fn poisoned_page(&self) -> Option<u64> {
+        match self {
+            PglError::Obj(ObjError::Mem(MemError::Poisoned { page })) => Some(*page),
+            _ => None,
+        }
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, PglError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisoned_page_extraction() {
+        let e = PglError::from(MemError::Poisoned { page: 42 });
+        assert_eq!(e.poisoned_page(), Some(42));
+        assert_eq!(PglError::CanaryMismatch { off: 0 }.poisoned_page(), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = PglError::CanaryMismatch { off: 0x1000 }.to_string();
+        assert!(s.contains("canary"));
+        assert!(s.contains("0x1000"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Error injection (paper §4.6).
+//!
+//! The paper emulates NVMM media errors with `mprotect`/`SIGSEGV` and
+//! scribbles with wild stores; here the simulated device provides both
+//! natively. These helpers target live objects and metadata so the
+//! recovery experiments can be scripted deterministically.
+
+use pgl_nvm::PAGE_SIZE;
+use pgl_pmemobj::PMEMoid;
+
+use crate::error::{PglError, Result};
+use crate::pool::PglPool;
+
+/// Poisons the page holding `oid`'s user data (an uncorrectable media
+/// error, the MCE/`SIGBUS` analogue). Returns the page index.
+pub fn poison_object_page(pool: &PglPool, oid: PMEMoid) -> Result<u64> {
+    let page = oid.off / PAGE_SIZE as u64;
+    pool.io().dev().poison_page(page).map_err(PglError::from)?;
+    Ok(page)
+}
+
+/// Poisons an arbitrary page.
+pub fn poison_page(pool: &PglPool, page: u64) -> Result<()> {
+    pool.io().dev().poison_page(page).map_err(PglError::from)
+}
+
+/// Scribbles `len` bytes of `oid`'s user data starting at `off` with
+/// `pattern` — hardware-invisible software corruption that only the object
+/// checksum can catch.
+pub fn scribble_object(pool: &PglPool, oid: PMEMoid, off: u64, len: usize, pattern: u8) -> Result<()> {
+    let junk = vec![pattern; len];
+    pool.io().dev().scribble(oid.off + off, &junk).map_err(PglError::from)
+}
+
+/// Scribbles the object's *header* (size/type/checksum) — the nastier
+/// variant, testing header-sanity recovery.
+pub fn scribble_object_header(pool: &PglPool, oid: PMEMoid, pattern: u8) -> Result<()> {
+    let junk = [pattern; 16];
+    pool.io().dev().scribble(oid.header_off(), &junk).map_err(PglError::from)
+}
+
+/// Scribbles a chunk-metadata entry (metadata corruption; paper §3.1 uses
+/// zone parity to recover chunk metadata).
+pub fn scribble_chunk_meta(pool: &PglPool, zone: u64, chunk: u64, pattern: u8) -> Result<()> {
+    let off = pool.layout().cm_entry_off(zone, chunk);
+    let junk = [pattern; 16];
+    pool.io().dev().scribble(off, &junk).map_err(PglError::from)
+}
+
+/// Scribbles raw pool bytes (fully general corruption).
+pub fn scribble_raw(pool: &PglPool, off: u64, bytes: &[u8]) -> Result<()> {
+    pool.io().dev().scribble(off, bytes).map_err(PglError::from)
+}

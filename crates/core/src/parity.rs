@@ -1,0 +1,475 @@
+//! Zone parity: RAID-style XOR protection with hybrid update strategies.
+//!
+//! Each zone's chunk rows form a 2-D array whose last row is the XOR of all
+//! data rows (paper Figure 2). Updating object data therefore requires an
+//! incremental parity update: `P' = P ⊕ (old ⊕ new)`. Because XOR commutes,
+//! transactions updating *overlapping* parity (same column, different rows)
+//! need no ordering — they only need atomicity per word:
+//!
+//! * **small patches** (< [`crate::config::PglConfig::hybrid_threshold`])
+//!   take a *shared* parity range-lock and apply the patch with lock-free
+//!   atomic XOR instructions;
+//! * **large patches** take the range-locks *exclusively* and use plain
+//!   vectorized XOR, which is faster per byte (paper §3.5's hybrid scheme;
+//!   the paper measured the crossover at 8 KiB).
+//!
+//! Chunks holding overflowed transaction logs ([`ChunkType::Log`]) are
+//! treated as zeros in all parity math, preventing parity contention
+//! between log appends and object updates (paper §3.1).
+
+use parking_lot::RwLock;
+
+use pgl_nvm::{align_down, align_up, PAGE_SIZE};
+use pgl_pmemobj::heap::run::{ChunkMeta, ChunkType};
+use pgl_pmemobj::{Layout, PoolIo};
+
+use crate::error::{PglError, Result};
+
+/// A data-row segment mapped to its zone/column coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Zone index.
+    pub zone: u64,
+    /// Row index within the zone.
+    pub row: u64,
+    /// Column offset within the row.
+    pub col: u64,
+    /// Absolute pool offset of the segment start.
+    pub off: u64,
+    /// Segment length in bytes.
+    pub len: u64,
+}
+
+/// Splits a pool data range into row-bounded segments.
+pub fn segments(layout: &Layout, off: u64, len: u64) -> Result<Vec<Segment>> {
+    let mut out = Vec::new();
+    let mut cur = off;
+    let mut left = len;
+    while left > 0 {
+        let (zone, row, col) = layout.row_col_of(cur).map_err(PglError::from)?;
+        let seg = left.min(layout.zone.row_size - col);
+        out.push(Segment { zone, row, col, off: cur, len: seg });
+        cur += seg;
+        left -= seg;
+    }
+    Ok(out)
+}
+
+/// The parity engine: range-locks plus patch/recompute/reconstruct logic.
+pub struct ParityEngine {
+    layout: Layout,
+    granule: u64,
+    threshold: u64,
+    /// Per-zone vector of range-locks over the parity row.
+    locks: Vec<Vec<RwLock<()>>>,
+}
+
+impl ParityEngine {
+    /// Builds the engine for a parity-enabled layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout has no parity row (callers validate the mode).
+    pub fn new(layout: Layout, granule: u64, threshold: u64) -> ParityEngine {
+        assert!(layout.zone.parity_base.is_some(), "parity engine needs a parity row");
+        let n_granules = layout.zone.row_size.div_ceil(granule) as usize;
+        let locks = (0..layout.n_zones)
+            .map(|_| (0..n_granules).map(|_| RwLock::new(())).collect())
+            .collect();
+        ParityEngine { layout, granule, threshold, locks }
+    }
+
+    /// Number of range-locks per zone (reported by the §4.4 discussion:
+    /// "20 K range-locks per zone" at paper scale).
+    pub fn locks_per_zone(&self) -> usize {
+        self.locks.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Applies the parity effect of overwriting `[off, off+len)` with `new`
+    /// where the current NVMM content is `old`: for each row segment,
+    /// patches the parity row with `old ⊕ new`.
+    pub fn update(&self, io: &PoolIo, off: u64, old: &[u8], new: &[u8]) -> Result<()> {
+        debug_assert_eq!(old.len(), new.len());
+        for seg in segments(&self.layout, off, new.len() as u64)? {
+            let base = (seg.off - off) as usize;
+            let patch: Vec<u8> = old[base..base + seg.len as usize]
+                .iter()
+                .zip(&new[base..base + seg.len as usize])
+                .map(|(o, n)| o ^ n)
+                .collect();
+            if patch.iter().all(|&b| b == 0) {
+                continue;
+            }
+            self.apply_patch(io, seg.zone, seg.col, &patch)?;
+        }
+        Ok(())
+    }
+
+    /// XORs `patch` into the parity row of `zone` at column `col`, picking
+    /// the atomic or vectorized strategy by patch size.
+    pub fn apply_patch(&self, io: &PoolIo, zone: u64, col: u64, patch: &[u8]) -> Result<()> {
+        let parity_off = self.layout.parity_off(zone, col);
+        let g0 = (col / self.granule) as usize;
+        let g1 = ((col + patch.len() as u64 - 1) / self.granule) as usize;
+        let zone_locks = &self.locks[zone as usize];
+
+        if (patch.len() as u64) < self.threshold {
+            // Shared locks + atomic XOR: concurrent small updates to the
+            // same parity words serialize only at the word level.
+            let _guards: Vec<_> = (g0..=g1).map(|g| zone_locks[g].read()).collect();
+            let a_start = align_down(parity_off as usize, 8) as u64;
+            let a_end = align_up((parity_off + patch.len() as u64) as usize, 8) as u64;
+            let mut padded = vec![0u8; (a_end - a_start) as usize];
+            padded[(parity_off - a_start) as usize..(parity_off - a_start) as usize + patch.len()]
+                .copy_from_slice(patch);
+            for (w, word) in padded.chunks_exact(8).enumerate() {
+                let v = u64::from_le_bytes(word.try_into().expect("8-byte chunk"));
+                if v != 0 {
+                    io.dev().atomic_xor_u64(a_start + w as u64 * 8, v)?;
+                    if let Some(rep) = io.replica() {
+                        rep.atomic_xor_u64(a_start + w as u64 * 8, v)?;
+                    }
+                }
+            }
+            io.persist(a_start, (a_end - a_start) as usize)?;
+        } else {
+            // Exclusive locks + vectorized XOR.
+            let _guards: Vec<_> = (g0..=g1).map(|g| zone_locks[g].write()).collect();
+            io.dev().xor_range(parity_off, patch)?;
+            if let Some(rep) = io.replica() {
+                rep.xor_range(parity_off, patch)?;
+            }
+            io.persist(parity_off, patch.len())?;
+        }
+        Ok(())
+    }
+
+    /// Recomputes parity for columns `[col, col+len)` of `zone` from the
+    /// data rows (Log chunks read as zeros). Used by crash recovery, where
+    /// patches may have been torn (paper §3.6).
+    pub fn recompute_columns(&self, io: &PoolIo, zone: u64, col: u64, len: u64) -> Result<()> {
+        debug_assert!(col + len <= self.layout.zone.row_size);
+        let mut acc = vec![0u8; len as usize];
+        let mut row_buf = vec![0u8; len as usize];
+        for row in 0..self.layout.zone.data_rows {
+            self.read_row_range(io, zone, row, col, &mut row_buf)?;
+            for (a, b) in acc.iter_mut().zip(&row_buf) {
+                *a ^= b;
+            }
+        }
+        let parity_off = self.layout.parity_off(zone, col);
+        let g0 = (col / self.granule) as usize;
+        let g1 = ((col + len - 1) / self.granule) as usize;
+        let _guards: Vec<_> = (g0..=g1).map(|g| self.locks[zone as usize][g].write()).collect();
+        io.write(parity_off, &acc)?;
+        io.persist(parity_off, acc.len())?;
+        Ok(())
+    }
+
+    /// Reconstructs the content of the (presumed lost) page starting at
+    /// pool offset `page_off` by XOR-ing the rest of its page column
+    /// (paper §3.6 "corruption recovery").
+    ///
+    /// Fails with [`PglError::Unrecoverable`] if a second page of the same
+    /// column is also unreadable.
+    pub fn reconstruct_page(&self, io: &PoolIo, page_off: u64) -> Result<Vec<u8>> {
+        let (zone, target_row, col) = self.locate(page_off)?;
+        let mut acc = vec![0u8; PAGE_SIZE];
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for row in 0..self.layout.zone.data_rows {
+            if Some(row) == target_row {
+                continue;
+            }
+            self.read_row_range(io, zone, row, col, &mut buf).map_err(|e| {
+                PglError::Unrecoverable(format!(
+                    "double failure: row {row} of the same page column is also lost ({e})"
+                ))
+            })?;
+            for (a, b) in acc.iter_mut().zip(&buf) {
+                *a ^= b;
+            }
+        }
+        if target_row.is_some() {
+            // Reconstructing a data page: fold in the parity page.
+            let parity_off = self.layout.parity_off(zone, col);
+            io.read(parity_off, &mut buf).map_err(|e| {
+                PglError::Unrecoverable(format!("parity page of the column is also lost ({e})"))
+            })?;
+            for (a, b) in acc.iter_mut().zip(&buf) {
+                *a ^= b;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Maps a page-aligned pool offset to `(zone, Some(row), col)` for data
+    /// pages or `(zone, None, col)` for parity pages.
+    fn locate(&self, page_off: u64) -> Result<(u64, Option<u64>, u64)> {
+        if page_off % PAGE_SIZE as u64 != 0 {
+            return Err(PglError::Unrecoverable(format!(
+                "page offset {page_off:#x} not page-aligned"
+            )));
+        }
+        if let Ok((zone, row, col)) = self.layout.row_col_of(page_off) {
+            return Ok((zone, Some(row), col));
+        }
+        // Maybe it is in the parity row.
+        let (zone, zoff) = self.layout.zone_and_rel(page_off).map_err(PglError::from)?;
+        let pbase = self.layout.zone.parity_base.expect("engine requires parity");
+        if zoff >= pbase && zoff < pbase + self.layout.zone.row_size {
+            Ok((zone, None, zoff - pbase))
+        } else {
+            Err(PglError::Unrecoverable(format!(
+                "page {page_off:#x} is outside the parity-protected area"
+            )))
+        }
+    }
+
+    /// Reads `[col, col+buf.len())` of data row `row`, substituting zeros
+    /// for Log chunks.
+    fn read_row_range(
+        &self,
+        io: &PoolIo,
+        zone: u64,
+        row: u64,
+        col: u64,
+        buf: &mut [u8],
+    ) -> Result<()> {
+        let chunk_size = self.layout.cfg.chunk_size as u64;
+        let row_start = self.layout.zone_base(zone) + self.layout.zone.rows_base
+            + row * self.layout.zone.row_size;
+        let mut done = 0u64;
+        let len = buf.len() as u64;
+        while done < len {
+            let cur_col = col + done;
+            let chunk_in_row = cur_col / chunk_size;
+            let chunk_idx = row * self.layout.zone.chunks_per_row + chunk_in_row;
+            let within = cur_col % chunk_size;
+            let seg = (chunk_size - within).min(len - done);
+            let dst = &mut buf[done as usize..(done + seg) as usize];
+            if self.chunk_is_log(io, zone, chunk_idx)? {
+                dst.fill(0);
+            } else {
+                io.read(row_start + cur_col, dst).map_err(PglError::from)?;
+            }
+            done += seg;
+        }
+        Ok(())
+    }
+
+    fn chunk_is_log(&self, io: &PoolIo, zone: u64, chunk_idx: u64) -> Result<bool> {
+        let mut cm_buf = [0u8; 16];
+        io.read(self.layout.cm_entry_off(zone, chunk_idx), &mut cm_buf)
+            .map_err(PglError::from)?;
+        Ok(ChunkMeta::from_slice(&cm_buf).chunk_type() == Some(ChunkType::Log))
+    }
+
+    /// Verifies the parity invariant for every column of every zone:
+    /// `parity == XOR of data rows` (Log chunks as zeros). Test/diagnostic
+    /// helper; returns the first mismatching column.
+    pub fn verify_all(&self, io: &PoolIo) -> Result<Option<(u64, u64)>> {
+        const STEP: u64 = 4096;
+        let mut acc = vec![0u8; STEP as usize];
+        let mut buf = vec![0u8; STEP as usize];
+        for zone in 0..self.layout.n_zones {
+            let mut col = 0;
+            while col < self.layout.zone.row_size {
+                let len = STEP.min(self.layout.zone.row_size - col);
+                let acc = &mut acc[..len as usize];
+                let buf = &mut buf[..len as usize];
+                acc.fill(0);
+                for row in 0..self.layout.zone.data_rows {
+                    self.read_row_range(io, zone, row, col, buf)?;
+                    for (a, b) in acc.iter_mut().zip(buf.iter()) {
+                        *a ^= b;
+                    }
+                }
+                io.read(self.layout.parity_off(zone, col), buf).map_err(PglError::from)?;
+                if acc != buf {
+                    return Ok(Some((zone, col)));
+                }
+                col += len;
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgl_nvm::{DeviceConfig, NvmDevice};
+    use pgl_pmemobj::PoolConfig;
+    use std::sync::Arc;
+
+    fn setup() -> (PoolIo, Layout, ParityEngine) {
+        let cfg = PoolConfig::small();
+        let layout = Layout::new(cfg).unwrap();
+        let dev = Arc::new(NvmDevice::new(cfg.size, DeviceConfig::fast()).unwrap());
+        let io = PoolIo::new(dev);
+        let engine = ParityEngine::new(layout, 8 << 10, 8 << 10);
+        (io, layout, engine)
+    }
+
+    /// Writes through the data+parity protocol: read old, write new, patch.
+    fn protected_write(io: &PoolIo, eng: &ParityEngine, off: u64, new: &[u8]) {
+        let mut old = vec![0u8; new.len()];
+        io.read(off, &mut old).unwrap();
+        io.write(off, new).unwrap();
+        io.persist(off, new.len()).unwrap();
+        eng.update(io, off, &old, new).unwrap();
+    }
+
+    #[test]
+    fn segments_split_at_row_boundaries() {
+        let (_io, layout, _eng) = setup();
+        let row = layout.zone.row_size;
+        let base = layout.zone_base(0) + layout.zone.rows_base;
+        // A range straddling the row-0/row-1 boundary.
+        let segs = segments(&layout, base + row - 10, 30).unwrap();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].row, 0);
+        assert_eq!(segs[0].col, row - 10);
+        assert_eq!(segs[0].len, 10);
+        assert_eq!(segs[1].row, 1);
+        assert_eq!(segs[1].col, 0);
+        assert_eq!(segs[1].len, 20);
+    }
+
+    #[test]
+    fn small_and_large_patches_keep_invariant() {
+        let (io, layout, eng) = setup();
+        let base = layout.chunk_base(0, layout.zone.cm_chunks);
+        // Small (atomic path), unaligned.
+        protected_write(&io, &eng, base + 3, &[0xAB; 100]);
+        // Large (vectorized path).
+        protected_write(&io, &eng, base + 4096, &vec![0xCD; 10 << 10]);
+        // Overwrite part of the first write again.
+        protected_write(&io, &eng, base + 3, &[0x11; 50]);
+        assert_eq!(eng.verify_all(&io).unwrap(), None);
+    }
+
+    #[test]
+    fn overlapping_rows_share_parity_correctly() {
+        let (io, layout, eng) = setup();
+        // Two objects in different rows, same columns (paper's ObjA/ObjC).
+        let col = 1000u64;
+        let row0 = layout.zone_base(0) + layout.zone.rows_base + col;
+        let row1 = row0 + layout.zone.row_size;
+        protected_write(&io, &eng, row0, &[0xA0; 64]);
+        protected_write(&io, &eng, row1, &[0x0C; 64]);
+        assert_eq!(eng.verify_all(&io).unwrap(), None);
+        // The parity byte is the XOR of both rows.
+        let mut p = [0u8; 1];
+        io.read(layout.parity_off(0, col), &mut p).unwrap();
+        assert_eq!(p[0], 0xA0 ^ 0x0C);
+    }
+
+    #[test]
+    fn reconstructs_lost_data_page() {
+        let (io, layout, eng) = setup();
+        let base = layout.chunk_base(0, layout.zone.cm_chunks + 1);
+        let content: Vec<u8> = (0..PAGE_SIZE).map(|i| (i % 251) as u8).collect();
+        protected_write(&io, &eng, base, &content);
+        // Some unrelated data in another row of the same column.
+        protected_write(&io, &eng, base + layout.zone.row_size + 128, &[0x77; 512]);
+
+        let page = base / PAGE_SIZE as u64;
+        let expected = io.dev().read_slice(base, PAGE_SIZE).unwrap().to_vec();
+        io.dev().poison_page(page).unwrap();
+        let rebuilt = eng.reconstruct_page(&io, base).unwrap();
+        assert_eq!(rebuilt, expected, "page column XOR restores the lost page");
+    }
+
+    #[test]
+    fn reconstructs_lost_parity_page() {
+        let (io, layout, eng) = setup();
+        let base = layout.chunk_base(0, layout.zone.cm_chunks);
+        protected_write(&io, &eng, base, &[0x3C; 2048]);
+        let parity_off = layout.parity_off(0, 0);
+        let parity_page = align_down(parity_off as usize, PAGE_SIZE) as u64;
+        let expected = io.dev().read_slice(parity_page, PAGE_SIZE).unwrap().to_vec();
+        io.dev().poison_page(parity_page / PAGE_SIZE as u64).unwrap();
+        let rebuilt = eng.reconstruct_page(&io, parity_page).unwrap();
+        assert_eq!(rebuilt, expected);
+    }
+
+    #[test]
+    fn double_failure_is_unrecoverable() {
+        let (io, layout, eng) = setup();
+        let base = layout.chunk_base(0, layout.zone.cm_chunks);
+        let col_page = base / PAGE_SIZE as u64;
+        // Poison the target page AND the same column one row below.
+        io.dev().poison_page(col_page).unwrap();
+        io.dev()
+            .poison_page(col_page + layout.zone.row_size / PAGE_SIZE as u64)
+            .unwrap();
+        assert!(matches!(
+            eng.reconstruct_page(&io, base),
+            Err(PglError::Unrecoverable(_))
+        ));
+    }
+
+    #[test]
+    fn recompute_columns_restores_invariant_after_tear() {
+        let (io, layout, eng) = setup();
+        let base = layout.chunk_base(0, layout.zone.cm_chunks);
+        protected_write(&io, &eng, base, &[0x42; 256]);
+        // Tear: write data without a parity patch (simulating a crash
+        // between the data write and the parity update).
+        io.write(base + 64, &[0x99; 64]).unwrap();
+        io.persist(base + 64, 64).unwrap();
+        assert!(eng.verify_all(&io).unwrap().is_some(), "invariant broken by tear");
+        let (_z, _r, col) = layout.row_col_of(base + 64).unwrap();
+        eng.recompute_columns(&io, 0, col, 64).unwrap();
+        assert_eq!(eng.verify_all(&io).unwrap(), None);
+    }
+
+    #[test]
+    fn log_chunks_count_as_zero() {
+        let (io, layout, eng) = setup();
+        // Mark a chunk as LOG and fill it with garbage: parity must ignore
+        // it entirely. The CM entry itself is ordinary parity-covered data,
+        // so its update goes through the protected-write protocol.
+        let c = layout.zone.cm_chunks + 2;
+        let cm = ChunkMeta::new(ChunkType::Log, 0, 1);
+        protected_write(&io, &eng, layout.cm_entry_off(0, c), &cm.to_bytes());
+        io.write(layout.chunk_base(0, c), &[0xFF; 4096]).unwrap();
+        assert_eq!(eng.verify_all(&io).unwrap(), None, "log chunk contributes zeros");
+        // And reconstruction of another row in the same column ignores it.
+        let base = layout.chunk_base(0, c) + layout.zone.row_size; // row 1, same col
+        protected_write(&io, &eng, base, &[0x5A; 4096]);
+        let expected = io.dev().read_slice(base, PAGE_SIZE).unwrap().to_vec();
+        io.dev().poison_page(base / PAGE_SIZE as u64).unwrap();
+        let rebuilt = eng.reconstruct_page(&io, base).unwrap();
+        assert_eq!(rebuilt, expected);
+    }
+
+    #[test]
+    fn concurrent_atomic_patches_commute() {
+        let (io, layout, eng) = setup();
+        let io = Arc::new(io);
+        let eng = Arc::new(eng);
+        let base = layout.chunk_base(0, layout.zone.cm_chunks);
+        let row = layout.zone.row_size;
+        // 4 threads patch the SAME columns from different rows concurrently.
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let io = io.clone();
+                let eng = eng.clone();
+                s.spawn(move || {
+                    let off = base + t * row;
+                    for i in 0..50u64 {
+                        let val = [(t as u8 + 1) * 17; 64];
+                        let mut old = [0u8; 64];
+                        io.read(off + i * 64, &mut old).unwrap();
+                        io.write(off + i * 64, &val).unwrap();
+                        io.persist(off + i * 64, 64).unwrap();
+                        eng.update(&io, off + i * 64, &old, &val).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(eng.verify_all(&io).unwrap(), None);
+    }
+}

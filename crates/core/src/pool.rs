@@ -1,0 +1,672 @@
+//! The Pangolin pool: fault-tolerant persistent object storage.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pgl_nvm::pod::{bytes_of, from_bytes, Pod};
+use pgl_nvm::NvmDevice;
+use pgl_pmemobj::heap::{scan_live, Heap, MetaOp};
+use pgl_pmemobj::lane::{Lanes, LogMirror};
+use pgl_pmemobj::pool::{read_header, write_header, PoolHeader, FLAG_MODE_SHIFT, FLAG_PARITY};
+use pgl_pmemobj::{Layout, ObjError, ObjectHeader, PMEMoid, PoolIo, OID_NULL};
+
+use crate::checksum::adler32;
+use crate::config::{CsumPolicy, PglConfig, PglMode};
+use crate::detect::{Freeze, Vuln, VulnSnapshot};
+use crate::error::{PglError, Result};
+use crate::parity::ParityEngine;
+use crate::scrub::{self, ScrubReport};
+use crate::txn::{PglTx, TxStats};
+use crate::ubuf::UBuf;
+
+const POOL_VERSION_MAGIC: u64 = 0x50_41_4E_47_4F_4C_49_4E; // "PANGOLIN"
+const _: u64 = POOL_VERSION_MAGIC; // reserved for future format versioning
+
+/// Pool-level counters.
+#[derive(Debug, Default)]
+pub struct PglCounters {
+    /// Committed transactions.
+    pub commits: AtomicU64,
+    /// Aborted transactions.
+    pub aborts: AtomicU64,
+    /// Online page recoveries (media errors).
+    pub page_recoveries: AtomicU64,
+    /// Online object recoveries (checksum mismatches / scribbles).
+    pub object_recoveries: AtomicU64,
+    /// Completed scrub passes.
+    pub scrubs: AtomicU64,
+}
+
+/// Shared pool state (public within the crate; the library API is
+/// [`PglPool`]).
+pub struct Inner {
+    pub(crate) io: PoolIo,
+    pub(crate) layout: Layout,
+    pub(crate) heap: Heap,
+    pub(crate) lanes: Lanes,
+    pub(crate) uuid: u64,
+    pub(crate) mode: PglMode,
+    pub(crate) policy: CsumPolicy,
+    pub(crate) parity: Option<ParityEngine>,
+    pub(crate) freeze: Freeze,
+    pub(crate) vuln: Vuln,
+    pub(crate) counters: PglCounters,
+    pub(crate) scrub_tick: AtomicU64,
+    background_scrub: Option<crossbeam::channel::Sender<()>>,
+}
+
+impl Inner {
+    pub(crate) fn mirror(&self) -> LogMirror {
+        if self.mode.replicates_logs() {
+            LogMirror::SameDevice
+        } else {
+            LogMirror::None
+        }
+    }
+
+    /// Reads with transparent online media-error recovery: a poisoned page
+    /// freezes the pool, reconstructs the page from its column, repairs it
+    /// and retries (paper §3.6).
+    pub(crate) fn read_with_recovery(&self, off: u64, dst: &mut [u8]) -> Result<()> {
+        for _ in 0..4 {
+            match self.io.read(off, dst) {
+                Ok(()) => return Ok(()),
+                Err(ObjError::Mem(pgl_nvm::MemError::Poisoned { page })) => {
+                    self.online_recover_page(page)?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(PglError::Unrecoverable(format!(
+            "page at {off:#x} keeps failing after repeated recovery"
+        )))
+    }
+
+    /// Reads an object's header with media recovery and sanity validation.
+    pub(crate) fn obj_header_checked(&self, oid: PMEMoid) -> Result<ObjectHeader> {
+        let mut buf = [0u8; 16];
+        self.read_with_recovery(oid.header_off(), &mut buf)?;
+        let hdr: ObjectHeader = from_bytes(&buf);
+        if hdr.size == 0
+            || hdr.size > self.layout.max_alloc()
+            || oid.off + hdr.size > self.io.dev().len() as u64
+        {
+            // A nonsense size means the header itself is corrupt; try
+            // scribble recovery once, then re-read.
+            self.recover_object(oid)?;
+            let mut buf = [0u8; 16];
+            self.read_with_recovery(oid.header_off(), &mut buf)?;
+            let hdr: ObjectHeader = from_bytes(&buf);
+            if hdr.size == 0 || hdr.size > self.layout.max_alloc() {
+                return Err(PglError::ChecksumMismatch { off: oid.off });
+            }
+            return Ok(hdr);
+        }
+        Ok(hdr)
+    }
+
+    /// Loads a micro-buffer for `oid`, optionally verifying its checksum
+    /// (with online recovery on mismatch).
+    pub(crate) fn load_ubuf(&self, oid: PMEMoid, verify: bool) -> Result<UBuf> {
+        let hdr = self.obj_header_checked(oid)?;
+        let mut data = vec![0u8; hdr.size as usize];
+        self.read_with_recovery(oid.off, &mut data)?;
+        if verify && self.mode.has_checksums() {
+            if hdr.csum != adler32(&data) {
+                // Scribble detected: recover and reload.
+                self.recover_object(oid)?;
+                let hdr2 = self.obj_header_checked(oid)?;
+                data.resize(hdr2.size as usize, 0);
+                self.read_with_recovery(oid.off, &mut data)?;
+                if hdr2.csum != adler32(&data) {
+                    return Err(PglError::ChecksumMismatch { off: oid.off });
+                }
+                self.vuln.note_verified(hdr2.size);
+                return Ok(UBuf::from_nvmm(oid, hdr2, &data));
+            }
+            self.vuln.note_verified(hdr.size);
+        }
+        Ok(UBuf::from_nvmm(oid, hdr, &data))
+    }
+
+    /// Direct object read (`pgl_get`): no verification under the default
+    /// policy, full verification under Conservative. Vulnerability
+    /// accounting feeds Table 4.
+    ///
+    /// Conservative verification applies to whole-object-buffered sizes
+    /// only; objects above the sparse threshold (e.g. the hashmap's
+    /// multi-megabyte table) would cost O(object) per access, so their
+    /// reads stay unverified and rely on scrubbing (counted as exposure).
+    pub(crate) fn direct_read(&self, oid: PMEMoid, off: u64, dst: &mut [u8]) -> Result<()> {
+        if self.mode.has_checksums() && matches!(self.policy, CsumPolicy::Conservative) {
+            let hdr = self.obj_header_checked(oid)?;
+            if hdr.size <= crate::txn::SPARSE_THRESHOLD {
+                let b = self.load_ubuf(oid, true)?;
+                let o = off as usize;
+                dst.copy_from_slice(&b.user()[o..o + dst.len()]);
+                return Ok(());
+            }
+        }
+        self.read_with_recovery(oid.off + off, dst)?;
+        if self.mode.has_checksums() {
+            self.vuln.note_unverified(dst.len() as u64);
+        }
+        Ok(())
+    }
+
+    /// Data write-back with parity maintenance: read old content, store the
+    /// new bytes (non-temporal) and patch the parity row with `old ⊕ new`.
+    pub(crate) fn protected_write(&self, off: u64, new: &[u8]) -> Result<()> {
+        if let Some(engine) = &self.parity {
+            let mut old = vec![0u8; new.len()];
+            self.io.read(off, &mut old).map_err(PglError::from)?;
+            self.io.write_nt(off, new).map_err(PglError::from)?;
+            self.io.drain();
+            engine.update(&self.io, off, &old, new)?;
+        } else {
+            self.io.write_nt(off, new).map_err(PglError::from)?;
+            self.io.drain();
+        }
+        Ok(())
+    }
+
+    /// Applies allocator meta ops with parity maintenance, serialized
+    /// against other publishers.
+    pub(crate) fn apply_meta_ops(&self, ops: &[MetaOp]) -> Result<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let _guard = self.heap.publish_guard();
+        for op in ops {
+            self.apply_meta_op(op)?;
+        }
+        Ok(())
+    }
+
+    fn apply_meta_op(&self, op: &MetaOp) -> Result<()> {
+        if self.parity.is_none() {
+            return op.apply(&self.io).map_err(PglError::from);
+        }
+        match op {
+            MetaOp::SetBits { off, mask } => {
+                let w = self.io.read_u64(*off).map_err(PglError::from)?;
+                self.protected_write(*off, &(w | mask).to_le_bytes())
+            }
+            MetaOp::ClearBits { off, mask } => {
+                let w = self.io.read_u64(*off).map_err(PglError::from)?;
+                self.protected_write(*off, &(w & !mask).to_le_bytes())
+            }
+            MetaOp::WriteCm { off, data } => self.protected_write(*off, data),
+            MetaOp::RunFmt { off, block_size, nblocks } => {
+                let hdr =
+                    pgl_pmemobj::heap::run::RunHeader::formatted(*block_size, *nblocks);
+                self.protected_write(*off, bytes_of(&hdr))
+            }
+        }
+    }
+
+    /// Bumps the scrub tick; returns `true` when a scrub pass is due.
+    pub(crate) fn note_commit(&self) -> bool {
+        self.counters.commits.fetch_add(1, Ordering::Relaxed);
+        if let CsumPolicy::ScrubEvery(n) = self.policy {
+            let t = self.scrub_tick.fetch_add(1, Ordering::Relaxed) + 1;
+            t % n == 0
+        } else {
+            false
+        }
+    }
+}
+
+/// A fault-tolerant, DAX-style persistent object pool (the Pangolin
+/// library).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use pgl_nvm::{DeviceConfig, NvmDevice};
+/// use pangolin::{PglConfig, PglPool};
+///
+/// let cfg = PglConfig::small();
+/// let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::fast()).unwrap());
+/// let pool = PglPool::create(dev, cfg).unwrap();
+///
+/// // Listing 2 of the paper: open, modify, commit — no direct NVMM stores.
+/// let oid = pool.tx(|tx| {
+///     let oid = tx.alloc(16, 1)?;
+///     tx.write_pod(oid, 0, &42u64)?;
+///     Ok(oid)
+/// }).unwrap();
+/// let mut obj = pool.open_object(oid).unwrap();
+/// obj.write_pod(0, &43u64);
+/// pool.commit_object(obj).unwrap();
+/// assert_eq!(pool.read_pod::<u64>(oid, 0).unwrap(), 43);
+/// ```
+#[derive(Clone)]
+pub struct PglPool {
+    inner: Arc<Inner>,
+}
+
+/// A single-object handle from `pgl_open`, committed with
+/// [`PglPool::commit_object`] (paper Listing 2).
+pub struct ObjHandle {
+    pub(crate) ubuf: UBuf,
+}
+
+impl ObjHandle {
+    /// The object's OID.
+    pub fn oid(&self) -> PMEMoid {
+        self.ubuf.oid()
+    }
+
+    /// Read-only view of the object.
+    pub fn user(&self) -> &[u8] {
+        self.ubuf.user()
+    }
+
+    /// Mutable view (changes are committed by diff; see
+    /// [`PglPool::commit_object`]).
+    pub fn user_mut(&mut self) -> &mut [u8] {
+        self.ubuf.user_mut()
+    }
+
+    /// Typed read.
+    pub fn read_pod<T: Pod>(&self, off: u64) -> T {
+        self.ubuf.read_pod(off)
+    }
+
+    /// Typed write (marks the range explicitly).
+    pub fn write_pod<T: Pod>(&mut self, off: u64, val: &T) {
+        self.ubuf.write_pod(off, val);
+    }
+}
+
+impl PglPool {
+    /// Creates a fresh Pangolin pool, zeroing the device (which also makes
+    /// the initial parity trivially consistent; the paper reports this
+    /// one-time cost in §4.2).
+    pub fn create(dev: Arc<NvmDevice>, cfg: PglConfig) -> Result<Self> {
+        cfg.validate().map_err(PglError::Config)?;
+        let layout = Layout::new(cfg.pool).map_err(PglError::from)?;
+        if dev.len() != cfg.pool.size {
+            return Err(PglError::Config(format!(
+                "device is {} bytes but config wants {}",
+                dev.len(),
+                cfg.pool.size
+            )));
+        }
+        let io = PoolIo::new(dev);
+        io.set(0, 0, cfg.pool.size).map_err(PglError::from)?;
+        io.persist(0, cfg.pool.size).map_err(PglError::from)?;
+
+        let uuid = fresh_uuid();
+        let mode_bits = match cfg.mode {
+            PglMode::Baseline => 0u32,
+            PglMode::Ml => 1,
+            PglMode::Mlp => 2,
+            PglMode::Mlpc => 3,
+        };
+        let hdr = PoolHeader {
+            magic: 0x50_4D_45_4D_4F_42_4A_31, // shared pool format
+            uuid,
+            size: cfg.pool.size as u64,
+            version: 1,
+            flags: if cfg.pool.parity { FLAG_PARITY } else { 0 }
+                | (mode_bits << FLAG_MODE_SHIFT),
+            zone_size: cfg.pool.zone_size as u64,
+            chunk_size: cfg.pool.chunk_size as u64,
+            chunk_rows: cfg.pool.chunk_rows as u64,
+            n_lanes: cfg.pool.n_lanes as u64,
+            lane_size: cfg.pool.lane_size as u64,
+            root_off: 0,
+            root_size: 0,
+            csum: 0,
+            pad: 0,
+        };
+        write_header(&io, &layout, hdr).map_err(PglError::from)?;
+        let mirror = if cfg.mode.replicates_logs() {
+            LogMirror::SameDevice
+        } else {
+            LogMirror::None
+        };
+        Lanes::format(&io, &layout, LogMirror::SameDevice).map_err(PglError::from)?;
+        Heap::format(&io, &layout).map_err(PglError::from)?;
+        if cfg.mode.has_parity() {
+            // Heap formatting wrote the CM region with plain stores; level
+            // the parity of those columns once, at creation time.
+            let engine =
+                ParityEngine::new(layout, cfg.parity_lock_granule, cfg.hybrid_threshold);
+            let cm_span = layout.zone.cm_chunks * layout.cfg.chunk_size as u64;
+            for z in 0..layout.n_zones {
+                engine.recompute_columns(&io, z, 0, cm_span)?;
+            }
+        }
+        Self::assemble(io, layout, uuid, cfg, mirror)
+    }
+
+    /// Opens an existing Pangolin pool, reading mode and geometry from the
+    /// pool header and running crash recovery (redo replay plus parity
+    /// recomputation, paper §3.6).
+    pub fn open(dev: Arc<NvmDevice>, policy: CsumPolicy, background_scrub: bool) -> Result<Self> {
+        let io = PoolIo::new(dev);
+        let hdr = read_header(&io).map_err(PglError::from)?;
+        let mut pool_cfg = pgl_pmemobj::PoolConfig {
+            size: io.dev().len(),
+            zone_size: hdr.zone_size as usize,
+            chunk_size: hdr.chunk_size as usize,
+            chunk_rows: hdr.chunk_rows as usize,
+            parity: hdr.flags & FLAG_PARITY != 0,
+            n_lanes: hdr.n_lanes as usize,
+            lane_size: hdr.lane_size as usize,
+        };
+        pool_cfg.size = hdr.size as usize;
+        let mode = match (hdr.flags >> FLAG_MODE_SHIFT) & 0b11 {
+            0 => PglMode::Baseline,
+            1 => PglMode::Ml,
+            2 => PglMode::Mlp,
+            _ => PglMode::Mlpc,
+        };
+        let cfg = PglConfig {
+            pool: pool_cfg,
+            mode,
+            policy,
+            hybrid_threshold: 8 << 10,
+            parity_lock_granule: 8 << 10,
+            background_scrub,
+        };
+        cfg.validate().map_err(PglError::Config)?;
+        let layout = Layout::new(pool_cfg).map_err(PglError::from)?;
+        let mirror = if mode.replicates_logs() {
+            LogMirror::SameDevice
+        } else {
+            LogMirror::None
+        };
+        // Crash recovery must run before the heap scan.
+        let parity = mode
+            .has_parity()
+            .then(|| ParityEngine::new(layout, cfg.parity_lock_granule, cfg.hybrid_threshold));
+        crate::recover::crash_recover(&io, &layout, mirror, parity.as_ref())?;
+        crate::recover::finish_page_repair_if_pending(&io, &layout, parity.as_ref())?;
+        Self::assemble(io, layout, hdr.uuid, cfg, mirror)
+    }
+
+    fn assemble(
+        io: PoolIo,
+        layout: Layout,
+        uuid: u64,
+        cfg: PglConfig,
+        mirror: LogMirror,
+    ) -> Result<Self> {
+        let heap = match Heap::rebuild(&io, layout, cfg.mode.has_checksums()) {
+            Ok(h) => h,
+            Err(ObjError::Corruption { off, .. }) if cfg.mode.has_parity() => {
+                // Chunk metadata corrupt: repair its page from parity and
+                // retry (paper §3.1: zone parity protects chunk metadata).
+                let engine =
+                    ParityEngine::new(layout, cfg.parity_lock_granule, cfg.hybrid_threshold);
+                crate::recover::repair_page_by_compare(&io, &engine, off)?;
+                Heap::rebuild(&io, layout, true).map_err(PglError::from)?
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let lanes = Lanes::load(&io, layout, mirror).map_err(PglError::from)?;
+        let parity = cfg
+            .mode
+            .has_parity()
+            .then(|| ParityEngine::new(layout, cfg.parity_lock_granule, cfg.hybrid_threshold));
+        let want_bg = cfg.background_scrub && matches!(cfg.policy, CsumPolicy::ScrubEvery(_));
+        let (txc, rxc) = if want_bg {
+            let (a, b) = crossbeam::channel::bounded::<()>(1);
+            (Some(a), Some(b))
+        } else {
+            (None, None)
+        };
+        let inner = Arc::new(Inner {
+            io,
+            layout,
+            heap,
+            lanes,
+            uuid,
+            mode: cfg.mode,
+            policy: cfg.policy,
+            parity,
+            freeze: Freeze::new(),
+            vuln: Vuln::new(),
+            counters: PglCounters::default(),
+            scrub_tick: AtomicU64::new(0),
+            background_scrub: txc,
+        });
+        if let Some(rx) = rxc {
+            // The thread holds a Weak reference, so dropping the last pool
+            // handle disconnects the channel and the thread exits.
+            let weak = Arc::downgrade(&inner);
+            std::thread::Builder::new()
+                .name("pgl-scrub".into())
+                .spawn(move || {
+                    while rx.recv().is_ok() {
+                        match weak.upgrade() {
+                            Some(inner) => {
+                                let _ = scrub::scrub_sync(&inner);
+                            }
+                            None => break,
+                        }
+                    }
+                })
+                .map_err(|e| PglError::Config(format!("cannot spawn scrub thread: {e}")))?;
+        }
+        Ok(PglPool { inner })
+    }
+
+    /// The pool UUID.
+    pub fn uuid(&self) -> u64 {
+        self.inner.uuid
+    }
+
+    /// The fault-tolerance mode.
+    pub fn mode(&self) -> PglMode {
+        self.inner.mode
+    }
+
+    /// The resolved layout.
+    pub fn layout(&self) -> &Layout {
+        &self.inner.layout
+    }
+
+    /// The underlying I/O layer (tests and fault injection).
+    pub fn io(&self) -> &PoolIo {
+        &self.inner.io
+    }
+
+    /// Pool counters.
+    pub fn counters(&self) -> &PglCounters {
+        &self.inner.counters
+    }
+
+    /// Vulnerability counters (Table 4).
+    pub fn vuln(&self) -> VulnSnapshot {
+        self.inner.vuln.snapshot()
+    }
+
+    /// Runs `f` inside a fault-tolerant transaction.
+    pub fn tx<R>(&self, f: impl FnOnce(&mut PglTx<'_>) -> Result<R>) -> Result<R> {
+        self.tx_with_stats(f).map(|(r, _)| r)
+    }
+
+    /// Like [`PglPool::tx`], also returning instrumentation counters.
+    pub fn tx_with_stats<R>(
+        &self,
+        f: impl FnOnce(&mut PglTx<'_>) -> Result<R>,
+    ) -> Result<(R, TxStats)> {
+        let inner = &*self.inner;
+        while inner.freeze.is_frozen() {
+            std::thread::yield_now();
+        }
+        let lane = inner.lanes.claim(&inner.io);
+        let mut tx = PglTx::new(inner, lane);
+        match f(&mut tx) {
+            Ok(r) => {
+                let stats = tx.commit()?;
+                let scrub_due = inner.note_commit();
+                if scrub_due {
+                    self.trigger_scrub()?;
+                }
+                Ok((r, stats))
+            }
+            Err(e) => {
+                tx.abort()?;
+                inner.counters.aborts.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    fn trigger_scrub(&self) -> Result<()> {
+        if let Some(txc) = &self.inner.background_scrub {
+            let _ = txc.try_send(()); // a pass is already queued if full
+            Ok(())
+        } else {
+            scrub::scrub_sync(&self.inner).map(|_| ())
+        }
+    }
+
+    /// Runs a synchronous scrub pass now (paper §3.3 "Scrub" mode).
+    pub fn scrub_now(&self) -> Result<ScrubReport> {
+        scrub::scrub_sync(&self.inner)
+    }
+
+    /// Returns the root object, allocating a zeroed one on first use.
+    pub fn root(&self, size: u64, type_num: u32) -> Result<PMEMoid> {
+        {
+            let hdr = read_header(&self.inner.io).map_err(PglError::from)?;
+            if hdr.root_off != 0 {
+                return Ok(PMEMoid::new(self.inner.uuid, hdr.root_off));
+            }
+        }
+        let oid = self.tx(|tx| tx.alloc(size, type_num))?;
+        let mut hdr = read_header(&self.inner.io).map_err(PglError::from)?;
+        hdr.root_off = oid.off;
+        hdr.root_size = size;
+        write_header(&self.inner.io, &self.inner.layout, hdr).map_err(PglError::from)?;
+        Ok(oid)
+    }
+
+    /// Returns the current root OID (null if none).
+    pub fn root_oid(&self) -> Result<PMEMoid> {
+        let hdr = read_header(&self.inner.io).map_err(PglError::from)?;
+        Ok(if hdr.root_off == 0 {
+            OID_NULL
+        } else {
+            PMEMoid::new(self.inner.uuid, hdr.root_off)
+        })
+    }
+
+    /// `pgl_get`: direct object read without checksum verification (unless
+    /// the Conservative policy is active). Media errors recover online.
+    pub fn read(&self, oid: PMEMoid, off: u64, dst: &mut [u8]) -> Result<()> {
+        self.check_oid(oid)?;
+        self.inner.direct_read(oid, off, dst)
+    }
+
+    /// Typed `pgl_get`.
+    pub fn read_pod<T: Pod>(&self, oid: PMEMoid, off: u64) -> Result<T> {
+        let mut buf = vec![0u8; std::mem::size_of::<T>()];
+        self.read(oid, off, &mut buf)?;
+        Ok(from_bytes(&buf))
+    }
+
+    /// Reads the whole object with checksum verification (and online
+    /// recovery), regardless of policy.
+    pub fn read_verified(&self, oid: PMEMoid) -> Result<Vec<u8>> {
+        self.check_oid(oid)?;
+        let b = self.inner.load_ubuf(oid, true)?;
+        Ok(b.user().to_vec())
+    }
+
+    /// `pgl_open`: creates a standalone micro-buffer for single-object
+    /// updates, verifying the object first (paper Listing 2).
+    pub fn open_object(&self, oid: PMEMoid) -> Result<ObjHandle> {
+        self.check_oid(oid)?;
+        let ubuf = self.inner.load_ubuf(oid, true)?;
+        Ok(ObjHandle { ubuf })
+    }
+
+    /// `pgl_commit`: atomically writes a single-object handle back,
+    /// updating checksum and parity. Unmarked changes are detected by
+    /// diffing against NVMM at cache-line granularity, so paper-style
+    /// `obj.field = x` edits (without explicit range marking) commit too.
+    pub fn commit_object(&self, mut handle: ObjHandle) -> Result<()> {
+        handle.ubuf.check_canaries()?;
+        let oid = handle.ubuf.oid();
+        // Diff against NVMM to find unmarked modifications.
+        let mut current = vec![0u8; handle.ubuf.user_size()];
+        self.inner.read_with_recovery(oid.off, &mut current)?;
+        let new = handle.ubuf.user().to_vec();
+        const GRAN: usize = 64;
+        let mut i = 0;
+        while i < new.len() {
+            let end = (i + GRAN).min(new.len());
+            if current[i..end] != new[i..end] {
+                handle.ubuf.mark_modified(i as u64, (end - i) as u64);
+            }
+            i = end;
+        }
+        if handle.ubuf.modified().is_empty() {
+            return Ok(());
+        }
+        self.tx(|tx| {
+            tx.open(oid)?;
+            let b = tx.ubuf_mut(oid)?;
+            for (roff, rlen) in handle.ubuf.modified().iter() {
+                let src = &new[roff as usize..(roff + rlen) as usize];
+                b.write(roff, src);
+            }
+            Ok(())
+        })
+    }
+
+    /// Lists all live objects.
+    pub fn live_objects(&self) -> Result<Vec<(PMEMoid, ObjectHeader)>> {
+        Ok(scan_live(&self.inner.io, &self.inner.layout)
+            .map_err(PglError::from)?
+            .into_iter()
+            .map(|(off, h)| (PMEMoid::new(self.inner.uuid, off), h))
+            .collect())
+    }
+
+    /// Verifies the parity invariant across the whole pool (diagnostics).
+    pub fn verify_parity(&self) -> Result<bool> {
+        match &self.inner.parity {
+            Some(e) => Ok(e.verify_all(&self.inner.io)?.is_none()),
+            None => Ok(true),
+        }
+    }
+
+    /// Verifies every live object's checksum without repair (diagnostics).
+    /// Returns offsets of corrupt objects.
+    pub fn find_corrupt_objects(&self) -> Result<Vec<u64>> {
+        let mut bad = Vec::new();
+        for (oid, hdr) in self.live_objects()? {
+            let mut data = vec![0u8; hdr.size as usize];
+            if self.inner.io.read(oid.off, &mut data).is_err() {
+                bad.push(oid.off);
+                continue;
+            }
+            if self.inner.mode.has_checksums() && hdr.csum != adler32(&data) {
+                bad.push(oid.off);
+            }
+        }
+        Ok(bad)
+    }
+
+    fn check_oid(&self, oid: PMEMoid) -> Result<()> {
+        if oid.is_null() || oid.pool != self.inner.uuid {
+            return Err(ObjError::InvalidOid { off: oid.off }.into());
+        }
+        Ok(())
+    }
+}
+
+fn fresh_uuid() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    std::collections::hash_map::RandomState::new().build_hasher().finish() | 1
+}

@@ -1,0 +1,358 @@
+//! Recovery: crash recovery at open, and online recovery from media
+//! errors and scribbles (paper §3.6).
+//!
+//! **Crash recovery** replays committed redo logs (object ranges, headers,
+//! allocator ops) and then *recomputes* every parity column the transaction
+//! could have torn — the replayed ranges, the allocator-op targets, and any
+//! construction areas named by allocation-intent records. Recomputation
+//! (rather than patching) makes recovery idempotent.
+//!
+//! **Online corruption recovery** freezes the pool (no commit may be
+//! mid-parity-update), reconstructs lost pages from their page column, and
+//! repairs the device page. A persistent repair record makes a crash during
+//! repair re-execute it at the next open.
+
+use pgl_nvm::PAGE_SIZE;
+use pgl_pmemobj::heap::MetaOp;
+use pgl_pmemobj::lane::{Lanes, LogMirror};
+use pgl_pmemobj::layout::RUN_HEADER_SIZE;
+use pgl_pmemobj::ulog::{self, EntryKind};
+use pgl_pmemobj::{Layout, PoolIo};
+
+use crate::checksum::adler32;
+use crate::error::{PglError, Result};
+use crate::parity::{segments, ParityEngine};
+use crate::pool::Inner;
+
+/// Offset (within the pool-header page) of the persistent repair record.
+const REPAIR_RECORD_OFF: u64 = 1024;
+const REPAIR_MAGIC: u64 = 0x5245_5041_4952_3031; // "REPAIR01"
+
+/// Replays all lanes after a crash: committed transactions complete,
+/// uncommitted ones leave no trace, and parity is re-levelled for every
+/// column they might have torn.
+pub fn crash_recover(
+    io: &PoolIo,
+    layout: &Layout,
+    mirror: LogMirror,
+    parity: Option<&ParityEngine>,
+) -> Result<()> {
+    for l in 0..layout.cfg.n_lanes as u32 {
+        let entries = Lanes::read_entries(io, layout, l, mirror).map_err(PglError::from)?;
+        if entries.is_empty() {
+            continue;
+        }
+        // Ranges whose parity must be recomputed.
+        let mut dirty: Vec<(u64, u64)> = Vec::new();
+        if ulog::is_committed(&entries) {
+            for e in &entries {
+                match e.kind {
+                    EntryKind::Data => {
+                        io.write(e.off, &e.payload).map_err(PglError::from)?;
+                        io.persist(e.off, e.payload.len()).map_err(PglError::from)?;
+                        dirty.push((e.off, e.payload.len() as u64));
+                    }
+                    EntryKind::AllocIntent => {
+                        let len = u64::from_le_bytes(
+                            e.payload[..8].try_into().expect("intent payload"),
+                        );
+                        dirty.push((e.off, len));
+                    }
+                    EntryKind::Commit => {}
+                    _ => {
+                        if let Some(op) = MetaOp::decode(e) {
+                            op.apply(io).map_err(PglError::from)?;
+                            dirty.push(meta_target(&op));
+                        }
+                    }
+                }
+            }
+        } else {
+            // Uncommitted: objects and metadata were never touched, but
+            // construction write-back may have torn parity under the
+            // recorded intents.
+            for e in &entries {
+                if e.kind == EntryKind::AllocIntent {
+                    let len =
+                        u64::from_le_bytes(e.payload[..8].try_into().expect("intent payload"));
+                    dirty.push((e.off, len));
+                }
+            }
+        }
+        if let Some(engine) = parity {
+            for (off, len) in dirty {
+                for seg in segments(layout, off, len)? {
+                    engine.recompute_columns(io, seg.zone, seg.col, seg.len)?;
+                }
+            }
+        }
+        Lanes::invalidate(io, layout, l, mirror).map_err(PglError::from)?;
+    }
+    sweep_orphan_log_chunks(io, layout, parity)?;
+    Ok(())
+}
+
+/// Returns every `Log`-typed chunk to `Free` after all lanes are invalid.
+/// With parity, the chunk is zeroed first (parity-neutral: `Log` chunks are
+/// excluded, and their parity contribution was levelled to zero when they
+/// were claimed), and the CM-entry columns are recomputed.
+fn sweep_orphan_log_chunks(
+    io: &PoolIo,
+    layout: &Layout,
+    parity: Option<&ParityEngine>,
+) -> Result<()> {
+    use pgl_pmemobj::heap::run::{ChunkMeta, ChunkType};
+    let free = ChunkMeta::new(ChunkType::Free, 0, 0).to_bytes();
+    for z in 0..layout.n_zones {
+        let mut c = layout.zone.cm_chunks;
+        while c < layout.zone.n_chunks {
+            let mut buf = [0u8; 16];
+            io.read(layout.cm_entry_off(z, c), &mut buf).map_err(PglError::from)?;
+            let cm = ChunkMeta::from_slice(&buf);
+            let mut advance = 1u64;
+            match cm.chunk_type() {
+                Some(ChunkType::Log) => {
+                    io.set(layout.chunk_base(z, c), 0, layout.cfg.chunk_size)
+                        .map_err(PglError::from)?;
+                    io.persist(layout.chunk_base(z, c), layout.cfg.chunk_size)
+                        .map_err(PglError::from)?;
+                    let cm_off = layout.cm_entry_off(z, c);
+                    io.write(cm_off, &free).map_err(PglError::from)?;
+                    io.persist(cm_off, 16).map_err(PglError::from)?;
+                    if let Some(engine) = parity {
+                        for seg in segments(layout, cm_off, 16)? {
+                            engine.recompute_columns(io, seg.zone, seg.col, seg.len)?;
+                        }
+                    }
+                }
+                Some(ChunkType::Large) => advance = cm.size_idx.max(1) as u64,
+                _ => {}
+            }
+            c += advance;
+        }
+    }
+    Ok(())
+}
+
+fn meta_target(op: &MetaOp) -> (u64, u64) {
+    match op {
+        MetaOp::SetBits { off, .. } | MetaOp::ClearBits { off, .. } => (*off, 8),
+        MetaOp::WriteCm { off, .. } => (*off, 16),
+        MetaOp::RunFmt { off, .. } => (*off, RUN_HEADER_SIZE),
+    }
+}
+
+/// Reconstructs the page containing `off` from parity and rewrites it if
+/// the current content differs. Returns `true` if a repair was applied.
+///
+/// Because every legitimate data write also patches parity, a divergence
+/// between a page and its column reconstruction is exactly the signature
+/// of a scribble (which bypassed the library). The reconstruction *is* the
+/// parity-consistent content, so the repair writes directly, without a
+/// parity update.
+pub fn repair_page_by_compare(io: &PoolIo, engine: &ParityEngine, off: u64) -> Result<bool> {
+    let page_off = off & !(PAGE_SIZE as u64 - 1);
+    let rebuilt = engine.reconstruct_page(io, page_off)?;
+    let mut current = vec![0u8; PAGE_SIZE];
+    match io.read(page_off, &mut current) {
+        Ok(()) if current == rebuilt => Ok(false),
+        Ok(()) | Err(_) => {
+            io.write(page_off, &rebuilt).map_err(PglError::from)?;
+            io.persist(page_off, PAGE_SIZE).map_err(PglError::from)?;
+            Ok(true)
+        }
+    }
+}
+
+fn write_repair_record(io: &PoolIo, layout: &Layout, page_off: u64) -> Result<()> {
+    for base in [layout.hdr_off, layout.hdr_replica_off] {
+        io.write(base + REPAIR_RECORD_OFF, &REPAIR_MAGIC.to_le_bytes())
+            .map_err(PglError::from)?;
+        io.write(base + REPAIR_RECORD_OFF + 8, &page_off.to_le_bytes())
+            .map_err(PglError::from)?;
+        io.persist(base + REPAIR_RECORD_OFF, 16).map_err(PglError::from)?;
+    }
+    Ok(())
+}
+
+fn clear_repair_record(io: &PoolIo, layout: &Layout) -> Result<()> {
+    for base in [layout.hdr_off, layout.hdr_replica_off] {
+        io.write(base + REPAIR_RECORD_OFF, &0u64.to_le_bytes()).map_err(PglError::from)?;
+        io.persist(base + REPAIR_RECORD_OFF, 8).map_err(PglError::from)?;
+    }
+    Ok(())
+}
+
+/// At pool open: if a crash interrupted a page repair, re-execute it
+/// (recovery is idempotent, paper §3.6).
+pub fn finish_page_repair_if_pending(
+    io: &PoolIo,
+    layout: &Layout,
+    parity: Option<&ParityEngine>,
+) -> Result<()> {
+    let mut rec = [0u8; 16];
+    for base in [layout.hdr_off, layout.hdr_replica_off] {
+        if io.read(base + REPAIR_RECORD_OFF, &mut rec).is_err() {
+            continue;
+        }
+        let magic = u64::from_le_bytes(rec[..8].try_into().expect("8"));
+        if magic != REPAIR_MAGIC {
+            continue;
+        }
+        let page_off = u64::from_le_bytes(rec[8..].try_into().expect("8"));
+        if let Some(engine) = parity {
+            let rebuilt = engine.reconstruct_page(io, page_off)?;
+            let page = page_off / PAGE_SIZE as u64;
+            io.dev().repair_page(page, &rebuilt).map_err(PglError::from)?;
+        }
+        clear_repair_record(io, layout)?;
+        return Ok(());
+    }
+    Ok(())
+}
+
+impl Inner {
+    /// Online recovery of a poisoned page: freeze, reconstruct, repair
+    /// (paper §3.6 "corruption recovery").
+    pub(crate) fn online_recover_page(&self, page: u64) -> Result<()> {
+        self.freeze.freeze();
+        let r = self.recover_page_frozen(page);
+        self.freeze.unfreeze();
+        if r.is_ok() {
+            self.counters.page_recoveries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        r
+    }
+
+    /// Page recovery with the pool already frozen (used by the scrubber).
+    pub(crate) fn recover_page_frozen(&self, page: u64) -> Result<()> {
+        if !self.io.dev().is_poisoned_page(page) {
+            return Ok(()); // another thread repaired it already
+        }
+        let page_off = page * PAGE_SIZE as u64;
+        let layout = &self.layout;
+
+        // Pool header pages repair from their redundant copy.
+        if page_off < layout.lanes_off {
+            let other = if page_off == layout.hdr_off {
+                layout.hdr_replica_off
+            } else {
+                layout.hdr_off
+            };
+            let mut buf = vec![0u8; PAGE_SIZE];
+            self.io.read(other, &mut buf).map_err(|e| {
+                PglError::Unrecoverable(format!("both pool header pages lost: {e}"))
+            })?;
+            self.io.dev().repair_page(page, &buf).map_err(PglError::from)?;
+            return Ok(());
+        }
+
+        // Lane-region pages repair from the mirrored lane region.
+        if page_off < layout.heap_off {
+            return self.recover_lane_page(page_off);
+        }
+
+        // Heap pages (data rows, CM chunks, parity row) reconstruct from
+        // the page column, with a persistent record for crash idempotence.
+        let Some(engine) = &self.parity else {
+            return Err(PglError::Unrecoverable(format!(
+                "page {page} lost and this mode has no parity (mode {:?})",
+                self.mode
+            )));
+        };
+        // Pages in the inter-row gap (zone header reserve) hold no state.
+        if layout.row_col_of(page_off).is_err() {
+            let (zone, zoff) = layout.zone_and_rel(page_off).map_err(PglError::from)?;
+            let pbase = layout.zone.parity_base.unwrap_or(u64::MAX);
+            let in_parity = zoff >= pbase && zoff < pbase + layout.zone.row_size;
+            let _ = zone;
+            if !in_parity {
+                self.io.dev().repair_page(page, &vec![0u8; PAGE_SIZE]).map_err(PglError::from)?;
+                return Ok(());
+            }
+        }
+        write_repair_record(&self.io, layout, page_off)?;
+        let rebuilt = engine.reconstruct_page(&self.io, page_off)?;
+        self.io.dev().repair_page(page, &rebuilt).map_err(PglError::from)?;
+        clear_repair_record(&self.io, layout)
+    }
+
+    fn recover_lane_page(&self, page_off: u64) -> Result<()> {
+        let layout = &self.layout;
+        if self.mirror() != LogMirror::SameDevice {
+            return Err(PglError::Unrecoverable(format!(
+                "log page {page_off:#x} lost and logs are not replicated (mode {:?})",
+                self.mode
+            )));
+        }
+        let lane_region = (layout.cfg.n_lanes * layout.cfg.lane_size) as u64;
+        let mirror_off = if page_off < layout.lanes_replica_off {
+            page_off + lane_region
+        } else {
+            page_off - lane_region
+        };
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.io.read(mirror_off, &mut buf).map_err(|e| {
+            PglError::Unrecoverable(format!("both log copies lost at {page_off:#x}: {e}"))
+        })?;
+        self.io
+            .dev()
+            .repair_page(page_off / PAGE_SIZE as u64, &buf)
+            .map_err(PglError::from)?;
+        Ok(())
+    }
+
+    /// Online recovery of a corrupt (scribbled) object detected by a
+    /// checksum mismatch: freeze, then repair every page of the object's
+    /// storage whose content diverges from its parity reconstruction.
+    pub(crate) fn recover_object(&self, oid: pgl_pmemobj::PMEMoid) -> Result<()> {
+        self.freeze.freeze();
+        let r = self.recover_object_frozen(oid);
+        self.freeze.unfreeze();
+        if r.is_ok() {
+            self.counters.object_recoveries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        r
+    }
+
+    pub(crate) fn recover_object_frozen(&self, oid: pgl_pmemobj::PMEMoid) -> Result<()> {
+        let Some(engine) = &self.parity else {
+            return Err(PglError::ChecksumMismatch { off: oid.off });
+        };
+        let (start, len) = self.heap.storage_of(&self.io, oid.off).map_err(PglError::from)?;
+        let first = start / PAGE_SIZE as u64;
+        let last = (start + len - 1) / PAGE_SIZE as u64;
+        for page in first..=last {
+            if self.io.dev().is_poisoned_page(page) {
+                self.recover_page_frozen(page)?;
+            } else {
+                repair_page_by_compare(&self.io, engine, page * PAGE_SIZE as u64)?;
+            }
+        }
+        // Re-verify the object end to end.
+        let mut hdr_buf = [0u8; 16];
+        self.io.read(oid.header_off(), &mut hdr_buf).map_err(|e| {
+            PglError::Unrecoverable(format!("object at {:#x} unreadable after repair: {e}", oid.off))
+        })?;
+        let hdr: pgl_pmemobj::ObjectHeader = pgl_nvm::pod::from_bytes(&hdr_buf);
+        if hdr.size == 0 || oid.off + hdr.size > start + len {
+            return Err(PglError::Unrecoverable(format!(
+                "object header at {:#x} still invalid after repair",
+                oid.off
+            )));
+        }
+        if self.mode.has_checksums() {
+            let mut data = vec![0u8; hdr.size as usize];
+            self.io.read(oid.off, &mut data).map_err(PglError::from)?;
+            if hdr.csum != adler32(&data) {
+                return Err(PglError::Unrecoverable(format!(
+                    "object at {:#x} fails checksum even after parity repair \
+                     (corruption in more than one row of a column?)",
+                    oid.off
+                )));
+            }
+        }
+        Ok(())
+    }
+
+}

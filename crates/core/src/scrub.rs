@@ -1,0 +1,139 @@
+//! Pool scrubbing: periodic integrity sweeps (paper §3.3 "Scrub" mode).
+//!
+//! A scrub pass freezes the pool briefly, then verifies
+//!
+//! 1. both pool-header copies (rewriting a damaged copy from the other),
+//! 2. every chunk-metadata entry (repairing corrupt ones from parity), and
+//! 3. every live object's checksum (recovering scribbled or poisoned
+//!    objects online),
+//!
+//! and finally closes the vulnerability window (Table 4 counts unverified
+//! bytes between scrub passes).
+
+use pgl_nvm::pod::bytes_of;
+use pgl_pmemobj::heap::run::ChunkMeta;
+use pgl_pmemobj::heap::scan_live;
+use pgl_pmemobj::pool::read_header;
+use pgl_pmemobj::ObjError;
+
+use crate::checksum::adler32;
+use crate::error::{PglError, Result};
+use crate::pool::Inner;
+use crate::recover::repair_page_by_compare;
+
+/// Outcome of one scrub pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Objects whose checksums were verified.
+    pub objects_verified: u64,
+    /// Object bytes verified.
+    pub bytes_verified: u64,
+    /// Objects repaired (scribbles undone).
+    pub objects_repaired: u64,
+    /// Pages repaired (media errors or metadata scribbles).
+    pub pages_repaired: u64,
+}
+
+/// Runs one synchronous scrub pass.
+pub fn scrub_sync(inner: &Inner) -> Result<ScrubReport> {
+    inner.freeze.freeze();
+    let r = scrub_frozen(inner);
+    inner.freeze.unfreeze();
+    if r.is_ok() {
+        inner.counters.scrubs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        inner.vuln.end_scrub_window();
+    }
+    r
+}
+
+fn scrub_frozen(inner: &Inner) -> Result<ScrubReport> {
+    let mut report = ScrubReport::default();
+    let io = &inner.io;
+    let layout = &inner.layout;
+
+    // 0. Known bad pages: the kernel tracks poisoned pages across reboots;
+    //    repair every one proactively. (The paper describes this sweep in
+    //    §3.3 but marks it "not currently implemented" — implemented here.)
+    for page in io.dev().poisoned_pages() {
+        inner.recover_page_frozen(page)?;
+        report.pages_repaired += 1;
+    }
+
+    // 1. Pool headers: both copies must parse; repair a bad one from the
+    //    good one.
+    let hdr = read_header(io).map_err(PglError::from)?;
+    let hdr_bytes = bytes_of(&hdr).to_vec();
+    for off in [layout.hdr_off, layout.hdr_replica_off] {
+        let mut buf = vec![0u8; hdr_bytes.len()];
+        let ok = io.read(off, &mut buf).is_ok() && buf == hdr_bytes;
+        if !ok {
+            io.write(off, &hdr_bytes).map_err(PglError::from)?;
+            io.persist(off, hdr_bytes.len()).map_err(PglError::from)?;
+            report.pages_repaired += 1;
+        }
+    }
+
+    // 2. Chunk metadata: every entry must carry a valid checksum (or be
+    //    all-zero, i.e. never written). Parity repairs scribbled entries.
+    if inner.parity.is_some() {
+        for z in 0..layout.n_zones {
+            for c in 0..layout.zone.n_chunks {
+                let off = layout.cm_entry_off(z, c);
+                let mut buf = [0u8; 16];
+                match io.read(off, &mut buf) {
+                    Ok(()) => {
+                        let cm = ChunkMeta::from_slice(&buf);
+                        let pristine = buf == [0u8; 16];
+                        if !pristine && (!cm.verify() || cm.chunk_type().is_none()) {
+                            let engine = inner.parity.as_ref().expect("checked");
+                            if repair_page_by_compare(io, engine, off)? {
+                                report.pages_repaired += 1;
+                            }
+                        }
+                    }
+                    Err(ObjError::Mem(pgl_nvm::MemError::Poisoned { page })) => {
+                        inner.recover_page_frozen(page)?;
+                        report.pages_repaired += 1;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+    }
+
+    // 3. Objects: verify every live object's checksum.
+    let live = scan_live(io, layout).map_err(PglError::from)?;
+    for (off, hdr) in live {
+        let oid = pgl_pmemobj::PMEMoid::new(inner.uuid, off);
+        let sane = hdr.size > 0 && hdr.size <= layout.max_alloc();
+        let mut ok = sane;
+        if sane {
+            let mut data = vec![0u8; hdr.size as usize];
+            match io.read(off, &mut data) {
+                Ok(()) => {
+                    if inner.mode.has_checksums() && hdr.csum != adler32(&data) {
+                        ok = false;
+                    }
+                }
+                Err(ObjError::Mem(pgl_nvm::MemError::Poisoned { page })) => {
+                    inner.recover_page_frozen(page)?;
+                    report.pages_repaired += 1;
+                    // Re-read after repair for verification.
+                    io.read(off, &mut data).map_err(PglError::from)?;
+                    if inner.mode.has_checksums() && hdr.csum != adler32(&data) {
+                        ok = false;
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if !ok {
+            inner.recover_object_frozen(oid)?;
+            report.objects_repaired += 1;
+        }
+        report.objects_verified += 1;
+        report.bytes_verified += hdr.size;
+        inner.vuln.note_verified(hdr.size);
+    }
+    Ok(report)
+}

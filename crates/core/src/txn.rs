@@ -1,0 +1,682 @@
+//! Fault-tolerant transactions over micro-buffers (paper §3.4).
+//!
+//! Unlike `libpmemobj`'s undo transactions, Pangolin transactions never let
+//! the application store to NVMM. All modifications happen in DRAM
+//! micro-buffers; commit then performs, in order:
+//!
+//! 1. **canary checks** — a smashed canary aborts before NVMM is touched;
+//! 2. **checksum refresh** — incremental Adler32 over the modified ranges;
+//! 3. **allocation intents** — persisted so a pre-commit crash can
+//!    recompute parity for torn construction writes;
+//! 4. **construction write-back** of new objects (their content is *not*
+//!    redo-logged, matching the paper's observation that allocations do
+//!    not pay object-logging cost);
+//! 5. **redo log** (replicated in `-ML` modes) of every modified range,
+//!    the refreshed headers, and the allocator ops, sealed by a commit
+//!    record — the commit point;
+//! 6. **write-back** of modified ranges with non-temporal stores, each
+//!    paired with a hybrid parity update;
+//! 7. **allocator publication** (parity-aware) and log invalidation.
+//!
+//! A crash before (5) leaves objects untouched (recovery re-levels parity
+//! under the intents); a crash after (5) replays the redo log and
+//! recomputes the affected parity columns (paper §3.6).
+
+use std::collections::HashMap;
+
+use pgl_pmemobj::heap::run::{ChunkMeta, ChunkType};
+use pgl_pmemobj::heap::{AllocReservation, FreeReservation, MetaOp};
+use pgl_pmemobj::lane::LaneHandle;
+use pgl_pmemobj::ulog::EntryKind;
+use pgl_pmemobj::{ObjError, PMEMoid};
+use pgl_nvm::pod::{bytes_of, Pod};
+
+pub use pgl_pmemobj::TxStats;
+
+use crate::checksum::{adler32, adler32_update};
+use crate::error::{PglError, Result};
+use crate::pool::Inner;
+use crate::sparse::{SparseBuf, SPARSE_BLOCK};
+use crate::ubuf::{UBuf, UBufState};
+
+/// Objects larger than this are shadowed sparsely (block-granular) instead
+/// of being copied whole into a micro-buffer; see [`crate::sparse`].
+pub const SPARSE_THRESHOLD: u64 = 64 << 10;
+
+/// A heap chunk claimed for log overflow.
+#[derive(Debug, Clone, Copy)]
+struct LogChunk {
+    zone: u64,
+    chunk: u64,
+    base: u64,
+}
+
+/// An in-flight Pangolin transaction (the `pgl_tx_*` interface).
+pub struct PglTx<'p> {
+    inner: &'p Inner,
+    lane: LaneHandle<'p>,
+    ubufs: HashMap<u64, UBuf>,
+    /// Sparse shadows for objects above [`SPARSE_THRESHOLD`].
+    sparse: HashMap<u64, SparseBuf>,
+    /// Insertion order, for deterministic commit processing.
+    order: Vec<u64>,
+    allocs: Vec<AllocReservation>,
+    frees: Vec<FreeReservation>,
+    stats: TxStats,
+    log_chunks: Vec<(LogChunk, Option<LogChunk>)>,
+}
+
+/// Appends an entry, overflowing the log into heap chunks when the lane
+/// fills (paper §2.3). Overflow chunks are typed `Log` and excluded from
+/// parity (paper §3.1); the transition is crash-safe: allocation intents
+/// are persisted into the segment reserve, the chunk is zeroed *with* a
+/// parity update, and only then marked `Log` — from that point on its
+/// parity contribution (zero) matches its excluded reading (zero).
+fn append_with_overflow(
+    inner: &Inner,
+    lane: &mut LaneHandle<'_>,
+    log_chunks: &mut Vec<(LogChunk, Option<LogChunk>)>,
+    kind: EntryKind,
+    off: u64,
+    payload: &[u8],
+) -> Result<()> {
+    loop {
+        match lane.append(kind, off, payload) {
+            Ok(()) => return Ok(()),
+            Err(ObjError::LogFull) => {
+                grow_log(inner, lane, log_chunks)?;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+fn claim_log_chunk(inner: &Inner) -> Result<LogChunk> {
+    let (zone, chunk, base) = inner.heap.reserve_log_chunk().map_err(PglError::from)?;
+    Ok(LogChunk { zone, chunk, base })
+}
+
+fn grow_log(
+    inner: &Inner,
+    lane: &mut LaneHandle<'_>,
+    log_chunks: &mut Vec<(LogChunk, Option<LogChunk>)>,
+) -> Result<()> {
+    let chunk_size = inner.layout.cfg.chunk_size as u64;
+    let primary = claim_log_chunk(inner)?;
+    let replica = if inner.mode.replicates_logs() {
+        Some(claim_log_chunk(inner)?)
+    } else {
+        None
+    };
+    let log_cm = ChunkMeta::new(ChunkType::Log, 0, 1).to_bytes();
+    let both = [Some(primary), replica];
+    if inner.mode.has_parity() {
+        // Crash-safe transition into parity exclusion (see fn docs).
+        for lc in both.iter().flatten() {
+            lane.append_reserved(EntryKind::AllocIntent, lc.base, &chunk_size.to_le_bytes())
+                .map_err(PglError::from)?;
+        }
+        lane.persist_log().map_err(PglError::from)?;
+        let zeros = vec![0u8; chunk_size as usize];
+        for lc in both.iter().flatten() {
+            inner.protected_write(lc.base, &zeros)?;
+            inner.protected_write(inner.layout.cm_entry_off(lc.zone, lc.chunk), &log_cm)?;
+        }
+    } else {
+        for lc in both.iter().flatten() {
+            let cm_off = inner.layout.cm_entry_off(lc.zone, lc.chunk);
+            inner.io.write(cm_off, &log_cm).map_err(PglError::from)?;
+            inner.io.persist(cm_off, 16).map_err(PglError::from)?;
+        }
+    }
+    lane.add_segment(primary.base, replica.map_or(0, |r| r.base), chunk_size)
+        .map_err(PglError::from)?;
+    log_chunks.push((primary, replica));
+    Ok(())
+}
+
+fn release_log_chunks(
+    inner: &Inner,
+    log_chunks: &mut Vec<(LogChunk, Option<LogChunk>)>,
+) -> Result<()> {
+    let free_cm = ChunkMeta::new(ChunkType::Free, 0, 0).to_bytes();
+    let chunk_size = inner.layout.cfg.chunk_size;
+    for (p, r) in log_chunks.drain(..) {
+        for lc in [Some(p), r].into_iter().flatten() {
+            if inner.mode.has_parity() {
+                // Zero the excluded chunk (parity-neutral plain stores),
+                // then re-include it as Free: parity already carries zeros
+                // for it, so the transition is consistent.
+                inner.io.set(lc.base, 0, chunk_size).map_err(PglError::from)?;
+                inner.io.persist(lc.base, chunk_size).map_err(PglError::from)?;
+                inner.protected_write(
+                    inner.layout.cm_entry_off(lc.zone, lc.chunk),
+                    &free_cm,
+                )?;
+            } else {
+                let cm_off = inner.layout.cm_entry_off(lc.zone, lc.chunk);
+                inner.io.write(cm_off, &free_cm).map_err(PglError::from)?;
+                inner.io.persist(cm_off, 16).map_err(PglError::from)?;
+            }
+            inner.heap.release_log_chunk(lc.zone, lc.chunk);
+        }
+    }
+    Ok(())
+}
+
+impl<'p> PglTx<'p> {
+    pub(crate) fn new(inner: &'p Inner, lane: LaneHandle<'p>) -> Self {
+        PglTx {
+            inner,
+            lane,
+            ubufs: HashMap::new(),
+            sparse: HashMap::new(),
+            order: Vec::new(),
+            allocs: Vec::new(),
+            frees: Vec::new(),
+            stats: TxStats::default(),
+            log_chunks: Vec::new(),
+        }
+    }
+
+    fn check_oid(&self, oid: PMEMoid) -> Result<()> {
+        if oid.is_null() || oid.pool != self.inner.uuid {
+            return Err(ObjError::InvalidOid { off: oid.off }.into());
+        }
+        Ok(())
+    }
+
+    /// Ensures a micro-buffer exists for `oid` (the `pgl_tx_open`
+    /// operation): copies the object from NVMM, verifying its checksum
+    /// first and running online recovery if verification fails. Objects
+    /// above [`SPARSE_THRESHOLD`] get a sparse (block-granular) shadow
+    /// instead, skipping whole-object verification (see [`crate::sparse`]).
+    pub fn open(&mut self, oid: PMEMoid) -> Result<()> {
+        self.check_oid(oid)?;
+        if self.ubufs.contains_key(&oid.off) || self.sparse.contains_key(&oid.off) {
+            return Ok(());
+        }
+        let hdr = self.inner.obj_header_checked(oid)?;
+        if hdr.size > SPARSE_THRESHOLD {
+            self.sparse.insert(oid.off, SparseBuf::new(oid, hdr));
+        } else {
+            let ubuf = self.inner.load_ubuf(oid, true)?;
+            self.ubufs.insert(oid.off, ubuf);
+        }
+        self.order.push(oid.off);
+        Ok(())
+    }
+
+    /// Loads any missing shadow blocks covering `[off, off+len)` of a
+    /// sparse-shadowed object from NVMM (with online media recovery).
+    fn load_sparse_blocks(&mut self, oid: PMEMoid, off: u64, len: u64) -> Result<()> {
+        let missing = {
+            let sb = self.sparse.get(&oid.off).expect("sparse entry exists");
+            sb.missing_blocks(off, len)
+        };
+        if missing.is_empty() {
+            return Ok(());
+        }
+        let size = self.sparse.get(&oid.off).expect("exists").user_size();
+        let mut buf = [0u8; SPARSE_BLOCK as usize];
+        for b in missing {
+            let start = b * SPARSE_BLOCK;
+            let n = SPARSE_BLOCK.min(size - start) as usize;
+            buf[n..].fill(0);
+            self.inner.read_with_recovery(oid.off + start, &mut buf[..n])?;
+            self.sparse
+                .get_mut(&oid.off)
+                .expect("exists")
+                .install_block(b, &buf);
+        }
+        if self.inner.mode.has_checksums() {
+            // Sparse opens skip verification: the bytes read count as
+            // exposure in the Table 4 accounting.
+            self.inner.vuln.note_unverified(len);
+        }
+        Ok(())
+    }
+
+    /// Allocates a new `size`-byte object of `type_num`, returning its OID.
+    /// The object exists only as a micro-buffer until commit.
+    pub fn alloc(&mut self, size: u64, type_num: u32) -> Result<PMEMoid> {
+        let r = self.inner.heap.reserve_alloc(size, type_num)?;
+        let oid = PMEMoid::new(self.inner.uuid, r.oid_off);
+        let ubuf = UBuf::for_alloc(oid, size, type_num);
+        self.stats.allocated_bytes += size;
+        self.stats.alloc_objects += 1;
+        self.ubufs.insert(oid.off, ubuf);
+        self.order.push(oid.off);
+        self.allocs.push(r);
+        Ok(oid)
+    }
+
+    /// Frees an object. Freeing an object allocated in this transaction
+    /// cancels the reservation.
+    pub fn free(&mut self, oid: PMEMoid) -> Result<()> {
+        self.check_oid(oid)?;
+        if self.sparse.remove(&oid.off).is_some() {
+            self.order.retain(|&o| o != oid.off);
+        }
+        if let Some(b) = self.ubufs.get(&oid.off) {
+            if b.state() == UBufState::New {
+                self.ubufs.remove(&oid.off);
+                self.order.retain(|&o| o != oid.off);
+                let i = self
+                    .allocs
+                    .iter()
+                    .position(|a| a.oid_off == oid.off)
+                    .expect("new ubuf implies a reservation");
+                let r = self.allocs.swap_remove(i);
+                self.stats.allocated_bytes -= r.user_size;
+                self.stats.alloc_objects -= 1;
+                self.inner.heap.cancel_alloc(&r);
+                return Ok(());
+            }
+            // Freeing a modified object: the modifications are moot.
+            self.ubufs.remove(&oid.off);
+            self.order.retain(|&o| o != oid.off);
+        }
+        let size = self.inner.obj_header_checked(oid)?.size;
+        let f = self.inner.heap.reserve_free(&self.inner.io, oid.off)?;
+        self.stats.freed_bytes += size;
+        self.stats.freed_objects += 1;
+        self.frees.push(f);
+        Ok(())
+    }
+
+    /// Marks `[off, off+len)` as about-to-be-modified (`pgl_tx_add_range`):
+    /// opens the micro-buffer and records the range.
+    pub fn add_range(&mut self, oid: PMEMoid, off: u64, len: u64) -> Result<()> {
+        self.open(oid)?;
+        if self.sparse.contains_key(&oid.off) {
+            let size = self.sparse.get(&oid.off).expect("exists").user_size();
+            if off + len > size {
+                return Err(ObjError::InvalidOid { off: oid.off + off }.into());
+            }
+            return self.load_sparse_blocks(oid, off, len);
+        }
+        let b = self.ubufs.get_mut(&oid.off).expect("just opened");
+        if off + len > b.user_size() as u64 {
+            return Err(ObjError::InvalidOid { off: oid.off + off }.into());
+        }
+        b.mark_modified(off, len);
+        Ok(())
+    }
+
+    /// Writes `src` into the object at `off` (micro-buffered).
+    pub fn write(&mut self, oid: PMEMoid, off: u64, src: &[u8]) -> Result<()> {
+        self.add_range(oid, off, src.len() as u64)?;
+        if let Some(sb) = self.sparse.get_mut(&oid.off) {
+            sb.write(off, src);
+            return Ok(());
+        }
+        let b = self.ubufs.get_mut(&oid.off).expect("opened by add_range");
+        b.write(off, src);
+        Ok(())
+    }
+
+    /// Typed store into the object.
+    pub fn write_pod<T: Pod>(&mut self, oid: PMEMoid, off: u64, val: &T) -> Result<()> {
+        self.write(oid, off, bytes_of(val))
+    }
+
+    /// Reads object bytes. Inside a transaction this is `pgl_get`: it
+    /// returns micro-buffered content when present (isolation) and
+    /// otherwise reads NVMM directly without checksum verification (unless
+    /// the pool runs the Conservative policy).
+    pub fn read(&mut self, oid: PMEMoid, off: u64, dst: &mut [u8]) -> Result<()> {
+        self.check_oid(oid)?;
+        if let Some(b) = self.ubufs.get(&oid.off) {
+            let o = off as usize;
+            dst.copy_from_slice(&b.user()[o..o + dst.len()]);
+            return Ok(());
+        }
+        if let Some(sb) = self.sparse.get(&oid.off) {
+            // Serve covered ranges from the shadow (read-your-writes); the
+            // rest reads NVMM directly, like `pgl_get`.
+            if sb.covers(off, dst.len() as u64) {
+                sb.read(off, dst);
+                return Ok(());
+            }
+        }
+        self.inner.direct_read(oid, off, dst)
+    }
+
+    /// Typed read.
+    pub fn read_pod<T: Pod>(&mut self, oid: PMEMoid, off: u64) -> Result<T> {
+        let mut buf = vec![0u8; std::mem::size_of::<T>()];
+        self.read(oid, off, &mut buf)?;
+        Ok(pgl_nvm::pod::from_bytes(&buf))
+    }
+
+    /// Returns the object's user size.
+    pub fn obj_size(&mut self, oid: PMEMoid) -> Result<u64> {
+        self.check_oid(oid)?;
+        if let Some(b) = self.ubufs.get(&oid.off) {
+            return Ok(b.user_size() as u64);
+        }
+        if let Some(sb) = self.sparse.get(&oid.off) {
+            return Ok(sb.user_size());
+        }
+        Ok(self.inner.obj_header_checked(oid)?.size)
+    }
+
+    /// Direct mutable access to the object's micro-buffer (paper-style
+    /// usage: mutate freely, ranges must be marked via
+    /// [`PglTx::add_range`]).
+    pub fn ubuf_mut(&mut self, oid: PMEMoid) -> Result<&mut UBuf> {
+        self.open(oid)?;
+        Ok(self.ubufs.get_mut(&oid.off).expect("just opened"))
+    }
+
+    /// Instrumentation counters so far (modified counts finalize at
+    /// commit).
+    pub fn stats(&self) -> TxStats {
+        self.stats
+    }
+
+    fn has_effects(&self) -> bool {
+        !self.allocs.is_empty()
+            || !self.frees.is_empty()
+            || self.ubufs.values().any(|b| b.state() != UBufState::Clean)
+            || self.sparse.values().any(SparseBuf::is_modified)
+    }
+
+    pub(crate) fn commit(mut self) -> Result<TxStats> {
+        if !self.has_effects() {
+            return Ok(self.stats);
+        }
+        // Finalize modification stats (redo payload size).
+        for b in self.ubufs.values() {
+            if b.state() == UBufState::Modified {
+                self.stats.modified_bytes += b.modified().total_bytes();
+                self.stats.modified_objects += 1;
+            }
+        }
+        for sb in self.sparse.values() {
+            if sb.is_modified() {
+                self.stats.modified_bytes += sb.modified().total_bytes();
+                self.stats.modified_objects += 1;
+            }
+        }
+        self.inner.freeze.begin_commit();
+        let r = self.commit_inner();
+        self.inner.freeze.end_commit();
+        match r {
+            Ok(()) => Ok(self.stats),
+            Err(e) => {
+                // Nothing persistent happened before the first error point
+                // that allows aborting (canary/checksum stages); later
+                // failures surface as unrecoverable in commit_inner.
+                self.rollback_volatile()?;
+                Err(e)
+            }
+        }
+    }
+
+    fn commit_inner(&mut self) -> Result<()> {
+        let inner = self.inner;
+        let csums = inner.mode.has_checksums();
+        let parity = inner.mode.has_parity();
+
+        // (1) Canary checks: abort before touching NVMM (paper §3.2).
+        for b in self.ubufs.values() {
+            b.check_canaries()?;
+        }
+        for sb in self.sparse.values() {
+            sb.check_canaries()?;
+        }
+
+        // (2) Refresh checksums: full micro-buffers and sparse shadows both
+        // update incrementally from the modified ranges (paper §3.5).
+        if csums {
+            let sparse_offs: Vec<u64> = self
+                .sparse
+                .iter()
+                .filter(|(_, sb)| sb.is_modified())
+                .map(|(o, _)| *o)
+                .collect();
+            for off in sparse_offs {
+                let sb = self.sparse.get(&off).expect("exists");
+                let total = sb.user_size();
+                let mut c = sb.header().csum;
+                let ranges: Vec<(u64, u64)> = sb.modified().iter().collect();
+                let mut updates = Vec::with_capacity(ranges.len());
+                for (roff, rlen) in ranges {
+                    let mut old = vec![0u8; rlen as usize];
+                    self.inner.io.read(off + roff, &mut old).map_err(|e| {
+                        PglError::Unrecoverable(format!(
+                            "media error during commit (old-data read): {e}"
+                        ))
+                    })?;
+                    updates.push((roff, old));
+                }
+                let sb = self.sparse.get_mut(&off).expect("exists");
+                for (roff, old) in updates {
+                    let new = sb.range_bytes(roff, old.len() as u64);
+                    c = adler32_update(c, total, roff, &old, &new);
+                }
+                sb.set_csum(c);
+            }
+            for off in &self.order {
+                let Some(b) = self.ubufs.get_mut(off) else { continue };
+                match b.state() {
+                    UBufState::New => {
+                        let c = adler32(b.user());
+                        b.set_csum(c);
+                    }
+                    UBufState::Modified => {
+                        let total = b.user_size() as u64;
+                        let mut c = b.header().csum;
+                        let ranges: Vec<(u64, u64)> = b.modified().iter().collect();
+                        for (roff, rlen) in ranges {
+                            let mut old = vec![0u8; rlen as usize];
+                            inner
+                                .io
+                                .read(b.oid().off + roff, &mut old)
+                                .map_err(|e| PglError::Unrecoverable(format!(
+                                    "media error during commit (old-data read): {e}"
+                                )))?;
+                            let new = &b.user()[roff as usize..(roff + rlen) as usize];
+                            c = adler32_update(c, total, roff, &old, new);
+                        }
+                        b.set_csum(c);
+                    }
+                    UBufState::Clean => {}
+                }
+            }
+        }
+
+        // (3) Persist allocation intents (parity modes) so a pre-commit
+        // crash can re-level parity over torn construction writes.
+        let new_offs: Vec<u64> = self
+            .order
+            .iter()
+            .copied()
+            .filter(|o| self.ubufs.get(o).is_some_and(|b| b.state() == UBufState::New))
+            .collect();
+        if parity && !new_offs.is_empty() {
+            for off in &new_offs {
+                let r = self
+                    .allocs
+                    .iter()
+                    .find(|a| a.oid_off == *off)
+                    .expect("new ubuf implies reservation");
+                append_with_overflow(
+                    inner,
+                    &mut self.lane,
+                    &mut self.log_chunks,
+                    EntryKind::AllocIntent,
+                    r.start_off,
+                    &r.total_len.to_le_bytes(),
+                )?;
+            }
+            self.lane.persist_log()?;
+        }
+
+        // (4) Construction write-back: header + content of new objects,
+        // with parity maintenance. Not redo-logged (paper Figure 3's
+        // "allocation does not involve object logging").
+        for off in &new_offs {
+            let b = &self.ubufs[off];
+            inner.protected_write(b.header_off(), b.header_and_user())?;
+        }
+
+        // (5) Redo log: modified ranges + refreshed headers + allocator
+        // ops, sealed with the commit record.
+        let mut logged = false;
+        for off in &self.order {
+            if let Some(sb) = self.sparse.get(off) {
+                if !sb.is_modified() {
+                    continue;
+                }
+                for (roff, rlen) in sb.modified().iter() {
+                    let data = sb.range_bytes(roff, rlen);
+                    append_with_overflow(
+                        inner,
+                        &mut self.lane,
+                        &mut self.log_chunks,
+                        EntryKind::Data,
+                        sb.oid().off + roff,
+                        &data,
+                    )?;
+                }
+                let h = sb.header();
+                append_with_overflow(
+                    inner,
+                    &mut self.lane,
+                    &mut self.log_chunks,
+                    EntryKind::Data,
+                    sb.header_off(),
+                    bytes_of(&h),
+                )?;
+                logged = true;
+                continue;
+            }
+            let Some(b) = self.ubufs.get(off) else { continue };
+            if b.state() != UBufState::Modified {
+                continue;
+            }
+            for (roff, rlen) in b.modified().iter() {
+                let data = &b.user()[roff as usize..(roff + rlen) as usize];
+                append_with_overflow(
+                    inner,
+                    &mut self.lane,
+                    &mut self.log_chunks,
+                    EntryKind::Data,
+                    b.oid().off + roff,
+                    data,
+                )?;
+            }
+            // The header (with its refreshed checksum) is part of the
+            // atomic update (paper §3.2: data, checksum and parity must
+            // change together).
+            let hdr_bytes: [u8; 16] = {
+                let h = b.header();
+                let mut out = [0u8; 16];
+                out.copy_from_slice(bytes_of(&h));
+                out
+            };
+            append_with_overflow(
+                inner,
+                &mut self.lane,
+                &mut self.log_chunks,
+                EntryKind::Data,
+                b.header_off(),
+                &hdr_bytes,
+            )?;
+            logged = true;
+        }
+        let ops: Vec<MetaOp> = self
+            .allocs
+            .iter()
+            .flat_map(|a| a.ops.iter().cloned())
+            .chain(self.frees.iter().flat_map(|f| f.ops.iter().cloned()))
+            .collect();
+        for op in &ops {
+            let (kind, off, payload) = op.encode();
+            append_with_overflow(
+                inner,
+                &mut self.lane,
+                &mut self.log_chunks,
+                kind,
+                off,
+                &payload,
+            )?;
+            logged = true;
+        }
+        if logged || !new_offs.is_empty() {
+            append_with_overflow(
+                inner,
+                &mut self.lane,
+                &mut self.log_chunks,
+                EntryKind::Commit,
+                0,
+                &[],
+            )?;
+            self.lane.persist_log()?; // COMMIT POINT
+        }
+
+        // (6) Write back modified ranges and headers, updating parity.
+        // Failures past the commit point cannot abort; recovery would
+        // replay the redo log, so report them as unrecoverable here.
+        let fatal = |e: PglError| {
+            PglError::Unrecoverable(format!("failure after commit point: {e}"))
+        };
+        for off in &self.order {
+            if let Some(sb) = self.sparse.get(off) {
+                if !sb.is_modified() {
+                    continue;
+                }
+                for (roff, rlen) in sb.modified().iter() {
+                    let data = sb.range_bytes(roff, rlen);
+                    inner.protected_write(sb.oid().off + roff, &data).map_err(fatal)?;
+                }
+                let h = sb.header();
+                inner.protected_write(sb.header_off(), bytes_of(&h)).map_err(fatal)?;
+                continue;
+            }
+            let Some(b) = self.ubufs.get(off) else { continue };
+            if b.state() != UBufState::Modified {
+                continue;
+            }
+            for (roff, rlen) in b.modified().iter() {
+                let data = &b.user()[roff as usize..(roff + rlen) as usize];
+                inner.protected_write(b.oid().off + roff, data).map_err(fatal)?;
+            }
+            let h = b.header();
+            inner.protected_write(b.header_off(), bytes_of(&h)).map_err(fatal)?;
+        }
+
+        // (7) Publish allocator metadata (parity-aware), invalidate the
+        // log, and complete volatile state.
+        inner.apply_meta_ops(&ops).map_err(fatal)?;
+        self.lane.bump_gen().map_err(|e| fatal(e.into()))?;
+        release_log_chunks(inner, &mut self.log_chunks).map_err(fatal)?;
+        for a in &self.allocs {
+            inner.heap.complete_alloc(a);
+        }
+        for f in &self.frees {
+            inner.heap.complete_free(f);
+        }
+        Ok(())
+    }
+
+    fn rollback_volatile(&mut self) -> Result<()> {
+        for a in &self.allocs {
+            self.inner.heap.cancel_alloc(a);
+        }
+        self.allocs.clear();
+        self.frees.clear();
+        self.ubufs.clear();
+        self.sparse.clear();
+        self.lane.bump_gen().map_err(PglError::from)?;
+        release_log_chunks(self.inner, &mut self.log_chunks)?;
+        Ok(())
+    }
+
+    pub(crate) fn abort(mut self) -> Result<()> {
+        self.rollback_volatile()
+    }
+}

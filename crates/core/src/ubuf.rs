@@ -1,0 +1,265 @@
+//! Micro-buffers: DRAM shadow copies of NVMM objects (paper §3.2).
+//!
+//! Applications never store to NVMM directly. An object is copied into a
+//! `malloc`-style DRAM buffer, modified there, and written back atomically
+//! at commit. The buffer is framed by two 64-bit canary words; a destroyed
+//! canary at commit time means the application overran an object boundary,
+//! and the transaction aborts *before* the corruption can reach NVMM.
+//! Micro-buffers also record their modified ranges, which sizes the redo
+//! log and the parity update.
+
+use pgl_nvm::pod::{bytes_of, from_bytes, Pod};
+use pgl_pmemobj::util::RangeSet;
+use pgl_pmemobj::{ObjectHeader, PMEMoid, OBJ_HEADER_SIZE};
+
+use crate::checksum::adler32;
+use crate::error::{PglError, Result};
+
+const CANARY_SEED: u64 = 0x70_61_6E_67_6F_6C_69_6E; // "pangolin"
+const FRONT: usize = 8;
+
+/// Lifecycle state of a micro-buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UBufState {
+    /// Copied from NVMM, not yet modified.
+    Clean,
+    /// Copied from NVMM and modified; needs redo + write-back.
+    Modified,
+    /// Backs a fresh allocation; the NVMM object does not exist yet.
+    New,
+}
+
+/// A DRAM shadow copy of one NVMM object.
+///
+/// Layout of `frame`: `[front canary 8][header 16][user data][back canary 8]`.
+pub struct UBuf {
+    oid: PMEMoid,
+    frame: Box<[u8]>,
+    user_size: usize,
+    state: UBufState,
+    /// Modified ranges, relative to the user data.
+    modified: RangeSet,
+}
+
+impl UBuf {
+    fn canary_for(oid: PMEMoid) -> u64 {
+        CANARY_SEED ^ oid.off.rotate_left(17)
+    }
+
+    fn framed(oid: PMEMoid, header: ObjectHeader, user: &[u8]) -> UBuf {
+        let user_size = user.len();
+        let mut frame = vec![0u8; FRONT + 16 + user_size + 8].into_boxed_slice();
+        let canary = Self::canary_for(oid).to_le_bytes();
+        frame[..FRONT].copy_from_slice(&canary);
+        frame[FRONT..FRONT + 16].copy_from_slice(bytes_of(&header));
+        frame[FRONT + 16..FRONT + 16 + user_size].copy_from_slice(user);
+        frame[FRONT + 16 + user_size..].copy_from_slice(&canary);
+        UBuf { oid, frame, user_size, state: UBufState::Clean, modified: RangeSet::new() }
+    }
+
+    /// Builds a micro-buffer from the object's current NVMM content.
+    pub fn from_nvmm(oid: PMEMoid, header: ObjectHeader, user: &[u8]) -> UBuf {
+        Self::framed(oid, header, user)
+    }
+
+    /// Builds a zero-filled micro-buffer for a fresh allocation; the whole
+    /// object counts as modified.
+    pub fn for_alloc(oid: PMEMoid, size: u64, type_num: u32) -> UBuf {
+        let header = ObjectHeader { size, type_num, csum: 0 };
+        let mut b = Self::framed(oid, header, &vec![0u8; size as usize]);
+        b.state = UBufState::New;
+        b.modified.insert(0, size);
+        b
+    }
+
+    /// The object this buffer shadows.
+    pub fn oid(&self) -> PMEMoid {
+        self.oid
+    }
+
+    /// Current state.
+    pub fn state(&self) -> UBufState {
+        self.state
+    }
+
+    /// The shadowed header (with whatever checksum was loaded/computed).
+    pub fn header(&self) -> ObjectHeader {
+        from_bytes(&self.frame[FRONT..FRONT + 16])
+    }
+
+    /// User data size in bytes.
+    pub fn user_size(&self) -> usize {
+        self.user_size
+    }
+
+    /// Read-only view of the user data.
+    pub fn user(&self) -> &[u8] {
+        &self.frame[FRONT + 16..FRONT + 16 + self.user_size]
+    }
+
+    /// Mutable view of the user data *without* range tracking; callers must
+    /// mark ranges with [`UBuf::mark_modified`] (the `pgl_tx_add_range`
+    /// pattern). Misuse is caught at commit: unmarked changes simply do not
+    /// persist, exactly like forgetting `add_range` in `libpmemobj`.
+    pub fn user_mut(&mut self) -> &mut [u8] {
+        &mut self.frame[FRONT + 16..FRONT + 16 + self.user_size]
+    }
+
+    /// Marks `[off, off+len)` of the user data as modified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the object.
+    pub fn mark_modified(&mut self, off: u64, len: u64) {
+        assert!(
+            off + len <= self.user_size as u64,
+            "range [{off}, +{len}) exceeds object size {}",
+            self.user_size
+        );
+        if len == 0 {
+            return;
+        }
+        self.modified.insert(off, len);
+        if self.state == UBufState::Clean {
+            self.state = UBufState::Modified;
+        }
+    }
+
+    /// Copies `src` into the user data at `off` and marks the range.
+    pub fn write(&mut self, off: u64, src: &[u8]) {
+        let o = off as usize;
+        self.user_mut()[o..o + src.len()].copy_from_slice(src);
+        self.mark_modified(off, src.len() as u64);
+    }
+
+    /// Typed store into the user data.
+    pub fn write_pod<T: Pod>(&mut self, off: u64, val: &T) {
+        self.write(off, bytes_of(val));
+    }
+
+    /// Typed load from the user data.
+    pub fn read_pod<T: Pod>(&self, off: u64) -> T {
+        from_bytes(&self.user()[off as usize..])
+    }
+
+    /// The modified ranges (user-data relative).
+    pub fn modified(&self) -> &RangeSet {
+        &self.modified
+    }
+
+    /// Verifies both canary words, failing with
+    /// [`PglError::CanaryMismatch`] if the application overran the buffer.
+    pub fn check_canaries(&self) -> Result<()> {
+        let canary = Self::canary_for(self.oid).to_le_bytes();
+        let front_ok = self.frame[..FRONT] == canary;
+        let back = &self.frame[FRONT + 16 + self.user_size..];
+        let back_ok = back == canary;
+        if front_ok && back_ok {
+            Ok(())
+        } else {
+            Err(PglError::CanaryMismatch { off: self.oid.off })
+        }
+    }
+
+    /// Verifies the user data against the header checksum.
+    pub fn verify_checksum(&self) -> bool {
+        self.header().csum == adler32(self.user())
+    }
+
+    /// Stores `csum` into the shadowed header.
+    pub fn set_csum(&mut self, csum: u32) {
+        let mut h = self.header();
+        h.csum = csum;
+        self.frame[FRONT..FRONT + 16].copy_from_slice(bytes_of(&h));
+    }
+
+    /// Returns the raw header+user bytes (what gets written back for `New`
+    /// objects, starting at the NVMM header offset).
+    pub fn header_and_user(&self) -> &[u8] {
+        &self.frame[FRONT..FRONT + 16 + self.user_size]
+    }
+
+    /// NVMM offset of the object header.
+    pub fn header_off(&self) -> u64 {
+        self.oid.off - OBJ_HEADER_SIZE
+    }
+
+    /// Deliberately corrupts a canary (test/fault-injection helper
+    /// simulating a buffer overrun).
+    pub fn smash_back_canary(&mut self) {
+        let n = self.frame.len();
+        self.frame[n - 1] ^= 0xFF;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid() -> PMEMoid {
+        PMEMoid::new(1, 4096)
+    }
+
+    #[test]
+    fn from_nvmm_preserves_content() {
+        let hdr = ObjectHeader { size: 32, type_num: 5, csum: 77 };
+        let data: Vec<u8> = (0..32).collect();
+        let b = UBuf::from_nvmm(oid(), hdr, &data);
+        assert_eq!(b.user(), &data[..]);
+        assert_eq!(b.header().type_num, 5);
+        assert_eq!(b.state(), UBufState::Clean);
+        assert!(b.modified().is_empty());
+        b.check_canaries().unwrap();
+    }
+
+    #[test]
+    fn writes_track_ranges_and_state() {
+        let b = UBuf::for_alloc(oid(), 64, 1);
+        assert_eq!(b.state(), UBufState::New);
+        assert_eq!(b.modified().total_bytes(), 64, "new objects fully modified");
+
+        let hdr = ObjectHeader { size: 64, type_num: 1, csum: 0 };
+        let mut b = UBuf::from_nvmm(oid(), hdr, &[0u8; 64]);
+        b.write(8, &[1, 2, 3]);
+        b.write_pod(32, &0xABCDu64);
+        assert_eq!(b.state(), UBufState::Modified);
+        assert_eq!(b.modified().total_bytes(), 3 + 8);
+        assert_eq!(b.read_pod::<u64>(32), 0xABCD);
+    }
+
+    #[test]
+    fn canary_detects_overrun() {
+        let mut b = UBuf::for_alloc(oid(), 16, 1);
+        b.check_canaries().unwrap();
+        b.smash_back_canary();
+        assert!(matches!(b.check_canaries(), Err(PglError::CanaryMismatch { .. })));
+    }
+
+    #[test]
+    fn checksum_roundtrip() {
+        let data = [9u8; 48];
+        let hdr = ObjectHeader { size: 48, type_num: 2, csum: adler32(&data) };
+        let b = UBuf::from_nvmm(oid(), hdr, &data);
+        assert!(b.verify_checksum());
+
+        let hdr_bad = ObjectHeader { csum: 123, ..hdr };
+        let b = UBuf::from_nvmm(oid(), hdr_bad, &data);
+        assert!(!b.verify_checksum());
+    }
+
+    #[test]
+    fn set_csum_updates_header_only() {
+        let mut b = UBuf::for_alloc(oid(), 8, 3);
+        b.set_csum(0xDEAD);
+        assert_eq!(b.header().csum, 0xDEAD);
+        assert_eq!(b.header().size, 8);
+        b.check_canaries().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds object")]
+    fn out_of_bounds_mark_panics() {
+        let mut b = UBuf::for_alloc(oid(), 8, 1);
+        b.mark_modified(4, 8);
+    }
+}

@@ -1,0 +1,488 @@
+//! B-tree of order 8 (PMDK's `btree_map`): 304-byte nodes with up to 7
+//! items and 8 children (Table 3's btree row).
+//!
+//! Insertion splits full nodes pre-emptively on the way down; removal uses
+//! the classic rebalance-before-descend algorithm (borrow from a sibling or
+//! merge), so every visited node has at least `t` items before descending.
+
+use pgl_nvm::impl_pod;
+use pgl_nvm::pod::{bytes_of, from_bytes};
+use pgl_pmemobj::{PMEMoid, OID_NULL};
+
+use crate::maps::PersistentMap;
+use crate::store::{KvError, KvResult, Store, TxOps};
+
+const TYPE_ANCHOR: u32 = 120;
+const TYPE_NODE: u32 = 121;
+
+/// Minimum degree `t`: nodes hold `t-1..=2t-1` items.
+const T: usize = 4;
+const MAX_ITEMS: usize = 2 * T - 1; // 7
+const MIN_ITEMS: usize = T - 1; // 3
+
+/// Anchor: `{count, root}`.
+const ANCHOR_SIZE: u64 = 24;
+const ROOT_OFF: u64 = 8;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(C)]
+struct Item {
+    key: u64,
+    value: u64,
+    pad: u64,
+}
+impl_pod!(Item, 24);
+
+/// The 304-byte node, read and written whole (PMDK snapshots node-sized
+/// ranges similarly, which is what makes Table 3's "Mod" column node-scale).
+#[derive(Clone, Copy)]
+#[repr(C)]
+struct BNode {
+    n: u64,
+    items: [Item; MAX_ITEMS],
+    children: [PMEMoid; 2 * T],
+}
+impl_pod!(BNode, 304);
+
+const NODE_SIZE: u64 = 304;
+
+impl BNode {
+    fn empty() -> BNode {
+        BNode { n: 0, items: [Item::default(); MAX_ITEMS], children: [OID_NULL; 2 * T] }
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.children[0].is_null()
+    }
+
+    /// First index with `key <= items[i].key`.
+    fn lower_bound(&self, key: u64) -> usize {
+        let n = self.n as usize;
+        (0..n).find(|&i| key <= self.items[i].key).unwrap_or(n)
+    }
+
+    fn insert_item_at(&mut self, i: usize, item: Item) {
+        let n = self.n as usize;
+        self.items.copy_within(i..n, i + 1);
+        self.items[i] = item;
+        self.n += 1;
+    }
+
+    fn remove_item_at(&mut self, i: usize) -> Item {
+        let n = self.n as usize;
+        let it = self.items[i];
+        self.items.copy_within(i + 1..n, i);
+        self.n -= 1;
+        it
+    }
+
+    fn insert_child_at(&mut self, i: usize, c: PMEMoid) {
+        let n = self.n as usize; // called after the item insert
+        self.children.copy_within(i..n, i + 1);
+        self.children[i] = c;
+    }
+
+    /// Removes `children[i]`; must run before the paired item removal so
+    /// `n` still reflects the old item count (children are `0..=n`).
+    fn remove_child_at(&mut self, i: usize) -> PMEMoid {
+        let c = self.children[i];
+        let n = self.n as usize;
+        self.children.copy_within(i + 1..=n, i);
+        c
+    }
+}
+
+fn read_node(tx: &mut dyn TxOps, oid: PMEMoid) -> KvResult<BNode> {
+    let mut buf = [0u8; NODE_SIZE as usize];
+    tx.read_bytes(oid, 0, &mut buf)?;
+    Ok(from_bytes(&buf))
+}
+
+fn write_node(tx: &mut dyn TxOps, oid: PMEMoid, node: &BNode) -> KvResult<()> {
+    tx.write_bytes(oid, 0, bytes_of(node))
+}
+
+/// The order-8 B-tree map.
+pub struct BTree {
+    anchor: PMEMoid,
+}
+
+impl BTree {
+    fn bump_count(tx: &mut dyn TxOps, anchor: PMEMoid, delta: i64) -> KvResult<()> {
+        let mut buf = [0u8; 8];
+        tx.read_bytes(anchor, 0, &mut buf)?;
+        let n = u64::from_le_bytes(buf)
+            .checked_add_signed(delta)
+            .ok_or(KvError::Corrupt("btree count"))?;
+        tx.write_bytes(anchor, 0, &n.to_le_bytes())
+    }
+
+    /// Splits the full child `parent.children[i]`, promoting its median.
+    fn split_child(
+        tx: &mut dyn TxOps,
+        parent_oid: PMEMoid,
+        parent: &mut BNode,
+        i: usize,
+    ) -> KvResult<()> {
+        let child_oid = parent.children[i];
+        let mut child = read_node(tx, child_oid)?;
+        debug_assert_eq!(child.n as usize, MAX_ITEMS);
+        let right_oid = tx.alloc_zeroed(NODE_SIZE, TYPE_NODE)?;
+        let mut right = BNode::empty();
+        right.n = (T - 1) as u64;
+        right.items[..T - 1].copy_from_slice(&child.items[T..]);
+        if !child.is_leaf() {
+            right.children[..T].copy_from_slice(&child.children[T..]);
+        }
+        let median = child.items[T - 1];
+        child.n = (T - 1) as u64;
+
+        parent.insert_item_at(i, median);
+        parent.insert_child_at(i + 1, right_oid);
+
+        write_node(tx, child_oid, &child)?;
+        write_node(tx, right_oid, &right)?;
+        write_node(tx, parent_oid, parent)
+    }
+
+    /// Ensures `parent.children[i]` has at least `T` items before a
+    /// descending delete, borrowing from a sibling or merging. Returns the
+    /// child to descend into (it changes when merging leftward).
+    fn fix_child(
+        tx: &mut dyn TxOps,
+        parent_oid: PMEMoid,
+        parent: &mut BNode,
+        i: usize,
+    ) -> KvResult<PMEMoid> {
+        let child_oid = parent.children[i];
+        let mut child = read_node(tx, child_oid)?;
+        if child.n as usize > MIN_ITEMS {
+            return Ok(child_oid);
+        }
+        // Borrow from the left sibling.
+        if i > 0 {
+            let left_oid = parent.children[i - 1];
+            let mut left = read_node(tx, left_oid)?;
+            if left.n as usize > MIN_ITEMS {
+                let moved = left.items[left.n as usize - 1];
+                child.insert_item_at(0, parent.items[i - 1]);
+                if !child.is_leaf() {
+                    let c = left.children[left.n as usize];
+                    child.children.copy_within(0..child.n as usize, 1);
+                    child.children[0] = c;
+                }
+                left.n -= 1;
+                parent.items[i - 1] = moved;
+                write_node(tx, left_oid, &left)?;
+                write_node(tx, child_oid, &child)?;
+                write_node(tx, parent_oid, parent)?;
+                return Ok(child_oid);
+            }
+        }
+        // Borrow from the right sibling.
+        if i < parent.n as usize {
+            let right_oid = parent.children[i + 1];
+            let mut right = read_node(tx, right_oid)?;
+            if right.n as usize > MIN_ITEMS {
+                let n = child.n as usize;
+                child.items[n] = parent.items[i];
+                if !child.is_leaf() {
+                    child.children[n + 1] = right.children[0];
+                    right.children.copy_within(1..=right.n as usize, 0);
+                }
+                child.n += 1;
+                parent.items[i] = right.remove_item_at(0);
+                write_node(tx, right_oid, &right)?;
+                write_node(tx, child_oid, &child)?;
+                write_node(tx, parent_oid, parent)?;
+                return Ok(child_oid);
+            }
+        }
+        // Merge with a sibling.
+        if i > 0 {
+            Self::merge_children(tx, parent_oid, parent, i - 1)?;
+            Ok(parent.children[i - 1])
+        } else {
+            Self::merge_children(tx, parent_oid, parent, i)?;
+            Ok(parent.children[i])
+        }
+    }
+
+    /// Merges `children[i]`, `items[i]`, and `children[i+1]` into
+    /// `children[i]`, freeing the right node.
+    fn merge_children(
+        tx: &mut dyn TxOps,
+        parent_oid: PMEMoid,
+        parent: &mut BNode,
+        i: usize,
+    ) -> KvResult<()> {
+        let left_oid = parent.children[i];
+        let right_oid = parent.children[i + 1];
+        let mut left = read_node(tx, left_oid)?;
+        let right = read_node(tx, right_oid)?;
+        let ln = left.n as usize;
+        let rn = right.n as usize;
+        debug_assert!(ln + rn + 1 <= MAX_ITEMS);
+        left.items[ln] = parent.items[i];
+        left.items[ln + 1..ln + 1 + rn].copy_from_slice(&right.items[..rn]);
+        if !left.is_leaf() {
+            left.children[ln + 1..ln + 2 + rn].copy_from_slice(&right.children[..=rn]);
+        }
+        left.n = (ln + 1 + rn) as u64;
+
+        parent.remove_child_at(i + 1);
+        parent.remove_item_at(i);
+
+        write_node(tx, left_oid, &left)?;
+        write_node(tx, parent_oid, parent)?;
+        tx.free(right_oid)
+    }
+
+    fn find_max(tx: &mut dyn TxOps, mut oid: PMEMoid) -> KvResult<Item> {
+        loop {
+            let node = read_node(tx, oid)?;
+            if node.is_leaf() {
+                return Ok(node.items[node.n as usize - 1]);
+            }
+            oid = node.children[node.n as usize];
+        }
+    }
+
+    fn find_min(tx: &mut dyn TxOps, mut oid: PMEMoid) -> KvResult<Item> {
+        loop {
+            let node = read_node(tx, oid)?;
+            if node.is_leaf() {
+                return Ok(node.items[0]);
+            }
+            oid = node.children[0];
+        }
+    }
+
+    /// Recursive delete; every entered node has at least `T` items (except
+    /// the root).
+    fn delete_from(
+        tx: &mut dyn TxOps,
+        node_oid: PMEMoid,
+        key: u64,
+    ) -> KvResult<Option<u64>> {
+        let mut node = read_node(tx, node_oid)?;
+        let i = node.lower_bound(key);
+        let found = i < node.n as usize && node.items[i].key == key;
+        if found {
+            let old = node.items[i].value;
+            if node.is_leaf() {
+                node.remove_item_at(i);
+                write_node(tx, node_oid, &node)?;
+                return Ok(Some(old));
+            }
+            let left_oid = node.children[i];
+            let right_oid = node.children[i + 1];
+            let left_n = read_node(tx, left_oid)?.n as usize;
+            if left_n > MIN_ITEMS {
+                let pred = Self::find_max(tx, left_oid)?;
+                node.items[i] = pred;
+                write_node(tx, node_oid, &node)?;
+                Self::delete_from(tx, left_oid, pred.key)?;
+                return Ok(Some(old));
+            }
+            let right_n = read_node(tx, right_oid)?.n as usize;
+            if right_n > MIN_ITEMS {
+                let succ = Self::find_min(tx, right_oid)?;
+                node.items[i] = succ;
+                write_node(tx, node_oid, &node)?;
+                Self::delete_from(tx, right_oid, succ.key)?;
+                return Ok(Some(old));
+            }
+            Self::merge_children(tx, node_oid, &mut node, i)?;
+            Self::delete_from(tx, node.children[i], key)?;
+            return Ok(Some(old));
+        }
+        if node.is_leaf() {
+            return Ok(None);
+        }
+        let target = Self::fix_child(tx, node_oid, &mut node, i)?;
+        Self::delete_from(tx, target, key)
+    }
+}
+
+impl PersistentMap for BTree {
+    const NAME: &'static str = "btree";
+
+    fn create<S: Store>(store: &S) -> KvResult<Self> {
+        let anchor = store.txn(&mut |tx| tx.alloc_zeroed(ANCHOR_SIZE, TYPE_ANCHOR))?;
+        Ok(BTree { anchor })
+    }
+
+    fn from_anchor(anchor: PMEMoid) -> Self {
+        BTree { anchor }
+    }
+
+    fn anchor(&self) -> PMEMoid {
+        self.anchor
+    }
+
+    fn insert<S: Store>(&self, store: &S, key: u64, value: u64) -> KvResult<Option<u64>> {
+        let anchor = self.anchor;
+        store.txn(&mut |tx| {
+            let mut root: PMEMoid = tx.read_pod(anchor, ROOT_OFF)?;
+            if root.is_null() {
+                let oid = tx.alloc_zeroed(NODE_SIZE, TYPE_NODE)?;
+                let mut node = BNode::empty();
+                node.n = 1;
+                node.items[0] = Item { key, value, pad: 0 };
+                write_node(tx, oid, &node)?;
+                tx.write_pod(anchor, ROOT_OFF, &oid)?;
+                Self::bump_count(tx, anchor, 1)?;
+                return Ok(None);
+            }
+            // Pre-emptive root split.
+            if read_node(tx, root)?.n as usize == MAX_ITEMS {
+                let new_root = tx.alloc_zeroed(NODE_SIZE, TYPE_NODE)?;
+                let mut nr = BNode::empty();
+                nr.children[0] = root;
+                Self::split_child(tx, new_root, &mut nr, 0)?;
+                tx.write_pod(anchor, ROOT_OFF, &new_root)?;
+                root = new_root;
+            }
+            let mut cur = root;
+            loop {
+                let mut node = read_node(tx, cur)?;
+                let i = node.lower_bound(key);
+                if i < node.n as usize && node.items[i].key == key {
+                    let old = node.items[i].value;
+                    node.items[i].value = value;
+                    write_node(tx, cur, &node)?;
+                    return Ok(Some(old));
+                }
+                if node.is_leaf() {
+                    node.insert_item_at(i, Item { key, value, pad: 0 });
+                    write_node(tx, cur, &node)?;
+                    Self::bump_count(tx, anchor, 1)?;
+                    return Ok(None);
+                }
+                let child = node.children[i];
+                if read_node(tx, child)?.n as usize == MAX_ITEMS {
+                    Self::split_child(tx, cur, &mut node, i)?;
+                    // The promoted median may be the key, or shift the path.
+                    if node.items[i].key == key {
+                        let old = node.items[i].value;
+                        node.items[i].value = value;
+                        write_node(tx, cur, &node)?;
+                        return Ok(Some(old));
+                    }
+                    cur = if key > node.items[i].key {
+                        node.children[i + 1]
+                    } else {
+                        node.children[i]
+                    };
+                } else {
+                    cur = child;
+                }
+            }
+        })
+    }
+
+    fn remove<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>> {
+        let anchor = self.anchor;
+        store.txn(&mut |tx| {
+            let root: PMEMoid = tx.read_pod(anchor, ROOT_OFF)?;
+            if root.is_null() {
+                return Ok(None);
+            }
+            let removed = Self::delete_from(tx, root, key)?;
+            if removed.is_some() {
+                Self::bump_count(tx, anchor, -1)?;
+            }
+            // Shrink the root if it emptied out. This can happen even on an
+            // unsuccessful remove: the rebalance-before-descend pass may
+            // merge the root's last two children.
+            let r = read_node(tx, root)?;
+            if r.n == 0 {
+                let new_root = if r.is_leaf() { OID_NULL } else { r.children[0] };
+                tx.write_pod(anchor, ROOT_OFF, &new_root)?;
+                tx.free(root)?;
+            }
+            Ok(removed)
+        })
+    }
+
+    fn get<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>> {
+        let mut cur: PMEMoid = store.read_pod_direct(self.anchor, ROOT_OFF)?;
+        while !cur.is_null() {
+            let node: BNode = store.read_pod_direct(cur, 0)?;
+            let i = node.lower_bound(key);
+            if i < node.n as usize && node.items[i].key == key {
+                return Ok(Some(node.items[i].value));
+            }
+            if node.is_leaf() {
+                return Ok(None);
+            }
+            cur = node.children[i];
+        }
+        Ok(None)
+    }
+}
+
+/// Test helper: walks the tree verifying order, item-count bounds and
+/// uniform leaf depth. Returns the number of keys.
+pub fn check_invariants<S: Store>(map: &BTree, store: &S) -> KvResult<u64> {
+    fn walk<S: Store>(
+        store: &S,
+        oid: PMEMoid,
+        lo: Option<u64>,
+        hi: Option<u64>,
+        is_root: bool,
+        depth: usize,
+        leaf_depth: &mut Option<usize>,
+    ) -> KvResult<u64> {
+        let node: BNode = store.read_pod_direct(oid, 0)?;
+        let n = node.n as usize;
+        if n > MAX_ITEMS || (!is_root && n < MIN_ITEMS) || (is_root && n == 0) {
+            return Err(KvError::Corrupt("btree: item count out of bounds"));
+        }
+        for w in node.items[..n].windows(2) {
+            if w[0].key >= w[1].key {
+                return Err(KvError::Corrupt("btree: unsorted items"));
+            }
+        }
+        if let Some(lo) = lo {
+            if node.items[0].key <= lo {
+                return Err(KvError::Corrupt("btree: order violation (lo)"));
+            }
+        }
+        if let Some(hi) = hi {
+            if node.items[n - 1].key >= hi {
+                return Err(KvError::Corrupt("btree: order violation (hi)"));
+            }
+        }
+        if node.is_leaf() {
+            match leaf_depth {
+                Some(d) if *d != depth => {
+                    return Err(KvError::Corrupt("btree: uneven leaf depth"))
+                }
+                None => *leaf_depth = Some(depth),
+                _ => {}
+            }
+            return Ok(n as u64);
+        }
+        let mut total = n as u64;
+        for i in 0..=n {
+            let lo = if i == 0 { lo } else { Some(node.items[i - 1].key) };
+            let hi = if i == n { hi } else { Some(node.items[i].key) };
+            total +=
+                walk(store, node.children[i], lo, hi, false, depth + 1, leaf_depth)?;
+        }
+        Ok(total)
+    }
+    let root: PMEMoid = store.read_pod_direct(map.anchor(), ROOT_OFF)?;
+    let mut leaf_depth = None;
+    let n = if root.is_null() {
+        0
+    } else {
+        walk(store, root, None, None, true, 0, &mut leaf_depth)?
+    };
+    if n != map.len(store)? {
+        return Err(KvError::Corrupt("btree: count mismatch"));
+    }
+    Ok(n)
+}

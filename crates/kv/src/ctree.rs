@@ -1,0 +1,234 @@
+//! Crit-bit tree (PMDK's `ctree_map`): a binary radix tree keyed by the
+//! most significant differing bit.
+//!
+//! Layout matches the paper's Table 3: one 56-byte internal node per stored
+//! key (leaves are embedded entries), so "Insert New" is exactly 56 (1.00).
+
+use pgl_nvm::impl_pod;
+use pgl_pmemobj::PMEMoid;
+
+use crate::maps::PersistentMap;
+use crate::store::{slot_value, value_slot, KvError, KvResult, Store, TxOps};
+
+const TYPE_ANCHOR: u32 = 100;
+const TYPE_NODE: u32 = 101;
+
+/// `{key, slot}` — a leaf (tagged value slot) or a child pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(C)]
+struct Entry {
+    key: u64,
+    slot: PMEMoid,
+}
+impl_pod!(Entry, 24);
+
+/// Anchor: `{count, root entry}`.
+const ANCHOR_SIZE: u64 = 32;
+const ROOT_OFF: u64 = 8;
+
+/// Node: `{diff, pad, entries[2]}` = 56 bytes.
+const NODE_SIZE: u64 = 56;
+const DIFF_OFF: u64 = 0;
+fn entry_off(i: u64) -> u64 {
+    8 + i * 24
+}
+
+/// Where an entry lives: inside the anchor or inside a node.
+#[derive(Debug, Clone, Copy)]
+struct EntryLoc {
+    obj: PMEMoid,
+    off: u64,
+}
+
+/// The crit-bit tree map.
+pub struct CTree {
+    anchor: PMEMoid,
+}
+
+impl CTree {
+    fn is_leaf(e: &Entry) -> bool {
+        slot_value(e.slot).is_some()
+    }
+
+    /// Position of the most significant differing bit.
+    fn crit_bit(a: u64, b: u64) -> u32 {
+        63 - (a ^ b).leading_zeros()
+    }
+
+    fn read_entry(tx: &mut dyn TxOps, loc: EntryLoc) -> KvResult<Entry> {
+        let mut buf = [0u8; 24];
+        tx.read_bytes(loc.obj, loc.off, &mut buf)?;
+        Ok(pgl_nvm::pod::from_bytes(&buf))
+    }
+
+    fn write_entry(tx: &mut dyn TxOps, loc: EntryLoc, e: &Entry) -> KvResult<()> {
+        tx.write_bytes(loc.obj, loc.off, pgl_nvm::pod::bytes_of(e))
+    }
+
+    fn bump_count(tx: &mut dyn TxOps, anchor: PMEMoid, delta: i64) -> KvResult<()> {
+        let mut buf = [0u8; 8];
+        tx.read_bytes(anchor, 0, &mut buf)?;
+        let count = u64::from_le_bytes(buf);
+        let new = count.checked_add_signed(delta).ok_or(KvError::Corrupt("ctree count"))?;
+        tx.write_bytes(anchor, 0, &new.to_le_bytes())
+    }
+}
+
+impl PersistentMap for CTree {
+    const NAME: &'static str = "ctree";
+
+    fn create<S: Store>(store: &S) -> KvResult<Self> {
+        let anchor = store.txn(&mut |tx| tx.alloc_zeroed(ANCHOR_SIZE, TYPE_ANCHOR))?;
+        Ok(CTree { anchor })
+    }
+
+    fn from_anchor(anchor: PMEMoid) -> Self {
+        CTree { anchor }
+    }
+
+    fn anchor(&self) -> PMEMoid {
+        self.anchor
+    }
+
+    fn insert<S: Store>(&self, store: &S, key: u64, value: u64) -> KvResult<Option<u64>> {
+        let anchor = self.anchor;
+        store.txn(&mut |tx| {
+            let root_loc = EntryLoc { obj: anchor, off: ROOT_OFF };
+            let root = Self::read_entry(tx, root_loc)?;
+            if root.slot.is_null() {
+                Self::write_entry(tx, root_loc, &Entry { key, slot: value_slot(value) })?;
+                Self::bump_count(tx, anchor, 1)?;
+                return Ok(None);
+            }
+            // Walk to the closest leaf.
+            let mut loc = root_loc;
+            let mut e = root;
+            while !Self::is_leaf(&e) {
+                let node = e.slot;
+                let diff: u32 = tx.read_pod(node, DIFF_OFF)?;
+                let bit = (key >> diff) & 1;
+                loc = EntryLoc { obj: node, off: entry_off(bit) };
+                e = Self::read_entry(tx, loc)?;
+            }
+            if e.key == key {
+                let old = slot_value(e.slot).expect("leaf");
+                Self::write_entry(tx, loc, &Entry { key, slot: value_slot(value) })?;
+                return Ok(Some(old));
+            }
+            // New critical bit; find the insertion point (diffs decrease
+            // downward, so stop above the first node with a smaller diff).
+            let diff = Self::crit_bit(e.key, key);
+            let mut loc = root_loc;
+            let mut at = Self::read_entry(tx, loc)?;
+            while !Self::is_leaf(&at) {
+                let node = at.slot;
+                let ndiff: u32 = tx.read_pod(node, DIFF_OFF)?;
+                if ndiff < diff {
+                    break;
+                }
+                let bit = (key >> ndiff) & 1;
+                loc = EntryLoc { obj: node, off: entry_off(bit) };
+                at = Self::read_entry(tx, loc)?;
+            }
+            let node = tx.alloc_zeroed(NODE_SIZE, TYPE_NODE)?;
+            let bit = (key >> diff) & 1;
+            tx.write_pod(node, DIFF_OFF, &diff)?;
+            Self::write_entry(
+                tx,
+                EntryLoc { obj: node, off: entry_off(bit) },
+                &Entry { key, slot: value_slot(value) },
+            )?;
+            Self::write_entry(tx, EntryLoc { obj: node, off: entry_off(1 - bit) }, &at)?;
+            Self::write_entry(tx, loc, &Entry { key: 0, slot: node })?;
+            Self::bump_count(tx, anchor, 1)?;
+            Ok(None)
+        })
+    }
+
+    fn remove<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>> {
+        let anchor = self.anchor;
+        store.txn(&mut |tx| {
+            let root_loc = EntryLoc { obj: anchor, off: ROOT_OFF };
+            let mut loc = root_loc;
+            let mut e = Self::read_entry(tx, loc)?;
+            if e.slot.is_null() {
+                return Ok(None);
+            }
+            // Track the entry that points at the node containing `loc`.
+            let mut parent: Option<(EntryLoc, PMEMoid, u64)> = None; // (loc of node ptr, node, bit)
+            while !Self::is_leaf(&e) {
+                let node = e.slot;
+                let diff: u32 = tx.read_pod(node, DIFF_OFF)?;
+                let bit = (key >> diff) & 1;
+                parent = Some((loc, node, bit));
+                loc = EntryLoc { obj: node, off: entry_off(bit) };
+                e = Self::read_entry(tx, loc)?;
+            }
+            if e.key != key {
+                return Ok(None);
+            }
+            let old = slot_value(e.slot).expect("leaf");
+            match parent {
+                None => {
+                    Self::write_entry(tx, root_loc, &Entry::default())?;
+                }
+                Some((ploc, node, bit)) => {
+                    let sibling =
+                        Self::read_entry(tx, EntryLoc { obj: node, off: entry_off(1 - bit) })?;
+                    Self::write_entry(tx, ploc, &sibling)?;
+                    tx.free(node)?;
+                }
+            }
+            Self::bump_count(tx, anchor, -1)?;
+            Ok(Some(old))
+        })
+    }
+
+    fn get<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>> {
+        let mut e: Entry = store.read_pod_direct(self.anchor, ROOT_OFF)?;
+        if e.slot.is_null() {
+            return Ok(None);
+        }
+        while !Self::is_leaf(&e) {
+            let node = e.slot;
+            let diff: u32 = store.read_pod_direct(node, DIFF_OFF)?;
+            let bit = (key >> diff) & 1;
+            e = store.read_pod_direct(node, entry_off(bit))?;
+        }
+        Ok((e.key == key).then(|| slot_value(e.slot).expect("leaf")))
+    }
+}
+
+/// Sanity self-check used by tests: walks the whole tree and verifies the
+/// crit-bit invariant (diffs strictly decrease downward, keys agree with
+/// their path bits). Returns the number of keys.
+pub fn check_invariants<S: Store>(map: &CTree, store: &S) -> KvResult<u64> {
+    fn walk<S: Store>(store: &S, e: Entry, max_diff: Option<u32>) -> KvResult<u64> {
+        if e.slot.is_null() {
+            return Ok(0);
+        }
+        if CTree::is_leaf(&e) {
+            return Ok(1);
+        }
+        let node = e.slot;
+        let diff: u32 = store.read_pod_direct(node, DIFF_OFF)?;
+        if let Some(m) = max_diff {
+            if diff >= m {
+                return Err(KvError::Corrupt("ctree: non-decreasing crit bits"));
+            }
+        }
+        let l: Entry = store.read_pod_direct(node, entry_off(0))?;
+        let r: Entry = store.read_pod_direct(node, entry_off(1))?;
+        if l.slot.is_null() || r.slot.is_null() {
+            return Err(KvError::Corrupt("ctree: internal node with a hole"));
+        }
+        Ok(walk(store, l, Some(diff))? + walk(store, r, Some(diff))?)
+    }
+    let root: Entry = store.read_pod_direct(map.anchor(), ROOT_OFF)?;
+    let n = walk(store, root, None)?;
+    let count = map.len(store)?;
+    if n != count {
+        return Err(KvError::Corrupt("ctree: count mismatch"));
+    }
+    Ok(n)
+}

@@ -1,0 +1,89 @@
+//! The common interface of the six persistent key-value structures
+//! (paper §4.5: ctree, rbtree, btree, skiplist, rtree, hashmap).
+//!
+//! Every map stores `u64 -> u64`; each operation is one failure-atomic
+//! transaction, exactly like the PMDK toolkit benchmarks the paper ports.
+
+use pgl_pmemobj::{PMEMoid, TxStats};
+
+use crate::store::{KvResult, Store};
+
+/// A persistent map living in a [`Store`].
+pub trait PersistentMap: Sized {
+    /// Human-readable name (matches the paper's figures).
+    const NAME: &'static str;
+
+    /// Creates an empty map, allocating its anchor object.
+    fn create<S: Store>(store: &S) -> KvResult<Self>;
+
+    /// Reattaches to an existing map by its anchor OID.
+    fn from_anchor(anchor: PMEMoid) -> Self;
+
+    /// The anchor OID (store it in the pool root to find the map again).
+    fn anchor(&self) -> PMEMoid;
+
+    /// Inserts or updates; returns the previous value if any.
+    fn insert<S: Store>(&self, store: &S, key: u64, value: u64) -> KvResult<Option<u64>>;
+
+    /// Removes; returns the previous value if any.
+    fn remove<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>>;
+
+    /// Point lookup without a transaction (direct reads, `pgl_get`-style).
+    fn get<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>>;
+
+    /// Number of keys.
+    fn len<S: Store>(&self, store: &S) -> KvResult<u64> {
+        // By convention every anchor starts with a count field.
+        store.read_pod_direct::<u64>(self.anchor(), 0)
+    }
+
+    /// Insert plus the transaction's instrumentation counters (Table 3).
+    fn insert_with_stats<S: Store>(
+        &self,
+        store: &S,
+        key: u64,
+        value: u64,
+    ) -> KvResult<(Option<u64>, TxStats)> {
+        let r = self.insert(store, key, value)?;
+        Ok((r, store.last_tx_stats()))
+    }
+
+    /// Remove plus the transaction's instrumentation counters.
+    fn remove_with_stats<S: Store>(
+        &self,
+        store: &S,
+        key: u64,
+    ) -> KvResult<(Option<u64>, TxStats)> {
+        let r = self.remove(store, key)?;
+        Ok((r, store.last_tx_stats()))
+    }
+}
+
+/// Mixes a key into a well-distributed hash (splitmix64 finalizer); used by
+/// the hashmap buckets and the skiplist level draw.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // Low bits should be well mixed for bucket selection.
+        let mut buckets = [0u32; 16];
+        for k in 0..16_000u64 {
+            buckets[(splitmix64(k) % 16) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((800..1200).contains(&b), "skewed bucket: {b}");
+        }
+    }
+}

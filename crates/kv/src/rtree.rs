@@ -1,0 +1,317 @@
+//! Compressed 256-ary radix tree (PMDK's `rtree_map`) over the key's
+//! big-endian bytes: 4136-byte nodes (Table 3's rtree row).
+//!
+//! Path compression stores each node's byte prefix inline, so with random
+//! 64-bit keys an insert allocates about one node (the paper measures
+//! 1.09), not one per key byte.
+
+use pgl_pmemobj::{PMEMoid, OID_NULL};
+
+use crate::maps::PersistentMap;
+use crate::store::{KvError, KvResult, Store, TxOps};
+
+const TYPE_ANCHOR: u32 = 140;
+const TYPE_NODE: u32 = 141;
+
+/// Node layout, 4136 bytes total:
+/// `{slots[256]=4096, value u64, has_value u32, key_len u32, prefix[8],
+///   nchildren u64, pad u64}`.
+const NODE_SIZE: u64 = 4136;
+const VALUE_OFF: u64 = 4096;
+const HAS_OFF: u64 = 4104;
+const KLEN_OFF: u64 = 4108;
+const PREFIX_OFF: u64 = 4112;
+const NCHILD_OFF: u64 = 4120;
+
+const KEY_BYTES: usize = 8;
+
+fn slot_off(b: u8) -> u64 {
+    (b as u64) * 16
+}
+
+/// Anchor: `{count, root}`.
+const ANCHOR_SIZE: u64 = 24;
+const ROOT_OFF: u64 = 8;
+
+fn key_bytes(key: u64) -> [u8; 8] {
+    key.to_be_bytes()
+}
+
+/// Where a child pointer lives (anchor root slot or a node slot).
+#[derive(Debug, Clone, Copy)]
+struct SlotLoc {
+    obj: PMEMoid,
+    off: u64,
+}
+
+struct NodeMeta {
+    value: u64,
+    has_value: bool,
+    prefix: Vec<u8>,
+    nchildren: u64,
+}
+
+fn read_meta(tx: &mut dyn TxOps, node: PMEMoid) -> KvResult<NodeMeta> {
+    let mut buf = [0u8; 40];
+    tx.read_bytes(node, VALUE_OFF, &mut buf)?;
+    let value = u64::from_le_bytes(buf[0..8].try_into().expect("8"));
+    let has = u32::from_le_bytes(buf[8..12].try_into().expect("4")) != 0;
+    let klen = u32::from_le_bytes(buf[12..16].try_into().expect("4")) as usize;
+    if klen > KEY_BYTES {
+        return Err(KvError::Corrupt("rtree: prefix length out of range"));
+    }
+    let prefix = buf[16..16 + klen].to_vec();
+    let nchildren = u64::from_le_bytes(buf[24..32].try_into().expect("8"));
+    Ok(NodeMeta { value, has_value: has, prefix, nchildren })
+}
+
+fn write_prefix(tx: &mut dyn TxOps, node: PMEMoid, prefix: &[u8]) -> KvResult<()> {
+    tx.write_pod(node, KLEN_OFF, &(prefix.len() as u32))?;
+    let mut buf = [0u8; 8];
+    buf[..prefix.len()].copy_from_slice(prefix);
+    tx.write_bytes(node, PREFIX_OFF, &buf)
+}
+
+fn write_value(tx: &mut dyn TxOps, node: PMEMoid, value: Option<u64>) -> KvResult<()> {
+    match value {
+        Some(v) => {
+            tx.write_pod(node, VALUE_OFF, &v)?;
+            tx.write_pod(node, HAS_OFF, &1u32)
+        }
+        None => tx.write_pod(node, HAS_OFF, &0u32),
+    }
+}
+
+/// The compressed radix map.
+pub struct RTree {
+    anchor: PMEMoid,
+}
+
+impl RTree {
+    fn bump_count(tx: &mut dyn TxOps, anchor: PMEMoid, delta: i64) -> KvResult<()> {
+        let mut buf = [0u8; 8];
+        tx.read_bytes(anchor, 0, &mut buf)?;
+        let n = u64::from_le_bytes(buf)
+            .checked_add_signed(delta)
+            .ok_or(KvError::Corrupt("rtree count"))?;
+        tx.write_bytes(anchor, 0, &n.to_le_bytes())
+    }
+
+    /// Allocates a leaf holding `suffix` as its prefix and `value`.
+    fn alloc_leaf(tx: &mut dyn TxOps, suffix: &[u8], value: u64) -> KvResult<PMEMoid> {
+        let node = tx.alloc_zeroed(NODE_SIZE, TYPE_NODE)?;
+        write_prefix(tx, node, suffix)?;
+        write_value(tx, node, Some(value))?;
+        Ok(node)
+    }
+}
+
+impl PersistentMap for RTree {
+    const NAME: &'static str = "rtree";
+
+    fn create<S: Store>(store: &S) -> KvResult<Self> {
+        let anchor = store.txn(&mut |tx| tx.alloc_zeroed(ANCHOR_SIZE, TYPE_ANCHOR))?;
+        Ok(RTree { anchor })
+    }
+
+    fn from_anchor(anchor: PMEMoid) -> Self {
+        RTree { anchor }
+    }
+
+    fn anchor(&self) -> PMEMoid {
+        self.anchor
+    }
+
+    fn insert<S: Store>(&self, store: &S, key: u64, value: u64) -> KvResult<Option<u64>> {
+        let anchor = self.anchor;
+        store.txn(&mut |tx| {
+            let k = key_bytes(key);
+            let mut loc = SlotLoc { obj: anchor, off: ROOT_OFF };
+            let mut cur: PMEMoid = tx.read_pod(loc.obj, loc.off)?;
+            if cur.is_null() {
+                let leaf = Self::alloc_leaf(tx, &k, value)?;
+                tx.write_pod(loc.obj, loc.off, &leaf)?;
+                Self::bump_count(tx, anchor, 1)?;
+                return Ok(None);
+            }
+            let mut depth = 0usize; // key bytes consumed
+            loop {
+                let meta = read_meta(tx, cur)?;
+                let rest = &k[depth..];
+                let m = meta
+                    .prefix
+                    .iter()
+                    .zip(rest.iter())
+                    .take_while(|(a, b)| a == b)
+                    .count();
+                if m < meta.prefix.len() {
+                    // Diverges inside the prefix: split.
+                    let parent = tx.alloc_zeroed(NODE_SIZE, TYPE_NODE)?;
+                    write_prefix(tx, parent, &meta.prefix[..m])?;
+                    // Re-hang `cur` below the split point.
+                    let hang = meta.prefix[m];
+                    write_prefix(tx, cur, &meta.prefix[m + 1..])?;
+                    tx.write_pod(parent, slot_off(hang), &cur)?;
+                    if depth + m == KEY_BYTES {
+                        // The key ends exactly at the split node.
+                        write_value(tx, parent, Some(value))?;
+                        tx.write_pod(parent, NCHILD_OFF, &1u64)?;
+                    } else {
+                        let b = k[depth + m];
+                        let leaf = Self::alloc_leaf(tx, &k[depth + m + 1..], value)?;
+                        tx.write_pod(parent, slot_off(b), &leaf)?;
+                        tx.write_pod(parent, NCHILD_OFF, &2u64)?;
+                    }
+                    tx.write_pod(loc.obj, loc.off, &parent)?;
+                    Self::bump_count(tx, anchor, 1)?;
+                    return Ok(None);
+                }
+                depth += m;
+                if depth == KEY_BYTES {
+                    let old = meta.has_value.then_some(meta.value);
+                    write_value(tx, cur, Some(value))?;
+                    if old.is_none() {
+                        Self::bump_count(tx, anchor, 1)?;
+                    }
+                    return Ok(old);
+                }
+                let b = k[depth];
+                let child: PMEMoid = tx.read_pod(cur, slot_off(b))?;
+                if child.is_null() {
+                    let leaf = Self::alloc_leaf(tx, &k[depth + 1..], value)?;
+                    tx.write_pod(cur, slot_off(b), &leaf)?;
+                    tx.write_pod(cur, NCHILD_OFF, &(meta.nchildren + 1))?;
+                    Self::bump_count(tx, anchor, 1)?;
+                    return Ok(None);
+                }
+                loc = SlotLoc { obj: cur, off: slot_off(b) };
+                cur = child;
+                depth += 1;
+            }
+        })
+    }
+
+    fn remove<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>> {
+        let anchor = self.anchor;
+        store.txn(&mut |tx| {
+            let k = key_bytes(key);
+            // Path of (slot location, node) pairs from the root.
+            let mut path: Vec<(SlotLoc, PMEMoid)> = Vec::new();
+            let mut loc = SlotLoc { obj: anchor, off: ROOT_OFF };
+            let mut cur: PMEMoid = tx.read_pod(loc.obj, loc.off)?;
+            let mut depth = 0usize;
+            while !cur.is_null() {
+                let meta = read_meta(tx, cur)?;
+                let rest = &k[depth..];
+                if rest.len() < meta.prefix.len() || rest[..meta.prefix.len()] != meta.prefix[..]
+                {
+                    return Ok(None);
+                }
+                depth += meta.prefix.len();
+                path.push((loc, cur));
+                if depth == KEY_BYTES {
+                    if !meta.has_value {
+                        return Ok(None);
+                    }
+                    write_value(tx, cur, None)?;
+                    Self::bump_count(tx, anchor, -1)?;
+                    // Cascade-free empty nodes up the path.
+                    for i in (0..path.len()).rev() {
+                        let (l, n) = path[i];
+                        let m = read_meta(tx, n)?;
+                        if m.has_value || m.nchildren > 0 {
+                            break;
+                        }
+                        tx.write_pod(l.obj, l.off, &OID_NULL)?;
+                        tx.free(n)?;
+                        if i > 0 {
+                            let (_, parent) = path[i - 1];
+                            let pm = read_meta(tx, parent)?;
+                            tx.write_pod(parent, NCHILD_OFF, &(pm.nchildren - 1))?;
+                        }
+                    }
+                    return Ok(Some(meta.value));
+                }
+                let b = k[depth];
+                loc = SlotLoc { obj: cur, off: slot_off(b) };
+                cur = tx.read_pod(loc.obj, loc.off)?;
+                depth += 1;
+            }
+            Ok(None)
+        })
+    }
+
+    fn get<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>> {
+        let k = key_bytes(key);
+        let mut cur: PMEMoid = store.read_pod_direct(self.anchor, ROOT_OFF)?;
+        let mut depth = 0usize;
+        while !cur.is_null() {
+            let klen: u32 = store.read_pod_direct(cur, KLEN_OFF)?;
+            let klen = klen as usize;
+            if klen > KEY_BYTES || depth + klen > KEY_BYTES {
+                return Err(KvError::Corrupt("rtree: bad prefix length"));
+            }
+            let mut pbuf = [0u8; 8];
+            store.read_direct(cur, PREFIX_OFF, &mut pbuf)?;
+            if pbuf[..klen] != k[depth..depth + klen] {
+                return Ok(None);
+            }
+            depth += klen;
+            if depth == KEY_BYTES {
+                let has: u32 = store.read_pod_direct(cur, HAS_OFF)?;
+                if has == 0 {
+                    return Ok(None);
+                }
+                return Ok(Some(store.read_pod_direct(cur, VALUE_OFF)?));
+            }
+            cur = store.read_pod_direct(cur, slot_off(k[depth]))?;
+            depth += 1;
+        }
+        Ok(None)
+    }
+}
+
+/// Test helper: walks the tree verifying prefix-depth consistency and the
+/// child counters; returns the number of stored keys.
+pub fn check_invariants<S: Store>(map: &RTree, store: &S) -> KvResult<u64> {
+    fn walk<S: Store>(store: &S, node: PMEMoid, depth: usize) -> KvResult<u64> {
+        let klen: u32 = store.read_pod_direct(node, KLEN_OFF)?;
+        let klen = klen as usize;
+        if depth + klen > KEY_BYTES {
+            return Err(KvError::Corrupt("rtree: path deeper than the key"));
+        }
+        let depth = depth + klen;
+        let has: u32 = store.read_pod_direct(node, HAS_OFF)?;
+        let mut n = 0u64;
+        if has != 0 {
+            if depth != KEY_BYTES {
+                return Err(KvError::Corrupt("rtree: value above full depth"));
+            }
+            n += 1;
+        }
+        let mut children = 0u64;
+        if depth < KEY_BYTES {
+            for b in 0..=255u8 {
+                let child: PMEMoid = store.read_pod_direct(node, slot_off(b))?;
+                if !child.is_null() {
+                    children += 1;
+                    n += walk(store, child, depth + 1)?;
+                }
+            }
+        }
+        let nchildren: u64 = store.read_pod_direct(node, NCHILD_OFF)?;
+        if children != nchildren {
+            return Err(KvError::Corrupt("rtree: child count mismatch"));
+        }
+        if has == 0 && children == 0 {
+            return Err(KvError::Corrupt("rtree: dangling empty node"));
+        }
+        Ok(n)
+    }
+    let root: PMEMoid = store.read_pod_direct(map.anchor(), ROOT_OFF)?;
+    let n = if root.is_null() { 0 } else { walk(store, root, 0)? };
+    if n != map.len(store)? {
+        return Err(KvError::Corrupt("rtree: count mismatch"));
+    }
+    Ok(n)
+}

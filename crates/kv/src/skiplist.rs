@@ -1,0 +1,221 @@
+//! Skip list with 24 levels: 408-byte nodes (Table 3's skiplist row).
+//!
+//! Level draws are deterministic (derived from the key's hash), which makes
+//! the structure reproducible across runs and backends without a random
+//! number generator in the transaction path.
+
+use pgl_pmemobj::{PMEMoid, OID_NULL};
+
+use crate::maps::{splitmix64, PersistentMap};
+use crate::store::{KvError, KvResult, Store, TxOps};
+
+const TYPE_ANCHOR: u32 = 130;
+const TYPE_NODE: u32 = 131;
+
+/// Tower height.
+pub const LEVELS: usize = 24;
+
+/// Node: `{next[24] = 384 bytes, key, value, pad}` = 408 bytes.
+const NODE_SIZE: u64 = 408;
+const KEY_OFF: u64 = 384;
+const VALUE_OFF: u64 = 392;
+
+fn next_off(level: usize) -> u64 {
+    (level as u64) * 16
+}
+
+/// Anchor: `{count, head}`; the head is a sentinel node whose `next`
+/// pointers are the level lists' heads.
+const ANCHOR_SIZE: u64 = 24;
+const HEAD_OFF: u64 = 8;
+
+/// Deterministic tower height for `key`: geometric with p = 1/2, capped.
+fn level_for(key: u64) -> usize {
+    let h = splitmix64(key ^ 0xC0FF_EE00_5EED);
+    ((h.trailing_zeros() as usize) + 1).min(LEVELS)
+}
+
+/// The skip list map.
+pub struct SkipList {
+    anchor: PMEMoid,
+}
+
+impl SkipList {
+    fn bump_count(tx: &mut dyn TxOps, anchor: PMEMoid, delta: i64) -> KvResult<()> {
+        let mut buf = [0u8; 8];
+        tx.read_bytes(anchor, 0, &mut buf)?;
+        let n = u64::from_le_bytes(buf)
+            .checked_add_signed(delta)
+            .ok_or(KvError::Corrupt("skiplist count"))?;
+        tx.write_bytes(anchor, 0, &n.to_le_bytes())
+    }
+
+    /// Finds, per level, the last node with `key < target` (the preds).
+    fn find_preds(
+        tx: &mut dyn TxOps,
+        head: PMEMoid,
+        key: u64,
+    ) -> KvResult<[PMEMoid; LEVELS]> {
+        let mut preds = [OID_NULL; LEVELS];
+        let mut cur = head;
+        for level in (0..LEVELS).rev() {
+            loop {
+                let next: PMEMoid = tx.read_pod(cur, next_off(level))?;
+                if next.is_null() {
+                    break;
+                }
+                let nkey: u64 = tx.read_pod(next, KEY_OFF)?;
+                if nkey >= key {
+                    break;
+                }
+                cur = next;
+            }
+            preds[level] = cur;
+        }
+        Ok(preds)
+    }
+}
+
+impl PersistentMap for SkipList {
+    const NAME: &'static str = "skiplist";
+
+    fn create<S: Store>(store: &S) -> KvResult<Self> {
+        let anchor = store.txn(&mut |tx| {
+            let anchor = tx.alloc_zeroed(ANCHOR_SIZE, TYPE_ANCHOR)?;
+            let head = tx.alloc_zeroed(NODE_SIZE, TYPE_NODE)?;
+            tx.write_pod(anchor, HEAD_OFF, &head)?;
+            Ok(anchor)
+        })?;
+        Ok(SkipList { anchor })
+    }
+
+    fn from_anchor(anchor: PMEMoid) -> Self {
+        SkipList { anchor }
+    }
+
+    fn anchor(&self) -> PMEMoid {
+        self.anchor
+    }
+
+    fn insert<S: Store>(&self, store: &S, key: u64, value: u64) -> KvResult<Option<u64>> {
+        let anchor = self.anchor;
+        store.txn(&mut |tx| {
+            let head: PMEMoid = tx.read_pod(anchor, HEAD_OFF)?;
+            let preds = Self::find_preds(tx, head, key)?;
+            let at: PMEMoid = tx.read_pod(preds[0], next_off(0))?;
+            if !at.is_null() {
+                let akey: u64 = tx.read_pod(at, KEY_OFF)?;
+                if akey == key {
+                    let old: u64 = tx.read_pod(at, VALUE_OFF)?;
+                    tx.write_pod(at, VALUE_OFF, &value)?;
+                    return Ok(Some(old));
+                }
+            }
+            let height = level_for(key);
+            let node = tx.alloc_zeroed(NODE_SIZE, TYPE_NODE)?;
+            tx.write_pod(node, KEY_OFF, &key)?;
+            tx.write_pod(node, VALUE_OFF, &value)?;
+            for level in 0..height {
+                let succ: PMEMoid = tx.read_pod(preds[level], next_off(level))?;
+                tx.write_pod(node, next_off(level), &succ)?;
+                tx.write_pod(preds[level], next_off(level), &node)?;
+            }
+            Self::bump_count(tx, anchor, 1)?;
+            Ok(None)
+        })
+    }
+
+    fn remove<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>> {
+        let anchor = self.anchor;
+        store.txn(&mut |tx| {
+            let head: PMEMoid = tx.read_pod(anchor, HEAD_OFF)?;
+            let preds = Self::find_preds(tx, head, key)?;
+            let target: PMEMoid = tx.read_pod(preds[0], next_off(0))?;
+            if target.is_null() {
+                return Ok(None);
+            }
+            let tkey: u64 = tx.read_pod(target, KEY_OFF)?;
+            if tkey != key {
+                return Ok(None);
+            }
+            let old: u64 = tx.read_pod(target, VALUE_OFF)?;
+            for level in 0..LEVELS {
+                let pn: PMEMoid = tx.read_pod(preds[level], next_off(level))?;
+                if pn != target {
+                    break; // towers shrink upward: once unlinked, done
+                }
+                let succ: PMEMoid = tx.read_pod(target, next_off(level))?;
+                tx.write_pod(preds[level], next_off(level), &succ)?;
+            }
+            tx.free(target)?;
+            Self::bump_count(tx, anchor, -1)?;
+            Ok(Some(old))
+        })
+    }
+
+    fn get<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>> {
+        let head: PMEMoid = store.read_pod_direct(self.anchor, HEAD_OFF)?;
+        if head.is_null() {
+            return Ok(None);
+        }
+        let mut cur = head;
+        for level in (0..LEVELS).rev() {
+            loop {
+                let next: PMEMoid = store.read_pod_direct(cur, next_off(level))?;
+                if next.is_null() {
+                    break;
+                }
+                let nkey: u64 = store.read_pod_direct(next, KEY_OFF)?;
+                if nkey > key {
+                    break;
+                }
+                if nkey == key {
+                    return Ok(Some(store.read_pod_direct(next, VALUE_OFF)?));
+                }
+                cur = next;
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Test helper: verifies level-0 ordering, tower consistency (every level-l
+/// list is a subsequence of level 0), and the count.
+pub fn check_invariants<S: Store>(map: &SkipList, store: &S) -> KvResult<u64> {
+    let head: PMEMoid = store.read_pod_direct(map.anchor(), HEAD_OFF)?;
+    // Level 0: full ordered traversal.
+    let mut keys = Vec::new();
+    let mut cur: PMEMoid = store.read_pod_direct(head, next_off(0))?;
+    while !cur.is_null() {
+        let k: u64 = store.read_pod_direct(cur, KEY_OFF)?;
+        if let Some(&last) = keys.last() {
+            if k <= last {
+                return Err(KvError::Corrupt("skiplist: unordered level 0"));
+            }
+        }
+        keys.push(k);
+        cur = store.read_pod_direct(cur, next_off(0))?;
+    }
+    // Upper levels must be ordered subsequences.
+    for level in 1..LEVELS {
+        let mut cur: PMEMoid = store.read_pod_direct(head, next_off(level))?;
+        let mut prev: Option<u64> = None;
+        while !cur.is_null() {
+            let k: u64 = store.read_pod_direct(cur, KEY_OFF)?;
+            if let Some(p) = prev {
+                if k <= p {
+                    return Err(KvError::Corrupt("skiplist: unordered upper level"));
+                }
+            }
+            if keys.binary_search(&k).is_err() {
+                return Err(KvError::Corrupt("skiplist: upper level not a subsequence"));
+            }
+            prev = Some(k);
+            cur = store.read_pod_direct(cur, next_off(level))?;
+        }
+    }
+    if keys.len() as u64 != map.len(store)? {
+        return Err(KvError::Corrupt("skiplist: count mismatch"));
+    }
+    Ok(keys.len() as u64)
+}

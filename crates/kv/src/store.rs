@@ -1,0 +1,363 @@
+//! Backend abstraction: the six data structures run unchanged over the
+//! `libpmemobj` baseline, its replicated mode, and every Pangolin mode —
+//! exactly how the paper rewrites the PMDK toolkit benchmarks once and
+//! compares library configurations (Table 2).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use pangolin::{PglError, PglPool};
+use pgl_nvm::pod::{bytes_of, from_bytes, Pod};
+use pgl_pmemobj::{ObjError, PMEMoid, PmemPool, TxStats};
+
+/// Errors from either backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// Baseline object-store error.
+    Obj(ObjError),
+    /// Pangolin error.
+    Pgl(PglError),
+    /// Structural invariant violation detected by a data structure.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::Obj(e) => write!(f, "{e}"),
+            KvError::Pgl(e) => write!(f, "{e}"),
+            KvError::Corrupt(s) => write!(f, "structure corrupt: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+impl From<ObjError> for KvError {
+    fn from(e: ObjError) -> Self {
+        KvError::Obj(e)
+    }
+}
+
+impl From<PglError> for KvError {
+    fn from(e: PglError) -> Self {
+        KvError::Pgl(e)
+    }
+}
+
+/// Convenience alias.
+pub type KvResult<T> = Result<T, KvError>;
+
+/// Transaction operations the data structures use.
+///
+/// Both backends guarantee read-your-writes inside a transaction (Pangolin
+/// through its micro-buffers, the baseline through direct stores).
+pub trait TxOps {
+    /// Allocates an object (content undefined until written).
+    fn alloc(&mut self, size: u64, type_num: u32) -> KvResult<PMEMoid>;
+    /// Allocates a zero-filled object.
+    fn alloc_zeroed(&mut self, size: u64, type_num: u32) -> KvResult<PMEMoid>;
+    /// Frees an object.
+    fn free(&mut self, oid: PMEMoid) -> KvResult<()>;
+    /// Writes bytes into an object.
+    fn write_bytes(&mut self, oid: PMEMoid, off: u64, src: &[u8]) -> KvResult<()>;
+    /// Reads bytes from an object.
+    fn read_bytes(&mut self, oid: PMEMoid, off: u64, dst: &mut [u8]) -> KvResult<()>;
+}
+
+impl dyn TxOps + '_ {
+    /// Typed field write.
+    pub fn write_pod<T: Pod>(&mut self, oid: PMEMoid, off: u64, val: &T) -> KvResult<()> {
+        self.write_bytes(oid, off, bytes_of(val))
+    }
+
+    /// Typed field read.
+    pub fn read_pod<T: Pod>(&mut self, oid: PMEMoid, off: u64) -> KvResult<T> {
+        let mut buf = vec![0u8; std::mem::size_of::<T>()];
+        self.read_bytes(oid, off, &mut buf)?;
+        Ok(from_bytes(&buf))
+    }
+}
+
+/// A persistent object store a data structure can live in.
+pub trait Store {
+    /// The pool UUID (embedded in OIDs).
+    fn uuid(&self) -> u64;
+
+    /// Runs `f` transactionally; `Ok` commits, `Err` aborts.
+    fn txn<R>(&self, f: &mut dyn FnMut(&mut dyn TxOps) -> KvResult<R>) -> KvResult<R> {
+        self.txn_with_stats(f).map(|(r, _)| r)
+    }
+
+    /// Like [`Store::txn`] but also returns instrumentation counters
+    /// (Table 3's New/Mod quantities).
+    fn txn_with_stats<R>(
+        &self,
+        f: &mut dyn FnMut(&mut dyn TxOps) -> KvResult<R>,
+    ) -> KvResult<(R, TxStats)>;
+
+    /// Direct (transaction-free) read — `pgl_get`-style for Pangolin,
+    /// a plain DAX load for the baseline.
+    fn read_direct(&self, oid: PMEMoid, off: u64, dst: &mut [u8]) -> KvResult<()>;
+
+    /// Counters of the most recently committed transaction on this handle
+    /// (single-threaded instrumentation helper for the Table 3 harness).
+    fn last_tx_stats(&self) -> TxStats;
+
+    /// Typed direct read.
+    fn read_pod_direct<T: Pod>(&self, oid: PMEMoid, off: u64) -> KvResult<T>
+    where
+        Self: Sized,
+    {
+        let mut buf = vec![0u8; std::mem::size_of::<T>()];
+        self.read_direct(oid, off, &mut buf)?;
+        Ok(from_bytes(&buf))
+    }
+
+    /// Returns (and on first use creates) the pool root object of `size`
+    /// bytes.
+    fn root(&self, size: u64, type_num: u32) -> KvResult<PMEMoid>;
+}
+
+// ---------------------------------------------------------------------
+// Baseline backend
+// ---------------------------------------------------------------------
+
+/// The `libpmemobj`-style backend (plain or replicated pool).
+#[derive(Clone)]
+pub struct PmemStore {
+    pool: Arc<PmemPool>,
+    last: Arc<Mutex<TxStats>>,
+}
+
+impl PmemStore {
+    /// Wraps a pool.
+    pub fn new(pool: Arc<PmemPool>) -> Self {
+        PmemStore { pool, last: Arc::new(Mutex::new(TxStats::default())) }
+    }
+
+    /// The wrapped pool.
+    pub fn pool(&self) -> &PmemPool {
+        &self.pool
+    }
+}
+
+struct PmemTxOps<'a, 'p>(&'a mut pgl_pmemobj::Tx<'p>);
+
+impl TxOps for PmemTxOps<'_, '_> {
+    fn alloc(&mut self, size: u64, type_num: u32) -> KvResult<PMEMoid> {
+        Ok(self.0.alloc(size, type_num)?)
+    }
+    fn alloc_zeroed(&mut self, size: u64, type_num: u32) -> KvResult<PMEMoid> {
+        Ok(self.0.alloc_zeroed(size, type_num)?)
+    }
+    fn free(&mut self, oid: PMEMoid) -> KvResult<()> {
+        Ok(self.0.free(oid)?)
+    }
+    fn write_bytes(&mut self, oid: PMEMoid, off: u64, src: &[u8]) -> KvResult<()> {
+        Ok(self.0.write(oid, off, src)?)
+    }
+    fn read_bytes(&mut self, oid: PMEMoid, off: u64, dst: &mut [u8]) -> KvResult<()> {
+        Ok(self.0.read(oid, off, dst)?)
+    }
+}
+
+impl Store for PmemStore {
+    fn uuid(&self) -> u64 {
+        self.pool.uuid()
+    }
+
+    fn txn_with_stats<R>(
+        &self,
+        f: &mut dyn FnMut(&mut dyn TxOps) -> KvResult<R>,
+    ) -> KvResult<(R, TxStats)> {
+        let mut kv_err: Option<KvError> = None;
+        let result = self.pool.tx_with_stats(|tx| {
+            let mut ops = PmemTxOps(tx);
+            match f(&mut ops) {
+                Ok(r) => Ok(r),
+                Err(e) => {
+                    let msg = e.to_string();
+                    kv_err = Some(e);
+                    Err(ObjError::Aborted(msg))
+                }
+            }
+        });
+        match result {
+            Ok(pair) => {
+                *self.last.lock() = pair.1;
+                Ok(pair)
+            }
+            Err(e) => Err(kv_err.unwrap_or(KvError::Obj(e))),
+        }
+    }
+
+    fn read_direct(&self, oid: PMEMoid, off: u64, dst: &mut [u8]) -> KvResult<()> {
+        Ok(self.pool.read(oid, off, dst)?)
+    }
+
+    fn last_tx_stats(&self) -> TxStats {
+        *self.last.lock()
+    }
+
+    fn root(&self, size: u64, type_num: u32) -> KvResult<PMEMoid> {
+        Ok(self.pool.root(size, type_num)?)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pangolin backend
+// ---------------------------------------------------------------------
+
+/// The Pangolin backend (any [`pangolin::PglMode`]).
+#[derive(Clone)]
+pub struct PglStore {
+    pool: PglPool,
+    last: Arc<Mutex<TxStats>>,
+}
+
+impl PglStore {
+    /// Wraps a pool.
+    pub fn new(pool: PglPool) -> Self {
+        PglStore { pool, last: Arc::new(Mutex::new(TxStats::default())) }
+    }
+
+    /// The wrapped pool.
+    pub fn pool(&self) -> &PglPool {
+        &self.pool
+    }
+}
+
+struct PglTxOps<'a, 'p>(&'a mut pangolin::PglTx<'p>);
+
+impl TxOps for PglTxOps<'_, '_> {
+    fn alloc(&mut self, size: u64, type_num: u32) -> KvResult<PMEMoid> {
+        Ok(self.0.alloc(size, type_num)?)
+    }
+    fn alloc_zeroed(&mut self, size: u64, type_num: u32) -> KvResult<PMEMoid> {
+        // Pangolin allocations are zero-filled micro-buffers already.
+        Ok(self.0.alloc(size, type_num)?)
+    }
+    fn free(&mut self, oid: PMEMoid) -> KvResult<()> {
+        Ok(self.0.free(oid)?)
+    }
+    fn write_bytes(&mut self, oid: PMEMoid, off: u64, src: &[u8]) -> KvResult<()> {
+        Ok(self.0.write(oid, off, src)?)
+    }
+    fn read_bytes(&mut self, oid: PMEMoid, off: u64, dst: &mut [u8]) -> KvResult<()> {
+        Ok(self.0.read(oid, off, dst)?)
+    }
+}
+
+impl Store for PglStore {
+    fn uuid(&self) -> u64 {
+        self.pool.uuid()
+    }
+
+    fn txn_with_stats<R>(
+        &self,
+        f: &mut dyn FnMut(&mut dyn TxOps) -> KvResult<R>,
+    ) -> KvResult<(R, TxStats)> {
+        let mut kv_err: Option<KvError> = None;
+        let result = self.pool.tx_with_stats(|tx| {
+            let mut ops = PglTxOps(tx);
+            match f(&mut ops) {
+                Ok(r) => Ok(r),
+                Err(e) => {
+                    let msg = e.to_string();
+                    kv_err = Some(e);
+                    Err(PglError::Unrecoverable(msg))
+                }
+            }
+        });
+        match result {
+            Ok(pair) => {
+                *self.last.lock() = pair.1;
+                Ok(pair)
+            }
+            Err(e) => Err(kv_err.unwrap_or(KvError::Pgl(e))),
+        }
+    }
+
+    fn read_direct(&self, oid: PMEMoid, off: u64, dst: &mut [u8]) -> KvResult<()> {
+        Ok(self.pool.read(oid, off, dst)?)
+    }
+
+    fn last_tx_stats(&self) -> TxStats {
+        *self.last.lock()
+    }
+
+    fn root(&self, size: u64, type_num: u32) -> KvResult<PMEMoid> {
+        Ok(self.pool.root(size, type_num)?)
+    }
+}
+
+/// Tags a value-carrying [`PMEMoid`]: the paper's data structures store
+/// `PMEMoid`-shaped slots that may hold either a child pointer or an
+/// embedded value; the pool id distinguishes them.
+pub const VALUE_TAG: u64 = u64::MAX;
+
+/// Encodes a `u64` value as a tagged slot.
+pub fn value_slot(v: u64) -> PMEMoid {
+    PMEMoid::new(VALUE_TAG, v)
+}
+
+/// Decodes a tagged slot, if it is one.
+pub fn slot_value(oid: PMEMoid) -> Option<u64> {
+    (oid.pool == VALUE_TAG).then_some(oid.off)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pangolin::PglConfig;
+    use pgl_nvm::{DeviceConfig, NvmDevice};
+    use pgl_pmemobj::PoolConfig;
+
+    fn pmem_store() -> PmemStore {
+        let cfg = PoolConfig::small();
+        let dev = Arc::new(NvmDevice::new(cfg.size, DeviceConfig::fast()).unwrap());
+        PmemStore::new(Arc::new(PmemPool::create(dev, cfg).unwrap()))
+    }
+
+    fn pgl_store() -> PglStore {
+        let cfg = PglConfig::small();
+        let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::fast()).unwrap());
+        PglStore::new(PglPool::create(dev, cfg).unwrap())
+    }
+
+    fn exercise<S: Store>(s: &S) {
+        let oid = s
+            .txn(&mut |tx| {
+                let oid = tx.alloc_zeroed(64, 1)?;
+                tx.write_pod(oid, 0, &42u64)?;
+                Ok(oid)
+            })
+            .unwrap();
+        assert_eq!(s.read_pod_direct::<u64>(oid, 0).unwrap(), 42);
+
+        // Error propagation keeps the original KvError.
+        let err = s.txn(&mut |_tx| -> KvResult<()> { Err(KvError::Corrupt("synthetic")) });
+        assert_eq!(err, Err(KvError::Corrupt("synthetic")));
+
+        // Root is stable.
+        let r1 = s.root(32, 9).unwrap();
+        let r2 = s.root(32, 9).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn both_backends_expose_identical_semantics() {
+        exercise(&pmem_store());
+        exercise(&pgl_store());
+    }
+
+    #[test]
+    fn value_slots_tag_and_roundtrip() {
+        let v = value_slot(777);
+        assert_eq!(slot_value(v), Some(777));
+        assert_eq!(slot_value(PMEMoid::new(3, 8)), None);
+        assert_eq!(slot_value(pgl_pmemobj::OID_NULL), None);
+    }
+}

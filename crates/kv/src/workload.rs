@@ -1,0 +1,149 @@
+//! Key-value workload drivers: the insert/remove/lookup loops behind
+//! Figures 5 and 6 and the transaction-size instrumentation behind Table 3.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use pgl_pmemobj::TxStats;
+
+use crate::maps::PersistentMap;
+use crate::store::{KvResult, Store};
+
+/// Aggregated per-operation statistics for one workload phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseStats {
+    /// Operations performed.
+    pub ops: u64,
+    /// Wall-clock seconds.
+    pub secs: f64,
+    /// Accumulated transaction counters.
+    pub tx: TxStats,
+}
+
+impl PhaseStats {
+    /// Operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.ops as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Average allocated bytes per operation (Table 3 "New").
+    pub fn avg_new_bytes(&self) -> f64 {
+        self.tx.allocated_bytes as f64 / self.ops.max(1) as f64
+    }
+
+    /// Average allocated objects per operation.
+    pub fn avg_new_objects(&self) -> f64 {
+        self.tx.alloc_objects as f64 / self.ops.max(1) as f64
+    }
+
+    /// Average modified bytes per operation (Table 3 "Mod").
+    pub fn avg_mod_bytes(&self) -> f64 {
+        self.tx.modified_bytes as f64 / self.ops.max(1) as f64
+    }
+
+    /// Average modified objects per operation.
+    pub fn avg_mod_objects(&self) -> f64 {
+        self.tx.modified_objects as f64 / self.ops.max(1) as f64
+    }
+}
+
+/// Generates `n` distinct pseudo-random keys (uniform, seeded).
+pub fn random_keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut keys: Vec<u64> = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::with_capacity(n);
+    while keys.len() < n {
+        let k = rng.gen::<u64>();
+        if seen.insert(k) {
+            keys.push(k);
+        }
+    }
+    keys
+}
+
+/// Inserts every key (value = key ^ mask), collecting stats.
+pub fn insert_phase<M: PersistentMap, S: Store>(
+    map: &M,
+    store: &S,
+    keys: &[u64],
+) -> KvResult<PhaseStats> {
+    let mut stats = PhaseStats::default();
+    let start = std::time::Instant::now();
+    for &k in keys {
+        let (_, tx) = map.insert_with_stats(store, k, k ^ 0xDEAD_BEEF)?;
+        stats.tx.accumulate(&tx);
+        stats.ops += 1;
+    }
+    stats.secs = start.elapsed().as_secs_f64();
+    Ok(stats)
+}
+
+/// Removes every key, collecting stats.
+pub fn remove_phase<M: PersistentMap, S: Store>(
+    map: &M,
+    store: &S,
+    keys: &[u64],
+) -> KvResult<PhaseStats> {
+    let mut stats = PhaseStats::default();
+    let start = std::time::Instant::now();
+    for &k in keys {
+        let (_, tx) = map.remove_with_stats(store, k)?;
+        stats.tx.accumulate(&tx);
+        stats.ops += 1;
+    }
+    stats.secs = start.elapsed().as_secs_f64();
+    Ok(stats)
+}
+
+/// Looks up every key (read-only), returning hit count and timing.
+pub fn lookup_phase<M: PersistentMap, S: Store>(
+    map: &M,
+    store: &S,
+    keys: &[u64],
+) -> KvResult<PhaseStats> {
+    let mut stats = PhaseStats::default();
+    let start = std::time::Instant::now();
+    for &k in keys {
+        if map.get(store, k)?.is_some() {
+            stats.ops += 1;
+        }
+    }
+    stats.secs = start.elapsed().as_secs_f64();
+    Ok(stats)
+}
+
+/// A mixed workload: shuffled inserts and removes with the given ratio of
+/// removals, exercising allocate/overwrite/free paths together.
+pub fn mixed_phase<M: PersistentMap, S: Store>(
+    map: &M,
+    store: &S,
+    keys: &[u64],
+    remove_ratio: f64,
+    seed: u64,
+) -> KvResult<PhaseStats> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<u64> = Vec::new();
+    let mut stats = PhaseStats::default();
+    let start = std::time::Instant::now();
+    for &k in keys {
+        if !live.is_empty() && rng.gen_bool(remove_ratio) {
+            let idx = rng.gen_range(0..live.len());
+            let victim = live.swap_remove(idx);
+            let (_, tx) = map.remove_with_stats(store, victim)?;
+            stats.tx.accumulate(&tx);
+        } else {
+            let (_, tx) = map.insert_with_stats(store, k, k)?;
+            stats.tx.accumulate(&tx);
+            live.push(k);
+        }
+        stats.ops += 1;
+    }
+    live.shuffle(&mut rng);
+    stats.secs = start.elapsed().as_secs_f64();
+    Ok(stats)
+}

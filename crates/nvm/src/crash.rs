@@ -1,0 +1,93 @@
+//! Crash plans: deciding the fate of each dirty cache line at a simulated
+//! power failure.
+//!
+//! At a crash, every cache line that has been stored to since its last
+//! persistence point can land in one of several states (paper §2.3's
+//! persistence-ordering discussion):
+//!
+//! * **Old** — the line never left the cache; the last *fenced* content
+//!   survives.
+//! * **Flushed(i)** — a `CLWB` was issued but not yet fenced; the i-th
+//!   pending write-back completed before power was lost.
+//! * **New** — the cache spontaneously evicted the line, so the very latest
+//!   store survives even though it was never flushed.
+//!
+//! A [`CrashPlan`] chooses an outcome per line, which lets property-based
+//! tests enumerate adversarial persistence orders deterministically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The persisted state chosen for one dirty cache line at crash time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineOutcome {
+    /// The last fenced (guaranteed-durable) content survives.
+    Old,
+    /// The content captured by the i-th un-fenced flush survives
+    /// (0-based; the tracker clamps out-of-range indices to the last one).
+    Flushed(usize),
+    /// The newest store survives (cache eviction).
+    New,
+}
+
+/// Chooses a [`LineOutcome`] for every dirty line during
+/// [`crate::NvmDevice::simulate_crash`].
+pub trait CrashPlan {
+    /// Picks the outcome for `line` (a cache-line index), which currently has
+    /// `pending_flushes` un-fenced flush captures.
+    fn choose(&mut self, line: u64, pending_flushes: usize) -> LineOutcome;
+}
+
+/// A plan where no un-fenced data survives: the most pessimistic crash.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AllOld;
+
+impl CrashPlan for AllOld {
+    fn choose(&mut self, _line: u64, _pending: usize) -> LineOutcome {
+        LineOutcome::Old
+    }
+}
+
+/// A plan where every dirty line is evicted: all stores survive, as if the
+/// crash had happened after a full write-back.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AllNew;
+
+impl CrashPlan for AllNew {
+    fn choose(&mut self, _line: u64, _pending: usize) -> LineOutcome {
+        LineOutcome::New
+    }
+}
+
+/// A seeded random plan: each line independently keeps old content, a random
+/// pending flush, or the newest store.
+#[derive(Debug)]
+pub struct RandomPlan {
+    rng: StdRng,
+}
+
+impl RandomPlan {
+    /// Creates a plan from a seed so failures are reproducible.
+    pub fn seeded(seed: u64) -> Self {
+        RandomPlan { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl CrashPlan for RandomPlan {
+    fn choose(&mut self, _line: u64, pending: usize) -> LineOutcome {
+        match self.rng.gen_range(0..3u8) {
+            0 => LineOutcome::Old,
+            1 if pending > 0 => LineOutcome::Flushed(self.rng.gen_range(0..pending)),
+            _ => LineOutcome::New,
+        }
+    }
+}
+
+impl<F> CrashPlan for F
+where
+    F: FnMut(u64, usize) -> LineOutcome,
+{
+    fn choose(&mut self, line: u64, pending: usize) -> LineOutcome {
+        self(line, pending)
+    }
+}

@@ -1,0 +1,769 @@
+//! The simulated NVMM device.
+//!
+//! [`NvmDevice`] is the single source of truth for "what is in persistent
+//! memory". All persistent-object libraries in this workspace perform loads,
+//! stores, flushes, fences, and atomics exclusively through it, which is what
+//! makes crash and fault injection possible.
+//!
+//! # Concurrency contract
+//!
+//! The device hands out access to shared raw memory, mirroring DAX-mapped
+//! NVMM. Like real memory, concurrent conflicting plain accesses to
+//! overlapping bytes are forbidden; callers must synchronize (the libraries
+//! use transaction ownership, allocator locks and parity range-locks).
+//! Atomic accessors may race with each other on the same 8-byte word.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+use crate::crash::CrashPlan;
+use crate::error::{MemError, Result};
+use crate::latency::LatencyModel;
+use crate::poison::PoisonSet;
+use crate::rawbuf::RawBuf;
+use crate::stats::{DeviceStats, StatsSnapshot};
+use crate::tracker::Tracker;
+use crate::{CACHELINE, PAGE_SIZE};
+
+/// How faithfully the device models persistence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PersistenceMode {
+    /// No dirty-line tracking: stores are immediately durable. Fast; used by
+    /// benchmarks, where timing (not crash simulation) is the object.
+    #[default]
+    Fast,
+    /// Full dirty-line tracking with flush/fence epochs: crashes can replay
+    /// any hardware-legal persistence order. Used by crash-consistency tests.
+    Precise,
+}
+
+/// Device construction parameters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeviceConfig {
+    /// Persistence fidelity.
+    pub mode: PersistenceMode,
+    /// Latency charges (disabled by default).
+    pub latency: LatencyModel,
+}
+
+impl DeviceConfig {
+    /// Fast mode without latency charges.
+    pub fn fast() -> Self {
+        DeviceConfig { mode: PersistenceMode::Fast, latency: LatencyModel::disabled() }
+    }
+
+    /// Precise mode without latency charges (the crash-testing setup).
+    pub fn precise() -> Self {
+        DeviceConfig { mode: PersistenceMode::Precise, latency: LatencyModel::disabled() }
+    }
+
+    /// Fast mode with the Optane-like latency model (the benchmark setup).
+    pub fn bench() -> Self {
+        DeviceConfig { mode: PersistenceMode::Fast, latency: LatencyModel::optane() }
+    }
+
+    /// Replaces the latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+}
+
+/// Panic payload used by the crash-point injector; tests downcast to this
+/// to distinguish injected crashes from real bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint;
+
+/// A simulated byte-addressable persistent memory device.
+///
+/// See the [module documentation](self) for semantics and the concurrency
+/// contract.
+pub struct NvmDevice {
+    buf: RawBuf,
+    tracker: Option<Tracker>,
+    poison: PoisonSet,
+    latency: LatencyModel,
+    stats: DeviceStats,
+    /// Crash-point countdown: every mutating device op decrements it; at
+    /// zero the op panics with [`CrashPoint`]. Negative = disarmed.
+    crash_countdown: AtomicI64,
+}
+
+impl NvmDevice {
+    /// Creates a zero-filled device of `len` bytes.
+    ///
+    /// `len` must be a non-zero multiple of [`PAGE_SIZE`] so that page and
+    /// cache-line arithmetic is exact.
+    pub fn new(len: usize, config: DeviceConfig) -> Result<Self> {
+        if len == 0 || len % PAGE_SIZE != 0 {
+            return Err(MemError::OutOfBounds { off: 0, len, size: len });
+        }
+        let tracker = match config.mode {
+            PersistenceMode::Fast => None,
+            PersistenceMode::Precise => Some(Tracker::new()),
+        };
+        Ok(NvmDevice {
+            buf: RawBuf::new(len),
+            tracker,
+            poison: PoisonSet::new(),
+            latency: config.latency,
+            stats: DeviceStats::default(),
+            crash_countdown: AtomicI64::new(-1),
+        })
+    }
+
+    /// Returns the device size in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if the device has zero capacity (never true; kept for
+    /// API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.len() == 0
+    }
+
+    /// Returns the number of pages on the device.
+    #[inline]
+    pub fn pages(&self) -> u64 {
+        (self.len() / PAGE_SIZE) as u64
+    }
+
+    /// Returns the operation counters.
+    #[inline]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Returns the configured latency model.
+    #[inline]
+    pub fn latency(&self) -> LatencyModel {
+        self.latency
+    }
+
+    #[inline]
+    fn check_bounds(&self, off: u64, len: usize) -> Result<()> {
+        let size = self.len();
+        let end = off.checked_add(len as u64);
+        match end {
+            Some(end) if end <= size as u64 => Ok(()),
+            _ => Err(MemError::OutOfBounds { off, len, size }),
+        }
+    }
+
+    #[inline]
+    fn check_poison(&self, off: u64, len: usize) -> Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        let first = off / PAGE_SIZE as u64;
+        let last = (off + len as u64 - 1) / PAGE_SIZE as u64;
+        if let Some(page) = self.poison.first_poisoned_in(first, last) {
+            DeviceStats::add(&self.stats.poison_hits, 1);
+            return Err(MemError::Poisoned { page });
+        }
+        Ok(())
+    }
+
+    /// Returns the raw pointer at `off`. Bounds must already be checked.
+    #[inline]
+    fn ptr_at(&self, off: u64) -> *mut u8 {
+        debug_assert!(off <= self.len() as u64);
+        // SAFETY: callers check bounds before calling; the pointer stays
+        // within the allocation.
+        unsafe { self.buf.ptr().add(off as usize) }
+    }
+
+    /// Arms the crash-point injector: the `n`-th mutating device operation
+    /// from now (0-based) panics with [`CrashPoint`], letting tests explore
+    /// a power failure between any two persistence-relevant operations.
+    pub fn arm_crash_after(&self, n: u64) {
+        self.crash_countdown.store(n as i64, Ordering::SeqCst);
+    }
+
+    /// Disarms the crash-point injector.
+    pub fn disarm_crash(&self) {
+        self.crash_countdown.store(-1, Ordering::SeqCst);
+    }
+
+    /// Remaining armed countdown (negative when disarmed). Tests arm a huge
+    /// value, run a workload, and subtract to count its device operations.
+    pub fn crash_countdown(&self) -> i64 {
+        self.crash_countdown.load(Ordering::SeqCst)
+    }
+
+    /// Counts a mutating operation against the crash countdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics with [`CrashPoint`] when the armed countdown reaches zero.
+    #[inline]
+    fn maybe_crash(&self) {
+        if self.crash_countdown.load(Ordering::Relaxed) < 0 {
+            return;
+        }
+        if self.crash_countdown.fetch_sub(1, Ordering::SeqCst) == 0 {
+            std::panic::panic_any(CrashPoint);
+        }
+    }
+
+    /// Copies the current content of cache line `line` out of the buffer.
+    #[inline]
+    fn line_content(&self, line: u64) -> [u8; CACHELINE] {
+        let mut out = [0u8; CACHELINE];
+        // SAFETY: `line` derives from a bounds-checked offset; device length
+        // is a multiple of PAGE_SIZE, hence of CACHELINE.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                self.ptr_at(line * CACHELINE as u64),
+                out.as_mut_ptr(),
+                CACHELINE,
+            );
+        }
+        out
+    }
+
+    #[inline]
+    fn lines_of(off: u64, len: usize) -> std::ops::Range<u64> {
+        if len == 0 {
+            return 0..0;
+        }
+        let first = off / CACHELINE as u64;
+        let last = (off + len as u64 - 1) / CACHELINE as u64;
+        first..last + 1
+    }
+
+    // ------------------------------------------------------------------
+    // Loads
+    // ------------------------------------------------------------------
+
+    /// Reads `dst.len()` bytes starting at `off`.
+    ///
+    /// Fails with [`MemError::Poisoned`] if the range touches a poisoned
+    /// page — the `SIGBUS` analogue.
+    pub fn read(&self, off: u64, dst: &mut [u8]) -> Result<()> {
+        self.check_bounds(off, dst.len())?;
+        self.check_poison(off, dst.len())?;
+        // SAFETY: bounds checked; `dst` is exclusive; contract forbids
+        // concurrent conflicting writes to this range.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.ptr_at(off), dst.as_mut_ptr(), dst.len());
+        }
+        Ok(())
+    }
+
+    /// Returns a borrowed view of `len` bytes at `off`.
+    ///
+    /// The view is valid while no concurrent write to the range occurs
+    /// (caller-enforced, like a load through a DAX mapping).
+    pub fn read_slice(&self, off: u64, len: usize) -> Result<&[u8]> {
+        self.check_bounds(off, len)?;
+        self.check_poison(off, len)?;
+        // SAFETY: bounds checked; the contract forbids conflicting writes
+        // while the reference is live.
+        Ok(unsafe { std::slice::from_raw_parts(self.ptr_at(off), len) })
+    }
+
+    /// Reads a little-endian `u64` at an 8-byte-aligned offset atomically.
+    pub fn atomic_load_u64(&self, off: u64) -> Result<u64> {
+        self.check_aligned8(off)?;
+        self.check_poison(off, 8)?;
+        // SAFETY: aligned and in-bounds; AtomicU64 may alias plain memory
+        // that is only accessed through this device's synchronized paths.
+        let atom = unsafe { &*(self.ptr_at(off) as *const AtomicU64) };
+        Ok(atom.load(Ordering::Acquire))
+    }
+
+    // ------------------------------------------------------------------
+    // Stores
+    // ------------------------------------------------------------------
+
+    /// Writes `src` at `off` through the (simulated) cache. Not durable
+    /// until flushed and fenced.
+    pub fn write(&self, off: u64, src: &[u8]) -> Result<()> {
+        self.check_bounds(off, src.len())?;
+        self.maybe_crash();
+        DeviceStats::add(&self.stats.bytes_written, src.len() as u64);
+        if self.latency.write_ns_per_line > 0 {
+            let lines = Self::lines_of(off, src.len());
+            LatencyModel::charge(self.latency.write_ns_per_line * (lines.end - lines.start));
+        }
+        if let Some(tracker) = &self.tracker {
+            for line in Self::lines_of(off, src.len()) {
+                tracker.note_store(line, &self.line_content(line));
+            }
+        }
+        // SAFETY: bounds checked; contract forbids conflicting concurrent
+        // access.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr_at(off), src.len());
+        }
+        Ok(())
+    }
+
+    /// Writes `src` at `off` with non-temporal stores: the data bypasses the
+    /// cache and becomes durable at the next fence.
+    pub fn write_nt(&self, off: u64, src: &[u8]) -> Result<()> {
+        self.check_bounds(off, src.len())?;
+        self.maybe_crash();
+        DeviceStats::add(&self.stats.bytes_written_nt, src.len() as u64);
+        if self.latency.nt_ns_per_line > 0 {
+            let lines = Self::lines_of(off, src.len());
+            LatencyModel::charge(self.latency.nt_ns_per_line * (lines.end - lines.start));
+        }
+        if let Some(tracker) = &self.tracker {
+            // Track per line: capture pre-content, apply the sub-write, then
+            // record the flushed (post) content.
+            for line in Self::lines_of(off, src.len()) {
+                let pre = self.line_content(line);
+                let line_start = line * CACHELINE as u64;
+                let copy_start = line_start.max(off);
+                let copy_end = (line_start + CACHELINE as u64).min(off + src.len() as u64);
+                // SAFETY: sub-range of a bounds-checked write.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        src.as_ptr().add((copy_start - off) as usize),
+                        self.ptr_at(copy_start),
+                        (copy_end - copy_start) as usize,
+                    );
+                }
+                let post = self.line_content(line);
+                tracker.note_store_nt(line, &pre, &post);
+            }
+        } else {
+            // SAFETY: bounds checked; contract forbids conflicting access.
+            unsafe {
+                std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr_at(off), src.len());
+            }
+        }
+        Ok(())
+    }
+
+    /// Fills `len` bytes at `off` with `byte` (a cached memset).
+    pub fn set(&self, off: u64, byte: u8, len: usize) -> Result<()> {
+        self.check_bounds(off, len)?;
+        self.maybe_crash();
+        DeviceStats::add(&self.stats.bytes_written, len as u64);
+        if let Some(tracker) = &self.tracker {
+            for line in Self::lines_of(off, len) {
+                tracker.note_store(line, &self.line_content(line));
+            }
+        }
+        // SAFETY: bounds checked; contract forbids conflicting access.
+        unsafe {
+            std::ptr::write_bytes(self.ptr_at(off), byte, len);
+        }
+        Ok(())
+    }
+
+    /// Stores a `u64` at an 8-byte-aligned offset atomically (x86 guarantees
+    /// 8-byte aligned stores are failure-atomic; paper §2.3).
+    pub fn atomic_store_u64(&self, off: u64, val: u64) -> Result<()> {
+        self.check_aligned8(off)?;
+        self.maybe_crash();
+        DeviceStats::add(&self.stats.atomic_stores, 1);
+        if self.latency.atomic_rmw_ns > 0 {
+            LatencyModel::charge(self.latency.atomic_rmw_ns);
+        }
+        if let Some(tracker) = &self.tracker {
+            let line = off / CACHELINE as u64;
+            tracker.note_store(line, &self.line_content(line));
+        }
+        // SAFETY: aligned, in-bounds.
+        let atom = unsafe { &*(self.ptr_at(off) as *const AtomicU64) };
+        atom.store(val, Ordering::Release);
+        Ok(())
+    }
+
+    /// Atomically XORs `val` into the `u64` at an 8-byte-aligned offset.
+    /// This is the lock-free small-parity-update primitive (paper §3.5).
+    pub fn atomic_xor_u64(&self, off: u64, val: u64) -> Result<()> {
+        self.check_aligned8(off)?;
+        self.maybe_crash();
+        DeviceStats::add(&self.stats.atomic_xors, 1);
+        if self.latency.atomic_rmw_ns > 0 {
+            LatencyModel::charge(self.latency.atomic_rmw_ns);
+        }
+        if let Some(tracker) = &self.tracker {
+            let line = off / CACHELINE as u64;
+            tracker.note_store(line, &self.line_content(line));
+        }
+        // SAFETY: aligned, in-bounds.
+        let atom = unsafe { &*(self.ptr_at(off) as *const AtomicU64) };
+        atom.fetch_xor(val, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// XORs `src` into the range at `off` with plain (vectorized) stores.
+    ///
+    /// This is the bulk parity path; callers must hold an exclusive parity
+    /// range-lock covering the range (paper §3.5's "hybrid" scheme).
+    pub fn xor_range(&self, off: u64, src: &[u8]) -> Result<()> {
+        self.check_bounds(off, src.len())?;
+        self.maybe_crash();
+        DeviceStats::add(&self.stats.xor_bytes, src.len() as u64);
+        DeviceStats::add(&self.stats.bytes_written, src.len() as u64);
+        if self.latency.write_ns_per_line > 0 {
+            let lines = Self::lines_of(off, src.len());
+            LatencyModel::charge(self.latency.write_ns_per_line * (lines.end - lines.start));
+        }
+        if let Some(tracker) = &self.tracker {
+            for line in Self::lines_of(off, src.len()) {
+                tracker.note_store(line, &self.line_content(line));
+            }
+        }
+        let ptr = self.ptr_at(off);
+        let mut i = 0usize;
+        // Word-at-a-time XOR for the aligned middle, byte ops at the edges.
+        // SAFETY: all accesses stay within the bounds-checked range.
+        unsafe {
+            while i < src.len() && (off as usize + i) % 8 != 0 {
+                *ptr.add(i) ^= src[i];
+                i += 1;
+            }
+            while i + 8 <= src.len() {
+                let d = ptr.add(i) as *mut u64;
+                let s = std::ptr::read_unaligned(src.as_ptr().add(i) as *const u64);
+                std::ptr::write_unaligned(d, std::ptr::read_unaligned(d) ^ s);
+                i += 8;
+            }
+            while i < src.len() {
+                *ptr.add(i) ^= src[i];
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence
+    // ------------------------------------------------------------------
+
+    /// Issues `CLWB` for every cache line overlapping the range. The data is
+    /// durable only after the next [`NvmDevice::drain`].
+    pub fn flush(&self, off: u64, len: usize) -> Result<()> {
+        self.check_bounds(off, len)?;
+        self.maybe_crash();
+        let lines = Self::lines_of(off, len);
+        let n_lines = lines.end - lines.start;
+        DeviceStats::add(&self.stats.lines_flushed, n_lines);
+        if self.latency.flush_ns_per_line > 0 {
+            LatencyModel::charge(self.latency.flush_ns_per_line * n_lines);
+        }
+        if let Some(tracker) = &self.tracker {
+            for line in lines {
+                tracker.note_flush(line, &self.line_content(line));
+            }
+        }
+        Ok(())
+    }
+
+    /// Issues a store fence (`SFENCE`): all previously flushed lines and
+    /// non-temporal stores become durable.
+    pub fn drain(&self) {
+        self.maybe_crash();
+        DeviceStats::add(&self.stats.fences, 1);
+        if self.latency.fence_ns > 0 {
+            LatencyModel::charge(self.latency.fence_ns);
+        }
+        if let Some(tracker) = &self.tracker {
+            tracker.drain();
+        }
+    }
+
+    /// Flush + drain: makes the range durable (`pmem_persist` analogue).
+    pub fn persist(&self, off: u64, len: usize) -> Result<()> {
+        self.flush(off, len)?;
+        self.drain();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Faults and crashes
+    // ------------------------------------------------------------------
+
+    /// Marks page index `page` as poisoned: subsequent reads covering it
+    /// fail with [`MemError::Poisoned`] (the MCE/`SIGBUS` analogue).
+    pub fn poison_page(&self, page: u64) -> Result<()> {
+        if page >= self.pages() {
+            return Err(MemError::OutOfBounds {
+                off: page * PAGE_SIZE as u64,
+                len: PAGE_SIZE,
+                size: self.len(),
+            });
+        }
+        self.poison.poison(page);
+        Ok(())
+    }
+
+    /// Returns `true` if `page` is poisoned.
+    pub fn is_poisoned_page(&self, page: u64) -> bool {
+        self.poison.is_poisoned(page)
+    }
+
+    /// Lists all poisoned pages (the kernel's persistent bad-page list).
+    pub fn poisoned_pages(&self) -> Vec<u64> {
+        self.poison.all()
+    }
+
+    /// Repairs a poisoned page by rewriting it with `data` and clearing the
+    /// poison, then persisting — the ACPI clear-uncorrectable flow.
+    pub fn repair_page(&self, page: u64, data: &[u8]) -> Result<()> {
+        if data.len() != PAGE_SIZE {
+            return Err(MemError::OutOfBounds {
+                off: page * PAGE_SIZE as u64,
+                len: data.len(),
+                size: PAGE_SIZE,
+            });
+        }
+        let off = page * PAGE_SIZE as u64;
+        self.check_bounds(off, PAGE_SIZE)?;
+        self.write(off, data)?;
+        self.persist(off, PAGE_SIZE)?;
+        self.poison.clear(page);
+        Ok(())
+    }
+
+    /// Corrupts memory directly, bypassing the store path: the model of a
+    /// software "scribble" (wild pointer / buffer overrun) that hardware ECC
+    /// cannot detect. The corruption is immediately durable.
+    pub fn scribble(&self, off: u64, src: &[u8]) -> Result<()> {
+        self.check_bounds(off, src.len())?;
+        if let Some(tracker) = &self.tracker {
+            for line in Self::lines_of(off, src.len()) {
+                tracker.note_store(line, &self.line_content(line));
+            }
+        }
+        // SAFETY: bounds checked.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr_at(off), src.len());
+        }
+        if let Some(tracker) = &self.tracker {
+            for line in Self::lines_of(off, src.len()) {
+                tracker.note_flush(line, &self.line_content(line));
+            }
+            tracker.drain();
+        }
+        Ok(())
+    }
+
+    /// Simulates a power failure: every dirty line reverts to a state the
+    /// hardware could have left it in, as chosen by `plan`.
+    ///
+    /// The caller must have quiesced all other device users.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device was built in [`PersistenceMode::Fast`], which
+    /// does not track dirty lines.
+    pub fn simulate_crash(&self, plan: &mut dyn CrashPlan) {
+        let tracker = self
+            .tracker
+            .as_ref()
+            .expect("simulate_crash requires PersistenceMode::Precise");
+        tracker.crash_with(
+            plan,
+            |line| self.line_content(line),
+            |line, content| {
+                // SAFETY: line indices derive from bounds-checked stores.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        content.as_ptr(),
+                        self.ptr_at(line * CACHELINE as u64),
+                        CACHELINE,
+                    );
+                }
+            },
+        );
+    }
+
+    /// Returns the indices of cache lines with unsettled persistence state
+    /// (testing/diagnostics; empty in Fast mode).
+    pub fn dirty_lines(&self) -> Vec<u64> {
+        self.tracker.as_ref().map(|t| t.dirty_lines()).unwrap_or_default()
+    }
+
+    #[inline]
+    fn check_aligned8(&self, off: u64) -> Result<()> {
+        self.check_bounds(off, 8)?;
+        if off % 8 != 0 {
+            return Err(MemError::Misaligned { off, align: 8 });
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for NvmDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NvmDevice")
+            .field("len", &self.len())
+            .field("precise", &self.tracker.is_some())
+            .field("poisoned_pages", &self.poison.all().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crash::{AllNew, AllOld};
+
+    fn dev(mode: PersistenceMode) -> NvmDevice {
+        NvmDevice::new(64 * 1024, DeviceConfig { mode, latency: LatencyModel::disabled() })
+            .unwrap()
+    }
+
+    #[test]
+    fn basic_write_read_roundtrip() {
+        let d = dev(PersistenceMode::Fast);
+        d.write(100, b"pangolin").unwrap();
+        let mut out = [0u8; 8];
+        d.read(100, &mut out).unwrap();
+        assert_eq!(&out, b"pangolin");
+        assert_eq!(d.read_slice(100, 8).unwrap(), b"pangolin");
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let d = dev(PersistenceMode::Fast);
+        assert!(matches!(
+            d.write(d.len() as u64 - 4, b"12345678"),
+            Err(MemError::OutOfBounds { .. })
+        ));
+        let mut out = [0u8; 16];
+        assert!(d.read(u64::MAX - 2, &mut out).is_err());
+        assert!(NvmDevice::new(1000, DeviceConfig::fast()).is_err(), "non-page-multiple size");
+    }
+
+    #[test]
+    fn unflushed_store_lost_on_pessimistic_crash() {
+        let d = dev(PersistenceMode::Precise);
+        d.write(0, &[7u8; 64]).unwrap();
+        d.simulate_crash(&mut AllOld);
+        assert_eq!(d.read_slice(0, 64).unwrap(), &[0u8; 64][..]);
+    }
+
+    #[test]
+    fn persisted_store_survives_pessimistic_crash() {
+        let d = dev(PersistenceMode::Precise);
+        d.write(0, &[7u8; 64]).unwrap();
+        d.persist(0, 64).unwrap();
+        d.simulate_crash(&mut AllOld);
+        assert_eq!(d.read_slice(0, 64).unwrap(), &[7u8; 64][..]);
+    }
+
+    #[test]
+    fn evicted_store_can_survive_without_flush() {
+        let d = dev(PersistenceMode::Precise);
+        d.write(0, &[9u8; 16]).unwrap();
+        d.simulate_crash(&mut AllNew);
+        assert_eq!(d.read_slice(0, 16).unwrap(), &[9u8; 16][..]);
+    }
+
+    #[test]
+    fn nt_store_durable_after_fence_only() {
+        let d = dev(PersistenceMode::Precise);
+        d.write_nt(128, &[3u8; 32]).unwrap();
+        // Without a fence the NT store may be lost.
+        d.simulate_crash(&mut AllOld);
+        assert_eq!(d.read_slice(128, 32).unwrap(), &[0u8; 32][..]);
+
+        d.write_nt(128, &[3u8; 32]).unwrap();
+        d.drain();
+        d.simulate_crash(&mut AllOld);
+        assert_eq!(d.read_slice(128, 32).unwrap(), &[3u8; 32][..]);
+    }
+
+    #[test]
+    fn poison_blocks_reads_until_repair() {
+        let d = dev(PersistenceMode::Fast);
+        d.write(4096, &[5u8; 64]).unwrap();
+        d.poison_page(1).unwrap();
+        let mut out = [0u8; 4];
+        assert_eq!(d.read(4096, &mut out), Err(MemError::Poisoned { page: 1 }));
+        assert_eq!(d.read(8192, &mut out), Ok(()), "other pages unaffected");
+        // Writes are allowed; reads still fail until a full-page repair.
+        d.write(4096, &[6u8; 8]).unwrap();
+        assert!(d.read(4100, &mut out).is_err());
+        d.repair_page(1, &[0xEE; PAGE_SIZE]).unwrap();
+        d.read(4096, &mut out).unwrap();
+        assert_eq!(out, [0xEE; 4]);
+        assert!(d.poisoned_pages().is_empty());
+    }
+
+    #[test]
+    fn poison_spanning_read_reports_first_bad_page() {
+        let d = dev(PersistenceMode::Fast);
+        d.poison_page(2).unwrap();
+        let mut buf = vec![0u8; 3 * PAGE_SIZE];
+        assert_eq!(d.read(PAGE_SIZE as u64, &mut buf), Err(MemError::Poisoned { page: 2 }));
+    }
+
+    #[test]
+    fn atomic_store_and_load() {
+        let d = dev(PersistenceMode::Fast);
+        d.atomic_store_u64(64, 0xDEAD_BEEF).unwrap();
+        assert_eq!(d.atomic_load_u64(64).unwrap(), 0xDEAD_BEEF);
+        assert!(matches!(d.atomic_store_u64(61, 1), Err(MemError::Misaligned { .. })));
+    }
+
+    #[test]
+    fn atomic_xor_commutes() {
+        let d = dev(PersistenceMode::Fast);
+        d.atomic_store_u64(0, 0).unwrap();
+        d.atomic_xor_u64(0, 0xFF00).unwrap();
+        d.atomic_xor_u64(0, 0x00FF).unwrap();
+        assert_eq!(d.atomic_load_u64(0).unwrap(), 0xFFFF);
+        // XOR is its own inverse.
+        d.atomic_xor_u64(0, 0xFFFF).unwrap();
+        assert_eq!(d.atomic_load_u64(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn xor_range_matches_bytewise() {
+        let d = dev(PersistenceMode::Fast);
+        let base: Vec<u8> = (0..100u8).collect();
+        let patch: Vec<u8> = (0..100u8).map(|b| b.wrapping_mul(31)).collect();
+        d.write(3, &base).unwrap(); // deliberately misaligned
+        d.xor_range(3, &patch).unwrap();
+        let got = d.read_slice(3, 100).unwrap();
+        for i in 0..100 {
+            assert_eq!(got[i], base[i] ^ patch[i], "byte {i}");
+        }
+    }
+
+    #[test]
+    fn scribble_bypasses_and_persists() {
+        let d = dev(PersistenceMode::Precise);
+        d.write(0, &[1u8; 8]).unwrap();
+        d.persist(0, 8).unwrap();
+        d.scribble(0, &[0xBA; 8]).unwrap();
+        d.simulate_crash(&mut AllOld);
+        assert_eq!(d.read_slice(0, 8).unwrap(), &[0xBA; 8][..], "scribbles are durable");
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let d = dev(PersistenceMode::Fast);
+        d.write(0, &[0u8; 128]).unwrap();
+        d.write_nt(256, &[0u8; 64]).unwrap();
+        d.persist(0, 128).unwrap();
+        d.atomic_xor_u64(512, 1).unwrap();
+        let s = d.stats();
+        assert_eq!(s.bytes_written, 128);
+        assert_eq!(s.bytes_written_nt, 64);
+        assert_eq!(s.lines_flushed, 2);
+        assert_eq!(s.fences, 1);
+        assert_eq!(s.atomic_xors, 1);
+    }
+
+    #[test]
+    fn set_fills_and_tracks() {
+        let d = dev(PersistenceMode::Precise);
+        d.set(64, 0xAB, 200).unwrap();
+        assert_eq!(d.read_slice(64, 200).unwrap(), &[0xAB; 200][..]);
+        d.simulate_crash(&mut AllOld);
+        assert_eq!(d.read_slice(64, 200).unwrap(), &[0u8; 200][..]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for simulated NVMM accesses.
+
+use std::fmt;
+
+/// Errors returned by [`crate::NvmDevice`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// An access fell outside the device.
+    OutOfBounds {
+        /// Requested start offset.
+        off: u64,
+        /// Requested length in bytes.
+        len: usize,
+        /// Total device size in bytes.
+        size: usize,
+    },
+    /// A load touched a poisoned page — the analogue of an uncorrectable
+    /// media error reported via MCE/`SIGBUS` (paper §2.2).
+    Poisoned {
+        /// Index of the first poisoned page the access touched.
+        page: u64,
+    },
+    /// An atomic access was not naturally aligned.
+    Misaligned {
+        /// Offending offset.
+        off: u64,
+        /// Required alignment.
+        align: usize,
+    },
+    /// An I/O error while saving or loading a device image.
+    Io(String),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfBounds { off, len, size } => {
+                write!(f, "access [{off:#x}, +{len}) out of bounds (size {size:#x})")
+            }
+            MemError::Poisoned { page } => {
+                write!(f, "uncorrectable media error: page {page} is poisoned")
+            }
+            MemError::Misaligned { off, align } => {
+                write!(f, "offset {off:#x} is not {align}-byte aligned")
+            }
+            MemError::Io(e) => write!(f, "image i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+impl From<std::io::Error> for MemError {
+    fn from(e: std::io::Error) -> Self {
+        MemError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, MemError>;

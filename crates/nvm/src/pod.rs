@@ -1,0 +1,158 @@
+//! Plain-old-data views over raw NVMM bytes.
+//!
+//! Persistent objects live in the device as raw bytes; this module is the
+//! one place that converts between `#[repr(C)]` structs and byte slices.
+//! Keeping the conversion here (with a single, auditable safety contract)
+//! follows the "encapsulate unsafety in one module" idiom.
+
+/// Marker for types that can be reinterpreted as raw bytes in NVMM.
+///
+/// # Safety
+///
+/// Implementors must guarantee all of the following:
+///
+/// * the type is `#[repr(C)]` (or a primitive/array) with **no padding
+///   bytes** — `size_of::<T>()` equals the sum of its field sizes;
+/// * **every bit pattern is a valid value** — no `bool`, `char`, enums with
+///   niches, or references;
+/// * the type contains no interior mutability and no pointers that are
+///   meaningful outside the pool (persistent pointers must be stored as
+///   offset-based types such as `PMEMoid`).
+///
+/// Use [`impl_pod!`](crate::impl_pod) to implement the trait with a
+/// compile-time size assertion documenting the no-padding claim.
+pub unsafe trait Pod: Copy + 'static {}
+
+// SAFETY: primitives have no padding and accept any bit pattern.
+unsafe impl Pod for u8 {}
+// SAFETY: as above.
+unsafe impl Pod for u16 {}
+// SAFETY: as above.
+unsafe impl Pod for u32 {}
+// SAFETY: as above.
+unsafe impl Pod for u64 {}
+// SAFETY: as above.
+unsafe impl Pod for i8 {}
+// SAFETY: as above.
+unsafe impl Pod for i16 {}
+// SAFETY: as above.
+unsafe impl Pod for i32 {}
+// SAFETY: as above.
+unsafe impl Pod for i64 {}
+
+// SAFETY: arrays of Pod are Pod (no padding between elements).
+unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
+
+/// Implements [`Pod`] for a `#[repr(C)]` struct with a compile-time size
+/// assertion that documents the no-padding requirement.
+///
+/// # Examples
+///
+/// ```
+/// use pgl_nvm::impl_pod;
+///
+/// #[derive(Clone, Copy)]
+/// #[repr(C)]
+/// struct Node {
+///     key: u64,
+///     val: u64,
+/// }
+/// impl_pod!(Node, 16);
+/// ```
+#[macro_export]
+macro_rules! impl_pod {
+    ($ty:ty, $size:expr) => {
+        const _: () = assert!(
+            ::std::mem::size_of::<$ty>() == $size,
+            concat!("size mismatch for ", stringify!($ty), ": declared no-padding size differs")
+        );
+        // SAFETY: the macro caller asserts (and the const check witnesses)
+        // that the struct is `#[repr(C)]`, has the declared packed size, and
+        // per the `Pod` contract accepts any bit pattern.
+        unsafe impl $crate::pod::Pod for $ty {}
+    };
+}
+
+/// Borrows the raw bytes of a `Pod` value.
+#[inline]
+pub fn bytes_of<T: Pod>(val: &T) -> &[u8] {
+    // SAFETY: `T: Pod` guarantees no padding, so all `size_of::<T>()` bytes
+    // are initialized; the lifetime is tied to the borrow of `val`.
+    unsafe { std::slice::from_raw_parts(val as *const T as *const u8, std::mem::size_of::<T>()) }
+}
+
+/// Reconstructs a `Pod` value from raw bytes.
+///
+/// # Panics
+///
+/// Panics if `bytes` is shorter than `size_of::<T>()`.
+#[inline]
+pub fn from_bytes<T: Pod>(bytes: &[u8]) -> T {
+    assert!(
+        bytes.len() >= std::mem::size_of::<T>(),
+        "from_bytes: need {} bytes, got {}",
+        std::mem::size_of::<T>(),
+        bytes.len()
+    );
+    // SAFETY: length checked above; `T: Pod` means any bit pattern is valid;
+    // `read_unaligned` tolerates arbitrary alignment of `bytes`.
+    unsafe { std::ptr::read_unaligned(bytes.as_ptr() as *const T) }
+}
+
+/// Writes a `Pod` value into a byte buffer at `off`.
+///
+/// # Panics
+///
+/// Panics if the value does not fit.
+#[inline]
+pub fn write_to<T: Pod>(bytes: &mut [u8], off: usize, val: &T) {
+    let src = bytes_of(val);
+    bytes[off..off + src.len()].copy_from_slice(src);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Copy, PartialEq, Debug)]
+    #[repr(C)]
+    struct Pair {
+        a: u64,
+        b: u32,
+        c: u32,
+    }
+    impl_pod!(Pair, 16);
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let p = Pair { a: 0x0102_0304_0506_0708, b: 0xAABB_CCDD, c: 7 };
+        let bytes = bytes_of(&p).to_vec();
+        assert_eq!(bytes.len(), 16);
+        let q: Pair = from_bytes(&bytes);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn from_bytes_tolerates_misalignment() {
+        let p = Pair { a: 1, b: 2, c: 3 };
+        let mut buf = vec![0u8; 32];
+        buf[3..19].copy_from_slice(bytes_of(&p));
+        let q: Pair = from_bytes(&buf[3..]);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn write_to_places_bytes() {
+        let p = Pair { a: 9, b: 8, c: 7 };
+        let mut buf = vec![0u8; 40];
+        write_to(&mut buf, 8, &p);
+        let q: Pair = from_bytes(&buf[8..24]);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    #[should_panic(expected = "need")]
+    fn from_bytes_checks_length() {
+        let _: Pair = from_bytes(&[0u8; 3]);
+    }
+}

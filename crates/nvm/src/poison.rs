@@ -1,0 +1,96 @@
+//! Page-granularity media-error (poison) tracking.
+//!
+//! Linux manages NVMM media failures at 4 KB page granularity (paper §2.2):
+//! the kernel marks the page surrounding a failed load as poisoned and
+//! subsequent loads fail. This module models that: a poisoned page makes all
+//! reads covering it fail with [`crate::MemError::Poisoned`], and writing a
+//! full page of fresh data clears the poison (the ACPI clear-uncorrectable
+//! flow).
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::RwLock;
+
+/// Set of poisoned pages with a lock-free emptiness fast path, so the read
+/// hot path pays a single relaxed load when no errors are outstanding.
+pub(crate) struct PoisonSet {
+    count: AtomicUsize,
+    pages: RwLock<BTreeSet<u64>>,
+}
+
+impl PoisonSet {
+    pub(crate) fn new() -> Self {
+        PoisonSet { count: AtomicUsize::new(0), pages: RwLock::new(BTreeSet::new()) }
+    }
+
+    /// Returns the first poisoned page in `[first_page, last_page]`, if any.
+    #[inline]
+    pub(crate) fn first_poisoned_in(&self, first_page: u64, last_page: u64) -> Option<u64> {
+        if self.count.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        let pages = self.pages.read();
+        pages.range(first_page..=last_page).next().copied()
+    }
+
+    /// Marks `page` as poisoned. Returns `true` if it was newly poisoned.
+    pub(crate) fn poison(&self, page: u64) -> bool {
+        let mut pages = self.pages.write();
+        let inserted = pages.insert(page);
+        if inserted {
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+        inserted
+    }
+
+    /// Clears poison from `page`. Returns `true` if it was poisoned.
+    pub(crate) fn clear(&self, page: u64) -> bool {
+        let mut pages = self.pages.write();
+        let removed = pages.remove(&page);
+        if removed {
+            self.count.fetch_sub(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Returns `true` if `page` is poisoned.
+    pub(crate) fn is_poisoned(&self, page: u64) -> bool {
+        self.count.load(Ordering::Relaxed) != 0 && self.pages.read().contains(&page)
+    }
+
+    /// Lists all currently poisoned pages (the kernel's "known bad pages").
+    pub(crate) fn all(&self) -> Vec<u64> {
+        self.pages.read().iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poison_and_clear_roundtrip() {
+        let p = PoisonSet::new();
+        assert!(!p.is_poisoned(4));
+        assert!(p.poison(4));
+        assert!(!p.poison(4), "double poison is idempotent");
+        assert!(p.is_poisoned(4));
+        assert_eq!(p.first_poisoned_in(0, 10), Some(4));
+        assert_eq!(p.first_poisoned_in(5, 10), None);
+        assert!(p.clear(4));
+        assert!(!p.clear(4));
+        assert_eq!(p.first_poisoned_in(0, 10), None);
+    }
+
+    #[test]
+    fn range_queries_pick_lowest_page() {
+        let p = PoisonSet::new();
+        p.poison(9);
+        p.poison(3);
+        p.poison(7);
+        assert_eq!(p.first_poisoned_in(0, 100), Some(3));
+        assert_eq!(p.first_poisoned_in(4, 100), Some(7));
+        assert_eq!(p.all(), vec![3, 7, 9]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Page-aligned raw memory backing the simulated device.
+//!
+//! This module owns the only `unsafe` allocation code in the crate. The
+//! buffer is shared across threads through raw pointers; the safety contract
+//! (callers never issue racing accesses to overlapping bytes) is documented
+//! on [`RawBuf`] and mirrors real DAX semantics, where data races on mapped
+//! NVMM are undefined behaviour just as they are on DRAM.
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+
+use crate::PAGE_SIZE;
+
+/// A page-aligned, zero-initialized, heap-allocated byte region.
+///
+/// `RawBuf` hands out raw pointers rather than slices because the simulated
+/// device allows (synchronized) concurrent access from many threads, which
+/// Rust references cannot express directly.
+///
+/// # Safety contract for users
+///
+/// All accesses through [`RawBuf::ptr`] must uphold the usual aliasing rules
+/// *dynamically*: two threads must not access overlapping byte ranges
+/// concurrently unless both accesses are reads or both go through atomics.
+/// The persistent-object libraries built on top guarantee this with
+/// object-level transaction ownership, allocator locks, and parity
+/// range-locks, mirroring how real applications must synchronize DAX memory.
+pub(crate) struct RawBuf {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: The buffer is plain memory; cross-thread access is governed by the
+// documented dynamic aliasing contract, the same contract `&[UnsafeCell<u8>]`
+// would impose. No thread-affine state is held.
+unsafe impl Send for RawBuf {}
+// SAFETY: See the `Send` justification above.
+unsafe impl Sync for RawBuf {}
+
+impl RawBuf {
+    /// Allocates a zeroed buffer of `len` bytes, page-aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or allocation fails (an unrecoverable
+    /// condition for a memory simulator).
+    pub(crate) fn new(len: usize) -> Self {
+        assert!(len > 0, "device size must be non-zero");
+        let layout = Layout::from_size_align(len, PAGE_SIZE).expect("invalid device layout");
+        // SAFETY: `layout` has non-zero size (asserted above) and a valid
+        // power-of-two alignment.
+        let ptr = unsafe { alloc_zeroed(layout) };
+        assert!(!ptr.is_null(), "NVMM simulation allocation failed");
+        RawBuf { ptr, len }
+    }
+
+    /// Returns the base pointer of the buffer.
+    #[inline]
+    pub(crate) fn ptr(&self) -> *mut u8 {
+        self.ptr
+    }
+
+    /// Returns the buffer length in bytes.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl Drop for RawBuf {
+    fn drop(&mut self) {
+        let layout =
+            Layout::from_size_align(self.len, PAGE_SIZE).expect("layout valid at construction");
+        // SAFETY: `ptr` was allocated with exactly this layout in `new` and
+        // has not been freed before (we own it uniquely in `drop`).
+        unsafe { dealloc(self.ptr, layout) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_zeroed_and_aligned() {
+        let buf = RawBuf::new(8192);
+        assert_eq!(buf.ptr() as usize % PAGE_SIZE, 0);
+        assert_eq!(buf.len(), 8192);
+        for i in (0..8192).step_by(997) {
+            // SAFETY: `i` < len; no concurrent access in this test.
+            let b = unsafe { *buf.ptr().add(i) };
+            assert_eq!(b, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_size_rejected() {
+        let _ = RawBuf::new(0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Device operation counters.
+//!
+//! The benchmark harness uses these to report write amplification and flush
+//! traffic (e.g. replication writes 2x the bytes of parity mode), and the
+//! vulnerability study (Table 4) builds on library-level counters that
+//! mirror this pattern.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic operation counters, updated with relaxed atomics.
+#[derive(Debug, Default)]
+pub struct DeviceStats {
+    pub(crate) bytes_written: AtomicU64,
+    pub(crate) bytes_written_nt: AtomicU64,
+    pub(crate) lines_flushed: AtomicU64,
+    pub(crate) fences: AtomicU64,
+    pub(crate) atomic_stores: AtomicU64,
+    pub(crate) atomic_xors: AtomicU64,
+    pub(crate) xor_bytes: AtomicU64,
+    pub(crate) poison_hits: AtomicU64,
+}
+
+impl DeviceStats {
+    #[inline]
+    pub(crate) fn add(field: &AtomicU64, n: u64) {
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bytes_written_nt: self.bytes_written_nt.load(Ordering::Relaxed),
+            lines_flushed: self.lines_flushed.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+            atomic_stores: self.atomic_stores.load(Ordering::Relaxed),
+            atomic_xors: self.atomic_xors.load(Ordering::Relaxed),
+            xor_bytes: self.xor_bytes.load(Ordering::Relaxed),
+            poison_hits: self.poison_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`DeviceStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Bytes written through the regular (cached) store path.
+    pub bytes_written: u64,
+    /// Bytes written through the non-temporal path.
+    pub bytes_written_nt: u64,
+    /// Cache lines pushed toward the persistence domain by `flush`.
+    pub lines_flushed: u64,
+    /// Store fences issued.
+    pub fences: u64,
+    /// 8-byte atomic stores.
+    pub atomic_stores: u64,
+    /// 8-byte atomic XOR operations (the parity fast path).
+    pub atomic_xors: u64,
+    /// Bytes processed by vectorized XOR (the parity bulk path).
+    pub xor_bytes: u64,
+    /// Reads that faulted on poisoned pages.
+    pub poison_hits: u64,
+}
+
+impl StatsSnapshot {
+    /// Total bytes written by any store flavour.
+    pub fn total_bytes_written(&self) -> u64 {
+        self.bytes_written + self.bytes_written_nt
+    }
+
+    /// Component-wise difference (`self - earlier`), saturating at zero.
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            bytes_written_nt: self.bytes_written_nt.saturating_sub(earlier.bytes_written_nt),
+            lines_flushed: self.lines_flushed.saturating_sub(earlier.lines_flushed),
+            fences: self.fences.saturating_sub(earlier.fences),
+            atomic_stores: self.atomic_stores.saturating_sub(earlier.atomic_stores),
+            atomic_xors: self.atomic_xors.saturating_sub(earlier.atomic_xors),
+            xor_bytes: self.xor_bytes.saturating_sub(earlier.xor_bytes),
+            poison_hits: self.poison_hits.saturating_sub(earlier.poison_hits),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let stats = DeviceStats::default();
+        DeviceStats::add(&stats.bytes_written, 100);
+        DeviceStats::add(&stats.fences, 2);
+        let a = stats.snapshot();
+        DeviceStats::add(&stats.bytes_written, 50);
+        let b = stats.snapshot();
+        let d = b.delta_since(&a);
+        assert_eq!(d.bytes_written, 50);
+        assert_eq!(d.fences, 0);
+        assert_eq!(b.total_bytes_written(), 150);
+    }
+}

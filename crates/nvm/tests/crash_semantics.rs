@@ -1,0 +1,157 @@
+//! Property tests for the device's crash semantics.
+//!
+//! The core invariant crash-consistent software relies on: at a crash, each
+//! cache line independently reverts to *some* content that was plausible
+//! under the store/flush/fence history — never a mix of two contents within
+//! one line, and never losing data that was flushed *and* fenced.
+
+use pgl_nvm::{AllNew, AllOld, DeviceConfig, LineOutcome, NvmDevice, RandomPlan, CACHELINE};
+use proptest::prelude::*;
+
+const DEV_SIZE: usize = 64 * 1024;
+
+/// A scripted store/flush/fence history over a handful of cache lines.
+#[derive(Debug, Clone)]
+enum Op {
+    Store { line: u8, val: u8 },
+    Flush { line: u8 },
+    Fence,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8, 1u8..=255).prop_map(|(line, val)| Op::Store { line, val }),
+        (0u8..8).prop_map(|line| Op::Flush { line }),
+        Just(Op::Fence),
+    ]
+}
+
+/// Replays `ops` against both the device and a model that tracks, per line,
+/// the set of contents a crash may legally leave behind.
+fn run_history(ops: &[Op], plan_seed: u64) {
+    let dev = NvmDevice::new(DEV_SIZE, DeviceConfig::precise()).unwrap();
+
+    // Model: per line, (guaranteed_durable, pending_flushes, newest).
+    #[derive(Clone)]
+    struct Model {
+        durable: u8,
+        pending: Vec<u8>,
+        newest: u8,
+    }
+    let mut model: Vec<Model> =
+        (0..8).map(|_| Model { durable: 0, pending: vec![], newest: 0 }).collect();
+
+    for op in ops {
+        match *op {
+            Op::Store { line, val } => {
+                let off = line as u64 * CACHELINE as u64;
+                dev.write(off, &[val; CACHELINE]).unwrap();
+                model[line as usize].newest = val;
+            }
+            Op::Flush { line } => {
+                let off = line as u64 * CACHELINE as u64;
+                dev.flush(off, CACHELINE).unwrap();
+                let m = &mut model[line as usize];
+                if m.newest != m.durable || !m.pending.is_empty() {
+                    m.pending.push(m.newest);
+                }
+            }
+            Op::Fence => {
+                dev.drain();
+                for m in model.iter_mut() {
+                    if let Some(&last) = m.pending.last() {
+                        m.durable = last;
+                    }
+                    m.pending.clear();
+                }
+            }
+        }
+    }
+
+    let mut plan = RandomPlan::seeded(plan_seed);
+    dev.simulate_crash(&mut plan);
+
+    for (i, m) in model.iter().enumerate() {
+        let got = dev.read_slice(i as u64 * CACHELINE as u64, CACHELINE).unwrap();
+        // Within a line the content must be uniform (no sub-line tearing in
+        // this whole-line-store history).
+        assert!(got.iter().all(|&b| b == got[0]), "line {i} tore: {got:?}");
+        let v = got[0];
+        let mut legal: Vec<u8> = vec![m.durable, m.newest];
+        legal.extend_from_slice(&m.pending);
+        assert!(
+            legal.contains(&v),
+            "line {i} persisted {v}, but only {legal:?} are legal \
+             (durable {}, pending {:?}, newest {})",
+            m.durable,
+            m.pending,
+            m.newest
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn crash_outcomes_are_always_legal(
+        ops in proptest::collection::vec(op_strategy(), 0..64),
+        seed in any::<u64>(),
+    ) {
+        run_history(&ops, seed);
+    }
+
+    #[test]
+    fn fenced_data_always_survives(
+        vals in proptest::collection::vec(1u8..=255, 1..16),
+        seed in any::<u64>(),
+    ) {
+        // Write a sequence of values to distinct lines, persisting each;
+        // no crash plan may lose any of them.
+        let dev = NvmDevice::new(DEV_SIZE, DeviceConfig::precise()).unwrap();
+        for (i, v) in vals.iter().enumerate() {
+            let off = i as u64 * CACHELINE as u64;
+            dev.write(off, &[*v; CACHELINE]).unwrap();
+            dev.persist(off, CACHELINE).unwrap();
+        }
+        let mut plan = RandomPlan::seeded(seed);
+        dev.simulate_crash(&mut plan);
+        for (i, v) in vals.iter().enumerate() {
+            let got = dev.read_slice(i as u64 * CACHELINE as u64, CACHELINE).unwrap();
+            prop_assert!(got.iter().all(|b| b == v), "fenced line {i} lost data");
+        }
+    }
+}
+
+#[test]
+fn all_old_and_all_new_are_the_extremes() {
+    let dev = NvmDevice::new(DEV_SIZE, DeviceConfig::precise()).unwrap();
+    dev.write(0, &[1u8; 64]).unwrap();
+    dev.persist(0, 64).unwrap();
+    dev.write(0, &[2u8; 64]).unwrap(); // dirty, unflushed
+    dev.write(64, &[3u8; 64]).unwrap(); // dirty, unflushed
+
+    // AllOld: both unflushed writes vanish.
+    dev.simulate_crash(&mut AllOld);
+    assert_eq!(dev.read_slice(0, 1).unwrap()[0], 1);
+    assert_eq!(dev.read_slice(64, 1).unwrap()[0], 0);
+
+    // AllNew: everything sticks.
+    dev.write(0, &[4u8; 64]).unwrap();
+    dev.simulate_crash(&mut AllNew);
+    assert_eq!(dev.read_slice(0, 1).unwrap()[0], 4);
+}
+
+#[test]
+fn flushed_unfenced_line_can_persist_flushed_content() {
+    let dev = NvmDevice::new(DEV_SIZE, DeviceConfig::precise()).unwrap();
+    dev.write(0, &[0xAAu8; 64]).unwrap();
+    dev.flush(0, 64).unwrap();
+    // No fence. Force the "flush completed" outcome.
+    let mut plan = |_line: u64, pending: usize| {
+        assert_eq!(pending, 1);
+        LineOutcome::Flushed(0)
+    };
+    dev.simulate_crash(&mut plan);
+    assert_eq!(dev.read_slice(0, 1).unwrap()[0], 0xAA);
+}

@@ -1,0 +1,81 @@
+//! Error type shared by the persistent object store.
+
+use std::fmt;
+
+use pgl_nvm::MemError;
+
+/// Errors returned by pool, heap and transaction operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjError {
+    /// An underlying device access failed (bounds or media error).
+    Mem(MemError),
+    /// The pool file content is not a valid pool (bad magic/version/csum).
+    BadPool(String),
+    /// The requested allocation cannot be satisfied.
+    OutOfMemory {
+        /// Requested user bytes.
+        requested: usize,
+    },
+    /// An OID does not belong to this pool or points outside it.
+    InvalidOid {
+        /// The offending offset.
+        off: u64,
+    },
+    /// Object type or size mismatch between caller expectation and header.
+    TypeMismatch {
+        /// Expected type number.
+        expected: u32,
+        /// Header type number.
+        found: u32,
+    },
+    /// A transaction was aborted, either by the user or by an internal
+    /// failure; the wrapped description explains why.
+    Aborted(String),
+    /// Log space in the lane (and overflow) was exhausted.
+    LogFull,
+    /// No lane could be claimed (too many concurrent transactions).
+    NoLanes,
+    /// Data corruption detected (checksum mismatch) at the given offset.
+    Corruption {
+        /// Pool-relative offset of the corrupt structure.
+        off: u64,
+        /// Which structure failed verification.
+        what: &'static str,
+    },
+    /// Recovery could not restore the data (e.g. double failure).
+    Unrecoverable(String),
+}
+
+impl fmt::Display for ObjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjError::Mem(e) => write!(f, "memory error: {e}"),
+            ObjError::BadPool(s) => write!(f, "invalid pool: {s}"),
+            ObjError::OutOfMemory { requested } => {
+                write!(f, "out of pool memory allocating {requested} bytes")
+            }
+            ObjError::InvalidOid { off } => write!(f, "invalid OID offset {off:#x}"),
+            ObjError::TypeMismatch { expected, found } => {
+                write!(f, "object type mismatch: expected {expected}, found {found}")
+            }
+            ObjError::Aborted(why) => write!(f, "transaction aborted: {why}"),
+            ObjError::LogFull => write!(f, "transaction log space exhausted"),
+            ObjError::NoLanes => write!(f, "no free lanes for a new transaction"),
+            ObjError::Corruption { off, what } => {
+                write!(f, "corruption detected in {what} at {off:#x}")
+            }
+            ObjError::Unrecoverable(s) => write!(f, "unrecoverable data loss: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ObjError {}
+
+impl From<MemError> for ObjError {
+    fn from(e: MemError) -> Self {
+        ObjError::Mem(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ObjError>;

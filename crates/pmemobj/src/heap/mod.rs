@@ -1,0 +1,822 @@
+//! The persistent heap: a crash-consistent chunk/run allocator.
+//!
+//! The design follows `libpmemobj` (paper §2.3): zones are carved into
+//! chunks; small objects live in *runs* (chunks subdivided into fixed-size
+//! blocks tracked by a bitmap); large objects take contiguous chunks.
+//!
+//! Crash consistency uses a reserve/publish split:
+//!
+//! 1. [`Heap::reserve_alloc`]/[`Heap::reserve_free`] mutate only volatile
+//!    state and return [`MetaOp`]s describing the persistent effects;
+//! 2. the transaction appends those ops to its redo log and, after the
+//!    commit record is durable, applies them via [`Heap::apply_ops`];
+//! 3. recovery re-applies the ops of committed transactions — every op is
+//!    idempotent, so replay after a crash mid-apply is safe;
+//! 4. volatile completion ([`Heap::complete_alloc`]/[`Heap::complete_free`])
+//!    happens only after the lane is invalidated, so no two live logs ever
+//!    carry conflicting ops for the same block.
+
+pub mod classes;
+pub mod run;
+mod state;
+
+use parking_lot::Mutex;
+
+use crate::error::{ObjError, Result};
+use crate::io::PoolIo;
+use crate::layout::{Layout, CM_ENTRY_SIZE, RUN_HEADER_SIZE};
+use crate::oid::{ObjectHeader, OBJ_HEADER_SIZE};
+use crate::ulog::{payload, Entry, EntryKind};
+use pgl_nvm::pod::{bytes_of, from_bytes};
+
+use run::{ChunkMeta, ChunkType, RunHeader};
+use state::{RunState, ZoneState};
+
+/// A persistent allocator effect, published at transaction commit.
+///
+/// All ops are idempotent under replay; see the module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaOp {
+    /// OR `mask` into the u64 at `off` (allocate blocks in a run bitmap).
+    SetBits {
+        /// Pool offset of the bitmap word.
+        off: u64,
+        /// Bits to set.
+        mask: u64,
+    },
+    /// Clear `mask` bits of the u64 at `off` (free blocks).
+    ClearBits {
+        /// Pool offset of the bitmap word.
+        off: u64,
+        /// Bits to clear.
+        mask: u64,
+    },
+    /// Overwrite the 16-byte chunk-metadata entry at `off`.
+    WriteCm {
+        /// Pool offset of the CM entry.
+        off: u64,
+        /// New entry content.
+        data: [u8; 16],
+    },
+    /// Write a freshly formatted run header at chunk base `off`.
+    RunFmt {
+        /// Pool offset of the chunk.
+        off: u64,
+        /// Block size in bytes.
+        block_size: u32,
+        /// Managed block count.
+        nblocks: u32,
+    },
+}
+
+impl MetaOp {
+    /// Encodes this op as a log entry `(kind, off, payload)`.
+    pub fn encode(&self) -> (EntryKind, u64, Vec<u8>) {
+        match self {
+            MetaOp::SetBits { off, mask } => {
+                (EntryKind::SetBits, *off, payload::mask(*mask).to_vec())
+            }
+            MetaOp::ClearBits { off, mask } => {
+                (EntryKind::ClearBits, *off, payload::mask(*mask).to_vec())
+            }
+            MetaOp::WriteCm { off, data } => (EntryKind::WriteCm, *off, data.to_vec()),
+            MetaOp::RunFmt { off, block_size, nblocks } => {
+                (EntryKind::RunFmt, *off, payload::run_fmt(*block_size, *nblocks).to_vec())
+            }
+        }
+    }
+
+    /// Decodes a log entry back into a meta op (`None` for data/intent/
+    /// commit entries).
+    pub fn decode(entry: &Entry) -> Option<MetaOp> {
+        Some(match entry.kind {
+            EntryKind::SetBits => {
+                MetaOp::SetBits { off: entry.off, mask: payload::parse_mask(&entry.payload) }
+            }
+            EntryKind::ClearBits => {
+                MetaOp::ClearBits { off: entry.off, mask: payload::parse_mask(&entry.payload) }
+            }
+            EntryKind::WriteCm => {
+                let mut data = [0u8; 16];
+                data.copy_from_slice(&entry.payload[..16]);
+                MetaOp::WriteCm { off: entry.off, data }
+            }
+            EntryKind::RunFmt => {
+                let (bs, nb) = payload::parse_run_fmt(&entry.payload);
+                MetaOp::RunFmt { off: entry.off, block_size: bs, nblocks: nb }
+            }
+            _ => return None,
+        })
+    }
+
+    /// Applies the op persistently. Idempotent. Callers serialize RMW ops
+    /// on shared bitmap words (the heap lock or single-threaded recovery).
+    pub fn apply(&self, io: &PoolIo) -> Result<()> {
+        match self {
+            MetaOp::SetBits { off, mask } => {
+                let w = io.read_u64(*off)? | mask;
+                io.write(*off, &w.to_le_bytes())?;
+                io.persist(*off, 8)
+            }
+            MetaOp::ClearBits { off, mask } => {
+                let w = io.read_u64(*off)? & !mask;
+                io.write(*off, &w.to_le_bytes())?;
+                io.persist(*off, 8)
+            }
+            MetaOp::WriteCm { off, data } => {
+                io.write(*off, data)?;
+                io.persist(*off, 16)
+            }
+            MetaOp::RunFmt { off, block_size, nblocks } => {
+                let hdr = RunHeader::formatted(*block_size, *nblocks);
+                io.write(*off, bytes_of(&hdr))?;
+                io.persist(*off, RUN_HEADER_SIZE as usize)
+            }
+        }
+    }
+}
+
+/// How a reservation is rooted in the heap (used for cancel/complete).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ReserveKind {
+    Run { zone: u64, chunk: u64, block: u32, fresh_run: bool },
+    Large { zone: u64, chunk: u64, n: u64 },
+}
+
+/// A reserved-but-unpublished allocation.
+#[derive(Debug)]
+pub struct AllocReservation {
+    /// Offset of the object's user data.
+    pub oid_off: u64,
+    /// Offset of the reserved storage (the object header).
+    pub start_off: u64,
+    /// Total reserved bytes (block or chunk span).
+    pub total_len: u64,
+    /// Requested user size.
+    pub user_size: u64,
+    /// Application type number.
+    pub type_num: u32,
+    /// Persistent effects to publish at commit.
+    pub ops: Vec<MetaOp>,
+    kind: ReserveKind,
+}
+
+/// A reserved-but-unpublished deallocation.
+#[derive(Debug)]
+pub struct FreeReservation {
+    /// Offset of the freed object's user data.
+    pub oid_off: u64,
+    /// Offset of the freed storage.
+    pub start_off: u64,
+    /// Total freed bytes.
+    pub total_len: u64,
+    /// Persistent effects to publish at commit.
+    pub ops: Vec<MetaOp>,
+    kind: ReserveKind,
+}
+
+/// Point-in-time heap occupancy counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Free whole chunks across all zones.
+    pub free_chunks: u64,
+    /// Chunks holding runs.
+    pub run_chunks: u64,
+    /// Total data chunks (excluding CM chunks).
+    pub total_chunks: u64,
+}
+
+/// The volatile allocator over a pool's persistent heap.
+pub struct Heap {
+    layout: Layout,
+    zones: Mutex<Vec<ZoneState>>,
+    /// Serializes persistent metadata publication (bitmap RMW) between
+    /// concurrent committers and Pangolin's parity-aware op application.
+    publish: Mutex<()>,
+}
+
+impl Heap {
+    /// Formats a fresh heap: writes `Meta` CM entries for the chunks that
+    /// hold the CM array itself. All other entries are zero (= `Free` with
+    /// a zero checksum), which [`Heap::rebuild`] accepts for zeroed pools.
+    pub fn format(io: &PoolIo, layout: &Layout) -> Result<()> {
+        let meta = ChunkMeta::new(ChunkType::Meta, 0, 1).to_bytes();
+        for z in 0..layout.n_zones {
+            for c in 0..layout.zone.cm_chunks {
+                io.write(layout.cm_entry_off(z, c), &meta)?;
+            }
+            io.persist(layout.cm_entry_off(z, 0), (layout.zone.cm_chunks * CM_ENTRY_SIZE) as usize)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds volatile state by scanning chunk metadata and run bitmaps.
+    ///
+    /// With `verify`, CM checksums are validated and a mismatch is reported
+    /// as [`ObjError::Corruption`] carrying the entry offset (Pangolin's
+    /// open path repairs it from parity and retries).
+    pub fn rebuild(io: &PoolIo, layout: Layout, verify: bool) -> Result<Heap> {
+        let mut zones = Vec::with_capacity(layout.n_zones as usize);
+        for z in 0..layout.n_zones {
+            let mut zs = ZoneState::new();
+            let mut c = layout.zone.cm_chunks; // CM chunks are never free
+            let mut pending_free: Option<(u64, u64)> = None;
+            while c < layout.zone.n_chunks {
+                let cm = Self::read_cm(io, &layout, z, c)?;
+                let cm_off = layout.cm_entry_off(z, c);
+                if verify && !(cm.verify() || cm == ChunkMeta::default()) {
+                    return Err(ObjError::Corruption { off: cm_off, what: "chunk metadata" });
+                }
+                let ctype = cm.chunk_type().unwrap_or(ChunkType::Free);
+                let mut advance = 1u64;
+                match ctype {
+                    ChunkType::Free => {
+                        pending_free = match pending_free {
+                            Some((s, n)) if s + n == c => Some((s, n + 1)),
+                            Some((s, n)) => {
+                                zs.return_free_chunks(s, n);
+                                Some((c, 1))
+                            }
+                            None => Some((c, 1)),
+                        };
+                    }
+                    ChunkType::Run => {
+                        let base = layout.chunk_base(z, c);
+                        let hdr = RunHeader::read(io, base)?;
+                        hdr.validate(layout.cfg.chunk_size)
+                            .map_err(|_| ObjError::Corruption { off: base, what: "run header" })?;
+                        let class = classes::class_index_of(hdr.block_size).ok_or(
+                            ObjError::Corruption { off: base, what: "run class" },
+                        )?;
+                        let free_blocks = hdr.free_blocks();
+                        let has_free = !free_blocks.is_empty();
+                        zs.runs.insert(
+                            c,
+                            RunState {
+                                class,
+                                block_size: hdr.block_size,
+                                nblocks: hdr.nblocks,
+                                free_blocks,
+                                pending: false,
+                            },
+                        );
+                        if has_free {
+                            zs.by_class[class].push(c);
+                        }
+                    }
+                    ChunkType::Large => {
+                        advance = cm.size_idx.max(1) as u64;
+                    }
+                    ChunkType::LargeCont => {
+                        return Err(ObjError::Corruption {
+                            off: cm_off,
+                            what: "orphan large-continuation chunk",
+                        });
+                    }
+                    ChunkType::Meta | ChunkType::Log => {}
+                }
+                if ctype != ChunkType::Free {
+                    if let Some((s, n)) = pending_free.take() {
+                        zs.return_free_chunks(s, n);
+                    }
+                }
+                c += advance;
+            }
+            if let Some((s, n)) = pending_free {
+                zs.return_free_chunks(s, n);
+            }
+            zones.push(zs);
+        }
+        Ok(Heap { layout, zones: Mutex::new(zones), publish: Mutex::new(()) })
+    }
+
+    fn read_cm(io: &PoolIo, layout: &Layout, z: u64, c: u64) -> Result<ChunkMeta> {
+        let mut buf = [0u8; 16];
+        io.read(layout.cm_entry_off(z, c), &mut buf)?;
+        Ok(ChunkMeta::from_slice(&buf))
+    }
+
+    /// The pool layout this heap manages.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Reserves storage for a `size`-byte object of type `type_num`.
+    pub fn reserve_alloc(&self, size: u64, type_num: u32) -> Result<AllocReservation> {
+        if size == 0 || size > self.layout.max_alloc() {
+            return Err(ObjError::OutOfMemory { requested: size as usize });
+        }
+        let alloc_size = size + OBJ_HEADER_SIZE;
+        let chunk_size = self.layout.cfg.chunk_size;
+        let mut zones = self.zones.lock();
+
+        if let Some(ci) = classes::class_for(alloc_size, chunk_size) {
+            let block_size = classes::CLASS_SIZES[ci];
+            // Existing run with a free block?
+            for (zi, zs) in zones.iter_mut().enumerate() {
+                if let Some((chunk, block, bs)) = zs.pop_block(ci) {
+                    let base = self.layout.chunk_base(zi as u64, chunk);
+                    let (word, mask) = RunHeader::bit_pos(base, block);
+                    let start = RunHeader::block_off(base, bs, block);
+                    return Ok(AllocReservation {
+                        oid_off: start + OBJ_HEADER_SIZE,
+                        start_off: start,
+                        total_len: bs as u64,
+                        user_size: size,
+                        type_num,
+                        ops: vec![MetaOp::SetBits { off: word, mask }],
+                        kind: ReserveKind::Run {
+                            zone: zi as u64,
+                            chunk,
+                            block,
+                            fresh_run: false,
+                        },
+                    });
+                }
+            }
+            // Format a new run from a free chunk.
+            for (zi, zs) in zones.iter_mut().enumerate() {
+                if let Some(chunk) = zs.take_free_chunks(1) {
+                    let nblocks = classes::nblocks(chunk_size, block_size);
+                    let base = self.layout.chunk_base(zi as u64, chunk);
+                    let block = 0u32;
+                    zs.runs.insert(
+                        chunk,
+                        RunState {
+                            class: ci,
+                            block_size,
+                            nblocks,
+                            free_blocks: (1..nblocks).rev().collect(),
+                            pending: true,
+                        },
+                    );
+                    let (word, mask) = RunHeader::bit_pos(base, block);
+                    let cm = ChunkMeta::new(ChunkType::Run, ci as u16, 1);
+                    let start = RunHeader::block_off(base, block_size, block);
+                    return Ok(AllocReservation {
+                        oid_off: start + OBJ_HEADER_SIZE,
+                        start_off: start,
+                        total_len: block_size as u64,
+                        user_size: size,
+                        type_num,
+                        ops: vec![
+                            MetaOp::RunFmt { off: base, block_size, nblocks },
+                            MetaOp::WriteCm {
+                                off: self.layout.cm_entry_off(zi as u64, chunk),
+                                data: cm.to_bytes(),
+                            },
+                            MetaOp::SetBits { off: word, mask },
+                        ],
+                        kind: ReserveKind::Run { zone: zi as u64, chunk, block, fresh_run: true },
+                    });
+                }
+            }
+            return Err(ObjError::OutOfMemory { requested: size as usize });
+        }
+
+        // Large allocation: contiguous chunks.
+        let n = alloc_size.div_ceil(chunk_size as u64);
+        for (zi, zs) in zones.iter_mut().enumerate() {
+            if let Some(chunk) = zs.take_free_chunks(n) {
+                let base = self.layout.chunk_base(zi as u64, chunk);
+                let mut ops = Vec::with_capacity(n as usize);
+                let head = ChunkMeta::new(ChunkType::Large, 0, n as u32);
+                ops.push(MetaOp::WriteCm {
+                    off: self.layout.cm_entry_off(zi as u64, chunk),
+                    data: head.to_bytes(),
+                });
+                let cont = ChunkMeta::new(ChunkType::LargeCont, 0, 0);
+                for k in 1..n {
+                    ops.push(MetaOp::WriteCm {
+                        off: self.layout.cm_entry_off(zi as u64, chunk + k),
+                        data: cont.to_bytes(),
+                    });
+                }
+                return Ok(AllocReservation {
+                    oid_off: base + OBJ_HEADER_SIZE,
+                    start_off: base,
+                    total_len: n * chunk_size as u64,
+                    user_size: size,
+                    type_num,
+                    ops,
+                    kind: ReserveKind::Large { zone: zi as u64, chunk, n },
+                });
+            }
+        }
+        Err(ObjError::OutOfMemory { requested: size as usize })
+    }
+
+    /// Reserves the deallocation of the object whose user data is at
+    /// `oid_off`, determining its shape from persistent metadata.
+    pub fn reserve_free(&self, io: &PoolIo, oid_off: u64) -> Result<FreeReservation> {
+        let start = oid_off.checked_sub(OBJ_HEADER_SIZE).ok_or(ObjError::InvalidOid {
+            off: oid_off,
+        })?;
+        let (z, c, within) = self.layout.chunk_of(start)?;
+        let cm = Self::read_cm(io, &self.layout, z, c)?;
+        match cm.chunk_type() {
+            Some(ChunkType::Run) => {
+                let base = self.layout.chunk_base(z, c);
+                let zones = self.zones.lock();
+                let run = zones[z as usize]
+                    .runs
+                    .get(&c)
+                    .ok_or(ObjError::Corruption { off: base, what: "run state" })?;
+                let bs = run.block_size;
+                let rel = within.checked_sub(RUN_HEADER_SIZE).ok_or(ObjError::InvalidOid {
+                    off: oid_off,
+                })?;
+                if rel % bs as u64 != 0 {
+                    return Err(ObjError::InvalidOid { off: oid_off });
+                }
+                let block = (rel / bs as u64) as u32;
+                if block >= run.nblocks {
+                    return Err(ObjError::InvalidOid { off: oid_off });
+                }
+                drop(zones);
+                let (word, mask) = RunHeader::bit_pos(base, block);
+                Ok(FreeReservation {
+                    oid_off,
+                    start_off: start,
+                    total_len: bs as u64,
+                    ops: vec![MetaOp::ClearBits { off: word, mask }],
+                    kind: ReserveKind::Run { zone: z, chunk: c, block, fresh_run: false },
+                })
+            }
+            Some(ChunkType::Large) => {
+                if within != 0 {
+                    return Err(ObjError::InvalidOid { off: oid_off });
+                }
+                let n = cm.size_idx.max(1) as u64;
+                let free = ChunkMeta::new(ChunkType::Free, 0, 0);
+                let ops = (0..n)
+                    .map(|k| MetaOp::WriteCm {
+                        off: self.layout.cm_entry_off(z, c + k),
+                        data: free.to_bytes(),
+                    })
+                    .collect();
+                Ok(FreeReservation {
+                    oid_off,
+                    start_off: start,
+                    total_len: n * self.layout.cfg.chunk_size as u64,
+                    ops,
+                    kind: ReserveKind::Large { zone: z, chunk: c, n },
+                })
+            }
+            _ => Err(ObjError::InvalidOid { off: oid_off }),
+        }
+    }
+
+    /// Applies meta ops persistently, serializing bitmap read-modify-writes
+    /// against concurrent committers.
+    pub fn apply_ops(&self, io: &PoolIo, ops: &[MetaOp]) -> Result<()> {
+        let _guard = self.publish.lock();
+        for op in ops {
+            op.apply(io)?;
+        }
+        Ok(())
+    }
+
+    /// Acquires the metadata-publication lock. Pangolin applies its ops
+    /// itself (each write also patches parity) but must serialize the
+    /// bitmap read-modify-writes exactly like [`Heap::apply_ops`] does.
+    pub fn publish_guard(&self) -> parking_lot::MutexGuard<'_, ()> {
+        self.publish.lock()
+    }
+
+    /// Returns the storage footprint `(start_off, len)` backing the object
+    /// whose user data is at `oid_off`, from persistent metadata. Used by
+    /// corruption recovery to bound the pages it must inspect.
+    pub fn storage_of(&self, io: &PoolIo, oid_off: u64) -> Result<(u64, u64)> {
+        let start = oid_off
+            .checked_sub(OBJ_HEADER_SIZE)
+            .ok_or(ObjError::InvalidOid { off: oid_off })?;
+        let (z, c, within) = self.layout.chunk_of(start)?;
+        let cm = Self::read_cm(io, &self.layout, z, c)?;
+        match cm.chunk_type() {
+            Some(ChunkType::Run) => {
+                let base = self.layout.chunk_base(z, c);
+                let hdr = RunHeader::read(io, base)?;
+                hdr.validate(self.layout.cfg.chunk_size)
+                    .map_err(|_| ObjError::Corruption { off: base, what: "run header" })?;
+                let rel = within
+                    .checked_sub(RUN_HEADER_SIZE)
+                    .ok_or(ObjError::InvalidOid { off: oid_off })?;
+                let block = rel / hdr.block_size as u64;
+                let bstart = RunHeader::block_off(base, hdr.block_size, block as u32);
+                Ok((bstart, hdr.block_size as u64))
+            }
+            Some(ChunkType::Large) => {
+                let n = cm.size_idx.max(1) as u64;
+                Ok((start, n * self.layout.cfg.chunk_size as u64))
+            }
+            _ => Err(ObjError::InvalidOid { off: oid_off }),
+        }
+    }
+
+    /// Volatile completion of a committed allocation.
+    pub fn complete_alloc(&self, r: &AllocReservation) {
+        if let ReserveKind::Run { zone, chunk, fresh_run: true, .. } = r.kind {
+            let mut zones = self.zones.lock();
+            zones[zone as usize].publish_run(chunk);
+        }
+    }
+
+    /// Volatile rollback of an aborted allocation.
+    pub fn cancel_alloc(&self, r: &AllocReservation) {
+        let mut zones = self.zones.lock();
+        match r.kind {
+            ReserveKind::Run { zone, chunk, block, fresh_run } => {
+                if fresh_run {
+                    zones[zone as usize].remove_pending_run(chunk);
+                } else {
+                    zones[zone as usize].push_block(chunk, block);
+                }
+            }
+            ReserveKind::Large { zone, chunk, n } => {
+                zones[zone as usize].return_free_chunks(chunk, n);
+            }
+        }
+    }
+
+    /// Volatile completion of a committed deallocation: the storage becomes
+    /// reservable again.
+    pub fn complete_free(&self, r: &FreeReservation) {
+        let mut zones = self.zones.lock();
+        match r.kind {
+            ReserveKind::Run { zone, chunk, block, .. } => {
+                zones[zone as usize].push_block(chunk, block);
+            }
+            ReserveKind::Large { zone, chunk, n } => {
+                zones[zone as usize].return_free_chunks(chunk, n);
+            }
+        }
+    }
+
+    /// Reserves one free chunk for log overflow (volatile only; the caller
+    /// publishes the `Log` chunk type itself). Returns `(zone, chunk,
+    /// chunk_base)`.
+    pub fn reserve_log_chunk(&self) -> Result<(u64, u64, u64)> {
+        let mut zones = self.zones.lock();
+        for (zi, zs) in zones.iter_mut().enumerate() {
+            if let Some(chunk) = zs.take_free_chunks(1) {
+                return Ok((zi as u64, chunk, self.layout.chunk_base(zi as u64, chunk)));
+            }
+        }
+        Err(ObjError::OutOfMemory { requested: self.layout.cfg.chunk_size })
+    }
+
+    /// Returns a log-overflow chunk to the volatile free pool (after the
+    /// caller has republished it as `Free`).
+    pub fn release_log_chunk(&self, zone: u64, chunk: u64) {
+        let mut zones = self.zones.lock();
+        zones[zone as usize].return_free_chunks(chunk, 1);
+    }
+
+    /// Occupancy counters.
+    pub fn stats(&self) -> HeapStats {
+        let zones = self.zones.lock();
+        let mut s = HeapStats { free_chunks: 0, run_chunks: 0, total_chunks: 0 };
+        for zs in zones.iter() {
+            s.free_chunks += zs.free_chunk_count();
+            s.run_chunks += zs.runs.len() as u64;
+        }
+        s.total_chunks = self.layout.usable_chunks_per_zone() * self.layout.n_zones;
+        s
+    }
+}
+
+/// Scans persistent metadata and returns the user-data offsets and headers
+/// of all live objects (used by Pangolin's scrubber, paper §3.3).
+pub fn scan_live(io: &PoolIo, layout: &Layout) -> Result<Vec<(u64, ObjectHeader)>> {
+    let mut out = Vec::new();
+    for z in 0..layout.n_zones {
+        let mut c = layout.zone.cm_chunks;
+        while c < layout.zone.n_chunks {
+            let mut cm_buf = [0u8; 16];
+            io.read(layout.cm_entry_off(z, c), &mut cm_buf)?;
+            let cm = ChunkMeta::from_slice(&cm_buf);
+            let mut advance = 1u64;
+            match cm.chunk_type() {
+                Some(ChunkType::Run) => {
+                    let base = layout.chunk_base(z, c);
+                    let hdr = RunHeader::read(io, base)?;
+                    if hdr.validate(layout.cfg.chunk_size).is_ok() {
+                        for b in 0..hdr.nblocks {
+                            if hdr.is_set(b) {
+                                let start = RunHeader::block_off(base, hdr.block_size, b);
+                                let mut h = [0u8; 16];
+                                io.read(start, &mut h)?;
+                                out.push((start + OBJ_HEADER_SIZE, from_bytes(&h)));
+                            }
+                        }
+                    }
+                }
+                Some(ChunkType::Large) => {
+                    let base = layout.chunk_base(z, c);
+                    let mut h = [0u8; 16];
+                    io.read(base, &mut h)?;
+                    out.push((base + OBJ_HEADER_SIZE, from_bytes(&h)));
+                    advance = cm.size_idx.max(1) as u64;
+                }
+                _ => {}
+            }
+            c += advance;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::PoolConfig;
+    use pgl_nvm::{DeviceConfig, NvmDevice};
+    use std::sync::Arc;
+
+    fn fresh_heap() -> (PoolIo, Heap) {
+        let cfg = PoolConfig::small();
+        let layout = Layout::new(cfg).unwrap();
+        let dev = Arc::new(NvmDevice::new(cfg.size, DeviceConfig::fast()).unwrap());
+        let io = PoolIo::new(dev);
+        Heap::format(&io, &layout).unwrap();
+        let heap = Heap::rebuild(&io, layout, true).unwrap();
+        (io, heap)
+    }
+
+    /// Publishes a reservation the way a committing transaction would.
+    fn publish_alloc(io: &PoolIo, heap: &Heap, r: &AllocReservation) {
+        heap.apply_ops(io, &r.ops).unwrap();
+        heap.complete_alloc(r);
+    }
+
+    fn publish_free(io: &PoolIo, heap: &Heap, r: &FreeReservation) {
+        heap.apply_ops(io, &r.ops).unwrap();
+        heap.complete_free(r);
+    }
+
+    #[test]
+    fn small_alloc_reserves_run_block() {
+        let (io, heap) = fresh_heap();
+        let r = heap.reserve_alloc(56, 1).unwrap();
+        assert_eq!(r.total_len, 96, "56+16 -> 96-byte class");
+        assert_eq!(r.oid_off, r.start_off + 16);
+        // Fresh run: format + CM + bit set.
+        assert_eq!(r.ops.len(), 3);
+        publish_alloc(&io, &heap, &r);
+        // Second alloc of the same class reuses the run (single bit set).
+        let r2 = heap.reserve_alloc(56, 1).unwrap();
+        assert_eq!(r2.ops.len(), 1);
+        assert_ne!(r2.start_off, r.start_off);
+        publish_alloc(&io, &heap, &r2);
+    }
+
+    #[test]
+    fn alloc_free_alloc_reuses_storage() {
+        let (io, heap) = fresh_heap();
+        let r = heap.reserve_alloc(100, 2).unwrap();
+        let off = r.oid_off;
+        publish_alloc(&io, &heap, &r);
+        let f = heap.reserve_free(&io, off).unwrap();
+        publish_free(&io, &heap, &f);
+        let r2 = heap.reserve_alloc(100, 2).unwrap();
+        assert_eq!(r2.oid_off, off, "freed block is reused");
+        publish_alloc(&io, &heap, &r2);
+    }
+
+    #[test]
+    fn large_alloc_takes_contiguous_chunks() {
+        let (io, heap) = fresh_heap();
+        let chunk = 16 << 10; // PoolConfig::small chunk size
+        let r = heap.reserve_alloc(3 * chunk as u64, 9).unwrap();
+        assert_eq!(r.total_len, 4 * chunk as u64, "3 chunks + header spills to 4");
+        assert_eq!(r.ops.len(), 4, "head + 3 continuations");
+        publish_alloc(&io, &heap, &r);
+        let before = heap.stats().free_chunks;
+        let f = heap.reserve_free(&io, r.oid_off).unwrap();
+        publish_free(&io, &heap, &f);
+        assert_eq!(heap.stats().free_chunks, before + 4);
+    }
+
+    #[test]
+    fn cancel_alloc_restores_volatile_state() {
+        let (_io, heap) = fresh_heap();
+        let before = heap.stats();
+        let r = heap.reserve_alloc(56, 1).unwrap();
+        heap.cancel_alloc(&r);
+        let after = heap.stats();
+        assert_eq!(before.free_chunks, after.free_chunks);
+        assert_eq!(before.run_chunks, after.run_chunks, "pending run removed");
+    }
+
+    #[test]
+    fn rebuild_recovers_allocations() {
+        let (io, heap) = fresh_heap();
+        let r1 = heap.reserve_alloc(56, 1).unwrap();
+        publish_alloc(&io, &heap, &r1);
+        // Write an object header so scan_live can see it.
+        let hdr = ObjectHeader { size: 56, type_num: 1, csum: 0 };
+        io.write(r1.start_off, bytes_of(&hdr)).unwrap();
+        let r2 = heap.reserve_alloc(60 << 10, 2).unwrap();
+        publish_alloc(&io, &heap, &r2);
+        io.write(r2.start_off, bytes_of(&ObjectHeader { size: 60 << 10, type_num: 2, csum: 0 }))
+            .unwrap();
+
+        // Reopen: volatile state must match persistent reality.
+        let rebuilt = Heap::rebuild(&io, *heap.layout(), true).unwrap();
+        let live = scan_live(&io, rebuilt.layout()).unwrap();
+        let offs: Vec<u64> = live.iter().map(|(o, _)| *o).collect();
+        assert!(offs.contains(&r1.oid_off));
+        assert!(offs.contains(&r2.oid_off));
+        assert_eq!(live.len(), 2);
+
+        // An alloc of the same class must not collide with r1.
+        let r3 = rebuilt.reserve_alloc(56, 1).unwrap();
+        assert_ne!(r3.start_off, r1.start_off);
+    }
+
+    #[test]
+    fn unpublished_reservation_vanishes_on_rebuild() {
+        let (io, heap) = fresh_heap();
+        let r = heap.reserve_alloc(56, 1).unwrap();
+        // No publish: simulate a crash before commit.
+        let rebuilt = Heap::rebuild(&io, *heap.layout(), true).unwrap();
+        let r2 = rebuilt.reserve_alloc(56, 1).unwrap();
+        assert_eq!(r2.start_off, r.start_off, "reservation was not persistent");
+    }
+
+    #[test]
+    fn meta_ops_are_idempotent() {
+        let (io, heap) = fresh_heap();
+        let r = heap.reserve_alloc(200, 3).unwrap();
+        heap.apply_ops(&io, &r.ops).unwrap();
+        heap.apply_ops(&io, &r.ops).unwrap(); // replay (crash during apply)
+        heap.complete_alloc(&r);
+        let rebuilt = Heap::rebuild(&io, *heap.layout(), true).unwrap();
+        // Exactly one block allocated.
+        let stats = rebuilt.stats();
+        assert_eq!(stats.run_chunks, 1);
+    }
+
+    #[test]
+    fn meta_op_log_roundtrip() {
+        let ops = vec![
+            MetaOp::SetBits { off: 0x100, mask: 0b11 },
+            MetaOp::ClearBits { off: 0x108, mask: 0b1 },
+            MetaOp::WriteCm { off: 0x200, data: [7; 16] },
+            MetaOp::RunFmt { off: 0x4000, block_size: 96, nblocks: 100 },
+        ];
+        for op in &ops {
+            let (kind, off, payload) = op.encode();
+            let entry = Entry { kind, off, payload };
+            assert_eq!(MetaOp::decode(&entry).as_ref(), Some(op));
+        }
+        let commit = Entry { kind: EntryKind::Commit, off: 0, payload: vec![] };
+        assert_eq!(MetaOp::decode(&commit), None);
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let (_io, heap) = fresh_heap();
+        assert!(matches!(
+            heap.reserve_alloc(heap.layout().max_alloc() + 1, 0),
+            Err(ObjError::OutOfMemory { .. })
+        ));
+        assert!(matches!(heap.reserve_alloc(0, 0), Err(ObjError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn exhaustion_and_release() {
+        let (io, heap) = fresh_heap();
+        // Exhaust all chunks with large allocations.
+        let chunk = heap.layout().cfg.chunk_size as u64;
+        let mut allocs = Vec::new();
+        loop {
+            match heap.reserve_alloc(chunk * 2, 1) {
+                Ok(r) => {
+                    publish_alloc(&io, &heap, &r);
+                    allocs.push(r);
+                }
+                Err(ObjError::OutOfMemory { .. }) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(!allocs.is_empty());
+        // Free everything; space must be reusable.
+        for a in &allocs {
+            let f = heap.reserve_free(&io, a.oid_off).unwrap();
+            publish_free(&io, &heap, &f);
+        }
+        let r = heap.reserve_alloc(chunk * 2, 1).unwrap();
+        publish_alloc(&io, &heap, &r);
+    }
+
+    #[test]
+    fn reserve_free_rejects_bogus_offsets() {
+        let (io, heap) = fresh_heap();
+        assert!(heap.reserve_free(&io, 8).is_err());
+        // Offset in a free chunk.
+        let base = heap.layout().chunk_base(0, heap.layout().zone.cm_chunks);
+        assert!(heap.reserve_free(&io, base + 16 + 320).is_err());
+    }
+}

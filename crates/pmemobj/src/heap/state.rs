@@ -1,0 +1,219 @@
+//! Volatile allocator state, rebuilt from persistent bitmaps at pool open.
+//!
+//! Reservations mutate only this state; persistent effects are published at
+//! transaction commit via [`super::MetaOp`]s, so a crash simply discards
+//! reservations (the bitmaps never saw them).
+
+use std::collections::{BTreeMap, HashMap};
+
+use super::classes;
+
+/// Volatile view of one run chunk.
+#[derive(Debug)]
+pub(crate) struct RunState {
+    /// Class index into [`classes::CLASS_SIZES`].
+    pub class: usize,
+    /// Block size in bytes.
+    pub block_size: u32,
+    /// Managed block count.
+    pub nblocks: u32,
+    /// Blocks currently available for reservation.
+    pub free_blocks: Vec<u32>,
+    /// `true` while the formatting transaction has not yet published the
+    /// run header; other transactions must not use the run.
+    pub pending: bool,
+}
+
+/// Volatile view of one zone.
+#[derive(Debug, Default)]
+pub(crate) struct ZoneState {
+    /// Contiguous ranges of free chunks: start index -> count.
+    pub free: BTreeMap<u64, u64>,
+    /// Run chunks by chunk index.
+    pub runs: HashMap<u64, RunState>,
+    /// Non-pending runs with free blocks, per class.
+    pub by_class: Vec<Vec<u64>>,
+}
+
+impl ZoneState {
+    pub(crate) fn new() -> ZoneState {
+        ZoneState {
+            free: BTreeMap::new(),
+            runs: HashMap::new(),
+            by_class: vec![Vec::new(); classes::class_count()],
+        }
+    }
+
+    /// Takes `n` contiguous free chunks (first fit). Returns the start
+    /// chunk index.
+    pub(crate) fn take_free_chunks(&mut self, n: u64) -> Option<u64> {
+        let (&start, &len) = self.free.iter().find(|&(_, &len)| len >= n)?;
+        self.free.remove(&start);
+        if len > n {
+            self.free.insert(start + n, len - n);
+        }
+        Some(start)
+    }
+
+    /// Returns `n` chunks starting at `start` to the free pool, merging
+    /// with adjacent ranges.
+    pub(crate) fn return_free_chunks(&mut self, start: u64, n: u64) {
+        let mut start = start;
+        let mut n = n;
+        // Merge with predecessor.
+        if let Some((&ps, &pl)) = self.free.range(..start).next_back() {
+            debug_assert!(ps + pl <= start, "double free of chunk range");
+            if ps + pl == start {
+                self.free.remove(&ps);
+                start = ps;
+                n += pl;
+            }
+        }
+        // Merge with successor.
+        if let Some((&ss, &sl)) = self.free.range(start + n..).next() {
+            if start + n == ss {
+                self.free.remove(&ss);
+                n += sl;
+            }
+        }
+        self.free.insert(start, n);
+    }
+
+    /// Pops a reservable block from a non-pending run of class `ci`.
+    /// Returns `(chunk_index, block, block_size)`.
+    pub(crate) fn pop_block(&mut self, ci: usize) -> Option<(u64, u32, u32)> {
+        while let Some(&chunk) = self.by_class[ci].last() {
+            let run = self.runs.get_mut(&chunk).expect("by_class entries exist in runs");
+            debug_assert!(!run.pending);
+            if let Some(b) = run.free_blocks.pop() {
+                if run.free_blocks.is_empty() {
+                    self.by_class[ci].pop();
+                }
+                return Some((chunk, b, run.block_size));
+            }
+            self.by_class[ci].pop();
+        }
+        None
+    }
+
+    /// Returns a block to its run's free list, republishing the run to its
+    /// class list when it was fully reserved.
+    pub(crate) fn push_block(&mut self, chunk: u64, block: u32) {
+        let run = self.runs.get_mut(&chunk).expect("pushing block to unknown run");
+        debug_assert!(!run.free_blocks.contains(&block), "double free of run block");
+        let was_empty = run.free_blocks.is_empty();
+        run.free_blocks.push(block);
+        let class = run.class;
+        let pending = run.pending;
+        if was_empty && !pending && !self.by_class[class].contains(&chunk) {
+            self.by_class[class].push(chunk);
+        }
+    }
+
+    /// Marks a pending run as published (visible to other transactions).
+    pub(crate) fn publish_run(&mut self, chunk: u64) {
+        let run = self.runs.get_mut(&chunk).expect("publishing unknown run");
+        run.pending = false;
+        if !run.free_blocks.is_empty() && !self.by_class[run.class].contains(&chunk) {
+            let class = run.class;
+            self.by_class[class].push(chunk);
+        }
+    }
+
+    /// Removes a pending run entirely (format aborted) — the chunk returns
+    /// to the free pool.
+    pub(crate) fn remove_pending_run(&mut self, chunk: u64) {
+        let run = self.runs.remove(&chunk).expect("removing unknown run");
+        debug_assert!(run.pending, "only pending runs can be removed");
+        self.return_free_chunks(chunk, 1);
+    }
+
+    /// Counts free chunks.
+    pub(crate) fn free_chunk_count(&self) -> u64 {
+        self.free.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_and_return_merges() {
+        let mut z = ZoneState::new();
+        z.return_free_chunks(10, 10); // [10,20)
+        assert_eq!(z.take_free_chunks(3), Some(10)); // [13,20) left
+        assert_eq!(z.free_chunk_count(), 7);
+        z.return_free_chunks(10, 3);
+        assert_eq!(z.free.len(), 1, "merged back into one interval");
+        assert_eq!(z.free_chunk_count(), 10);
+        assert_eq!(z.take_free_chunks(11), None);
+        assert_eq!(z.take_free_chunks(10), Some(10));
+        assert_eq!(z.free_chunk_count(), 0);
+    }
+
+    #[test]
+    fn return_merges_both_sides() {
+        let mut z = ZoneState::new();
+        z.return_free_chunks(0, 5);
+        z.return_free_chunks(8, 5);
+        z.return_free_chunks(5, 3); // plugs the hole
+        assert_eq!(z.free.len(), 1);
+        assert_eq!(z.free_chunk_count(), 13);
+    }
+
+    #[test]
+    fn run_block_lifecycle() {
+        let mut z = ZoneState::new();
+        z.runs.insert(
+            4,
+            RunState {
+                class: 2,
+                block_size: 128,
+                nblocks: 3,
+                free_blocks: vec![0, 1, 2],
+                pending: false,
+            },
+        );
+        z.by_class[2].push(4);
+        let (c, b1, bs) = z.pop_block(2).unwrap();
+        assert_eq!((c, bs), (4, 128));
+        let (_, b2, _) = z.pop_block(2).unwrap();
+        let (_, b3, _) = z.pop_block(2).unwrap();
+        assert_eq!(z.pop_block(2), None, "run exhausted");
+        assert!(z.by_class[2].is_empty());
+        z.push_block(4, b2);
+        assert_eq!(z.by_class[2], vec![4], "run republished on free");
+        let _ = (b1, b3);
+    }
+
+    #[test]
+    fn pending_runs_stay_private() {
+        let mut z = ZoneState::new();
+        z.runs.insert(
+            7,
+            RunState {
+                class: 0,
+                block_size: 64,
+                nblocks: 8,
+                free_blocks: vec![1, 2, 3],
+                pending: true,
+            },
+        );
+        assert_eq!(z.pop_block(0), None, "pending run is not in by_class");
+        z.publish_run(7);
+        assert!(z.pop_block(0).is_some());
+    }
+
+    #[test]
+    fn aborted_format_returns_chunk() {
+        let mut z = ZoneState::new();
+        z.runs.insert(
+            9,
+            RunState { class: 0, block_size: 64, nblocks: 8, free_blocks: vec![], pending: true },
+        );
+        z.remove_pending_run(9);
+        assert_eq!(z.free_chunk_count(), 1);
+        assert!(z.runs.is_empty());
+    }
+}

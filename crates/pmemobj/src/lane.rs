@@ -1,0 +1,504 @@
+//! Transaction lanes: per-transaction persistent log space, with overflow.
+//!
+//! Following `libpmemobj`, the pool provisions a fixed array of lanes
+//! (paper Figure 1's "Log" region). A transaction claims a lane, appends
+//! checksummed log entries to it, and invalidates them with a single
+//! generation bump at the end. Two extensions from the paper:
+//!
+//! * **Mirroring** (`-ML` modes): every lane write is duplicated into a
+//!   replica lane region in the same pool (paper Figure 2).
+//! * **Overflow**: when a transaction outgrows its lane, the log continues
+//!   in heap chunks typed `Log` (paper §2.3: "Large ones overflow into the
+//!   Heap storage area"). A `LogExt` entry chains the segments; recovery
+//!   follows the chain. Pangolin treats `Log` chunks as zeros in parity
+//!   (paper §3.1), so log appends never contend with object parity.
+//!
+//! The transaction layer owns overflow-chunk allocation (it differs between
+//! the baseline and Pangolin); the lane only records segments.
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{ObjError, Result};
+use crate::io::PoolIo;
+use crate::layout::Layout;
+use crate::ulog::{self, encode_entry, payload, Entry, EntryKind};
+
+/// Size of the persistent lane header preceding the log area.
+pub const LANE_HEADER_SIZE: u64 = 64;
+
+/// Log bytes kept in reserve per segment so that allocation-intent entries
+/// for overflow chunks plus the `LogExt` chain entry always fit after
+/// ordinary appends report the segment full.
+fn segment_reserve() -> u64 {
+    2 * ulog::entry_space(8) + ulog::entry_space(24) + 64
+}
+
+/// Whether lane writes are duplicated, and where the duplicate lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogMirror {
+    /// No duplication (the `libpmemobj` baseline; a replicated *pool*
+    /// mirrors lanes implicitly through [`PoolIo`]).
+    None,
+    /// Mirror into the same pool's lane-replica region (Pangolin `-ML`).
+    SameDevice,
+}
+
+/// One contiguous piece of a lane's log.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    primary: u64,
+    /// 0 when unmirrored.
+    replica: u64,
+    /// Usable capacity (excluding the `LogExt` reserve).
+    cap: u64,
+    cursor: u64,
+    unflushed: u64,
+}
+
+/// Volatile lane bookkeeping plus claim/release synchronization.
+pub struct Lanes {
+    layout: Layout,
+    mirror: LogMirror,
+    free: Mutex<Vec<u32>>,
+    available: Condvar,
+    /// Cached generation per lane (mirrors the persistent header field).
+    gens: Vec<std::sync::atomic::AtomicU64>,
+}
+
+/// A claimed lane: append-only log access for one transaction.
+pub struct LaneHandle<'a> {
+    lanes: &'a Lanes,
+    io: &'a PoolIo,
+    idx: u32,
+    segments: Vec<Segment>,
+    scratch: Vec<u8>,
+}
+
+impl Lanes {
+    /// Initializes all lane headers for a fresh pool (generation 1).
+    pub fn format(io: &PoolIo, layout: &Layout, mirror: LogMirror) -> Result<()> {
+        for l in 0..layout.cfg.n_lanes as u64 {
+            for off in Self::header_offsets(layout, l as u32, mirror) {
+                io.atomic_store_u64(off, 1)?; // generation
+                io.persist(off, 8)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn header_offsets(layout: &Layout, idx: u32, mirror: LogMirror) -> Vec<u64> {
+        let mut v = vec![layout.lane_off(idx as u64)];
+        if mirror == LogMirror::SameDevice {
+            v.push(layout.lane_replica_off(idx as u64));
+        }
+        v
+    }
+
+    /// Loads lane bookkeeping from an existing pool (after recovery).
+    pub fn load(io: &PoolIo, layout: Layout, mirror: LogMirror) -> Result<Lanes> {
+        let n = layout.cfg.n_lanes;
+        let mut gens = Vec::with_capacity(n);
+        for l in 0..n as u64 {
+            let gen = Self::read_gen(io, &layout, l as u32, mirror)?;
+            gens.push(std::sync::atomic::AtomicU64::new(gen));
+        }
+        Ok(Lanes {
+            layout,
+            mirror,
+            free: Mutex::new((0..n as u32).rev().collect()),
+            available: Condvar::new(),
+            gens,
+        })
+    }
+
+    /// Reads a lane's generation, preferring the primary copy and falling
+    /// back to the mirror on a media error.
+    pub fn read_gen(io: &PoolIo, layout: &Layout, idx: u32, mirror: LogMirror) -> Result<u64> {
+        let mut hdr = [0u8; 8];
+        let primary = layout.lane_off(idx as u64);
+        match io.read_with_replica_fallback(primary, &mut hdr) {
+            Ok(()) => {}
+            Err(_) if mirror == LogMirror::SameDevice => {
+                io.read(layout.lane_replica_off(idx as u64), &mut hdr)?;
+            }
+            Err(e) => return Err(e),
+        }
+        Ok(u64::from_le_bytes(hdr).max(1))
+    }
+
+    /// Invalidates a lane's entries during recovery (no [`Lanes`] instance
+    /// needed): bumps the persistent generation on all header copies.
+    pub fn invalidate(io: &PoolIo, layout: &Layout, idx: u32, mirror: LogMirror) -> Result<()> {
+        let gen = Self::read_gen(io, layout, idx, mirror)?;
+        for off in Self::header_offsets(layout, idx, mirror) {
+            io.atomic_store_u64(off, gen + 1)?;
+            io.persist(off, 8)?;
+        }
+        Ok(())
+    }
+
+    /// Claims a free lane, blocking until one is available.
+    pub fn claim<'a>(&'a self, io: &'a PoolIo) -> LaneHandle<'a> {
+        let mut free = self.free.lock();
+        while free.is_empty() {
+            self.available.wait(&mut free);
+        }
+        let idx = free.pop().expect("non-empty");
+        let base = Segment {
+            primary: self.layout.lane_off(idx as u64) + LANE_HEADER_SIZE,
+            replica: if self.mirror == LogMirror::SameDevice {
+                self.layout.lane_replica_off(idx as u64) + LANE_HEADER_SIZE
+            } else {
+                0
+            },
+            cap: self.layout.cfg.lane_size as u64 - LANE_HEADER_SIZE - segment_reserve(),
+            cursor: 0,
+            unflushed: 0,
+        };
+        LaneHandle { lanes: self, io, idx, segments: vec![base], scratch: Vec::new() }
+    }
+
+    /// Reads and decodes the valid entries of lane `idx`, following
+    /// overflow chains and falling back to mirror copies for segments whose
+    /// primary bytes are unreadable or torn.
+    pub fn read_entries(
+        io: &PoolIo,
+        layout: &Layout,
+        idx: u32,
+        mirror: LogMirror,
+    ) -> Result<Vec<Entry>> {
+        let gen = Self::read_gen(io, layout, idx, mirror)?;
+        let mut out = Vec::new();
+        let mut seg = Some((
+            layout.lane_off(idx as u64) + LANE_HEADER_SIZE,
+            if mirror == LogMirror::SameDevice {
+                layout.lane_replica_off(idx as u64) + LANE_HEADER_SIZE
+            } else {
+                0
+            },
+            layout.cfg.lane_size as u64 - LANE_HEADER_SIZE,
+        ));
+        let mut hops = 0usize;
+        while let Some((primary, replica, len)) = seg.take() {
+            hops += 1;
+            if hops > 100_000 {
+                return Err(ObjError::Corruption { off: primary, what: "log-extension chain" });
+            }
+            let entries = Self::walk_segment(io, primary, replica, len as usize, gen)?;
+            if let Some(last) = entries.last() {
+                if last.kind == EntryKind::LogExt {
+                    let (np, nr, ncap) = payload::parse_log_ext(&last.payload);
+                    seg = Some((np, nr, ncap));
+                }
+            }
+            out.extend(entries);
+        }
+        Ok(out)
+    }
+
+    fn walk_segment(
+        io: &PoolIo,
+        primary: u64,
+        replica: u64,
+        len: usize,
+        gen: u64,
+    ) -> Result<Vec<Entry>> {
+        let mut buf = vec![0u8; len];
+        let primary_entries = if io.read_with_replica_fallback(primary, &mut buf).is_ok() {
+            ulog::walk(&buf, gen)?
+        } else {
+            Vec::new()
+        };
+        if replica == 0 {
+            return Ok(primary_entries);
+        }
+        // A torn or corrupted primary suffix is recovered from the replica:
+        // use whichever copy decodes further.
+        let replica_entries = if io.read(replica, &mut buf).is_ok() {
+            ulog::walk(&buf, gen)?
+        } else {
+            Vec::new()
+        };
+        if replica_entries.len() > primary_entries.len() {
+            Ok(replica_entries)
+        } else {
+            Ok(primary_entries)
+        }
+    }
+
+    fn release(&self, idx: u32) {
+        let mut free = self.free.lock();
+        free.push(idx);
+        self.available.notify_one();
+    }
+}
+
+impl<'a> LaneHandle<'a> {
+    /// The lane index.
+    pub fn index(&self) -> u32 {
+        self.idx
+    }
+
+    /// The lane's current generation.
+    pub fn gen(&self) -> u64 {
+        self.lanes.gens[self.idx as usize].load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Total log bytes used across all segments.
+    pub fn used(&self) -> u64 {
+        self.segments.iter().map(|s| s.cursor).sum()
+    }
+
+    /// Number of overflow segments in use.
+    pub fn overflow_segments(&self) -> usize {
+        self.segments.len() - 1
+    }
+
+    /// Appends an entry (and its mirror copy) without flushing.
+    ///
+    /// Fails with [`ObjError::LogFull`] when the current segment is full;
+    /// the transaction layer then provisions an overflow chunk and calls
+    /// [`LaneHandle::add_segment`].
+    pub fn append(&mut self, kind: EntryKind, off: u64, payload: &[u8]) -> Result<()> {
+        self.append_inner(kind, off, payload, false)
+    }
+
+    /// Appends an entry that may use the segment's reserve space (overflow
+    /// allocation intents). Only the transaction layer's overflow path may
+    /// call this; the reserve is sized for its fixed entry budget.
+    pub fn append_reserved(&mut self, kind: EntryKind, off: u64, payload: &[u8]) -> Result<()> {
+        self.append_inner(kind, off, payload, true)
+    }
+
+    fn append_inner(
+        &mut self,
+        kind: EntryKind,
+        off: u64,
+        payload: &[u8],
+        allow_reserve: bool,
+    ) -> Result<()> {
+        let space = ulog::entry_space(payload.len());
+        let gen = self.gen();
+        let seg = self.segments.last_mut().expect("at least one segment");
+        let limit = if allow_reserve {
+            seg.cap + segment_reserve() - ulog::entry_space(24)
+        } else {
+            seg.cap
+        };
+        if seg.cursor + space > limit {
+            return Err(ObjError::LogFull);
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        encode_entry(&mut scratch, kind, off, payload, gen);
+        self.io.write(seg.primary + seg.cursor, &scratch)?;
+        if seg.replica != 0 {
+            self.io.write(seg.replica + seg.cursor, &scratch)?;
+        }
+        self.scratch = scratch;
+        let seg = self.segments.last_mut().expect("at least one segment");
+        seg.cursor += space;
+        Ok(())
+    }
+
+    /// Chains a new overflow segment: writes a `LogExt` entry into the
+    /// current segment's reserve and makes the new segment current.
+    ///
+    /// `replica` is 0 when logs are unmirrored. `total_len` is the raw
+    /// segment size; the usable capacity keeps the `LogExt` reserve.
+    pub fn add_segment(&mut self, primary: u64, replica: u64, total_len: u64) -> Result<()> {
+        let ext = payload::log_ext(primary, replica, total_len);
+        let gen = self.gen();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        encode_entry(&mut scratch, EntryKind::LogExt, 0, &ext, gen);
+        {
+            let seg = self.segments.last_mut().expect("at least one segment");
+            self.io.write(seg.primary + seg.cursor, &scratch)?;
+            if seg.replica != 0 {
+                self.io.write(seg.replica + seg.cursor, &scratch)?;
+            }
+            seg.cursor += scratch.len() as u64;
+        }
+        self.scratch = scratch;
+        self.segments.push(Segment {
+            primary,
+            replica,
+            cap: total_len - segment_reserve(),
+            cursor: 0,
+            unflushed: 0,
+        });
+        Ok(())
+    }
+
+    /// Flushes all appended-but-unflushed log bytes (all segments) and
+    /// fences once.
+    pub fn persist_log(&mut self) -> Result<()> {
+        for seg in &mut self.segments {
+            if seg.cursor > seg.unflushed {
+                let len = (seg.cursor - seg.unflushed) as usize;
+                self.io.flush(seg.primary + seg.unflushed, len)?;
+                if seg.replica != 0 {
+                    self.io.flush(seg.replica + seg.unflushed, len)?;
+                }
+                seg.unflushed = seg.cursor;
+            }
+        }
+        self.io.drain();
+        Ok(())
+    }
+
+    /// Invalidates all entries by bumping the persistent generation and
+    /// resets to the base segment. Overflow chunks are released by the
+    /// transaction layer afterwards.
+    pub fn bump_gen(&mut self) -> Result<()> {
+        let new_gen = self.gen() + 1;
+        for off in Lanes::header_offsets(&self.lanes.layout, self.idx, self.lanes.mirror) {
+            self.io.atomic_store_u64(off, new_gen)?;
+            self.io.persist(off, 8)?;
+        }
+        self.lanes.gens[self.idx as usize].store(new_gen, std::sync::atomic::Ordering::Relaxed);
+        self.segments.truncate(1);
+        let seg = &mut self.segments[0];
+        seg.cursor = 0;
+        seg.unflushed = 0;
+        Ok(())
+    }
+
+    /// Decodes this lane's currently valid entries (for abort replay).
+    pub fn entries(&self) -> Result<Vec<Entry>> {
+        Lanes::read_entries(self.io, &self.lanes.layout, self.idx, self.lanes.mirror)
+    }
+}
+
+impl Drop for LaneHandle<'_> {
+    fn drop(&mut self) {
+        self.lanes.release(self.idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::PoolConfig;
+    use pgl_nvm::{DeviceConfig, NvmDevice};
+    use std::sync::Arc;
+
+    fn setup(mirror: LogMirror) -> (PoolIo, Layout, Lanes) {
+        let cfg = PoolConfig::small();
+        let layout = Layout::new(cfg).unwrap();
+        let dev = Arc::new(NvmDevice::new(cfg.size, DeviceConfig::fast()).unwrap());
+        let io = PoolIo::new(dev);
+        Lanes::format(&io, &layout, mirror).unwrap();
+        let lanes = Lanes::load(&io, layout, mirror).unwrap();
+        (io, layout, lanes)
+    }
+
+    #[test]
+    fn claim_append_walk_roundtrip() {
+        let (io, layout, lanes) = setup(LogMirror::None);
+        let mut h = lanes.claim(&io);
+        h.append(EntryKind::Data, 0x2000, b"undo bytes").unwrap();
+        h.append(EntryKind::Commit, 0, &[]).unwrap();
+        h.persist_log().unwrap();
+        let idx = h.index();
+        let entries = Lanes::read_entries(&io, &layout, idx, LogMirror::None).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(ulog::is_committed(&entries));
+    }
+
+    #[test]
+    fn bump_gen_invalidates_entries() {
+        let (io, layout, lanes) = setup(LogMirror::None);
+        let mut h = lanes.claim(&io);
+        h.append(EntryKind::Data, 64, b"x").unwrap();
+        h.persist_log().unwrap();
+        h.bump_gen().unwrap();
+        let entries = Lanes::read_entries(&io, &layout, h.index(), LogMirror::None).unwrap();
+        assert!(entries.is_empty(), "old-generation entries are invisible");
+        // The lane is immediately reusable.
+        h.append(EntryKind::Data, 64, b"y").unwrap();
+        h.persist_log().unwrap();
+        let entries = Lanes::read_entries(&io, &layout, h.index(), LogMirror::None).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].payload, b"y");
+    }
+
+    #[test]
+    fn mirrored_lane_survives_primary_poison() {
+        let (io, layout, lanes) = setup(LogMirror::SameDevice);
+        let mut h = lanes.claim(&io);
+        h.append(EntryKind::Data, 0x2000, &[0xCD; 100]).unwrap();
+        h.append(EntryKind::Commit, 0, &[]).unwrap();
+        h.persist_log().unwrap();
+        let idx = h.index();
+        drop(h);
+        // Poison the page holding the primary log copy.
+        let page = (layout.lane_off(idx as u64) + LANE_HEADER_SIZE) / pgl_nvm::PAGE_SIZE as u64;
+        io.dev().poison_page(page).unwrap();
+        let entries = Lanes::read_entries(&io, &layout, idx, LogMirror::SameDevice).unwrap();
+        assert_eq!(entries.len(), 2, "entries recovered from the replica log");
+        assert!(ulog::is_committed(&entries));
+    }
+
+    #[test]
+    fn log_full_is_reported_then_overflow_continues() {
+        let (io, layout, lanes) = setup(LogMirror::None);
+        let mut h = lanes.claim(&io);
+        let big = vec![0xEFu8; 8 << 10];
+        let mut appended = 0u32;
+        loop {
+            match h.append(EntryKind::Data, 0, &big) {
+                Ok(()) => appended += 1,
+                Err(ObjError::LogFull) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(appended > 0);
+        // Chain an overflow segment in some free space and keep appending.
+        let chunk_base = layout.chunk_base(0, layout.zone.cm_chunks);
+        h.add_segment(chunk_base, 0, layout.cfg.chunk_size as u64).unwrap();
+        h.append(EntryKind::Data, 0, &big).unwrap();
+        h.append(EntryKind::Commit, 0, &[]).unwrap();
+        h.persist_log().unwrap();
+        assert_eq!(h.overflow_segments(), 1);
+
+        let entries = Lanes::read_entries(&io, &layout, h.index(), LogMirror::None).unwrap();
+        // appended + LogExt + 1 data + commit
+        assert_eq!(entries.len() as u32, appended + 3);
+        assert!(ulog::is_committed(&entries));
+        assert_eq!(
+            entries.iter().filter(|e| e.kind == EntryKind::LogExt).count(),
+            1,
+            "chain entry present in the decoded stream"
+        );
+    }
+
+    #[test]
+    fn mirrored_overflow_chain_survives_poison() {
+        let (io, layout, lanes) = setup(LogMirror::SameDevice);
+        let mut h = lanes.claim(&io);
+        let big = vec![1u8; 8 << 10];
+        while h.append(EntryKind::Data, 0, &big).is_ok() {}
+        let p = layout.chunk_base(0, layout.zone.cm_chunks);
+        let r = layout.chunk_base(0, layout.zone.cm_chunks + 1);
+        h.add_segment(p, r, layout.cfg.chunk_size as u64).unwrap();
+        h.append(EntryKind::Data, 0x42, b"in overflow").unwrap();
+        h.append(EntryKind::Commit, 0, &[]).unwrap();
+        h.persist_log().unwrap();
+        // Poison the primary overflow chunk: the replica copy serves reads.
+        io.dev().poison_page(p / pgl_nvm::PAGE_SIZE as u64).unwrap();
+        let entries =
+            Lanes::read_entries(&io, &layout, h.index(), LogMirror::SameDevice).unwrap();
+        assert!(ulog::is_committed(&entries));
+        assert!(entries.iter().any(|e| e.payload == b"in overflow"));
+    }
+
+    #[test]
+    fn lanes_block_until_released() {
+        let (io, _, lanes) = setup(LogMirror::None);
+        let handles: Vec<_> = (0..8).map(|_| lanes.claim(&io)).collect();
+        // All 8 lanes taken; a 9th claim would block. Release one and claim.
+        drop(handles);
+        let h = lanes.claim(&io);
+        assert!(h.index() < 8);
+    }
+}

@@ -1,0 +1,90 @@
+//! Persistent object identifiers.
+//!
+//! A [`PMEMoid`] names an object with a (pool uuid, byte offset) pair, so
+//! pointers stored inside persistent objects stay valid no matter where the
+//! pool is mapped (paper §2.3 "Addressing Scheme"). The offset points at the
+//! object's *user data*; the 16-byte object header sits immediately before
+//! it.
+
+use pgl_nvm::impl_pod;
+
+/// Size in bytes of the per-object header preceding the user data.
+pub const OBJ_HEADER_SIZE: u64 = 16;
+
+/// A persistent pointer: 64-bit pool id plus 64-bit offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(C)]
+pub struct PMEMoid {
+    /// UUID of the owning pool (0 for the null OID).
+    pub pool: u64,
+    /// Byte offset of the object's user data from the start of the pool.
+    pub off: u64,
+}
+impl_pod!(PMEMoid, 16);
+
+/// The null persistent pointer.
+pub const OID_NULL: PMEMoid = PMEMoid { pool: 0, off: 0 };
+
+impl PMEMoid {
+    /// Creates an OID from its parts.
+    #[inline]
+    pub const fn new(pool: u64, off: u64) -> Self {
+        PMEMoid { pool, off }
+    }
+
+    /// Returns `true` for the null OID.
+    #[inline]
+    pub const fn is_null(&self) -> bool {
+        self.off == 0 && self.pool == 0
+    }
+
+    /// Offset of this object's header (16 bytes before the user data).
+    #[inline]
+    pub const fn header_off(&self) -> u64 {
+        self.off - OBJ_HEADER_SIZE
+    }
+}
+
+/// The persistent object header: `{size: u64, type: u32, csum: u32}`.
+///
+/// `libpmemobj` uses a 64-bit type number; Pangolin narrows it to 32 bits to
+/// make room for the object checksum in the same 16 bytes (paper §3.1). The
+/// baseline library simply leaves `csum` zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(C)]
+pub struct ObjectHeader {
+    /// User data size in bytes (excluding this header).
+    pub size: u64,
+    /// Application-defined type number.
+    pub type_num: u32,
+    /// Adler32 checksum of the user data (Pangolin modes only).
+    pub csum: u32,
+}
+impl_pod!(ObjectHeader, 16);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_oid_properties() {
+        assert!(OID_NULL.is_null());
+        assert!(!PMEMoid::new(1, 64).is_null());
+        assert_eq!(PMEMoid::default(), OID_NULL);
+    }
+
+    #[test]
+    fn header_off_is_before_user_data() {
+        let oid = PMEMoid::new(7, 4096);
+        assert_eq!(oid.header_off(), 4096 - 16);
+    }
+
+    #[test]
+    fn header_roundtrip_through_pod() {
+        let h = ObjectHeader { size: 56, type_num: 3, csum: 0xABCD_EF01 };
+        let bytes = pgl_nvm::pod::bytes_of(&h).to_vec();
+        assert_eq!(bytes.len(), 16);
+        let g: ObjectHeader = pgl_nvm::pod::from_bytes(&bytes);
+        assert_eq!(h, g);
+    }
+}

@@ -1,0 +1,295 @@
+//! Persistent log entries shared by undo logs (the `libpmemobj` baseline),
+//! redo logs (Pangolin and allocator metadata), and allocation intents.
+//!
+//! Every entry is checksummed and tagged with the owning lane's generation
+//! number; invalidating a whole log is a single persisted generation bump
+//! (paper §3.4: "Pangolin garbage-collects its logs" — the collection is
+//! logical). A torn entry fails its checksum and terminates log replay,
+//! which is exactly the commit-record protocol's requirement.
+
+use pgl_nvm::impl_pod;
+use pgl_nvm::pod::{bytes_of, from_bytes};
+
+use crate::error::Result;
+use crate::util::crc32;
+
+/// On-media entry header (32 bytes), followed by the payload padded to 8
+/// bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
+pub struct EntryHeader {
+    /// Entry kind (see [`EntryKind`]).
+    pub kind: u16,
+    /// Reserved flags.
+    pub flags: u16,
+    /// Payload length in bytes (unpadded).
+    pub len: u32,
+    /// Target pool offset the entry applies to.
+    pub off: u64,
+    /// Owning lane generation at append time.
+    pub gen: u64,
+    /// CRC32 over the header (with this field zeroed) and the payload.
+    pub csum: u32,
+    /// Reserved.
+    pub pad: u32,
+}
+impl_pod!(EntryHeader, 32);
+
+/// Size of the on-media entry header.
+pub const ENTRY_HEADER_SIZE: u64 = 32;
+
+/// Log entry kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum EntryKind {
+    /// Object data: old content for undo logs, new content for redo logs.
+    Data = 1,
+    /// OR a mask into the bitmap word at `off` (allocation publish).
+    SetBits = 2,
+    /// AND-NOT a mask into the bitmap word at `off` (free publish).
+    ClearBits = 3,
+    /// Overwrite the 16-byte chunk-metadata entry at `off`.
+    WriteCm = 4,
+    /// Format a run header at chunk base `off` (payload: block size, count).
+    RunFmt = 5,
+    /// Pangolin: a region at `off` (payload: length) is being constructed
+    /// outside the log; recovery must recompute its parity columns.
+    AllocIntent = 6,
+    /// Commit record: all preceding entries are intended to be applied.
+    Commit = 7,
+    /// Log continuation: the log continues in an overflow heap chunk
+    /// (payload: primary offset, replica offset or 0, capacity).
+    LogExt = 8,
+}
+
+impl EntryKind {
+    fn from_u16(v: u16) -> Option<EntryKind> {
+        Some(match v {
+            1 => EntryKind::Data,
+            2 => EntryKind::SetBits,
+            3 => EntryKind::ClearBits,
+            4 => EntryKind::WriteCm,
+            5 => EntryKind::RunFmt,
+            6 => EntryKind::AllocIntent,
+            7 => EntryKind::Commit,
+            8 => EntryKind::LogExt,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Entry kind.
+    pub kind: EntryKind,
+    /// Target pool offset.
+    pub off: u64,
+    /// Payload bytes (length as written, unpadded).
+    pub payload: Vec<u8>,
+}
+
+/// Bytes an entry with `payload_len` occupies in the log (header plus
+/// payload padded to 8 bytes).
+#[inline]
+pub fn entry_space(payload_len: usize) -> u64 {
+    ENTRY_HEADER_SIZE + ((payload_len as u64 + 7) & !7)
+}
+
+/// Serializes an entry into `out` (cleared first) for appending at a log
+/// position; `gen` tags it to the owning lane generation.
+pub fn encode_entry(out: &mut Vec<u8>, kind: EntryKind, off: u64, payload: &[u8], gen: u64) {
+    out.clear();
+    let mut hdr = EntryHeader {
+        kind: kind as u16,
+        flags: 0,
+        len: payload.len() as u32,
+        off,
+        gen,
+        csum: 0,
+        pad: 0,
+    };
+    let csum = {
+        let mut c = crc32(bytes_of(&hdr));
+        c = crate::util::crc32_seed(c, payload);
+        c
+    };
+    hdr.csum = csum;
+    out.extend_from_slice(bytes_of(&hdr));
+    out.extend_from_slice(payload);
+    while out.len() % 8 != 0 {
+        out.push(0);
+    }
+}
+
+/// Decodes the entry at `bytes` (which must start at an entry boundary).
+///
+/// Returns `Ok(None)` if the bytes do not form a valid entry for `gen`
+/// (wrong generation, bad kind, bad checksum, or truncated) — the normal
+/// "end of log" condition.
+pub fn decode_entry(bytes: &[u8], gen: u64) -> Result<Option<(Entry, u64)>> {
+    if bytes.len() < ENTRY_HEADER_SIZE as usize {
+        return Ok(None);
+    }
+    let hdr: EntryHeader = from_bytes(bytes);
+    let Some(kind) = EntryKind::from_u16(hdr.kind) else {
+        return Ok(None);
+    };
+    if hdr.gen != gen {
+        return Ok(None);
+    }
+    let space = entry_space(hdr.len as usize);
+    if (bytes.len() as u64) < space {
+        return Ok(None);
+    }
+    let payload =
+        bytes[ENTRY_HEADER_SIZE as usize..ENTRY_HEADER_SIZE as usize + hdr.len as usize].to_vec();
+    let mut check_hdr = hdr;
+    check_hdr.csum = 0;
+    let mut c = crc32(bytes_of(&check_hdr));
+    c = crate::util::crc32_seed(c, &payload);
+    if c != hdr.csum {
+        return Ok(None);
+    }
+    Ok(Some((Entry { kind, off: hdr.off, payload }, space)))
+}
+
+/// Walks a log image, decoding consecutive valid entries for `gen`.
+pub fn walk(log: &[u8], gen: u64) -> Result<Vec<Entry>> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < log.len() {
+        match decode_entry(&log[pos..], gen)? {
+            Some((entry, space)) => {
+                out.push(entry);
+                pos += space as usize;
+            }
+            None => break,
+        }
+    }
+    Ok(out)
+}
+
+/// Returns `true` if the decoded entry list ends with a commit record.
+pub fn is_committed(entries: &[Entry]) -> bool {
+    matches!(entries.last(), Some(e) if e.kind == EntryKind::Commit)
+}
+
+/// Helper constructors for metadata payloads.
+pub mod payload {
+    /// Payload of a [`super::EntryKind::SetBits`]/`ClearBits` entry.
+    pub fn mask(mask: u64) -> [u8; 8] {
+        mask.to_le_bytes()
+    }
+
+    /// Payload of a [`super::EntryKind::RunFmt`] entry.
+    pub fn run_fmt(block_size: u32, nblocks: u32) -> [u8; 8] {
+        let mut p = [0u8; 8];
+        p[..4].copy_from_slice(&block_size.to_le_bytes());
+        p[4..].copy_from_slice(&nblocks.to_le_bytes());
+        p
+    }
+
+    /// Decodes a [`super::EntryKind::RunFmt`] payload.
+    pub fn parse_run_fmt(p: &[u8]) -> (u32, u32) {
+        let bs = u32::from_le_bytes(p[..4].try_into().expect("len checked"));
+        let nb = u32::from_le_bytes(p[4..8].try_into().expect("len checked"));
+        (bs, nb)
+    }
+
+    /// Decodes a mask payload.
+    pub fn parse_mask(p: &[u8]) -> u64 {
+        u64::from_le_bytes(p[..8].try_into().expect("len checked"))
+    }
+
+    /// Payload of a [`super::EntryKind::LogExt`] entry.
+    pub fn log_ext(primary: u64, replica: u64, cap: u64) -> [u8; 24] {
+        let mut p = [0u8; 24];
+        p[..8].copy_from_slice(&primary.to_le_bytes());
+        p[8..16].copy_from_slice(&replica.to_le_bytes());
+        p[16..].copy_from_slice(&cap.to_le_bytes());
+        p
+    }
+
+    /// Decodes a [`super::EntryKind::LogExt`] payload.
+    pub fn parse_log_ext(p: &[u8]) -> (u64, u64, u64) {
+        let a = u64::from_le_bytes(p[..8].try_into().expect("len checked"));
+        let b = u64::from_le_bytes(p[8..16].try_into().expect("len checked"));
+        let c = u64::from_le_bytes(p[16..24].try_into().expect("len checked"));
+        (a, b, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut buf = Vec::new();
+        encode_entry(&mut buf, EntryKind::Data, 0x1000, b"hello world", 3);
+        assert_eq!(buf.len() as u64, entry_space(11));
+        let (e, space) = decode_entry(&buf, 3).unwrap().expect("valid");
+        assert_eq!(space as usize, buf.len());
+        assert_eq!(e.kind, EntryKind::Data);
+        assert_eq!(e.off, 0x1000);
+        assert_eq!(e.payload, b"hello world");
+    }
+
+    #[test]
+    fn wrong_generation_is_invisible() {
+        let mut buf = Vec::new();
+        encode_entry(&mut buf, EntryKind::Commit, 0, &[], 5);
+        assert!(decode_entry(&buf, 6).unwrap().is_none());
+        assert!(decode_entry(&buf, 5).unwrap().is_some());
+    }
+
+    #[test]
+    fn torn_entry_fails_checksum() {
+        let mut buf = Vec::new();
+        encode_entry(&mut buf, EntryKind::Data, 64, &[0xAB; 40], 1);
+        buf[40] ^= 0xFF; // corrupt payload
+        assert!(decode_entry(&buf, 1).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_entry_is_rejected() {
+        let mut buf = Vec::new();
+        encode_entry(&mut buf, EntryKind::Data, 64, &[7; 100], 1);
+        assert!(decode_entry(&buf[..50], 1).unwrap().is_none());
+    }
+
+    #[test]
+    fn walk_stops_at_first_invalid() {
+        let mut log = Vec::new();
+        let mut e = Vec::new();
+        encode_entry(&mut e, EntryKind::Data, 0, b"first", 2);
+        log.extend_from_slice(&e);
+        encode_entry(&mut e, EntryKind::SetBits, 8, &payload::mask(0b1010), 2);
+        log.extend_from_slice(&e);
+        encode_entry(&mut e, EntryKind::Commit, 0, &[], 2);
+        log.extend_from_slice(&e);
+        // Stale garbage after the commit record (old generation).
+        encode_entry(&mut e, EntryKind::Data, 0, b"stale", 1);
+        log.extend_from_slice(&e);
+
+        let entries = walk(&log, 2).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert!(is_committed(&entries));
+        assert_eq!(payload::parse_mask(&entries[1].payload), 0b1010);
+    }
+
+    #[test]
+    fn zeroed_log_walks_empty() {
+        let log = vec![0u8; 4096];
+        assert!(walk(&log, 1).unwrap().is_empty());
+        assert!(!is_committed(&[]));
+    }
+
+    #[test]
+    fn payload_helpers_roundtrip() {
+        let p = payload::run_fmt(128, 500);
+        assert_eq!(payload::parse_run_fmt(&p), (128, 500));
+        assert_eq!(payload::parse_mask(&payload::mask(u64::MAX)), u64::MAX);
+    }
+}

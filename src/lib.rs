@@ -1,0 +1,18 @@
+//! # pangolin-suite — workspace facade
+//!
+//! Re-exports the crates of the Pangolin reproduction so the examples and
+//! integration tests (and downstream users who want everything) can depend
+//! on a single package:
+//!
+//! * [`nvm`] — simulated NVMM device (persistence model, poison, crashes);
+//! * [`pmemobj`] — the `libpmemobj`-equivalent substrate and baseline;
+//! * [`pangolin`] — the fault-tolerant library itself;
+//! * [`kv`] — the six PMDK-toolkit data structures.
+//!
+//! See the workspace `README.md` for the architecture overview and
+//! `EXPERIMENTS.md` for the paper-reproduction results.
+
+pub use pangolin;
+pub use pgl_kv as kv;
+pub use pgl_nvm as nvm;
+pub use pgl_pmemobj as pmemobj;

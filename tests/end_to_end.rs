@@ -1,0 +1,205 @@
+//! Workspace integration tests: device → libraries → data structures,
+//! exercising crash recovery, corruption recovery, and backend equivalence
+//! across crate boundaries.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use pangolin::{inject, CsumPolicy, PglConfig, PglPool, PMEMoid};
+use pgl_kv::maps::PersistentMap;
+use pgl_kv::store::{PglStore, PmemStore, Store};
+use pgl_kv::{btree, BTree, HashMap, RbTree};
+use pgl_nvm::{CrashPoint, DeviceConfig, NvmDevice, RandomPlan, PAGE_SIZE};
+use pgl_pmemobj::{PmemPool, PoolConfig};
+
+fn kv_cfg() -> PglConfig {
+    let mut cfg = PglConfig::small();
+    cfg.pool.size = 32 << 20;
+    cfg.pool.zone_size = 16 << 20;
+    cfg
+}
+
+#[test]
+fn kv_store_survives_crash_mid_operation() {
+    let cfg = kv_cfg();
+    let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::precise()).unwrap());
+    let store = PglStore::new(PglPool::create(dev.clone(), cfg).unwrap());
+    let map = BTree::create(&store).unwrap();
+    let anchor = map.anchor();
+    for k in 0..300u64 {
+        map.insert(&store, k, k + 1).unwrap();
+    }
+
+    // Crash at assorted points inside further inserts.
+    for (round, k) in (300..330u64).enumerate() {
+        dev.arm_crash_after(20 + round as u64 * 13);
+        let _ = panic::catch_unwind(AssertUnwindSafe(|| map.insert(&store, k, k + 1)));
+        dev.disarm_crash();
+        break; // one armed crash per pool lifetime; the rest after reopen
+    }
+    drop(store);
+    dev.simulate_crash(&mut RandomPlan::seeded(42));
+
+    let pool = PglPool::open(dev, CsumPolicy::Default, false).unwrap();
+    assert!(pool.verify_parity().unwrap());
+    let store = PglStore::new(pool);
+    let map = BTree::from_anchor(PMEMoid::new(store.uuid(), anchor.off));
+    btree::check_invariants(&map, &store).unwrap();
+    for k in 0..300u64 {
+        assert_eq!(map.get(&store, k).unwrap(), Some(k + 1), "pre-crash key {k}");
+    }
+    // Key 300 either committed fully or not at all.
+    let n = map.len(&store).unwrap();
+    assert!(n == 300 || n == 301, "len {n}");
+}
+
+#[test]
+fn kv_store_heals_through_mixed_fault_storm() {
+    let cfg = kv_cfg();
+    let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::fast()).unwrap());
+    let store = PglStore::new(PglPool::create(dev, cfg).unwrap());
+    let map = RbTree::create(&store).unwrap();
+    for k in 0..500u64 {
+        map.insert(&store, k, k * 3).unwrap();
+    }
+    // Alternate media errors and scribbles against live nodes, reading
+    // through the map after each.
+    let victims: Vec<_> = store
+        .pool()
+        .live_objects()
+        .unwrap()
+        .into_iter()
+        .filter(|(_, h)| h.size == 80)
+        .map(|(o, _)| o)
+        .collect();
+    for (i, victim) in victims.iter().step_by(37).enumerate() {
+        if i % 2 == 0 {
+            inject::poison_object_page(store.pool(), *victim).unwrap();
+        } else {
+            inject::scribble_object(store.pool(), *victim, 8, 16, 0xBE).unwrap();
+        }
+        store.pool().scrub_now().unwrap();
+        for k in (0..500u64).step_by(97) {
+            assert_eq!(map.get(&store, k).unwrap(), Some(k * 3), "storm round {i}");
+        }
+    }
+    pgl_kv::rbtree::check_invariants(&map, &store).unwrap();
+    assert!(store.pool().verify_parity().unwrap());
+    assert!(store.pool().find_corrupt_objects().unwrap().is_empty());
+}
+
+#[test]
+fn backends_produce_identical_map_contents() {
+    // The same operation sequence on the baseline and Pangolin must agree
+    // key-for-key (the property that makes the Figure 5 comparison fair).
+    let pgl = {
+        let cfg = kv_cfg();
+        let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::fast()).unwrap());
+        PglStore::new(PglPool::create(dev, cfg).unwrap())
+    };
+    let pmem = {
+        let mut cfg = PoolConfig::small();
+        cfg.size = 32 << 20;
+        cfg.zone_size = 16 << 20;
+        let dev = Arc::new(NvmDevice::new(cfg.size, DeviceConfig::fast()).unwrap());
+        PmemStore::new(Arc::new(PmemPool::create(dev, cfg).unwrap()))
+    };
+    let a = HashMap::create(&pgl).unwrap();
+    let b = HashMap::create(&pmem).unwrap();
+    let keys: Vec<u64> = (0..2000u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    for (i, &k) in keys.iter().enumerate() {
+        assert_eq!(
+            a.insert(&pgl, k, i as u64).unwrap(),
+            b.insert(&pmem, k, i as u64).unwrap()
+        );
+        if i % 3 == 0 {
+            let evict = keys[i / 2];
+            assert_eq!(a.remove(&pgl, evict).unwrap(), b.remove(&pmem, evict).unwrap());
+        }
+    }
+    for &k in &keys {
+        assert_eq!(a.get(&pgl, k).unwrap(), b.get(&pmem, k).unwrap(), "key {k}");
+    }
+    assert_eq!(a.len(&pgl).unwrap(), b.len(&pmem).unwrap());
+}
+
+#[test]
+fn pool_image_survives_process_restart() {
+    // Save the device image to a file and load it back: the pool (and the
+    // kernel's bad-page list) persists across "reboots".
+    let dir = std::env::temp_dir().join("pgl_e2e_image");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pool.img");
+
+    let cfg = kv_cfg();
+    let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::fast()).unwrap());
+    let pool = PglPool::create(dev.clone(), cfg).unwrap();
+    let oid = pool
+        .tx(|tx| {
+            let oid = tx.alloc(128, 7)?;
+            tx.write(oid, 0, &[0xAD; 128])?;
+            Ok(oid)
+        })
+        .unwrap();
+    // Leave a poisoned page behind, like a machine with a known-bad DIMM
+    // region.
+    let far_page = (pool.layout().zone_base(0)
+        + pool.layout().zone.rows_base
+        + 3 * pool.layout().zone.row_size)
+        / PAGE_SIZE as u64;
+    dev.poison_page(far_page).unwrap();
+    drop(pool);
+    pgl_nvm::image::save(&dev, &path).unwrap();
+
+    let dev2 = Arc::new(pgl_nvm::image::load(&path, DeviceConfig::fast()).unwrap());
+    assert!(dev2.is_poisoned_page(far_page), "bad-page list restored");
+    let pool = PglPool::open(dev2, CsumPolicy::Default, false).unwrap();
+    let data = pool.read_verified(PMEMoid::new(pool.uuid(), oid.off)).unwrap();
+    assert_eq!(data, vec![0xAD; 128]);
+    // The open-time scrub path can heal the known-bad page on demand.
+    pool.scrub_now().unwrap();
+    assert!(pool.io().dev().poisoned_pages().is_empty());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn crash_then_corruption_then_recovery_chain() {
+    // The full gauntlet: crash mid-transaction, recover, lose a page,
+    // recover online, scribble, scrub — the pool stays correct throughout.
+    let cfg = kv_cfg();
+    let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::precise()).unwrap());
+    let pool = PglPool::create(dev.clone(), cfg).unwrap();
+    let oid = pool
+        .tx(|tx| {
+            let oid = tx.alloc(256, 1)?;
+            tx.write(oid, 0, &[1u8; 256])?;
+            Ok(oid)
+        })
+        .unwrap();
+
+    dev.arm_crash_after(25);
+    let r = panic::catch_unwind(AssertUnwindSafe(|| {
+        pool.tx(|tx| tx.write(oid, 0, &[2u8; 256]))
+    }));
+    dev.disarm_crash();
+    if let Err(p) = r {
+        assert!(p.downcast_ref::<CrashPoint>().is_some());
+    }
+    drop(pool);
+    dev.simulate_crash(&mut RandomPlan::seeded(3));
+
+    let pool = PglPool::open(dev.clone(), CsumPolicy::Default, false).unwrap();
+    let oid = PMEMoid::new(pool.uuid(), oid.off);
+    let first = pool.read_verified(oid).unwrap();
+    assert!(first.iter().all(|&b| b == first[0]));
+
+    inject::poison_object_page(&pool, oid).unwrap();
+    let second = pool.read_verified(oid).unwrap();
+    assert_eq!(first, second, "post-crash parity reconstructs the same bytes");
+
+    inject::scribble_object(&pool, oid, 10, 100, 0xCC).unwrap();
+    pool.scrub_now().unwrap();
+    let third = pool.read_verified(oid).unwrap();
+    assert_eq!(first, third, "scrub undoes the scribble");
+    assert!(pool.verify_parity().unwrap());
+}
