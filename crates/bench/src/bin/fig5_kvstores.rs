@@ -9,10 +9,10 @@ use pgl_kv::maps::PersistentMap;
 use pgl_kv::workload::{insert_phase, lookup_phase, random_keys, remove_phase};
 use pgl_kv::{BTree, CTree, HashMap, RTree, RbTree, SkipList};
 
-fn run_structure<M: PersistentMap>(
-    store: &AnyStore,
-    keys: &[u64],
-) -> (f64, f64, f64) {
+/// Insert/lookup/remove throughput (ops/s) for one structure on one store.
+type OpRates = (f64, f64, f64);
+
+fn run_structure<M: PersistentMap>(store: &AnyStore, keys: &[u64]) -> OpRates {
     let map = M::create(store).expect("create map");
     let ins = insert_phase(&map, store, keys).expect("insert phase");
     assert_eq!(map.len(store).unwrap(), keys.len() as u64);
@@ -39,7 +39,7 @@ fn main() {
     // The rtree allocates ~4.2 KB per key; give it a bigger pool.
     let run_all = |name: &str,
                    pool_mult: usize,
-                   f: &dyn Fn(&AnyStore, &[u64]) -> (f64, f64, f64),
+                   f: &dyn Fn(&AnyStore, &[u64]) -> OpRates,
                    insert_rows: &mut Vec<Vec<String>>,
                    lookup_rows: &mut Vec<Vec<String>>,
                    remove_rows: &mut Vec<Vec<String>>| {

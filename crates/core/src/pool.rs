@@ -52,7 +52,7 @@ pub struct Inner {
     pub(crate) vuln: Vuln,
     pub(crate) counters: PglCounters,
     pub(crate) scrub_tick: AtomicU64,
-    background_scrub: Option<crossbeam::channel::Sender<()>>,
+    background_scrub: Option<std::sync::mpsc::SyncSender<()>>,
 }
 
 impl Inner {
@@ -416,7 +416,7 @@ impl PglPool {
             .then(|| ParityEngine::new(layout, cfg.parity_lock_granule, cfg.hybrid_threshold));
         let want_bg = cfg.background_scrub && matches!(cfg.policy, CsumPolicy::ScrubEvery(_));
         let (txc, rxc) = if want_bg {
-            let (a, b) = crossbeam::channel::bounded::<()>(1);
+            let (a, b) = std::sync::mpsc::sync_channel::<()>(1);
             (Some(a), Some(b))
         } else {
             (None, None)

@@ -75,7 +75,7 @@ fn scrub_frozen(inner: &Inner) -> Result<ScrubReport> {
 
     // 2. Chunk metadata: every entry must carry a valid checksum (or be
     //    all-zero, i.e. never written). Parity repairs scribbled entries.
-    if inner.parity.is_some() {
+    if let Some(engine) = &inner.parity {
         for z in 0..layout.n_zones {
             for c in 0..layout.zone.n_chunks {
                 let off = layout.cm_entry_off(z, c);
@@ -84,11 +84,11 @@ fn scrub_frozen(inner: &Inner) -> Result<ScrubReport> {
                     Ok(()) => {
                         let cm = ChunkMeta::from_slice(&buf);
                         let pristine = buf == [0u8; 16];
-                        if !pristine && (!cm.verify() || cm.chunk_type().is_none()) {
-                            let engine = inner.parity.as_ref().expect("checked");
-                            if repair_page_by_compare(io, engine, off)? {
-                                report.pages_repaired += 1;
-                            }
+                        if !pristine
+                            && (!cm.verify() || cm.chunk_type().is_none())
+                            && repair_page_by_compare(io, engine, off)?
+                        {
+                            report.pages_repaired += 1;
                         }
                     }
                     Err(ObjError::Mem(pgl_nvm::MemError::Poisoned { page })) => {

@@ -172,16 +172,14 @@ fn multi_object_tx_atomic_at_sampled_crash_points() {
     // A transaction touching two existing objects plus an allocation:
     // either all three effects landed or none.
     let setup = |pool: &PglPool| {
-        let a = pool
-            .tx(|tx| {
-                let a = tx.alloc(64, 1)?;
-                tx.write(a, 0, &[1; 64])?;
-                let b = tx.alloc(64, 2)?;
-                tx.write(b, 0, &[2; 64])?;
-                Ok(a)
-            })
-            .unwrap();
-        a
+        pool.tx(|tx| {
+            let a = tx.alloc(64, 1)?;
+            tx.write(a, 0, &[1; 64])?;
+            let b = tx.alloc(64, 2)?;
+            tx.write(b, 0, &[2; 64])?;
+            Ok(a)
+        })
+        .unwrap()
     };
     let work = |pool: &PglPool, a: PMEMoid| {
         let b_off = pool

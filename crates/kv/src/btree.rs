@@ -222,7 +222,7 @@ impl BTree {
         let right = read_node(tx, right_oid)?;
         let ln = left.n as usize;
         let rn = right.n as usize;
-        debug_assert!(ln + rn + 1 <= MAX_ITEMS);
+        debug_assert!(ln + rn < MAX_ITEMS);
         left.items[ln] = parent.items[i];
         left.items[ln + 1..ln + 1 + rn].copy_from_slice(&right.items[..rn]);
         if !left.is_leaf() {

@@ -9,7 +9,9 @@
 //! Every structure is generic over a [`store::Store`] backend — the
 //! `libpmemobj` baseline (plain or replicated) or Pangolin in any of its
 //! fault-tolerance modes — so a single implementation serves the whole
-//! Table 2 comparison matrix.
+//! Table 2 comparison matrix. See the workspace `README.md` for how this
+//! crate sits in the nvm → pmemobj → pangolin → kv → bench layering, and
+//! `EXPERIMENTS.md` for the Figure 5 / Table 3 runs built on it.
 //!
 //! # Examples
 //!

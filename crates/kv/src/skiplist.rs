@@ -115,10 +115,10 @@ impl PersistentMap for SkipList {
             let node = tx.alloc_zeroed(NODE_SIZE, TYPE_NODE)?;
             tx.write_pod(node, KEY_OFF, &key)?;
             tx.write_pod(node, VALUE_OFF, &value)?;
-            for level in 0..height {
-                let succ: PMEMoid = tx.read_pod(preds[level], next_off(level))?;
+            for (level, &pred) in preds.iter().enumerate().take(height) {
+                let succ: PMEMoid = tx.read_pod(pred, next_off(level))?;
                 tx.write_pod(node, next_off(level), &succ)?;
-                tx.write_pod(preds[level], next_off(level), &node)?;
+                tx.write_pod(pred, next_off(level), &node)?;
             }
             Self::bump_count(tx, anchor, 1)?;
             Ok(None)
@@ -139,13 +139,13 @@ impl PersistentMap for SkipList {
                 return Ok(None);
             }
             let old: u64 = tx.read_pod(target, VALUE_OFF)?;
-            for level in 0..LEVELS {
-                let pn: PMEMoid = tx.read_pod(preds[level], next_off(level))?;
+            for (level, &pred) in preds.iter().enumerate() {
+                let pn: PMEMoid = tx.read_pod(pred, next_off(level))?;
                 if pn != target {
                     break; // towers shrink upward: once unlinked, done
                 }
                 let succ: PMEMoid = tx.read_pod(target, next_off(level))?;
-                tx.write_pod(preds[level], next_off(level), &succ)?;
+                tx.write_pod(pred, next_off(level), &succ)?;
             }
             tx.free(target)?;
             Self::bump_count(tx, anchor, -1)?;

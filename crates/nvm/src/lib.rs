@@ -26,9 +26,11 @@
 //!   property-based testing ([`crash::CrashPlan`]).
 //!
 //! The simulation exists because this reproduction has no Optane hardware;
-//! see `DESIGN.md` §2 for the substitution argument. The upside is that
-//! crashes, evictions and media errors become deterministic and exhaustively
-//! testable.
+//! see the workspace `README.md` ("Why a simulated device") for the
+//! substitution argument. The upside is that crashes, evictions and media
+//! errors become deterministic and exhaustively testable. The workspace's
+//! `EXPERIMENTS.md` lists the figure/table reproductions that run on top
+//! of this device.
 //!
 //! # Examples
 //!

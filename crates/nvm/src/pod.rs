@@ -134,10 +134,15 @@ mod tests {
 
     #[test]
     fn from_bytes_tolerates_misalignment() {
+        // An 8-aligned buffer sliced at +3 is guaranteed misaligned for
+        // Pair; a plain [u8; 32] could land 8-aligned at +3 by accident
+        // and make this test vacuous.
+        #[repr(align(8))]
+        struct Aligned([u8; 32]);
         let p = Pair { a: 1, b: 2, c: 3 };
-        let mut buf = vec![0u8; 32];
-        buf[3..19].copy_from_slice(bytes_of(&p));
-        let q: Pair = from_bytes(&buf[3..]);
+        let mut buf = Aligned([0u8; 32]);
+        buf.0[3..19].copy_from_slice(bytes_of(&p));
+        let q: Pair = from_bytes(&buf.0[3..]);
         assert_eq!(p, q);
     }
 

@@ -19,7 +19,9 @@
 //! The Pangolin library (`pangolin` crate) reuses the layout, heap, lane and
 //! log-entry machinery from here, exactly as the real Pangolin reuses
 //! `libpmemobj`'s internals, and replaces the transaction system with
-//! micro-buffered redo transactions plus checksums and parity.
+//! micro-buffered redo transactions plus checksums and parity. The
+//! workspace `README.md` maps paper sections to modules; `EXPERIMENTS.md`
+//! holds the baseline-vs-Pangolin benchmark matrix this crate anchors.
 //!
 //! # Examples
 //!

@@ -71,7 +71,7 @@ impl PoolHeader {
         self.magic == POOL_MAGIC && self.version == POOL_VERSION && self.csum == self.compute_csum()
     }
 
-    fn to_config(&self, total_size: usize) -> PoolConfig {
+    fn to_config(self, total_size: usize) -> PoolConfig {
         PoolConfig {
             size: total_size,
             zone_size: self.zone_size as usize,

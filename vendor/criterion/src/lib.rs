@@ -1,0 +1,242 @@
+//! # criterion (vendored shim)
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the subset of the `criterion` 0.5 API that the Pangolin benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::throughput`] /
+//! [`BenchmarkGroup::sample_size`] / [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model (much simpler than real criterion, deliberately):
+//! each benchmark is warmed up briefly, then timed over batches until a
+//! wall-clock budget is spent; the median batch time is reported as
+//! ns/iter (plus MB/s when a [`Throughput`] is set). There is no
+//! statistical analysis, no plotting, and no `target/criterion` output —
+//! results print to stdout, one line per benchmark. Under `cargo test`
+//! (which runs `harness = false` bench targets) the budget collapses to a
+//! single iteration so the benches act as smoke tests.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group: a function name, a parameter,
+/// or both (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter, like `adler32/64`.
+    pub fn new<P: std::fmt::Display>(function_name: impl Into<String>, parameter: P) -> Self {
+        let mut id = function_name.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+
+    /// An id carrying only a parameter (the group name provides context).
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Work-per-iteration, used to derive a rate next to the time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Times a closure over repeated iterations.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the per-iteration time. The
+    /// routine's return value is passed through [`black_box`] so its
+    /// computation cannot be optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: one untimed call (also catches panics early).
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget || iters >= 1_000_000 {
+                self.iters_done = iters;
+                self.elapsed = elapsed;
+                return;
+            }
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work done per iteration for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes runs by wall-clock
+    /// budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` against `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            budget: self.criterion.budget,
+        };
+        routine(&mut bencher, input);
+        self.report(&id, &bencher);
+    }
+
+    /// Benchmarks a routine that needs no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            budget: self.criterion.budget,
+        };
+        routine(&mut bencher);
+        self.report(&BenchmarkId { id: id.into() }, &bencher);
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        if bencher.iters_done == 0 {
+            println!("{}/{id}: no iterations recorded", self.name);
+            return;
+        }
+        let ns_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters_done as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) => {
+                let mbps = b as f64 / ns_per_iter * 1e9 / (1 << 20) as f64;
+                format!("  {mbps:10.1} MiB/s")
+            }
+            Some(Throughput::Elements(e)) => {
+                let eps = e as f64 / ns_per_iter * 1e9;
+                format!("  {eps:10.0} elem/s")
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id}: {ns_per_iter:12.1} ns/iter ({} iters){rate}",
+            self.name, bencher.iters_done
+        );
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    /// Test mode (invoked by `cargo test` on `harness = false` targets, or
+    /// with an explicit `--test` flag) gets a one-shot budget; real runs
+    /// get a short measuring budget per benchmark.
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CARGO_CRITERION_SMOKE").is_some()
+            || cfg!(test);
+        Criterion {
+            budget: if test_mode { Duration::ZERO } else { Duration::from_millis(50) },
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self, throughput: None }
+    }
+}
+
+/// Declares a benchmark entry point: `criterion_group!(benches, f1, f2)`
+/// defines `fn benches()` running each target against a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            $(
+                let mut criterion = $crate::Criterion::default();
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares `fn main()` invoking the given [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("adler32", 64).to_string(), "adler32/64");
+        assert_eq!(BenchmarkId::from_parameter("mlpc").to_string(), "mlpc");
+    }
+
+    #[test]
+    fn groups_run_their_routines() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        let mut runs = 0u32;
+        g.throughput(Throughput::Bytes(8));
+        g.bench_with_input(BenchmarkId::new("add", 8), &3u64, |b, &x| {
+            b.iter(|| x + 1);
+            runs += 1;
+        });
+        g.bench_function("mul", |b| b.iter(|| black_box(6u64) * 7));
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,469 @@
+//! # proptest (vendored shim)
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the subset of the `proptest` 1.x API that the Pangolin workspace's
+//! property tests use:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`], integer-range and
+//!   tuple strategies, [`Just`], [`any`], and weighted [`prop_oneof!`];
+//! * [`collection::vec`] for variable-length vectors;
+//! * the [`proptest!`] macro with `#![proptest_config(...)]` /
+//!   [`ProptestConfig::with_cases`], and [`prop_assert!`] /
+//!   [`prop_assert_eq!`].
+//!
+//! Differences from the real crate, chosen deliberately for an offline
+//! reproduction:
+//!
+//! * **No shrinking.** A failing case panics with its generated inputs
+//!   printed (every strategy value is `Debug`), but is not minimized.
+//!   The workspace's tests all take explicit seeds or small action
+//!   vectors, so raw counterexamples remain actionable.
+//! * **Deterministic by default.** Each test function derives its RNG
+//!   seed from its own name, so failures reproduce across runs. Set
+//!   `PROPTEST_RNG_SEED` to explore a different stream.
+//! * `PROPTEST_CASES` overrides the per-test case count, like the real
+//!   crate's environment handling.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Applies the `PROPTEST_CASES` environment override, if present.
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The generator driving a `proptest!` run.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// A runner whose stream is derived from `test_name` (stable across
+    /// runs) unless `PROPTEST_RNG_SEED` overrides it.
+    pub fn deterministic(test_name: &str) -> Self {
+        let seed = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| fnv1a(test_name.as_bytes()));
+        TestRunner { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The underlying RNG, for strategies to draw from.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f` (the real crate's `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Type-erases this strategy so heterogeneous strategies producing the
+    /// same value type can share a container (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V: std::fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn new_value(&self, runner: &mut TestRunner) -> V {
+        (**self).new_value(runner)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// The `prop_map` combinator.
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.source.new_value(runner))
+    }
+}
+
+/// Weighted choice among strategies of one value type ([`prop_oneof!`]).
+pub struct Union<V> {
+    options: Vec<(u32, BoxedStrategy<V>)>,
+    total_weight: u64,
+}
+
+impl<V: std::fmt::Debug> Union<V> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new(options: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        let total_weight = options.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! needs positive total weight");
+        Union { options, total_weight }
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn new_value(&self, runner: &mut TestRunner) -> V {
+        let mut pick = runner.rng().gen_range(0..self.total_weight);
+        for (w, s) in &self.options {
+            if pick < *w as u64 {
+                return s.new_value(runner);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights cover the sampled value")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.new_value(runner),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (S0 0)
+    (S0 0, S1 1)
+    (S0 0, S1 1, S2 2)
+    (S0 0, S1 1, S2 2, S3 3)
+    (S0 0, S1 1, S2 2, S3 3, S4 4)
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5)
+}
+
+/// The uniform strategy over all values of `T` (`any::<T>()`).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Returns the strategy generating arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: std::fmt::Debug + Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> Self {
+                runner.rng().next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        runner.rng().next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection`).
+
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+
+    /// Size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Exclusive.
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: r.end().saturating_add(1) }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+            assert!(self.size.lo < self.size.hi, "empty collection size range");
+            let len = runner.rng().gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, like `proptest::prelude::*`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestRunner,
+    };
+}
+
+/// Asserts a condition inside a property (panics with the formatted
+/// message; no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Weighted (`w => strategy`) or uniform choice among strategies that
+/// produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:literal => $strategy:expr ),+ $(,)? ) => {
+        $crate::Union::new(vec![
+            $( ($weight as u32, $crate::Strategy::boxed($strategy)) ),+
+        ])
+    };
+    ( $( $strategy:expr ),+ $(,)? ) => {
+        $crate::Union::new(vec![
+            $( (1u32, $crate::Strategy::boxed($strategy)) ),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+///
+/// On failure the generated inputs are printed before the panic
+/// propagates, so the case can be replayed by hand.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (
+        @impl ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let cases = config.resolved_cases();
+                let mut runner = $crate::TestRunner::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..cases {
+                    $(let $arg = $crate::Strategy::new_value(&$strategy, &mut runner);)+
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        $body
+                    }));
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest case {case}/{cases} failed in {}:",
+                            stringify!($name)
+                        );
+                        $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(u8),
+        Rect(u8, u8),
+    }
+
+    fn shape_strategy() -> impl Strategy<Value = Shape> {
+        prop_oneof![
+            Just(Shape::Dot),
+            (1u8..10).prop_map(Shape::Line),
+            (1u8..10, 1u8..=9).prop_map(|(w, h)| Shape::Rect(w, h)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn shapes_in_bounds(shape in shape_strategy(), scale in any::<u8>()) {
+            let _ = scale;
+            match shape {
+                Shape::Dot => {}
+                Shape::Line(l) => prop_assert!((1..10).contains(&l)),
+                Shape::Rect(w, h) => {
+                    prop_assert!((1..10).contains(&w));
+                    prop_assert!((1..=9).contains(&h));
+                }
+            }
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(
+            v in crate::collection::vec(0u8..=255, 2..7),
+        ) {
+            prop_assert!((2..7).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn weighted_union_prefers_heavy_arm() {
+        let s = prop_oneof![
+            9 => Just(true),
+            1 => Just(false),
+        ];
+        let mut runner = TestRunner::deterministic("weighted_union");
+        let trues = (0..1000).filter(|_| s.new_value(&mut runner)).count();
+        assert!(trues > 800, "9:1 weighting gave {trues}/1000");
+    }
+
+    #[test]
+    fn deterministic_runner_reproduces() {
+        let s = 0u64..1_000_000;
+        let mut a = TestRunner::deterministic("repro");
+        let mut b = TestRunner::deterministic("repro");
+        for _ in 0..50 {
+            assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+        }
+    }
+}

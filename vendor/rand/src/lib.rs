@@ -1,0 +1,316 @@
+//! # rand (vendored shim)
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the subset of the `rand` 0.8 API the Pangolin reproduction uses:
+//! [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`], the [`Rng`]
+//! extension methods (`gen`, `gen_range`, `gen_bool`) and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! Every consumer in this workspace seeds its generator explicitly (the
+//! reproduction is deterministic by design — crash plans, workloads and
+//! property tests all take seeds), so no OS entropy source is required or
+//! provided. [`rngs::StdRng`] is xoshiro256**, which is more than
+//! adequate statistically for workload generation and fault-injection
+//! schedules; it makes no cryptographic claims, and neither do the
+//! call sites.
+
+/// A source of random 64-bit words; everything else derives from this.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let w = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&w[..rem.len()]);
+        }
+    }
+}
+
+/// Types constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Extension methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from the standard (uniform) distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (`a..b` or `a..=b`); panics if the
+    /// range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 uniform mantissa bits, the same resolution rand itself uses.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// The standard distribution: every representable value equally likely
+/// (named after `rand`'s `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws a uniform value in the range; panics if it is empty.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain: no rejection needed.
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// Uniform draw in `[0, bound)` by rejection sampling (`bound > 0`), so
+/// small ranges carry no modulo bias.
+fn uniform_below<R: RngCore>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**.
+    ///
+    /// Unlike `rand`'s ChaCha-based `StdRng` this is not cryptographically
+    /// secure, but every use in this workspace is seeded simulation, where
+    /// only statistical quality and determinism matter.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical way to seed xoshiro.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related extensions (`rand::seq`).
+
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// A uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn determinism() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u8..9);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(10u64..=20);
+            assert!((10..=20).contains(&w));
+            let z = rng.gen_range(0..5usize);
+            assert!(z < 5);
+        }
+    }
+
+    #[test]
+    fn small_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..4u8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_probabilities() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let v = [1, 2, 3];
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+    }
+}
