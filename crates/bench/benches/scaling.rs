@@ -1,0 +1,66 @@
+//! Criterion view of Figure 9's scaling claim: aggregate time for a fixed
+//! batch of 1 KiB overwrite transactions, split across 1/2/4 worker
+//! threads on one shared pgl-MLPC pool. With per-thread lanes and striped
+//! parity locks the per-batch time should *shrink* as threads grow
+//! (statistically rigorous companion to the `fig9_scaling` sweep binary).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pgl_bench::{make_store, AnyStore, Mode};
+use pgl_kv::store::Store;
+use pgl_nvm::LatencyModel;
+use pgl_pmemobj::PMEMoid;
+
+const BATCH: usize = 64;
+const OBJ_SIZE: usize = 1024;
+
+fn prealloc(store: &AnyStore, n: usize) -> Vec<PMEMoid> {
+    (0..n)
+        .map(|_| {
+            store
+                .txn(&mut |tx| {
+                    let oid = tx.alloc(OBJ_SIZE as u64, 1)?;
+                    tx.write_bytes(oid, 0, &vec![0u8; OBJ_SIZE])?;
+                    Ok(oid)
+                })
+                .unwrap()
+        })
+        .collect()
+}
+
+fn tx_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tx_scaling_1k_batch64");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(BATCH as u64));
+    for threads in [1usize, 2, 4] {
+        let store = Arc::new(make_store(Mode::PglMlpc, 256 << 20, LatencyModel::optane()));
+        // Disjoint object sets per worker (the paper's concurrency rule).
+        let sets: Vec<Vec<PMEMoid>> = (0..threads)
+            .map(|_| prealloc(&store, BATCH / threads))
+            .collect();
+        let payload = vec![0xA5u8; OBJ_SIZE];
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for set in &sets {
+                        let store = store.clone();
+                        let payload = &payload;
+                        s.spawn(move || {
+                            for oid in set {
+                                store
+                                    .txn(&mut |tx| tx.write_bytes(*oid, 0, payload))
+                                    .unwrap();
+                            }
+                        });
+                    }
+                });
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, tx_scaling);
+criterion_main!(benches);

@@ -45,6 +45,9 @@ impl Mode {
 }
 
 /// A store of either backend, so harness code can hold them uniformly.
+/// Clones share the underlying pool (both backends are `Arc`-backed
+/// shared handles), so one `AnyStore` can fan out across threads.
+#[derive(Clone)]
 pub enum AnyStore {
     /// Baseline (plain or replicated).
     Pmem(PmemStore),
@@ -151,12 +154,17 @@ pub fn make_store_with_policy(
 pub struct Args {
     /// Operations per phase (`--ops N`; the paper uses 1M, default 50k).
     pub ops: usize,
+    /// `true` when `--ops` was given explicitly (binaries that trim the
+    /// default for runtime reasons must honor an explicit request).
+    pub ops_explicit: bool,
     /// Pool size in bytes (`--pool-mb N`).
     pub pool_bytes: usize,
     /// Latency model on/off (`--no-latency` disables).
     pub latency: LatencyModel,
     /// Thread counts for scalability runs (`--threads a,b,c`).
     pub threads: Vec<usize>,
+    /// `true` when `--threads` was given explicitly.
+    pub threads_explicit: bool,
     /// RNG seed (`--seed N`).
     pub seed: u64,
 }
@@ -166,9 +174,11 @@ impl Args {
     pub fn parse() -> Args {
         let mut args = Args {
             ops: 50_000,
+            ops_explicit: false,
             pool_bytes: 1 << 30,
             latency: LatencyModel::optane(),
             threads: vec![1, 2, 4],
+            threads_explicit: false,
             seed: 0xC0FFEE,
         };
         let argv: Vec<String> = std::env::args().collect();
@@ -178,6 +188,7 @@ impl Args {
                 "--ops" => {
                     i += 1;
                     args.ops = argv[i].parse().expect("--ops N");
+                    args.ops_explicit = true;
                 }
                 "--pool-mb" => {
                     i += 1;
@@ -190,6 +201,7 @@ impl Args {
                         .split(',')
                         .map(|t| t.parse().expect("--threads a,b,c"))
                         .collect();
+                    args.threads_explicit = true;
                 }
                 "--seed" => {
                     i += 1;

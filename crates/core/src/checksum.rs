@@ -35,23 +35,29 @@ pub fn adler32(data: &[u8]) -> u32 {
 pub fn adler32_update(csum: u32, total_len: u64, off: u64, old: &[u8], new: &[u8]) -> u32 {
     assert_eq!(old.len(), new.len(), "incremental update requires equal-length ranges");
     assert!(off + old.len() as u64 <= total_len, "range exceeds object");
-    let mut a = (csum & 0xFFFF) as u64;
-    let mut b = (csum >> 16) as u64;
+    let a = (csum & 0xFFFF) as i64;
+    let b = (csum >> 16) as i64;
     // For byte i (absolute position p = off + i):
     //   A' = A + (new - old)
     //   B' = B + (total_len - p) * (new - old)
-    // computed mod 65521 with a positive bias to avoid signed arithmetic.
-    for (i, (&o, &n)) in old.iter().zip(new.iter()).enumerate() {
-        if o == n {
-            continue;
-        }
-        let p = off + i as u64;
-        let weight = (total_len - p) % MOD;
-        // new - old mod MOD, biased positive.
-        let delta = (MOD + n as u64 - o as u64) % MOD;
-        a = (a + delta) % MOD;
-        b = (b + weight * delta) % MOD;
+    // Accumulate the deltas in signed 64-bit sums with NO per-byte modulo:
+    // |weight * delta| ≤ 65520 * 255 < 2^25 per byte, so the accumulator
+    // cannot overflow for any range below ~2^38 bytes (far above the max
+    // object size); one reduction at the end suffices.
+    let mut da: i64 = 0;
+    let mut db: i64 = 0;
+    // weight = (total_len - p) % MOD, maintained by decrement-with-wrap
+    // (invariant: always in [0, MOD)).
+    let m = MOD as i64;
+    let mut weight = ((total_len - off) % MOD) as i64;
+    for (&o, &n) in old.iter().zip(new.iter()) {
+        let delta = n as i64 - o as i64;
+        da += delta;
+        db += weight * delta;
+        weight = if weight == 0 { m - 1 } else { weight - 1 };
     }
+    let a = (((a + da) % m) + m) % m;
+    let b = (((b + db) % m) + m) % m;
     ((b as u32) << 16) | a as u32
 }
 

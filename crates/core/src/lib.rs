@@ -18,6 +18,14 @@
 //!   errors (the `SIGBUS` analogue) and checksum mismatches freeze the
 //!   pool, reconstruct the lost page from its page column, and resume —
 //!   no downtime, unlike replicated `libpmemobj`'s offline-only repair.
+//! * **Concurrent transactions**: [`PglPool`] is a cheap `Clone`-able
+//!   shared handle; each transaction claims a per-thread lane from a
+//!   lock-free registry and commits under striped parity range-locks
+//!   ([`parity::RangeGuard`]), so threads working on disjoint objects
+//!   never serialize, and the scrubber sweeps objects concurrently with
+//!   live commits by taking the same locks. One rule (paper §3.4):
+//!   concurrent transactions must not modify the same object. See the
+//!   workspace README's "Concurrency model" section for the lock order.
 //!
 //! The library runs in the paper's four incremental modes
 //! ([`PglMode::Baseline`], `-ML`, `-MLP`, `-MLPC`; Table 2) and three
@@ -46,6 +54,8 @@
 //! let data = pool.read_verified(oid).unwrap();
 //! assert_eq!(&data[..13], b"precious data");
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod checksum;
 pub mod config;

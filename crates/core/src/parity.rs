@@ -17,7 +17,7 @@
 //! treated as zeros in all parity math, preventing parity contention
 //! between log appends and object updates (paper §3.1).
 
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use pgl_nvm::{align_down, align_up, PAGE_SIZE};
 use pgl_pmemobj::heap::run::{ChunkMeta, ChunkType};
@@ -55,13 +55,57 @@ pub fn segments(layout: &Layout, off: u64, len: u64) -> Result<Vec<Segment>> {
     Ok(out)
 }
 
-/// The parity engine: range-locks plus patch/recompute/reconstruct logic.
+/// Upper bound on the striped lock table size. At paper scale a zone has
+/// ~20 K granules; a dedicated lock per granule would waste memory, so
+/// granules hash onto a fixed power-of-two stripe table instead. As long as
+/// the pool has fewer granules than stripes the mapping is injective and
+/// disjoint columns never contend; beyond that, aliasing only costs rare
+/// false sharing of a lock, never correctness.
+const MAX_STRIPES: u64 = 4096;
+
+/// A held set of parity range-locks covering one span of pool data (its
+/// columns, in every zone the span touches).
+///
+/// Acquired through [`ParityEngine::lock_span`] /
+/// [`ParityEngine::lock_columns`]. Stripes are always acquired in ascending
+/// table order (deduplicated), so any number of concurrent lockers —
+/// committing transactions, the scrubber, recovery — are deadlock-free.
+///
+/// *Shared* guards allow concurrent writers whose patches commute through
+/// atomic XOR; the *exclusive* mode is taken by large vectorized patches,
+/// parity recomputation and the scrubber (which needs a moment of
+/// object-consistent quiet). See the crate's lock-order contract: micro-
+/// buffer state → lane → parity range; a guard is always the innermost
+/// lock.
+pub struct RangeGuard<'a> {
+    shared: Vec<RwLockReadGuard<'a, ()>>,
+    exclusive: Vec<RwLockWriteGuard<'a, ()>>,
+}
+
+impl RangeGuard<'_> {
+    /// `true` when the span is held exclusively (vectorized XOR and plain
+    /// stores are safe; shared guards must stick to atomic word XOR).
+    pub fn is_exclusive(&self) -> bool {
+        !self.exclusive.is_empty() || self.shared.is_empty()
+    }
+
+    /// Number of lock stripes this guard holds.
+    pub fn stripes_held(&self) -> usize {
+        self.shared.len() + self.exclusive.len()
+    }
+}
+
+/// The parity engine: striped range-locks plus patch/recompute/reconstruct
+/// logic.
 pub struct ParityEngine {
     layout: Layout,
     granule: u64,
     threshold: u64,
-    /// Per-zone vector of range-locks over the parity row.
-    locks: Vec<Vec<RwLock<()>>>,
+    granules_per_zone: u64,
+    /// Striped lock table shared by all zones; granule `(zone, g)` maps to
+    /// stripe `(zone * granules_per_zone + g) & stripe_mask`.
+    stripes: Box<[RwLock<()>]>,
+    stripe_mask: u64,
 }
 
 impl ParityEngine {
@@ -72,22 +116,91 @@ impl ParityEngine {
     /// Panics if the layout has no parity row (callers validate the mode).
     pub fn new(layout: Layout, granule: u64, threshold: u64) -> ParityEngine {
         assert!(layout.zone.parity_base.is_some(), "parity engine needs a parity row");
-        let n_granules = layout.zone.row_size.div_ceil(granule) as usize;
-        let locks = (0..layout.n_zones)
-            .map(|_| (0..n_granules).map(|_| RwLock::new(())).collect())
-            .collect();
-        ParityEngine { layout, granule, threshold, locks }
+        let granules_per_zone = layout.zone.row_size.div_ceil(granule);
+        let total = (layout.n_zones * granules_per_zone).max(1);
+        let n_stripes = total.next_power_of_two().min(MAX_STRIPES);
+        let stripes = (0..n_stripes).map(|_| RwLock::new(())).collect();
+        ParityEngine {
+            layout,
+            granule,
+            threshold,
+            granules_per_zone,
+            stripes,
+            stripe_mask: n_stripes - 1,
+        }
     }
 
-    /// Number of range-locks per zone (reported by the §4.4 discussion:
-    /// "20 K range-locks per zone" at paper scale).
-    pub fn locks_per_zone(&self) -> usize {
-        self.locks.first().map(Vec::len).unwrap_or(0)
+    /// Size of the striped lock table (the §4.4 discussion reports "20 K
+    /// range-locks per zone" at paper scale; striping caps the memory).
+    pub fn n_stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The hybrid-update crossover: patches at or above this size prefer
+    /// the exclusive vectorized strategy.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// `true` when a write-back of `len` bytes should take its range-locks
+    /// exclusively (large vectorized XOR) rather than shared (atomic XOR).
+    pub fn prefers_exclusive(&self, len: u64) -> bool {
+        len >= self.threshold
+    }
+
+    #[inline]
+    fn stripe_of(&self, zone: u64, g: u64) -> usize {
+        ((zone * self.granules_per_zone + g) & self.stripe_mask) as usize
+    }
+
+    /// Collects the stripe ids covering columns `[col, col+len)` of `zone`
+    /// into `ids` (unsorted, may contain duplicates).
+    fn push_stripes(&self, zone: u64, col: u64, len: u64, ids: &mut Vec<usize>) {
+        let g0 = col / self.granule;
+        let g1 = (col + len.max(1) - 1) / self.granule;
+        for g in g0..=g1 {
+            ids.push(self.stripe_of(zone, g));
+        }
+    }
+
+    /// Acquires the given stripes in ascending deduplicated order.
+    fn acquire(&self, mut ids: Vec<usize>, exclusive: bool) -> RangeGuard<'_> {
+        ids.sort_unstable();
+        ids.dedup();
+        let mut guard = RangeGuard { shared: Vec::new(), exclusive: Vec::new() };
+        for id in ids {
+            if exclusive {
+                guard.exclusive.push(self.stripes[id].write());
+            } else {
+                guard.shared.push(self.stripes[id].read());
+            }
+        }
+        guard
+    }
+
+    /// Locks the range-locks covering columns `[col, col+len)` of `zone`.
+    pub fn lock_columns(&self, zone: u64, col: u64, len: u64, exclusive: bool) -> RangeGuard<'_> {
+        let mut ids = Vec::new();
+        self.push_stripes(zone, col, len, &mut ids);
+        self.acquire(ids, exclusive)
+    }
+
+    /// Locks the range-locks covering the *data span* `[off, off+len)`:
+    /// every (zone, column) range any of its row segments map to. This is
+    /// what a committing transaction holds around an object's write-back
+    /// and what the scrubber holds while verifying an object.
+    pub fn lock_span(&self, off: u64, len: u64, exclusive: bool) -> Result<RangeGuard<'_>> {
+        let mut ids = Vec::new();
+        for seg in segments(&self.layout, off, len)? {
+            self.push_stripes(seg.zone, seg.col, seg.len, &mut ids);
+        }
+        Ok(self.acquire(ids, exclusive))
     }
 
     /// Applies the parity effect of overwriting `[off, off+len)` with `new`
     /// where the current NVMM content is `old`: for each row segment,
-    /// patches the parity row with `old ⊕ new`.
+    /// patches the parity row with `old ⊕ new`. Acquires its own
+    /// range-locks per patch (per-patch hybrid strategy choice).
     pub fn update(&self, io: &PoolIo, off: u64, old: &[u8], new: &[u8]) -> Result<()> {
         debug_assert_eq!(old.len(), new.len());
         for seg in segments(&self.layout, off, new.len() as u64)? {
@@ -105,43 +218,111 @@ impl ParityEngine {
         Ok(())
     }
 
-    /// XORs `patch` into the parity row of `zone` at column `col`, picking
-    /// the atomic or vectorized strategy by patch size.
-    pub fn apply_patch(&self, io: &PoolIo, zone: u64, col: u64, patch: &[u8]) -> Result<()> {
-        let parity_off = self.layout.parity_off(zone, col);
-        let g0 = (col / self.granule) as usize;
-        let g1 = ((col + patch.len() as u64 - 1) / self.granule) as usize;
-        let zone_locks = &self.locks[zone as usize];
+    /// Like [`ParityEngine::update`], but under a [`RangeGuard`] the caller
+    /// already holds over the span (committing transactions hold one guard
+    /// across a whole object's write-back). The XOR strategy follows the
+    /// guard mode: shared guards use lock-free atomic word XOR (concurrent
+    /// small patches to the same columns commute), exclusive guards use the
+    /// faster vectorized XOR.
+    pub fn update_under(
+        &self,
+        guard: &RangeGuard<'_>,
+        io: &PoolIo,
+        off: u64,
+        old: &[u8],
+        new: &[u8],
+    ) -> Result<()> {
+        debug_assert_eq!(old.len(), new.len());
+        for seg in segments(&self.layout, off, new.len() as u64)? {
+            let base = (seg.off - off) as usize;
+            let o = &old[base..base + seg.len as usize];
+            let n = &new[base..base + seg.len as usize];
+            if o == n {
+                continue;
+            }
+            let parity_off = self.layout.parity_off(seg.zone, seg.col);
+            if guard.is_exclusive() {
+                let patch: Vec<u8> = o.iter().zip(n).map(|(a, b)| a ^ b).collect();
+                self.xor_into(io, parity_off, &patch, false)?;
+            } else {
+                // Hot path (small commits under shared guards): fuse diff,
+                // zero-skip and the atomic word XOR into one pass with no
+                // allocation.
+                self.xor_patch_atomic(io, parity_off, o, n)?;
+            }
+        }
+        Ok(())
+    }
 
-        if (patch.len() as u64) < self.threshold {
-            // Shared locks + atomic XOR: concurrent small updates to the
-            // same parity words serialize only at the word level.
-            let _guards: Vec<_> = (g0..=g1).map(|g| zone_locks[g].read()).collect();
-            let a_start = align_down(parity_off as usize, 8) as u64;
-            let a_end = align_up((parity_off + patch.len() as u64) as usize, 8) as u64;
-            let mut padded = vec![0u8; (a_end - a_start) as usize];
-            padded[(parity_off - a_start) as usize..(parity_off - a_start) as usize + patch.len()]
-                .copy_from_slice(patch);
-            for (w, word) in padded.chunks_exact(8).enumerate() {
-                let v = u64::from_le_bytes(word.try_into().expect("8-byte chunk"));
-                if v != 0 {
-                    io.dev().atomic_xor_u64(a_start + w as u64 * 8, v)?;
-                    if let Some(rep) = io.replica() {
-                        rep.atomic_xor_u64(a_start + w as u64 * 8, v)?;
-                    }
+    /// Computes `old ⊕ new` word by word and XORs the non-zero words into
+    /// parity with lock-free atomics — safe under a *shared* range guard.
+    fn xor_patch_atomic(&self, io: &PoolIo, parity_off: u64, old: &[u8], new: &[u8]) -> Result<()> {
+        self.atomic_xor_span(io, parity_off, old.len() as u64, |i| old[i] ^ new[i])
+    }
+
+    /// Word-iterating core of every atomic parity-XOR path: walks the
+    /// 8-byte-aligned windows overlapping `[parity_off, parity_off+len)`,
+    /// assembles each patch word from `byte(i)` (`i` = offset within the
+    /// patch), atomically XORs the non-zero words into primary and replica,
+    /// and persists the aligned span once.
+    fn atomic_xor_span(
+        &self,
+        io: &PoolIo,
+        parity_off: u64,
+        len: u64,
+        byte: impl Fn(usize) -> u8,
+    ) -> Result<()> {
+        let a_start = align_down(parity_off as usize, 8) as u64;
+        let a_end = align_up((parity_off + len) as usize, 8) as u64;
+        let mut w_off = a_start;
+        while w_off < a_end {
+            let lo = w_off.max(parity_off);
+            let hi = (w_off + 8).min(parity_off + len);
+            let mut word = [0u8; 8];
+            for i in lo..hi {
+                word[(i - w_off) as usize] = byte((i - parity_off) as usize);
+            }
+            let v = u64::from_le_bytes(word);
+            if v != 0 {
+                io.dev().atomic_xor_u64(w_off, v)?;
+                if let Some(rep) = io.replica() {
+                    rep.atomic_xor_u64(w_off, v)?;
                 }
             }
-            io.persist(a_start, (a_end - a_start) as usize)?;
+            w_off += 8;
+        }
+        io.persist(a_start, (a_end - a_start) as usize)?;
+        Ok(())
+    }
+
+    /// XORs `patch` into the parity row of `zone` at column `col`, picking
+    /// the atomic or vectorized strategy by patch size and acquiring the
+    /// covering range-locks itself.
+    pub fn apply_patch(&self, io: &PoolIo, zone: u64, col: u64, patch: &[u8]) -> Result<()> {
+        let exclusive = self.prefers_exclusive(patch.len() as u64);
+        let guard = self.lock_columns(zone, col, patch.len() as u64, exclusive);
+        let parity_off = self.layout.parity_off(zone, col);
+        let r = self.xor_into(io, parity_off, patch, !exclusive);
+        drop(guard);
+        r
+    }
+
+    /// Raw parity XOR with no locking — the caller must hold covering
+    /// range-locks. `atomic` selects lock-free word XOR (safe under shared
+    /// guards); otherwise plain vectorized XOR (needs exclusivity).
+    fn xor_into(&self, io: &PoolIo, parity_off: u64, patch: &[u8], atomic: bool) -> Result<()> {
+        if atomic {
+            // Atomic XOR: concurrent small updates to the same parity
+            // words serialize only at the word level.
+            self.atomic_xor_span(io, parity_off, patch.len() as u64, |i| patch[i])
         } else {
-            // Exclusive locks + vectorized XOR.
-            let _guards: Vec<_> = (g0..=g1).map(|g| zone_locks[g].write()).collect();
             io.dev().xor_range(parity_off, patch)?;
             if let Some(rep) = io.replica() {
                 rep.xor_range(parity_off, patch)?;
             }
             io.persist(parity_off, patch.len())?;
+            Ok(())
         }
-        Ok(())
     }
 
     /// Recomputes parity for columns `[col, col+len)` of `zone` from the
@@ -158,9 +339,7 @@ impl ParityEngine {
             }
         }
         let parity_off = self.layout.parity_off(zone, col);
-        let g0 = (col / self.granule) as usize;
-        let g1 = ((col + len - 1) / self.granule) as usize;
-        let _guards: Vec<_> = (g0..=g1).map(|g| self.locks[zone as usize][g].write()).collect();
+        let _guard = self.lock_columns(zone, col, len, true);
         io.write(parity_off, &acc)?;
         io.persist(parity_off, acc.len())?;
         Ok(())
@@ -265,10 +444,19 @@ impl ParityEngine {
     }
 
     /// Verifies the parity invariant for every column of every zone:
-    /// `parity == XOR of data rows` (Log chunks as zeros). Test/diagnostic
-    /// helper; returns the first mismatching column.
-    pub fn verify_all(&self, io: &PoolIo) -> Result<Option<(u64, u64)>> {
-        const STEP: u64 = 4096;
+    /// `parity == XOR of data rows` (Log chunks as zeros). Diagnostic
+    /// helper; returns **every** mismatching `(zone, column)` — one entry
+    /// per [`ParityEngine::VERIFY_STEP`]-sized window with at least one
+    /// divergent byte — so a stress-test failure shows the full damage
+    /// pattern instead of just the first hit. An empty vector means the
+    /// invariant holds pool-wide.
+    ///
+    /// Each window is checked under an exclusive range-lock, so the sweep
+    /// may run concurrently with committing transactions (which hold the
+    /// same locks across their write-backs).
+    pub fn verify_all(&self, io: &PoolIo) -> Result<Vec<(u64, u64)>> {
+        const STEP: u64 = ParityEngine::VERIFY_STEP;
+        let mut mismatches = Vec::new();
         let mut acc = vec![0u8; STEP as usize];
         let mut buf = vec![0u8; STEP as usize];
         for zone in 0..self.layout.n_zones {
@@ -278,6 +466,7 @@ impl ParityEngine {
                 let acc = &mut acc[..len as usize];
                 let buf = &mut buf[..len as usize];
                 acc.fill(0);
+                let guard = self.lock_columns(zone, col, len, true);
                 for row in 0..self.layout.zone.data_rows {
                     self.read_row_range(io, zone, row, col, buf)?;
                     for (a, b) in acc.iter_mut().zip(buf.iter()) {
@@ -285,14 +474,18 @@ impl ParityEngine {
                     }
                 }
                 io.read(self.layout.parity_off(zone, col), buf).map_err(PglError::from)?;
+                drop(guard);
                 if acc != buf {
-                    return Ok(Some((zone, col)));
+                    mismatches.push((zone, col));
                 }
                 col += len;
             }
         }
-        Ok(None)
+        Ok(mismatches)
     }
+
+    /// Column window size used by [`ParityEngine::verify_all`].
+    pub const VERIFY_STEP: u64 = 4096;
 }
 
 #[cfg(test)]
@@ -346,7 +539,7 @@ mod tests {
         protected_write(&io, &eng, base + 4096, &vec![0xCD; 10 << 10]);
         // Overwrite part of the first write again.
         protected_write(&io, &eng, base + 3, &[0x11; 50]);
-        assert_eq!(eng.verify_all(&io).unwrap(), None);
+        assert_eq!(eng.verify_all(&io).unwrap(), vec![]);
     }
 
     #[test]
@@ -358,7 +551,7 @@ mod tests {
         let row1 = row0 + layout.zone.row_size;
         protected_write(&io, &eng, row0, &[0xA0; 64]);
         protected_write(&io, &eng, row1, &[0x0C; 64]);
-        assert_eq!(eng.verify_all(&io).unwrap(), None);
+        assert_eq!(eng.verify_all(&io).unwrap(), vec![]);
         // The parity byte is the XOR of both rows.
         let mut p = [0u8; 1];
         io.read(layout.parity_off(0, col), &mut p).unwrap();
@@ -419,10 +612,10 @@ mod tests {
         // between the data write and the parity update).
         io.write(base + 64, &[0x99; 64]).unwrap();
         io.persist(base + 64, 64).unwrap();
-        assert!(eng.verify_all(&io).unwrap().is_some(), "invariant broken by tear");
+        assert!(!eng.verify_all(&io).unwrap().is_empty(), "invariant broken by tear");
         let (_z, _r, col) = layout.row_col_of(base + 64).unwrap();
         eng.recompute_columns(&io, 0, col, 64).unwrap();
-        assert_eq!(eng.verify_all(&io).unwrap(), None);
+        assert_eq!(eng.verify_all(&io).unwrap(), vec![]);
     }
 
     #[test]
@@ -435,7 +628,7 @@ mod tests {
         let cm = ChunkMeta::new(ChunkType::Log, 0, 1);
         protected_write(&io, &eng, layout.cm_entry_off(0, c), &cm.to_bytes());
         io.write(layout.chunk_base(0, c), &[0xFF; 4096]).unwrap();
-        assert_eq!(eng.verify_all(&io).unwrap(), None, "log chunk contributes zeros");
+        assert_eq!(eng.verify_all(&io).unwrap(), vec![], "log chunk contributes zeros");
         // And reconstruction of another row in the same column ignores it.
         let base = layout.chunk_base(0, c) + layout.zone.row_size; // row 1, same col
         protected_write(&io, &eng, base, &[0x5A; 4096]);
@@ -470,6 +663,6 @@ mod tests {
                 });
             }
         });
-        assert_eq!(eng.verify_all(&io).unwrap(), None);
+        assert_eq!(eng.verify_all(&io).unwrap(), vec![]);
     }
 }

@@ -1,20 +1,33 @@
 //! Pool scrubbing: periodic integrity sweeps (paper §3.3 "Scrub" mode).
 //!
-//! A scrub pass freezes the pool briefly, then verifies
+//! A scrub pass has two phases:
 //!
-//! 1. both pool-header copies (rewriting a damaged copy from the other),
-//! 2. every chunk-metadata entry (repairing corrupt ones from parity), and
-//! 3. every live object's checksum (recovering scribbled or poisoned
-//!    objects online),
+//! 1. a **brief frozen phase** that verifies both pool-header copies
+//!    (rewriting a damaged copy from the other), repairs known-bad pages,
+//!    and checks every chunk-metadata entry (repairing corrupt ones from
+//!    parity), and
+//! 2. a **live object sweep** that verifies every live object's checksum
+//!    *concurrently with running transactions*: each object is inspected
+//!    under an exclusive parity range-lock over its span — the same
+//!    striped locks a committing transaction holds (shared) across that
+//!    object's write-back — so the scrubber always observes a
+//!    data/checksum/parity-consistent object without stopping the world.
 //!
-//! and finally closes the vulnerability window (Table 4 counts unverified
-//! bytes between scrub passes).
+//! Objects that fail verification are recovered online (which briefly
+//! freezes the pool, exactly like a media error would). Objects freed or
+//! reallocated between discovery and inspection are detected by re-checking
+//! allocator metadata under the lock and skipped — repairing them would be
+//! a false positive.
+//!
+//! The pass finally closes the vulnerability window (Table 4 counts
+//! unverified bytes between scrub passes).
 
-use pgl_nvm::pod::bytes_of;
+use pgl_nvm::pod::{bytes_of, from_bytes};
+use pgl_nvm::MemError;
 use pgl_pmemobj::heap::run::ChunkMeta;
 use pgl_pmemobj::heap::scan_live;
 use pgl_pmemobj::pool::read_header;
-use pgl_pmemobj::ObjError;
+use pgl_pmemobj::{ObjError, ObjectHeader, PMEMoid, OBJ_HEADER_SIZE};
 
 use crate::checksum::adler32;
 use crate::error::{PglError, Result};
@@ -32,21 +45,31 @@ pub struct ScrubReport {
     pub objects_repaired: u64,
     /// Pages repaired (media errors or metadata scribbles).
     pub pages_repaired: u64,
+    /// Objects skipped because they were freed or reallocated mid-sweep
+    /// (the next pass sees them in a stable state).
+    pub objects_skipped: u64,
 }
 
-/// Runs one synchronous scrub pass.
+/// Runs one scrub pass: metadata under a brief freeze, then the live
+/// object sweep under parity range-locks.
 pub fn scrub_sync(inner: &Inner) -> Result<ScrubReport> {
     inner.freeze.freeze();
-    let r = scrub_frozen(inner);
+    // The live-object discovery scan also runs under the freeze: it walks
+    // chunk metadata, run bitmaps and object headers with plain reads, so
+    // it must not race in-flight write-backs. The expensive part — reading
+    // and checksumming every object's *data* — happens after the thaw.
+    let meta = scrub_metadata_frozen(inner)
+        .and_then(|r| scan_live(&inner.io, &inner.layout).map_err(PglError::from).map(|l| (r, l)));
     inner.freeze.unfreeze();
-    if r.is_ok() {
-        inner.counters.scrubs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        inner.vuln.end_scrub_window();
-    }
-    r
+    let (mut report, live) = meta?;
+    scrub_objects_live(inner, live, &mut report)?;
+    inner.counters.scrubs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    inner.vuln.end_scrub_window();
+    Ok(report)
 }
 
-fn scrub_frozen(inner: &Inner) -> Result<ScrubReport> {
+/// Phase 1 (frozen): known-bad pages, pool headers, chunk metadata.
+fn scrub_metadata_frozen(inner: &Inner) -> Result<ScrubReport> {
     let mut report = ScrubReport::default();
     let io = &inner.io;
     let layout = &inner.layout;
@@ -91,7 +114,7 @@ fn scrub_frozen(inner: &Inner) -> Result<ScrubReport> {
                             report.pages_repaired += 1;
                         }
                     }
-                    Err(ObjError::Mem(pgl_nvm::MemError::Poisoned { page })) => {
+                    Err(ObjError::Mem(MemError::Poisoned { page })) => {
                         inner.recover_page_frozen(page)?;
                         report.pages_repaired += 1;
                     }
@@ -100,11 +123,155 @@ fn scrub_frozen(inner: &Inner) -> Result<ScrubReport> {
             }
         }
     }
+    Ok(report)
+}
 
-    // 3. Objects: verify every live object's checksum.
-    let live = scan_live(io, layout).map_err(PglError::from)?;
-    for (off, hdr) in live {
-        let oid = pgl_pmemobj::PMEMoid::new(inner.uuid, off);
+/// Phase 2 (live): verify every live object's checksum. In parity modes
+/// this runs concurrently with committing transactions, taking the same
+/// parity range-locks they do; without parity there are no range-locks,
+/// so the whole sweep runs under one pool freeze instead (those modes
+/// have no object checksums to verify, so the sweep is metadata-cheap).
+fn scrub_objects_live(
+    inner: &Inner,
+    live: Vec<(u64, ObjectHeader)>,
+    report: &mut ScrubReport,
+) -> Result<()> {
+    if inner.parity.is_some() {
+        for (off, hint) in live {
+            let oid = PMEMoid::new(inner.uuid, off);
+            scrub_one_object(inner, oid, hint.size, report)?;
+        }
+    } else {
+        // No parity ⇒ no range-locks (and no checksums in these modes
+        // either): fall back to the frozen sweep for media-error repairs.
+        inner.freeze.freeze();
+        let r = scrub_objects_frozen(inner, &live, report);
+        inner.freeze.unfreeze();
+        r?;
+    }
+    Ok(())
+}
+
+/// Verifies one object under an exclusive parity range-lock over its span
+/// (header + data). Handles churn: objects freed or resized between
+/// discovery and locking are skipped or re-locked with the right span.
+fn scrub_one_object(
+    inner: &Inner,
+    oid: PMEMoid,
+    size_hint: u64,
+    report: &mut ScrubReport,
+) -> Result<()> {
+    let engine = inner.parity.as_ref().expect("parity mode");
+    let layout = &inner.layout;
+    let mut span = size_hint.clamp(1, layout.max_alloc());
+    // A handful of attempts absorbs media-error repairs and size churn;
+    // an object that keeps churning is left for the next pass.
+    for _ in 0..4 {
+        let guard = engine.lock_span(oid.header_off(), OBJ_HEADER_SIZE + span, true)?;
+        // The slot may have been freed (and possibly repurposed) since
+        // scan_live; repairing it now would be a false positive.
+        if !inner.heap.is_live(&inner.io, oid.off) {
+            report.objects_skipped += 1;
+            return Ok(());
+        }
+        let mut hb = [0u8; 16];
+        match inner.io.read(oid.header_off(), &mut hb) {
+            Ok(()) => {}
+            Err(ObjError::Mem(MemError::Poisoned { page })) => {
+                drop(guard);
+                inner.online_recover_page(page)?;
+                report.pages_repaired += 1;
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let hdr: ObjectHeader = from_bytes(&hb);
+        if hdr.size == 0 || hdr.size > layout.max_alloc() {
+            // Nonsense size on a live slot: the header itself is
+            // scribbled. Recovery freezes, repairs from parity and
+            // re-verifies end to end.
+            drop(guard);
+            if recover_unless_churned(inner, oid, report)? {
+                report.objects_verified += 1;
+            }
+            return Ok(());
+        }
+        if hdr.size != span {
+            // Reallocated with a different size: retry with a guard that
+            // covers the actual span.
+            span = hdr.size;
+            drop(guard);
+            continue;
+        }
+        let mut data = vec![0u8; hdr.size as usize];
+        match inner.io.read(oid.off, &mut data) {
+            Ok(()) => {}
+            Err(ObjError::Mem(MemError::Poisoned { page })) => {
+                drop(guard);
+                inner.online_recover_page(page)?;
+                report.pages_repaired += 1;
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let ok = !inner.mode.has_checksums() || hdr.csum == adler32(&data);
+        if !ok && !inner.heap.is_live(&inner.io, oid.off) {
+            // The object was freed between our liveness check and the data
+            // read, and its bytes were already repurposed (e.g. zeroed for
+            // a log-overflow claim). Not a scribble.
+            report.objects_skipped += 1;
+            return Ok(());
+        }
+        drop(guard);
+        if !ok && !recover_unless_churned(inner, oid, report)? {
+            return Ok(());
+        }
+        report.objects_verified += 1;
+        report.bytes_verified += hdr.size;
+        inner.vuln.note_verified(hdr.size);
+        return Ok(());
+    }
+    report.objects_skipped += 1;
+    Ok(())
+}
+
+/// Recovers a corrupt-looking object, tolerating the free/realloc race:
+/// the guard is necessarily dropped before recovery (it freezes the
+/// pool), so the owner may free the object in the gap, making recovery
+/// fail on a dead slot. Returns `true` if the object was repaired,
+/// `false` if it churned away (counted as skipped); real recovery
+/// failures on still-live objects propagate.
+fn recover_unless_churned(
+    inner: &Inner,
+    oid: PMEMoid,
+    report: &mut ScrubReport,
+) -> Result<bool> {
+    match inner.recover_object(oid) {
+        Ok(()) => {
+            report.objects_repaired += 1;
+            Ok(true)
+        }
+        Err(e) => {
+            if inner.heap.is_live(&inner.io, oid.off) {
+                return Err(e);
+            }
+            report.objects_skipped += 1;
+            Ok(false)
+        }
+    }
+}
+
+/// The pre-concurrency object sweep, used by modes without parity locks.
+/// The pool is frozen by the caller.
+fn scrub_objects_frozen(
+    inner: &Inner,
+    live: &[(u64, ObjectHeader)],
+    report: &mut ScrubReport,
+) -> Result<()> {
+    let io = &inner.io;
+    let layout = &inner.layout;
+    for &(off, hdr) in live {
+        let oid = PMEMoid::new(inner.uuid, off);
         let sane = hdr.size > 0 && hdr.size <= layout.max_alloc();
         let mut ok = sane;
         if sane {
@@ -115,10 +282,9 @@ fn scrub_frozen(inner: &Inner) -> Result<ScrubReport> {
                         ok = false;
                     }
                 }
-                Err(ObjError::Mem(pgl_nvm::MemError::Poisoned { page })) => {
+                Err(ObjError::Mem(MemError::Poisoned { page })) => {
                     inner.recover_page_frozen(page)?;
                     report.pages_repaired += 1;
-                    // Re-read after repair for verification.
                     io.read(off, &mut data).map_err(PglError::from)?;
                     if inner.mode.has_checksums() && hdr.csum != adler32(&data) {
                         ok = false;
@@ -135,5 +301,5 @@ fn scrub_frozen(inner: &Inner) -> Result<ScrubReport> {
         report.bytes_verified += hdr.size;
         inner.vuln.note_verified(hdr.size);
     }
-    Ok(report)
+    Ok(())
 }

@@ -28,7 +28,7 @@ use pgl_pmemobj::heap::run::{ChunkMeta, ChunkType};
 use pgl_pmemobj::heap::{AllocReservation, FreeReservation, MetaOp};
 use pgl_pmemobj::lane::LaneHandle;
 use pgl_pmemobj::ulog::EntryKind;
-use pgl_pmemobj::{ObjError, PMEMoid};
+use pgl_pmemobj::{ObjError, PMEMoid, OBJ_HEADER_SIZE};
 use pgl_nvm::pod::{bytes_of, Pod};
 
 pub use pgl_pmemobj::TxStats;
@@ -305,6 +305,35 @@ impl<'p> PglTx<'p> {
     }
 
     /// Writes `src` into the object at `off` (micro-buffered).
+    ///
+    /// The store never touches NVMM directly: it lands in the object's
+    /// DRAM micro-buffer (or sparse shadow) and reaches the pool only at
+    /// commit, after redo-logging, with checksum and parity updated
+    /// atomically (paper §3.4).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pangolin::{PglConfig, PglPool};
+    /// use pgl_nvm::{DeviceConfig, NvmDevice};
+    ///
+    /// let cfg = PglConfig::small();
+    /// let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::fast()).unwrap());
+    /// let pool = PglPool::create(dev, cfg).unwrap();
+    ///
+    /// let oid = pool.tx(|tx| {
+    ///     let oid = tx.alloc(64, 1)?;
+    ///     tx.write(oid, 0, b"hello")?;     // byte-slice store
+    ///     tx.write_pod(oid, 8, &7u64)?;    // typed store
+    ///     // Read-your-writes inside the transaction:
+    ///     assert_eq!(tx.read_pod::<u64>(oid, 8)?, 7);
+    ///     Ok(oid)
+    /// }).unwrap();
+    ///
+    /// // Committed: visible (and checksummed) outside the transaction.
+    /// assert_eq!(pool.read_pod::<u64>(oid, 8).unwrap(), 7);
+    /// ```
     pub fn write(&mut self, oid: PMEMoid, off: u64, src: &[u8]) -> Result<()> {
         self.add_range(oid, off, src.len() as u64)?;
         if let Some(sb) = self.sparse.get_mut(&oid.off) {
@@ -517,7 +546,10 @@ impl<'p> PglTx<'p> {
 
         // (4) Construction write-back: header + content of new objects,
         // with parity maintenance. Not redo-logged (paper Figure 3's
-        // "allocation does not involve object logging").
+        // "allocation does not involve object logging"). protected_write
+        // holds the parity span guard across the whole contiguous
+        // header+content store, so the concurrent scrubber never sees a
+        // half-constructed object.
         for off in &new_offs {
             let b = &self.ubufs[off];
             inner.protected_write(b.header_off(), b.header_and_user())?;
@@ -619,6 +651,12 @@ impl<'p> PglTx<'p> {
         }
 
         // (6) Write back modified ranges and headers, updating parity.
+        // Each object's ranges and refreshed header go out under ONE parity
+        // span guard covering `[header, data end)`: writers of disjoint
+        // columns proceed in parallel, writers of overlapping columns
+        // commute through atomic XOR under shared guards, and the scrubber
+        // (which takes the same locks exclusively) can only observe the
+        // object entirely-before or entirely-after this transaction.
         // Failures past the commit point cannot abort; recovery would
         // replay the redo log, so report them as unrecoverable here.
         let fatal = |e: PglError| {
@@ -629,24 +667,48 @@ impl<'p> PglTx<'p> {
                 if !sb.is_modified() {
                     continue;
                 }
+                let largest = sb.modified().iter().map(|(_, l)| l).max().unwrap_or(0);
+                let guard = inner
+                    .lock_span(
+                        sb.header_off(),
+                        OBJ_HEADER_SIZE + sb.user_size(),
+                        inner.span_exclusive(largest),
+                    )
+                    .map_err(fatal)?;
                 for (roff, rlen) in sb.modified().iter() {
                     let data = sb.range_bytes(roff, rlen);
-                    inner.protected_write(sb.oid().off + roff, &data).map_err(fatal)?;
+                    inner
+                        .protected_write_locked(&guard, sb.oid().off + roff, &data)
+                        .map_err(fatal)?;
                 }
                 let h = sb.header();
-                inner.protected_write(sb.header_off(), bytes_of(&h)).map_err(fatal)?;
+                inner
+                    .protected_write_locked(&guard, sb.header_off(), bytes_of(&h))
+                    .map_err(fatal)?;
                 continue;
             }
             let Some(b) = self.ubufs.get(off) else { continue };
             if b.state() != UBufState::Modified {
                 continue;
             }
+            let largest = b.modified().iter().map(|(_, l)| l).max().unwrap_or(0);
+            let guard = inner
+                .lock_span(
+                    b.header_off(),
+                    OBJ_HEADER_SIZE + b.user_size() as u64,
+                    inner.span_exclusive(largest),
+                )
+                .map_err(fatal)?;
             for (roff, rlen) in b.modified().iter() {
                 let data = &b.user()[roff as usize..(roff + rlen) as usize];
-                inner.protected_write(b.oid().off + roff, data).map_err(fatal)?;
+                inner
+                    .protected_write_locked(&guard, b.oid().off + roff, data)
+                    .map_err(fatal)?;
             }
             let h = b.header();
-            inner.protected_write(b.header_off(), bytes_of(&h)).map_err(fatal)?;
+            inner
+                .protected_write_locked(&guard, b.header_off(), bytes_of(&h))
+                .map_err(fatal)?;
         }
 
         // (7) Publish allocator metadata (parity-aware), invalidate the

@@ -136,6 +136,114 @@ fn background_scrubber_coexists_with_writers() {
     assert!(pool.find_corrupt_objects().unwrap().is_empty());
 }
 
+/// The Figure 9 / §3.5 stress: ≥4 threads × ≥1k mixed alloc/write/free
+/// transactions on ONE pool, through cheap shared handles. Afterwards the
+/// full parity invariant must hold (verify_all reports every mismatching
+/// column — the list must be empty) and every object checksum must match.
+#[test]
+fn stress_mixed_txns_across_threads_keep_parity_clean() {
+    let pool = big_pool();
+    let n_threads = 4u64;
+    let txns_per_thread = 300u64; // 1200 transactions total
+    std::thread::scope(|s| {
+        for t in 0..n_threads {
+            let pool = pool.clone();
+            s.spawn(move || {
+                let mut mine: Vec<PMEMoid> = Vec::new();
+                for i in 0..txns_per_thread {
+                    match i % 3 {
+                        // Allocate + initialize a fresh object.
+                        0 => {
+                            let size = 64 + ((t * 131 + i * 17) % 1500);
+                            let oid = pool
+                                .tx(|tx| {
+                                    let oid = tx.alloc(size, t as u32)?;
+                                    tx.write(oid, 0, &[t as u8 ^ i as u8; 48])?;
+                                    Ok(oid)
+                                })
+                                .unwrap();
+                            mine.push(oid);
+                        }
+                        // Overwrite a range of an object this thread owns.
+                        1 => {
+                            if let Some(&oid) = mine.last() {
+                                pool.tx(|tx| {
+                                    tx.write(oid, 8, &[i as u8; 40])?;
+                                    Ok(())
+                                })
+                                .unwrap();
+                            }
+                        }
+                        // Free an older object.
+                        _ => {
+                            if mine.len() > 8 {
+                                let victim = mine.swap_remove(mine.len() / 2);
+                                pool.tx(|tx| tx.free(victim)).unwrap();
+                            }
+                        }
+                    }
+                }
+                // Everything still owned reads back verified.
+                for oid in &mine {
+                    pool.read_verified(*oid).unwrap();
+                }
+            });
+        }
+    });
+    let mismatches = pool.verify_parity_detailed().unwrap();
+    assert!(
+        mismatches.is_empty(),
+        "parity mismatches after 4x300 mixed txns: {mismatches:?}"
+    );
+    assert!(pool.find_corrupt_objects().unwrap().is_empty());
+    assert!(
+        pool.counters().commits.load(Ordering::Relaxed) >= 1000,
+        "the workload really committed >1k transactions"
+    );
+}
+
+/// The scrubber must coexist with live transactions WITHOUT freezing the
+/// pool for its object sweep: it takes the same parity range-locks
+/// committing writers hold, object by object.
+#[test]
+fn synchronous_scrubs_race_committing_writers() {
+    let pool = big_pool();
+    let oids: Vec<PMEMoid> = (0..48)
+        .map(|i| {
+            pool.tx(|tx| {
+                let oid = tx.alloc(256, 5)?;
+                tx.write(oid, 0, &[i as u8; 256])?;
+                Ok(oid)
+            })
+            .unwrap()
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        for chunk in oids.chunks(16) {
+            let pool = pool.clone();
+            s.spawn(move || {
+                for round in 0..120u32 {
+                    for oid in chunk {
+                        pool.tx(|tx| tx.write(*oid, 0, &[round as u8; 128])).unwrap();
+                    }
+                }
+            });
+        }
+        // Scrub repeatedly from a fourth thread while the writers run.
+        let pool2 = pool.clone();
+        s.spawn(move || {
+            for _ in 0..10 {
+                let report = pool2.scrub_now().unwrap();
+                assert_eq!(report.objects_repaired, 0, "no false scribble repairs");
+            }
+        });
+    });
+    assert!(pool.counters().scrubs.load(Ordering::Relaxed) >= 10);
+    assert!(pool.verify_parity().unwrap());
+    assert!(pool.find_corrupt_objects().unwrap().is_empty());
+}
+
 #[test]
 fn many_threads_allocate_and_free_concurrently() {
     let pool = big_pool();

@@ -31,6 +31,8 @@
 //! assert_eq!(map.get(&store, 7).unwrap(), Some(700));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod btree;
 pub mod ctree;
 pub mod hashmap;

@@ -81,7 +81,48 @@ impl dyn TxOps + '_ {
 }
 
 /// A persistent object store a data structure can live in.
-pub trait Store {
+///
+/// # Thread safety
+///
+/// `Store` is a **shared-handle** API: implementations are `Send + Sync`,
+/// methods take `&self`, and the concrete stores ([`PmemStore`],
+/// [`PglStore`]) are cheap `Arc`-backed clones of one pool. Any number of
+/// threads may run transactions on clones (or references) of the same
+/// store concurrently — each transaction claims its own lane and commits
+/// under parity range-locks. The one rule is the paper's (§3.4): two
+/// *concurrent* transactions must not modify the same object. Structures
+/// in this crate are single-writer per map; run one map per thread (or add
+/// external synchronization) for write-parallel workloads, as
+/// [`crate::workload::concurrent_insert_phase`] does.
+///
+/// ```
+/// use std::sync::Arc;
+/// use pangolin::{PglConfig, PglPool};
+/// use pgl_kv::store::{PglStore, Store};
+/// use pgl_nvm::{DeviceConfig, NvmDevice};
+///
+/// let cfg = PglConfig::small();
+/// let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::fast()).unwrap());
+/// let store = PglStore::new(PglPool::create(dev, cfg).unwrap());
+///
+/// // Clones share one pool; every thread transacts independently.
+/// std::thread::scope(|s| {
+///     for t in 0..4u64 {
+///         let store = store.clone();
+///         s.spawn(move || {
+///             let oid = store
+///                 .txn(&mut |tx| {
+///                     let oid = tx.alloc_zeroed(64, 1)?;
+///                     tx.write_pod(oid, 0, &t)?;
+///                     Ok(oid)
+///                 })
+///                 .unwrap();
+///             assert_eq!(store.read_pod_direct::<u64>(oid, 0).unwrap(), t);
+///         });
+///     }
+/// });
+/// ```
+pub trait Store: Send + Sync {
     /// The pool UUID (embedded in OIDs).
     fn uuid(&self) -> u64;
 

@@ -245,6 +245,10 @@ impl NvmDevice {
     pub fn read(&self, off: u64, dst: &mut [u8]) -> Result<()> {
         self.check_bounds(off, dst.len())?;
         self.check_poison(off, dst.len())?;
+        if self.latency.read_ns_per_line > 0 {
+            let lines = Self::lines_of(off, dst.len());
+            LatencyModel::charge(self.latency.read_ns_per_line * (lines.end - lines.start));
+        }
         // SAFETY: bounds checked; `dst` is exclusive; contract forbids
         // concurrent conflicting writes to this range.
         unsafe {
@@ -260,6 +264,10 @@ impl NvmDevice {
     pub fn read_slice(&self, off: u64, len: usize) -> Result<&[u8]> {
         self.check_bounds(off, len)?;
         self.check_poison(off, len)?;
+        if self.latency.read_ns_per_line > 0 {
+            let lines = Self::lines_of(off, len);
+            LatencyModel::charge(self.latency.read_ns_per_line * (lines.end - lines.start));
+        }
         // SAFETY: bounds checked; the contract forbids conflicting writes
         // while the reference is live.
         Ok(unsafe { std::slice::from_raw_parts(self.ptr_at(off), len) })
@@ -269,6 +277,7 @@ impl NvmDevice {
     pub fn atomic_load_u64(&self, off: u64) -> Result<u64> {
         self.check_aligned8(off)?;
         self.check_poison(off, 8)?;
+        LatencyModel::charge(self.latency.read_ns_per_line); // one line
         // SAFETY: aligned and in-bounds; AtomicU64 may alias plain memory
         // that is only accessed through this device's synchronized paths.
         let atom = unsafe { &*(self.ptr_at(off) as *const AtomicU64) };

@@ -10,8 +10,34 @@
 //!
 //! The model is intentionally coarse — EXPERIMENTS.md discusses which shapes
 //! transfer. All costs default to zero (model disabled) for unit tests.
+//!
+//! # Concurrency: stalls must not burn the host CPU
+//!
+//! On real hardware an NVM stall occupies only the issuing core; the other
+//! cores keep retiring instructions. The simulator often runs *more
+//! simulated cores (threads) than the host has physical cores*, so a
+//! busy-wait would serialize everything and hide the concurrency the
+//! library is designed to deliver. Charges therefore accumulate in a
+//! per-thread debt counter and are paid in batches through a
+//! yield-friendly deadline wait: the stalling thread donates its timeslice
+//! to runnable siblings (`yield_now`) until just before the deadline, then
+//! spins for precision. Single-threaded timing is unchanged (yielding with
+//! no other runnable thread returns immediately); multi-threaded runs
+//! overlap their stalls exactly like independent memory controllers would.
 
+use std::cell::Cell;
 use std::time::{Duration, Instant};
+
+/// Debt below this many nanoseconds accumulates instead of stalling; one
+/// batched stall then pays it in full. Batching keeps the bookkeeping off
+/// the per-store fast path and makes each stall long enough for
+/// `yield_now` to actually hand the CPU to another thread.
+const PAY_QUANTUM_NS: u64 = 4_000;
+
+thread_local! {
+    /// Latency charges owed by this thread but not yet waited out.
+    static DEBT_NS: Cell<u64> = const { Cell::new(0) };
+}
 
 /// Per-operation latency charges in nanoseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +52,9 @@ pub struct LatencyModel {
     pub atomic_rmw_ns: u64,
     /// Charged per cache line of non-temporal store.
     pub nt_ns_per_line: u64,
+    /// Charged per cache line loaded from media (NVM random reads are
+    /// several times slower than DRAM; this models the delta).
+    pub read_ns_per_line: u64,
 }
 
 impl LatencyModel {
@@ -37,6 +66,7 @@ impl LatencyModel {
             fence_ns: 0,
             atomic_rmw_ns: 0,
             nt_ns_per_line: 0,
+            read_ns_per_line: 0,
         }
     }
 
@@ -48,6 +78,23 @@ impl LatencyModel {
             fence_ns: 30,
             atomic_rmw_ns: 20,
             nt_ns_per_line: 60,
+            // ~300 ns random-read vs ~80 ns DRAM in the Izraelevitz
+            // characterization; charge the per-line delta.
+            read_ns_per_line: 50,
+        }
+    }
+
+    /// Returns a copy with every charge multiplied by `k` — e.g. a
+    /// "slower NVM" scenario, or a scaling study that needs the
+    /// device-bound regime emphasized (see `fig9_scaling`).
+    pub const fn scaled(self, k: u64) -> Self {
+        LatencyModel {
+            write_ns_per_line: self.write_ns_per_line * k,
+            flush_ns_per_line: self.flush_ns_per_line * k,
+            fence_ns: self.fence_ns * k,
+            atomic_rmw_ns: self.atomic_rmw_ns * k,
+            nt_ns_per_line: self.nt_ns_per_line * k,
+            read_ns_per_line: self.read_ns_per_line * k,
         }
     }
 
@@ -59,17 +106,52 @@ impl LatencyModel {
             && self.fence_ns == 0
             && self.atomic_rmw_ns == 0
             && self.nt_ns_per_line == 0
+            && self.read_ns_per_line == 0
     }
 
-    /// Busy-waits for `ns` nanoseconds (no-op for zero).
+    /// Records `ns` nanoseconds of NVM latency for the calling thread
+    /// (no-op for zero). Small charges accumulate; once the debt reaches
+    /// [`PAY_QUANTUM_NS`] it is paid with one yield-friendly stall (see the
+    /// module docs for why stalls must not busy-wait the host CPU).
     #[inline]
     pub(crate) fn charge(ns: u64) {
         if ns == 0 {
             return;
         }
+        let due = DEBT_NS.with(|d| {
+            let total = d.get() + ns;
+            if total < PAY_QUANTUM_NS {
+                d.set(total);
+                0
+            } else {
+                d.set(0);
+                total
+            }
+        });
+        if due > 0 {
+            Self::stall(due);
+        }
+    }
+
+    /// Waits out `ns` nanoseconds, yielding the CPU to runnable siblings
+    /// for the bulk of the wait and spinning only the final microsecond
+    /// for precision.
+    fn stall(ns: u64) {
         let deadline = Instant::now() + Duration::from_nanos(ns);
-        while Instant::now() < deadline {
-            std::hint::spin_loop();
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            // Yield almost to the deadline: a sub-microsecond overshoot
+            // is noise next to the batching quantum, while a long spin
+            // tail would burn host CPU that a sibling thread (simulated
+            // core) could be using.
+            if deadline - now > Duration::from_nanos(200) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
         }
     }
 }

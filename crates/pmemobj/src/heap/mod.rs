@@ -514,6 +514,56 @@ impl Heap {
         }
     }
 
+    /// Re-checks, from *persistent* metadata, whether the object whose user
+    /// data starts at `oid_off` is still allocated. Used by the concurrent
+    /// scrubber: an object discovered by [`scan_live`] may have been freed
+    /// (and its storage repurposed, e.g. as a log-overflow chunk) by the
+    /// time the scrubber gets to it, and repairing such a slot would be a
+    /// false positive.
+    ///
+    /// The probe is deliberately **racy**: it may run concurrently with a
+    /// publisher updating the same metadata words, and the checks are
+    /// therefore purely conservative — the chunk-metadata entry carries a
+    /// checksum ([`ChunkMeta::verify`]), the run header is validated, and
+    /// *any* unparseable or mid-transition state reads as "not live", so a
+    /// torn observation can only make the scrubber skip an object for one
+    /// pass, never touch the wrong one. Callers that go on to repair must
+    /// re-confirm under their own range-locks (the scrubber does).
+    pub fn is_live(&self, io: &PoolIo, oid_off: u64) -> bool {
+        let Some(start) = oid_off.checked_sub(OBJ_HEADER_SIZE) else {
+            return false;
+        };
+        let Ok((z, c, within)) = self.layout.chunk_of(start) else {
+            return false;
+        };
+        let Ok(cm) = Self::read_cm(io, &self.layout, z, c) else {
+            return false;
+        };
+        if !cm.verify() {
+            return false; // torn or scribbled entry: treat as not live
+        }
+        match cm.chunk_type() {
+            Some(ChunkType::Run) => {
+                let base = self.layout.chunk_base(z, c);
+                let Ok(hdr) = RunHeader::read(io, base) else {
+                    return false;
+                };
+                if hdr.validate(self.layout.cfg.chunk_size).is_err() {
+                    return false;
+                }
+                let Some(rel) = within.checked_sub(RUN_HEADER_SIZE) else {
+                    return false;
+                };
+                let block = (rel / hdr.block_size as u64) as u32;
+                block < hdr.nblocks
+                    && hdr.is_set(block)
+                    && RunHeader::block_off(base, hdr.block_size, block) == start
+            }
+            Some(ChunkType::Large) => start == self.layout.chunk_base(z, c),
+            _ => false,
+        }
+    }
+
     /// Volatile completion of a committed allocation.
     pub fn complete_alloc(&self, r: &AllocReservation) {
         if let ReserveKind::Run { zone, chunk, fresh_run: true, .. } = r.kind {
