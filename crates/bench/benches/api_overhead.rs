@@ -1,0 +1,109 @@
+//! `api_overhead`: proves the typed object layer is zero-cost.
+//!
+//! Every typed operation (`tx.get`, `tx.set`, `tx.update`, `tx.write_at`)
+//! is benchmarked against the raw oid/offset call it compiles down to
+//! (`tx.read_pod`, `tx.write_pod`, open+read+write, offset `write_pod`).
+//! In release builds the typed layer adds only a `PhantomData` brand and
+//! (debug-only) header checks, so each pair should be within noise of each
+//! other — the acceptance bar is 5%.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pangolin::typed::PObj;
+use pangolin::{field, impl_ptype, PMEMoid, PglConfig, PglPool};
+use pgl_nvm::{DeviceConfig, NvmDevice};
+
+/// A 64-byte record: big enough that partial updates matter, small enough
+/// that per-call overhead (the thing being measured) is not drowned out.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(C)]
+struct Rec {
+    a: u64,
+    b: u64,
+    c: [u64; 6],
+}
+impl_ptype!(Rec, 64, 5);
+
+struct Setup {
+    pool: PglPool,
+    oid: PMEMoid,
+    h: PObj<Rec>,
+}
+
+fn setup() -> Setup {
+    let cfg = PglConfig::small();
+    let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::fast()).unwrap());
+    let pool = PglPool::create(dev, cfg).unwrap();
+    let h = pool.tx(|tx| tx.alloc_obj(&Rec::default())).unwrap();
+    Setup { pool, oid: h.oid(), h }
+}
+
+fn api_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("api_overhead");
+
+    // Every benchmark gets its own fresh pool so each raw/typed pair
+    // starts from identical heap, lane and log state — what makes the
+    // within-5% comparison meaningful on a noisy host.
+    let s = setup();
+
+    // Whole-object read inside a transaction (pgl_get path).
+    g.bench_with_input(BenchmarkId::new("get", "raw"), &s, |b, s| {
+        b.iter(|| s.pool.tx(|tx| tx.read_pod::<Rec>(s.oid, 0)).unwrap())
+    });
+    g.bench_with_input(BenchmarkId::new("get", "typed"), &s, |b, s| {
+        b.iter(|| s.pool.tx(|tx| tx.get(s.h)).unwrap())
+    });
+
+    // Whole-object store (micro-buffered write + commit).
+    let s = setup();
+    let v = Rec { a: 1, b: 2, c: [3; 6] };
+    g.bench_with_input(BenchmarkId::new("set", "raw"), &s, |b, s| {
+        b.iter(|| s.pool.tx(|tx| tx.write_pod(s.oid, 0, &v)).unwrap())
+    });
+    g.bench_with_input(BenchmarkId::new("set", "typed"), &s, |b, s| {
+        b.iter(|| s.pool.tx(|tx| tx.set(s.h, &v)).unwrap())
+    });
+
+    // Read-modify-write of the whole object (verified snapshot).
+    let s = setup();
+    g.bench_with_input(BenchmarkId::new("update", "raw"), &s, |b, s| {
+        b.iter(|| {
+            s.pool
+                .tx(|tx| {
+                    tx.open(s.oid)?;
+                    let mut r: Rec = tx.read_pod(s.oid, 0)?;
+                    r.a = r.a.wrapping_add(1);
+                    tx.write_pod(s.oid, 0, &r)
+                })
+                .unwrap()
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("update", "typed"), &s, |b, s| {
+        b.iter(|| s.pool.tx(|tx| tx.update(s.h, |r| r.a = r.a.wrapping_add(1))).unwrap())
+    });
+
+    // Single-field store (the incremental-checksum fast path).
+    let s = setup();
+    g.bench_with_input(BenchmarkId::new("field_write", "raw"), &s, |b, s| {
+        b.iter(|| s.pool.tx(|tx| tx.write_pod(s.oid, 8, &7u64)).unwrap())
+    });
+    g.bench_with_input(BenchmarkId::new("field_write", "typed"), &s, |b, s| {
+        b.iter(|| s.pool.tx(|tx| tx.write_at(s.h, field!(Rec, b: u64), &7u64)).unwrap())
+    });
+
+    // Transaction-free direct read.
+    let s = setup();
+    g.bench_with_input(BenchmarkId::new("direct_read", "raw"), &s, |b, s| {
+        b.iter(|| s.pool.read_pod::<Rec>(s.oid, 0).unwrap())
+    });
+    g.bench_with_input(BenchmarkId::new("direct_read", "typed"), &s, |b, s| {
+        b.iter(|| s.pool.get_obj(s.h).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, api_overhead);
+criterion_main!(benches);

@@ -17,9 +17,7 @@ fn checksums(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("adler32_full", size), &data, |b, d| {
             b.iter(|| adler32(d))
         });
-        g.bench_with_input(BenchmarkId::new("crc32_full", size), &data, |b, d| {
-            b.iter(|| crc32(d))
-        });
+        g.bench_with_input(BenchmarkId::new("crc32_full", size), &data, |b, d| b.iter(|| crc32(d)));
         // Incremental update of a 64-byte range inside the object: the cost
         // the paper's §3.5 argument is about (O(range), not O(object)).
         let csum = adler32(&data);

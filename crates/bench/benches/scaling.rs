@@ -37,9 +37,8 @@ fn tx_scaling(c: &mut Criterion) {
     for threads in [1usize, 2, 4] {
         let store = Arc::new(make_store(Mode::PglMlpc, 256 << 20, LatencyModel::optane()));
         // Disjoint object sets per worker (the paper's concurrency rule).
-        let sets: Vec<Vec<PMEMoid>> = (0..threads)
-            .map(|_| prealloc(&store, BATCH / threads))
-            .collect();
+        let sets: Vec<Vec<PMEMoid>> =
+            (0..threads).map(|_| prealloc(&store, BATCH / threads)).collect();
         let payload = vec![0xA5u8; OBJ_SIZE];
         g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
             b.iter(|| {
@@ -49,9 +48,7 @@ fn tx_scaling(c: &mut Criterion) {
                         let payload = &payload;
                         s.spawn(move || {
                             for oid in set {
-                                store
-                                    .txn(&mut |tx| tx.write_bytes(*oid, 0, payload))
-                                    .unwrap();
+                                store.txn(&mut |tx| tx.write_bytes(*oid, 0, payload)).unwrap();
                             }
                         });
                     }

@@ -34,9 +34,7 @@ fn bench_mode(store: &AnyStore, size: u64, ops: usize) -> (f64, f64, f64) {
     // Overwrite phase (whole-object update, like the paper).
     let t = Instant::now();
     for oid in &oids {
-        store
-            .txn(&mut |tx| tx.write_bytes(*oid, 0, &payload))
-            .expect("overwrite tx");
+        store.txn(&mut |tx| tx.write_bytes(*oid, 0, &payload)).expect("overwrite tx");
     }
     let overwrite_ns = t.elapsed().as_nanos() as f64 / ops as f64;
 
@@ -87,9 +85,8 @@ fn main() {
         free_rows.push(f_row);
     }
 
-    let headers: Vec<&str> = std::iter::once("size")
-        .chain(Mode::all().iter().map(|m| m.label()))
-        .collect();
+    let headers: Vec<&str> =
+        std::iter::once("size").chain(Mode::all().iter().map(|m| m.label())).collect();
     print_table("Figure 3a: allocate (latency/tx)", &headers, &alloc_rows);
     print_table("Figure 3b: overwrite (latency/tx)", &headers, &over_rows);
     print_table("Figure 3c: free (latency/tx)", &headers, &free_rows);

@@ -15,7 +15,13 @@ use rand::{Rng, SeedableRng};
 
 const SIZES: &[u64] = &[64, 256, 1024, 4096];
 
-fn bench(store: &Arc<AnyStore>, size: u64, threads: usize, ops_per_thread: usize, seed: u64) -> f64 {
+fn bench(
+    store: &Arc<AnyStore>,
+    size: u64,
+    threads: usize,
+    ops_per_thread: usize,
+    seed: u64,
+) -> f64 {
     // Pre-allocate a pool of objects per thread (threads never share an
     // object: the paper's concurrency rule, §3.4).
     let per_thread = 256usize;
@@ -44,9 +50,7 @@ fn bench(store: &Arc<AnyStore>, size: u64, threads: usize, ops_per_thread: usize
                 let payload = vec![tid as u8; size as usize];
                 for _ in 0..ops_per_thread {
                     let oid = oids[rng.gen_range(0..oids.len())];
-                    store
-                        .txn(&mut |tx| tx.write_bytes(oid, 0, &payload))
-                        .expect("overwrite");
+                    store.txn(&mut |tx| tx.write_bytes(oid, 0, &payload)).expect("overwrite");
                 }
             });
         }

@@ -61,12 +61,54 @@ fn main() {
         remove_rows.push(r_row);
     };
 
-    run_all("ctree", 1, &run_structure::<CTree>, &mut insert_rows, &mut lookup_rows, &mut remove_rows);
-    run_all("rbtree", 1, &run_structure::<RbTree>, &mut insert_rows, &mut lookup_rows, &mut remove_rows);
-    run_all("btree", 1, &run_structure::<BTree>, &mut insert_rows, &mut lookup_rows, &mut remove_rows);
-    run_all("skiplist", 1, &run_structure::<SkipList>, &mut insert_rows, &mut lookup_rows, &mut remove_rows);
-    run_all("rtree", 2, &run_structure::<RTree>, &mut insert_rows, &mut lookup_rows, &mut remove_rows);
-    run_all("hashmap", 1, &run_structure::<HashMap>, &mut insert_rows, &mut lookup_rows, &mut remove_rows);
+    run_all(
+        "ctree",
+        1,
+        &run_structure::<CTree>,
+        &mut insert_rows,
+        &mut lookup_rows,
+        &mut remove_rows,
+    );
+    run_all(
+        "rbtree",
+        1,
+        &run_structure::<RbTree>,
+        &mut insert_rows,
+        &mut lookup_rows,
+        &mut remove_rows,
+    );
+    run_all(
+        "btree",
+        1,
+        &run_structure::<BTree>,
+        &mut insert_rows,
+        &mut lookup_rows,
+        &mut remove_rows,
+    );
+    run_all(
+        "skiplist",
+        1,
+        &run_structure::<SkipList>,
+        &mut insert_rows,
+        &mut lookup_rows,
+        &mut remove_rows,
+    );
+    run_all(
+        "rtree",
+        2,
+        &run_structure::<RTree>,
+        &mut insert_rows,
+        &mut lookup_rows,
+        &mut remove_rows,
+    );
+    run_all(
+        "hashmap",
+        1,
+        &run_structure::<HashMap>,
+        &mut insert_rows,
+        &mut lookup_rows,
+        &mut remove_rows,
+    );
 
     print_table("Figure 5a: inserts (throughput)", &header_refs, &insert_rows);
     print_table("Figure 5b: removes (throughput)", &header_refs, &remove_rows);

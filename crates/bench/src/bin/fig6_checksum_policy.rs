@@ -28,10 +28,7 @@ fn main() {
         (format!("scrub-{scrub_lo}"), CsumPolicy::ScrubEvery(scrub_lo)),
         ("conservative".into(), CsumPolicy::Conservative),
     ];
-    println!(
-        "Figure 6 reproduction: {} inserts under pgl-MLPC checksum policies",
-        args.ops
-    );
+    println!("Figure 6 reproduction: {} inserts under pgl-MLPC checksum policies", args.ops);
 
     let keys = random_keys(args.ops, args.seed);
     let headers: Vec<String> = std::iter::once("structure".to_string())
@@ -43,8 +40,12 @@ fn main() {
     let run = |name: &str, mult: usize, f: &dyn Fn(&AnyStore, &[u64]) -> f64| -> Vec<String> {
         let mut row = vec![name.to_string()];
         for (_, policy) in &policies {
-            let store =
-                make_store_with_policy(Mode::PglMlpc, args.pool_bytes * mult, args.latency, *policy);
+            let store = make_store_with_policy(
+                Mode::PglMlpc,
+                args.pool_bytes * mult,
+                args.latency,
+                *policy,
+            );
             row.push(fmt_rate(f(&store, &keys)));
         }
         row

@@ -56,9 +56,7 @@ fn worker(store: &AnyStore, oids: &mut Vec<PMEMoid>, ops: usize, seed: u64) {
             }
             _ => {
                 let oid = oids[rng.gen_range(0..oids.len())];
-                store
-                    .txn(&mut |tx| tx.write_bytes(oid, 0, &payload))
-                    .expect("overwrite txn");
+                store.txn(&mut |tx| tx.write_bytes(oid, 0, &payload)).expect("overwrite txn");
             }
         }
     }
@@ -143,7 +141,10 @@ fn main() {
     );
 
     // ---- key-value structures over the shared pool ---------------------
-    let keys = random_keys(args.ops.min(4_000) * args.threads.iter().max().copied().unwrap_or(1), args.seed);
+    let keys = random_keys(
+        args.ops.min(4_000) * args.threads.iter().max().copied().unwrap_or(1),
+        args.seed,
+    );
     let mut rows = Vec::new();
     let mut kv_base = 0.0f64;
     for &threads in &args.threads {

@@ -17,8 +17,11 @@ fn main() {
 
     // Pool creation (dominated by zeroing, the paper's 130s for 100 GB).
     let dev = Arc::new(
-        NvmDevice::new(args.pool_bytes, DeviceConfig { latency: args.latency, ..DeviceConfig::fast() })
-            .expect("device"),
+        NvmDevice::new(
+            args.pool_bytes,
+            DeviceConfig { latency: args.latency, ..DeviceConfig::fast() },
+        )
+        .expect("device"),
     );
     let t = Instant::now();
     let pool = PglPool::create(dev, PglConfig::bench(args.pool_bytes, PglMode::Mlpc))
@@ -30,9 +33,9 @@ fn main() {
     let parity_per_zone = layout.parity_bytes_per_zone();
     let parity_total = parity_per_zone * layout.n_zones;
     let cm_total = layout.zone.cm_chunks * layout.cfg.chunk_size as u64 * layout.n_zones;
-    let data_total =
-        (layout.zone.data_rows * layout.zone.row_size - layout.zone.cm_chunks * layout.cfg.chunk_size as u64)
-            * layout.n_zones;
+    let data_total = (layout.zone.data_rows * layout.zone.row_size
+        - layout.zone.cm_chunks * layout.cfg.chunk_size as u64)
+        * layout.n_zones;
     let headers_total = layout.lanes_off; // two header pages
 
     let pct = |x: u64| format!("{:.3}%", 100.0 * x as f64 / args.pool_bytes as f64);

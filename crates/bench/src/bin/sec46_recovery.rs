@@ -17,11 +17,14 @@ fn main() {
     let args = Args::parse();
     println!("§4.6 reproduction: error injection and online recovery");
     let dev = Arc::new(
-        NvmDevice::new(args.pool_bytes, DeviceConfig { latency: args.latency, ..DeviceConfig::fast() })
-            .expect("device"),
+        NvmDevice::new(
+            args.pool_bytes,
+            DeviceConfig { latency: args.latency, ..DeviceConfig::fast() },
+        )
+        .expect("device"),
     );
-    let pool = PglPool::create(dev, PglConfig::bench(args.pool_bytes, PglMode::Mlpc))
-        .expect("create");
+    let pool =
+        PglPool::create(dev, PglConfig::bench(args.pool_bytes, PglMode::Mlpc)).expect("create");
 
     // Populate with objects of assorted sizes.
     let mut rng = StdRng::seed_from_u64(args.seed);

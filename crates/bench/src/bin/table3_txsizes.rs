@@ -16,11 +16,7 @@ struct Row {
     remove: PhaseStats,
 }
 
-fn measure<M: PersistentMap>(
-    store: &AnyStore,
-    keys: &[u64],
-    object_size: &'static str,
-) -> Row {
+fn measure<M: PersistentMap>(store: &AnyStore, keys: &[u64], object_size: &'static str) -> Row {
     let map = M::create(store).expect("create");
     let insert = insert_phase(&map, store, keys).expect("insert");
     let remove = remove_phase(&map, store, keys).expect("remove");

@@ -197,10 +197,8 @@ impl Args {
                 "--no-latency" => args.latency = LatencyModel::disabled(),
                 "--threads" => {
                     i += 1;
-                    args.threads = argv[i]
-                        .split(',')
-                        .map(|t| t.parse().expect("--threads a,b,c"))
-                        .collect();
+                    args.threads =
+                        argv[i].split(',').map(|t| t.parse().expect("--threads a,b,c")).collect();
                     args.threads_explicit = true;
                 }
                 "--seed" => {

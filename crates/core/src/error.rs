@@ -23,6 +23,12 @@ pub enum PglError {
         /// Offset of the corrupt object's user data.
         off: u64,
     },
+    /// A typed handle's brand (expected size or type number) does not
+    /// match the object header it points at (see [`crate::typed`]).
+    TypeMismatch {
+        /// Offset of the object's user data.
+        off: u64,
+    },
     /// Data was lost beyond the fault-tolerance guarantee (e.g. two pages
     /// of the same page column).
     Unrecoverable(String),
@@ -39,6 +45,9 @@ impl fmt::Display for PglError {
             }
             PglError::ChecksumMismatch { off } => {
                 write!(f, "object checksum mismatch at {off:#x}")
+            }
+            PglError::TypeMismatch { off } => {
+                write!(f, "typed handle mismatch for object at {off:#x}")
             }
             PglError::Unrecoverable(s) => write!(f, "unrecoverable: {s}"),
             PglError::Config(s) => write!(f, "bad configuration: {s}"),

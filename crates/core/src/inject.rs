@@ -27,7 +27,13 @@ pub fn poison_page(pool: &PglPool, page: u64) -> Result<()> {
 /// Scribbles `len` bytes of `oid`'s user data starting at `off` with
 /// `pattern` — hardware-invisible software corruption that only the object
 /// checksum can catch.
-pub fn scribble_object(pool: &PglPool, oid: PMEMoid, off: u64, len: usize, pattern: u8) -> Result<()> {
+pub fn scribble_object(
+    pool: &PglPool,
+    oid: PMEMoid,
+    off: u64,
+    len: usize,
+    pattern: u8,
+) -> Result<()> {
     let junk = vec![pattern; len];
     pool.io().dev().scribble(oid.off + off, &junk).map_err(PglError::from)
 }

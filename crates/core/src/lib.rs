@@ -31,28 +31,47 @@
 //! ([`PglMode::Baseline`], `-ML`, `-MLP`, `-MLPC`; Table 2) and three
 //! checksum-verification policies ([`CsumPolicy`]; Figure 6 / Table 4).
 //!
+//! # Two API levels
+//!
+//! * The **typed API** ([`typed`]): `PObj<T>` handles over `#[repr(C)]`
+//!   [`Pod`](pgl_nvm::pod::Pod) structs, typed pool roots, and
+//!   compile-time-checked [`field!`](crate::field) offsets — the
+//!   application-facing layer, zero-cost over the raw calls.
+//! * The **raw API**: the `libpmemobj`-shaped oid/offset engine
+//!   ([`PglTx::alloc`], [`PglTx::write`], …) — the documented low-level
+//!   escape hatch for dynamically-sized objects and tooling.
+//!
+//! Pools are constructed through one builder for both creation and
+//! reopening: [`PglPool::options`] (see [`options`]).
+//!
 //! # Examples
 //!
 //! ```
 //! use std::sync::Arc;
 //! use pgl_nvm::{DeviceConfig, NvmDevice};
-//! use pangolin::{inject, PglConfig, PglPool};
+//! use pangolin::typed::PObj;
+//! use pangolin::{impl_ptype, inject, PglPool};
 //!
-//! let cfg = PglConfig::small();
-//! let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::fast()).unwrap());
-//! let pool = PglPool::create(dev, cfg).unwrap();
+//! #[derive(Clone, Copy, Default)]
+//! #[repr(C)]
+//! struct Record {
+//!     value: u64,
+//!     flags: u64,
+//! }
+//! impl_ptype!(Record, 16, 1);
 //!
-//! // Build a persistent object transactionally.
-//! let oid = pool.tx(|tx| {
-//!     let oid = tx.alloc(64, 1)?;
-//!     tx.write(oid, 0, b"precious data")?;
-//!     Ok(oid)
-//! }).unwrap();
+//! let opts = PglPool::options();
+//! let dev = Arc::new(NvmDevice::new(opts.config().pool.size, DeviceConfig::fast()).unwrap());
+//! let pool = opts.create(dev).unwrap();
+//!
+//! // Build a typed persistent object transactionally.
+//! let h: PObj<Record> = pool
+//!     .tx(|tx| tx.alloc_obj(&Record { value: 42, flags: 1 }))
+//!     .unwrap();
 //!
 //! // A media error strikes; the next verified read repairs it online.
-//! inject::poison_object_page(&pool, oid).unwrap();
-//! let data = pool.read_verified(oid).unwrap();
-//! assert_eq!(&data[..13], b"precious data");
+//! inject::poison_object_page(&pool, h.oid()).unwrap();
+//! assert_eq!(pool.get_verified(h).unwrap().value, 42);
 //! ```
 
 #![warn(missing_docs)]
@@ -62,20 +81,27 @@ pub mod config;
 pub mod detect;
 pub mod error;
 pub mod inject;
+pub mod options;
 pub mod parity;
 pub mod pool;
 pub mod recover;
 pub mod scrub;
 pub mod sparse;
 pub mod txn;
+pub mod typed;
 pub mod ubuf;
 
 pub use config::{CsumPolicy, PglConfig, PglMode};
 pub use detect::VulnSnapshot;
 pub use error::{PglError, Result};
+pub use options::OpenOptions;
 pub use pool::{ObjHandle, PglCounters, PglPool};
 pub use scrub::ScrubReport;
 pub use txn::{PglTx, TxStats};
+pub use typed::{Field, PArr, PObj, PType};
 
-// Re-export the substrate types users need.
+// Re-export the substrate types users need. `impl_pod!` is re-exported so
+// `impl_ptype!` can expand to `$crate::impl_pod!` without requiring users
+// to depend on `pgl-nvm` directly.
+pub use pgl_nvm::impl_pod;
 pub use pgl_pmemobj::{ObjectHeader, PMEMoid, PoolConfig, OID_NULL};

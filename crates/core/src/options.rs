@@ -1,0 +1,189 @@
+//! Builder-style pool construction ([`PglPool::options`]).
+//!
+//! Historically `PglPool::create` took a full [`PglConfig`] while
+//! `PglPool::open` took loose positional arguments — an asymmetry that
+//! made call sites hard to read and extend. [`OpenOptions`] unifies both
+//! paths behind one builder:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pangolin::{CsumPolicy, PglMode, PglPool};
+//! use pgl_nvm::{DeviceConfig, NvmDevice};
+//!
+//! let opts = PglPool::options()
+//!     .mode(PglMode::Mlpc)
+//!     .csum_policy(CsumPolicy::ScrubEvery(500))
+//!     .background_scrub(true);
+//! let dev = Arc::new(NvmDevice::new(opts.config().pool.size, DeviceConfig::fast()).unwrap());
+//!
+//! // Create a fresh pool…
+//! let pool = opts.clone().create(dev.clone()).unwrap();
+//! drop(pool);
+//!
+//! // …and reopen it later: geometry and mode come from the pool header,
+//! // run-time knobs (policy, scrubbing) from the builder.
+//! let pool = opts.open(dev).unwrap();
+//! assert_eq!(pool.mode(), PglMode::Mlpc);
+//! ```
+
+use std::sync::Arc;
+
+use pgl_nvm::NvmDevice;
+use pgl_pmemobj::PoolConfig;
+
+use crate::config::{CsumPolicy, PglConfig, PglMode};
+use crate::error::Result;
+use crate::pool::PglPool;
+
+/// Builder for creating or opening a [`PglPool`] (see the module docs).
+///
+/// Defaults match [`PglConfig::small`]: full `Mlpc` mode, the paper's
+/// default checksum policy, synchronous scrubbing, and the 8 KiB hybrid
+/// parity thresholds.
+#[derive(Debug, Clone)]
+pub struct OpenOptions {
+    cfg: PglConfig,
+}
+
+impl Default for OpenOptions {
+    fn default() -> Self {
+        OpenOptions { cfg: PglConfig::small() }
+    }
+}
+
+impl OpenOptions {
+    /// Starts from the default (small, `Mlpc`) configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the fault-tolerance mode (create only; open reads the mode
+    /// from the pool header).
+    pub fn mode(mut self, mode: PglMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Sets the checksum verification policy.
+    pub fn csum_policy(mut self, policy: CsumPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Runs scrub passes on a background thread instead of synchronously
+    /// inside the triggering commit.
+    pub fn background_scrub(mut self, on: bool) -> Self {
+        self.cfg.background_scrub = on;
+        self
+    }
+
+    /// Replaces the pool geometry wholesale (create only; open reads the
+    /// geometry from the pool header).
+    pub fn geometry(mut self, pool: PoolConfig) -> Self {
+        self.cfg.pool = pool;
+        self
+    }
+
+    /// Sets the pool size in bytes (create only).
+    pub fn size(mut self, bytes: usize) -> Self {
+        self.cfg.pool.size = bytes;
+        self
+    }
+
+    /// Sets the zone size in bytes (create only).
+    pub fn zone_size(mut self, bytes: usize) -> Self {
+        self.cfg.pool.zone_size = bytes;
+        self
+    }
+
+    /// Parity updates at or above this many bytes use the exclusive
+    /// vectorized-XOR strategy (paper §3.1's hybrid crossover).
+    pub fn hybrid_threshold(mut self, bytes: u64) -> Self {
+        self.cfg.hybrid_threshold = bytes;
+        self
+    }
+
+    /// Bytes of data covered by one parity range-lock.
+    pub fn parity_lock_granule(mut self, bytes: u64) -> Self {
+        self.cfg.parity_lock_granule = bytes;
+        self
+    }
+
+    /// The [`PglConfig`] the builder currently describes (what
+    /// [`OpenOptions::create`] would use).
+    pub fn config(&self) -> PglConfig {
+        self.cfg
+    }
+
+    /// Creates a fresh pool on `dev` with the configured geometry and
+    /// mode, zeroing the device.
+    pub fn create(self, dev: Arc<NvmDevice>) -> Result<PglPool> {
+        PglPool::create(dev, self.cfg)
+    }
+
+    /// Opens an existing pool on `dev`, running crash recovery. Geometry
+    /// and mode come from the pool header; the builder contributes the
+    /// run-time knobs (checksum policy, background scrubbing, parity
+    /// thresholds).
+    pub fn open(self, dev: Arc<NvmDevice>) -> Result<PglPool> {
+        PglPool::open_with(dev, &self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgl_nvm::DeviceConfig;
+
+    fn dev(opts: &OpenOptions) -> Arc<NvmDevice> {
+        Arc::new(NvmDevice::new(opts.config().pool.size, DeviceConfig::fast()).unwrap())
+    }
+
+    #[test]
+    fn builder_roundtrips_mode_and_policy() {
+        let opts = OpenOptions::new()
+            .mode(PglMode::Mlp)
+            .csum_policy(CsumPolicy::Conservative)
+            .hybrid_threshold(4 << 10);
+        let cfg = opts.config();
+        assert_eq!(cfg.mode, PglMode::Mlp);
+        assert_eq!(cfg.policy, CsumPolicy::Conservative);
+        assert_eq!(cfg.hybrid_threshold, 4 << 10);
+
+        let dev = dev(&opts);
+        let pool = opts.clone().create(dev.clone()).unwrap();
+        assert_eq!(pool.mode(), PglMode::Mlp);
+        drop(pool);
+        // Mode survives reopen via the header even though the builder
+        // default differs.
+        let pool = OpenOptions::new().open(dev).unwrap();
+        assert_eq!(pool.mode(), PglMode::Mlp);
+    }
+
+    #[test]
+    fn size_overrides_compose_with_geometry() {
+        let opts = OpenOptions::new().size(32 << 20).zone_size(16 << 20);
+        assert_eq!(opts.config().pool.size, 32 << 20);
+        let dev = dev(&opts);
+        let pool = opts.create(dev).unwrap();
+        assert_eq!(pool.layout().cfg.size, 32 << 20);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_open_signature_still_works() {
+        let opts = OpenOptions::new();
+        let dev = dev(&opts);
+        let pool = opts.create(dev.clone()).unwrap();
+        let oid = pool
+            .tx(|tx| {
+                let oid = tx.alloc(16, 1)?;
+                tx.write_pod(oid, 0, &7u64)?;
+                Ok(oid)
+            })
+            .unwrap();
+        drop(pool);
+        let pool = PglPool::open(dev, CsumPolicy::Default, false).unwrap();
+        assert_eq!(pool.read_pod::<u64>(oid, 0).unwrap(), 7);
+    }
+}

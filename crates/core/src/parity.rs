@@ -415,7 +415,8 @@ impl ParityEngine {
         buf: &mut [u8],
     ) -> Result<()> {
         let chunk_size = self.layout.cfg.chunk_size as u64;
-        let row_start = self.layout.zone_base(zone) + self.layout.zone.rows_base
+        let row_start = self.layout.zone_base(zone)
+            + self.layout.zone.rows_base
             + row * self.layout.zone.row_size;
         let mut done = 0u64;
         let len = buf.len() as u64;
@@ -438,8 +439,7 @@ impl ParityEngine {
 
     fn chunk_is_log(&self, io: &PoolIo, zone: u64, chunk_idx: u64) -> Result<bool> {
         let mut cm_buf = [0u8; 16];
-        io.read(self.layout.cm_entry_off(zone, chunk_idx), &mut cm_buf)
-            .map_err(PglError::from)?;
+        io.read(self.layout.cm_entry_off(zone, chunk_idx), &mut cm_buf).map_err(PglError::from)?;
         Ok(ChunkMeta::from_slice(&cm_buf).chunk_type() == Some(ChunkType::Log))
     }
 
@@ -594,13 +594,8 @@ mod tests {
         let col_page = base / PAGE_SIZE as u64;
         // Poison the target page AND the same column one row below.
         io.dev().poison_page(col_page).unwrap();
-        io.dev()
-            .poison_page(col_page + layout.zone.row_size / PAGE_SIZE as u64)
-            .unwrap();
-        assert!(matches!(
-            eng.reconstruct_page(&io, base),
-            Err(PglError::Unrecoverable(_))
-        ));
+        io.dev().poison_page(col_page + layout.zone.row_size / PAGE_SIZE as u64).unwrap();
+        assert!(matches!(eng.reconstruct_page(&io, base), Err(PglError::Unrecoverable(_))));
     }
 
     #[test]

@@ -252,8 +252,7 @@ impl Inner {
             }
             MetaOp::WriteCm { off, data } => self.protected_write(*off, data),
             MetaOp::RunFmt { off, block_size, nblocks } => {
-                let hdr =
-                    pgl_pmemobj::heap::run::RunHeader::formatted(*block_size, *nblocks);
+                let hdr = pgl_pmemobj::heap::run::RunHeader::formatted(*block_size, *nblocks);
                 self.protected_write(*off, bytes_of(&hdr))
             }
         }
@@ -365,8 +364,7 @@ impl PglPool {
             uuid,
             size: cfg.pool.size as u64,
             version: 1,
-            flags: if cfg.pool.parity { FLAG_PARITY } else { 0 }
-                | (mode_bits << FLAG_MODE_SHIFT),
+            flags: if cfg.pool.parity { FLAG_PARITY } else { 0 } | (mode_bits << FLAG_MODE_SHIFT),
             zone_size: cfg.pool.zone_size as u64,
             chunk_size: cfg.pool.chunk_size as u64,
             chunk_rows: cfg.pool.chunk_rows as u64,
@@ -378,18 +376,14 @@ impl PglPool {
             pad: 0,
         };
         write_header(&io, &layout, hdr).map_err(PglError::from)?;
-        let mirror = if cfg.mode.replicates_logs() {
-            LogMirror::SameDevice
-        } else {
-            LogMirror::None
-        };
+        let mirror =
+            if cfg.mode.replicates_logs() { LogMirror::SameDevice } else { LogMirror::None };
         Lanes::format(&io, &layout, LogMirror::SameDevice).map_err(PglError::from)?;
         Heap::format(&io, &layout).map_err(PglError::from)?;
         if cfg.mode.has_parity() {
             // Heap formatting wrote the CM region with plain stores; level
             // the parity of those columns once, at creation time.
-            let engine =
-                ParityEngine::new(layout, cfg.parity_lock_granule, cfg.hybrid_threshold);
+            let engine = ParityEngine::new(layout, cfg.parity_lock_granule, cfg.hybrid_threshold);
             let cm_span = layout.zone.cm_chunks * layout.cfg.chunk_size as u64;
             for z in 0..layout.n_zones {
                 engine.recompute_columns(&io, z, 0, cm_span)?;
@@ -398,22 +392,21 @@ impl PglPool {
         Self::assemble(io, layout, uuid, cfg, mirror)
     }
 
-    /// Opens an existing Pangolin pool, reading mode and geometry from the
-    /// pool header and running crash recovery (redo replay plus parity
-    /// recomputation, paper §3.6).
+    /// Returns the pool-construction builder — the one entry point for
+    /// both creating and opening pools (see [`crate::options`]).
     ///
     /// # Examples
     ///
     /// ```
     /// use std::sync::Arc;
-    /// use pangolin::{CsumPolicy, PglConfig, PglPool};
+    /// use pangolin::{CsumPolicy, PglPool};
     /// use pgl_nvm::{DeviceConfig, NvmDevice};
     ///
-    /// let cfg = PglConfig::small();
-    /// let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::fast()).unwrap());
+    /// let opts = PglPool::options().csum_policy(CsumPolicy::Default);
+    /// let dev = Arc::new(NvmDevice::new(opts.config().pool.size, DeviceConfig::fast()).unwrap());
     ///
     /// // Create a pool, store something, and drop every handle.
-    /// let pool = PglPool::create(dev.clone(), cfg).unwrap();
+    /// let pool = opts.create(dev.clone()).unwrap();
     /// let oid = pool.tx(|tx| {
     ///     let oid = tx.alloc(32, 1)?;
     ///     tx.write(oid, 0, b"survives reopen")?;
@@ -423,10 +416,27 @@ impl PglPool {
     ///
     /// // Reopen from the same device: geometry and mode come from the
     /// // header, crash recovery runs, and the data is still there.
-    /// let pool = PglPool::open(dev, CsumPolicy::Default, false).unwrap();
+    /// let pool = PglPool::options().open(dev).unwrap();
     /// assert_eq!(&pool.read_verified(oid).unwrap()[..15], b"survives reopen");
     /// ```
+    pub fn options() -> crate::options::OpenOptions {
+        crate::options::OpenOptions::new()
+    }
+
+    /// Opens an existing Pangolin pool with positional arguments.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `PglPool::options().csum_policy(..).background_scrub(..).open(dev)`"
+    )]
     pub fn open(dev: Arc<NvmDevice>, policy: CsumPolicy, background_scrub: bool) -> Result<Self> {
+        Self::options().csum_policy(policy).background_scrub(background_scrub).open(dev)
+    }
+
+    /// Opens an existing Pangolin pool, reading mode and geometry from the
+    /// pool header and running crash recovery (redo replay plus parity
+    /// recomputation, paper §3.6). `opts` contributes only the run-time
+    /// knobs: checksum policy, background scrubbing and parity thresholds.
+    pub(crate) fn open_with(dev: Arc<NvmDevice>, opts: &PglConfig) -> Result<Self> {
         let io = PoolIo::new(dev);
         let hdr = read_header(&io).map_err(PglError::from)?;
         let mut pool_cfg = pgl_pmemobj::PoolConfig {
@@ -448,18 +458,14 @@ impl PglPool {
         let cfg = PglConfig {
             pool: pool_cfg,
             mode,
-            policy,
-            hybrid_threshold: 8 << 10,
-            parity_lock_granule: 8 << 10,
-            background_scrub,
+            policy: opts.policy,
+            hybrid_threshold: opts.hybrid_threshold,
+            parity_lock_granule: opts.parity_lock_granule,
+            background_scrub: opts.background_scrub,
         };
         cfg.validate().map_err(PglError::Config)?;
         let layout = Layout::new(pool_cfg).map_err(PglError::from)?;
-        let mirror = if mode.replicates_logs() {
-            LogMirror::SameDevice
-        } else {
-            LogMirror::None
-        };
+        let mirror = if mode.replicates_logs() { LogMirror::SameDevice } else { LogMirror::None };
         // Crash recovery must run before the heap scan.
         let parity = mode
             .has_parity()
@@ -632,11 +638,7 @@ impl PglPool {
     /// Returns the current root OID (null if none).
     pub fn root_oid(&self) -> Result<PMEMoid> {
         let hdr = read_header(&self.inner.io).map_err(PglError::from)?;
-        Ok(if hdr.root_off == 0 {
-            OID_NULL
-        } else {
-            PMEMoid::new(self.inner.uuid, hdr.root_off)
-        })
+        Ok(if hdr.root_off == 0 { OID_NULL } else { PMEMoid::new(self.inner.uuid, hdr.root_off) })
     }
 
     /// `pgl_get`: direct object read without checksum verification (unless
@@ -646,11 +648,20 @@ impl PglPool {
         self.inner.direct_read(oid, off, dst)
     }
 
-    /// Typed `pgl_get`.
+    /// Typed `pgl_get`. Reads straight into a stack value — no heap
+    /// buffer on this hot path.
     pub fn read_pod<T: Pod>(&self, oid: PMEMoid, off: u64) -> Result<T> {
-        let mut buf = vec![0u8; std::mem::size_of::<T>()];
-        self.read(oid, off, &mut buf)?;
-        Ok(from_bytes(&buf))
+        let mut v = pgl_nvm::pod::zeroed::<T>();
+        self.read(oid, off, pgl_nvm::pod::bytes_of_mut(&mut v))?;
+        Ok(v)
+    }
+
+    /// The object's header metadata `(user size, type number)`, with
+    /// media recovery (used by the typed layer's debug brand checks).
+    pub(crate) fn obj_meta(&self, oid: PMEMoid) -> Result<(u64, u32)> {
+        self.check_oid(oid)?;
+        let h = self.inner.obj_header_checked(oid)?;
+        Ok((h.size, h.type_num))
     }
 
     /// Reads the whole object with checksum verification (and online

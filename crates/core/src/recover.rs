@@ -53,9 +53,8 @@ pub fn crash_recover(
                         dirty.push((e.off, e.payload.len() as u64));
                     }
                     EntryKind::AllocIntent => {
-                        let len = u64::from_le_bytes(
-                            e.payload[..8].try_into().expect("intent payload"),
-                        );
+                        let len =
+                            u64::from_le_bytes(e.payload[..8].try_into().expect("intent payload"));
                         dirty.push((e.off, len));
                     }
                     EntryKind::Commit => {}
@@ -166,10 +165,8 @@ pub fn repair_page_by_compare(io: &PoolIo, engine: &ParityEngine, off: u64) -> R
 
 fn write_repair_record(io: &PoolIo, layout: &Layout, page_off: u64) -> Result<()> {
     for base in [layout.hdr_off, layout.hdr_replica_off] {
-        io.write(base + REPAIR_RECORD_OFF, &REPAIR_MAGIC.to_le_bytes())
-            .map_err(PglError::from)?;
-        io.write(base + REPAIR_RECORD_OFF + 8, &page_off.to_le_bytes())
-            .map_err(PglError::from)?;
+        io.write(base + REPAIR_RECORD_OFF, &REPAIR_MAGIC.to_le_bytes()).map_err(PglError::from)?;
+        io.write(base + REPAIR_RECORD_OFF + 8, &page_off.to_le_bytes()).map_err(PglError::from)?;
         io.persist(base + REPAIR_RECORD_OFF, 16).map_err(PglError::from)?;
     }
     Ok(())
@@ -234,11 +231,8 @@ impl Inner {
 
         // Pool header pages repair from their redundant copy.
         if page_off < layout.lanes_off {
-            let other = if page_off == layout.hdr_off {
-                layout.hdr_replica_off
-            } else {
-                layout.hdr_off
-            };
+            let other =
+                if page_off == layout.hdr_off { layout.hdr_replica_off } else { layout.hdr_off };
             let mut buf = vec![0u8; PAGE_SIZE];
             self.io.read(other, &mut buf).map_err(|e| {
                 PglError::Unrecoverable(format!("both pool header pages lost: {e}"))
@@ -295,10 +289,7 @@ impl Inner {
         self.io.read(mirror_off, &mut buf).map_err(|e| {
             PglError::Unrecoverable(format!("both log copies lost at {page_off:#x}: {e}"))
         })?;
-        self.io
-            .dev()
-            .repair_page(page_off / PAGE_SIZE as u64, &buf)
-            .map_err(PglError::from)?;
+        self.io.dev().repair_page(page_off / PAGE_SIZE as u64, &buf).map_err(PglError::from)?;
         Ok(())
     }
 
@@ -332,7 +323,10 @@ impl Inner {
         // Re-verify the object end to end.
         let mut hdr_buf = [0u8; 16];
         self.io.read(oid.header_off(), &mut hdr_buf).map_err(|e| {
-            PglError::Unrecoverable(format!("object at {:#x} unreadable after repair: {e}", oid.off))
+            PglError::Unrecoverable(format!(
+                "object at {:#x} unreadable after repair: {e}",
+                oid.off
+            ))
         })?;
         let hdr: pgl_pmemobj::ObjectHeader = pgl_nvm::pod::from_bytes(&hdr_buf);
         if hdr.size == 0 || oid.off + hdr.size > start + len {
@@ -354,5 +348,4 @@ impl Inner {
         }
         Ok(())
     }
-
 }

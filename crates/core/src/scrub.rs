@@ -241,11 +241,7 @@ fn scrub_one_object(
 /// fail on a dead slot. Returns `true` if the object was repaired,
 /// `false` if it churned away (counted as skipped); real recovery
 /// failures on still-live objects propagate.
-fn recover_unless_churned(
-    inner: &Inner,
-    oid: PMEMoid,
-    report: &mut ScrubReport,
-) -> Result<bool> {
+fn recover_unless_churned(inner: &Inner, oid: PMEMoid, report: &mut ScrubReport) -> Result<bool> {
     match inner.recover_object(oid) {
         Ok(()) => {
             report.objects_repaired += 1;

@@ -24,12 +24,12 @@
 
 use std::collections::HashMap;
 
+use pgl_nvm::pod::{bytes_of, Pod};
 use pgl_pmemobj::heap::run::{ChunkMeta, ChunkType};
 use pgl_pmemobj::heap::{AllocReservation, FreeReservation, MetaOp};
 use pgl_pmemobj::lane::LaneHandle;
 use pgl_pmemobj::ulog::EntryKind;
 use pgl_pmemobj::{ObjError, PMEMoid, OBJ_HEADER_SIZE};
-use pgl_nvm::pod::{bytes_of, Pod};
 
 pub use pgl_pmemobj::TxStats;
 
@@ -103,11 +103,7 @@ fn grow_log(
 ) -> Result<()> {
     let chunk_size = inner.layout.cfg.chunk_size as u64;
     let primary = claim_log_chunk(inner)?;
-    let replica = if inner.mode.replicates_logs() {
-        Some(claim_log_chunk(inner)?)
-    } else {
-        None
-    };
+    let replica = if inner.mode.replicates_logs() { Some(claim_log_chunk(inner)?) } else { None };
     let log_cm = ChunkMeta::new(ChunkType::Log, 0, 1).to_bytes();
     let both = [Some(primary), replica];
     if inner.mode.has_parity() {
@@ -149,10 +145,7 @@ fn release_log_chunks(
                 // for it, so the transition is consistent.
                 inner.io.set(lc.base, 0, chunk_size).map_err(PglError::from)?;
                 inner.io.persist(lc.base, chunk_size).map_err(PglError::from)?;
-                inner.protected_write(
-                    inner.layout.cm_entry_off(lc.zone, lc.chunk),
-                    &free_cm,
-                )?;
+                inner.protected_write(inner.layout.cm_entry_off(lc.zone, lc.chunk), &free_cm)?;
             } else {
                 let cm_off = inner.layout.cm_entry_off(lc.zone, lc.chunk);
                 inner.io.write(cm_off, &free_cm).map_err(PglError::from)?;
@@ -224,10 +217,7 @@ impl<'p> PglTx<'p> {
             let n = SPARSE_BLOCK.min(size - start) as usize;
             buf[n..].fill(0);
             self.inner.read_with_recovery(oid.off + start, &mut buf[..n])?;
-            self.sparse
-                .get_mut(&oid.off)
-                .expect("exists")
-                .install_block(b, &buf);
+            self.sparse.get_mut(&oid.off).expect("exists").install_block(b, &buf);
         }
         if self.inner.mode.has_checksums() {
             // Sparse opens skip verification: the bytes read count as
@@ -354,7 +344,10 @@ impl<'p> PglTx<'p> {
     /// returns micro-buffered content when present (isolation) and
     /// otherwise reads NVMM directly without checksum verification (unless
     /// the pool runs the Conservative policy).
-    pub fn read(&mut self, oid: PMEMoid, off: u64, dst: &mut [u8]) -> Result<()> {
+    ///
+    /// Takes `&self`: reads never mutate transaction state, so read-only
+    /// helpers compose with mutable access to other parts of the caller.
+    pub fn read(&self, oid: PMEMoid, off: u64, dst: &mut [u8]) -> Result<()> {
         self.check_oid(oid)?;
         if let Some(b) = self.ubufs.get(&oid.off) {
             let o = off as usize;
@@ -372,15 +365,16 @@ impl<'p> PglTx<'p> {
         self.inner.direct_read(oid, off, dst)
     }
 
-    /// Typed read.
-    pub fn read_pod<T: Pod>(&mut self, oid: PMEMoid, off: u64) -> Result<T> {
-        let mut buf = vec![0u8; std::mem::size_of::<T>()];
-        self.read(oid, off, &mut buf)?;
-        Ok(pgl_nvm::pod::from_bytes(&buf))
+    /// Typed read. Reads straight into a stack value — no heap buffer on
+    /// this hot path.
+    pub fn read_pod<T: Pod>(&self, oid: PMEMoid, off: u64) -> Result<T> {
+        let mut v = pgl_nvm::pod::zeroed::<T>();
+        self.read(oid, off, pgl_nvm::pod::bytes_of_mut(&mut v))?;
+        Ok(v)
     }
 
     /// Returns the object's user size.
-    pub fn obj_size(&mut self, oid: PMEMoid) -> Result<u64> {
+    pub fn obj_size(&self, oid: PMEMoid) -> Result<u64> {
         self.check_oid(oid)?;
         if let Some(b) = self.ubufs.get(&oid.off) {
             return Ok(b.user_size() as u64);
@@ -389,6 +383,39 @@ impl<'p> PglTx<'p> {
             return Ok(sb.user_size());
         }
         Ok(self.inner.obj_header_checked(oid)?.size)
+    }
+
+    /// Debug-build verification that a typed handle's brand matches the
+    /// object it points at. `size == 0` skips the size/type check (array
+    /// handles, whose length is a run-time property). Release builds
+    /// compile this to nothing, keeping the typed layer zero-cost.
+    #[cfg_attr(not(debug_assertions), allow(unused_variables))]
+    pub(crate) fn typed_check(&self, oid: PMEMoid, size: u64, type_num: Option<u32>) -> Result<()> {
+        #[cfg(debug_assertions)]
+        {
+            self.check_oid(oid)?;
+            let (actual_size, actual_ty) = if let Some(b) = self.ubufs.get(&oid.off) {
+                (b.user_size() as u64, b.header().type_num)
+            } else if let Some(sb) = self.sparse.get(&oid.off) {
+                (sb.user_size(), sb.header().type_num)
+            } else {
+                let h = self.inner.obj_header_checked(oid)?;
+                (h.size, h.type_num)
+            };
+            if size != 0 {
+                debug_assert!(
+                    actual_size == size && type_num.is_none_or(|t| t == actual_ty),
+                    "typed handle mismatch: object at {:#x} is {} bytes of type {}, \
+                     the handle expects {} bytes of type {:?}",
+                    oid.off,
+                    actual_size,
+                    actual_ty,
+                    size,
+                    type_num
+                );
+            }
+        }
+        Ok(())
     }
 
     /// Direct mutable access to the object's micro-buffer (paper-style
@@ -460,12 +487,8 @@ impl<'p> PglTx<'p> {
         // (2) Refresh checksums: full micro-buffers and sparse shadows both
         // update incrementally from the modified ranges (paper §3.5).
         if csums {
-            let sparse_offs: Vec<u64> = self
-                .sparse
-                .iter()
-                .filter(|(_, sb)| sb.is_modified())
-                .map(|(o, _)| *o)
-                .collect();
+            let sparse_offs: Vec<u64> =
+                self.sparse.iter().filter(|(_, sb)| sb.is_modified()).map(|(o, _)| *o).collect();
             for off in sparse_offs {
                 let sb = self.sparse.get(&off).expect("exists");
                 let total = sb.user_size();
@@ -501,12 +524,11 @@ impl<'p> PglTx<'p> {
                         let ranges: Vec<(u64, u64)> = b.modified().iter().collect();
                         for (roff, rlen) in ranges {
                             let mut old = vec![0u8; rlen as usize];
-                            inner
-                                .io
-                                .read(b.oid().off + roff, &mut old)
-                                .map_err(|e| PglError::Unrecoverable(format!(
+                            inner.io.read(b.oid().off + roff, &mut old).map_err(|e| {
+                                PglError::Unrecoverable(format!(
                                     "media error during commit (old-data read): {e}"
-                                )))?;
+                                ))
+                            })?;
                             let new = &b.user()[roff as usize..(roff + rlen) as usize];
                             c = adler32_update(c, total, roff, &old, new);
                         }
@@ -628,14 +650,7 @@ impl<'p> PglTx<'p> {
             .collect();
         for op in &ops {
             let (kind, off, payload) = op.encode();
-            append_with_overflow(
-                inner,
-                &mut self.lane,
-                &mut self.log_chunks,
-                kind,
-                off,
-                &payload,
-            )?;
+            append_with_overflow(inner, &mut self.lane, &mut self.log_chunks, kind, off, &payload)?;
             logged = true;
         }
         if logged || !new_offs.is_empty() {
@@ -659,9 +674,8 @@ impl<'p> PglTx<'p> {
         // object entirely-before or entirely-after this transaction.
         // Failures past the commit point cannot abort; recovery would
         // replay the redo log, so report them as unrecoverable here.
-        let fatal = |e: PglError| {
-            PglError::Unrecoverable(format!("failure after commit point: {e}"))
-        };
+        let fatal =
+            |e: PglError| PglError::Unrecoverable(format!("failure after commit point: {e}"));
         for off in &self.order {
             if let Some(sb) = self.sparse.get(off) {
                 if !sb.is_modified() {
@@ -701,14 +715,10 @@ impl<'p> PglTx<'p> {
                 .map_err(fatal)?;
             for (roff, rlen) in b.modified().iter() {
                 let data = &b.user()[roff as usize..(roff + rlen) as usize];
-                inner
-                    .protected_write_locked(&guard, b.oid().off + roff, data)
-                    .map_err(fatal)?;
+                inner.protected_write_locked(&guard, b.oid().off + roff, data).map_err(fatal)?;
             }
             let h = b.header();
-            inner
-                .protected_write_locked(&guard, b.header_off(), bytes_of(&h))
-                .map_err(fatal)?;
+            inner.protected_write_locked(&guard, b.header_off(), bytes_of(&h)).map_err(fatal)?;
         }
 
         // (7) Publish allocator metadata (parity-aware), invalidate the

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use pangolin::{CsumPolicy, PglConfig, PglError, PglMode, PglPool};
+use pangolin::{PglConfig, PglError, PglMode, PglPool};
 use pgl_nvm::{DeviceConfig, NvmDevice};
 
 fn pool_with(mode: PglMode) -> PglPool {
@@ -128,7 +128,7 @@ fn reopen_recovers_everything() {
         .unwrap();
     drop(pool);
 
-    let pool = PglPool::open(dev, CsumPolicy::Default, false).unwrap();
+    let pool = PglPool::options().open(dev).unwrap();
     assert_eq!(pool.mode(), PglMode::Mlpc, "mode restored from header");
     let root = pool.root_oid().unwrap();
     let off: u64 = pool.read_pod(root, 0).unwrap();

@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use pangolin::{inject, CsumPolicy, PglConfig, PglPool, PMEMoid};
+use pangolin::{inject, CsumPolicy, PMEMoid, PglConfig, PglPool};
 use pgl_nvm::{DeviceConfig, NvmDevice};
 
 fn big_pool() -> PglPool {
@@ -128,10 +128,7 @@ fn background_scrubber_coexists_with_writers() {
         }
         std::thread::sleep(std::time::Duration::from_millis(10));
     }
-    assert!(
-        pool.counters().scrubs.load(Ordering::Relaxed) >= 1,
-        "background scrub passes ran"
-    );
+    assert!(pool.counters().scrubs.load(Ordering::Relaxed) >= 1, "background scrub passes ran");
     assert!(pool.verify_parity().unwrap());
     assert!(pool.find_corrupt_objects().unwrap().is_empty());
 }
@@ -191,10 +188,7 @@ fn stress_mixed_txns_across_threads_keep_parity_clean() {
         }
     });
     let mismatches = pool.verify_parity_detailed().unwrap();
-    assert!(
-        mismatches.is_empty(),
-        "parity mismatches after 4x300 mixed txns: {mismatches:?}"
-    );
+    assert!(mismatches.is_empty(), "parity mismatches after 4x300 mixed txns: {mismatches:?}");
     assert!(pool.find_corrupt_objects().unwrap().is_empty());
     assert!(
         pool.counters().commits.load(Ordering::Relaxed) >= 1000,

@@ -12,7 +12,7 @@
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
-use pangolin::{CsumPolicy, PglConfig, PglPool, PMEMoid};
+use pangolin::{PMEMoid, PglConfig, PglPool};
 use pgl_nvm::{CrashPoint, DeviceConfig, NvmDevice, RandomPlan};
 
 const OBJ_SIZE: u64 = 192;
@@ -49,12 +49,8 @@ fn crash_at(
     }
     drop(pool);
     dev.simulate_crash(&mut RandomPlan::seeded(seed));
-    let pool =
-        PglPool::open(dev, CsumPolicy::Default, false).expect("recovery must always succeed");
-    assert!(
-        pool.verify_parity().unwrap(),
-        "parity invariant broken after crash at op {k}"
-    );
+    let pool = PglPool::options().open(dev).expect("recovery must always succeed");
+    assert!(pool.verify_parity().unwrap(), "parity invariant broken after crash at op {k}");
     assert!(
         pool.find_corrupt_objects().unwrap().is_empty(),
         "corrupt object after crash at op {k}"
@@ -105,19 +101,14 @@ fn alloc_and_link_tx_atomic_at_every_crash_point() {
     let verify = |pool: &PglPool, _root: PMEMoid| {
         let root = pool.root_oid().unwrap();
         let link: u64 = pool.read_pod(root, 0).unwrap();
-        let nodes: Vec<_> = pool
-            .live_objects()
-            .unwrap()
-            .into_iter()
-            .filter(|(_, h)| h.type_num == 2)
-            .collect();
+        let nodes: Vec<_> =
+            pool.live_objects().unwrap().into_iter().filter(|(_, h)| h.type_num == 2).collect();
         if link == 0 {
             assert!(nodes.is_empty(), "unlinked node visible after recovery");
         } else {
             assert_eq!(nodes.len(), 1);
             assert_eq!(nodes[0].0.off, link);
-            let data =
-                pool.read_verified(PMEMoid::new(pool.uuid(), link)).unwrap();
+            let data = pool.read_verified(PMEMoid::new(pool.uuid(), link)).unwrap();
             assert_eq!(data, vec![0xCD; 64]);
         }
         // Allocator must remain usable.
@@ -182,13 +173,8 @@ fn multi_object_tx_atomic_at_sampled_crash_points() {
         .unwrap()
     };
     let work = |pool: &PglPool, a: PMEMoid| {
-        let b_off = pool
-            .live_objects()
-            .unwrap()
-            .into_iter()
-            .find(|(_, h)| h.type_num == 2)
-            .unwrap()
-            .0;
+        let b_off =
+            pool.live_objects().unwrap().into_iter().find(|(_, h)| h.type_num == 2).unwrap().0;
         pool.tx(|tx| {
             tx.write(a, 0, &[11; 64])?;
             tx.write(b_off, 0, &[22; 64])?;
@@ -201,13 +187,7 @@ fn multi_object_tx_atomic_at_sampled_crash_points() {
     let verify = |pool: &PglPool, a: PMEMoid| {
         let a = PMEMoid::new(pool.uuid(), a.off);
         let da = pool.read_verified(a).unwrap();
-        let b = pool
-            .live_objects()
-            .unwrap()
-            .into_iter()
-            .find(|(_, h)| h.type_num == 2)
-            .unwrap()
-            .0;
+        let b = pool.live_objects().unwrap().into_iter().find(|(_, h)| h.type_num == 2).unwrap().0;
         let db = pool.read_verified(PMEMoid::new(pool.uuid(), b.off)).unwrap();
         let c_exists = pool.live_objects().unwrap().iter().any(|(_, h)| h.type_num == 3);
         let committed = da[0] == 11;
@@ -265,7 +245,7 @@ fn crash_then_media_error_still_recovers() {
     dev.disarm_crash();
     drop(pool);
     dev.simulate_crash(&mut RandomPlan::seeded(99));
-    let pool = PglPool::open(dev.clone(), CsumPolicy::Default, false).unwrap();
+    let pool = PglPool::options().open(dev.clone()).unwrap();
     assert!(pool.verify_parity().unwrap());
 
     // Now lose the object's page entirely.

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use pangolin::{inject, CsumPolicy, PglConfig, PglError, PglMode, PglPool, PMEMoid};
+use pangolin::{inject, CsumPolicy, PMEMoid, PglConfig, PglError, PglMode, PglPool};
 use pgl_nvm::{DeviceConfig, NvmDevice, PAGE_SIZE};
 
 fn pool() -> PglPool {
@@ -86,9 +86,7 @@ fn scribble_on_object_detected_and_repaired_at_open() {
     let data = pool.read_verified(oid).unwrap();
     assert_eq!(data, vec![0xAB; 300], "scribble undone from parity");
     assert!(pool.verify_parity().unwrap());
-    assert!(
-        pool.counters().object_recoveries.load(std::sync::atomic::Ordering::Relaxed) >= 1
-    );
+    assert!(pool.counters().object_recoveries.load(std::sync::atomic::Ordering::Relaxed) >= 1);
 }
 
 #[test]
@@ -228,9 +226,11 @@ fn failures_in_different_columns_all_recover() {
     let b = make_object(&pool, PAGE_SIZE as u64, 0xB2);
     let pa = a.off / PAGE_SIZE as u64;
     let pb = b.off / PAGE_SIZE as u64;
-    assert_ne!(pa % (pool.layout().zone.row_size / PAGE_SIZE as u64),
-               pb % (pool.layout().zone.row_size / PAGE_SIZE as u64),
-               "test objects should land in different columns");
+    assert_ne!(
+        pa % (pool.layout().zone.row_size / PAGE_SIZE as u64),
+        pb % (pool.layout().zone.row_size / PAGE_SIZE as u64),
+        "test objects should land in different columns"
+    );
     pool.io().dev().poison_page(pa).unwrap();
     pool.io().dev().poison_page(pb).unwrap();
     assert_eq!(pool.read_verified(a).unwrap(), vec![0xA1; PAGE_SIZE]);
@@ -282,8 +282,7 @@ fn repeated_inject_repair_cycles() {
     // The paper's §4.6 experiment: repeatedly corrupt random-ish victims
     // and verify the pool always heals.
     let pool = pool();
-    let objs: Vec<PMEMoid> =
-        (0..10).map(|i| make_object(&pool, 200 + i * 40, i as u8)).collect();
+    let objs: Vec<PMEMoid> = (0..10).map(|i| make_object(&pool, 200 + i * 40, i as u8)).collect();
     for round in 0..20usize {
         let victim = objs[round % objs.len()];
         if round % 2 == 0 {

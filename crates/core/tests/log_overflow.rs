@@ -6,7 +6,7 @@
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
-use pangolin::{CsumPolicy, PglConfig, PglPool, PMEMoid};
+use pangolin::{PMEMoid, PglConfig, PglPool};
 use pgl_nvm::{CrashPoint, DeviceConfig, NvmDevice, RandomPlan};
 
 /// A transaction whose redo payload far exceeds the 128 KiB test lane.
@@ -85,7 +85,7 @@ fn overflow_tx_is_atomic_across_crashes() {
         }
         drop(pool);
         dev.simulate_crash(&mut RandomPlan::seeded(k));
-        let pool = PglPool::open(dev, CsumPolicy::Default, false).unwrap();
+        let pool = PglPool::options().open(dev).unwrap();
         assert!(pool.verify_parity().unwrap(), "parity broken after crash at {k}");
         let first = pool.read_verified(PMEMoid::new(pool.uuid(), oids[0].off)).unwrap();
         let committed = first == vec![0xEE; 512];
@@ -127,13 +127,10 @@ fn overflow_chunks_lost_pages_recover_from_replica() {
     dev2.disarm_crash();
     drop(pool2);
     dev2.simulate_crash(&mut RandomPlan::seeded(1234));
-    let pool2 = PglPool::open(dev2, CsumPolicy::Default, false).unwrap();
+    let pool2 = PglPool::options().open(dev2).unwrap();
     assert!(pool2.verify_parity().unwrap());
     for (i, oid) in oids2.iter().enumerate() {
         let data = pool2.read_verified(PMEMoid::new(pool2.uuid(), oid.off)).unwrap();
-        assert!(
-            data == vec![0xCC; 512] || data == vec![i as u8; 512],
-            "object {i} torn"
-        );
+        assert!(data == vec![0xCC; 512] || data == vec![i as u8; 512], "object {i} torn");
     }
 }

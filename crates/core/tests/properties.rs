@@ -6,17 +6,30 @@
 use std::collections::HashMap as StdMap;
 use std::sync::Arc;
 
-use pangolin::{CsumPolicy, PglConfig, PglError, PglPool, PMEMoid};
+use pangolin::{PMEMoid, PglConfig, PglError, PglPool};
 use pgl_nvm::{DeviceConfig, NvmDevice, RandomPlan};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Action {
-    Alloc { size: u16, fill: u8 },
+    Alloc {
+        size: u16,
+        fill: u8,
+    },
     /// Overwrite a range of the i-th live object (index modulo live count).
-    Write { idx: u8, off: u16, len: u16, fill: u8 },
-    Free { idx: u8 },
-    Abort { idx: u8, fill: u8 },
+    Write {
+        idx: u8,
+        off: u16,
+        len: u16,
+        fill: u8,
+    },
+    Free {
+        idx: u8,
+    },
+    Abort {
+        idx: u8,
+        fill: u8,
+    },
 }
 
 fn action_strategy() -> impl Strategy<Value = Action> {
@@ -30,12 +43,7 @@ fn action_strategy() -> impl Strategy<Value = Action> {
 }
 
 /// Applies actions to both the pool and an in-memory model.
-fn apply(
-    pool: &PglPool,
-    model: &mut StdMap<u64, Vec<u8>>,
-    order: &mut Vec<u64>,
-    action: &Action,
-) {
+fn apply(pool: &PglPool, model: &mut StdMap<u64, Vec<u8>>, order: &mut Vec<u64>, action: &Action) {
     match *action {
         Action::Alloc { size, fill } => {
             let size = size as u64;
@@ -138,7 +146,7 @@ proptest! {
         }
         drop(pool);
         dev.simulate_crash(&mut RandomPlan::seeded(seed));
-        let pool = PglPool::open(dev, CsumPolicy::Default, false).unwrap();
+        let pool = PglPool::options().open(dev).unwrap();
         verify_against_model(&pool, &model);
     }
 

@@ -6,7 +6,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
 use pangolin::txn::SPARSE_THRESHOLD;
-use pangolin::{inject, CsumPolicy, PglConfig, PglPool, PMEMoid};
+use pangolin::{inject, PMEMoid, PglConfig, PglPool};
 use pgl_nvm::{CrashPoint, DeviceConfig, NvmDevice, RandomPlan};
 
 const BIG: u64 = SPARSE_THRESHOLD * 4; // 256 KiB: well into sparse territory
@@ -146,7 +146,7 @@ fn sparse_writes_atomic_at_sampled_crash_points() {
         }
         drop(pool);
         dev.simulate_crash(&mut RandomPlan::seeded(k));
-        let pool = PglPool::open(dev, CsumPolicy::Default, false).unwrap();
+        let pool = PglPool::options().open(dev).unwrap();
         assert!(pool.verify_parity().unwrap(), "parity at crash point {k}");
         let data = pool.read_verified(PMEMoid::new(pool.uuid(), oid.off)).unwrap();
         let a = data[1000] == 0xAB;

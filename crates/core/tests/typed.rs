@@ -1,0 +1,202 @@
+//! Property tests for the typed object API: randomized typed root structs
+//! and `PObj<T>` graphs round-trip through close → crash → reopen → scrub,
+//! and typed reads always agree with an in-memory shadow model while the
+//! pool's checksums and parity stay consistent.
+
+use std::sync::Arc;
+
+use pangolin::typed::PObj;
+use pangolin::{field, impl_ptype, inject, PglPool};
+use pgl_nvm::{DeviceConfig, NvmDevice, RandomPlan};
+use proptest::prelude::*;
+
+const SLOTS: usize = 8;
+
+/// The typed root: counters, a linked list head, and direct child slots.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(C)]
+struct TRoot {
+    magic: u64,
+    list_len: u64,
+    counters: [u64; 4],
+    head: PObj<TNode>,
+    slots: [PObj<TNode>; SLOTS],
+}
+impl_ptype!(TRoot, 192, 21);
+
+/// A graph node: value plus a typed link.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(C)]
+struct TNode {
+    val: u64,
+    tag: u32,
+    pad: u32,
+    next: PObj<TNode>,
+}
+impl_ptype!(TNode, 32, 22);
+
+const MAGIC: u64 = 0x7459_7065_6421; // "typed!"
+
+/// The in-memory shadow of the persistent graph.
+#[derive(Debug, Default, PartialEq)]
+struct Shadow {
+    list: Vec<u64>,
+    slots: [Option<u64>; SLOTS],
+    counters: [u64; 4],
+}
+
+/// Builds the persistent graph from the recipe, mirroring it in a shadow.
+fn build(pool: &PglPool, pushes: &[u64], pops: usize, slot_vals: &[(u8, u64)]) -> Shadow {
+    let mut shadow = Shadow::default();
+    let root: PObj<TRoot> = pool.typed_root().unwrap();
+    pool.tx(|tx| tx.write_at(root, field!(TRoot, magic: u64), &MAGIC)).unwrap();
+
+    // Push-front list construction, one transaction per push (typed alloc
+    // + two field writes).
+    for &v in pushes {
+        pool.tx(|tx| {
+            let head = tx.read_at(root, field!(TRoot, head: PObj<TNode>))?;
+            let node = tx.alloc_obj(&TNode { val: v, tag: v as u32, pad: 0, next: head })?;
+            tx.write_at(root, field!(TRoot, head: PObj<TNode>), &node)?;
+            tx.update_at(root, field!(TRoot, list_len: u64), |n| *n += 1)?;
+            Ok(())
+        })
+        .unwrap();
+        shadow.list.insert(0, v);
+        shadow.counters[0] += 1;
+    }
+    // Pop-front removals exercise free_obj and update.
+    for _ in 0..pops.min(shadow.list.len()) {
+        pool.tx(|tx| {
+            let head = tx.read_at(root, field!(TRoot, head: PObj<TNode>))?;
+            let node = tx.get(head)?;
+            tx.write_at(root, field!(TRoot, head: PObj<TNode>), &node.next)?;
+            tx.update_at(root, field!(TRoot, list_len: u64), |n| *n -= 1)?;
+            tx.free_obj(head)?;
+            Ok(())
+        })
+        .unwrap();
+        shadow.list.remove(0);
+        shadow.counters[1] += 1;
+    }
+    // Direct slot children via whole-object update of the root.
+    for &(slot, v) in slot_vals {
+        let slot = slot as usize % SLOTS;
+        let node = pool
+            .tx(|tx| {
+                let node = tx.alloc_obj(&TNode { val: v, tag: 9, pad: 0, next: PObj::null() })?;
+                let old =
+                    tx.read_at(root, field!(TRoot, slots: [PObj<TNode>; SLOTS]).index(slot))?;
+                if !old.is_null() {
+                    tx.free_obj(old)?;
+                }
+                tx.write_at(root, field!(TRoot, slots: [PObj<TNode>; SLOTS]).index(slot), &node)?;
+                Ok(node)
+            })
+            .unwrap();
+        assert!(!node.is_null());
+        shadow.slots[slot] = Some(v);
+        shadow.counters[2] += 1;
+    }
+    // Mirror the op counters into persistent state in one typed update.
+    pool.tx(|tx| {
+        tx.update(root, |r| r.counters = shadow.counters)?;
+        Ok(())
+    })
+    .unwrap();
+    shadow
+}
+
+/// Verifies the persistent graph against the shadow using only typed,
+/// checksum-verified reads.
+fn verify(pool: &PglPool, shadow: &Shadow) {
+    let root: PObj<TRoot> = pool.root_obj().unwrap().expect("root exists");
+    let r = pool.get_verified(root).unwrap();
+    assert_eq!(r.magic, MAGIC, "root magic");
+    assert_eq!(r.counters, shadow.counters, "root counters");
+    assert_eq!(r.list_len as usize, shadow.list.len(), "list length field");
+
+    let mut got = Vec::new();
+    let mut cur = r.head;
+    while !cur.is_null() {
+        let node = pool.get_verified(cur).unwrap();
+        assert_eq!(node.tag as u64, node.val & 0xFFFF_FFFF, "node tag brand");
+        got.push(node.val);
+        cur = node.next;
+    }
+    assert_eq!(got, shadow.list, "list contents");
+
+    for (i, want) in shadow.slots.iter().enumerate() {
+        let h = r.slots[i];
+        match want {
+            None => assert!(h.is_null(), "slot {i} should be empty"),
+            Some(v) => {
+                assert_eq!(pool.get_verified(h).unwrap().val, *v, "slot {i} value");
+            }
+        }
+    }
+
+    // Global invariants: every object checksums clean, parity holds.
+    assert!(pool.verify_parity().unwrap(), "parity invariant");
+    assert!(pool.find_corrupt_objects().unwrap().is_empty(), "checksum sweep");
+}
+
+fn recipe() -> impl Strategy<Value = (Vec<u64>, usize, Vec<(u8, u64)>)> {
+    (
+        proptest::collection::vec(any::<u64>(), 1..16),
+        0usize..8,
+        proptest::collection::vec((any::<u8>(), any::<u64>()), 0..8),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn typed_graphs_roundtrip_close_reopen_scrub(
+        r in recipe(),
+        crash_seed in any::<u64>(),
+    ) {
+        let (pushes, pops, slot_vals) = r.clone();
+        // Precise device: committed typed state must survive a crash with
+        // randomized eviction outcomes.
+        let opts = PglPool::options();
+        let dev = Arc::new(
+            NvmDevice::new(opts.config().pool.size, DeviceConfig::precise()).unwrap(),
+        );
+        let pool = opts.create(dev.clone()).unwrap();
+        let shadow = build(&pool, &pushes, pops, &slot_vals);
+        verify(&pool, &shadow);
+
+        // Close, crash, reopen through the builder, scrub, re-verify.
+        drop(pool);
+        dev.simulate_crash(&mut RandomPlan::seeded(crash_seed));
+        let pool = PglPool::options().open(dev).unwrap();
+        pool.scrub_now().unwrap();
+        verify(&pool, &shadow);
+    }
+
+    #[test]
+    fn typed_reads_heal_through_corruption(
+        r in recipe(),
+        victim_pick in any::<u64>(),
+    ) {
+        let (pushes, pops, slot_vals) = r.clone();
+        let opts = PglPool::options();
+        let dev = Arc::new(
+            NvmDevice::new(opts.config().pool.size, DeviceConfig::fast()).unwrap(),
+        );
+        let pool = opts.create(dev).unwrap();
+        let shadow = build(&pool, &pushes, pops, &slot_vals);
+
+        // Scribble one live object and poison another's page; verified
+        // typed reads and the scrubber must heal both.
+        let live = pool.live_objects().unwrap();
+        let a = live[(victim_pick as usize) % live.len()].0;
+        let b = live[(victim_pick as usize / 7) % live.len()].0;
+        inject::scribble_object(&pool, a, 0, 8, 0x5A).unwrap();
+        inject::poison_object_page(&pool, b).unwrap();
+        pool.scrub_now().unwrap();
+        verify(&pool, &shadow);
+    }
+}

@@ -5,9 +5,9 @@
 //! the classic rebalance-before-descend algorithm (borrow from a sibling or
 //! merge), so every visited node has at least `t` items before descending.
 
-use pgl_nvm::impl_pod;
-use pgl_nvm::pod::{bytes_of, from_bytes};
-use pgl_pmemobj::{PMEMoid, OID_NULL};
+use pangolin::typed::PObj;
+use pangolin::{field, impl_pod, impl_ptype};
+use pgl_pmemobj::PMEMoid;
 
 use crate::maps::PersistentMap;
 use crate::store::{KvError, KvResult, Store, TxOps};
@@ -19,10 +19,6 @@ const TYPE_NODE: u32 = 121;
 const T: usize = 4;
 const MAX_ITEMS: usize = 2 * T - 1; // 7
 const MIN_ITEMS: usize = T - 1; // 3
-
-/// Anchor: `{count, root}`.
-const ANCHOR_SIZE: u64 = 24;
-const ROOT_OFF: u64 = 8;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[repr(C)]
@@ -40,15 +36,22 @@ impl_pod!(Item, 24);
 struct BNode {
     n: u64,
     items: [Item; MAX_ITEMS],
-    children: [PMEMoid; 2 * T],
+    children: [PObj<BNode>; 2 * T],
 }
-impl_pod!(BNode, 304);
+impl_ptype!(BNode, 304, TYPE_NODE);
 
-const NODE_SIZE: u64 = 304;
+/// Anchor: `{count, root}` = 24 bytes.
+#[derive(Clone, Copy, Default)]
+#[repr(C)]
+struct BAnchor {
+    count: u64,
+    root: PObj<BNode>,
+}
+impl_ptype!(BAnchor, 24, TYPE_ANCHOR);
 
 impl BNode {
     fn empty() -> BNode {
-        BNode { n: 0, items: [Item::default(); MAX_ITEMS], children: [OID_NULL; 2 * T] }
+        BNode { n: 0, items: [Item::default(); MAX_ITEMS], children: [PObj::null(); 2 * T] }
     }
 
     fn is_leaf(&self) -> bool {
@@ -76,7 +79,7 @@ impl BNode {
         it
     }
 
-    fn insert_child_at(&mut self, i: usize, c: PMEMoid) {
+    fn insert_child_at(&mut self, i: usize, c: PObj<BNode>) {
         let n = self.n as usize; // called after the item insert
         self.children.copy_within(i..n, i + 1);
         self.children[i] = c;
@@ -84,7 +87,7 @@ impl BNode {
 
     /// Removes `children[i]`; must run before the paired item removal so
     /// `n` still reflects the old item count (children are `0..=n`).
-    fn remove_child_at(&mut self, i: usize) -> PMEMoid {
+    fn remove_child_at(&mut self, i: usize) -> PObj<BNode> {
         let c = self.children[i];
         let n = self.n as usize;
         self.children.copy_within(i + 1..=n, i);
@@ -92,14 +95,12 @@ impl BNode {
     }
 }
 
-fn read_node(tx: &mut dyn TxOps, oid: PMEMoid) -> KvResult<BNode> {
-    let mut buf = [0u8; NODE_SIZE as usize];
-    tx.read_bytes(oid, 0, &mut buf)?;
-    Ok(from_bytes(&buf))
+fn read_node(tx: &mut dyn TxOps, h: PObj<BNode>) -> KvResult<BNode> {
+    tx.get_obj(h)
 }
 
-fn write_node(tx: &mut dyn TxOps, oid: PMEMoid, node: &BNode) -> KvResult<()> {
-    tx.write_bytes(oid, 0, bytes_of(node))
+fn write_node(tx: &mut dyn TxOps, h: PObj<BNode>, node: &BNode) -> KvResult<()> {
+    tx.set_obj(h, node)
 }
 
 /// The order-8 B-tree map.
@@ -108,26 +109,27 @@ pub struct BTree {
 }
 
 impl BTree {
-    fn bump_count(tx: &mut dyn TxOps, anchor: PMEMoid, delta: i64) -> KvResult<()> {
-        let mut buf = [0u8; 8];
-        tx.read_bytes(anchor, 0, &mut buf)?;
-        let n = u64::from_le_bytes(buf)
-            .checked_add_signed(delta)
-            .ok_or(KvError::Corrupt("btree count"))?;
-        tx.write_bytes(anchor, 0, &n.to_le_bytes())
+    fn anchor_h(&self) -> PObj<BAnchor> {
+        PObj::from_oid(self.anchor)
+    }
+
+    fn bump_count(tx: &mut dyn TxOps, anchor: PObj<BAnchor>, delta: i64) -> KvResult<()> {
+        let count: u64 = tx.read_at(anchor, field!(BAnchor, count: u64))?;
+        let n = count.checked_add_signed(delta).ok_or(KvError::Corrupt("btree count"))?;
+        tx.write_at(anchor, field!(BAnchor, count: u64), &n)
     }
 
     /// Splits the full child `parent.children[i]`, promoting its median.
     fn split_child(
         tx: &mut dyn TxOps,
-        parent_oid: PMEMoid,
+        parent_h: PObj<BNode>,
         parent: &mut BNode,
         i: usize,
     ) -> KvResult<()> {
-        let child_oid = parent.children[i];
-        let mut child = read_node(tx, child_oid)?;
+        let child_h = parent.children[i];
+        let mut child = read_node(tx, child_h)?;
         debug_assert_eq!(child.n as usize, MAX_ITEMS);
-        let right_oid = tx.alloc_zeroed(NODE_SIZE, TYPE_NODE)?;
+        let right_h = tx.alloc_obj_zeroed::<BNode>()?;
         let mut right = BNode::empty();
         right.n = (T - 1) as u64;
         right.items[..T - 1].copy_from_slice(&child.items[T..]);
@@ -138,11 +140,11 @@ impl BTree {
         child.n = (T - 1) as u64;
 
         parent.insert_item_at(i, median);
-        parent.insert_child_at(i + 1, right_oid);
+        parent.insert_child_at(i + 1, right_h);
 
-        write_node(tx, child_oid, &child)?;
-        write_node(tx, right_oid, &right)?;
-        write_node(tx, parent_oid, parent)
+        write_node(tx, child_h, &child)?;
+        write_node(tx, right_h, &right)?;
+        write_node(tx, parent_h, parent)
     }
 
     /// Ensures `parent.children[i]` has at least `T` items before a
@@ -150,19 +152,19 @@ impl BTree {
     /// child to descend into (it changes when merging leftward).
     fn fix_child(
         tx: &mut dyn TxOps,
-        parent_oid: PMEMoid,
+        parent_h: PObj<BNode>,
         parent: &mut BNode,
         i: usize,
-    ) -> KvResult<PMEMoid> {
-        let child_oid = parent.children[i];
-        let mut child = read_node(tx, child_oid)?;
+    ) -> KvResult<PObj<BNode>> {
+        let child_h = parent.children[i];
+        let mut child = read_node(tx, child_h)?;
         if child.n as usize > MIN_ITEMS {
-            return Ok(child_oid);
+            return Ok(child_h);
         }
         // Borrow from the left sibling.
         if i > 0 {
-            let left_oid = parent.children[i - 1];
-            let mut left = read_node(tx, left_oid)?;
+            let left_h = parent.children[i - 1];
+            let mut left = read_node(tx, left_h)?;
             if left.n as usize > MIN_ITEMS {
                 let moved = left.items[left.n as usize - 1];
                 child.insert_item_at(0, parent.items[i - 1]);
@@ -173,16 +175,16 @@ impl BTree {
                 }
                 left.n -= 1;
                 parent.items[i - 1] = moved;
-                write_node(tx, left_oid, &left)?;
-                write_node(tx, child_oid, &child)?;
-                write_node(tx, parent_oid, parent)?;
-                return Ok(child_oid);
+                write_node(tx, left_h, &left)?;
+                write_node(tx, child_h, &child)?;
+                write_node(tx, parent_h, parent)?;
+                return Ok(child_h);
             }
         }
         // Borrow from the right sibling.
         if i < parent.n as usize {
-            let right_oid = parent.children[i + 1];
-            let mut right = read_node(tx, right_oid)?;
+            let right_h = parent.children[i + 1];
+            let mut right = read_node(tx, right_h)?;
             if right.n as usize > MIN_ITEMS {
                 let n = child.n as usize;
                 child.items[n] = parent.items[i];
@@ -192,18 +194,18 @@ impl BTree {
                 }
                 child.n += 1;
                 parent.items[i] = right.remove_item_at(0);
-                write_node(tx, right_oid, &right)?;
-                write_node(tx, child_oid, &child)?;
-                write_node(tx, parent_oid, parent)?;
-                return Ok(child_oid);
+                write_node(tx, right_h, &right)?;
+                write_node(tx, child_h, &child)?;
+                write_node(tx, parent_h, parent)?;
+                return Ok(child_h);
             }
         }
         // Merge with a sibling.
         if i > 0 {
-            Self::merge_children(tx, parent_oid, parent, i - 1)?;
+            Self::merge_children(tx, parent_h, parent, i - 1)?;
             Ok(parent.children[i - 1])
         } else {
-            Self::merge_children(tx, parent_oid, parent, i)?;
+            Self::merge_children(tx, parent_h, parent, i)?;
             Ok(parent.children[i])
         }
     }
@@ -212,14 +214,14 @@ impl BTree {
     /// `children[i]`, freeing the right node.
     fn merge_children(
         tx: &mut dyn TxOps,
-        parent_oid: PMEMoid,
+        parent_h: PObj<BNode>,
         parent: &mut BNode,
         i: usize,
     ) -> KvResult<()> {
-        let left_oid = parent.children[i];
-        let right_oid = parent.children[i + 1];
-        let mut left = read_node(tx, left_oid)?;
-        let right = read_node(tx, right_oid)?;
+        let left_h = parent.children[i];
+        let right_h = parent.children[i + 1];
+        let mut left = read_node(tx, left_h)?;
+        let right = read_node(tx, right_h)?;
         let ln = left.n as usize;
         let rn = right.n as usize;
         debug_assert!(ln + rn < MAX_ITEMS);
@@ -233,74 +235,70 @@ impl BTree {
         parent.remove_child_at(i + 1);
         parent.remove_item_at(i);
 
-        write_node(tx, left_oid, &left)?;
-        write_node(tx, parent_oid, parent)?;
-        tx.free(right_oid)
+        write_node(tx, left_h, &left)?;
+        write_node(tx, parent_h, parent)?;
+        tx.free_obj(right_h)
     }
 
-    fn find_max(tx: &mut dyn TxOps, mut oid: PMEMoid) -> KvResult<Item> {
+    fn find_max(tx: &mut dyn TxOps, mut h: PObj<BNode>) -> KvResult<Item> {
         loop {
-            let node = read_node(tx, oid)?;
+            let node = read_node(tx, h)?;
             if node.is_leaf() {
                 return Ok(node.items[node.n as usize - 1]);
             }
-            oid = node.children[node.n as usize];
+            h = node.children[node.n as usize];
         }
     }
 
-    fn find_min(tx: &mut dyn TxOps, mut oid: PMEMoid) -> KvResult<Item> {
+    fn find_min(tx: &mut dyn TxOps, mut h: PObj<BNode>) -> KvResult<Item> {
         loop {
-            let node = read_node(tx, oid)?;
+            let node = read_node(tx, h)?;
             if node.is_leaf() {
                 return Ok(node.items[0]);
             }
-            oid = node.children[0];
+            h = node.children[0];
         }
     }
 
     /// Recursive delete; every entered node has at least `T` items (except
     /// the root).
-    fn delete_from(
-        tx: &mut dyn TxOps,
-        node_oid: PMEMoid,
-        key: u64,
-    ) -> KvResult<Option<u64>> {
-        let mut node = read_node(tx, node_oid)?;
+    fn delete_from(tx: &mut dyn TxOps, node_h: PObj<BNode>, key: u64) -> KvResult<Option<u64>> {
+        let mut node = read_node(tx, node_h)?;
         let i = node.lower_bound(key);
         let found = i < node.n as usize && node.items[i].key == key;
         if found {
             let old = node.items[i].value;
             if node.is_leaf() {
                 node.remove_item_at(i);
-                write_node(tx, node_oid, &node)?;
+                write_node(tx, node_h, &node)?;
                 return Ok(Some(old));
             }
-            let left_oid = node.children[i];
-            let right_oid = node.children[i + 1];
-            let left_n = read_node(tx, left_oid)?.n as usize;
+            let left_h = node.children[i];
+            let right_h = node.children[i + 1];
+            let left_n = read_node(tx, left_h)?.n as usize;
             if left_n > MIN_ITEMS {
-                let pred = Self::find_max(tx, left_oid)?;
+                let pred = Self::find_max(tx, left_h)?;
                 node.items[i] = pred;
-                write_node(tx, node_oid, &node)?;
-                Self::delete_from(tx, left_oid, pred.key)?;
+                write_node(tx, node_h, &node)?;
+                Self::delete_from(tx, left_h, pred.key)?;
                 return Ok(Some(old));
             }
-            let right_n = read_node(tx, right_oid)?.n as usize;
+            let right_n = read_node(tx, right_h)?.n as usize;
             if right_n > MIN_ITEMS {
-                let succ = Self::find_min(tx, right_oid)?;
+                let succ = Self::find_min(tx, right_h)?;
                 node.items[i] = succ;
-                write_node(tx, node_oid, &node)?;
-                Self::delete_from(tx, right_oid, succ.key)?;
+                write_node(tx, node_h, &node)?;
+                Self::delete_from(tx, right_h, succ.key)?;
                 return Ok(Some(old));
             }
-            Self::merge_children(tx, node_oid, &mut node, i)?;
+            Self::merge_children(tx, node_h, &mut node, i)?;
             Self::delete_from(tx, node.children[i], key)?;
             return Ok(Some(old));
         }
         if node.is_leaf() {
             return Ok(None);
         }
-        let target = Self::fix_child(tx, node_oid, &mut node, i)?;
+        let target = Self::fix_child(tx, node_h, &mut node, i)?;
         Self::delete_from(tx, target, key)
     }
 }
@@ -309,8 +307,8 @@ impl PersistentMap for BTree {
     const NAME: &'static str = "btree";
 
     fn create<S: Store>(store: &S) -> KvResult<Self> {
-        let anchor = store.txn(&mut |tx| tx.alloc_zeroed(ANCHOR_SIZE, TYPE_ANCHOR))?;
-        Ok(BTree { anchor })
+        let anchor = store.txn(&mut |tx| tx.alloc_obj_zeroed::<BAnchor>())?;
+        Ok(BTree { anchor: anchor.oid() })
     }
 
     fn from_anchor(anchor: PMEMoid) -> Self {
@@ -322,26 +320,27 @@ impl PersistentMap for BTree {
     }
 
     fn insert<S: Store>(&self, store: &S, key: u64, value: u64) -> KvResult<Option<u64>> {
-        let anchor = self.anchor;
+        let anchor = self.anchor_h();
         store.txn(&mut |tx| {
-            let mut root: PMEMoid = tx.read_pod(anchor, ROOT_OFF)?;
+            let root_fld = field!(BAnchor, root: PObj<BNode>);
+            let mut root: PObj<BNode> = tx.read_at(anchor, root_fld)?;
             if root.is_null() {
-                let oid = tx.alloc_zeroed(NODE_SIZE, TYPE_NODE)?;
+                let h = tx.alloc_obj_zeroed::<BNode>()?;
                 let mut node = BNode::empty();
                 node.n = 1;
                 node.items[0] = Item { key, value, pad: 0 };
-                write_node(tx, oid, &node)?;
-                tx.write_pod(anchor, ROOT_OFF, &oid)?;
+                write_node(tx, h, &node)?;
+                tx.write_at(anchor, root_fld, &h)?;
                 Self::bump_count(tx, anchor, 1)?;
                 return Ok(None);
             }
             // Pre-emptive root split.
             if read_node(tx, root)?.n as usize == MAX_ITEMS {
-                let new_root = tx.alloc_zeroed(NODE_SIZE, TYPE_NODE)?;
+                let new_root = tx.alloc_obj_zeroed::<BNode>()?;
                 let mut nr = BNode::empty();
                 nr.children[0] = root;
                 Self::split_child(tx, new_root, &mut nr, 0)?;
-                tx.write_pod(anchor, ROOT_OFF, &new_root)?;
+                tx.write_at(anchor, root_fld, &new_root)?;
                 root = new_root;
             }
             let mut cur = root;
@@ -383,9 +382,10 @@ impl PersistentMap for BTree {
     }
 
     fn remove<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>> {
-        let anchor = self.anchor;
+        let anchor = self.anchor_h();
         store.txn(&mut |tx| {
-            let root: PMEMoid = tx.read_pod(anchor, ROOT_OFF)?;
+            let root_fld = field!(BAnchor, root: PObj<BNode>);
+            let root: PObj<BNode> = tx.read_at(anchor, root_fld)?;
             if root.is_null() {
                 return Ok(None);
             }
@@ -398,18 +398,19 @@ impl PersistentMap for BTree {
             // merge the root's last two children.
             let r = read_node(tx, root)?;
             if r.n == 0 {
-                let new_root = if r.is_leaf() { OID_NULL } else { r.children[0] };
-                tx.write_pod(anchor, ROOT_OFF, &new_root)?;
-                tx.free(root)?;
+                let new_root = if r.is_leaf() { PObj::null() } else { r.children[0] };
+                tx.write_at(anchor, root_fld, &new_root)?;
+                tx.free_obj(root)?;
             }
             Ok(removed)
         })
     }
 
     fn get<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>> {
-        let mut cur: PMEMoid = store.read_pod_direct(self.anchor, ROOT_OFF)?;
+        let mut cur: PObj<BNode> =
+            store.read_at_direct(self.anchor_h(), field!(BAnchor, root: PObj<BNode>))?;
         while !cur.is_null() {
-            let node: BNode = store.read_pod_direct(cur, 0)?;
+            let node: BNode = store.get_obj_direct(cur)?;
             let i = node.lower_bound(key);
             if i < node.n as usize && node.items[i].key == key {
                 return Ok(Some(node.items[i].value));
@@ -428,14 +429,14 @@ impl PersistentMap for BTree {
 pub fn check_invariants<S: Store>(map: &BTree, store: &S) -> KvResult<u64> {
     fn walk<S: Store>(
         store: &S,
-        oid: PMEMoid,
+        h: PObj<BNode>,
         lo: Option<u64>,
         hi: Option<u64>,
         is_root: bool,
         depth: usize,
         leaf_depth: &mut Option<usize>,
     ) -> KvResult<u64> {
-        let node: BNode = store.read_pod_direct(oid, 0)?;
+        let node: BNode = store.get_obj_direct(h)?;
         let n = node.n as usize;
         if n > MAX_ITEMS || (!is_root && n < MIN_ITEMS) || (is_root && n == 0) {
             return Err(KvError::Corrupt("btree: item count out of bounds"));
@@ -457,9 +458,7 @@ pub fn check_invariants<S: Store>(map: &BTree, store: &S) -> KvResult<u64> {
         }
         if node.is_leaf() {
             match leaf_depth {
-                Some(d) if *d != depth => {
-                    return Err(KvError::Corrupt("btree: uneven leaf depth"))
-                }
+                Some(d) if *d != depth => return Err(KvError::Corrupt("btree: uneven leaf depth")),
                 None => *leaf_depth = Some(depth),
                 _ => {}
             }
@@ -469,18 +468,15 @@ pub fn check_invariants<S: Store>(map: &BTree, store: &S) -> KvResult<u64> {
         for i in 0..=n {
             let lo = if i == 0 { lo } else { Some(node.items[i - 1].key) };
             let hi = if i == n { hi } else { Some(node.items[i].key) };
-            total +=
-                walk(store, node.children[i], lo, hi, false, depth + 1, leaf_depth)?;
+            total += walk(store, node.children[i], lo, hi, false, depth + 1, leaf_depth)?;
         }
         Ok(total)
     }
-    let root: PMEMoid = store.read_pod_direct(map.anchor(), ROOT_OFF)?;
+    let root: PObj<BNode> =
+        store.read_at_direct(map.anchor_h(), field!(BAnchor, root: PObj<BNode>))?;
     let mut leaf_depth = None;
-    let n = if root.is_null() {
-        0
-    } else {
-        walk(store, root, None, None, true, 0, &mut leaf_depth)?
-    };
+    let n =
+        if root.is_null() { 0 } else { walk(store, root, None, None, true, 0, &mut leaf_depth)? };
     if n != map.len(store)? {
         return Err(KvError::Corrupt("btree: count mismatch"));
     }

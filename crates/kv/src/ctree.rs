@@ -4,40 +4,50 @@
 //! Layout matches the paper's Table 3: one 56-byte internal node per stored
 //! key (leaves are embedded entries), so "Insert New" is exactly 56 (1.00).
 
-use pgl_nvm::impl_pod;
-use pgl_pmemobj::PMEMoid;
+use pangolin::typed::PObj;
+use pangolin::{field, impl_ptype};
 
 use crate::maps::PersistentMap;
-use crate::store::{slot_value, value_slot, KvError, KvResult, Store, TxOps};
+use crate::store::{KvError, KvResult, Store, TxOps, ValueRef, ValueSlot};
+use pgl_pmemobj::PMEMoid;
 
 const TYPE_ANCHOR: u32 = 100;
 const TYPE_NODE: u32 = 101;
 
-/// `{key, slot}` — a leaf (tagged value slot) or a child pointer.
+/// `{key, slot}` — a leaf (inline value slot) or a child pointer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[repr(C)]
 struct Entry {
     key: u64,
-    slot: PMEMoid,
+    slot: ValueSlot,
 }
-impl_pod!(Entry, 24);
+pangolin::impl_pod!(Entry, 24);
 
-/// Anchor: `{count, root entry}`.
-const ANCHOR_SIZE: u64 = 32;
-const ROOT_OFF: u64 = 8;
+/// Anchor: `{count, root entry}` = 32 bytes.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(C)]
+struct CAnchor {
+    count: u64,
+    root: Entry,
+}
+impl_ptype!(CAnchor, 32, TYPE_ANCHOR);
 
 /// Node: `{diff, pad, entries[2]}` = 56 bytes.
-const NODE_SIZE: u64 = 56;
-const DIFF_OFF: u64 = 0;
-fn entry_off(i: u64) -> u64 {
-    8 + i * 24
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(C)]
+struct CNode {
+    diff: u32,
+    pad: u32,
+    entries: [Entry; 2],
 }
+impl_ptype!(CNode, 56, TYPE_NODE);
 
-/// Where an entry lives: inside the anchor or inside a node.
+/// Where an entry lives: the anchor's root slot or one of a node's two
+/// entry slots.
 #[derive(Debug, Clone, Copy)]
-struct EntryLoc {
-    obj: PMEMoid,
-    off: u64,
+enum EntryLoc {
+    Root(PObj<CAnchor>),
+    Node(PObj<CNode>, usize),
 }
 
 /// The crit-bit tree map.
@@ -46,8 +56,25 @@ pub struct CTree {
 }
 
 impl CTree {
+    fn anchor_h(&self) -> PObj<CAnchor> {
+        PObj::from_oid(self.anchor)
+    }
+
     fn is_leaf(e: &Entry) -> bool {
-        slot_value(e.slot).is_some()
+        e.slot.inline_value().is_some()
+    }
+
+    /// The node an interior entry points at.
+    fn child(e: &Entry) -> KvResult<PObj<CNode>> {
+        match e.slot.decode::<CNode>() {
+            ValueRef::Obj(h) => Ok(h),
+            _ => Err(KvError::Corrupt("ctree: interior entry without a child")),
+        }
+    }
+
+    /// The inline value of a leaf entry.
+    fn leaf_value(e: &Entry) -> KvResult<u64> {
+        e.slot.inline_value().ok_or(KvError::Corrupt("ctree: leaf without a value"))
     }
 
     /// Position of the most significant differing bit.
@@ -56,21 +83,23 @@ impl CTree {
     }
 
     fn read_entry(tx: &mut dyn TxOps, loc: EntryLoc) -> KvResult<Entry> {
-        let mut buf = [0u8; 24];
-        tx.read_bytes(loc.obj, loc.off, &mut buf)?;
-        Ok(pgl_nvm::pod::from_bytes(&buf))
+        match loc {
+            EntryLoc::Root(a) => tx.read_at(a, field!(CAnchor, root: Entry)),
+            EntryLoc::Node(n, i) => tx.read_at(n, field!(CNode, entries: [Entry; 2]).index(i)),
+        }
     }
 
     fn write_entry(tx: &mut dyn TxOps, loc: EntryLoc, e: &Entry) -> KvResult<()> {
-        tx.write_bytes(loc.obj, loc.off, pgl_nvm::pod::bytes_of(e))
+        match loc {
+            EntryLoc::Root(a) => tx.write_at(a, field!(CAnchor, root: Entry), e),
+            EntryLoc::Node(n, i) => tx.write_at(n, field!(CNode, entries: [Entry; 2]).index(i), e),
+        }
     }
 
-    fn bump_count(tx: &mut dyn TxOps, anchor: PMEMoid, delta: i64) -> KvResult<()> {
-        let mut buf = [0u8; 8];
-        tx.read_bytes(anchor, 0, &mut buf)?;
-        let count = u64::from_le_bytes(buf);
+    fn bump_count(tx: &mut dyn TxOps, anchor: PObj<CAnchor>, delta: i64) -> KvResult<()> {
+        let count: u64 = tx.read_at(anchor, field!(CAnchor, count: u64))?;
         let new = count.checked_add_signed(delta).ok_or(KvError::Corrupt("ctree count"))?;
-        tx.write_bytes(anchor, 0, &new.to_le_bytes())
+        tx.write_at(anchor, field!(CAnchor, count: u64), &new)
     }
 }
 
@@ -78,8 +107,8 @@ impl PersistentMap for CTree {
     const NAME: &'static str = "ctree";
 
     fn create<S: Store>(store: &S) -> KvResult<Self> {
-        let anchor = store.txn(&mut |tx| tx.alloc_zeroed(ANCHOR_SIZE, TYPE_ANCHOR))?;
-        Ok(CTree { anchor })
+        let anchor = store.txn(&mut |tx| tx.alloc_obj_zeroed::<CAnchor>())?;
+        Ok(CTree { anchor: anchor.oid() })
     }
 
     fn from_anchor(anchor: PMEMoid) -> Self {
@@ -91,12 +120,12 @@ impl PersistentMap for CTree {
     }
 
     fn insert<S: Store>(&self, store: &S, key: u64, value: u64) -> KvResult<Option<u64>> {
-        let anchor = self.anchor;
+        let anchor = self.anchor_h();
         store.txn(&mut |tx| {
-            let root_loc = EntryLoc { obj: anchor, off: ROOT_OFF };
+            let root_loc = EntryLoc::Root(anchor);
             let root = Self::read_entry(tx, root_loc)?;
             if root.slot.is_null() {
-                Self::write_entry(tx, root_loc, &Entry { key, slot: value_slot(value) })?;
+                Self::write_entry(tx, root_loc, &Entry { key, slot: ValueSlot::inline(value) })?;
                 Self::bump_count(tx, anchor, 1)?;
                 return Ok(None);
             }
@@ -104,15 +133,15 @@ impl PersistentMap for CTree {
             let mut loc = root_loc;
             let mut e = root;
             while !Self::is_leaf(&e) {
-                let node = e.slot;
-                let diff: u32 = tx.read_pod(node, DIFF_OFF)?;
+                let node = Self::child(&e)?;
+                let diff: u32 = tx.read_at(node, field!(CNode, diff: u32))?;
                 let bit = (key >> diff) & 1;
-                loc = EntryLoc { obj: node, off: entry_off(bit) };
+                loc = EntryLoc::Node(node, bit as usize);
                 e = Self::read_entry(tx, loc)?;
             }
             if e.key == key {
-                let old = slot_value(e.slot).expect("leaf");
-                Self::write_entry(tx, loc, &Entry { key, slot: value_slot(value) })?;
+                let old = Self::leaf_value(&e)?;
+                Self::write_entry(tx, loc, &Entry { key, slot: ValueSlot::inline(value) })?;
                 return Ok(Some(old));
             }
             // New critical bit; find the insertion point (diffs decrease
@@ -121,62 +150,61 @@ impl PersistentMap for CTree {
             let mut loc = root_loc;
             let mut at = Self::read_entry(tx, loc)?;
             while !Self::is_leaf(&at) {
-                let node = at.slot;
-                let ndiff: u32 = tx.read_pod(node, DIFF_OFF)?;
+                let node = Self::child(&at)?;
+                let ndiff: u32 = tx.read_at(node, field!(CNode, diff: u32))?;
                 if ndiff < diff {
                     break;
                 }
                 let bit = (key >> ndiff) & 1;
-                loc = EntryLoc { obj: node, off: entry_off(bit) };
+                loc = EntryLoc::Node(node, bit as usize);
                 at = Self::read_entry(tx, loc)?;
             }
-            let node = tx.alloc_zeroed(NODE_SIZE, TYPE_NODE)?;
-            let bit = (key >> diff) & 1;
-            tx.write_pod(node, DIFF_OFF, &diff)?;
+            let node = tx.alloc_obj_zeroed::<CNode>()?;
+            let bit = ((key >> diff) & 1) as usize;
+            tx.write_at(node, field!(CNode, diff: u32), &diff)?;
             Self::write_entry(
                 tx,
-                EntryLoc { obj: node, off: entry_off(bit) },
-                &Entry { key, slot: value_slot(value) },
+                EntryLoc::Node(node, bit),
+                &Entry { key, slot: ValueSlot::inline(value) },
             )?;
-            Self::write_entry(tx, EntryLoc { obj: node, off: entry_off(1 - bit) }, &at)?;
-            Self::write_entry(tx, loc, &Entry { key: 0, slot: node })?;
+            Self::write_entry(tx, EntryLoc::Node(node, 1 - bit), &at)?;
+            Self::write_entry(tx, loc, &Entry { key: 0, slot: ValueSlot::obj(node) })?;
             Self::bump_count(tx, anchor, 1)?;
             Ok(None)
         })
     }
 
     fn remove<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>> {
-        let anchor = self.anchor;
+        let anchor = self.anchor_h();
         store.txn(&mut |tx| {
-            let root_loc = EntryLoc { obj: anchor, off: ROOT_OFF };
+            let root_loc = EntryLoc::Root(anchor);
             let mut loc = root_loc;
             let mut e = Self::read_entry(tx, loc)?;
             if e.slot.is_null() {
                 return Ok(None);
             }
             // Track the entry that points at the node containing `loc`.
-            let mut parent: Option<(EntryLoc, PMEMoid, u64)> = None; // (loc of node ptr, node, bit)
+            let mut parent: Option<(EntryLoc, PObj<CNode>, usize)> = None;
             while !Self::is_leaf(&e) {
-                let node = e.slot;
-                let diff: u32 = tx.read_pod(node, DIFF_OFF)?;
-                let bit = (key >> diff) & 1;
+                let node = Self::child(&e)?;
+                let diff: u32 = tx.read_at(node, field!(CNode, diff: u32))?;
+                let bit = ((key >> diff) & 1) as usize;
                 parent = Some((loc, node, bit));
-                loc = EntryLoc { obj: node, off: entry_off(bit) };
+                loc = EntryLoc::Node(node, bit);
                 e = Self::read_entry(tx, loc)?;
             }
             if e.key != key {
                 return Ok(None);
             }
-            let old = slot_value(e.slot).expect("leaf");
+            let old = Self::leaf_value(&e)?;
             match parent {
                 None => {
                     Self::write_entry(tx, root_loc, &Entry::default())?;
                 }
                 Some((ploc, node, bit)) => {
-                    let sibling =
-                        Self::read_entry(tx, EntryLoc { obj: node, off: entry_off(1 - bit) })?;
+                    let sibling = Self::read_entry(tx, EntryLoc::Node(node, 1 - bit))?;
                     Self::write_entry(tx, ploc, &sibling)?;
-                    tx.free(node)?;
+                    tx.free_obj(node)?;
                 }
             }
             Self::bump_count(tx, anchor, -1)?;
@@ -185,17 +213,17 @@ impl PersistentMap for CTree {
     }
 
     fn get<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>> {
-        let mut e: Entry = store.read_pod_direct(self.anchor, ROOT_OFF)?;
+        let mut e: Entry = store.read_at_direct(self.anchor_h(), field!(CAnchor, root: Entry))?;
         if e.slot.is_null() {
             return Ok(None);
         }
         while !Self::is_leaf(&e) {
-            let node = e.slot;
-            let diff: u32 = store.read_pod_direct(node, DIFF_OFF)?;
-            let bit = (key >> diff) & 1;
-            e = store.read_pod_direct(node, entry_off(bit))?;
+            let node = Self::child(&e)?;
+            let diff: u32 = store.read_at_direct(node, field!(CNode, diff: u32))?;
+            let bit = ((key >> diff) & 1) as usize;
+            e = store.read_at_direct(node, field!(CNode, entries: [Entry; 2]).index(bit))?;
         }
-        Ok((e.key == key).then(|| slot_value(e.slot).expect("leaf")))
+        Ok(if e.key == key { Some(Self::leaf_value(&e)?) } else { None })
     }
 }
 
@@ -210,21 +238,21 @@ pub fn check_invariants<S: Store>(map: &CTree, store: &S) -> KvResult<u64> {
         if CTree::is_leaf(&e) {
             return Ok(1);
         }
-        let node = e.slot;
-        let diff: u32 = store.read_pod_direct(node, DIFF_OFF)?;
+        let node = CTree::child(&e)?;
+        let diff: u32 = store.read_at_direct(node, field!(CNode, diff: u32))?;
         if let Some(m) = max_diff {
             if diff >= m {
                 return Err(KvError::Corrupt("ctree: non-decreasing crit bits"));
             }
         }
-        let l: Entry = store.read_pod_direct(node, entry_off(0))?;
-        let r: Entry = store.read_pod_direct(node, entry_off(1))?;
+        let l: Entry = store.read_at_direct(node, field!(CNode, entries: [Entry; 2]).index(0))?;
+        let r: Entry = store.read_at_direct(node, field!(CNode, entries: [Entry; 2]).index(1))?;
         if l.slot.is_null() || r.slot.is_null() {
             return Err(KvError::Corrupt("ctree: internal node with a hole"));
         }
         Ok(walk(store, l, Some(diff))? + walk(store, r, Some(diff))?)
     }
-    let root: Entry = store.read_pod_direct(map.anchor(), ROOT_OFF)?;
+    let root: Entry = store.read_at_direct(map.anchor_h(), field!(CAnchor, root: Entry))?;
     let n = walk(store, root, None)?;
     let count = map.len(store)?;
     if n != count {

@@ -5,9 +5,11 @@
 //! large object that doubles when the load factor exceeds 1 (reaching
 //! ~10 MB at a million keys), and the rehash relinks every entry in a
 //! single failure-atomic transaction — the workload that exercises log
-//! overflow into the heap.
+//! overflow into the heap. The table is a [`PArr`] of typed entry handles,
+//! so bucket access is element-indexed rather than offset arithmetic.
 
-use pgl_nvm::impl_pod;
+use pangolin::typed::{PArr, PObj};
+use pangolin::{field, impl_ptype};
 use pgl_pmemobj::PMEMoid;
 
 use crate::maps::{splitmix64, PersistentMap};
@@ -19,72 +21,63 @@ const TYPE_ENTRY: u32 = 112;
 
 const INITIAL_CAPACITY: u64 = 64;
 
-/// Anchor: `{count, capacity, table}`.
-const ANCHOR_SIZE: u64 = 32;
-const COUNT_OFF: u64 = 0;
-const CAP_OFF: u64 = 8;
-const TABLE_OFF: u64 = 16;
-
 /// Entry: `{key, value, next, hash}` = 40 bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[repr(C)]
 struct HashEntry {
     key: u64,
     value: u64,
-    next: PMEMoid,
+    next: PObj<HashEntry>,
     hash: u64,
 }
-impl_pod!(HashEntry, 40);
+impl_ptype!(HashEntry, 40, TYPE_ENTRY);
 
-const ENTRY_SIZE: u64 = 40;
-const VALUE_OFF: u64 = 8;
-const NEXT_OFF: u64 = 16;
+/// A bucket slot: the head of one chain.
+type Slot = PObj<HashEntry>;
 
-fn slot_off(bucket: u64) -> u64 {
-    bucket * 16
+/// Anchor: `{count, capacity, table}` = 32 bytes.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(C)]
+struct HmAnchor {
+    count: u64,
+    capacity: u64,
+    table: PArr<Slot>,
 }
+impl_ptype!(HmAnchor, 32, TYPE_ANCHOR);
 
 /// The chained hash map.
 pub struct HashMap {
     anchor: PMEMoid,
 }
 
-struct Meta {
-    count: u64,
-    capacity: u64,
-    table: PMEMoid,
-}
-
 impl HashMap {
-    fn read_meta(tx: &mut dyn TxOps, anchor: PMEMoid) -> KvResult<Meta> {
-        let mut buf = [0u8; 32];
-        tx.read_bytes(anchor, 0, &mut buf)?;
-        Ok(Meta {
-            count: u64::from_le_bytes(buf[0..8].try_into().expect("8")),
-            capacity: u64::from_le_bytes(buf[8..16].try_into().expect("8")),
-            table: pgl_nvm::pod::from_bytes(&buf[16..32]),
-        })
+    fn anchor_h(&self) -> PObj<HmAnchor> {
+        PObj::from_oid(self.anchor)
     }
 
     /// Doubles the table, relinking every entry — one big transaction,
     /// like PMDK's `hm_tx_rebuild`.
-    fn rehash(tx: &mut dyn TxOps, anchor: PMEMoid, meta: &Meta) -> KvResult<(PMEMoid, u64)> {
+    fn rehash(
+        tx: &mut dyn TxOps,
+        anchor: PObj<HmAnchor>,
+        meta: &HmAnchor,
+    ) -> KvResult<(PArr<Slot>, u64)> {
         let new_cap = meta.capacity * 2;
-        let new_table = tx.alloc_zeroed(new_cap * 16, TYPE_TABLE)?;
+        let new_table = tx.alloc_arr::<Slot>(new_cap, TYPE_TABLE)?;
         for b in 0..meta.capacity {
-            let mut cur: PMEMoid = tx.read_pod(meta.table, slot_off(b))?;
+            let mut cur: Slot = tx.arr_get(meta.table, b)?;
             while !cur.is_null() {
-                let e: HashEntry = tx.read_pod(cur, 0)?;
+                let e: HashEntry = tx.get_obj(cur)?;
                 let nb = e.hash % new_cap;
-                let new_head: PMEMoid = tx.read_pod(new_table, slot_off(nb))?;
-                tx.write_pod(cur, NEXT_OFF, &new_head)?;
-                tx.write_pod(new_table, slot_off(nb), &cur)?;
+                let new_head: Slot = tx.arr_get(new_table, nb)?;
+                tx.write_at(cur, field!(HashEntry, next: PObj<HashEntry>), &new_head)?;
+                tx.arr_set(new_table, nb, &cur)?;
                 cur = e.next;
             }
         }
-        tx.write_pod(anchor, CAP_OFF, &new_cap)?;
-        tx.write_pod(anchor, TABLE_OFF, &new_table)?;
-        tx.free(meta.table)?;
+        tx.write_at(anchor, field!(HmAnchor, capacity: u64), &new_cap)?;
+        tx.write_at(anchor, field!(HmAnchor, table: PArr<Slot>), &new_table)?;
+        tx.free_arr(meta.table)?;
         Ok((new_table, new_cap))
     }
 }
@@ -94,13 +87,13 @@ impl PersistentMap for HashMap {
 
     fn create<S: Store>(store: &S) -> KvResult<Self> {
         let anchor = store.txn(&mut |tx| {
-            let anchor = tx.alloc_zeroed(ANCHOR_SIZE, TYPE_ANCHOR)?;
-            let table = tx.alloc_zeroed(INITIAL_CAPACITY * 16, TYPE_TABLE)?;
-            tx.write_pod(anchor, CAP_OFF, &INITIAL_CAPACITY)?;
-            tx.write_pod(anchor, TABLE_OFF, &table)?;
+            let anchor = tx.alloc_obj_zeroed::<HmAnchor>()?;
+            let table = tx.alloc_arr::<Slot>(INITIAL_CAPACITY, TYPE_TABLE)?;
+            tx.write_at(anchor, field!(HmAnchor, capacity: u64), &INITIAL_CAPACITY)?;
+            tx.write_at(anchor, field!(HmAnchor, table: PArr<Slot>), &table)?;
             Ok(anchor)
         })?;
-        Ok(HashMap { anchor })
+        Ok(HashMap { anchor: anchor.oid() })
     }
 
     fn from_anchor(anchor: PMEMoid) -> Self {
@@ -112,59 +105,60 @@ impl PersistentMap for HashMap {
     }
 
     fn insert<S: Store>(&self, store: &S, key: u64, value: u64) -> KvResult<Option<u64>> {
-        let anchor = self.anchor;
+        let anchor = self.anchor_h();
         store.txn(&mut |tx| {
-            let meta = Self::read_meta(tx, anchor)?;
+            let meta: HmAnchor = tx.get_obj(anchor)?;
             if meta.table.is_null() {
                 return Err(KvError::Corrupt("hashmap: missing table"));
             }
             let hash = splitmix64(key);
             let bucket = hash % meta.capacity;
             // Update in place if the key exists.
-            let head: PMEMoid = tx.read_pod(meta.table, slot_off(bucket))?;
+            let head: Slot = tx.arr_get(meta.table, bucket)?;
             let mut cur = head;
             while !cur.is_null() {
-                let e: HashEntry = tx.read_pod(cur, 0)?;
+                let e: HashEntry = tx.get_obj(cur)?;
                 if e.key == key {
-                    tx.write_pod(cur, VALUE_OFF, &value)?;
+                    tx.write_at(cur, field!(HashEntry, value: u64), &value)?;
                     return Ok(Some(e.value));
                 }
                 cur = e.next;
             }
             // Insert at the bucket head.
-            let entry = tx.alloc(ENTRY_SIZE, TYPE_ENTRY)?;
-            tx.write_pod(entry, 0, &HashEntry { key, value, next: head, hash })?;
-            tx.write_pod(meta.table, slot_off(bucket), &entry)?;
+            let entry = tx.alloc_obj(&HashEntry { key, value, next: head, hash })?;
+            tx.arr_set(meta.table, bucket, &entry)?;
             let count = meta.count + 1;
-            tx.write_pod(anchor, COUNT_OFF, &count)?;
+            tx.write_at(anchor, field!(HmAnchor, count: u64), &count)?;
             if count > meta.capacity {
-                Self::rehash(tx, anchor, &Meta { count, ..meta })?;
+                Self::rehash(tx, anchor, &HmAnchor { count, ..meta })?;
             }
             Ok(None)
         })
     }
 
     fn remove<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>> {
-        let anchor = self.anchor;
+        let anchor = self.anchor_h();
         store.txn(&mut |tx| {
-            let meta = Self::read_meta(tx, anchor)?;
+            let meta: HmAnchor = tx.get_obj(anchor)?;
             if meta.table.is_null() || meta.count == 0 {
                 return Ok(None);
             }
             let hash = splitmix64(key);
             let bucket = hash % meta.capacity;
             // prev = None means the table slot itself.
-            let mut prev: Option<PMEMoid> = None;
-            let mut cur: PMEMoid = tx.read_pod(meta.table, slot_off(bucket))?;
+            let mut prev: Option<Slot> = None;
+            let mut cur: Slot = tx.arr_get(meta.table, bucket)?;
             while !cur.is_null() {
-                let e: HashEntry = tx.read_pod(cur, 0)?;
+                let e: HashEntry = tx.get_obj(cur)?;
                 if e.key == key {
                     match prev {
-                        None => tx.write_pod(meta.table, slot_off(bucket), &e.next)?,
-                        Some(p) => tx.write_pod(p, NEXT_OFF, &e.next)?,
+                        None => tx.arr_set(meta.table, bucket, &e.next)?,
+                        Some(p) => {
+                            tx.write_at(p, field!(HashEntry, next: PObj<HashEntry>), &e.next)?
+                        }
                     }
-                    tx.free(cur)?;
-                    tx.write_pod(anchor, COUNT_OFF, &(meta.count - 1))?;
+                    tx.free_obj(cur)?;
+                    tx.write_at(anchor, field!(HmAnchor, count: u64), &(meta.count - 1))?;
                     return Ok(Some(e.value));
                 }
                 prev = Some(cur);
@@ -175,15 +169,14 @@ impl PersistentMap for HashMap {
     }
 
     fn get<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>> {
-        let capacity: u64 = store.read_pod_direct(self.anchor, CAP_OFF)?;
-        let table: PMEMoid = store.read_pod_direct(self.anchor, TABLE_OFF)?;
-        if table.is_null() || capacity == 0 {
+        let meta: HmAnchor = store.get_obj_direct(self.anchor_h())?;
+        if meta.table.is_null() || meta.capacity == 0 {
             return Ok(None);
         }
         let hash = splitmix64(key);
-        let mut cur: PMEMoid = store.read_pod_direct(table, slot_off(hash % capacity))?;
+        let mut cur: Slot = store.arr_get_direct(meta.table, hash % meta.capacity)?;
         while !cur.is_null() {
-            let e: HashEntry = store.read_pod_direct(cur, 0)?;
+            let e: HashEntry = store.get_obj_direct(cur)?;
             if e.key == key {
                 return Ok(Some(e.value));
             }
@@ -196,15 +189,14 @@ impl PersistentMap for HashMap {
 /// Test helper: verifies every entry is reachable from the right bucket
 /// and the count matches.
 pub fn check_invariants<S: Store>(map: &HashMap, store: &S) -> KvResult<u64> {
-    let capacity: u64 = store.read_pod_direct(map.anchor(), CAP_OFF)?;
-    let table: PMEMoid = store.read_pod_direct(map.anchor(), TABLE_OFF)?;
+    let meta: HmAnchor = store.get_obj_direct(PObj::from_oid(map.anchor()))?;
     let mut n = 0u64;
-    for b in 0..capacity {
-        let mut cur: PMEMoid = store.read_pod_direct(table, slot_off(b))?;
+    for b in 0..meta.capacity {
+        let mut cur: Slot = store.arr_get_direct(meta.table, b)?;
         let mut steps = 0u64;
         while !cur.is_null() {
-            let e: HashEntry = store.read_pod_direct(cur, 0)?;
-            if e.hash != splitmix64(e.key) || e.hash % capacity != b {
+            let e: HashEntry = store.get_obj_direct(cur)?;
+            if e.hash != splitmix64(e.key) || e.hash % meta.capacity != b {
                 return Err(KvError::Corrupt("hashmap: entry in the wrong bucket"));
             }
             n += 1;

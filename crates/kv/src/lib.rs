@@ -9,8 +9,12 @@
 //! Every structure is generic over a [`store::Store`] backend — the
 //! `libpmemobj` baseline (plain or replicated) or Pangolin in any of its
 //! fault-tolerance modes — so a single implementation serves the whole
-//! Table 2 comparison matrix. See the workspace `README.md` for how this
-//! crate sits in the nvm → pmemobj → pangolin → kv → bench layering, and
+//! Table 2 comparison matrix. All six are written against the typed
+//! object layer (`PObj<T>` handles, `field!` offsets, [`store::ValueSlot`]
+//! tagged slots) mirrored over both backends by the helpers on
+//! `dyn `[`store::TxOps`]; hand-computed byte offsets no longer appear in
+//! this crate. See the workspace `README.md` for how this crate sits in
+//! the nvm → pmemobj → pangolin → kv → bench layering, and
 //! `EXPERIMENTS.md` for the Figure 5 / Table 3 runs built on it.
 //!
 //! # Examples

@@ -49,11 +49,7 @@ pub trait PersistentMap: Sized {
     }
 
     /// Remove plus the transaction's instrumentation counters.
-    fn remove_with_stats<S: Store>(
-        &self,
-        store: &S,
-        key: u64,
-    ) -> KvResult<(Option<u64>, TxStats)> {
+    fn remove_with_stats<S: Store>(&self, store: &S, key: u64) -> KvResult<(Option<u64>, TxStats)> {
         let r = self.remove(store, key)?;
         Ok((r, store.last_tx_stats()))
     }

@@ -6,6 +6,8 @@
 //! characteristic "many small objects touched per transaction" profile
 //! (Mod 330.2 bytes across 5.13 objects).
 
+use pangolin::typed::PObj;
+use pangolin::{field, impl_ptype};
 use pgl_pmemobj::PMEMoid;
 
 use crate::maps::PersistentMap;
@@ -14,23 +16,33 @@ use crate::store::{KvError, KvResult, Store, TxOps};
 const TYPE_ANCHOR: u32 = 150;
 const TYPE_NODE: u32 = 151;
 
-/// Node: `{key, value, color, parent, child[2], pad}` = 80 bytes.
-const NODE_SIZE: u64 = 80;
-const KEY_OFF: u64 = 0;
-const VALUE_OFF: u64 = 8;
-const COLOR_OFF: u64 = 16;
-const PARENT_OFF: u64 = 24;
-fn child_off(dir: usize) -> u64 {
-    40 + dir as u64 * 16
-}
-
 const RED: u64 = 0;
 const BLACK: u64 = 1;
 
+/// Node: `{key, value, color, parent, child[2], pad}` = 80 bytes.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(C)]
+struct RbNode {
+    key: u64,
+    value: u64,
+    color: u64,
+    parent: PObj<RbNode>,
+    child: [PObj<RbNode>; 2],
+    pad: u64,
+}
+impl_ptype!(RbNode, 80, TYPE_NODE);
+
 /// Anchor: `{count, root, nil}` = 40 bytes.
-const ANCHOR_SIZE: u64 = 40;
-const ROOT_OFF: u64 = 8;
-const NIL_OFF: u64 = 24;
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(C)]
+struct RbAnchor {
+    count: u64,
+    root: PObj<RbNode>,
+    nil: PObj<RbNode>,
+}
+impl_ptype!(RbAnchor, 40, TYPE_ANCHOR);
+
+type NodeH = PObj<RbNode>;
 
 /// The red-black tree map.
 pub struct RbTree {
@@ -40,50 +52,50 @@ pub struct RbTree {
 /// Transaction-scoped context carrying the sentinel and anchor.
 struct Ctx<'a, 'b> {
     tx: &'a mut dyn TxOps,
-    anchor: PMEMoid,
-    nil: PMEMoid,
+    anchor: PObj<RbAnchor>,
+    nil: NodeH,
     _life: std::marker::PhantomData<&'b ()>,
 }
 
 impl Ctx<'_, '_> {
-    fn key(&mut self, x: PMEMoid) -> KvResult<u64> {
-        self.tx.read_pod(x, KEY_OFF)
+    fn key(&mut self, x: NodeH) -> KvResult<u64> {
+        self.tx.read_at(x, field!(RbNode, key: u64))
     }
-    fn value(&mut self, x: PMEMoid) -> KvResult<u64> {
-        self.tx.read_pod(x, VALUE_OFF)
+    fn value(&mut self, x: NodeH) -> KvResult<u64> {
+        self.tx.read_at(x, field!(RbNode, value: u64))
     }
-    fn color(&mut self, x: PMEMoid) -> KvResult<u64> {
-        self.tx.read_pod(x, COLOR_OFF)
+    fn color(&mut self, x: NodeH) -> KvResult<u64> {
+        self.tx.read_at(x, field!(RbNode, color: u64))
     }
-    fn set_color(&mut self, x: PMEMoid, c: u64) -> KvResult<()> {
-        self.tx.write_pod(x, COLOR_OFF, &c)
+    fn set_color(&mut self, x: NodeH, c: u64) -> KvResult<()> {
+        self.tx.write_at(x, field!(RbNode, color: u64), &c)
     }
-    fn parent(&mut self, x: PMEMoid) -> KvResult<PMEMoid> {
-        self.tx.read_pod(x, PARENT_OFF)
+    fn parent(&mut self, x: NodeH) -> KvResult<NodeH> {
+        self.tx.read_at(x, field!(RbNode, parent: PObj<RbNode>))
     }
-    fn set_parent(&mut self, x: PMEMoid, p: PMEMoid) -> KvResult<()> {
-        self.tx.write_pod(x, PARENT_OFF, &p)
+    fn set_parent(&mut self, x: NodeH, p: NodeH) -> KvResult<()> {
+        self.tx.write_at(x, field!(RbNode, parent: PObj<RbNode>), &p)
     }
-    fn child(&mut self, x: PMEMoid, dir: usize) -> KvResult<PMEMoid> {
-        self.tx.read_pod(x, child_off(dir))
+    fn child(&mut self, x: NodeH, dir: usize) -> KvResult<NodeH> {
+        self.tx.read_at(x, field!(RbNode, child: [PObj<RbNode>; 2]).index(dir))
     }
-    fn set_child(&mut self, x: PMEMoid, dir: usize, c: PMEMoid) -> KvResult<()> {
-        self.tx.write_pod(x, child_off(dir), &c)
+    fn set_child(&mut self, x: NodeH, dir: usize, c: NodeH) -> KvResult<()> {
+        self.tx.write_at(x, field!(RbNode, child: [PObj<RbNode>; 2]).index(dir), &c)
     }
-    fn root(&mut self) -> KvResult<PMEMoid> {
-        self.tx.read_pod(self.anchor, ROOT_OFF)
+    fn root(&mut self) -> KvResult<NodeH> {
+        self.tx.read_at(self.anchor, field!(RbAnchor, root: PObj<RbNode>))
     }
-    fn set_root(&mut self, r: PMEMoid) -> KvResult<()> {
-        self.tx.write_pod(self.anchor, ROOT_OFF, &r)
+    fn set_root(&mut self, r: NodeH) -> KvResult<()> {
+        self.tx.write_at(self.anchor, field!(RbAnchor, root: PObj<RbNode>), &r)
     }
 
     /// Which child of its parent is `x`? (0 = left, 1 = right.)
-    fn dir_of(&mut self, p: PMEMoid, x: PMEMoid) -> KvResult<usize> {
+    fn dir_of(&mut self, p: NodeH, x: NodeH) -> KvResult<usize> {
         Ok(if self.child(p, 0)? == x { 0 } else { 1 })
     }
 
     /// CLRS rotate: `dir = 0` is a left rotation.
-    fn rotate(&mut self, x: PMEMoid, dir: usize) -> KvResult<()> {
+    fn rotate(&mut self, x: NodeH, dir: usize) -> KvResult<()> {
         let other = 1 - dir;
         let y = self.child(x, other)?;
         let y_inner = self.child(y, dir)?;
@@ -103,7 +115,7 @@ impl Ctx<'_, '_> {
         self.set_parent(x, y)
     }
 
-    fn insert_fixup(&mut self, mut z: PMEMoid) -> KvResult<()> {
+    fn insert_fixup(&mut self, mut z: NodeH) -> KvResult<()> {
         loop {
             let zp = self.parent(z)?;
             if zp == self.nil || self.color(zp)? == BLACK {
@@ -134,7 +146,7 @@ impl Ctx<'_, '_> {
     }
 
     /// CLRS transplant: replace subtree `u` with `v`.
-    fn transplant(&mut self, u: PMEMoid, v: PMEMoid) -> KvResult<()> {
+    fn transplant(&mut self, u: NodeH, v: NodeH) -> KvResult<()> {
         let up = self.parent(u)?;
         if up == self.nil {
             self.set_root(v)?;
@@ -146,7 +158,7 @@ impl Ctx<'_, '_> {
         self.set_parent(v, up)
     }
 
-    fn minimum(&mut self, mut x: PMEMoid) -> KvResult<PMEMoid> {
+    fn minimum(&mut self, mut x: NodeH) -> KvResult<NodeH> {
         loop {
             let l = self.child(x, 0)?;
             if l == self.nil {
@@ -156,7 +168,7 @@ impl Ctx<'_, '_> {
         }
     }
 
-    fn delete_fixup(&mut self, mut x: PMEMoid) -> KvResult<()> {
+    fn delete_fixup(&mut self, mut x: NodeH) -> KvResult<()> {
         loop {
             let root = self.root()?;
             if x == root || self.color(x)? == RED {
@@ -197,7 +209,7 @@ impl Ctx<'_, '_> {
         self.set_color(x, BLACK)
     }
 
-    fn search(&mut self, key: u64) -> KvResult<PMEMoid> {
+    fn search(&mut self, key: u64) -> KvResult<NodeH> {
         let mut x = self.root()?;
         while x != self.nil {
             let k = self.key(x)?;
@@ -211,17 +223,18 @@ impl Ctx<'_, '_> {
 }
 
 impl RbTree {
-    fn bump_count(tx: &mut dyn TxOps, anchor: PMEMoid, delta: i64) -> KvResult<()> {
-        let mut buf = [0u8; 8];
-        tx.read_bytes(anchor, 0, &mut buf)?;
-        let n = u64::from_le_bytes(buf)
-            .checked_add_signed(delta)
-            .ok_or(KvError::Corrupt("rbtree count"))?;
-        tx.write_bytes(anchor, 0, &n.to_le_bytes())
+    fn anchor_h(&self) -> PObj<RbAnchor> {
+        PObj::from_oid(self.anchor)
     }
 
-    fn ctx<'a>(tx: &'a mut dyn TxOps, anchor: PMEMoid) -> KvResult<Ctx<'a, 'a>> {
-        let nil: PMEMoid = tx.read_pod(anchor, NIL_OFF)?;
+    fn bump_count(tx: &mut dyn TxOps, anchor: PObj<RbAnchor>, delta: i64) -> KvResult<()> {
+        let count: u64 = tx.read_at(anchor, field!(RbAnchor, count: u64))?;
+        let n = count.checked_add_signed(delta).ok_or(KvError::Corrupt("rbtree count"))?;
+        tx.write_at(anchor, field!(RbAnchor, count: u64), &n)
+    }
+
+    fn ctx<'a>(tx: &'a mut dyn TxOps, anchor: PObj<RbAnchor>) -> KvResult<Ctx<'a, 'a>> {
+        let nil: NodeH = tx.read_at(anchor, field!(RbAnchor, nil: PObj<RbNode>))?;
         Ok(Ctx { tx, anchor, nil, _life: std::marker::PhantomData })
     }
 }
@@ -231,17 +244,17 @@ impl PersistentMap for RbTree {
 
     fn create<S: Store>(store: &S) -> KvResult<Self> {
         let anchor = store.txn(&mut |tx| {
-            let anchor = tx.alloc_zeroed(ANCHOR_SIZE, TYPE_ANCHOR)?;
-            let nil = tx.alloc_zeroed(NODE_SIZE, TYPE_NODE)?;
-            tx.write_pod(nil, COLOR_OFF, &BLACK)?;
-            tx.write_pod(nil, PARENT_OFF, &nil)?;
-            tx.write_pod(nil, child_off(0), &nil)?;
-            tx.write_pod(nil, child_off(1), &nil)?;
-            tx.write_pod(anchor, NIL_OFF, &nil)?;
-            tx.write_pod(anchor, ROOT_OFF, &nil)?;
+            let anchor = tx.alloc_obj_zeroed::<RbAnchor>()?;
+            let nil = tx.alloc_obj_zeroed::<RbNode>()?;
+            tx.write_at(nil, field!(RbNode, color: u64), &BLACK)?;
+            tx.write_at(nil, field!(RbNode, parent: PObj<RbNode>), &nil)?;
+            tx.write_at(nil, field!(RbNode, child: [PObj<RbNode>; 2]).index(0), &nil)?;
+            tx.write_at(nil, field!(RbNode, child: [PObj<RbNode>; 2]).index(1), &nil)?;
+            tx.write_at(anchor, field!(RbAnchor, nil: PObj<RbNode>), &nil)?;
+            tx.write_at(anchor, field!(RbAnchor, root: PObj<RbNode>), &nil)?;
             Ok(anchor)
         })?;
-        Ok(RbTree { anchor })
+        Ok(RbTree { anchor: anchor.oid() })
     }
 
     fn from_anchor(anchor: PMEMoid) -> Self {
@@ -253,7 +266,7 @@ impl PersistentMap for RbTree {
     }
 
     fn insert<S: Store>(&self, store: &S, key: u64, value: u64) -> KvResult<Option<u64>> {
-        let anchor = self.anchor;
+        let anchor = self.anchor_h();
         store.txn(&mut |tx| {
             let mut c = RbTree::ctx(tx, anchor)?;
             let nil = c.nil;
@@ -264,14 +277,14 @@ impl PersistentMap for RbTree {
                 let k = c.key(x)?;
                 if key == k {
                     let old = c.value(x)?;
-                    c.tx.write_pod(x, VALUE_OFF, &value)?;
+                    c.tx.write_at(x, field!(RbNode, value: u64), &value)?;
                     return Ok(Some(old));
                 }
                 x = c.child(x, usize::from(key > k))?;
             }
-            let z = c.tx.alloc_zeroed(NODE_SIZE, TYPE_NODE)?;
-            c.tx.write_pod(z, KEY_OFF, &key)?;
-            c.tx.write_pod(z, VALUE_OFF, &value)?;
+            let z = c.tx.alloc_obj_zeroed::<RbNode>()?;
+            c.tx.write_at(z, field!(RbNode, key: u64), &key)?;
+            c.tx.write_at(z, field!(RbNode, value: u64), &value)?;
             c.set_color(z, RED)?;
             c.set_parent(z, y)?;
             c.set_child(z, 0, nil)?;
@@ -289,7 +302,7 @@ impl PersistentMap for RbTree {
     }
 
     fn remove<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>> {
-        let anchor = self.anchor;
+        let anchor = self.anchor_h();
         store.txn(&mut |tx| {
             let mut c = RbTree::ctx(tx, anchor)?;
             let nil = c.nil;
@@ -327,7 +340,7 @@ impl PersistentMap for RbTree {
                 let zc = c.color(z)?;
                 c.set_color(y, zc)?;
             }
-            c.tx.free(z)?;
+            c.tx.free_obj(z)?;
             if y_color == BLACK {
                 c.delete_fixup(x)?;
             }
@@ -337,14 +350,18 @@ impl PersistentMap for RbTree {
     }
 
     fn get<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>> {
-        let nil: PMEMoid = store.read_pod_direct(self.anchor, NIL_OFF)?;
-        let mut x: PMEMoid = store.read_pod_direct(self.anchor, ROOT_OFF)?;
+        let anchor = self.anchor_h();
+        let nil: NodeH = store.read_at_direct(anchor, field!(RbAnchor, nil: PObj<RbNode>))?;
+        let mut x: NodeH = store.read_at_direct(anchor, field!(RbAnchor, root: PObj<RbNode>))?;
         while x != nil && !x.is_null() {
-            let k: u64 = store.read_pod_direct(x, KEY_OFF)?;
+            let k: u64 = store.read_at_direct(x, field!(RbNode, key: u64))?;
             if key == k {
-                return Ok(Some(store.read_pod_direct(x, VALUE_OFF)?));
+                return Ok(Some(store.read_at_direct(x, field!(RbNode, value: u64))?));
             }
-            x = store.read_pod_direct(x, child_off(usize::from(key > k)))?;
+            x = store.read_at_direct(
+                x,
+                field!(RbNode, child: [PObj<RbNode>; 2]).index(usize::from(key > k)),
+            )?;
         }
         Ok(None)
     }
@@ -353,13 +370,14 @@ impl PersistentMap for RbTree {
 /// Test helper: verifies the red-black invariants (BST order, no red node
 /// with a red child, equal black heights) and the count.
 pub fn check_invariants<S: Store>(map: &RbTree, store: &S) -> KvResult<u64> {
-    let nil: PMEMoid = store.read_pod_direct(map.anchor(), NIL_OFF)?;
-    let root: PMEMoid = store.read_pod_direct(map.anchor(), ROOT_OFF)?;
+    let anchor: PObj<RbAnchor> = PObj::from_oid(map.anchor());
+    let nil: NodeH = store.read_at_direct(anchor, field!(RbAnchor, nil: PObj<RbNode>))?;
+    let root: NodeH = store.read_at_direct(anchor, field!(RbAnchor, root: PObj<RbNode>))?;
 
     fn walk<S: Store>(
         store: &S,
-        nil: PMEMoid,
-        x: PMEMoid,
+        nil: NodeH,
+        x: NodeH,
         lo: Option<u64>,
         hi: Option<u64>,
     ) -> KvResult<(u64, u64)> {
@@ -367,33 +385,30 @@ pub fn check_invariants<S: Store>(map: &RbTree, store: &S) -> KvResult<u64> {
         if x == nil {
             return Ok((0, 1));
         }
-        let k: u64 = store.read_pod_direct(x, KEY_OFF)?;
-        if lo.is_some_and(|l| k <= l) || hi.is_some_and(|h| k >= h) {
+        let node: RbNode = store.get_obj_direct(x)?;
+        if lo.is_some_and(|l| node.key <= l) || hi.is_some_and(|h| node.key >= h) {
             return Err(KvError::Corrupt("rbtree: BST order violated"));
         }
-        let color: u64 = store.read_pod_direct(x, COLOR_OFF)?;
-        let l: PMEMoid = store.read_pod_direct(x, child_off(0))?;
-        let r: PMEMoid = store.read_pod_direct(x, child_off(1))?;
-        if color == RED {
-            for c in [l, r] {
+        if node.color == RED {
+            for c in node.child {
                 if c != nil {
-                    let cc: u64 = store.read_pod_direct(c, COLOR_OFF)?;
+                    let cc: u64 = store.read_at_direct(c, field!(RbNode, color: u64))?;
                     if cc == RED {
                         return Err(KvError::Corrupt("rbtree: red node with red child"));
                     }
                 }
             }
         }
-        let (nl, bl) = walk(store, nil, l, lo, Some(k))?;
-        let (nr, br) = walk(store, nil, r, Some(k), hi)?;
+        let (nl, bl) = walk(store, nil, node.child[0], lo, Some(node.key))?;
+        let (nr, br) = walk(store, nil, node.child[1], Some(node.key), hi)?;
         if bl != br {
             return Err(KvError::Corrupt("rbtree: unequal black heights"));
         }
-        Ok((nl + nr + 1, bl + u64::from(color == BLACK)))
+        Ok((nl + nr + 1, bl + u64::from(node.color == BLACK)))
     }
 
     if root != nil {
-        let rc: u64 = store.read_pod_direct(root, COLOR_OFF)?;
+        let rc: u64 = store.read_at_direct(root, field!(RbNode, color: u64))?;
         if rc != BLACK {
             return Err(KvError::Corrupt("rbtree: red root"));
         }

@@ -4,8 +4,14 @@
 //! Path compression stores each node's byte prefix inline, so with random
 //! 64-bit keys an insert allocates about one node (the paper measures
 //! 1.09), not one per key byte.
+//!
+//! The 4136-byte node is exactly the kind of large struct the typed
+//! [`field!`] accessors exist for: every slot or metadata update logs tens
+//! of bytes, never the whole node.
 
-use pgl_pmemobj::{PMEMoid, OID_NULL};
+use pangolin::typed::{Field, PObj};
+use pangolin::{field, impl_pod, impl_ptype};
+use pgl_pmemobj::PMEMoid;
 
 use crate::maps::PersistentMap;
 use crate::store::{KvError, KvResult, Store, TxOps};
@@ -13,72 +19,103 @@ use crate::store::{KvError, KvResult, Store, TxOps};
 const TYPE_ANCHOR: u32 = 140;
 const TYPE_NODE: u32 = 141;
 
-/// Node layout, 4136 bytes total:
-/// `{slots[256]=4096, value u64, has_value u32, key_len u32, prefix[8],
-///   nchildren u64, pad u64}`.
-const NODE_SIZE: u64 = 4136;
-const VALUE_OFF: u64 = 4096;
-const HAS_OFF: u64 = 4104;
-const KLEN_OFF: u64 = 4108;
-const PREFIX_OFF: u64 = 4112;
-const NCHILD_OFF: u64 = 4120;
-
 const KEY_BYTES: usize = 8;
 
-fn slot_off(b: u8) -> u64 {
-    (b as u64) * 16
+/// Node metadata, stored after the 4096-byte slot array:
+/// `{value, has_value, key_len, prefix[8], nchildren, pad}` = 40 bytes.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(C)]
+struct RMeta {
+    value: u64,
+    has_value: u32,
+    key_len: u32,
+    prefix: [u8; 8],
+    nchildren: u64,
+    pad: u64,
+}
+impl_pod!(RMeta, 40);
+
+impl RMeta {
+    /// The in-range prefix slice.
+    fn prefix(&self) -> KvResult<&[u8]> {
+        let klen = self.key_len as usize;
+        if klen > KEY_BYTES {
+            return Err(KvError::Corrupt("rtree: prefix length out of range"));
+        }
+        Ok(&self.prefix[..klen])
+    }
 }
 
-/// Anchor: `{count, root}`.
-const ANCHOR_SIZE: u64 = 24;
-const ROOT_OFF: u64 = 8;
+/// Node layout, 4136 bytes total: `{slots[256] = 4096, meta}`.
+#[derive(Clone, Copy)]
+#[repr(C)]
+struct RNode {
+    slots: [PObj<RNode>; 256],
+    meta: RMeta,
+}
+impl_ptype!(RNode, 4136, TYPE_NODE);
+
+/// Anchor: `{count, root}` = 24 bytes.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(C)]
+struct RAnchor {
+    count: u64,
+    root: PObj<RNode>,
+}
+impl_ptype!(RAnchor, 24, TYPE_ANCHOR);
+
+type NodeH = PObj<RNode>;
+
+/// The slot holding the child reached through byte `b`.
+fn slot_at(b: u8) -> Field<RNode, NodeH> {
+    field!(RNode, slots: [PObj<RNode>; 256]).index(b as usize)
+}
 
 fn key_bytes(key: u64) -> [u8; 8] {
     key.to_be_bytes()
 }
 
-/// Where a child pointer lives (anchor root slot or a node slot).
+/// Where a child pointer lives: the anchor's root slot or a node slot.
 #[derive(Debug, Clone, Copy)]
-struct SlotLoc {
-    obj: PMEMoid,
-    off: u64,
+enum SlotLoc {
+    Root(PObj<RAnchor>),
+    Node(NodeH, u8),
 }
 
-struct NodeMeta {
-    value: u64,
-    has_value: bool,
-    prefix: Vec<u8>,
-    nchildren: u64,
-}
-
-fn read_meta(tx: &mut dyn TxOps, node: PMEMoid) -> KvResult<NodeMeta> {
-    let mut buf = [0u8; 40];
-    tx.read_bytes(node, VALUE_OFF, &mut buf)?;
-    let value = u64::from_le_bytes(buf[0..8].try_into().expect("8"));
-    let has = u32::from_le_bytes(buf[8..12].try_into().expect("4")) != 0;
-    let klen = u32::from_le_bytes(buf[12..16].try_into().expect("4")) as usize;
-    if klen > KEY_BYTES {
-        return Err(KvError::Corrupt("rtree: prefix length out of range"));
+fn read_slot(tx: &mut dyn TxOps, loc: SlotLoc) -> KvResult<NodeH> {
+    match loc {
+        SlotLoc::Root(a) => tx.read_at(a, field!(RAnchor, root: PObj<RNode>)),
+        SlotLoc::Node(n, b) => tx.read_at(n, slot_at(b)),
     }
-    let prefix = buf[16..16 + klen].to_vec();
-    let nchildren = u64::from_le_bytes(buf[24..32].try_into().expect("8"));
-    Ok(NodeMeta { value, has_value: has, prefix, nchildren })
 }
 
-fn write_prefix(tx: &mut dyn TxOps, node: PMEMoid, prefix: &[u8]) -> KvResult<()> {
-    tx.write_pod(node, KLEN_OFF, &(prefix.len() as u32))?;
+fn write_slot(tx: &mut dyn TxOps, loc: SlotLoc, h: NodeH) -> KvResult<()> {
+    match loc {
+        SlotLoc::Root(a) => tx.write_at(a, field!(RAnchor, root: PObj<RNode>), &h),
+        SlotLoc::Node(n, b) => tx.write_at(n, slot_at(b), &h),
+    }
+}
+
+fn read_meta(tx: &mut dyn TxOps, node: NodeH) -> KvResult<RMeta> {
+    let meta: RMeta = tx.read_at(node, field!(RNode, meta: RMeta))?;
+    meta.prefix()?; // validate key_len
+    Ok(meta)
+}
+
+fn write_prefix(tx: &mut dyn TxOps, node: NodeH, prefix: &[u8]) -> KvResult<()> {
+    tx.write_at(node, field!(RNode, meta.key_len: u32), &(prefix.len() as u32))?;
     let mut buf = [0u8; 8];
     buf[..prefix.len()].copy_from_slice(prefix);
-    tx.write_bytes(node, PREFIX_OFF, &buf)
+    tx.write_at(node, field!(RNode, meta.prefix: [u8; 8]), &buf)
 }
 
-fn write_value(tx: &mut dyn TxOps, node: PMEMoid, value: Option<u64>) -> KvResult<()> {
+fn write_value(tx: &mut dyn TxOps, node: NodeH, value: Option<u64>) -> KvResult<()> {
     match value {
         Some(v) => {
-            tx.write_pod(node, VALUE_OFF, &v)?;
-            tx.write_pod(node, HAS_OFF, &1u32)
+            tx.write_at(node, field!(RNode, meta.value: u64), &v)?;
+            tx.write_at(node, field!(RNode, meta.has_value: u32), &1u32)
         }
-        None => tx.write_pod(node, HAS_OFF, &0u32),
+        None => tx.write_at(node, field!(RNode, meta.has_value: u32), &0u32),
     }
 }
 
@@ -88,18 +125,19 @@ pub struct RTree {
 }
 
 impl RTree {
-    fn bump_count(tx: &mut dyn TxOps, anchor: PMEMoid, delta: i64) -> KvResult<()> {
-        let mut buf = [0u8; 8];
-        tx.read_bytes(anchor, 0, &mut buf)?;
-        let n = u64::from_le_bytes(buf)
-            .checked_add_signed(delta)
-            .ok_or(KvError::Corrupt("rtree count"))?;
-        tx.write_bytes(anchor, 0, &n.to_le_bytes())
+    fn anchor_h(&self) -> PObj<RAnchor> {
+        PObj::from_oid(self.anchor)
+    }
+
+    fn bump_count(tx: &mut dyn TxOps, anchor: PObj<RAnchor>, delta: i64) -> KvResult<()> {
+        let count: u64 = tx.read_at(anchor, field!(RAnchor, count: u64))?;
+        let n = count.checked_add_signed(delta).ok_or(KvError::Corrupt("rtree count"))?;
+        tx.write_at(anchor, field!(RAnchor, count: u64), &n)
     }
 
     /// Allocates a leaf holding `suffix` as its prefix and `value`.
-    fn alloc_leaf(tx: &mut dyn TxOps, suffix: &[u8], value: u64) -> KvResult<PMEMoid> {
-        let node = tx.alloc_zeroed(NODE_SIZE, TYPE_NODE)?;
+    fn alloc_leaf(tx: &mut dyn TxOps, suffix: &[u8], value: u64) -> KvResult<NodeH> {
+        let node = tx.alloc_obj_zeroed::<RNode>()?;
         write_prefix(tx, node, suffix)?;
         write_value(tx, node, Some(value))?;
         Ok(node)
@@ -110,8 +148,8 @@ impl PersistentMap for RTree {
     const NAME: &'static str = "rtree";
 
     fn create<S: Store>(store: &S) -> KvResult<Self> {
-        let anchor = store.txn(&mut |tx| tx.alloc_zeroed(ANCHOR_SIZE, TYPE_ANCHOR))?;
-        Ok(RTree { anchor })
+        let anchor = store.txn(&mut |tx| tx.alloc_obj_zeroed::<RAnchor>())?;
+        Ok(RTree { anchor: anchor.oid() })
     }
 
     fn from_anchor(anchor: PMEMoid) -> Self {
@@ -123,14 +161,14 @@ impl PersistentMap for RTree {
     }
 
     fn insert<S: Store>(&self, store: &S, key: u64, value: u64) -> KvResult<Option<u64>> {
-        let anchor = self.anchor;
+        let anchor = self.anchor_h();
         store.txn(&mut |tx| {
             let k = key_bytes(key);
-            let mut loc = SlotLoc { obj: anchor, off: ROOT_OFF };
-            let mut cur: PMEMoid = tx.read_pod(loc.obj, loc.off)?;
+            let mut loc = SlotLoc::Root(anchor);
+            let mut cur = read_slot(tx, loc)?;
             if cur.is_null() {
                 let leaf = Self::alloc_leaf(tx, &k, value)?;
-                tx.write_pod(loc.obj, loc.off, &leaf)?;
+                write_slot(tx, loc, leaf)?;
                 Self::bump_count(tx, anchor, 1)?;
                 return Ok(None);
             }
@@ -138,37 +176,33 @@ impl PersistentMap for RTree {
             loop {
                 let meta = read_meta(tx, cur)?;
                 let rest = &k[depth..];
-                let m = meta
-                    .prefix
-                    .iter()
-                    .zip(rest.iter())
-                    .take_while(|(a, b)| a == b)
-                    .count();
-                if m < meta.prefix.len() {
+                let m = meta.prefix()?.iter().zip(rest.iter()).take_while(|(a, b)| a == b).count();
+                if m < meta.prefix()?.len() {
                     // Diverges inside the prefix: split.
-                    let parent = tx.alloc_zeroed(NODE_SIZE, TYPE_NODE)?;
-                    write_prefix(tx, parent, &meta.prefix[..m])?;
+                    let parent = tx.alloc_obj_zeroed::<RNode>()?;
+                    write_prefix(tx, parent, &meta.prefix()?[..m])?;
                     // Re-hang `cur` below the split point.
-                    let hang = meta.prefix[m];
-                    write_prefix(tx, cur, &meta.prefix[m + 1..])?;
-                    tx.write_pod(parent, slot_off(hang), &cur)?;
+                    let hang = meta.prefix()?[m];
+                    let tail: Vec<u8> = meta.prefix()?[m + 1..].to_vec();
+                    write_prefix(tx, cur, &tail)?;
+                    tx.write_at(parent, slot_at(hang), &cur)?;
                     if depth + m == KEY_BYTES {
                         // The key ends exactly at the split node.
                         write_value(tx, parent, Some(value))?;
-                        tx.write_pod(parent, NCHILD_OFF, &1u64)?;
+                        tx.write_at(parent, field!(RNode, meta.nchildren: u64), &1u64)?;
                     } else {
                         let b = k[depth + m];
                         let leaf = Self::alloc_leaf(tx, &k[depth + m + 1..], value)?;
-                        tx.write_pod(parent, slot_off(b), &leaf)?;
-                        tx.write_pod(parent, NCHILD_OFF, &2u64)?;
+                        tx.write_at(parent, slot_at(b), &leaf)?;
+                        tx.write_at(parent, field!(RNode, meta.nchildren: u64), &2u64)?;
                     }
-                    tx.write_pod(loc.obj, loc.off, &parent)?;
+                    write_slot(tx, loc, parent)?;
                     Self::bump_count(tx, anchor, 1)?;
                     return Ok(None);
                 }
                 depth += m;
                 if depth == KEY_BYTES {
-                    let old = meta.has_value.then_some(meta.value);
+                    let old = (meta.has_value != 0).then_some(meta.value);
                     write_value(tx, cur, Some(value))?;
                     if old.is_none() {
                         Self::bump_count(tx, anchor, 1)?;
@@ -176,15 +210,15 @@ impl PersistentMap for RTree {
                     return Ok(old);
                 }
                 let b = k[depth];
-                let child: PMEMoid = tx.read_pod(cur, slot_off(b))?;
+                let child: NodeH = tx.read_at(cur, slot_at(b))?;
                 if child.is_null() {
                     let leaf = Self::alloc_leaf(tx, &k[depth + 1..], value)?;
-                    tx.write_pod(cur, slot_off(b), &leaf)?;
-                    tx.write_pod(cur, NCHILD_OFF, &(meta.nchildren + 1))?;
+                    tx.write_at(cur, slot_at(b), &leaf)?;
+                    tx.write_at(cur, field!(RNode, meta.nchildren: u64), &(meta.nchildren + 1))?;
                     Self::bump_count(tx, anchor, 1)?;
                     return Ok(None);
                 }
-                loc = SlotLoc { obj: cur, off: slot_off(b) };
+                loc = SlotLoc::Node(cur, b);
                 cur = child;
                 depth += 1;
             }
@@ -192,25 +226,25 @@ impl PersistentMap for RTree {
     }
 
     fn remove<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>> {
-        let anchor = self.anchor;
+        let anchor = self.anchor_h();
         store.txn(&mut |tx| {
             let k = key_bytes(key);
             // Path of (slot location, node) pairs from the root.
-            let mut path: Vec<(SlotLoc, PMEMoid)> = Vec::new();
-            let mut loc = SlotLoc { obj: anchor, off: ROOT_OFF };
-            let mut cur: PMEMoid = tx.read_pod(loc.obj, loc.off)?;
+            let mut path: Vec<(SlotLoc, NodeH)> = Vec::new();
+            let mut loc = SlotLoc::Root(anchor);
+            let mut cur = read_slot(tx, loc)?;
             let mut depth = 0usize;
             while !cur.is_null() {
                 let meta = read_meta(tx, cur)?;
                 let rest = &k[depth..];
-                if rest.len() < meta.prefix.len() || rest[..meta.prefix.len()] != meta.prefix[..]
-                {
+                let prefix = meta.prefix()?;
+                if rest.len() < prefix.len() || rest[..prefix.len()] != prefix[..] {
                     return Ok(None);
                 }
-                depth += meta.prefix.len();
+                depth += prefix.len();
                 path.push((loc, cur));
                 if depth == KEY_BYTES {
-                    if !meta.has_value {
+                    if meta.has_value == 0 {
                         return Ok(None);
                     }
                     write_value(tx, cur, None)?;
@@ -219,22 +253,26 @@ impl PersistentMap for RTree {
                     for i in (0..path.len()).rev() {
                         let (l, n) = path[i];
                         let m = read_meta(tx, n)?;
-                        if m.has_value || m.nchildren > 0 {
+                        if m.has_value != 0 || m.nchildren > 0 {
                             break;
                         }
-                        tx.write_pod(l.obj, l.off, &OID_NULL)?;
-                        tx.free(n)?;
+                        write_slot(tx, l, PObj::null())?;
+                        tx.free_obj(n)?;
                         if i > 0 {
                             let (_, parent) = path[i - 1];
                             let pm = read_meta(tx, parent)?;
-                            tx.write_pod(parent, NCHILD_OFF, &(pm.nchildren - 1))?;
+                            tx.write_at(
+                                parent,
+                                field!(RNode, meta.nchildren: u64),
+                                &(pm.nchildren - 1),
+                            )?;
                         }
                     }
                     return Ok(Some(meta.value));
                 }
                 let b = k[depth];
-                loc = SlotLoc { obj: cur, off: slot_off(b) };
-                cur = tx.read_pod(loc.obj, loc.off)?;
+                loc = SlotLoc::Node(cur, b);
+                cur = read_slot(tx, loc)?;
                 depth += 1;
             }
             Ok(None)
@@ -243,28 +281,26 @@ impl PersistentMap for RTree {
 
     fn get<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>> {
         let k = key_bytes(key);
-        let mut cur: PMEMoid = store.read_pod_direct(self.anchor, ROOT_OFF)?;
+        let mut cur: NodeH =
+            store.read_at_direct(self.anchor_h(), field!(RAnchor, root: PObj<RNode>))?;
         let mut depth = 0usize;
         while !cur.is_null() {
-            let klen: u32 = store.read_pod_direct(cur, KLEN_OFF)?;
-            let klen = klen as usize;
-            if klen > KEY_BYTES || depth + klen > KEY_BYTES {
+            let meta: RMeta = store.read_at_direct(cur, field!(RNode, meta: RMeta))?;
+            let prefix = meta.prefix()?;
+            if depth + prefix.len() > KEY_BYTES {
                 return Err(KvError::Corrupt("rtree: bad prefix length"));
             }
-            let mut pbuf = [0u8; 8];
-            store.read_direct(cur, PREFIX_OFF, &mut pbuf)?;
-            if pbuf[..klen] != k[depth..depth + klen] {
+            if prefix[..] != k[depth..depth + prefix.len()] {
                 return Ok(None);
             }
-            depth += klen;
+            depth += prefix.len();
             if depth == KEY_BYTES {
-                let has: u32 = store.read_pod_direct(cur, HAS_OFF)?;
-                if has == 0 {
+                if meta.has_value == 0 {
                     return Ok(None);
                 }
-                return Ok(Some(store.read_pod_direct(cur, VALUE_OFF)?));
+                return Ok(Some(meta.value));
             }
-            cur = store.read_pod_direct(cur, slot_off(k[depth]))?;
+            cur = store.read_at_direct(cur, slot_at(k[depth]))?;
             depth += 1;
         }
         Ok(None)
@@ -274,16 +310,15 @@ impl PersistentMap for RTree {
 /// Test helper: walks the tree verifying prefix-depth consistency and the
 /// child counters; returns the number of stored keys.
 pub fn check_invariants<S: Store>(map: &RTree, store: &S) -> KvResult<u64> {
-    fn walk<S: Store>(store: &S, node: PMEMoid, depth: usize) -> KvResult<u64> {
-        let klen: u32 = store.read_pod_direct(node, KLEN_OFF)?;
-        let klen = klen as usize;
+    fn walk<S: Store>(store: &S, node: NodeH, depth: usize) -> KvResult<u64> {
+        let meta: RMeta = store.read_at_direct(node, field!(RNode, meta: RMeta))?;
+        let klen = meta.prefix()?.len();
         if depth + klen > KEY_BYTES {
             return Err(KvError::Corrupt("rtree: path deeper than the key"));
         }
         let depth = depth + klen;
-        let has: u32 = store.read_pod_direct(node, HAS_OFF)?;
         let mut n = 0u64;
-        if has != 0 {
+        if meta.has_value != 0 {
             if depth != KEY_BYTES {
                 return Err(KvError::Corrupt("rtree: value above full depth"));
             }
@@ -292,23 +327,22 @@ pub fn check_invariants<S: Store>(map: &RTree, store: &S) -> KvResult<u64> {
         let mut children = 0u64;
         if depth < KEY_BYTES {
             for b in 0..=255u8 {
-                let child: PMEMoid = store.read_pod_direct(node, slot_off(b))?;
+                let child: NodeH = store.read_at_direct(node, slot_at(b))?;
                 if !child.is_null() {
                     children += 1;
                     n += walk(store, child, depth + 1)?;
                 }
             }
         }
-        let nchildren: u64 = store.read_pod_direct(node, NCHILD_OFF)?;
-        if children != nchildren {
+        if children != meta.nchildren {
             return Err(KvError::Corrupt("rtree: child count mismatch"));
         }
-        if has == 0 && children == 0 {
+        if meta.has_value == 0 && children == 0 {
             return Err(KvError::Corrupt("rtree: dangling empty node"));
         }
         Ok(n)
     }
-    let root: PMEMoid = store.read_pod_direct(map.anchor(), ROOT_OFF)?;
+    let root: NodeH = store.read_at_direct(map.anchor_h(), field!(RAnchor, root: PObj<RNode>))?;
     let n = if root.is_null() { 0 } else { walk(store, root, 0)? };
     if n != map.len(store)? {
         return Err(KvError::Corrupt("rtree: count mismatch"));

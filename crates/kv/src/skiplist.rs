@@ -3,8 +3,14 @@
 //! Level draws are deterministic (derived from the key's hash), which makes
 //! the structure reproducible across runs and backends without a random
 //! number generator in the transaction path.
+//!
+//! Level pointers are accessed through an indexed [`field!`] offset, so
+//! each link update logs 16 bytes — not the whole 408-byte node — keeping
+//! the incremental-checksum fast path.
 
-use pgl_pmemobj::{PMEMoid, OID_NULL};
+use pangolin::typed::{Field, PObj};
+use pangolin::{field, impl_ptype};
+use pgl_pmemobj::PMEMoid;
 
 use crate::maps::{splitmix64, PersistentMap};
 use crate::store::{KvError, KvResult, Store, TxOps};
@@ -16,18 +22,32 @@ const TYPE_NODE: u32 = 131;
 pub const LEVELS: usize = 24;
 
 /// Node: `{next[24] = 384 bytes, key, value, pad}` = 408 bytes.
-const NODE_SIZE: u64 = 408;
-const KEY_OFF: u64 = 384;
-const VALUE_OFF: u64 = 392;
-
-fn next_off(level: usize) -> u64 {
-    (level as u64) * 16
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(C)]
+struct SkipNode {
+    next: [PObj<SkipNode>; LEVELS],
+    key: u64,
+    value: u64,
+    pad: u64,
 }
+impl_ptype!(SkipNode, 408, TYPE_NODE);
 
-/// Anchor: `{count, head}`; the head is a sentinel node whose `next`
-/// pointers are the level lists' heads.
-const ANCHOR_SIZE: u64 = 24;
-const HEAD_OFF: u64 = 8;
+/// Anchor: `{count, head}` = 24 bytes; the head is a sentinel node whose
+/// `next` pointers are the level lists' heads.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(C)]
+struct SlAnchor {
+    count: u64,
+    head: PObj<SkipNode>,
+}
+impl_ptype!(SlAnchor, 24, TYPE_ANCHOR);
+
+type NodeH = PObj<SkipNode>;
+
+/// The level-`l` link slot of a node.
+fn next_at(level: usize) -> Field<SkipNode, NodeH> {
+    field!(SkipNode, next: [PObj<SkipNode>; LEVELS]).index(level)
+}
 
 /// Deterministic tower height for `key`: geometric with p = 1/2, capped.
 fn level_for(key: u64) -> usize {
@@ -41,30 +61,27 @@ pub struct SkipList {
 }
 
 impl SkipList {
-    fn bump_count(tx: &mut dyn TxOps, anchor: PMEMoid, delta: i64) -> KvResult<()> {
-        let mut buf = [0u8; 8];
-        tx.read_bytes(anchor, 0, &mut buf)?;
-        let n = u64::from_le_bytes(buf)
-            .checked_add_signed(delta)
-            .ok_or(KvError::Corrupt("skiplist count"))?;
-        tx.write_bytes(anchor, 0, &n.to_le_bytes())
+    fn anchor_h(&self) -> PObj<SlAnchor> {
+        PObj::from_oid(self.anchor)
+    }
+
+    fn bump_count(tx: &mut dyn TxOps, anchor: PObj<SlAnchor>, delta: i64) -> KvResult<()> {
+        let count: u64 = tx.read_at(anchor, field!(SlAnchor, count: u64))?;
+        let n = count.checked_add_signed(delta).ok_or(KvError::Corrupt("skiplist count"))?;
+        tx.write_at(anchor, field!(SlAnchor, count: u64), &n)
     }
 
     /// Finds, per level, the last node with `key < target` (the preds).
-    fn find_preds(
-        tx: &mut dyn TxOps,
-        head: PMEMoid,
-        key: u64,
-    ) -> KvResult<[PMEMoid; LEVELS]> {
-        let mut preds = [OID_NULL; LEVELS];
+    fn find_preds(tx: &mut dyn TxOps, head: NodeH, key: u64) -> KvResult<[NodeH; LEVELS]> {
+        let mut preds = [PObj::null(); LEVELS];
         let mut cur = head;
         for level in (0..LEVELS).rev() {
             loop {
-                let next: PMEMoid = tx.read_pod(cur, next_off(level))?;
+                let next: NodeH = tx.read_at(cur, next_at(level))?;
                 if next.is_null() {
                     break;
                 }
-                let nkey: u64 = tx.read_pod(next, KEY_OFF)?;
+                let nkey: u64 = tx.read_at(next, field!(SkipNode, key: u64))?;
                 if nkey >= key {
                     break;
                 }
@@ -81,12 +98,12 @@ impl PersistentMap for SkipList {
 
     fn create<S: Store>(store: &S) -> KvResult<Self> {
         let anchor = store.txn(&mut |tx| {
-            let anchor = tx.alloc_zeroed(ANCHOR_SIZE, TYPE_ANCHOR)?;
-            let head = tx.alloc_zeroed(NODE_SIZE, TYPE_NODE)?;
-            tx.write_pod(anchor, HEAD_OFF, &head)?;
+            let anchor = tx.alloc_obj_zeroed::<SlAnchor>()?;
+            let head = tx.alloc_obj_zeroed::<SkipNode>()?;
+            tx.write_at(anchor, field!(SlAnchor, head: PObj<SkipNode>), &head)?;
             Ok(anchor)
         })?;
-        Ok(SkipList { anchor })
+        Ok(SkipList { anchor: anchor.oid() })
     }
 
     fn from_anchor(anchor: PMEMoid) -> Self {
@@ -98,27 +115,27 @@ impl PersistentMap for SkipList {
     }
 
     fn insert<S: Store>(&self, store: &S, key: u64, value: u64) -> KvResult<Option<u64>> {
-        let anchor = self.anchor;
+        let anchor = self.anchor_h();
         store.txn(&mut |tx| {
-            let head: PMEMoid = tx.read_pod(anchor, HEAD_OFF)?;
+            let head: NodeH = tx.read_at(anchor, field!(SlAnchor, head: PObj<SkipNode>))?;
             let preds = Self::find_preds(tx, head, key)?;
-            let at: PMEMoid = tx.read_pod(preds[0], next_off(0))?;
+            let at: NodeH = tx.read_at(preds[0], next_at(0))?;
             if !at.is_null() {
-                let akey: u64 = tx.read_pod(at, KEY_OFF)?;
+                let akey: u64 = tx.read_at(at, field!(SkipNode, key: u64))?;
                 if akey == key {
-                    let old: u64 = tx.read_pod(at, VALUE_OFF)?;
-                    tx.write_pod(at, VALUE_OFF, &value)?;
+                    let old: u64 = tx.read_at(at, field!(SkipNode, value: u64))?;
+                    tx.write_at(at, field!(SkipNode, value: u64), &value)?;
                     return Ok(Some(old));
                 }
             }
             let height = level_for(key);
-            let node = tx.alloc_zeroed(NODE_SIZE, TYPE_NODE)?;
-            tx.write_pod(node, KEY_OFF, &key)?;
-            tx.write_pod(node, VALUE_OFF, &value)?;
+            let node = tx.alloc_obj_zeroed::<SkipNode>()?;
+            tx.write_at(node, field!(SkipNode, key: u64), &key)?;
+            tx.write_at(node, field!(SkipNode, value: u64), &value)?;
             for (level, &pred) in preds.iter().enumerate().take(height) {
-                let succ: PMEMoid = tx.read_pod(pred, next_off(level))?;
-                tx.write_pod(node, next_off(level), &succ)?;
-                tx.write_pod(pred, next_off(level), &node)?;
+                let succ: NodeH = tx.read_at(pred, next_at(level))?;
+                tx.write_at(node, next_at(level), &succ)?;
+                tx.write_at(pred, next_at(level), &node)?;
             }
             Self::bump_count(tx, anchor, 1)?;
             Ok(None)
@@ -126,51 +143,52 @@ impl PersistentMap for SkipList {
     }
 
     fn remove<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>> {
-        let anchor = self.anchor;
+        let anchor = self.anchor_h();
         store.txn(&mut |tx| {
-            let head: PMEMoid = tx.read_pod(anchor, HEAD_OFF)?;
+            let head: NodeH = tx.read_at(anchor, field!(SlAnchor, head: PObj<SkipNode>))?;
             let preds = Self::find_preds(tx, head, key)?;
-            let target: PMEMoid = tx.read_pod(preds[0], next_off(0))?;
+            let target: NodeH = tx.read_at(preds[0], next_at(0))?;
             if target.is_null() {
                 return Ok(None);
             }
-            let tkey: u64 = tx.read_pod(target, KEY_OFF)?;
+            let tkey: u64 = tx.read_at(target, field!(SkipNode, key: u64))?;
             if tkey != key {
                 return Ok(None);
             }
-            let old: u64 = tx.read_pod(target, VALUE_OFF)?;
+            let old: u64 = tx.read_at(target, field!(SkipNode, value: u64))?;
             for (level, &pred) in preds.iter().enumerate() {
-                let pn: PMEMoid = tx.read_pod(pred, next_off(level))?;
+                let pn: NodeH = tx.read_at(pred, next_at(level))?;
                 if pn != target {
                     break; // towers shrink upward: once unlinked, done
                 }
-                let succ: PMEMoid = tx.read_pod(target, next_off(level))?;
-                tx.write_pod(pred, next_off(level), &succ)?;
+                let succ: NodeH = tx.read_at(target, next_at(level))?;
+                tx.write_at(pred, next_at(level), &succ)?;
             }
-            tx.free(target)?;
+            tx.free_obj(target)?;
             Self::bump_count(tx, anchor, -1)?;
             Ok(Some(old))
         })
     }
 
     fn get<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>> {
-        let head: PMEMoid = store.read_pod_direct(self.anchor, HEAD_OFF)?;
+        let head: NodeH =
+            store.read_at_direct(self.anchor_h(), field!(SlAnchor, head: PObj<SkipNode>))?;
         if head.is_null() {
             return Ok(None);
         }
         let mut cur = head;
         for level in (0..LEVELS).rev() {
             loop {
-                let next: PMEMoid = store.read_pod_direct(cur, next_off(level))?;
+                let next: NodeH = store.read_at_direct(cur, next_at(level))?;
                 if next.is_null() {
                     break;
                 }
-                let nkey: u64 = store.read_pod_direct(next, KEY_OFF)?;
+                let nkey: u64 = store.read_at_direct(next, field!(SkipNode, key: u64))?;
                 if nkey > key {
                     break;
                 }
                 if nkey == key {
-                    return Ok(Some(store.read_pod_direct(next, VALUE_OFF)?));
+                    return Ok(Some(store.read_at_direct(next, field!(SkipNode, value: u64))?));
                 }
                 cur = next;
             }
@@ -182,26 +200,27 @@ impl PersistentMap for SkipList {
 /// Test helper: verifies level-0 ordering, tower consistency (every level-l
 /// list is a subsequence of level 0), and the count.
 pub fn check_invariants<S: Store>(map: &SkipList, store: &S) -> KvResult<u64> {
-    let head: PMEMoid = store.read_pod_direct(map.anchor(), HEAD_OFF)?;
+    let head: NodeH = store
+        .read_at_direct(PObj::from_oid(map.anchor()), field!(SlAnchor, head: PObj<SkipNode>))?;
     // Level 0: full ordered traversal.
     let mut keys = Vec::new();
-    let mut cur: PMEMoid = store.read_pod_direct(head, next_off(0))?;
+    let mut cur: NodeH = store.read_at_direct(head, next_at(0))?;
     while !cur.is_null() {
-        let k: u64 = store.read_pod_direct(cur, KEY_OFF)?;
+        let k: u64 = store.read_at_direct(cur, field!(SkipNode, key: u64))?;
         if let Some(&last) = keys.last() {
             if k <= last {
                 return Err(KvError::Corrupt("skiplist: unordered level 0"));
             }
         }
         keys.push(k);
-        cur = store.read_pod_direct(cur, next_off(0))?;
+        cur = store.read_at_direct(cur, next_at(0))?;
     }
     // Upper levels must be ordered subsequences.
     for level in 1..LEVELS {
-        let mut cur: PMEMoid = store.read_pod_direct(head, next_off(level))?;
+        let mut cur: NodeH = store.read_at_direct(head, next_at(level))?;
         let mut prev: Option<u64> = None;
         while !cur.is_null() {
-            let k: u64 = store.read_pod_direct(cur, KEY_OFF)?;
+            let k: u64 = store.read_at_direct(cur, field!(SkipNode, key: u64))?;
             if let Some(p) = prev {
                 if k <= p {
                     return Err(KvError::Corrupt("skiplist: unordered upper level"));
@@ -211,7 +230,7 @@ pub fn check_invariants<S: Store>(map: &SkipList, store: &S) -> KvResult<u64> {
                 return Err(KvError::Corrupt("skiplist: upper level not a subsequence"));
             }
             prev = Some(k);
-            cur = store.read_pod_direct(cur, next_off(level))?;
+            cur = store.read_at_direct(cur, next_at(level))?;
         }
     }
     if keys.len() as u64 != map.len(store)? {

@@ -7,9 +7,10 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use pangolin::typed::{Field, PArr, PObj, PType};
 use pangolin::{PglError, PglPool};
-use pgl_nvm::pod::{bytes_of, from_bytes, Pod};
-use pgl_pmemobj::{ObjError, PMEMoid, PmemPool, TxStats};
+use pgl_nvm::pod::{bytes_of, bytes_of_mut, zeroed, Pod};
+use pgl_pmemobj::{ObjError, PMEMoid, PmemPool, TxStats, OID_NULL};
 
 /// Errors from either backend.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,16 +68,94 @@ pub trait TxOps {
 }
 
 impl dyn TxOps + '_ {
-    /// Typed field write.
+    /// Typed field write (raw-offset escape hatch; prefer
+    /// `write_at`).
     pub fn write_pod<T: Pod>(&mut self, oid: PMEMoid, off: u64, val: &T) -> KvResult<()> {
         self.write_bytes(oid, off, bytes_of(val))
     }
 
-    /// Typed field read.
+    /// Typed field read (raw-offset escape hatch; prefer
+    /// `read_at`).
     pub fn read_pod<T: Pod>(&mut self, oid: PMEMoid, off: u64) -> KvResult<T> {
-        let mut buf = vec![0u8; std::mem::size_of::<T>()];
-        self.read_bytes(oid, off, &mut buf)?;
-        Ok(from_bytes(&buf))
+        let mut v = zeroed::<T>();
+        self.read_bytes(oid, off, bytes_of_mut(&mut v))?;
+        Ok(v)
+    }
+
+    // --- typed-object layer (mirrors `pangolin::typed` over both
+    // backends; all helpers compile down to the object-safe core) ---
+
+    /// Allocates a new `T` object initialized to `*init`.
+    pub fn alloc_obj<T: PType>(&mut self, init: &T) -> KvResult<PObj<T>> {
+        let oid = self.alloc(std::mem::size_of::<T>() as u64, T::TYPE_NUM)?;
+        self.write_bytes(oid, 0, bytes_of(init))?;
+        Ok(PObj::from_oid(oid))
+    }
+
+    /// Allocates a zero-filled `T` object (fields are written piecemeal
+    /// afterwards, which keeps transaction write sizes minimal).
+    pub fn alloc_obj_zeroed<T: PType>(&mut self) -> KvResult<PObj<T>> {
+        let oid = self.alloc_zeroed(std::mem::size_of::<T>() as u64, T::TYPE_NUM)?;
+        Ok(PObj::from_oid(oid))
+    }
+
+    /// Typed whole-object read (straight into a stack value — node-sized
+    /// reads on the kv hot paths never touch the heap).
+    pub fn get_obj<T: PType>(&mut self, h: PObj<T>) -> KvResult<T> {
+        let mut v = zeroed::<T>();
+        self.read_bytes(h.oid(), 0, bytes_of_mut(&mut v))?;
+        Ok(v)
+    }
+
+    /// Typed whole-object write.
+    pub fn set_obj<T: PType>(&mut self, h: PObj<T>, v: &T) -> KvResult<()> {
+        self.write_bytes(h.oid(), 0, bytes_of(v))
+    }
+
+    /// Frees a typed object.
+    pub fn free_obj<T: PType>(&mut self, h: PObj<T>) -> KvResult<()> {
+        self.free(h.oid())
+    }
+
+    /// Typed field read through a [`field!`](pangolin::field) offset.
+    pub fn read_at<T: PType, F: Pod>(&mut self, h: PObj<T>, fld: Field<T, F>) -> KvResult<F> {
+        let mut v = zeroed::<F>();
+        self.read_bytes(h.oid(), fld.offset(), bytes_of_mut(&mut v))?;
+        Ok(v)
+    }
+
+    /// Typed field write; only `size_of::<F>()` bytes are logged, keeping
+    /// Pangolin's incremental-checksum fast path for large structs.
+    pub fn write_at<T: PType, F: Pod>(
+        &mut self,
+        h: PObj<T>,
+        fld: Field<T, F>,
+        v: &F,
+    ) -> KvResult<()> {
+        self.write_bytes(h.oid(), fld.offset(), bytes_of(v))
+    }
+
+    /// Allocates a zero-filled array of `len` elements of `T`.
+    pub fn alloc_arr<T: Pod>(&mut self, len: u64, type_num: u32) -> KvResult<PArr<T>> {
+        let oid = self.alloc_zeroed(len * std::mem::size_of::<T>() as u64, type_num)?;
+        Ok(PArr::from_oid(oid))
+    }
+
+    /// Typed array-element read.
+    pub fn arr_get<T: Pod>(&mut self, a: PArr<T>, i: u64) -> KvResult<T> {
+        let mut v = zeroed::<T>();
+        self.read_bytes(a.oid(), i * std::mem::size_of::<T>() as u64, bytes_of_mut(&mut v))?;
+        Ok(v)
+    }
+
+    /// Typed array-element write.
+    pub fn arr_set<T: Pod>(&mut self, a: PArr<T>, i: u64, v: &T) -> KvResult<()> {
+        self.write_bytes(a.oid(), i * std::mem::size_of::<T>() as u64, bytes_of(v))
+    }
+
+    /// Frees an array object.
+    pub fn free_arr<T: Pod>(&mut self, a: PArr<T>) -> KvResult<()> {
+        self.free(a.oid())
     }
 }
 
@@ -97,9 +176,17 @@ impl dyn TxOps + '_ {
 ///
 /// ```
 /// use std::sync::Arc;
-/// use pangolin::{PglConfig, PglPool};
+/// use pangolin::typed::PObj;
+/// use pangolin::{impl_ptype, PglConfig, PglPool};
 /// use pgl_kv::store::{PglStore, Store};
 /// use pgl_nvm::{DeviceConfig, NvmDevice};
+///
+/// #[derive(Clone, Copy, Default)]
+/// #[repr(C)]
+/// struct Slot {
+///     owner: u64,
+/// }
+/// impl_ptype!(Slot, 8, 1);
 ///
 /// let cfg = PglConfig::small();
 /// let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::fast()).unwrap());
@@ -110,14 +197,10 @@ impl dyn TxOps + '_ {
 ///     for t in 0..4u64 {
 ///         let store = store.clone();
 ///         s.spawn(move || {
-///             let oid = store
-///                 .txn(&mut |tx| {
-///                     let oid = tx.alloc_zeroed(64, 1)?;
-///                     tx.write_pod(oid, 0, &t)?;
-///                     Ok(oid)
-///                 })
+///             let h: PObj<Slot> = store
+///                 .txn(&mut |tx| tx.alloc_obj(&Slot { owner: t }))
 ///                 .unwrap();
-///             assert_eq!(store.read_pod_direct::<u64>(oid, 0).unwrap(), t);
+///             assert_eq!(store.get_obj_direct(h).unwrap().owner, t);
 ///         });
 ///     }
 /// });
@@ -146,19 +229,53 @@ pub trait Store: Send + Sync {
     /// (single-threaded instrumentation helper for the Table 3 harness).
     fn last_tx_stats(&self) -> TxStats;
 
-    /// Typed direct read.
+    /// Typed direct read (raw-offset escape hatch; prefer
+    /// [`Store::read_at_direct`]).
     fn read_pod_direct<T: Pod>(&self, oid: PMEMoid, off: u64) -> KvResult<T>
     where
         Self: Sized,
     {
-        let mut buf = vec![0u8; std::mem::size_of::<T>()];
-        self.read_direct(oid, off, &mut buf)?;
-        Ok(from_bytes(&buf))
+        let mut v = zeroed::<T>();
+        self.read_direct(oid, off, bytes_of_mut(&mut v))?;
+        Ok(v)
+    }
+
+    /// Typed direct whole-object read.
+    fn get_obj_direct<T: PType>(&self, h: PObj<T>) -> KvResult<T>
+    where
+        Self: Sized,
+    {
+        self.read_pod_direct(h.oid(), 0)
+    }
+
+    /// Typed direct field read through a [`field!`](pangolin::field)
+    /// offset.
+    fn read_at_direct<T: PType, F: Pod>(&self, h: PObj<T>, fld: Field<T, F>) -> KvResult<F>
+    where
+        Self: Sized,
+    {
+        self.read_pod_direct(h.oid(), fld.offset())
+    }
+
+    /// Typed direct array-element read.
+    fn arr_get_direct<T: Pod>(&self, a: PArr<T>, i: u64) -> KvResult<T>
+    where
+        Self: Sized,
+    {
+        self.read_pod_direct(a.oid(), i * std::mem::size_of::<T>() as u64)
     }
 
     /// Returns (and on first use creates) the pool root object of `size`
     /// bytes.
     fn root(&self, size: u64, type_num: u32) -> KvResult<PMEMoid>;
+
+    /// Returns (and on first use creates) the typed pool root.
+    fn typed_root<T: PType>(&self) -> KvResult<PObj<T>>
+    where
+        Self: Sized,
+    {
+        Ok(PObj::from_oid(self.root(std::mem::size_of::<T>() as u64, T::TYPE_NUM)?))
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -334,19 +451,81 @@ impl Store for PglStore {
     }
 }
 
-/// Tags a value-carrying [`PMEMoid`]: the paper's data structures store
-/// `PMEMoid`-shaped slots that may hold either a child pointer or an
-/// embedded value; the pool id distinguishes them.
-pub const VALUE_TAG: u64 = u64::MAX;
+/// The pool-id tag marking a slot that carries an inline value instead of
+/// an object pointer (no real pool ever has this uuid).
+const INLINE_TAG: u64 = u64::MAX;
 
-/// Encodes a `u64` value as a tagged slot.
-pub fn value_slot(v: u64) -> PMEMoid {
-    PMEMoid::new(VALUE_TAG, v)
+/// A persistent 16-byte slot that holds either an **inline `u64` value**
+/// or a **typed object handle** — the paper's data structures (e.g. the
+/// crit-bit tree) store `PMEMoid`-shaped slots that serve both roles.
+///
+/// Historically this was smuggled through a fake `PMEMoid` with a sentinel
+/// pool id; `ValueSlot` keeps that bit-compatible encoding but only lets
+/// callers in and out through the type-checked [`ValueRef`] enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(transparent)]
+pub struct ValueSlot {
+    raw: PMEMoid,
 }
 
-/// Decodes a tagged slot, if it is one.
-pub fn slot_value(oid: PMEMoid) -> Option<u64> {
-    (oid.pool == VALUE_TAG).then_some(oid.off)
+// SAFETY: `#[repr(transparent)]` over `PMEMoid` (Pod, 16 bytes, any bit
+// pattern valid).
+unsafe impl Pod for ValueSlot {}
+
+/// The decoded content of a [`ValueSlot`].
+pub enum ValueRef<T: Pod> {
+    /// Empty slot.
+    Null,
+    /// An inline `u64` value (a leaf).
+    Inline(u64),
+    /// A typed pointer to a `T` object (an interior node).
+    Obj(PObj<T>),
+}
+
+impl<T: Pod> Clone for ValueRef<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Pod> Copy for ValueRef<T> {}
+
+impl ValueSlot {
+    /// The empty slot.
+    pub const NULL: ValueSlot = ValueSlot { raw: OID_NULL };
+
+    /// Encodes an inline value.
+    pub fn inline(v: u64) -> Self {
+        ValueSlot { raw: PMEMoid::new(INLINE_TAG, v) }
+    }
+
+    /// Encodes a typed object pointer.
+    pub fn obj<T: Pod>(h: PObj<T>) -> Self {
+        ValueSlot { raw: h.oid() }
+    }
+
+    /// `true` for the empty slot.
+    pub fn is_null(self) -> bool {
+        self.raw.is_null()
+    }
+
+    /// Decodes the slot, branding any object pointer as a `T` handle.
+    pub fn decode<T: Pod>(self) -> ValueRef<T> {
+        if self.raw.is_null() {
+            ValueRef::Null
+        } else if self.raw.pool == INLINE_TAG {
+            ValueRef::Inline(self.raw.off)
+        } else {
+            ValueRef::Obj(PObj::from_oid(self.raw))
+        }
+    }
+
+    /// The inline value, if the slot holds one.
+    pub fn inline_value(self) -> Option<u64> {
+        match self.decode::<u64>() {
+            ValueRef::Inline(v) => Some(v),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -368,24 +547,45 @@ mod tests {
         PglStore::new(PglPool::create(dev, cfg).unwrap())
     }
 
+    #[derive(Clone, Copy, Default, PartialEq, Debug)]
+    #[repr(C)]
+    struct Cell {
+        a: u64,
+        b: u64,
+    }
+    pangolin::impl_ptype!(Cell, 16, 1);
+
     fn exercise<S: Store>(s: &S) {
-        let oid = s
+        let h = s
             .txn(&mut |tx| {
-                let oid = tx.alloc_zeroed(64, 1)?;
-                tx.write_pod(oid, 0, &42u64)?;
-                Ok(oid)
+                let h = tx.alloc_obj_zeroed::<Cell>()?;
+                tx.write_at(h, pangolin::field!(Cell, a: u64), &42u64)?;
+                Ok(h)
             })
             .unwrap();
-        assert_eq!(s.read_pod_direct::<u64>(oid, 0).unwrap(), 42);
+        assert_eq!(s.get_obj_direct(h).unwrap(), Cell { a: 42, b: 0 });
+        s.txn(&mut |tx| tx.set_obj(h, &Cell { a: 1, b: 2 })).unwrap();
+        assert_eq!(s.read_at_direct(h, pangolin::field!(Cell, b: u64)).unwrap(), 2);
 
         // Error propagation keeps the original KvError.
         let err = s.txn(&mut |_tx| -> KvResult<()> { Err(KvError::Corrupt("synthetic")) });
         assert_eq!(err, Err(KvError::Corrupt("synthetic")));
 
-        // Root is stable.
-        let r1 = s.root(32, 9).unwrap();
-        let r2 = s.root(32, 9).unwrap();
+        // Root is stable, typed or raw.
+        let r1 = s.typed_root::<Cell>().unwrap();
+        let r2 = s.typed_root::<Cell>().unwrap();
         assert_eq!(r1, r2);
+
+        // Arrays round-trip element-wise.
+        let arr = s
+            .txn(&mut |tx| {
+                let arr = tx.alloc_arr::<u64>(8, 3)?;
+                tx.arr_set(arr, 5, &555u64)?;
+                Ok(arr)
+            })
+            .unwrap();
+        assert_eq!(s.arr_get_direct(arr, 5).unwrap(), 555);
+        assert_eq!(s.arr_get_direct::<u64>(arr, 0).unwrap(), 0);
     }
 
     #[test]
@@ -396,9 +596,18 @@ mod tests {
 
     #[test]
     fn value_slots_tag_and_roundtrip() {
-        let v = value_slot(777);
-        assert_eq!(slot_value(v), Some(777));
-        assert_eq!(slot_value(PMEMoid::new(3, 8)), None);
-        assert_eq!(slot_value(pgl_pmemobj::OID_NULL), None);
+        let v = ValueSlot::inline(777);
+        assert_eq!(v.inline_value(), Some(777));
+        assert!(!v.is_null());
+        assert!(ValueSlot::NULL.is_null());
+        assert!(matches!(ValueSlot::NULL.decode::<Cell>(), ValueRef::Null));
+
+        let h = PObj::<Cell>::from_oid(PMEMoid::new(3, 4096));
+        let s = ValueSlot::obj(h);
+        assert_eq!(s.inline_value(), None);
+        match s.decode::<Cell>() {
+            ValueRef::Obj(back) => assert_eq!(back, h),
+            _ => panic!("expected an object slot"),
+        }
     }
 }

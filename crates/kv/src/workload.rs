@@ -274,8 +274,7 @@ mod tests {
         let keys = random_keys(400, 42);
         let ins = concurrent_insert_phase::<CTree, _>(&store, &keys, 4).unwrap();
         assert_eq!(ins.ops, 400);
-        let mixed =
-            concurrent_mixed_phase::<CTree, _>(&store, &keys, 4, 0.3, 99).unwrap();
+        let mixed = concurrent_mixed_phase::<CTree, _>(&store, &keys, 4, 0.3, 99).unwrap();
         assert_eq!(mixed.ops, 400);
         // The shared pool stayed consistent under 8 maps' worth of traffic.
         assert!(store.pool().verify_parity().unwrap());

@@ -145,7 +145,11 @@ macro_rules! model_tests {
                 let mut ops: Vec<Op> =
                     (0..300).rev().map(|i| Op::Insert(i as u64, i as u64)).collect();
                 ops.extend((0..300).map(|i| {
-                    if i % 2 == 0 { Op::Remove(i as u64) } else { Op::Get(i as u64) }
+                    if i % 2 == 0 {
+                        Op::Remove(i as u64)
+                    } else {
+                        Op::Get(i as u64)
+                    }
                 }));
                 run_ops::<$map, _>(&store, &ops, $checker, 41);
             }
@@ -210,33 +214,33 @@ proptest! {
     }
 }
 
+/// The typed pool root of the reopen test: where the map anchor is kept.
+#[derive(Clone, Copy, Default)]
+#[repr(C)]
+struct MapDirectory {
+    btree_anchor: pgl_pmemobj::PMEMoid,
+}
+pangolin::impl_ptype!(MapDirectory, 16, 0);
+
 #[test]
 fn maps_survive_pool_reopen() {
-    let mut cfg = PglConfig::small();
-    cfg.pool.size = 32 << 20;
-    cfg.pool.zone_size = 16 << 20;
-    let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::fast()).unwrap());
-    let store = PglStore::new(PglPool::create(dev.clone(), cfg).unwrap());
+    let opts = PglPool::options().size(32 << 20).zone_size(16 << 20);
+    let dev = Arc::new(NvmDevice::new(opts.config().pool.size, DeviceConfig::fast()).unwrap());
+    let store = PglStore::new(opts.create(dev.clone()).unwrap());
     let map = BTree::create(&store).unwrap();
     for k in 0..500u64 {
         map.insert(&store, k, k + 1).unwrap();
     }
     let anchor = map.anchor();
-    let root = store.root(16, 0).unwrap();
-    store
-        .txn(&mut |tx| {
-            let mut buf = [0u8; 16];
-            buf.copy_from_slice(pgl_nvm::pod::bytes_of(&anchor));
-            tx.write_bytes(root, 0, &buf)
-        })
-        .unwrap();
+    let root = store.typed_root::<MapDirectory>().unwrap();
+    store.txn(&mut |tx| tx.set_obj(root, &MapDirectory { btree_anchor: anchor })).unwrap();
     drop(store);
 
-    let pool = PglPool::open(dev, pangolin::CsumPolicy::Default, false).unwrap();
+    let pool = PglPool::options().open(dev).unwrap();
     let store = PglStore::new(pool);
-    let root = store.root(16, 0).unwrap();
-    let anchor: pgl_pmemobj::PMEMoid = store.read_pod_direct(root, 0).unwrap();
-    let anchor = pgl_pmemobj::PMEMoid::new(store.uuid(), anchor.off);
+    let root = store.typed_root::<MapDirectory>().unwrap();
+    let dir: MapDirectory = store.get_obj_direct(root).unwrap();
+    let anchor = pgl_pmemobj::PMEMoid::new(store.uuid(), dir.btree_anchor.off);
     let map = BTree::from_anchor(anchor);
     for k in 0..500u64 {
         assert_eq!(map.get(&store, k).unwrap(), Some(k + 1));

@@ -277,7 +277,8 @@ impl NvmDevice {
     pub fn atomic_load_u64(&self, off: u64) -> Result<u64> {
         self.check_aligned8(off)?;
         self.check_poison(off, 8)?;
-        LatencyModel::charge(self.latency.read_ns_per_line); // one line
+        // One cache line.
+        LatencyModel::charge(self.latency.read_ns_per_line);
         // SAFETY: aligned and in-bounds; AtomicU64 may alias plain memory
         // that is only accessed through this device's synchronized paths.
         let atom = unsafe { &*(self.ptr_at(off) as *const AtomicU64) };
@@ -567,10 +568,8 @@ impl NvmDevice {
     /// Panics if the device was built in [`PersistenceMode::Fast`], which
     /// does not track dirty lines.
     pub fn simulate_crash(&self, plan: &mut dyn CrashPlan) {
-        let tracker = self
-            .tracker
-            .as_ref()
-            .expect("simulate_crash requires PersistenceMode::Precise");
+        let tracker =
+            self.tracker.as_ref().expect("simulate_crash requires PersistenceMode::Precise");
         tracker.crash_with(
             plan,
             |line| self.line_content(line),
@@ -619,8 +618,7 @@ mod tests {
     use crate::crash::{AllNew, AllOld};
 
     fn dev(mode: PersistenceMode) -> NvmDevice {
-        NvmDevice::new(64 * 1024, DeviceConfig { mode, latency: LatencyModel::disabled() })
-            .unwrap()
+        NvmDevice::new(64 * 1024, DeviceConfig { mode, latency: LatencyModel::disabled() }).unwrap()
     }
 
     #[test]

@@ -81,6 +81,25 @@ pub fn bytes_of<T: Pod>(val: &T) -> &[u8] {
     unsafe { std::slice::from_raw_parts(val as *const T as *const u8, std::mem::size_of::<T>()) }
 }
 
+/// Returns an all-zero `T` (a valid value for any `Pod` type).
+#[inline]
+pub fn zeroed<T: Pod>() -> T {
+    // SAFETY: `T: Pod` guarantees every bit pattern is a valid value, so
+    // the all-zero pattern is too.
+    unsafe { std::mem::zeroed() }
+}
+
+/// Mutably borrows the raw bytes of a `Pod` value — the write-side twin of
+/// [`bytes_of`], letting callers read from a device directly into a typed
+/// value without a heap buffer.
+#[inline]
+pub fn bytes_of_mut<T: Pod>(val: &mut T) -> &mut [u8] {
+    // SAFETY: `T: Pod` guarantees no padding (all bytes are initialized)
+    // and that any bit pattern is valid, so arbitrary byte stores cannot
+    // create an invalid value; the lifetime is tied to the borrow of `val`.
+    unsafe { std::slice::from_raw_parts_mut(val as *mut T as *mut u8, std::mem::size_of::<T>()) }
+}
+
 /// Reconstructs a `Pod` value from raw bytes.
 ///
 /// # Panics
@@ -144,6 +163,15 @@ mod tests {
         buf.0[3..19].copy_from_slice(bytes_of(&p));
         let q: Pair = from_bytes(&buf.0[3..]);
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn zeroed_and_bytes_of_mut_roundtrip() {
+        let mut p: Pair = zeroed();
+        assert_eq!(p, Pair { a: 0, b: 0, c: 0 });
+        let src = Pair { a: 5, b: 6, c: 7 };
+        bytes_of_mut(&mut p).copy_from_slice(bytes_of(&src));
+        assert_eq!(p, src);
     }
 
     #[test]

@@ -193,9 +193,13 @@ mod tests {
         let t = Tracker::new();
         t.note_store(3, &line_of(0));
         let mut reverted = Vec::new();
-        t.crash_with(&mut AllOld, |_| line_of(7), |line, content| {
-            reverted.push((line, content[0]));
-        });
+        t.crash_with(
+            &mut AllOld,
+            |_| line_of(7),
+            |line, content| {
+                reverted.push((line, content[0]));
+            },
+        );
         assert_eq!(reverted, vec![(3, 0)]);
     }
 
@@ -207,9 +211,13 @@ mod tests {
         t.drain();
         // After the fence the content 7 is durable even under AllOld.
         let mut applied = Vec::new();
-        t.crash_with(&mut AllOld, |_| line_of(7), |line, content| {
-            applied.push((line, content[0]));
-        });
+        t.crash_with(
+            &mut AllOld,
+            |_| line_of(7),
+            |line, content| {
+                applied.push((line, content[0]));
+            },
+        );
         // The line settled clean: either no apply, or apply of content 7.
         assert!(applied.is_empty() || applied == vec![(3, 7)]);
     }

@@ -29,9 +29,7 @@ pub fn class_for(alloc_size: u64, chunk_size: usize) -> Option<usize> {
     if alloc_size > CLASS_SIZES[CLASS_SIZES.len() - 1] as u64 {
         return None;
     }
-    CLASS_SIZES
-        .iter()
-        .position(|&c| c as u64 >= alloc_size && nblocks(chunk_size, c) >= 1)
+    CLASS_SIZES.iter().position(|&c| c as u64 >= alloc_size && nblocks(chunk_size, c) >= 1)
 }
 
 /// Finds the class index for an exact block size (used when rebuilding

@@ -205,7 +205,10 @@ impl Heap {
             for c in 0..layout.zone.cm_chunks {
                 io.write(layout.cm_entry_off(z, c), &meta)?;
             }
-            io.persist(layout.cm_entry_off(z, 0), (layout.zone.cm_chunks * CM_ENTRY_SIZE) as usize)?;
+            io.persist(
+                layout.cm_entry_off(z, 0),
+                (layout.zone.cm_chunks * CM_ENTRY_SIZE) as usize,
+            )?;
         }
         Ok(())
     }
@@ -245,9 +248,8 @@ impl Heap {
                         let hdr = RunHeader::read(io, base)?;
                         hdr.validate(layout.cfg.chunk_size)
                             .map_err(|_| ObjError::Corruption { off: base, what: "run header" })?;
-                        let class = classes::class_index_of(hdr.block_size).ok_or(
-                            ObjError::Corruption { off: base, what: "run class" },
-                        )?;
+                        let class = classes::class_index_of(hdr.block_size)
+                            .ok_or(ObjError::Corruption { off: base, what: "run class" })?;
                         let free_blocks = hdr.free_blocks();
                         let has_free = !free_blocks.is_empty();
                         zs.runs.insert(
@@ -325,12 +327,7 @@ impl Heap {
                         user_size: size,
                         type_num,
                         ops: vec![MetaOp::SetBits { off: word, mask }],
-                        kind: ReserveKind::Run {
-                            zone: zi as u64,
-                            chunk,
-                            block,
-                            fresh_run: false,
-                        },
+                        kind: ReserveKind::Run { zone: zi as u64, chunk, block, fresh_run: false },
                     });
                 }
             }
@@ -409,9 +406,8 @@ impl Heap {
     /// Reserves the deallocation of the object whose user data is at
     /// `oid_off`, determining its shape from persistent metadata.
     pub fn reserve_free(&self, io: &PoolIo, oid_off: u64) -> Result<FreeReservation> {
-        let start = oid_off.checked_sub(OBJ_HEADER_SIZE).ok_or(ObjError::InvalidOid {
-            off: oid_off,
-        })?;
+        let start =
+            oid_off.checked_sub(OBJ_HEADER_SIZE).ok_or(ObjError::InvalidOid { off: oid_off })?;
         let (z, c, within) = self.layout.chunk_of(start)?;
         let cm = Self::read_cm(io, &self.layout, z, c)?;
         match cm.chunk_type() {
@@ -423,9 +419,9 @@ impl Heap {
                     .get(&c)
                     .ok_or(ObjError::Corruption { off: base, what: "run state" })?;
                 let bs = run.block_size;
-                let rel = within.checked_sub(RUN_HEADER_SIZE).ok_or(ObjError::InvalidOid {
-                    off: oid_off,
-                })?;
+                let rel = within
+                    .checked_sub(RUN_HEADER_SIZE)
+                    .ok_or(ObjError::InvalidOid { off: oid_off })?;
                 if rel % bs as u64 != 0 {
                     return Err(ObjError::InvalidOid { off: oid_off });
                 }
@@ -488,9 +484,8 @@ impl Heap {
     /// whose user data is at `oid_off`, from persistent metadata. Used by
     /// corruption recovery to bound the pages it must inspect.
     pub fn storage_of(&self, io: &PoolIo, oid_off: u64) -> Result<(u64, u64)> {
-        let start = oid_off
-            .checked_sub(OBJ_HEADER_SIZE)
-            .ok_or(ObjError::InvalidOid { off: oid_off })?;
+        let start =
+            oid_off.checked_sub(OBJ_HEADER_SIZE).ok_or(ObjError::InvalidOid { off: oid_off })?;
         let (z, c, within) = self.layout.chunk_of(start)?;
         let cm = Self::read_cm(io, &self.layout, z, c)?;
         match cm.chunk_type() {

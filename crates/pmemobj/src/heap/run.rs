@@ -70,8 +70,7 @@ impl_pod!(ChunkMeta, 16);
 impl ChunkMeta {
     /// Builds an entry with a correct checksum.
     pub fn new(ctype: ChunkType, class: u16, size_idx: u32) -> ChunkMeta {
-        let mut m =
-            ChunkMeta { ctype: ctype as u8, flags: 0, class, size_idx, arg: 0, csum: 0 };
+        let mut m = ChunkMeta { ctype: ctype as u8, flags: 0, class, size_idx, arg: 0, csum: 0 };
         m.csum = m.compute_csum();
         m
     }
@@ -137,8 +136,7 @@ impl RunHeader {
     pub fn validate(&self, chunk_size: usize) -> Result<()> {
         let fits = self.block_size >= 8
             && self.nblocks >= 1
-            && RUN_HEADER_SIZE + self.block_size as u64 * self.nblocks as u64
-                <= chunk_size as u64;
+            && RUN_HEADER_SIZE + self.block_size as u64 * self.nblocks as u64 <= chunk_size as u64;
         if fits {
             Ok(())
         } else {

@@ -291,11 +291,8 @@ impl Lanes {
         }
         // A torn or corrupted primary suffix is recovered from the replica:
         // use whichever copy decodes further.
-        let replica_entries = if io.read(replica, &mut buf).is_ok() {
-            ulog::walk(&buf, gen)?
-        } else {
-            Vec::new()
-        };
+        let replica_entries =
+            if io.read(replica, &mut buf).is_ok() { ulog::walk(&buf, gen)? } else { Vec::new() };
         if replica_entries.len() > primary_entries.len() {
             Ok(replica_entries)
         } else {
@@ -561,8 +558,7 @@ mod tests {
         h.persist_log().unwrap();
         // Poison the primary overflow chunk: the replica copy serves reads.
         io.dev().poison_page(p / pgl_nvm::PAGE_SIZE as u64).unwrap();
-        let entries =
-            Lanes::read_entries(&io, &layout, h.index(), LogMirror::SameDevice).unwrap();
+        let entries = Lanes::read_entries(&io, &layout, h.index(), LogMirror::SameDevice).unwrap();
         assert!(ulog::is_committed(&entries));
         assert!(entries.iter().any(|e| e.payload == b"in overflow"));
     }

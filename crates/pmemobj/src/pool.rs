@@ -471,12 +471,13 @@ mod tests {
     #[test]
     fn alloc_write_read_roundtrip() {
         let (_dev, pool) = new_pool();
-        let oid = pool.tx(|tx| {
-            let oid = tx.alloc(64, 7)?;
-            tx.write(oid, 0, b"forty-two")?;
-            Ok(oid)
-        })
-        .unwrap();
+        let oid = pool
+            .tx(|tx| {
+                let oid = tx.alloc(64, 7)?;
+                tx.write(oid, 0, b"forty-two")?;
+                Ok(oid)
+            })
+            .unwrap();
         let mut buf = [0u8; 9];
         pool.read(oid, 0, &mut buf).unwrap();
         assert_eq!(&buf, b"forty-two");
@@ -488,12 +489,13 @@ mod tests {
     #[test]
     fn abort_rolls_back_in_place_writes() {
         let (_dev, pool) = new_pool();
-        let oid = pool.tx(|tx| {
-            let oid = tx.alloc_zeroed(32, 1)?;
-            tx.write(oid, 0, &[1u8; 32])?;
-            Ok(oid)
-        })
-        .unwrap();
+        let oid = pool
+            .tx(|tx| {
+                let oid = tx.alloc_zeroed(32, 1)?;
+                tx.write(oid, 0, &[1u8; 32])?;
+                Ok(oid)
+            })
+            .unwrap();
         let err = pool.tx(|tx| -> Result<()> {
             tx.write(oid, 0, &[9u8; 32])?;
             Err(ObjError::Aborted("user abort".into()))
@@ -555,12 +557,13 @@ mod tests {
     #[test]
     fn reopen_preserves_objects() {
         let (dev, pool) = new_pool();
-        let oid = pool.tx(|tx| {
-            let oid = tx.alloc(64, 3)?;
-            tx.write(oid, 0, &[0xAB; 64])?;
-            Ok(oid)
-        })
-        .unwrap();
+        let oid = pool
+            .tx(|tx| {
+                let oid = tx.alloc(64, 3)?;
+                tx.write(oid, 0, &[0xAB; 64])?;
+                Ok(oid)
+            })
+            .unwrap();
         drop(pool);
         let pool = PmemPool::open(dev).unwrap();
         let mut buf = [0u8; 64];
@@ -581,12 +584,13 @@ mod tests {
         let dev = Arc::new(NvmDevice::new(cfg.size, DeviceConfig::fast()).unwrap());
         let rep = Arc::new(NvmDevice::new(cfg.size, DeviceConfig::fast()).unwrap());
         let pool = PmemPool::create_replicated(dev.clone(), rep.clone(), cfg).unwrap();
-        let oid = pool.tx(|tx| {
-            let oid = tx.alloc(64, 1)?;
-            tx.write(oid, 0, &[0x5A; 64])?;
-            Ok(oid)
-        })
-        .unwrap();
+        let oid = pool
+            .tx(|tx| {
+                let oid = tx.alloc(64, 1)?;
+                tx.write(oid, 0, &[0x5A; 64])?;
+                Ok(oid)
+            })
+            .unwrap();
         // Poison the primary page holding the object: reads fail (SIGBUS
         // analogue), and only the offline sync restores access.
         let page = oid.off / PAGE_SIZE as u64;

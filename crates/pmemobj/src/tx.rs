@@ -250,9 +250,7 @@ impl<'p> Tx<'p> {
     }
 
     fn in_new_object(&self, off: u64, len: u64) -> bool {
-        self.allocs
-            .iter()
-            .any(|a| off >= a.start_off && off + len <= a.start_off + a.total_len)
+        self.allocs.iter().any(|a| off >= a.start_off && off + len <= a.start_off + a.total_len)
     }
 
     fn collect_ops(&self) -> Vec<MetaOp> {

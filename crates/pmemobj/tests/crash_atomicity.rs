@@ -20,10 +20,7 @@ fn small_cfg() -> PoolConfig {
 
 /// Runs `work` against a fresh pool; returns the number of device ops the
 /// workload performs when uninterrupted.
-fn count_ops(
-    setup: impl Fn(&PmemPool) -> PMEMoid,
-    work: impl Fn(&PmemPool, PMEMoid),
-) -> u64 {
+fn count_ops(setup: impl Fn(&PmemPool) -> PMEMoid, work: impl Fn(&PmemPool, PMEMoid)) -> u64 {
     let cfg = small_cfg();
     let dev = Arc::new(NvmDevice::new(cfg.size, DeviceConfig::precise()).unwrap());
     let pool = PmemPool::create(dev.clone(), cfg).unwrap();
@@ -85,10 +82,7 @@ fn overwrite_tx_is_atomic_at_every_crash_point() {
         pool.read(oid, 0, &mut buf).unwrap();
         let all_old = buf.iter().all(|&b| b == 0xAA);
         let all_new = buf.iter().all(|&b| b == 0xBB);
-        assert!(
-            all_old || all_new,
-            "object must be entirely old or entirely new after recovery"
-        );
+        assert!(all_old || all_new, "object must be entirely old or entirely new after recovery");
     };
 
     let total = count_ops(setup, work);

@@ -1,51 +1,61 @@
 //! A guided tour of Pangolin's fault model (paper §4.6): what each
 //! protection layer catches and how recovery proceeds, printed step by
-//! step.
+//! step — written against the typed object API.
 //!
 //! Run: `cargo run --example fault_injection`
 
 use std::sync::Arc;
 
-use pangolin::{inject, CsumPolicy, PglConfig, PglError, PglPool};
+use pangolin::typed::PObj;
+use pangolin::{impl_ptype, inject, CsumPolicy, PglError, PglPool};
 use pgl_nvm::{DeviceConfig, NvmDevice, PAGE_SIZE};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = PglConfig::small().with_policy(CsumPolicy::Default);
-    let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::fast())?);
-    let pool = PglPool::create(dev.clone(), cfg)?;
+/// A 300-byte payload object.
+#[derive(Debug, Clone, Copy)]
+#[repr(C)]
+struct Blob {
+    bytes: [u8; 300],
+}
+impl_ptype!(Blob, 300, 1);
 
-    let oid = pool.tx(|tx| {
-        let oid = tx.alloc(300, 1)?;
-        tx.write(oid, 0, &[0x42; 300])?;
-        Ok(oid)
-    })?;
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = PglPool::options().csum_policy(CsumPolicy::Default);
+    let dev = Arc::new(NvmDevice::new(opts.config().pool.size, DeviceConfig::fast())?);
+    let pool = opts.create(dev.clone())?;
+
+    let h: PObj<Blob> = pool.tx(|tx| tx.alloc_obj(&Blob { bytes: [0x42; 300] }))?;
     println!("[setup] one 300-byte object, checksummed, parity-protected\n");
 
     // --- Layer 1: parity vs media errors -------------------------------
     println!("[1] media error: poisoning the object's page (MCE/SIGBUS analogue)");
-    let page = inject::poison_object_page(&pool, oid)?;
+    let page = inject::poison_object_page(&pool, h.oid())?;
     println!("    page {page} poisoned; a raw read now fails:");
-    let mut buf = [0u8; 8];
-    println!("    io.read -> {:?}", dev.read(oid.off, &mut [0u8; 8]).unwrap_err());
+    println!("    io.read -> {:?}", dev.read(h.oid().off, &mut [0u8; 8]).unwrap_err());
     println!("    a verified read triggers freeze + page-column XOR reconstruction:");
-    let data = pool.read_verified(oid)?;
-    assert!(data.iter().all(|&b| b == 0x42));
+    let blob = pool.get_verified(h)?;
+    assert!(blob.bytes.iter().all(|&b| b == 0x42));
     println!("    repaired online; content intact; pool never went down\n");
 
     // --- Layer 2: checksums vs scribbles --------------------------------
     println!("[2] scribble: 64 bytes overwritten by a wild store (invisible to ECC)");
-    inject::scribble_object(&pool, oid, 100, 64, 0xFF)?;
-    pool.read(pangolin::PMEMoid::new(pool.uuid(), oid.off), 100, &mut buf)?;
-    println!("    an unverified pgl_get returns garbage: {buf:?} (Table 4's exposure)");
-    let data = pool.read_verified(oid)?;
-    assert!(data.iter().all(|&b| b == 0x42));
-    println!("    a verified open: Adler32 mismatch -> parity repair -> {:?}...\n", &data[..4]);
+    inject::scribble_object(&pool, h.oid(), 100, 64, 0xFF)?;
+    let garbled = pool.get_obj(h)?; // unverified pgl_get
+    println!(
+        "    an unverified pgl_get returns garbage: {:?} (Table 4's exposure)",
+        &garbled.bytes[100..108]
+    );
+    let blob = pool.get_verified(h)?;
+    assert!(blob.bytes.iter().all(|&b| b == 0x42));
+    println!(
+        "    a verified open: Adler32 mismatch -> parity repair -> {:?}...\n",
+        &blob.bytes[..4]
+    );
 
     // --- Layer 3: canaries vs buffer overruns ---------------------------
     println!("[3] overrun: application writes past the object end in DRAM");
     let err = pool.tx(|tx| {
-        tx.write(oid, 0, &[1; 300])?;
-        tx.ubuf_mut(oid)?.smash_back_canary();
+        tx.set(h, &Blob { bytes: [1; 300] })?;
+        tx.ubuf_mut(h.oid())?.smash_back_canary();
         Ok(())
     });
     assert!(matches!(err, Err(PglError::CanaryMismatch { .. })));
@@ -56,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let row_pages = pool.layout().zone.row_size / PAGE_SIZE as u64;
     dev.poison_page(page)?;
     dev.poison_page(page + row_pages)?;
-    let err = pool.read_verified(oid);
+    let err = pool.get_verified(h);
     assert!(matches!(err, Err(PglError::Unrecoverable(_))));
     println!("    {err:?}");
     println!("    (the paper: increase the chunk-row count to shrink this window)");

@@ -6,18 +6,16 @@
 
 use std::sync::Arc;
 
-use pangolin::{inject, PglConfig, PglPool};
+use pangolin::{inject, PglPool};
 use pgl_kv::maps::PersistentMap;
 use pgl_kv::store::PglStore;
 use pgl_kv::HashMap;
 use pgl_nvm::{DeviceConfig, NvmDevice};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut cfg = PglConfig::small();
-    cfg.pool.size = 32 << 20;
-    cfg.pool.zone_size = 16 << 20;
-    let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::fast())?);
-    let store = PglStore::new(PglPool::create(dev, cfg)?);
+    let opts = PglPool::options().size(32 << 20).zone_size(16 << 20);
+    let dev = Arc::new(NvmDevice::new(opts.config().pool.size, DeviceConfig::fast())?);
+    let store = PglStore::new(opts.create(dev)?);
 
     let map = HashMap::create(&store)?;
     println!("inserting 5000 keys (several table rehashes, log overflow included)...");
@@ -37,11 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "all lookups correct; {} page(s) repaired online",
-        store
-            .pool()
-            .counters()
-            .page_recoveries
-            .load(std::sync::atomic::Ordering::Relaxed)
+        store.pool().counters().page_recoveries.load(std::sync::atomic::Ordering::Relaxed)
     );
 
     // A wild store scribbles an entry: the checksum catches it at the next

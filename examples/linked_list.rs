@@ -1,41 +1,50 @@
-//! The paper's Listing 1 ported to Pangolin: a persistent linked list with
-//! both single-object updates (Listing 2 style) and multi-object
-//! transactions, plus a demonstration that a mid-transaction crash leaves
-//! the list consistent.
+//! The paper's Listing 1 ported to Pangolin's typed API: a persistent
+//! linked list whose nodes carry typed `PObj<Node>` links, with both
+//! single-object updates (Listing 2 style) and multi-object transactions,
+//! plus a demonstration that a mid-transaction crash leaves the list
+//! consistent.
 //!
 //! Run: `cargo run --example linked_list`
 
 use std::sync::Arc;
 
-use pangolin::{CsumPolicy, PglConfig, PglPool, PMEMoid};
-use pgl_nvm::pod::bytes_of;
-use pgl_nvm::{impl_pod, DeviceConfig, NvmDevice, RandomPlan};
+use pangolin::typed::PObj;
+use pangolin::{field, impl_ptype, PglPool};
+use pgl_nvm::{DeviceConfig, NvmDevice, RandomPlan};
 
-/// A list node: `{ val, next }` — the paper's Figure 1 layout.
+/// A list node: `{ val, next }` — the paper's Figure 1 layout, with the
+/// `next` pointer typed instead of a raw `PMEMoid`.
 #[derive(Debug, Clone, Copy, Default)]
 #[repr(C)]
 struct Node {
     val: u64,
-    next: PMEMoid,
+    next: PObj<Node>,
 }
-impl_pod!(Node, 24);
+impl_ptype!(Node, 24, 1);
 
-fn push_front(pool: &PglPool, head_holder: PMEMoid, val: u64) -> pangolin::Result<PMEMoid> {
+/// The typed root: just the head pointer.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(C)]
+struct Head {
+    head: PObj<Node>,
+}
+impl_ptype!(Head, 16, 2);
+
+fn push_front(pool: &PglPool, root: PObj<Head>, val: u64) -> pangolin::Result<PObj<Node>> {
     // Listing 1 lines 7-13: allocate and link a new node, atomically.
     pool.tx(|tx| {
-        let head: PMEMoid = tx.read_pod(head_holder, 0)?;
-        let node = tx.alloc(24, 1)?;
-        tx.write(node, 0, bytes_of(&Node { val, next: head }))?;
-        tx.write_pod(head_holder, 0, &node)?;
+        let head = tx.read_at(root, field!(Head, head: PObj<Node>))?;
+        let node = tx.alloc_obj(&Node { val, next: head })?;
+        tx.write_at(root, field!(Head, head: PObj<Node>), &node)?;
         Ok(node)
     })
 }
 
-fn collect(pool: &PglPool, head_holder: PMEMoid) -> pangolin::Result<Vec<u64>> {
+fn collect(pool: &PglPool, root: PObj<Head>) -> pangolin::Result<Vec<u64>> {
     let mut out = Vec::new();
-    let mut cur: PMEMoid = pool.read_pod(head_holder, 0)?;
+    let mut cur = pool.read_at(root, field!(Head, head: PObj<Node>))?;
     while !cur.is_null() {
-        let node: Node = pool.read_pod(PMEMoid::new(pool.uuid(), cur.off), 0)?;
+        let node = pool.get_obj(cur)?;
         out.push(node.val);
         cur = node.next;
     }
@@ -43,39 +52,35 @@ fn collect(pool: &PglPool, head_holder: PMEMoid) -> pangolin::Result<Vec<u64>> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = PglConfig::small();
-    let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::precise())?);
-    let pool = PglPool::create(dev.clone(), cfg)?;
-    let head_holder = pool.root(16, 0)?;
+    let opts = PglPool::options();
+    let dev = Arc::new(NvmDevice::new(opts.config().pool.size, DeviceConfig::precise())?);
+    let pool = opts.create(dev.clone())?;
+    let root: PObj<Head> = pool.typed_root()?;
 
     for v in [3, 2, 1] {
-        push_front(&pool, head_holder, v)?;
+        push_front(&pool, root, v)?;
     }
-    println!("list: {:?}", collect(&pool, head_holder)?);
+    println!("list: {:?}", collect(&pool, root)?);
 
     // Listing 2: modify a node's value through a micro-buffer.
-    let first: PMEMoid = pool.read_pod(head_holder, 0)?;
-    let first = PMEMoid::new(pool.uuid(), first.off);
-    let mut obj = pool.open_object(first)?;
-    obj.write_pod(0, &100u64); // n->val = 100
-    pool.commit_object(obj)?;
-    println!("after single-object update: {:?}", collect(&pool, head_holder)?);
+    let first = pool.read_at(root, field!(Head, head: PObj<Node>))?;
+    pool.update_obj(first, |n| n.val = 100)?;
+    println!("after single-object update: {:?}", collect(&pool, root)?);
 
     // Crash in the middle of a push: the link is all-or-nothing.
     // (Silence the intentional panic's default backtrace.)
     std::panic::set_hook(Box::new(|_| {}));
     dev.arm_crash_after(10);
     let crashed =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            push_front(&pool, head_holder, 999)
-        }))
-        .is_err();
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| push_front(&pool, root, 999)))
+            .is_err();
     dev.disarm_crash();
     let _ = std::panic::take_hook();
     drop(pool);
     dev.simulate_crash(&mut RandomPlan::seeded(7));
-    let pool = PglPool::open(dev, CsumPolicy::Default, false)?;
-    let list = collect(&pool, head_holder)?;
+    let pool = PglPool::options().open(dev)?;
+    let root: PObj<Head> = pool.typed_root()?;
+    let list = collect(&pool, root)?;
     println!("after crash (mid-push interrupted: {crashed}): {list:?}");
     assert!(list == vec![100, 2, 3] || list == vec![999, 100, 2, 3]);
     assert!(pool.verify_parity()?);

@@ -1,42 +1,72 @@
-//! Quickstart: create a Pangolin pool, store an object, survive a crash.
+//! Quickstart: create a Pangolin pool, store a typed object, survive a
+//! crash. This is the typed-API tour — see `quickstart_raw.rs` for the
+//! same program written against the low-level oid/offset interface.
 //!
 //! Run: `cargo run --example quickstart`
 
 use std::sync::Arc;
 
-use pangolin::{CsumPolicy, PglConfig, PglPool};
+use pangolin::typed::PObj;
+use pangolin::{field, impl_ptype, PglPool};
 use pgl_nvm::{AllOld, DeviceConfig, NvmDevice};
+
+/// The application's persistent root: a greeting plus an update counter.
+#[derive(Clone, Copy)]
+#[repr(C)]
+struct Greeting {
+    updates: u64,
+    len: u64,
+    text: [u8; 48],
+}
+impl_ptype!(Greeting, 64, 1);
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A simulated NVMM device in Precise mode: unflushed stores are lost at
-    // a crash, just like real hardware.
-    let cfg = PglConfig::small();
-    let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::precise())?);
-    let pool = PglPool::create(dev.clone(), cfg)?;
+    // a crash, just like real hardware. The options builder is the one
+    // entry point for both creating and opening pools.
+    let opts = PglPool::options();
+    let dev = Arc::new(NvmDevice::new(opts.config().pool.size, DeviceConfig::precise())?);
+    let pool = opts.create(dev.clone())?;
     println!("created a {} MiB Pangolin pool (mode {:?})", dev.len() >> 20, pool.mode());
 
-    // Transactions: all-or-nothing updates of any size (paper Listing 2's
-    // replacement for the 8-byte atomic-write model).
-    let oid = pool.tx(|tx| {
-        let oid = tx.alloc(64, 1)?;
-        tx.write(oid, 0, b"hello persistent world")?;
-        Ok(oid)
+    // The typed root anchors the object graph; transactions are
+    // all-or-nothing updates of any size (paper Listing 2's replacement
+    // for the 8-byte atomic-write model).
+    let root: PObj<Greeting> = pool.typed_root()?;
+    pool.tx(|tx| {
+        tx.update(root, |g| {
+            let msg = b"hello persistent world";
+            g.text[..msg.len()].copy_from_slice(msg);
+            g.len = msg.len() as u64;
+            g.updates += 1;
+        })
     })?;
-    println!("stored object at offset {:#x}", oid.off);
+    println!("stored a greeting at offset {:#x}", root.oid().off);
 
-    // Single-object updates: open a micro-buffer, mutate freely, commit.
-    let mut obj = pool.open_object(oid)?;
-    obj.user_mut()[..5].copy_from_slice(b"HELLO");
-    pool.commit_object(obj)?;
+    // Single-object updates: snapshot into a micro-buffer, mutate, commit.
+    pool.update_obj(root, |g| {
+        g.text[..5].copy_from_slice(b"HELLO");
+        g.updates += 1;
+    })?;
+
+    // Partial update: bumping the counter logs 8 bytes, not the whole
+    // struct, thanks to the typed field offset.
+    pool.tx(|tx| tx.update_at(root, field!(Greeting, updates: u64), |u| *u += 1))?;
 
     // Power failure: everything committed survives; the pool recovers on
     // open (redo replay + parity recomputation).
     drop(pool);
     dev.simulate_crash(&mut AllOld);
-    let pool = PglPool::open(dev, CsumPolicy::Default, false)?;
-    let data = pool.read_verified(pangolin::PMEMoid::new(pool.uuid(), oid.off))?;
-    println!("after crash + recovery: {:?}", std::str::from_utf8(&data[..22])?);
-    assert_eq!(&data[..22], b"HELLO persistent world");
+    let pool = PglPool::options().open(dev)?;
+    let root: PObj<Greeting> = pool.typed_root()?;
+    let g = pool.get_verified(root)?;
+    println!(
+        "after crash + recovery: {:?} ({} updates)",
+        std::str::from_utf8(&g.text[..g.len as usize])?,
+        g.updates
+    );
+    assert_eq!(&g.text[..g.len as usize], b"HELLO persistent world");
+    assert_eq!(g.updates, 3);
     assert!(pool.verify_parity()?);
     println!("parity invariant verified — done.");
     Ok(())

@@ -1,29 +1,43 @@
 //! Workspace integration tests: device → libraries → data structures,
 //! exercising crash recovery, corruption recovery, and backend equivalence
-//! across crate boundaries.
+//! across crate boundaries — all through the typed object API.
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
-use pangolin::{inject, CsumPolicy, PglConfig, PglPool, PMEMoid};
+use pangolin::typed::PObj;
+use pangolin::{impl_ptype, inject, OpenOptions, PMEMoid, PglPool};
 use pgl_kv::maps::PersistentMap;
 use pgl_kv::store::{PglStore, PmemStore, Store};
 use pgl_kv::{btree, BTree, HashMap, RbTree};
 use pgl_nvm::{CrashPoint, DeviceConfig, NvmDevice, RandomPlan, PAGE_SIZE};
 use pgl_pmemobj::{PmemPool, PoolConfig};
 
-fn kv_cfg() -> PglConfig {
-    let mut cfg = PglConfig::small();
-    cfg.pool.size = 32 << 20;
-    cfg.pool.zone_size = 16 << 20;
-    cfg
+fn kv_opts() -> OpenOptions {
+    PglPool::options().size(32 << 20).zone_size(16 << 20)
 }
+
+/// A 128-byte typed payload used by the image-persistence test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C)]
+struct Payload {
+    bytes: [u8; 128],
+}
+impl_ptype!(Payload, 128, 7);
+
+/// A 256-byte typed block used by the recovery-chain test.
+#[derive(Debug, Clone, Copy)]
+#[repr(C)]
+struct Block {
+    bytes: [u8; 256],
+}
+impl_ptype!(Block, 256, 1);
 
 #[test]
 fn kv_store_survives_crash_mid_operation() {
-    let cfg = kv_cfg();
-    let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::precise()).unwrap());
-    let store = PglStore::new(PglPool::create(dev.clone(), cfg).unwrap());
+    let opts = kv_opts();
+    let dev = Arc::new(NvmDevice::new(opts.config().pool.size, DeviceConfig::precise()).unwrap());
+    let store = PglStore::new(opts.create(dev.clone()).unwrap());
     let map = BTree::create(&store).unwrap();
     let anchor = map.anchor();
     for k in 0..300u64 {
@@ -38,7 +52,7 @@ fn kv_store_survives_crash_mid_operation() {
     drop(store);
     dev.simulate_crash(&mut RandomPlan::seeded(42));
 
-    let pool = PglPool::open(dev, CsumPolicy::Default, false).unwrap();
+    let pool = PglPool::options().open(dev).unwrap();
     assert!(pool.verify_parity().unwrap());
     let store = PglStore::new(pool);
     let map = BTree::from_anchor(PMEMoid::new(store.uuid(), anchor.off));
@@ -53,9 +67,9 @@ fn kv_store_survives_crash_mid_operation() {
 
 #[test]
 fn kv_store_heals_through_mixed_fault_storm() {
-    let cfg = kv_cfg();
-    let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::fast()).unwrap());
-    let store = PglStore::new(PglPool::create(dev, cfg).unwrap());
+    let opts = kv_opts();
+    let dev = Arc::new(NvmDevice::new(opts.config().pool.size, DeviceConfig::fast()).unwrap());
+    let store = PglStore::new(opts.create(dev).unwrap());
     let map = RbTree::create(&store).unwrap();
     for k in 0..500u64 {
         map.insert(&store, k, k * 3).unwrap();
@@ -91,9 +105,9 @@ fn backends_produce_identical_map_contents() {
     // The same operation sequence on the baseline and Pangolin must agree
     // key-for-key (the property that makes the Figure 5 comparison fair).
     let pgl = {
-        let cfg = kv_cfg();
-        let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::fast()).unwrap());
-        PglStore::new(PglPool::create(dev, cfg).unwrap())
+        let opts = kv_opts();
+        let dev = Arc::new(NvmDevice::new(opts.config().pool.size, DeviceConfig::fast()).unwrap());
+        PglStore::new(opts.create(dev).unwrap())
     };
     let pmem = {
         let mut cfg = PoolConfig::small();
@@ -106,10 +120,7 @@ fn backends_produce_identical_map_contents() {
     let b = HashMap::create(&pmem).unwrap();
     let keys: Vec<u64> = (0..2000u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
     for (i, &k) in keys.iter().enumerate() {
-        assert_eq!(
-            a.insert(&pgl, k, i as u64).unwrap(),
-            b.insert(&pmem, k, i as u64).unwrap()
-        );
+        assert_eq!(a.insert(&pgl, k, i as u64).unwrap(), b.insert(&pmem, k, i as u64).unwrap());
         if i % 3 == 0 {
             let evict = keys[i / 2];
             assert_eq!(a.remove(&pgl, evict).unwrap(), b.remove(&pmem, evict).unwrap());
@@ -129,16 +140,10 @@ fn pool_image_survives_process_restart() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("pool.img");
 
-    let cfg = kv_cfg();
-    let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::fast()).unwrap());
-    let pool = PglPool::create(dev.clone(), cfg).unwrap();
-    let oid = pool
-        .tx(|tx| {
-            let oid = tx.alloc(128, 7)?;
-            tx.write(oid, 0, &[0xAD; 128])?;
-            Ok(oid)
-        })
-        .unwrap();
+    let opts = kv_opts();
+    let dev = Arc::new(NvmDevice::new(opts.config().pool.size, DeviceConfig::fast()).unwrap());
+    let pool = opts.create(dev.clone()).unwrap();
+    let h: PObj<Payload> = pool.tx(|tx| tx.alloc_obj(&Payload { bytes: [0xAD; 128] })).unwrap();
     // Leave a poisoned page behind, like a machine with a known-bad DIMM
     // region.
     let far_page = (pool.layout().zone_base(0)
@@ -151,9 +156,8 @@ fn pool_image_survives_process_restart() {
 
     let dev2 = Arc::new(pgl_nvm::image::load(&path, DeviceConfig::fast()).unwrap());
     assert!(dev2.is_poisoned_page(far_page), "bad-page list restored");
-    let pool = PglPool::open(dev2, CsumPolicy::Default, false).unwrap();
-    let data = pool.read_verified(PMEMoid::new(pool.uuid(), oid.off)).unwrap();
-    assert_eq!(data, vec![0xAD; 128]);
+    let pool = PglPool::options().open(dev2).unwrap();
+    assert_eq!(pool.get_verified(h).unwrap(), Payload { bytes: [0xAD; 128] });
     // The open-time scrub path can heal the known-bad page on demand.
     pool.scrub_now().unwrap();
     assert!(pool.io().dev().poisoned_pages().is_empty());
@@ -164,20 +168,14 @@ fn pool_image_survives_process_restart() {
 fn crash_then_corruption_then_recovery_chain() {
     // The full gauntlet: crash mid-transaction, recover, lose a page,
     // recover online, scribble, scrub — the pool stays correct throughout.
-    let cfg = kv_cfg();
-    let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::precise()).unwrap());
-    let pool = PglPool::create(dev.clone(), cfg).unwrap();
-    let oid = pool
-        .tx(|tx| {
-            let oid = tx.alloc(256, 1)?;
-            tx.write(oid, 0, &[1u8; 256])?;
-            Ok(oid)
-        })
-        .unwrap();
+    let opts = kv_opts();
+    let dev = Arc::new(NvmDevice::new(opts.config().pool.size, DeviceConfig::precise()).unwrap());
+    let pool = opts.create(dev.clone()).unwrap();
+    let h: PObj<Block> = pool.tx(|tx| tx.alloc_obj(&Block { bytes: [1; 256] })).unwrap();
 
     dev.arm_crash_after(25);
     let r = panic::catch_unwind(AssertUnwindSafe(|| {
-        pool.tx(|tx| tx.write(oid, 0, &[2u8; 256]))
+        pool.tx(|tx| tx.set(h, &Block { bytes: [2; 256] }))
     }));
     dev.disarm_crash();
     if let Err(p) = r {
@@ -186,18 +184,17 @@ fn crash_then_corruption_then_recovery_chain() {
     drop(pool);
     dev.simulate_crash(&mut RandomPlan::seeded(3));
 
-    let pool = PglPool::open(dev.clone(), CsumPolicy::Default, false).unwrap();
-    let oid = PMEMoid::new(pool.uuid(), oid.off);
-    let first = pool.read_verified(oid).unwrap();
-    assert!(first.iter().all(|&b| b == first[0]));
+    let pool = PglPool::options().open(dev.clone()).unwrap();
+    let first = pool.get_verified(h).unwrap();
+    assert!(first.bytes.iter().all(|&b| b == first.bytes[0]));
 
-    inject::poison_object_page(&pool, oid).unwrap();
-    let second = pool.read_verified(oid).unwrap();
-    assert_eq!(first, second, "post-crash parity reconstructs the same bytes");
+    inject::poison_object_page(&pool, h.oid()).unwrap();
+    let second = pool.get_verified(h).unwrap();
+    assert_eq!(first.bytes, second.bytes, "post-crash parity reconstructs the same bytes");
 
-    inject::scribble_object(&pool, oid, 10, 100, 0xCC).unwrap();
+    inject::scribble_object(&pool, h.oid(), 10, 100, 0xCC).unwrap();
     pool.scrub_now().unwrap();
-    let third = pool.read_verified(oid).unwrap();
-    assert_eq!(first, third, "scrub undoes the scribble");
+    let third = pool.get_verified(h).unwrap();
+    assert_eq!(first.bytes, third.bytes, "scrub undoes the scribble");
     assert!(pool.verify_parity().unwrap());
 }

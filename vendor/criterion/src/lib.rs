@@ -114,11 +114,8 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut bencher = Bencher {
-            iters_done: 0,
-            elapsed: Duration::ZERO,
-            budget: self.criterion.budget,
-        };
+        let mut bencher =
+            Bencher { iters_done: 0, elapsed: Duration::ZERO, budget: self.criterion.budget };
         routine(&mut bencher, input);
         self.report(&id, &bencher);
     }
@@ -128,11 +125,8 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut bencher = Bencher {
-            iters_done: 0,
-            elapsed: Duration::ZERO,
-            budget: self.criterion.budget,
-        };
+        let mut bencher =
+            Bencher { iters_done: 0, elapsed: Duration::ZERO, budget: self.criterion.budget };
         routine(&mut bencher);
         self.report(&BenchmarkId { id: id.into() }, &bencher);
     }
@@ -177,9 +171,7 @@ impl Default for Criterion {
         let test_mode = std::env::args().any(|a| a == "--test")
             || std::env::var_os("CARGO_CRITERION_SMOKE").is_some()
             || cfg!(test);
-        Criterion {
-            budget: if test_mode { Duration::ZERO } else { Duration::from_millis(50) },
-        }
+        Criterion { budget: if test_mode { Duration::ZERO } else { Duration::from_millis(50) } }
     }
 }
 

@@ -146,8 +146,7 @@ impl Condvar {
     /// as with any condvar).
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let std_guard = guard.inner.take().expect("guard present outside Condvar::wait");
-        let reacquired =
-            self.inner.wait(std_guard).unwrap_or_else(PoisonError::into_inner);
+        let reacquired = self.inner.wait(std_guard).unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(reacquired);
     }
 

@@ -42,10 +42,7 @@ impl ProptestConfig {
 
     /// Applies the `PROPTEST_CASES` environment override, if present.
     pub fn resolved_cases(&self) -> u32 {
-        std::env::var("PROPTEST_CASES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(self.cases)
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(self.cases)
     }
 }
 
