@@ -6,17 +6,102 @@
 //! checksum from just the old and new bytes of the modified range —
 //! "the cost of updating an object's checksum proportional to the size of
 //! the modified range rather than the object size" (paper §3.5).
+//!
+//! # SWAR implementation
+//!
+//! Both entry points process eight input bytes per step with SWAR
+//! (SIMD-within-a-register) arithmetic instead of a byte loop. For a
+//! little-endian word `v` with bytes `b0..b7`, two masked multiplies per
+//! half extract
+//!
+//! * the **byte sum** `S(v) = Σ bᵢ`, and
+//! * the **index-weighted sum** `W(v) = Σ i·bᵢ`
+//!
+//! in a handful of ALU ops: splitting `v` into even/odd byte lanes widens
+//! each byte into a 16-bit lane, and multiplying by a constant whose
+//! lanes hold the per-lane weights makes the top 16-bit lane of the
+//! product the desired dot product (partial sums are < 2¹⁶, so no carry
+//! pollutes it). The per-byte recurrence `A += b; B += A` then folds into
+//! per-word updates `B += 8·A + 8·S − W; A += S`.
+//!
+//! [`adler32_update`] additionally replaces the per-byte
+//! decrement-with-wrap weight walk of a scalar implementation with
+//! *block-wise* weight arithmetic: within a block, the weight of byte `j`
+//! is `w₀ − j (mod 65521)`, so the whole block's contribution is
+//! `w₀·ΣΔ − Σ j·Δⱼ` — two SWAR sums per input stream and one multiply
+//! per block, with a single modular reduction at the block boundary.
 
 const MOD: u64 = 65521;
 
-/// Computes the Adler32 checksum of `data`.
+/// Bytes per deferred-modulo block in [`adler32`]. With u64 accumulators,
+/// `a` grows by at most `4096·255 < 2²¹` per block and `b` by well under
+/// 2³⁴, so one reduction per block suffices.
+const FULL_BLOCK: usize = 4096;
+
+/// Bytes per weight-reduction block in [`adler32_update`]. Within a block
+/// the unsigned SWAR accumulators stay below 2²⁹ (weighted) and 2¹⁹
+/// (plain), and the signed per-block combination below 2³⁷.
+const UPDATE_BLOCK: usize = 2048;
+
+/// SWAR per-word sums: returns `(S, W)` where `S = Σ bᵢ` and
+/// `W = Σ i·bᵢ` over the little-endian bytes `b0..b7` of `v`.
+#[inline]
+fn word_sums(v: u64) -> (u64, u64) {
+    const LANES: u64 = 0x00FF_00FF_00FF_00FF;
+    // Dot-product multipliers: lane k of the constant multiplies lane
+    // 3−k of the input into the product's top 16-bit lane. Partial sums
+    // in lower lanes are < 2¹⁶, so no carry reaches the top lane.
+    const ONES: u64 = 0x0001_0001_0001_0001; // weights [1,1,1,1]
+    const W_EVEN: u64 = 0x0000_0002_0004_0006; // weights [0,2,4,6]
+    const W_ODD: u64 = 0x0001_0003_0005_0007; // weights [1,3,5,7]
+    let e = v & LANES; // bytes 0,2,4,6 in u16 lanes
+    let o = (v >> 8) & LANES; // bytes 1,3,5,7 in u16 lanes
+    let s = (e.wrapping_mul(ONES) >> 48) + (o.wrapping_mul(ONES) >> 48);
+    let w = (e.wrapping_mul(W_EVEN) >> 48) + (o.wrapping_mul(W_ODD) >> 48);
+    (s, w)
+}
+
+/// SWAR slice sums: `(Σ bytes, Σ j·byteⱼ)` with `j` the 0-based index
+/// within `data`. Caller bounds `data.len()` (≤ [`UPDATE_BLOCK`]) so the
+/// u64 accumulators cannot overflow.
+#[inline]
+fn slice_sums(data: &[u8]) -> (u64, u64) {
+    let mut s = 0u64;
+    let mut w = 0u64;
+    let mut j = 0u64;
+    let mut words = data.chunks_exact(8);
+    for wd in &mut words {
+        let v = u64::from_le_bytes(wd.try_into().expect("exact 8-byte chunk"));
+        let (bs, bw) = word_sums(v);
+        // Σ (j+i)·bᵢ = j·S + W for the word starting at index j.
+        w += j * bs + bw;
+        s += bs;
+        j += 8;
+    }
+    for &d in words.remainder() {
+        s += d as u64;
+        w += j * d as u64;
+        j += 1;
+    }
+    (s, w)
+}
+
+/// Computes the Adler32 checksum of `data` (SWAR, eight bytes per step).
 pub fn adler32(data: &[u8]) -> u32 {
     let mut a: u64 = 1;
     let mut b: u64 = 0;
-    // Defer the modulo: u64 accumulators overflow only after ~2^32 bytes of
-    // 0xFF for `a`; chunk to stay far below that.
-    for chunk in data.chunks(4096) {
-        for &d in chunk {
+    for chunk in data.chunks(FULL_BLOCK) {
+        let mut words = chunk.chunks_exact(8);
+        for wd in &mut words {
+            let v = u64::from_le_bytes(wd.try_into().expect("exact 8-byte chunk"));
+            let (s, w) = word_sums(v);
+            // Byte recurrence A += bᵢ; B += A over 8 bytes folds to:
+            //   B += 8·A + Σ (8−i)·bᵢ = 8·A + 8·S − W   (W ≤ 7·S, so the
+            //   unsigned subtraction cannot underflow), then A += S.
+            b += 8 * a + 8 * s - w;
+            a += s;
+        }
+        for &d in words.remainder() {
             a += d as u64;
             b += a;
         }
@@ -35,29 +120,31 @@ pub fn adler32(data: &[u8]) -> u32 {
 pub fn adler32_update(csum: u32, total_len: u64, off: u64, old: &[u8], new: &[u8]) -> u32 {
     assert_eq!(old.len(), new.len(), "incremental update requires equal-length ranges");
     assert!(off + old.len() as u64 <= total_len, "range exceeds object");
-    let a = (csum & 0xFFFF) as i64;
-    let b = (csum >> 16) as i64;
-    // For byte i (absolute position p = off + i):
-    //   A' = A + (new - old)
-    //   B' = B + (total_len - p) * (new - old)
-    // Accumulate the deltas in signed 64-bit sums with NO per-byte modulo:
-    // |weight * delta| ≤ 65520 * 255 < 2^25 per byte, so the accumulator
-    // cannot overflow for any range below ~2^38 bytes (far above the max
-    // object size); one reduction at the end suffices.
+    let m = MOD as i64;
+    // For byte i (absolute position p = off + i, weight w = total_len − p):
+    //   A' = A + Σ (newᵢ − oldᵢ)
+    //   B' = B + Σ w·(newᵢ − oldᵢ)
+    // Per block of up to UPDATE_BLOCK bytes, with w₀ ≡ total_len − off −
+    // block_start (mod MOD) the (reduced) weight of the block's first
+    // byte, the B-delta is  w₀·(Sn − So) − (Wn − Wo):  the per-byte weight
+    // w₀ − j is only *congruent* to the true weight mod MOD (it may go
+    // negative), which is exactly what the end-of-block reduction needs.
     let mut da: i64 = 0;
     let mut db: i64 = 0;
-    // weight = (total_len - p) % MOD, maintained by decrement-with-wrap
-    // (invariant: always in [0, MOD)).
-    let m = MOD as i64;
-    let mut weight = ((total_len - off) % MOD) as i64;
-    for (&o, &n) in old.iter().zip(new.iter()) {
-        let delta = n as i64 - o as i64;
-        da += delta;
-        db += weight * delta;
-        weight = if weight == 0 { m - 1 } else { weight - 1 };
+    let mut w0 = ((total_len - off) % MOD) as i64;
+    let mut pos = 0usize;
+    while pos < old.len() {
+        let n = (old.len() - pos).min(UPDATE_BLOCK);
+        let (so, wo) = slice_sums(&old[pos..pos + n]);
+        let (sn, wn) = slice_sums(&new[pos..pos + n]);
+        let ds = sn as i64 - so as i64;
+        da = (da + ds) % m;
+        db = (db + w0 * ds - (wn as i64 - wo as i64)) % m;
+        w0 = (w0 - n as i64).rem_euclid(m);
+        pos += n;
     }
-    let a = (((a + da) % m) + m) % m;
-    let b = (((b + db) % m) + m) % m;
+    let a = ((csum & 0xFFFF) as i64 + da).rem_euclid(m);
+    let b = ((csum >> 16) as i64 + db).rem_euclid(m);
     ((b as u32) << 16) | a as u32
 }
 
@@ -65,10 +152,53 @@ pub fn adler32_update(csum: u32, total_len: u64, off: u64, old: &[u8], new: &[u8
 mod tests {
     use super::*;
 
+    /// Straight-from-the-definition byte-wise Adler32 (the differential
+    /// reference; the proptest suite in `tests/checksum_props.rs` pins the
+    /// SWAR implementation against an independent copy of this).
+    fn ref_adler32(data: &[u8]) -> u32 {
+        let mut a: u32 = 1;
+        let mut b: u32 = 0;
+        for &d in data {
+            a = (a + d as u32) % MOD as u32;
+            b = (b + a) % MOD as u32;
+        }
+        (b << 16) | a
+    }
+
     #[test]
     fn known_vectors() {
         assert_eq!(adler32(b""), 1);
         assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn swar_matches_reference_across_lengths() {
+        let data: Vec<u8> =
+            (0..1024u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        for len in [0, 1, 7, 8, 9, 15, 16, 63, 64, 65, 255, 256, 1000, 1024] {
+            assert_eq!(adler32(&data[..len]), ref_adler32(&data[..len]), "len {len}");
+        }
+        // Misaligned starts exercise the chunk boundaries too.
+        for start in 1..9 {
+            assert_eq!(adler32(&data[start..]), ref_adler32(&data[start..]), "start {start}");
+        }
+    }
+
+    #[test]
+    fn word_sums_exhaustive_per_lane() {
+        // Every byte value in every lane position, against a scalar model.
+        for lane in 0..8 {
+            for val in [0u8, 1, 2, 0x7F, 0x80, 0xFE, 0xFF] {
+                let mut bytes = [0u8; 8];
+                bytes[lane] = val;
+                let (s, w) = word_sums(u64::from_le_bytes(bytes));
+                assert_eq!(s, val as u64, "sum lane {lane} val {val}");
+                assert_eq!(w, lane as u64 * val as u64, "weighted lane {lane} val {val}");
+            }
+        }
+        let (s, w) = word_sums(u64::from_le_bytes([0xFF; 8]));
+        assert_eq!(s, 8 * 255);
+        assert_eq!(w, 255 * (1 + 2 + 3 + 4 + 5 + 6 + 7));
     }
 
     #[test]
@@ -108,6 +238,31 @@ mod tests {
         let mut copy = data.clone();
         copy[12345..12345 + 512].copy_from_slice(&new);
         assert_eq!(c2, adler32(&copy));
+    }
+
+    #[test]
+    fn update_spanning_many_blocks() {
+        // A range longer than UPDATE_BLOCK crosses the block-wise weight
+        // reduction; a huge total_len crosses the mod-65521 weight wrap.
+        let total = (1u64 << 33) + 12345;
+        let old = vec![0x11u8; 3 * UPDATE_BLOCK + 17];
+        let new: Vec<u8> = (0..old.len() as u32).map(|i| (i % 254) as u8).collect();
+        let base = adler32(&old);
+        // Model: the object is `old` padded conceptually; compare two
+        // orders of applying the same edit math.
+        let via_blocks = adler32_update(base, total, total - old.len() as u64, &old, &new);
+        // Byte-wise reference of the same delta.
+        let mut a = (base & 0xFFFF) as i64;
+        let mut b = (base >> 16) as i64;
+        let m = MOD as i64;
+        let off = total - old.len() as u64;
+        for (i, (&o, &n)) in old.iter().zip(&new).enumerate() {
+            let w = ((total - off - i as u64) % MOD) as i64;
+            let d = n as i64 - o as i64;
+            a = (a + d).rem_euclid(m);
+            b = (b + w * d).rem_euclid(m);
+        }
+        assert_eq!(via_blocks, ((b as u32) << 16) | a as u32);
     }
 
     #[test]

@@ -85,6 +85,7 @@ pub mod options;
 pub mod parity;
 pub mod pool;
 pub mod recover;
+pub(crate) mod scratch;
 pub mod scrub;
 pub mod sparse;
 pub mod txn;

@@ -40,19 +40,49 @@ pub struct Segment {
     pub len: u64,
 }
 
-/// Splits a pool data range into row-bounded segments.
-pub fn segments(layout: &Layout, off: u64, len: u64) -> Result<Vec<Segment>> {
-    let mut out = Vec::new();
-    let mut cur = off;
-    let mut left = len;
-    while left > 0 {
-        let (zone, row, col) = layout.row_col_of(cur).map_err(PglError::from)?;
-        let seg = left.min(layout.zone.row_size - col);
-        out.push(Segment { zone, row, col, off: cur, len: seg });
-        cur += seg;
-        left -= seg;
+/// Allocation-free iterator over the row-bounded segments of a pool data
+/// range (the core of [`segments`]; commit-path callers iterate directly
+/// so no per-range `Vec` is built).
+pub struct SegIter<'a> {
+    layout: &'a Layout,
+    cur: u64,
+    left: u64,
+}
+
+impl<'a> SegIter<'a> {
+    /// Iterates the segments of `[off, off+len)`.
+    pub fn new(layout: &'a Layout, off: u64, len: u64) -> Self {
+        SegIter { layout, cur: off, left: len }
     }
-    Ok(out)
+}
+
+impl Iterator for SegIter<'_> {
+    type Item = Result<Segment>;
+
+    fn next(&mut self) -> Option<Result<Segment>> {
+        if self.left == 0 {
+            return None;
+        }
+        match self.layout.row_col_of(self.cur) {
+            Ok((zone, row, col)) => {
+                let len = self.left.min(self.layout.zone.row_size - col);
+                let seg = Segment { zone, row, col, off: self.cur, len };
+                self.cur += len;
+                self.left -= len;
+                Some(Ok(seg))
+            }
+            Err(e) => {
+                self.left = 0; // fuse: a range that leaves the data rows is fatal
+                Some(Err(PglError::from(e)))
+            }
+        }
+    }
+}
+
+/// Splits a pool data range into row-bounded segments (collecting
+/// convenience over [`SegIter`]).
+pub fn segments(layout: &Layout, off: u64, len: u64) -> Result<Vec<Segment>> {
+    SegIter::new(layout, off, len).collect()
 }
 
 /// Upper bound on the striped lock table size. At paper scale a zone has
@@ -163,12 +193,19 @@ impl ParityEngine {
         }
     }
 
-    /// Acquires the given stripes in ascending deduplicated order.
-    fn acquire(&self, mut ids: Vec<usize>, exclusive: bool) -> RangeGuard<'_> {
+    /// Acquires the given stripes in ascending deduplicated order. The id
+    /// buffer is caller scratch (sorted/deduplicated in place), so hot
+    /// paths reuse one grown `Vec` across commits instead of allocating.
+    fn acquire(&self, ids: &mut Vec<usize>, exclusive: bool) -> RangeGuard<'_> {
         ids.sort_unstable();
         ids.dedup();
         let mut guard = RangeGuard { shared: Vec::new(), exclusive: Vec::new() };
-        for id in ids {
+        if exclusive {
+            guard.exclusive.reserve_exact(ids.len());
+        } else {
+            guard.shared.reserve_exact(ids.len());
+        }
+        for &id in ids.iter() {
             if exclusive {
                 guard.exclusive.push(self.stripes[id].write());
             } else {
@@ -182,7 +219,7 @@ impl ParityEngine {
     pub fn lock_columns(&self, zone: u64, col: u64, len: u64, exclusive: bool) -> RangeGuard<'_> {
         let mut ids = Vec::new();
         self.push_stripes(zone, col, len, &mut ids);
-        self.acquire(ids, exclusive)
+        self.acquire(&mut ids, exclusive)
     }
 
     /// Locks the range-locks covering the *data span* `[off, off+len)`:
@@ -191,8 +228,24 @@ impl ParityEngine {
     /// and what the scrubber holds while verifying an object.
     pub fn lock_span(&self, off: u64, len: u64, exclusive: bool) -> Result<RangeGuard<'_>> {
         let mut ids = Vec::new();
-        for seg in segments(&self.layout, off, len)? {
-            self.push_stripes(seg.zone, seg.col, seg.len, &mut ids);
+        self.lock_span_with(&mut ids, off, len, exclusive)
+    }
+
+    /// Like [`ParityEngine::lock_span`], collecting stripe ids into
+    /// caller-provided scratch (cleared first) — the commit path threads
+    /// its `CommitScratch` stripe-id buffer through here so steady-state
+    /// span locking allocates nothing for the id set.
+    pub fn lock_span_with(
+        &self,
+        ids: &mut Vec<usize>,
+        off: u64,
+        len: u64,
+        exclusive: bool,
+    ) -> Result<RangeGuard<'_>> {
+        ids.clear();
+        for seg in SegIter::new(&self.layout, off, len) {
+            let seg = seg?;
+            self.push_stripes(seg.zone, seg.col, seg.len, ids);
         }
         Ok(self.acquire(ids, exclusive))
     }
@@ -200,20 +253,28 @@ impl ParityEngine {
     /// Applies the parity effect of overwriting `[off, off+len)` with `new`
     /// where the current NVMM content is `old`: for each row segment,
     /// patches the parity row with `old ⊕ new`. Acquires its own
-    /// range-locks per patch (per-patch hybrid strategy choice).
+    /// range-locks per patch (per-patch hybrid strategy choice). Segments
+    /// whose old and new bytes are identical are skipped before any lock
+    /// is taken or patch is built — no allocation happens either way.
     pub fn update(&self, io: &PoolIo, off: u64, old: &[u8], new: &[u8]) -> Result<()> {
         debug_assert_eq!(old.len(), new.len());
-        for seg in segments(&self.layout, off, new.len() as u64)? {
+        for seg in SegIter::new(&self.layout, off, new.len() as u64) {
+            let seg = seg?;
             let base = (seg.off - off) as usize;
-            let patch: Vec<u8> = old[base..base + seg.len as usize]
-                .iter()
-                .zip(&new[base..base + seg.len as usize])
-                .map(|(o, n)| o ^ n)
-                .collect();
-            if patch.iter().all(|&b| b == 0) {
+            let o = &old[base..base + seg.len as usize];
+            let n = &new[base..base + seg.len as usize];
+            if o == n {
                 continue;
             }
-            self.apply_patch(io, seg.zone, seg.col, &patch)?;
+            let exclusive = self.prefers_exclusive(seg.len);
+            let guard = self.lock_columns(seg.zone, seg.col, seg.len, exclusive);
+            let parity_off = self.layout.parity_off(seg.zone, seg.col);
+            if exclusive {
+                self.xor_diff_vectorized(io, parity_off, o, n, true)?;
+            } else {
+                self.xor_diff_atomic(io, parity_off, o, n, true)?;
+            }
+            drop(guard);
         }
         Ok(())
     }
@@ -223,7 +284,10 @@ impl ParityEngine {
     /// across a whole object's write-back). The XOR strategy follows the
     /// guard mode: shared guards use lock-free atomic word XOR (concurrent
     /// small patches to the same columns commute), exclusive guards use the
-    /// faster vectorized XOR.
+    /// faster vectorized XOR. Both strategies fuse diff, zero-skip and XOR
+    /// into one allocation-free pass: all-zero diff words never reach the
+    /// device, and a range whose diff is entirely zero skips the trailing
+    /// flush+fence too.
     pub fn update_under(
         &self,
         guard: &RangeGuard<'_>,
@@ -232,97 +296,162 @@ impl ParityEngine {
         old: &[u8],
         new: &[u8],
     ) -> Result<()> {
-        debug_assert_eq!(old.len(), new.len());
-        for seg in segments(&self.layout, off, new.len() as u64)? {
-            let base = (seg.off - off) as usize;
-            let o = &old[base..base + seg.len as usize];
-            let n = &new[base..base + seg.len as usize];
-            if o == n {
-                continue;
-            }
-            let parity_off = self.layout.parity_off(seg.zone, seg.col);
-            if guard.is_exclusive() {
-                let patch: Vec<u8> = o.iter().zip(n).map(|(a, b)| a ^ b).collect();
-                self.xor_into(io, parity_off, &patch, false)?;
-            } else {
-                // Hot path (small commits under shared guards): fuse diff,
-                // zero-skip and the atomic word XOR into one pass with no
-                // allocation.
-                self.xor_patch_atomic(io, parity_off, o, n)?;
-            }
-        }
+        self.update_under_inner(guard, io, off, old, new, true)?;
         Ok(())
     }
 
-    /// Computes `old ⊕ new` word by word and XORs the non-zero words into
-    /// parity with lock-free atomics — safe under a *shared* range guard.
-    fn xor_patch_atomic(&self, io: &PoolIo, parity_off: u64, old: &[u8], new: &[u8]) -> Result<()> {
-        self.atomic_xor_span(io, parity_off, old.len() as u64, |i| old[i] ^ new[i])
+    /// Like [`ParityEngine::update_under`], but only *flushes* the patched
+    /// parity lines instead of flush+fence — the caller issues one fence
+    /// covering both its data store and the parity patch (the commit
+    /// write-back's single-fence fast path; a crash between the two was
+    /// already a recovered state, via redo replay plus column recompute).
+    /// Returns `true` if any parity line was flushed (i.e. a fence is
+    /// actually owed).
+    pub fn update_under_flush_only(
+        &self,
+        guard: &RangeGuard<'_>,
+        io: &PoolIo,
+        off: u64,
+        old: &[u8],
+        new: &[u8],
+    ) -> Result<bool> {
+        self.update_under_inner(guard, io, off, old, new, false)
     }
 
-    /// Word-iterating core of every atomic parity-XOR path: walks the
-    /// 8-byte-aligned windows overlapping `[parity_off, parity_off+len)`,
-    /// assembles each patch word from `byte(i)` (`i` = offset within the
-    /// patch), atomically XORs the non-zero words into primary and replica,
-    /// and persists the aligned span once.
-    fn atomic_xor_span(
+    fn update_under_inner(
+        &self,
+        guard: &RangeGuard<'_>,
+        io: &PoolIo,
+        off: u64,
+        old: &[u8],
+        new: &[u8],
+        fence: bool,
+    ) -> Result<bool> {
+        debug_assert_eq!(old.len(), new.len());
+        let mut flushed = false;
+        for seg in SegIter::new(&self.layout, off, new.len() as u64) {
+            let seg = seg?;
+            let base = (seg.off - off) as usize;
+            let o = &old[base..base + seg.len as usize];
+            let n = &new[base..base + seg.len as usize];
+            let parity_off = self.layout.parity_off(seg.zone, seg.col);
+            if guard.is_exclusive() {
+                flushed |= self.xor_diff_vectorized(io, parity_off, o, n, fence)?;
+            } else {
+                flushed |= self.xor_diff_atomic(io, parity_off, o, n, fence)?;
+            }
+        }
+        Ok(flushed)
+    }
+
+    /// Vectorized `old ⊕ new` parity patch (primary + replica) with fused
+    /// zero-word skipping; flushes (and fences, when asked) only when
+    /// something was XORed. The caller must hold the covering range-locks
+    /// exclusively. Returns `true` if parity lines were flushed.
+    fn xor_diff_vectorized(
         &self,
         io: &PoolIo,
         parity_off: u64,
-        len: u64,
-        byte: impl Fn(usize) -> u8,
-    ) -> Result<()> {
-        let a_start = align_down(parity_off as usize, 8) as u64;
-        let a_end = align_up((parity_off + len) as usize, 8) as u64;
-        let mut w_off = a_start;
-        while w_off < a_end {
-            let lo = w_off.max(parity_off);
-            let hi = (w_off + 8).min(parity_off + len);
-            let mut word = [0u8; 8];
-            for i in lo..hi {
-                word[(i - w_off) as usize] = byte((i - parity_off) as usize);
-            }
-            let v = u64::from_le_bytes(word);
-            if v != 0 {
-                io.dev().atomic_xor_u64(w_off, v)?;
-                if let Some(rep) = io.replica() {
-                    rep.atomic_xor_u64(w_off, v)?;
-                }
-            }
-            w_off += 8;
+        old: &[u8],
+        new: &[u8],
+        fence: bool,
+    ) -> Result<bool> {
+        let touched = io.dev().xor_diff_range(parity_off, old, new)?;
+        if let Some(rep) = io.replica() {
+            rep.xor_diff_range(parity_off, old, new)?;
         }
-        io.persist(a_start, (a_end - a_start) as usize)?;
+        if touched {
+            io.flush(parity_off, new.len())?;
+            if fence {
+                io.drain();
+            }
+        }
+        Ok(touched)
+    }
+
+    /// Atomic `old ⊕ new` parity patch (primary + replica): the device's
+    /// span-batched word XOR assembles diff words with 8-byte loads,
+    /// skips all-zero words, and this wrapper flushes the touched aligned
+    /// span once — skipping the flush (and fence) entirely when no word
+    /// was actually XORed. Safe under a *shared* range guard. Returns
+    /// `true` if parity lines were flushed.
+    fn xor_diff_atomic(
+        &self,
+        io: &PoolIo,
+        parity_off: u64,
+        old: &[u8],
+        new: &[u8],
+        fence: bool,
+    ) -> Result<bool> {
+        let touched = io.dev().atomic_xor_diff_span(parity_off, old, new)?;
+        if let Some(rep) = io.replica() {
+            rep.atomic_xor_diff_span(parity_off, old, new)?;
+        }
+        if touched {
+            let a_start = align_down(parity_off as usize, 8) as u64;
+            let a_end = align_up((parity_off + new.len() as u64) as usize, 8) as u64;
+            io.flush(a_start, (a_end - a_start) as usize)?;
+            if fence {
+                io.drain();
+            }
+        }
+        Ok(touched)
+    }
+
+    /// Flips a 16-byte chunk-metadata entry with the **parity patch
+    /// first** and the data store second — the opposite of the normal
+    /// protected-write order. This is the `Log→Free` transition's
+    /// protocol: it runs where no redo replay covers it, and crash
+    /// recovery's only handle is the orphan sweep, which recomputes a CM
+    /// column exactly when the entry still reads `Log` — parity-first
+    /// keeps it reading `Log` throughout the vulnerable window. (The
+    /// `Free→Log` direction needs the normal data-first order for the
+    /// same reason.) The shared range guard spans both halves, so a
+    /// concurrent scrubber or `verify_all` never observes them split.
+    pub fn flip_cm_parity_first(&self, io: &PoolIo, cm_off: u64, new_cm: &[u8]) -> Result<()> {
+        let mut cur = [0u8; 16];
+        io.read(cm_off, &mut cur).map_err(PglError::from)?;
+        let guard = self.lock_span(cm_off, 16, false)?;
+        self.update_under(&guard, io, cm_off, &cur, new_cm)?;
+        io.write_nt(cm_off, new_cm).map_err(PglError::from)?;
+        io.drain();
+        drop(guard);
         Ok(())
     }
 
     /// XORs `patch` into the parity row of `zone` at column `col`, picking
     /// the atomic or vectorized strategy by patch size and acquiring the
-    /// covering range-locks itself.
+    /// covering range-locks itself. (Recovery-path entry point; commit
+    /// uses the diff-fused [`ParityEngine::update_under`].)
     pub fn apply_patch(&self, io: &PoolIo, zone: u64, col: u64, patch: &[u8]) -> Result<()> {
         let exclusive = self.prefers_exclusive(patch.len() as u64);
         let guard = self.lock_columns(zone, col, patch.len() as u64, exclusive);
         let parity_off = self.layout.parity_off(zone, col);
-        let r = self.xor_into(io, parity_off, patch, !exclusive);
+        let r = if exclusive {
+            (|| {
+                io.dev().xor_range(parity_off, patch)?;
+                if let Some(rep) = io.replica() {
+                    rep.xor_range(parity_off, patch)?;
+                }
+                io.persist(parity_off, patch.len())?;
+                Ok(())
+            })()
+        } else {
+            (|| {
+                let touched = io.dev().atomic_xor_patch_span(parity_off, patch)?;
+                if let Some(rep) = io.replica() {
+                    rep.atomic_xor_patch_span(parity_off, patch)?;
+                }
+                if touched {
+                    let a_start = align_down(parity_off as usize, 8) as u64;
+                    let a_end = align_up((parity_off + patch.len() as u64) as usize, 8) as u64;
+                    io.persist(a_start, (a_end - a_start) as usize)?;
+                }
+                Ok(())
+            })()
+        };
         drop(guard);
         r
-    }
-
-    /// Raw parity XOR with no locking — the caller must hold covering
-    /// range-locks. `atomic` selects lock-free word XOR (safe under shared
-    /// guards); otherwise plain vectorized XOR (needs exclusivity).
-    fn xor_into(&self, io: &PoolIo, parity_off: u64, patch: &[u8], atomic: bool) -> Result<()> {
-        if atomic {
-            // Atomic XOR: concurrent small updates to the same parity
-            // words serialize only at the word level.
-            self.atomic_xor_span(io, parity_off, patch.len() as u64, |i| patch[i])
-        } else {
-            io.dev().xor_range(parity_off, patch)?;
-            if let Some(rep) = io.replica() {
-                rep.xor_range(parity_off, patch)?;
-            }
-            io.persist(parity_off, patch.len())?;
-            Ok(())
-        }
     }
 
     /// Recomputes parity for columns `[col, col+len)` of `zone` from the

@@ -121,24 +121,40 @@ impl Inner {
     /// (with online recovery on mismatch).
     pub(crate) fn load_ubuf(&self, oid: PMEMoid, verify: bool) -> Result<UBuf> {
         let hdr = self.obj_header_checked(oid)?;
-        let mut data = vec![0u8; hdr.size as usize];
-        self.read_with_recovery(oid.off, &mut data)?;
+        self.load_ubuf_hdr_in(oid, hdr, verify, &mut Vec::new())
+    }
+
+    /// [`Inner::load_ubuf`] for callers that already validated the
+    /// header — skips the redundant 16-byte header re-read the open path
+    /// used to pay. NVMM content is read straight into the micro-buffer
+    /// frame, and the frame storage comes from `frames` (the
+    /// transaction's recycled pool) — no allocation on the steady-state
+    /// open path.
+    pub(crate) fn load_ubuf_hdr_in(
+        &self,
+        oid: PMEMoid,
+        hdr: ObjectHeader,
+        verify: bool,
+        frames: &mut Vec<(Vec<u8>, pgl_pmemobj::util::RangeSet)>,
+    ) -> Result<UBuf> {
+        let mut b = UBuf::for_load(oid, hdr, frames.pop().unwrap_or_default());
+        self.read_with_recovery(oid.off, b.user_mut())?;
         if verify && self.mode.has_checksums() {
-            if hdr.csum != adler32(&data) {
+            if hdr.csum != adler32(b.user()) {
                 // Scribble detected: recover and reload.
                 self.recover_object(oid)?;
                 let hdr2 = self.obj_header_checked(oid)?;
-                data.resize(hdr2.size as usize, 0);
-                self.read_with_recovery(oid.off, &mut data)?;
-                if hdr2.csum != adler32(&data) {
+                let mut b2 = UBuf::for_load(oid, hdr2, b.into_parts());
+                self.read_with_recovery(oid.off, b2.user_mut())?;
+                if hdr2.csum != adler32(b2.user()) {
                     return Err(PglError::ChecksumMismatch { off: oid.off });
                 }
                 self.vuln.note_verified(hdr2.size);
-                return Ok(UBuf::from_nvmm(oid, hdr2, &data));
+                return Ok(b2);
             }
             self.vuln.note_verified(hdr.size);
         }
-        Ok(UBuf::from_nvmm(oid, hdr, &data))
+        Ok(b)
     }
 
     /// Direct object read (`pgl_get`): no verification under the default
@@ -153,7 +169,7 @@ impl Inner {
         if self.mode.has_checksums() && matches!(self.policy, CsumPolicy::Conservative) {
             let hdr = self.obj_header_checked(oid)?;
             if hdr.size <= crate::txn::SPARSE_THRESHOLD {
-                let b = self.load_ubuf(oid, true)?;
+                let b = self.load_ubuf_hdr_in(oid, hdr, true, &mut Vec::new())?;
                 let o = off as usize;
                 dst.copy_from_slice(&b.user()[o..o + dst.len()]);
                 return Ok(());
@@ -193,6 +209,23 @@ impl Inner {
         }
     }
 
+    /// Like [`Inner::lock_span`], but collecting stripe ids into caller
+    /// scratch (the committing transaction threads its
+    /// [`crate::scratch::CommitScratch`] buffer through, so steady-state
+    /// span locking allocates nothing for the id set).
+    pub(crate) fn lock_span_scratch(
+        &self,
+        ids: &mut Vec<usize>,
+        off: u64,
+        len: u64,
+        exclusive: bool,
+    ) -> Result<SpanGuard<'_>> {
+        match &self.parity {
+            Some(engine) => Ok(SpanGuard::Parity(engine.lock_span_with(ids, off, len, exclusive)?)),
+            None => Ok(SpanGuard::Unlocked),
+        }
+    }
+
     /// `true` when a write-back of `len` bytes should take its span guard
     /// exclusively (large vectorized parity XOR).
     pub(crate) fn span_exclusive(&self, len: u64) -> bool {
@@ -201,7 +234,12 @@ impl Inner {
 
     /// Like [`Inner::protected_write`], but under a span guard the caller
     /// already holds over `[off, off+len)` (no lock acquisition here; the
-    /// parity XOR strategy follows the guard mode).
+    /// parity XOR strategy follows the guard mode). Reads the pre-image
+    /// itself — into a stack buffer for small writes (headers, allocator
+    /// words), so the metadata path stays allocation-free. Callers that
+    /// already hold the pre-image use
+    /// [`Inner::protected_write_locked_old`] instead and skip the read
+    /// entirely.
     pub(crate) fn protected_write_locked(
         &self,
         guard: &SpanGuard<'_>,
@@ -209,12 +247,18 @@ impl Inner {
         new: &[u8],
     ) -> Result<()> {
         match (&self.parity, guard) {
-            (Some(engine), SpanGuard::Parity(g)) => {
-                let mut old = vec![0u8; new.len()];
-                self.io.read(off, &mut old).map_err(PglError::from)?;
-                self.io.write_nt(off, new).map_err(PglError::from)?;
-                self.io.drain();
-                engine.update_under(g, &self.io, off, &old, new)
+            (Some(_), SpanGuard::Parity(_)) => {
+                const STACK_OLD: usize = 256;
+                if new.len() <= STACK_OLD {
+                    let mut buf = [0u8; STACK_OLD];
+                    let old = &mut buf[..new.len()];
+                    self.io.read(off, old).map_err(PglError::from)?;
+                    self.protected_write_locked_old(guard, off, new, old)
+                } else {
+                    let mut old = vec![0u8; new.len()];
+                    self.io.read(off, &mut old).map_err(PglError::from)?;
+                    self.protected_write_locked_old(guard, off, new, &old)
+                }
             }
             _ => {
                 self.io.write_nt(off, new).map_err(PglError::from)?;
@@ -222,6 +266,38 @@ impl Inner {
                 Ok(())
             }
         }
+    }
+
+    /// Data write-back under a caller-held span guard with a
+    /// **caller-supplied pre-image**: stores `new` (non-temporal), then
+    /// patches parity with the fused `old ⊕ new` diff. This is the commit
+    /// pipeline's write-back primitive — the transaction read `old` from
+    /// NVMM exactly once (during the checksum stage, into its
+    /// [`crate::scratch::CommitScratch`]) and hands it back here, so no
+    /// second old-data read ever hits the device. The caller must
+    /// guarantee `old` is the current NVMM content of the range, which
+    /// the §3.4 ownership rule (no two transactions modify one object)
+    /// provides.
+    /// One fence serves both the store and the parity patch: the
+    /// non-temporal store is issued, the parity lines are XORed and
+    /// *flushed*, and a single drain makes everything durable together.
+    /// (A crash between the two halves was already a recovered state —
+    /// committed redo logs replay the data and recompute the columns —
+    /// so splitting the fence never protected anything.)
+    pub(crate) fn protected_write_locked_old(
+        &self,
+        guard: &SpanGuard<'_>,
+        off: u64,
+        new: &[u8],
+        old: &[u8],
+    ) -> Result<()> {
+        debug_assert_eq!(old.len(), new.len());
+        self.io.write_nt(off, new).map_err(PglError::from)?;
+        if let (Some(engine), SpanGuard::Parity(g)) = (&self.parity, guard) {
+            engine.update_under_flush_only(g, &self.io, off, old, new)?;
+        }
+        self.io.drain();
+        Ok(())
     }
 
     /// Applies allocator meta ops with parity maintenance, serialized
@@ -657,7 +733,9 @@ impl PglPool {
     }
 
     /// The object's header metadata `(user size, type number)`, with
-    /// media recovery (used by the typed layer's debug brand checks).
+    /// media recovery (used by the typed layer's debug brand checks,
+    /// hence unused — not dead — in release builds).
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
     pub(crate) fn obj_meta(&self, oid: PMEMoid) -> Result<(u64, u32)> {
         self.check_oid(oid)?;
         let h = self.inner.obj_header_checked(oid)?;

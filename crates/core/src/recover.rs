@@ -116,12 +116,21 @@ fn sweep_orphan_log_chunks(
                     io.persist(layout.chunk_base(z, c), layout.cfg.chunk_size)
                         .map_err(PglError::from)?;
                     let cm_off = layout.cm_entry_off(z, c);
-                    io.write(cm_off, &free).map_err(PglError::from)?;
-                    io.persist(cm_off, 16).map_err(PglError::from)?;
                     if let Some(engine) = parity {
+                        // First re-level the CM column against the current
+                        // (still-`Log`) entry — the tear being repaired may
+                        // be in this very column. Then flip Log→Free with
+                        // the parity-first protocol: a crash anywhere in
+                        // between leaves the entry reading `Log`, so the
+                        // next open's sweep redoes exactly this sequence
+                        // (recovery stays idempotent).
                         for seg in segments(layout, cm_off, 16)? {
                             engine.recompute_columns(io, seg.zone, seg.col, seg.len)?;
                         }
+                        engine.flip_cm_parity_first(io, cm_off, &free)?;
+                    } else {
+                        io.write(cm_off, &free).map_err(PglError::from)?;
+                        io.persist(cm_off, 16).map_err(PglError::from)?;
                     }
                 }
                 Some(ChunkType::Large) => advance = cm.size_idx.max(1) as u64,

@@ -1,0 +1,220 @@
+//! Reusable commit-path scratch memory: the allocation-free backbone of
+//! the fused commit pipeline.
+//!
+//! A committing transaction needs three kinds of transient memory:
+//!
+//! 1. **old-data bytes** — the pre-image of every modified range, read
+//!    from NVMM *exactly once* and consumed twice: by the incremental
+//!    Adler32 delta (commit stage 2) and by the parity XOR patch at
+//!    write-back (stage 6);
+//! 2. **a staging buffer** for bytes that are not contiguous in DRAM
+//!    (sparse-shadow ranges span 256-byte blocks, construction
+//!    write-backs need the on-NVMM pre-image for parity);
+//! 3. **stripe-id scratch** for parity range-lock acquisition.
+//!
+//! [`CommitScratch`] owns all three as growable buffers that are *cleared
+//! but never shrunk* between transactions: finished transactions recycle
+//! their scratch into a thread-local slot, so steady-state commits of
+//! small objects perform **zero heap allocations** on the data path. The
+//! regression test in `tests/commit_reads.rs` pins both this and the
+//! one-read-per-range invariant (via the device's
+//! `commit_old_reads`/`commit_old_bytes` counters).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use pgl_pmemobj::util::RangeSet;
+use pgl_pmemobj::PoolIo;
+
+use crate::error::{PglError, Result};
+use crate::sparse::SparseBuf;
+use crate::ubuf::UBuf;
+
+/// Multiply–xorshift hasher for `u64` pool offsets. Transaction maps are
+/// keyed by object offsets (already unique, low entropy in the low bits);
+/// SipHash is wasted work on this hot path.
+#[derive(Default)]
+pub(crate) struct OffHasher(u64);
+
+impl Hasher for OffHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback (unused by u64 keys): FNV-1a.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        let mut h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        self.0 = h;
+    }
+}
+
+/// `HashMap` keyed by pool offsets with the cheap [`OffHasher`].
+pub(crate) type OffMap<V> = HashMap<u64, V, BuildHasherDefault<OffHasher>>;
+
+/// Upper bound on recycled micro-buffer frames kept per thread; past
+/// this, frames are simply dropped (bounds idle memory).
+const MAX_FRAMES: usize = 8;
+
+/// One recorded old-data range: which object and range it belongs to, and
+/// where its bytes live inside [`CommitScratch::old`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OldRange {
+    /// Object user-data offset (`oid.off`) the range belongs to.
+    pub obj: u64,
+    /// Range offset within the object's user data.
+    pub roff: u64,
+    /// Start of the range's old bytes within the shared `old` buffer.
+    pub start: usize,
+    /// Range length in bytes.
+    pub len: usize,
+}
+
+/// Reusable per-transaction commit scratch (see the module docs).
+///
+/// Obtained via [`CommitScratch::take`] (thread-local recycling) and
+/// returned with [`CommitScratch::recycle`]; a fresh default is used when
+/// the thread has none cached yet.
+#[derive(Default)]
+pub(crate) struct CommitScratch {
+    /// Old-range bytes for every modified range, packed end to end in
+    /// commit processing order.
+    pub old: Vec<u8>,
+    /// One record per modified range, in the exact order the write-back
+    /// stage re-walks them.
+    pub ranges: Vec<OldRange>,
+    /// Staging buffer for non-contiguous new bytes (sparse ranges) and
+    /// construction-write pre-images.
+    pub tmp: Vec<u8>,
+    /// Stripe-id scratch for parity span-lock acquisition.
+    pub stripe_ids: Vec<usize>,
+    /// Recycled (empty) micro-buffer table for the next transaction.
+    pub ubuf_map: OffMap<UBuf>,
+    /// Recycled (empty) sparse-shadow table.
+    pub sparse_map: OffMap<SparseBuf>,
+    /// Recycled insertion-order buffer.
+    pub order: Vec<u64>,
+    /// Recycled micro-buffer storage — frame bytes plus range-set
+    /// buffers — capacity-preserving.
+    pub frames: Vec<(Vec<u8>, RangeSet)>,
+}
+
+thread_local! {
+    /// Per-thread recycled scratch: commits on the same thread reuse the
+    /// grown buffers instead of re-allocating.
+    static RECYCLED: RefCell<Option<CommitScratch>> = const { RefCell::new(None) };
+}
+
+impl CommitScratch {
+    /// Takes the thread's recycled scratch (or a fresh default), cleared
+    /// and ready for one transaction's commit.
+    pub fn take() -> CommitScratch {
+        RECYCLED.with(|slot| slot.borrow_mut().take()).unwrap_or_default()
+    }
+
+    /// Clears the scratch (keeping capacity) and parks it in the
+    /// thread-local slot for the next transaction on this thread.
+    pub fn recycle(mut self) {
+        self.reset();
+        RECYCLED.with(|slot| *slot.borrow_mut() = Some(self));
+    }
+
+    /// Clears all buffers without releasing their capacity.
+    pub fn reset(&mut self) {
+        self.old.clear();
+        self.ranges.clear();
+        self.tmp.clear();
+        self.stripe_ids.clear();
+        self.ubuf_map.clear();
+        self.sparse_map.clear();
+        self.order.clear();
+    }
+
+    /// Parks a finished micro-buffer's storage for reuse (bounded pool).
+    pub fn push_frame(&mut self, parts: (Vec<u8>, RangeSet)) {
+        if self.frames.len() < MAX_FRAMES {
+            self.frames.push(parts);
+        }
+    }
+}
+
+/// Reads the `len`-byte pre-image of object `obj`'s range at `roff`
+/// (absolute pool offset `pool_off`) into the shared `old` buffer,
+/// records it for the write-back stage, and returns its span. This is
+/// *the* single commit-time old-data read per modified range — the
+/// device's commit-old counters are bumped here and nowhere else.
+///
+/// A free function over the split-out buffers (not a method) so callers
+/// can hold the returned span alongside `&mut` borrows of the scratch's
+/// other buffers.
+pub(crate) fn read_old_range(
+    io: &PoolIo,
+    old: &mut Vec<u8>,
+    ranges: &mut Vec<OldRange>,
+    obj: u64,
+    roff: u64,
+    pool_off: u64,
+    len: usize,
+) -> Result<(usize, usize)> {
+    let start = old.len();
+    old.resize(start + len, 0);
+    io.read(pool_off, &mut old[start..start + len]).map_err(|e| {
+        PglError::Unrecoverable(format!("media error during commit (old-data read): {e}"))
+    })?;
+    io.dev().note_commit_old_read(len as u64);
+    ranges.push(OldRange { obj, roff, start, len });
+    Ok((start, start + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycle_keeps_capacity_and_clears_content() {
+        let mut s = CommitScratch::take();
+        s.old.extend_from_slice(&[1, 2, 3]);
+        s.ranges.push(OldRange { obj: 1, roff: 0, start: 0, len: 3 });
+        s.tmp.resize(100, 7);
+        s.stripe_ids.push(9);
+        let cap = s.tmp.capacity();
+        s.recycle();
+        let s2 = CommitScratch::take();
+        assert!(s2.old.is_empty() && s2.ranges.is_empty() && s2.stripe_ids.is_empty());
+        assert!(s2.tmp.is_empty());
+        assert!(s2.tmp.capacity() >= cap, "capacity survives recycling");
+        // The slot is empty now; a second take yields a fresh default.
+        let s3 = CommitScratch::take();
+        assert_eq!(s3.tmp.capacity(), 0);
+        s2.recycle();
+        s3.recycle();
+    }
+
+    #[test]
+    fn read_old_range_records_and_counts() {
+        use pgl_nvm::{DeviceConfig, NvmDevice};
+        use std::sync::Arc;
+        let dev = Arc::new(NvmDevice::new(8 << 12, DeviceConfig::fast()).unwrap());
+        dev.write(4096, &[0xAB; 64]).unwrap();
+        let io = PoolIo::new(dev.clone());
+        let mut old = Vec::new();
+        let mut ranges = Vec::new();
+        let s0 = dev.stats();
+        let (a, b) = read_old_range(&io, &mut old, &mut ranges, 4096, 16, 4096 + 16, 32).unwrap();
+        assert_eq!(&old[a..b], &[0xAB; 32]);
+        assert_eq!(ranges.len(), 1);
+        assert_eq!((ranges[0].obj, ranges[0].roff, ranges[0].len), (4096, 16, 32));
+        let d = dev.stats().delta_since(&s0);
+        assert_eq!((d.commit_old_reads, d.commit_old_bytes), (1, 32));
+    }
+}

@@ -5,7 +5,10 @@
 //! micro-buffers; commit then performs, in order:
 //!
 //! 1. **canary checks** — a smashed canary aborts before NVMM is touched;
-//! 2. **checksum refresh** — incremental Adler32 over the modified ranges;
+//! 2. **fused old-data pass** — each modified range's NVMM pre-image is
+//!    read *exactly once* into the recycled commit-scratch buffers,
+//!    feeding both the incremental Adler32 refresh here and the parity
+//!    XOR patch at stage (6);
 //! 3. **allocation intents** — persisted so a pre-commit crash can
 //!    recompute parity for torn construction writes;
 //! 4. **construction write-back** of new objects (their content is *not*
@@ -15,14 +18,22 @@
 //!    the refreshed headers, and the allocator ops, sealed by a commit
 //!    record — the commit point;
 //! 6. **write-back** of modified ranges with non-temporal stores, each
-//!    paired with a hybrid parity update;
-//! 7. **allocator publication** (parity-aware) and log invalidation.
+//!    paired with a hybrid parity update consuming the stage-(2)
+//!    pre-images (one fence covers store and patch together);
+//! 7. **allocator publication** (parity-aware) and log invalidation
+//!    (lazy — flushed, fenced by the lane's next transaction).
 //!
 //! A crash before (5) leaves objects untouched (recovery re-levels parity
 //! under the intents); a crash after (5) replays the redo log and
 //! recomputes the affected parity columns (paper §3.6).
-
-use std::collections::HashMap;
+//!
+//! Whole-object overwrites (the Figure 3 shape) take a fused fast path:
+//! the object header is adjacent to the data both on NVMM and in the
+//! micro-buffer frame, so one pre-image read, one redo entry, one
+//! non-temporal store and one parity patch cover header+data together,
+//! and the checksum is one full pass over the new bytes. See the README's
+//! "Commit pipeline & performance" section for the invariants and the
+//! `commit_path` bench.
 
 use pgl_nvm::pod::{bytes_of, Pod};
 use pgl_pmemobj::heap::run::{ChunkMeta, ChunkType};
@@ -36,12 +47,26 @@ pub use pgl_pmemobj::TxStats;
 use crate::checksum::{adler32, adler32_update};
 use crate::error::{PglError, Result};
 use crate::pool::Inner;
+use crate::scratch::{read_old_range, CommitScratch, OffMap};
 use crate::sparse::{SparseBuf, SPARSE_BLOCK};
 use crate::ubuf::{UBuf, UBufState};
 
 /// Objects larger than this are shadowed sparsely (block-granular) instead
 /// of being copied whole into a micro-buffer; see [`crate::sparse`].
 pub const SPARSE_THRESHOLD: u64 = 64 << 10;
+
+/// Sentinel `roff` in a scratch [`crate::scratch::OldRange`] marking a
+/// fused header+data pre-image (the whole-object overwrite fast path).
+const WHOLE_OBJECT: u64 = u64::MAX;
+
+/// `true` when a modified micro-buffer's ranges collapse to one full
+/// object overwrite — the Figure 3 "overwrite" shape. The header sits
+/// directly before the data both on NVMM and in the frame, so this shape
+/// commits with ONE pre-image read, ONE redo entry, ONE non-temporal
+/// store + fence, and ONE parity patch covering header+data together.
+fn is_whole_object(b: &UBuf) -> bool {
+    b.modified().len() == 1 && b.modified().iter().next() == Some((0, b.user_size() as u64))
+}
 
 /// A heap chunk claimed for log overflow.
 #[derive(Debug, Clone, Copy)]
@@ -55,15 +80,18 @@ struct LogChunk {
 pub struct PglTx<'p> {
     inner: &'p Inner,
     lane: LaneHandle<'p>,
-    ubufs: HashMap<u64, UBuf>,
+    ubufs: OffMap<UBuf>,
     /// Sparse shadows for objects above [`SPARSE_THRESHOLD`].
-    sparse: HashMap<u64, SparseBuf>,
+    sparse: OffMap<SparseBuf>,
     /// Insertion order, for deterministic commit processing.
     order: Vec<u64>,
     allocs: Vec<AllocReservation>,
     frees: Vec<FreeReservation>,
     stats: TxStats,
     log_chunks: Vec<(LogChunk, Option<LogChunk>)>,
+    /// Commit-path scratch (old-data buffer, staging buffer, stripe ids),
+    /// recycled thread-locally so steady-state commits allocate nothing.
+    scratch: CommitScratch,
 }
 
 /// Appends an entry, overflowing the log into heap chunks when the lane
@@ -145,7 +173,12 @@ fn release_log_chunks(
                 // for it, so the transition is consistent.
                 inner.io.set(lc.base, 0, chunk_size).map_err(PglError::from)?;
                 inner.io.persist(lc.base, chunk_size).map_err(PglError::from)?;
-                inner.protected_write(inner.layout.cm_entry_off(lc.zone, lc.chunk), &free_cm)?;
+                // Log→Free runs after the redo log was invalidated, so
+                // the crash-ordering burden falls on the parity-first CM
+                // flip protocol (see `ParityEngine::flip_cm_parity_first`).
+                let cm_off = inner.layout.cm_entry_off(lc.zone, lc.chunk);
+                let engine = inner.parity.as_ref().expect("parity mode");
+                engine.flip_cm_parity_first(&inner.io, cm_off, &free_cm)?;
             } else {
                 let cm_off = inner.layout.cm_entry_off(lc.zone, lc.chunk);
                 inner.io.write(cm_off, &free_cm).map_err(PglError::from)?;
@@ -159,17 +192,37 @@ fn release_log_chunks(
 
 impl<'p> PglTx<'p> {
     pub(crate) fn new(inner: &'p Inner, lane: LaneHandle<'p>) -> Self {
+        let mut scratch = CommitScratch::take();
+        let ubufs = std::mem::take(&mut scratch.ubuf_map);
+        let sparse = std::mem::take(&mut scratch.sparse_map);
+        let order = std::mem::take(&mut scratch.order);
         PglTx {
             inner,
             lane,
-            ubufs: HashMap::new(),
-            sparse: HashMap::new(),
-            order: Vec::new(),
+            ubufs,
+            sparse,
+            order,
             allocs: Vec::new(),
             frees: Vec::new(),
             stats: TxStats::default(),
             log_chunks: Vec::new(),
+            scratch,
         }
+    }
+
+    /// Hands the transaction's containers (maps, order, micro-buffer
+    /// frames) back to the thread-local scratch so the next transaction
+    /// on this thread allocates nothing for them.
+    fn recycle_scratch(&mut self) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut map = std::mem::take(&mut self.ubufs);
+        for (_, b) in map.drain() {
+            scratch.push_frame(b.into_parts());
+        }
+        scratch.ubuf_map = map;
+        scratch.sparse_map = std::mem::take(&mut self.sparse);
+        scratch.order = std::mem::take(&mut self.order);
+        scratch.recycle();
     }
 
     fn check_oid(&self, oid: PMEMoid) -> Result<()> {
@@ -184,6 +237,13 @@ impl<'p> PglTx<'p> {
     /// first and running online recovery if verification fails. Objects
     /// above [`SPARSE_THRESHOLD`] get a sparse (block-granular) shadow
     /// instead, skipping whole-object verification (see [`crate::sparse`]).
+    /// (Full overwrites must verify too, even though the old bytes don't
+    /// flow into the refreshed checksum: a *scribble* bypasses parity, so
+    /// the parity row still reflects the pre-scribble content — patching
+    /// it with a scribbled pre-image would leave a permanent residue in
+    /// every column of the stripe. Verification detects the scribble and
+    /// repairs the object from parity first, keeping the pre-image and
+    /// the parity row consistent.)
     pub fn open(&mut self, oid: PMEMoid) -> Result<()> {
         self.check_oid(oid)?;
         if self.ubufs.contains_key(&oid.off) || self.sparse.contains_key(&oid.off) {
@@ -193,7 +253,7 @@ impl<'p> PglTx<'p> {
         if hdr.size > SPARSE_THRESHOLD {
             self.sparse.insert(oid.off, SparseBuf::new(oid, hdr));
         } else {
-            let ubuf = self.inner.load_ubuf(oid, true)?;
+            let ubuf = self.inner.load_ubuf_hdr_in(oid, hdr, true, &mut self.scratch.frames)?;
             self.ubufs.insert(oid.off, ubuf);
         }
         self.order.push(oid.off);
@@ -232,7 +292,8 @@ impl<'p> PglTx<'p> {
     pub fn alloc(&mut self, size: u64, type_num: u32) -> Result<PMEMoid> {
         let r = self.inner.heap.reserve_alloc(size, type_num)?;
         let oid = PMEMoid::new(self.inner.uuid, r.oid_off);
-        let ubuf = UBuf::for_alloc(oid, size, type_num);
+        let parts = self.scratch.frames.pop().unwrap_or_default();
+        let ubuf = UBuf::for_alloc_in(oid, size, type_num, parts);
         self.stats.allocated_bytes += size;
         self.stats.alloc_objects += 1;
         self.ubufs.insert(oid.off, ubuf);
@@ -441,6 +502,7 @@ impl<'p> PglTx<'p> {
 
     pub(crate) fn commit(mut self) -> Result<TxStats> {
         if !self.has_effects() {
+            self.recycle_scratch();
             return Ok(self.stats);
         }
         // Finalize modification stats (redo payload size).
@@ -459,6 +521,9 @@ impl<'p> PglTx<'p> {
         self.inner.freeze.begin_commit();
         let r = self.commit_inner();
         self.inner.freeze.end_commit();
+        if r.is_ok() {
+            self.recycle_scratch();
+        }
         match r {
             Ok(()) => Ok(self.stats),
             Err(e) => {
@@ -466,6 +531,7 @@ impl<'p> PglTx<'p> {
                 // that allows aborting (canary/checksum stages); later
                 // failures surface as unrecoverable in commit_inner.
                 self.rollback_volatile()?;
+                self.recycle_scratch();
                 Err(e)
             }
         }
@@ -484,55 +550,98 @@ impl<'p> PglTx<'p> {
             sb.check_canaries()?;
         }
 
-        // (2) Refresh checksums: full micro-buffers and sparse shadows both
-        // update incrementally from the modified ranges (paper §3.5).
-        if csums {
-            let sparse_offs: Vec<u64> =
-                self.sparse.iter().filter(|(_, sb)| sb.is_modified()).map(|(o, _)| *o).collect();
-            for off in sparse_offs {
-                let sb = self.sparse.get(&off).expect("exists");
-                let total = sb.user_size();
-                let mut c = sb.header().csum;
-                let ranges: Vec<(u64, u64)> = sb.modified().iter().collect();
-                let mut updates = Vec::with_capacity(ranges.len());
-                for (roff, rlen) in ranges {
-                    let mut old = vec![0u8; rlen as usize];
-                    self.inner.io.read(off + roff, &mut old).map_err(|e| {
-                        PglError::Unrecoverable(format!(
-                            "media error during commit (old-data read): {e}"
-                        ))
-                    })?;
-                    updates.push((roff, old));
-                }
-                let sb = self.sparse.get_mut(&off).expect("exists");
-                for (roff, old) in updates {
-                    let new = sb.range_bytes(roff, old.len() as u64);
-                    c = adler32_update(c, total, roff, &old, &new);
-                }
-                sb.set_csum(c);
-            }
+        // (2) One fused old-data pass (paper §3.5): for every modified
+        // range, read the NVMM pre-image *exactly once* into the commit
+        // scratch, where it feeds the incremental Adler32 delta here and
+        // the parity XOR patch at stage (6). This transaction owns its
+        // objects for the whole commit (the §3.4 concurrency rule), so
+        // the pre-image captured now is still the on-NVMM content when
+        // the write-back consumes it — no second read required. Fresh
+        // (`New`) micro-buffers have no pre-image; their checksum is a
+        // full compute over the construction content.
+        if csums || parity {
+            let CommitScratch { old, ranges, tmp, .. } = &mut self.scratch;
             for off in &self.order {
+                if let Some(sb) = self.sparse.get_mut(off) {
+                    if !sb.is_modified() {
+                        continue;
+                    }
+                    let total = sb.user_size();
+                    let oid_off = sb.oid().off;
+                    let mut c = sb.header().csum;
+                    for (roff, rlen) in sb.modified().iter() {
+                        let (s, e) = read_old_range(
+                            &inner.io,
+                            old,
+                            ranges,
+                            oid_off,
+                            roff,
+                            oid_off + roff,
+                            rlen as usize,
+                        )?;
+                        if csums {
+                            tmp.resize(rlen as usize, 0);
+                            sb.read(roff, &mut tmp[..rlen as usize]);
+                            c = adler32_update(c, total, roff, &old[s..e], &tmp[..rlen as usize]);
+                        }
+                    }
+                    if csums {
+                        sb.set_csum(c);
+                    }
+                    continue;
+                }
                 let Some(b) = self.ubufs.get_mut(off) else { continue };
                 match b.state() {
                     UBufState::New => {
-                        let c = adler32(b.user());
-                        b.set_csum(c);
+                        if csums {
+                            let c = adler32(b.user());
+                            b.set_csum(c);
+                        }
                     }
                     UBufState::Modified => {
                         let total = b.user_size() as u64;
-                        let mut c = b.header().csum;
-                        let ranges: Vec<(u64, u64)> = b.modified().iter().collect();
-                        for (roff, rlen) in ranges {
-                            let mut old = vec![0u8; rlen as usize];
-                            inner.io.read(b.oid().off + roff, &mut old).map_err(|e| {
-                                PglError::Unrecoverable(format!(
-                                    "media error during commit (old-data read): {e}"
-                                ))
-                            })?;
-                            let new = &b.user()[roff as usize..(roff + rlen) as usize];
-                            c = adler32_update(c, total, roff, &old, new);
+                        let oid_off = b.oid().off;
+                        if parity && is_whole_object(b) {
+                            // Whole-object fast path: one pre-image read
+                            // covering header+data serves the fused
+                            // parity patch at stage (6); the checksum is
+                            // a single full pass over the new bytes —
+                            // cheaper than the two-stream delta when the
+                            // range IS the object.
+                            read_old_range(
+                                &inner.io,
+                                old,
+                                ranges,
+                                oid_off,
+                                WHOLE_OBJECT,
+                                b.header_off(),
+                                (OBJ_HEADER_SIZE + total) as usize,
+                            )?;
+                            if csums {
+                                let c = adler32(b.user());
+                                b.set_csum(c);
+                            }
+                            continue;
                         }
-                        b.set_csum(c);
+                        let mut c = b.header().csum;
+                        for (roff, rlen) in b.modified().iter() {
+                            let (s, e) = read_old_range(
+                                &inner.io,
+                                old,
+                                ranges,
+                                oid_off,
+                                roff,
+                                oid_off + roff,
+                                rlen as usize,
+                            )?;
+                            if csums {
+                                let new = &b.user()[roff as usize..(roff + rlen) as usize];
+                                c = adler32_update(c, total, roff, &old[s..e], new);
+                            }
+                        }
+                        if csums {
+                            b.set_csum(c);
+                        }
                     }
                     UBufState::Clean => {}
                 }
@@ -568,13 +677,31 @@ impl<'p> PglTx<'p> {
 
         // (4) Construction write-back: header + content of new objects,
         // with parity maintenance. Not redo-logged (paper Figure 3's
-        // "allocation does not involve object logging"). protected_write
-        // holds the parity span guard across the whole contiguous
-        // header+content store, so the concurrent scrubber never sees a
-        // half-constructed object.
-        for off in &new_offs {
-            let b = &self.ubufs[off];
-            inner.protected_write(b.header_off(), b.header_and_user())?;
+        // "allocation does not involve object logging"). The parity span
+        // guard is held across the whole contiguous header+content store,
+        // so the concurrent scrubber never sees a half-constructed
+        // object. The pre-image (stale chunk content, owned by this
+        // transaction's reservation) stages through the commit scratch —
+        // no allocation.
+        {
+            let CommitScratch { tmp, stripe_ids, .. } = &mut self.scratch;
+            for off in &new_offs {
+                let b = &self.ubufs[off];
+                let data = b.header_and_user();
+                if parity {
+                    tmp.resize(data.len(), 0);
+                    inner.io.read(b.header_off(), tmp).map_err(PglError::from)?;
+                    let guard = inner.lock_span_scratch(
+                        stripe_ids,
+                        b.header_off(),
+                        data.len() as u64,
+                        inner.span_exclusive(data.len() as u64),
+                    )?;
+                    inner.protected_write_locked_old(&guard, b.header_off(), data, tmp)?;
+                } else {
+                    inner.protected_write(b.header_off(), data)?;
+                }
+            }
         }
 
         // (5) Redo log: modified ranges + refreshed headers + allocator
@@ -586,14 +713,16 @@ impl<'p> PglTx<'p> {
                     continue;
                 }
                 for (roff, rlen) in sb.modified().iter() {
-                    let data = sb.range_bytes(roff, rlen);
+                    let tmp = &mut self.scratch.tmp;
+                    tmp.resize(rlen as usize, 0);
+                    sb.read(roff, &mut tmp[..rlen as usize]);
                     append_with_overflow(
                         inner,
                         &mut self.lane,
                         &mut self.log_chunks,
                         EntryKind::Data,
                         sb.oid().off + roff,
-                        &data,
+                        &self.scratch.tmp[..rlen as usize],
                     )?;
                 }
                 let h = sb.header();
@@ -610,6 +739,21 @@ impl<'p> PglTx<'p> {
             }
             let Some(b) = self.ubufs.get(off) else { continue };
             if b.state() != UBufState::Modified {
+                continue;
+            }
+            if is_whole_object(b) {
+                // Whole-object fast path: header and data are adjacent,
+                // so one redo entry carries both (the header already
+                // holds the refreshed checksum).
+                append_with_overflow(
+                    inner,
+                    &mut self.lane,
+                    &mut self.log_chunks,
+                    EntryKind::Data,
+                    b.header_off(),
+                    b.header_and_user(),
+                )?;
+                logged = true;
                 continue;
             }
             for (roff, rlen) in b.modified().iter() {
@@ -672,10 +816,17 @@ impl<'p> PglTx<'p> {
         // commute through atomic XOR under shared guards, and the scrubber
         // (which takes the same locks exclusively) can only observe the
         // object entirely-before or entirely-after this transaction.
-        // Failures past the commit point cannot abort; recovery would
-        // replay the redo log, so report them as unrecoverable here.
+        // Parity patches consume the pre-images stage (2) captured in the
+        // commit scratch — the ranges were recorded in this exact walk
+        // order, so a cursor pairs them back up without any lookup — and
+        // the refreshed 16-byte header reads its pre-image into a stack
+        // buffer inside `protected_write_locked`. Failures past the
+        // commit point cannot abort; recovery would replay the redo log,
+        // so report them as unrecoverable here.
         let fatal =
             |e: PglError| PglError::Unrecoverable(format!("failure after commit point: {e}"));
+        let CommitScratch { old, ranges, tmp, stripe_ids, .. } = &mut self.scratch;
+        let mut cur = 0usize;
         for off in &self.order {
             if let Some(sb) = self.sparse.get(off) {
                 if !sb.is_modified() {
@@ -683,17 +834,41 @@ impl<'p> PglTx<'p> {
                 }
                 let largest = sb.modified().iter().map(|(_, l)| l).max().unwrap_or(0);
                 let guard = inner
-                    .lock_span(
+                    .lock_span_scratch(
+                        stripe_ids,
                         sb.header_off(),
                         OBJ_HEADER_SIZE + sb.user_size(),
                         inner.span_exclusive(largest),
                     )
                     .map_err(fatal)?;
                 for (roff, rlen) in sb.modified().iter() {
-                    let data = sb.range_bytes(roff, rlen);
-                    inner
-                        .protected_write_locked(&guard, sb.oid().off + roff, &data)
-                        .map_err(fatal)?;
+                    tmp.resize(rlen as usize, 0);
+                    sb.read(roff, &mut tmp[..rlen as usize]);
+                    if parity {
+                        let r = ranges[cur];
+                        cur += 1;
+                        debug_assert_eq!(
+                            (r.obj, r.roff, r.len),
+                            (sb.oid().off, roff, rlen as usize),
+                            "stage-6 walk diverged from stage-2 old-data capture"
+                        );
+                        inner
+                            .protected_write_locked_old(
+                                &guard,
+                                sb.oid().off + roff,
+                                &tmp[..rlen as usize],
+                                &old[r.start..r.start + r.len],
+                            )
+                            .map_err(fatal)?;
+                    } else {
+                        inner
+                            .protected_write_locked(
+                                &guard,
+                                sb.oid().off + roff,
+                                &tmp[..rlen as usize],
+                            )
+                            .map_err(fatal)?;
+                    }
                 }
                 let h = sb.header();
                 inner
@@ -707,15 +882,61 @@ impl<'p> PglTx<'p> {
             }
             let largest = b.modified().iter().map(|(_, l)| l).max().unwrap_or(0);
             let guard = inner
-                .lock_span(
+                .lock_span_scratch(
+                    stripe_ids,
                     b.header_off(),
                     OBJ_HEADER_SIZE + b.user_size() as u64,
                     inner.span_exclusive(largest),
                 )
                 .map_err(fatal)?;
+            if is_whole_object(b) {
+                // Whole-object fast path: ONE non-temporal store + fence
+                // and ONE parity patch cover header and data together.
+                let data = b.header_and_user();
+                if parity {
+                    let r = ranges[cur];
+                    cur += 1;
+                    debug_assert_eq!(
+                        (r.obj, r.roff, r.len),
+                        (b.oid().off, WHOLE_OBJECT, data.len()),
+                        "stage-6 walk diverged from stage-2 old-data capture"
+                    );
+                    inner
+                        .protected_write_locked_old(
+                            &guard,
+                            b.header_off(),
+                            data,
+                            &old[r.start..r.start + r.len],
+                        )
+                        .map_err(fatal)?;
+                } else {
+                    inner.protected_write_locked(&guard, b.header_off(), data).map_err(fatal)?;
+                }
+                continue;
+            }
             for (roff, rlen) in b.modified().iter() {
                 let data = &b.user()[roff as usize..(roff + rlen) as usize];
-                inner.protected_write_locked(&guard, b.oid().off + roff, data).map_err(fatal)?;
+                if parity {
+                    let r = ranges[cur];
+                    cur += 1;
+                    debug_assert_eq!(
+                        (r.obj, r.roff, r.len),
+                        (b.oid().off, roff, rlen as usize),
+                        "stage-6 walk diverged from stage-2 old-data capture"
+                    );
+                    inner
+                        .protected_write_locked_old(
+                            &guard,
+                            b.oid().off + roff,
+                            data,
+                            &old[r.start..r.start + r.len],
+                        )
+                        .map_err(fatal)?;
+                } else {
+                    inner
+                        .protected_write_locked(&guard, b.oid().off + roff, data)
+                        .map_err(fatal)?;
+                }
             }
             let h = b.header();
             inner.protected_write_locked(&guard, b.header_off(), bytes_of(&h)).map_err(fatal)?;
@@ -724,7 +945,10 @@ impl<'p> PglTx<'p> {
         // (7) Publish allocator metadata (parity-aware), invalidate the
         // log, and complete volatile state.
         inner.apply_meta_ops(&ops).map_err(fatal)?;
-        self.lane.bump_gen().map_err(|e| fatal(e.into()))?;
+        // Lazy log invalidation (see `bump_gen`): only overflow
+        // transactions must persist the bump before their chunks return
+        // to the allocator.
+        self.lane.bump_gen(!self.log_chunks.is_empty()).map_err(|e| fatal(e.into()))?;
         release_log_chunks(inner, &mut self.log_chunks).map_err(fatal)?;
         for a in &self.allocs {
             inner.heap.complete_alloc(a);
@@ -743,12 +967,14 @@ impl<'p> PglTx<'p> {
         self.frees.clear();
         self.ubufs.clear();
         self.sparse.clear();
-        self.lane.bump_gen().map_err(PglError::from)?;
+        self.lane.bump_gen(!self.log_chunks.is_empty()).map_err(PglError::from)?;
         release_log_chunks(self.inner, &mut self.log_chunks)?;
         Ok(())
     }
 
     pub(crate) fn abort(mut self) -> Result<()> {
-        self.rollback_volatile()
+        let r = self.rollback_volatile();
+        self.recycle_scratch();
+        r
     }
 }

@@ -32,9 +32,11 @@ pub enum UBufState {
 /// A DRAM shadow copy of one NVMM object.
 ///
 /// Layout of `frame`: `[front canary 8][header 16][user data][back canary 8]`.
+/// The frame is a `Vec` so finished transactions can recycle its storage
+/// through the commit scratch (steady-state opens then allocate nothing).
 pub struct UBuf {
     oid: PMEMoid,
-    frame: Box<[u8]>,
+    frame: Vec<u8>,
     user_size: usize,
     state: UBufState,
     /// Modified ranges, relative to the user data.
@@ -46,15 +48,26 @@ impl UBuf {
         CANARY_SEED ^ oid.off.rotate_left(17)
     }
 
-    fn framed(oid: PMEMoid, header: ObjectHeader, user: &[u8]) -> UBuf {
-        let user_size = user.len();
-        let mut frame = vec![0u8; FRONT + 16 + user_size + 8].into_boxed_slice();
+    /// Builds the canary/header framing in (possibly recycled) storage,
+    /// leaving the user area zeroed.
+    fn frame_in(parts: (Vec<u8>, RangeSet), oid: PMEMoid, header: ObjectHeader) -> UBuf {
+        let (mut frame, mut modified) = parts;
+        modified.clear();
+        let user_size = header.size as usize;
+        frame.clear();
+        frame.resize(FRONT + 16 + user_size + 8, 0);
         let canary = Self::canary_for(oid).to_le_bytes();
         frame[..FRONT].copy_from_slice(&canary);
         frame[FRONT..FRONT + 16].copy_from_slice(bytes_of(&header));
-        frame[FRONT + 16..FRONT + 16 + user_size].copy_from_slice(user);
         frame[FRONT + 16 + user_size..].copy_from_slice(&canary);
-        UBuf { oid, frame, user_size, state: UBufState::Clean, modified: RangeSet::new() }
+        UBuf { oid, frame, user_size, state: UBufState::Clean, modified }
+    }
+
+    fn framed(oid: PMEMoid, header: ObjectHeader, user: &[u8]) -> UBuf {
+        debug_assert_eq!(user.len() as u64, header.size);
+        let mut b = Self::frame_in((Vec::new(), RangeSet::new()), oid, header);
+        b.frame[FRONT + 16..FRONT + 16 + b.user_size].copy_from_slice(user);
+        b
     }
 
     /// Builds a micro-buffer from the object's current NVMM content.
@@ -62,11 +75,35 @@ impl UBuf {
         Self::framed(oid, header, user)
     }
 
+    /// Builds a `Clean` micro-buffer with zeroed user data sized from the
+    /// header, for the pool to read NVMM content into directly (via
+    /// [`UBuf::user_mut`]) — the open path's zero-staging-copy
+    /// constructor. `parts` is recycled storage (any content; empty
+    /// containers work).
+    pub(crate) fn for_load(oid: PMEMoid, header: ObjectHeader, parts: (Vec<u8>, RangeSet)) -> UBuf {
+        Self::frame_in(parts, oid, header)
+    }
+
+    /// Consumes the buffer, returning its storage for recycling.
+    pub(crate) fn into_parts(self) -> (Vec<u8>, RangeSet) {
+        (self.frame, self.modified)
+    }
+
     /// Builds a zero-filled micro-buffer for a fresh allocation; the whole
     /// object counts as modified.
     pub fn for_alloc(oid: PMEMoid, size: u64, type_num: u32) -> UBuf {
+        Self::for_alloc_in(oid, size, type_num, (Vec::new(), RangeSet::new()))
+    }
+
+    /// [`UBuf::for_alloc`] in recycled frame storage.
+    pub(crate) fn for_alloc_in(
+        oid: PMEMoid,
+        size: u64,
+        type_num: u32,
+        parts: (Vec<u8>, RangeSet),
+    ) -> UBuf {
         let header = ObjectHeader { size, type_num, csum: 0 };
-        let mut b = Self::framed(oid, header, &vec![0u8; size as usize]);
+        let mut b = Self::frame_in(parts, oid, header);
         b.state = UBufState::New;
         b.modified.insert(0, size);
         b

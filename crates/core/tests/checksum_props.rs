@@ -1,0 +1,160 @@
+//! Differential property suite for the SWAR data-path primitives: the
+//! word-vectorized `adler32` / `adler32_update` and the fused
+//! diff+zero-skip XOR paths are pinned against straight-from-the-spec
+//! byte-wise reference implementations across random lengths,
+//! misalignments and edit sequences.
+
+use std::sync::Arc;
+
+use pangolin::checksum::{adler32, adler32_update};
+use pangolin::parity::ParityEngine;
+use pgl_nvm::{DeviceConfig, NvmDevice};
+use pgl_pmemobj::{Layout, PoolConfig, PoolIo};
+use proptest::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+
+const MOD: u32 = 65521;
+
+/// Byte-wise reference Adler32 (per-byte modulo; deliberately naive).
+fn ref_adler32(data: &[u8]) -> u32 {
+    let mut a: u32 = 1;
+    let mut b: u32 = 0;
+    for &d in data {
+        a = (a + d as u32) % MOD;
+        b = (b + a) % MOD;
+    }
+    (b << 16) | a
+}
+
+/// Byte-wise reference incremental update: the decrement-with-wrap weight
+/// walk the SWAR implementation replaced.
+fn ref_adler32_update(csum: u32, total_len: u64, off: u64, old: &[u8], new: &[u8]) -> u32 {
+    let m = MOD as i64;
+    let mut da: i64 = 0;
+    let mut db: i64 = 0;
+    let mut weight = ((total_len - off) % MOD as u64) as i64;
+    for (&o, &n) in old.iter().zip(new.iter()) {
+        let delta = n as i64 - o as i64;
+        da += delta;
+        db += weight * delta;
+        weight = if weight == 0 { m - 1 } else { weight - 1 };
+    }
+    let a = (((csum & 0xFFFF) as i64 + da) % m + m) % m;
+    let b = (((csum >> 16) as i64 + db) % m + m) % m;
+    ((b as u32) << 16) | a as u32
+}
+
+/// One random edit: offset fraction, length, fill pattern.
+fn edit_strategy() -> impl Strategy<Value = (u64, usize, u8)> {
+    (any::<u64>(), 1usize..700, any::<u8>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn swar_adler32_matches_bytewise_reference(
+        data in proptest::collection::vec(any::<u8>(), 0..9000),
+        skew in 0usize..8,
+    ) {
+        // `skew` slices off a few leading bytes so word loops start at
+        // every possible misalignment relative to the data.
+        let data = &data[skew.min(data.len())..];
+        prop_assert_eq!(adler32(data), ref_adler32(data));
+    }
+
+    #[test]
+    fn swar_update_matches_reference_and_recompute(
+        len in 1usize..6000,
+        seed in any::<u64>(),
+        edits in proptest::collection::vec(edit_strategy(), 1..12),
+    ) {
+        let mut data: Vec<u8> =
+            (0..len).map(|i| (seed.wrapping_mul(i as u64 + 1) >> 11) as u8).collect();
+        let mut csum = adler32(&data);
+        for (off_frac, elen, fill) in edits.iter().copied() {
+            let elen = elen.min(len);
+            let off = (off_frac % (len - elen + 1) as u64) as usize;
+            let new: Vec<u8> = (0..elen).map(|i| fill.wrapping_add(i as u8)).collect();
+            let old = data[off..off + elen].to_vec();
+            let by_swar =
+                adler32_update(csum, len as u64, off as u64, &old, &new);
+            let by_ref =
+                ref_adler32_update(csum, len as u64, off as u64, &old, &new);
+            prop_assert_eq!(by_swar, by_ref, "SWAR vs byte-wise update");
+            data[off..off + elen].copy_from_slice(&new);
+            csum = by_swar;
+            prop_assert_eq!(csum, ref_adler32(&data), "update vs full recompute");
+        }
+    }
+
+    #[test]
+    fn swar_update_huge_objects_cross_weight_wrap(
+        total_shift in 17u32..40,
+        off_frac in any::<u64>(),
+        old in proptest::collection::vec(any::<u8>(), 1..3000),
+        fill in any::<u8>(),
+    ) {
+        // Weights wrap mod 65521 many times across a huge object; the
+        // block-wise weight arithmetic must agree with the per-byte walk
+        // at arbitrary absolute offsets (sparse-object commits hit this).
+        let total = (1u64 << total_shift) + 12345;
+        let off = off_frac % (total - old.len() as u64);
+        let new: Vec<u8> = (0..old.len()).map(|i| fill.wrapping_mul(i as u8 | 1)).collect();
+        let csum = 0x9ABC_DEF1; // any well-formed starting state
+        prop_assert_eq!(
+            adler32_update(csum, total, off, &old, &new),
+            ref_adler32_update(csum, total, off, &old, &new)
+        );
+    }
+
+    #[test]
+    fn fused_xor_diff_matches_bytewise_model(
+        base in proptest::collection::vec(any::<u8>(), 1..600),
+        off in 0u64..200,
+        zero_mask in any::<u64>(),
+    ) {
+        let dev = NvmDevice::new(16 << 12, DeviceConfig::fast()).unwrap();
+        dev.write(off, &base).unwrap();
+        // old/new agree wherever the mask bit is set, creating runs of
+        // all-zero diff words the fused path must skip (and only skip).
+        let old: Vec<u8> = (0..base.len()).map(|i| (i as u8).wrapping_mul(13)).collect();
+        let new: Vec<u8> = old
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| if zero_mask >> (i % 64) & 1 == 1 { o } else { o ^ 0xA5 })
+            .collect();
+        let touched = dev.xor_diff_range(off, &old, &new).unwrap();
+        prop_assert_eq!(touched, old != new);
+        let got = dev.read_slice(off, base.len()).unwrap();
+        for i in 0..base.len() {
+            prop_assert_eq!(got[i], base[i] ^ old[i] ^ new[i], "byte {}", i);
+        }
+    }
+
+    #[test]
+    fn parity_update_paths_preserve_invariant(
+        writes in proptest::collection::vec(
+            (0u64..6000, 1usize..1200, any::<u8>()), 1..16),
+    ) {
+        // Random protected writes straddle the hybrid threshold (forced
+        // low), so both the atomic word-XOR span and the vectorized
+        // diff-XOR run; the zone parity invariant must survive all of it.
+        let cfg = PoolConfig::small();
+        let layout = Layout::new(cfg).unwrap();
+        let dev = Arc::new(NvmDevice::new(cfg.size, DeviceConfig::fast()).unwrap());
+        let io = PoolIo::new(dev);
+        let eng = ParityEngine::new(layout, 4 << 10, 256);
+        let base = layout.chunk_base(0, layout.zone.cm_chunks);
+        let span: u64 = 8 << 10;
+        for (off_frac, len, fill) in writes.iter().copied() {
+            let off = base + off_frac % (span - len as u64);
+            let new: Vec<u8> = (0..len).map(|i| fill.wrapping_add(i as u8 / 7)).collect();
+            let mut old = vec![0u8; len];
+            io.read(off, &mut old).unwrap();
+            io.write(off, &new).unwrap();
+            io.persist(off, len).unwrap();
+            eng.update(&io, off, &old, &new).unwrap();
+        }
+        prop_assert!(eng.verify_all(&io).unwrap().is_empty());
+    }
+}

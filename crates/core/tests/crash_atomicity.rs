@@ -80,7 +80,9 @@ fn overwrite_tx_atomic_and_parity_consistent_at_every_crash_point() {
     };
 
     let total = count_ops(setup, work);
-    assert!(total > 20, "workload too trivial: {total} ops");
+    // The fused whole-object commit (one redo entry, one write-back store,
+    // one parity patch) needs only ~a dozen device ops for this shape.
+    assert!(total > 10, "workload too trivial: {total} ops");
     for k in 0..total {
         crash_at(k, k.wrapping_mul(0x9E37_79B9_7F4A_7C15), &setup, &work, &verify);
     }

@@ -73,6 +73,61 @@ impl DeviceConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrashPoint;
 
+/// Window-word source for the atomic span-XOR walker: one monomorphized
+/// loop serves both a prebuilt patch and a fused `old ⊕ new` diff,
+/// building interior words with 8-byte loads.
+trait XorWindowSource {
+    /// Source length in bytes.
+    fn len(&self) -> usize;
+    /// The little-endian patch word at byte index `i` (`i + 8 <= len`).
+    fn word(&self, i: usize) -> u64;
+    /// The patch byte at index `i` (unaligned edge windows only).
+    fn byte(&self, i: usize) -> u8;
+}
+
+struct PatchWindows<'a>(&'a [u8]);
+
+impl XorWindowSource for PatchWindows<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    #[inline]
+    fn word(&self, i: usize) -> u64 {
+        u64::from_le_bytes(self.0[i..i + 8].try_into().expect("8-byte window"))
+    }
+
+    #[inline]
+    fn byte(&self, i: usize) -> u8 {
+        self.0[i]
+    }
+}
+
+struct DiffWindows<'a> {
+    old: &'a [u8],
+    new: &'a [u8],
+}
+
+impl XorWindowSource for DiffWindows<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.new.len()
+    }
+
+    #[inline]
+    fn word(&self, i: usize) -> u64 {
+        let o = u64::from_le_bytes(self.old[i..i + 8].try_into().expect("8-byte window"));
+        let n = u64::from_le_bytes(self.new[i..i + 8].try_into().expect("8-byte window"));
+        o ^ n
+    }
+
+    #[inline]
+    fn byte(&self, i: usize) -> u8 {
+        self.old[i] ^ self.new[i]
+    }
+}
+
 /// A simulated byte-addressable persistent memory device.
 ///
 /// See the [module documentation](self) for semantics and the concurrency
@@ -245,6 +300,8 @@ impl NvmDevice {
     pub fn read(&self, off: u64, dst: &mut [u8]) -> Result<()> {
         self.check_bounds(off, dst.len())?;
         self.check_poison(off, dst.len())?;
+        DeviceStats::add(&self.stats.bytes_read, dst.len() as u64);
+        DeviceStats::add(&self.stats.read_ops, 1);
         if self.latency.read_ns_per_line > 0 {
             let lines = Self::lines_of(off, dst.len());
             LatencyModel::charge(self.latency.read_ns_per_line * (lines.end - lines.start));
@@ -264,6 +321,8 @@ impl NvmDevice {
     pub fn read_slice(&self, off: u64, len: usize) -> Result<&[u8]> {
         self.check_bounds(off, len)?;
         self.check_poison(off, len)?;
+        DeviceStats::add(&self.stats.bytes_read, len as u64);
+        DeviceStats::add(&self.stats.read_ops, 1);
         if self.latency.read_ns_per_line > 0 {
             let lines = Self::lines_of(off, len);
             LatencyModel::charge(self.latency.read_ns_per_line * (lines.end - lines.start));
@@ -403,6 +462,182 @@ impl NvmDevice {
         let atom = unsafe { &*(self.ptr_at(off) as *const AtomicU64) };
         atom.fetch_xor(val, Ordering::AcqRel);
         Ok(())
+    }
+
+    /// Tags `bytes` of a just-issued read as a *commit-time old-data
+    /// read*. The commit pipeline calls this exactly once next to the
+    /// single per-range read it performs, so regression tests can assert
+    /// the one-read-per-modified-range invariant from
+    /// [`StatsSnapshot::commit_old_reads`] /
+    /// [`StatsSnapshot::commit_old_bytes`].
+    pub fn note_commit_old_read(&self, bytes: u64) {
+        DeviceStats::add(&self.stats.commit_old_reads, 1);
+        DeviceStats::add(&self.stats.commit_old_bytes, bytes);
+    }
+
+    /// Bookkeeping for a cache line about to be dirtied by an XOR path:
+    /// captures the pre-content for the crash tracker (Precise mode).
+    #[inline]
+    fn note_xor_line(&self, line: u64) {
+        if let Some(tracker) = &self.tracker {
+            tracker.note_store(line, &self.line_content(line));
+        }
+    }
+
+    /// Computes `old ⊕ new` word by word and XORs the non-zero words into
+    /// the range at `off` with plain (vectorized) stores — the diff, the
+    /// zero-skip and the XOR fused into one pass, so all-zero diff words
+    /// never touch the device or charge its latency model. Returns `true`
+    /// if any byte was actually modified (callers skip the trailing
+    /// persist otherwise).
+    ///
+    /// This is the bulk parity path for write-backs where the caller holds
+    /// both the old and the new content; callers must hold an exclusive
+    /// parity range-lock covering the range (paper §3.5's "hybrid"
+    /// scheme). `old` and `new` must be equal-length.
+    pub fn xor_diff_range(&self, off: u64, old: &[u8], new: &[u8]) -> Result<bool> {
+        assert_eq!(old.len(), new.len(), "diff XOR requires equal-length ranges");
+        self.check_bounds(off, new.len())?;
+        self.maybe_crash();
+        let len = new.len();
+        let ptr = self.ptr_at(off);
+        let mut touched = 0u64; // bytes actually XORed
+        let mut lines = 0u64; // distinct cache lines dirtied
+        let mut noted = u64::MAX;
+        let mut i = 0usize;
+        // Byte ops at the unaligned edges, word-at-a-time in the middle.
+        // An 8-byte device-aligned word never straddles a cache line, so
+        // per-unit line accounting below is exact.
+        // SAFETY: all accesses stay within the bounds-checked range.
+        unsafe {
+            macro_rules! touch_line {
+                ($pos:expr) => {{
+                    let line = (off + $pos as u64) / CACHELINE as u64;
+                    if line != noted {
+                        noted = line;
+                        lines += 1;
+                        self.note_xor_line(line);
+                    }
+                }};
+            }
+            while i < len && (off as usize + i) % 8 != 0 {
+                let d = old[i] ^ new[i];
+                if d != 0 {
+                    touch_line!(i);
+                    *ptr.add(i) ^= d;
+                    touched += 1;
+                }
+                i += 1;
+            }
+            while i + 8 <= len {
+                let o = std::ptr::read_unaligned(old.as_ptr().add(i) as *const u64);
+                let n = std::ptr::read_unaligned(new.as_ptr().add(i) as *const u64);
+                let d = o ^ n;
+                if d != 0 {
+                    touch_line!(i);
+                    let p = ptr.add(i) as *mut u64;
+                    std::ptr::write_unaligned(p, std::ptr::read_unaligned(p) ^ d);
+                    touched += 8;
+                }
+                i += 8;
+            }
+            while i < len {
+                let d = old[i] ^ new[i];
+                if d != 0 {
+                    touch_line!(i);
+                    *ptr.add(i) ^= d;
+                    touched += 1;
+                }
+                i += 1;
+            }
+        }
+        if touched > 0 {
+            DeviceStats::add(&self.stats.xor_bytes, touched);
+            DeviceStats::add(&self.stats.bytes_written, touched);
+            if self.latency.write_ns_per_line > 0 {
+                LatencyModel::charge(self.latency.write_ns_per_line * lines);
+            }
+        }
+        Ok(touched > 0)
+    }
+
+    /// Shared walker of the atomic span-XOR paths: visits every
+    /// 8-byte-aligned window overlapping `[off, off+len)`, assembles the
+    /// window's patch word from `src` (zero-padded at the two unaligned
+    /// edges), and atomically XORs the non-zero words in. Returns `true`
+    /// if any word was applied.
+    ///
+    /// Latency accounting: unlike [`NvmDevice::atomic_xor_u64`] (an
+    /// isolated RMW, charged a full NVM round trip), a span of adjacent
+    /// word RMWs keeps its cache line resident — real lock-prefixed
+    /// instructions to one cached line pipeline and the line takes a
+    /// single media write-back — so the charge here is
+    /// `atomic_rmw_ns` per *touched cache line*, not per word.
+    fn atomic_xor_span_walk<S: XorWindowSource>(&self, off: u64, src: &S) -> Result<bool> {
+        let len = src.len() as u64;
+        if len == 0 {
+            return Ok(false);
+        }
+        let a_start = crate::align_down(off as usize, 8) as u64;
+        let a_end = crate::align_up((off + len) as usize, 8) as u64;
+        self.check_bounds(a_start, (a_end - a_start) as usize)?;
+        self.maybe_crash();
+        let mut words = 0u64;
+        let mut lines = 0u64;
+        let mut noted = u64::MAX;
+        let mut w_off = a_start;
+        while w_off < a_end {
+            let lo = w_off.max(off);
+            let hi = (w_off + 8).min(off + len);
+            let v = if hi - lo == 8 {
+                src.word((lo - off) as usize)
+            } else {
+                let mut word = [0u8; 8];
+                for i in lo..hi {
+                    word[(i - w_off) as usize] = src.byte((i - off) as usize);
+                }
+                u64::from_le_bytes(word)
+            };
+            if v != 0 {
+                // An aligned 8-byte word never straddles a cache line.
+                let line = w_off / CACHELINE as u64;
+                if line != noted {
+                    noted = line;
+                    lines += 1;
+                    self.note_xor_line(line);
+                }
+                // SAFETY: aligned, in-bounds.
+                let atom = unsafe { &*(self.ptr_at(w_off) as *const AtomicU64) };
+                atom.fetch_xor(v, Ordering::AcqRel);
+                words += 1;
+            }
+            w_off += 8;
+        }
+        if words > 0 {
+            DeviceStats::add(&self.stats.atomic_xors, words);
+            if self.latency.atomic_rmw_ns > 0 {
+                LatencyModel::charge(self.latency.atomic_rmw_ns * lines);
+            }
+        }
+        Ok(words > 0)
+    }
+
+    /// Atomically XORs `patch` into the range at `off`, word by word, with
+    /// lock-free atomics (the small-parity-update primitive batched over a
+    /// span; see `atomic_xor_span_walk` for the latency accounting).
+    /// All-zero patch words are skipped. Returns `true` if
+    /// anything was applied — callers skip their trailing persist
+    /// otherwise.
+    pub fn atomic_xor_patch_span(&self, off: u64, patch: &[u8]) -> Result<bool> {
+        self.atomic_xor_span_walk(off, &PatchWindows(patch))
+    }
+
+    /// Like [`NvmDevice::atomic_xor_patch_span`] with the patch computed
+    /// on the fly as `old ⊕ new` — diff, zero-skip and atomic XOR fused,
+    /// no intermediate patch buffer. `old` and `new` must be equal-length.
+    pub fn atomic_xor_diff_span(&self, off: u64, old: &[u8], new: &[u8]) -> Result<bool> {
+        assert_eq!(old.len(), new.len(), "diff XOR requires equal-length ranges");
+        self.atomic_xor_span_walk(off, &DiffWindows { old, new })
     }
 
     /// XORs `src` into the range at `off` with plain (vectorized) stores.
@@ -738,6 +973,47 @@ mod tests {
         for i in 0..100 {
             assert_eq!(got[i], base[i] ^ patch[i], "byte {i}");
         }
+    }
+
+    #[test]
+    fn xor_diff_range_matches_bytewise_and_skips_zero() {
+        let d = dev(PersistenceMode::Fast);
+        let base: Vec<u8> = (0..200u8).collect();
+        d.write(5, &base).unwrap(); // misaligned on purpose
+                                    // A diff that is zero except for two islands (one mid-word, one
+                                    // at the tail byte).
+        let old: Vec<u8> = (0..200u8).map(|b| b.wrapping_mul(7)).collect();
+        let mut new = old.clone();
+        new[40..56].copy_from_slice(&[0xFF; 16]);
+        new[199] ^= 0x01;
+        let s0 = d.stats();
+        let touched = d.xor_diff_range(5, &old, &new).unwrap();
+        assert!(touched);
+        let got = d.read_slice(5, 200).unwrap();
+        for i in 0..200 {
+            assert_eq!(got[i], base[i] ^ old[i] ^ new[i], "byte {i}");
+        }
+        // Only the non-zero diff words hit the device.
+        let delta = d.stats().delta_since(&s0);
+        assert!(delta.xor_bytes < 40, "zero diff words skipped, got {}", delta.xor_bytes);
+        // Identical contents: nothing touched at all.
+        let s1 = d.stats();
+        assert!(!d.xor_diff_range(5, &old, &old).unwrap());
+        assert_eq!(d.stats().delta_since(&s1).xor_bytes, 0);
+    }
+
+    #[test]
+    fn read_and_commit_old_counters() {
+        let d = dev(PersistenceMode::Fast);
+        let mut buf = [0u8; 32];
+        let s0 = d.stats();
+        d.read(0, &mut buf).unwrap();
+        d.note_commit_old_read(32);
+        let delta = d.stats().delta_since(&s0);
+        assert_eq!(delta.bytes_read, 32);
+        assert_eq!(delta.read_ops, 1);
+        assert_eq!(delta.commit_old_reads, 1);
+        assert_eq!(delta.commit_old_bytes, 32);
     }
 
     #[test]

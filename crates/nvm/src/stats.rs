@@ -3,13 +3,17 @@
 //! The benchmark harness uses these to report write amplification and flush
 //! traffic (e.g. replication writes 2x the bytes of parity mode), and the
 //! vulnerability study (Table 4) builds on library-level counters that
-//! mirror this pattern.
+//! mirror this pattern. Read counters make read amplification visible too:
+//! the commit pipeline's one-old-read-per-range invariant is asserted by a
+//! regression test over [`StatsSnapshot::commit_old_reads`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotonic operation counters, updated with relaxed atomics.
 #[derive(Debug, Default)]
 pub struct DeviceStats {
+    pub(crate) bytes_read: AtomicU64,
+    pub(crate) read_ops: AtomicU64,
     pub(crate) bytes_written: AtomicU64,
     pub(crate) bytes_written_nt: AtomicU64,
     pub(crate) lines_flushed: AtomicU64,
@@ -18,6 +22,8 @@ pub struct DeviceStats {
     pub(crate) atomic_xors: AtomicU64,
     pub(crate) xor_bytes: AtomicU64,
     pub(crate) poison_hits: AtomicU64,
+    pub(crate) commit_old_reads: AtomicU64,
+    pub(crate) commit_old_bytes: AtomicU64,
 }
 
 impl DeviceStats {
@@ -29,6 +35,8 @@ impl DeviceStats {
     /// Takes a point-in-time snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            read_ops: self.read_ops.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             bytes_written_nt: self.bytes_written_nt.load(Ordering::Relaxed),
             lines_flushed: self.lines_flushed.load(Ordering::Relaxed),
@@ -37,6 +45,8 @@ impl DeviceStats {
             atomic_xors: self.atomic_xors.load(Ordering::Relaxed),
             xor_bytes: self.xor_bytes.load(Ordering::Relaxed),
             poison_hits: self.poison_hits.load(Ordering::Relaxed),
+            commit_old_reads: self.commit_old_reads.load(Ordering::Relaxed),
+            commit_old_bytes: self.commit_old_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -44,6 +54,10 @@ impl DeviceStats {
 /// A point-in-time copy of [`DeviceStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
+    /// Bytes read through `read`/`read_slice` (loads from media).
+    pub bytes_read: u64,
+    /// Read operations issued (`read` and `read_slice` calls).
+    pub read_ops: u64,
     /// Bytes written through the regular (cached) store path.
     pub bytes_written: u64,
     /// Bytes written through the non-temporal path.
@@ -60,6 +74,11 @@ pub struct StatsSnapshot {
     pub xor_bytes: u64,
     /// Reads that faulted on poisoned pages.
     pub poison_hits: u64,
+    /// Commit-time old-data reads (one per modified range; see
+    /// [`crate::NvmDevice::note_commit_old_read`]).
+    pub commit_old_reads: u64,
+    /// Bytes covered by commit-time old-data reads.
+    pub commit_old_bytes: u64,
 }
 
 impl StatsSnapshot {
@@ -71,6 +90,8 @@ impl StatsSnapshot {
     /// Component-wise difference (`self - earlier`), saturating at zero.
     pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            read_ops: self.read_ops.saturating_sub(earlier.read_ops),
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
             bytes_written_nt: self.bytes_written_nt.saturating_sub(earlier.bytes_written_nt),
             lines_flushed: self.lines_flushed.saturating_sub(earlier.lines_flushed),
@@ -79,6 +100,8 @@ impl StatsSnapshot {
             atomic_xors: self.atomic_xors.saturating_sub(earlier.atomic_xors),
             xor_bytes: self.xor_bytes.saturating_sub(earlier.xor_bytes),
             poison_hits: self.poison_hits.saturating_sub(earlier.poison_hits),
+            commit_old_reads: self.commit_old_reads.saturating_sub(earlier.commit_old_reads),
+            commit_old_bytes: self.commit_old_bytes.saturating_sub(earlier.commit_old_bytes),
         }
     }
 }
@@ -94,10 +117,14 @@ mod tests {
         DeviceStats::add(&stats.fences, 2);
         let a = stats.snapshot();
         DeviceStats::add(&stats.bytes_written, 50);
+        DeviceStats::add(&stats.bytes_read, 10);
+        DeviceStats::add(&stats.commit_old_reads, 1);
         let b = stats.snapshot();
         let d = b.delta_since(&a);
         assert_eq!(d.bytes_written, 50);
         assert_eq!(d.fences, 0);
+        assert_eq!(d.bytes_read, 10);
+        assert_eq!(d.commit_old_reads, 1);
         assert_eq!(b.total_bytes_written(), 150);
     }
 }

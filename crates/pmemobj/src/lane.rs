@@ -73,6 +73,10 @@ thread_local! {
     /// The lane this thread claimed most recently (`u32::MAX` = none yet).
     /// A hint only: correctness comes from the CAS on the claim flag.
     static PREFERRED_LANE: Cell<u32> = const { Cell::new(u32::MAX) };
+    /// Recycled lane-handle buffers (segment list + entry-encode scratch):
+    /// a released handle parks them here so the next claim on this thread
+    /// allocates nothing. Pairs with the lane-affinity scheme above.
+    static LANE_BUFS: Cell<Option<(Vec<Segment>, Vec<u8>)>> = const { Cell::new(None) };
 }
 
 /// Volatile lane bookkeeping: a lock-free claim registry plus cached
@@ -108,12 +112,9 @@ impl Lanes {
         Ok(())
     }
 
-    fn header_offsets(layout: &Layout, idx: u32, mirror: LogMirror) -> Vec<u64> {
-        let mut v = vec![layout.lane_off(idx as u64)];
-        if mirror == LogMirror::SameDevice {
-            v.push(layout.lane_replica_off(idx as u64));
-        }
-        v
+    fn header_offsets(layout: &Layout, idx: u32, mirror: LogMirror) -> impl Iterator<Item = u64> {
+        let second = (mirror == LogMirror::SameDevice).then(|| layout.lane_replica_off(idx as u64));
+        std::iter::once(layout.lane_off(idx as u64)).chain(second)
     }
 
     /// Loads lane bookkeeping from an existing pool (after recovery).
@@ -232,7 +233,10 @@ impl Lanes {
             cursor: 0,
             unflushed: 0,
         };
-        LaneHandle { lanes: self, io, idx, segments: vec![base], scratch: Vec::new() }
+        let (mut segments, scratch) = LANE_BUFS.with(|c| c.take()).unwrap_or_default();
+        segments.clear();
+        segments.push(base);
+        LaneHandle { lanes: self, io, idx, segments, scratch }
     }
 
     /// Reads and decodes the valid entries of lane `idx`, following
@@ -421,11 +425,33 @@ impl<'a> LaneHandle<'a> {
     /// Invalidates all entries by bumping the persistent generation and
     /// resets to the base segment. Overflow chunks are released by the
     /// transaction layer afterwards.
-    pub fn bump_gen(&mut self) -> Result<()> {
+    ///
+    /// `durable` controls whether the generation words are *fenced*
+    /// before returning. A committed transaction whose log lives entirely
+    /// in the base lane may pass `false` — *lazy invalidation*: the new
+    /// generation is stored and flushed but not fenced. The flush settles
+    /// at the next fence anyone issues — in particular at the next
+    /// transaction's own `persist_log`, which always precedes any state
+    /// that depends on that transaction's entries being visible. If a
+    /// crash beats every later fence, the generation word may revert;
+    /// recovery then re-reads the old generation and replays the
+    /// already-applied committed log, which is idempotent (writes rewrite
+    /// the same bytes, allocator ops are bit-ops, parity columns are
+    /// recomputed, not patched). Entries a later transaction wrote over
+    /// the old log carry the newer generation, so a stale-generation read
+    /// can only yield a prefix of the old log — replayed only if its
+    /// commit record survives intact. Transactions that overflowed into
+    /// heap chunks MUST pass `true`: their chunks return to the allocator
+    /// right after this call, and a stale log chain must never be walked
+    /// into a chunk another lane now owns.
+    pub fn bump_gen(&mut self, durable: bool) -> Result<()> {
         let new_gen = self.gen() + 1;
         for off in Lanes::header_offsets(&self.lanes.layout, self.idx, self.lanes.mirror) {
             self.io.atomic_store_u64(off, new_gen)?;
-            self.io.persist(off, 8)?;
+            self.io.flush(off, 8)?;
+        }
+        if durable {
+            self.io.drain();
         }
         self.lanes.gens[self.idx as usize].store(new_gen, std::sync::atomic::Ordering::Relaxed);
         self.segments.truncate(1);
@@ -444,6 +470,11 @@ impl<'a> LaneHandle<'a> {
 impl Drop for LaneHandle<'_> {
     fn drop(&mut self) {
         self.lanes.release(self.idx);
+        let mut segments = std::mem::take(&mut self.segments);
+        segments.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        LANE_BUFS.with(|c| c.set(Some((segments, scratch))));
     }
 }
 
@@ -483,7 +514,7 @@ mod tests {
         let mut h = lanes.claim(&io);
         h.append(EntryKind::Data, 64, b"x").unwrap();
         h.persist_log().unwrap();
-        h.bump_gen().unwrap();
+        h.bump_gen(true).unwrap();
         let entries = Lanes::read_entries(&io, &layout, h.index(), LogMirror::None).unwrap();
         assert!(entries.is_empty(), "old-generation entries are invisible");
         // The lane is immediately reusable.

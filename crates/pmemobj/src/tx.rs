@@ -294,7 +294,7 @@ impl<'p> Tx<'p> {
 
         // 4. Invalidate the log, then complete volatile state. The order
         //    guarantees no two live lanes ever hold ops for the same block.
-        self.lane.bump_gen()?;
+        self.lane.bump_gen(true)?;
         self.release_log_chunks()?;
         for a in &self.allocs {
             self.heap.complete_alloc(a);
@@ -321,7 +321,7 @@ impl<'p> Tx<'p> {
             self.heap.cancel_alloc(a);
         }
         // Frees made no persistent or volatile changes yet: nothing to do.
-        self.lane.bump_gen()?;
+        self.lane.bump_gen(true)?;
         self.release_log_chunks()?;
         Ok(())
     }

@@ -140,6 +140,7 @@ impl BenchmarkGroup<'_> {
             return;
         }
         let ns_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters_done as f64;
+        self.append_json(id, bencher, ns_per_iter);
         let rate = match self.throughput {
             Some(Throughput::Bytes(b)) => {
                 let mbps = b as f64 / ns_per_iter * 1e9 / (1 << 20) as f64;
@@ -155,6 +156,42 @@ impl BenchmarkGroup<'_> {
             "{}/{id}: {ns_per_iter:12.1} ns/iter ({} iters){rate}",
             self.name, bencher.iters_done
         );
+    }
+
+    /// Appends one JSON line per benchmark to the file named by the
+    /// `CRITERION_JSON` environment variable (no-op when unset). The
+    /// format is JSON-lines, one object per result, so harness scripts
+    /// can turn a bench run into a machine-readable artifact (see
+    /// `BENCH_commit_path.json` at the workspace root).
+    ///
+    /// The file is *append-only* so `cargo bench` invocations that run
+    /// several bench binaries against one path keep all their results;
+    /// each process prefixes its lines with a `run_start` marker line so
+    /// consumers can split runs (take the lines after the last marker
+    /// for the freshest run of a re-used file).
+    fn append_json(&self, id: &BenchmarkId, bencher: &Bencher, ns_per_iter: f64) {
+        let Some(path) = std::env::var_os("CRITERION_JSON") else { return };
+        let Ok(mut f) =
+            std::fs::OpenOptions::new().create(true).append(true).open(std::path::Path::new(&path))
+        else {
+            return;
+        };
+        use std::io::Write as _;
+        static RUN_MARKED: std::sync::Once = std::sync::Once::new();
+        RUN_MARKED.call_once(|| {
+            let argv0 = std::env::args().next().unwrap_or_default();
+            let _ = writeln!(f, "{{\"run_start\":\"{argv0}\"}}");
+        });
+        let tp = match self.throughput {
+            Some(Throughput::Bytes(b)) => format!(",\"bytes_per_iter\":{b}"),
+            Some(Throughput::Elements(e)) => format!(",\"elements_per_iter\":{e}"),
+            None => String::new(),
+        };
+        let line = format!(
+            "{{\"group\":\"{}\",\"bench\":\"{}\",\"ns_per_iter\":{:.1},\"iters\":{}{tp}}}\n",
+            self.name, id.id, ns_per_iter, bencher.iters_done
+        );
+        let _ = f.write_all(line.as_bytes());
     }
 }
 
