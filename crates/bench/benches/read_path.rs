@@ -1,0 +1,162 @@
+//! Criterion bench of the read data path, under the Optane-like latency
+//! model (NVMM read traffic shows up in wall time, not just counters):
+//!
+//! * `verified_whole/{size}` — repeated whole-object verified reads
+//!   (`PglPool::read_verified`) of an unchanging object: the shape the
+//!   DRAM verified-generation cache turns from O(object copy + checksum)
+//!   into a single range-sized read.
+//! * `verified_whole_into/{size}` — the same shape through
+//!   [`pangolin::PglPool::read_verified_into`], the non-allocating entry
+//!   point this PR adds for hot callers (before-numbers compare against
+//!   the old allocating `read_verified`, the only option then).
+//! * `conservative_get8/{objsize}` — 8-byte `pgl_get`s out of a larger
+//!   object under the Conservative policy, which re-verified the whole
+//!   object per access before the cache.
+//! * `tx_open_read/{size}` — a read-only transaction that opens an object
+//!   and reads 8 bytes: the lazy-open shape (ctree/rbtree/skiplist node
+//!   touches in `pgl-kv`).
+//! * `kv_lookup/{structure}` — read-heavy `pgl-kv` lookups under the
+//!   Conservative policy (every node read verifies).
+//!
+//! Set `CRITERION_JSON=path` to append one JSON line per benchmark
+//! (machine-readable medians; see `BENCH_read_path.json`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pangolin::CsumPolicy;
+use pgl_bench::{make_store, make_store_with_policy, Mode};
+use pgl_kv::maps::PersistentMap;
+use pgl_kv::store::Store;
+use pgl_nvm::LatencyModel;
+
+fn verified_whole(c: &mut Criterion) {
+    let mut g = c.benchmark_group("verified_whole");
+    let store = make_store(Mode::PglMlpc, 256 << 20, LatencyModel::optane());
+    let pool = store.pgl_pool().expect("pgl mode").clone();
+    for &size in &[64usize, 256, 1024, 4096] {
+        let oid = store
+            .txn(&mut |tx| {
+                let oid = tx.alloc(size as u64, 1)?;
+                tx.write_bytes(oid, 0, &vec![0xAB; size])?;
+                Ok(oid)
+            })
+            .unwrap();
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("mlpc", size), &oid, |b, oid| {
+            b.iter(|| pool.read_verified(*oid).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn verified_whole_into(c: &mut Criterion) {
+    let mut g = c.benchmark_group("verified_whole_into");
+    let store = make_store(Mode::PglMlpc, 256 << 20, LatencyModel::optane());
+    let pool = store.pgl_pool().expect("pgl mode").clone();
+    for &size in &[64usize, 256, 1024, 4096] {
+        let oid = store
+            .txn(&mut |tx| {
+                let oid = tx.alloc(size as u64, 1)?;
+                tx.write_bytes(oid, 0, &vec![0xAB; size])?;
+                Ok(oid)
+            })
+            .unwrap();
+        let mut buf = vec![0u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("mlpc", size), &oid, |b, oid| {
+            b.iter(|| {
+                pool.read_verified_into(*oid, &mut buf).unwrap();
+                buf[0]
+            })
+        });
+    }
+    g.finish();
+}
+
+fn conservative_get8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conservative_get8");
+    let store = make_store_with_policy(
+        Mode::PglMlpc,
+        256 << 20,
+        LatencyModel::optane(),
+        CsumPolicy::Conservative,
+    );
+    for &size in &[256usize, 1024, 4096] {
+        let oid = store
+            .txn(&mut |tx| {
+                let oid = tx.alloc(size as u64, 1)?;
+                tx.write_bytes(oid, 0, &vec![0x3C; size])?;
+                Ok(oid)
+            })
+            .unwrap();
+        let mut buf = [0u8; 8];
+        g.throughput(Throughput::Bytes(8));
+        g.bench_with_input(BenchmarkId::new("mlpc", size), &oid, |b, oid| {
+            b.iter(|| {
+                store.read_direct(*oid, 64, &mut buf).unwrap();
+                buf[0]
+            })
+        });
+    }
+    g.finish();
+}
+
+fn tx_open_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tx_open_read");
+    let store = make_store(Mode::PglMlpc, 256 << 20, LatencyModel::optane());
+    let pool = store.pgl_pool().expect("pgl mode").clone();
+    for &size in &[256usize, 1024, 4096] {
+        let oid = store
+            .txn(&mut |tx| {
+                let oid = tx.alloc(size as u64, 1)?;
+                tx.write_bytes(oid, 0, &vec![0x77; size])?;
+                Ok(oid)
+            })
+            .unwrap();
+        g.throughput(Throughput::Bytes(8));
+        g.bench_with_input(BenchmarkId::new("mlpc", size), &oid, |b, oid| {
+            b.iter(|| {
+                pool.tx(|tx| {
+                    tx.open(*oid)?;
+                    tx.read_pod::<u64>(*oid, 0)
+                })
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn kv_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kv_lookup");
+    const KEYS: u64 = 512;
+    for (label, policy) in
+        [("default", CsumPolicy::Default), ("conservative", CsumPolicy::Conservative)]
+    {
+        let store =
+            make_store_with_policy(Mode::PglMlpc, 256 << 20, LatencyModel::optane(), policy);
+        let map = pgl_kv::CTree::create(&store).unwrap();
+        for k in 0..KEYS {
+            map.insert(&store, k.wrapping_mul(0x9E3779B97F4A7C15), k).unwrap();
+        }
+        let mut k = 0u64;
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("ctree", label), &map, |b, map| {
+            b.iter(|| {
+                k = (k + 1) % KEYS;
+                map.get(&store, k.wrapping_mul(0x9E3779B97F4A7C15)).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    verified_whole,
+    verified_whole_into,
+    conservative_get8,
+    tx_open_read,
+    kv_lookup
+);
+criterion_main!(benches);

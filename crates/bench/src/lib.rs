@@ -80,6 +80,13 @@ impl Store for AnyStore {
         }
     }
 
+    fn read_verified_direct(&self, oid: PMEMoid, off: u64, dst: &mut [u8]) -> KvResult<()> {
+        match self {
+            AnyStore::Pmem(s) => s.read_verified_direct(oid, off, dst),
+            AnyStore::Pgl(s) => s.read_verified_direct(oid, off, dst),
+        }
+    }
+
     fn last_tx_stats(&self) -> TxStats {
         match self {
             AnyStore::Pmem(s) => s.last_tx_stats(),

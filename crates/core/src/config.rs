@@ -80,6 +80,17 @@ pub struct PglConfig {
     /// Run the scrubber on a background thread (otherwise scrubs happen
     /// synchronously inside the triggering commit).
     pub background_scrub: bool,
+    /// Total entry capacity of the DRAM verified-generation cache, which
+    /// lets repeated verified reads skip the whole-object copy + checksum
+    /// pass (see `vcache` module docs). `0` disables the cache — every
+    /// verified read then re-verifies, the pre-cache behaviour. Modes
+    /// without checksums never consult it. Each entry is ~24 bytes of
+    /// DRAM; the default covers 64 Ki hot objects.
+    pub vcache_capacity: usize,
+    /// Lock stripes of the verified-generation cache (rounded up to a
+    /// power of two). More stripes cut contention between concurrent
+    /// readers/committers; each costs one mutex + map.
+    pub vcache_shards: usize,
 }
 
 impl PglConfig {
@@ -92,6 +103,8 @@ impl PglConfig {
             hybrid_threshold: 1 << 10,
             parity_lock_granule: 8 << 10,
             background_scrub: false,
+            vcache_capacity: 64 << 10,
+            vcache_shards: 64,
         }
     }
 
@@ -104,6 +117,8 @@ impl PglConfig {
             hybrid_threshold: 1 << 10,
             parity_lock_granule: 8 << 10,
             background_scrub: false,
+            vcache_capacity: 64 << 10,
+            vcache_shards: 64,
         }
     }
 
@@ -132,6 +147,9 @@ impl PglConfig {
         }
         if matches!(self.policy, CsumPolicy::ScrubEvery(0)) {
             return Err("scrub interval must be positive".into());
+        }
+        if self.vcache_shards == 0 {
+            return Err("vcache needs at least one shard".into());
         }
         Ok(())
     }

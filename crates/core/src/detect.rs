@@ -82,6 +82,12 @@ pub struct VulnSnapshot {
     pub unverified: u64,
     /// Object bytes covered by a verification.
     pub verified: u64,
+    /// Object bytes served from the DRAM verified-generation cache: no
+    /// checksum pass ran at access time, but the object was verified
+    /// since its last library mutation (see [`crate::vcache`]). Kept
+    /// distinct from both buckets so the Table 4 exposure numbers remain
+    /// derivable under the cache.
+    pub verified_cached: u64,
     /// Unverified bytes accumulated since the last scrub.
     pub window_unverified: u64,
     /// Largest between-scrub unverified window observed (the Table 4
@@ -94,6 +100,7 @@ pub struct VulnSnapshot {
 pub struct Vuln {
     unverified: AtomicU64,
     verified: AtomicU64,
+    verified_cached: AtomicU64,
     window: AtomicU64,
     max_window: AtomicU64,
 }
@@ -118,6 +125,14 @@ impl Vuln {
         self.verified.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` object bytes served from the verified-generation
+    /// cache: no checksum pass at access time, exposure bounded by the
+    /// object's last verification (distinct from both other buckets).
+    #[inline]
+    pub fn note_verified_cached(&self, n: u64) {
+        self.verified_cached.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Closes a scrub window: everything in the pool was just verified.
     pub fn end_scrub_window(&self) {
         self.window.store(0, Ordering::Relaxed);
@@ -128,6 +143,7 @@ impl Vuln {
         VulnSnapshot {
             unverified: self.unverified.load(Ordering::Relaxed),
             verified: self.verified.load(Ordering::Relaxed),
+            verified_cached: self.verified_cached.load(Ordering::Relaxed),
             window_unverified: self.window.load(Ordering::Relaxed),
             max_window: self.max_window.load(Ordering::Relaxed),
         }
@@ -178,11 +194,13 @@ mod tests {
         let v = Vuln::new();
         v.note_unverified(100);
         v.note_verified(40);
+        v.note_verified_cached(8);
         v.end_scrub_window();
         v.note_unverified(30);
         let s = v.snapshot();
         assert_eq!(s.unverified, 130);
         assert_eq!(s.verified, 40);
+        assert_eq!(s.verified_cached, 8, "cached bucket stays distinct");
         assert_eq!(s.window_unverified, 30);
         assert_eq!(s.max_window, 100);
     }

@@ -4,6 +4,15 @@
 //! scribbles with wild stores; here the simulated device provides both
 //! natively. These helpers target live objects and metadata so the
 //! recovery experiments can be scripted deterministically.
+//!
+//! Object-targeted scribble helpers also drop the victim's
+//! verified-generation cache entry ([`crate::vcache`]), so the next
+//! verified read deterministically re-verifies and detects the injected
+//! corruption — modelling the §4.6 experiments, which always corrupt
+//! objects cold. To exercise the cache's bounded exposure window instead
+//! (a scribble landing *between* a verification and a cached read), write
+//! through the raw device (`pool.io().dev().scribble(..)`), which the
+//! library cannot observe.
 
 use pgl_nvm::PAGE_SIZE;
 use pgl_pmemobj::PMEMoid;
@@ -35,14 +44,18 @@ pub fn scribble_object(
     pattern: u8,
 ) -> Result<()> {
     let junk = vec![pattern; len];
-    pool.io().dev().scribble(oid.off + off, &junk).map_err(PglError::from)
+    pool.io().dev().scribble(oid.off + off, &junk).map_err(PglError::from)?;
+    pool.vcache_bump(oid.off);
+    Ok(())
 }
 
 /// Scribbles the object's *header* (size/type/checksum) — the nastier
 /// variant, testing header-sanity recovery.
 pub fn scribble_object_header(pool: &PglPool, oid: PMEMoid, pattern: u8) -> Result<()> {
     let junk = [pattern; 16];
-    pool.io().dev().scribble(oid.header_off(), &junk).map_err(PglError::from)
+    pool.io().dev().scribble(oid.header_off(), &junk).map_err(PglError::from)?;
+    pool.vcache_bump(oid.off);
+    Ok(())
 }
 
 /// Scribbles a chunk-metadata entry (metadata corruption; paper §3.1 uses

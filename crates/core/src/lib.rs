@@ -91,6 +91,7 @@ pub mod sparse;
 pub mod txn;
 pub mod typed;
 pub mod ubuf;
+pub mod vcache;
 
 pub use config::{CsumPolicy, PglConfig, PglMode};
 pub use detect::VulnSnapshot;

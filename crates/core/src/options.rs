@@ -109,6 +109,20 @@ impl OpenOptions {
         self
     }
 
+    /// Total entry capacity of the DRAM verified-generation cache
+    /// (`0` disables it; every verified read then re-checksums).
+    pub fn vcache_capacity(mut self, entries: usize) -> Self {
+        self.cfg.vcache_capacity = entries;
+        self
+    }
+
+    /// Lock stripes of the verified-generation cache (rounded up to a
+    /// power of two).
+    pub fn vcache_shards(mut self, shards: usize) -> Self {
+        self.cfg.vcache_shards = shards;
+        self
+    }
+
     /// The [`PglConfig`] the builder currently describes (what
     /// [`OpenOptions::create`] would use).
     pub fn config(&self) -> PglConfig {

@@ -18,6 +18,7 @@ use crate::parity::{ParityEngine, RangeGuard};
 use crate::scrub::{self, ScrubReport};
 use crate::txn::{PglTx, TxStats};
 use crate::ubuf::UBuf;
+use crate::vcache::VCache;
 
 const POOL_VERSION_MAGIC: u64 = 0x50_41_4E_47_4F_4C_49_4E; // "PANGOLIN"
 const _: u64 = POOL_VERSION_MAGIC; // reserved for future format versioning
@@ -62,6 +63,7 @@ pub struct Inner {
     pub(crate) parity: Option<ParityEngine>,
     pub(crate) freeze: Freeze,
     pub(crate) vuln: Vuln,
+    pub(crate) vcache: VCache,
     pub(crate) counters: PglCounters,
     pub(crate) scrub_tick: AtomicU64,
     background_scrub: Option<std::sync::mpsc::SyncSender<()>>,
@@ -117,19 +119,18 @@ impl Inner {
         Ok(hdr)
     }
 
-    /// Loads a micro-buffer for `oid`, optionally verifying its checksum
-    /// (with online recovery on mismatch).
-    pub(crate) fn load_ubuf(&self, oid: PMEMoid, verify: bool) -> Result<UBuf> {
-        let hdr = self.obj_header_checked(oid)?;
-        self.load_ubuf_hdr_in(oid, hdr, verify, &mut Vec::new())
-    }
-
-    /// [`Inner::load_ubuf`] for callers that already validated the
-    /// header — skips the redundant 16-byte header re-read the open path
+    /// Loads a micro-buffer for a caller-validated header — skipping the
+    /// redundant 16-byte header re-read the open path
     /// used to pay. NVMM content is read straight into the micro-buffer
     /// frame, and the frame storage comes from `frames` (the
-    /// transaction's recycled pool) — no allocation on the steady-state
-    /// open path.
+    /// transaction's recycled pool or the thread-local read pool) — no
+    /// allocation on the steady-state open path.
+    ///
+    /// A successful verification publishes the object to the
+    /// verified-generation cache, stamped against concurrent mutations
+    /// (see [`crate::vcache`]): subsequent verified reads of the object
+    /// can skip this whole-object pass entirely until something mutates
+    /// it.
     pub(crate) fn load_ubuf_hdr_in(
         &self,
         oid: PMEMoid,
@@ -137,22 +138,70 @@ impl Inner {
         verify: bool,
         frames: &mut Vec<(Vec<u8>, pgl_pmemobj::util::RangeSet)>,
     ) -> Result<UBuf> {
+        let verify = verify && self.mode.has_checksums();
+        let stamp = verify.then(|| self.vcache.begin_verify(oid.off));
         let mut b = UBuf::for_load(oid, hdr, frames.pop().unwrap_or_default());
         self.read_with_recovery(oid.off, b.user_mut())?;
-        if verify && self.mode.has_checksums() {
+        if verify {
+            self.io.dev().note_csum_pass(hdr.size);
             if hdr.csum != adler32(b.user()) {
-                // Scribble detected: recover and reload.
+                // Scribble detected: recover and reload. Recovery bumps
+                // the object's cache generation, so the stamp below is
+                // taken fresh.
                 self.recover_object(oid)?;
                 let hdr2 = self.obj_header_checked(oid)?;
+                let stamp2 = self.vcache.begin_verify(oid.off);
                 let mut b2 = UBuf::for_load(oid, hdr2, b.into_parts());
                 self.read_with_recovery(oid.off, b2.user_mut())?;
+                self.io.dev().note_csum_pass(hdr2.size);
                 if hdr2.csum != adler32(b2.user()) {
                     return Err(PglError::ChecksumMismatch { off: oid.off });
                 }
                 self.vuln.note_verified(hdr2.size);
+                self.vcache.publish(oid.off, hdr2.size, stamp2);
                 return Ok(b2);
             }
             self.vuln.note_verified(hdr.size);
+            self.vcache.publish(oid.off, hdr.size, stamp.expect("verify implies stamp"));
+        }
+        Ok(b)
+    }
+
+    /// Serves `[off, off+len)` of a cache-verified object: exactly one
+    /// range-sized NVMM read, zero checksum passes. Callers must have
+    /// probed the cache (and bounds-checked against the cached size)
+    /// first.
+    pub(crate) fn read_cached_range(&self, oid: PMEMoid, off: u64, dst: &mut [u8]) -> Result<()> {
+        self.read_with_recovery(oid.off + off, dst)?;
+        self.vuln.note_verified_cached(dst.len() as u64);
+        self.io.dev().note_vcache_hit(dst.len() as u64);
+        Ok(())
+    }
+
+    /// Overflow-safe "`[off, off+len)` fits in `size`" (a wrapped
+    /// `off + len` must never pass a bounds check on the read paths).
+    #[inline]
+    pub(crate) fn range_fits(off: u64, len: usize, size: u64) -> bool {
+        off <= size && len as u64 <= size - off
+    }
+
+    /// Loads a micro-buffer for a header the caller validated, skipping
+    /// the checksum pass when the verified-generation cache already
+    /// covers the object (and accounting the hit); a miss verifies and
+    /// populates. The one shared implementation behind the cache-aware
+    /// open paths (`open_object`, lazy-open materialization), so their
+    /// accounting cannot drift apart.
+    pub(crate) fn load_ubuf_maybe_cached(
+        &self,
+        oid: PMEMoid,
+        hdr: ObjectHeader,
+        frames: &mut Vec<(Vec<u8>, pgl_pmemobj::util::RangeSet)>,
+    ) -> Result<UBuf> {
+        let hit = self.vcache.probe(oid.off) == Some(hdr.size);
+        let b = self.load_ubuf_hdr_in(oid, hdr, !hit, frames)?;
+        if hit {
+            self.vuln.note_verified_cached(hdr.size);
+            self.io.dev().note_vcache_hit(hdr.size);
         }
         Ok(b)
     }
@@ -161,18 +210,34 @@ impl Inner {
     /// policy, full verification under Conservative. Vulnerability
     /// accounting feeds Table 4.
     ///
+    /// Under Conservative, an object the verified-generation cache knows
+    /// to be verified-fresh is served with a single range-sized read —
+    /// the 8-bytes-of-a-4-KiB-object access stops costing a 4 KiB read
+    /// plus a full checksum pass.
+    ///
     /// Conservative verification applies to whole-object-buffered sizes
     /// only; objects above the sparse threshold (e.g. the hashmap's
     /// multi-megabyte table) would cost O(object) per access, so their
     /// reads stay unverified and rely on scrubbing (counted as exposure).
     pub(crate) fn direct_read(&self, oid: PMEMoid, off: u64, dst: &mut [u8]) -> Result<()> {
         if self.mode.has_checksums() && matches!(self.policy, CsumPolicy::Conservative) {
+            if let Some(size) = self.vcache.probe(oid.off) {
+                if Self::range_fits(off, dst.len(), size) {
+                    return self.read_cached_range(oid, off, dst);
+                }
+            }
             let hdr = self.obj_header_checked(oid)?;
             if hdr.size <= crate::txn::SPARSE_THRESHOLD {
-                let b = self.load_ubuf_hdr_in(oid, hdr, true, &mut Vec::new())?;
-                let o = off as usize;
-                dst.copy_from_slice(&b.user()[o..o + dst.len()]);
-                return Ok(());
+                if !Self::range_fits(off, dst.len(), hdr.size) {
+                    return Err(PglError::TypeMismatch { off: oid.off });
+                }
+                return crate::scratch::with_read_frames(|frames| {
+                    let b = self.load_ubuf_hdr_in(oid, hdr, true, frames)?;
+                    let o = off as usize;
+                    dst.copy_from_slice(&b.user()[o..o + dst.len()]);
+                    crate::scratch::park_frame(frames, b.into_parts());
+                    Ok(())
+                });
             }
         }
         self.read_with_recovery(oid.off + off, dst)?;
@@ -180,6 +245,29 @@ impl Inner {
             self.vuln.note_unverified(dst.len() as u64);
         }
         Ok(())
+    }
+
+    /// Range-granular verified read: serves `[off, off+len)` of the
+    /// object with verification coverage — a single range-sized read on a
+    /// verified-generation cache hit, one whole-object verify (which
+    /// populates the cache) on a miss.
+    pub(crate) fn verified_read_range(&self, oid: PMEMoid, off: u64, dst: &mut [u8]) -> Result<()> {
+        if let Some(size) = self.vcache.probe(oid.off) {
+            if Self::range_fits(off, dst.len(), size) {
+                return self.read_cached_range(oid, off, dst);
+            }
+        }
+        let hdr = self.obj_header_checked(oid)?;
+        if !Self::range_fits(off, dst.len(), hdr.size) {
+            return Err(PglError::TypeMismatch { off: oid.off });
+        }
+        crate::scratch::with_read_frames(|frames| {
+            let b = self.load_ubuf_hdr_in(oid, hdr, true, frames)?;
+            let o = off as usize;
+            dst.copy_from_slice(&b.user()[o..o + dst.len()]);
+            crate::scratch::park_frame(frames, b.into_parts());
+            Ok(())
+        })
     }
 
     /// Data write-back with parity maintenance: acquire the parity
@@ -538,6 +626,8 @@ impl PglPool {
             hybrid_threshold: opts.hybrid_threshold,
             parity_lock_granule: opts.parity_lock_granule,
             background_scrub: opts.background_scrub,
+            vcache_capacity: opts.vcache_capacity,
+            vcache_shards: opts.vcache_shards,
         };
         cfg.validate().map_err(PglError::Config)?;
         let layout = Layout::new(pool_cfg).map_err(PglError::from)?;
@@ -593,6 +683,7 @@ impl PglPool {
             parity,
             freeze: Freeze::new(),
             vuln: Vuln::new(),
+            vcache: VCache::new(cfg.vcache_shards, cfg.vcache_capacity, cfg.mode.has_checksums()),
             counters: PglCounters::default(),
             scrub_tick: AtomicU64::new(0),
             background_scrub: txc,
@@ -743,18 +834,63 @@ impl PglPool {
     }
 
     /// Reads the whole object with checksum verification (and online
-    /// recovery), regardless of policy.
+    /// recovery), regardless of policy. A verified-generation cache hit
+    /// serves the object with one range-sized read and no checksum pass;
+    /// hot callers that also want to skip the returned `Vec` should use
+    /// [`PglPool::read_verified_into`].
     pub fn read_verified(&self, oid: PMEMoid) -> Result<Vec<u8>> {
         self.check_oid(oid)?;
-        let b = self.inner.load_ubuf(oid, true)?;
-        Ok(b.user().to_vec())
+        let inner = &*self.inner;
+        if let Some(size) = inner.vcache.probe(oid.off) {
+            let mut v = vec![0u8; size as usize];
+            inner.read_cached_range(oid, 0, &mut v)?;
+            return Ok(v);
+        }
+        // Miss: verify through a recycled frame, copy out, park it — only
+        // the returned Vec is allocated. (The copy sizes itself from the
+        // loaded buffer: a mid-load repair may legitimately restore a
+        // different header size than the first header read returned.)
+        let hdr = inner.obj_header_checked(oid)?;
+        let mut v = Vec::new();
+        crate::scratch::with_read_frames(|frames| -> Result<()> {
+            let b = inner.load_ubuf_hdr_in(oid, hdr, true, frames)?;
+            v.extend_from_slice(b.user());
+            crate::scratch::park_frame(frames, b.into_parts());
+            Ok(())
+        })?;
+        Ok(v)
+    }
+
+    /// [`PglPool::read_verified`] into a caller-supplied buffer: fills
+    /// `dst` from the start of the object without allocating. `dst` may
+    /// be shorter than the object; a `dst` longer than the object fails
+    /// with [`PglError::TypeMismatch`]. On a cache hit only `dst.len()`
+    /// bytes are read from NVMM.
+    pub fn read_verified_into(&self, oid: PMEMoid, dst: &mut [u8]) -> Result<()> {
+        self.read_verified_at(oid, 0, dst)
+    }
+
+    /// Range-granular verified read: fills `dst` from `[off, off+len)` of
+    /// the object with verification coverage — a single range-sized NVMM
+    /// read when the verified-generation cache hits, one whole-object
+    /// verification (which populates the cache) when it misses. Out-of-
+    /// bounds ranges fail with [`PglError::TypeMismatch`].
+    pub fn read_verified_at(&self, oid: PMEMoid, off: u64, dst: &mut [u8]) -> Result<()> {
+        self.check_oid(oid)?;
+        self.inner.verified_read_range(oid, off, dst)
     }
 
     /// `pgl_open`: creates a standalone micro-buffer for single-object
-    /// updates, verifying the object first (paper Listing 2).
+    /// updates, verifying the object first (paper Listing 2). The
+    /// whole-object copy is inherent to the handle; a verified-generation
+    /// cache hit skips the checksum pass over it.
     pub fn open_object(&self, oid: PMEMoid) -> Result<ObjHandle> {
         self.check_oid(oid)?;
-        let ubuf = self.inner.load_ubuf(oid, true)?;
+        let inner = &*self.inner;
+        let hdr = inner.obj_header_checked(oid)?;
+        let ubuf = crate::scratch::with_read_frames(|frames| {
+            inner.load_ubuf_maybe_cached(oid, hdr, frames)
+        })?;
         Ok(ObjHandle { ubuf })
     }
 
@@ -762,34 +898,54 @@ impl PglPool {
     /// updating checksum and parity. Unmarked changes are detected by
     /// diffing against NVMM at cache-line granularity, so paper-style
     /// `obj.field = x` edits (without explicit range marking) commit too.
+    /// The diff runs in place against a recycled scratch frame — no heap
+    /// copies of the object on this path.
     pub fn commit_object(&self, mut handle: ObjHandle) -> Result<()> {
         handle.ubuf.check_canaries()?;
         let oid = handle.ubuf.oid();
-        // Diff against NVMM to find unmarked modifications.
-        let mut current = vec![0u8; handle.ubuf.user_size()];
-        self.inner.read_with_recovery(oid.off, &mut current)?;
-        let new = handle.ubuf.user().to_vec();
-        const GRAN: usize = 64;
-        let mut i = 0;
-        while i < new.len() {
-            let end = (i + GRAN).min(new.len());
-            if current[i..end] != new[i..end] {
-                handle.ubuf.mark_modified(i as u64, (end - i) as u64);
+        let size = handle.ubuf.user_size();
+        crate::scratch::with_read_frames(|frames| {
+            let (mut cur, mut ranges) = frames.pop().unwrap_or_default();
+            cur.clear();
+            cur.resize(size, 0);
+            ranges.clear();
+            let r = self.inner.read_with_recovery(oid.off, &mut cur);
+            if r.is_ok() {
+                const GRAN: usize = 64;
+                let new = handle.ubuf.user();
+                let mut i = 0;
+                while i < size {
+                    let end = (i + GRAN).min(size);
+                    if cur[i..end] != new[i..end] {
+                        ranges.insert(i as u64, (end - i) as u64);
+                    }
+                    i = end;
+                }
             }
-            i = end;
-        }
-        if handle.ubuf.modified().is_empty() {
-            return Ok(());
-        }
-        self.tx(|tx| {
-            tx.open(oid)?;
-            let b = tx.ubuf_mut(oid)?;
-            for (roff, rlen) in handle.ubuf.modified().iter() {
-                let src = &new[roff as usize..(roff + rlen) as usize];
-                b.write(roff, src);
+            for (roff, rlen) in ranges.iter() {
+                handle.ubuf.mark_modified(roff, rlen);
             }
+            crate::scratch::park_frame(frames, (cur, ranges));
+            r
+        })?;
+        let result: Result<()> = if handle.ubuf.modified().is_empty() {
             Ok(())
-        })
+        } else {
+            self.tx(|tx| {
+                tx.open(oid)?;
+                let b = tx.ubuf_mut(oid)?;
+                for (roff, rlen) in handle.ubuf.modified().iter() {
+                    b.write(roff, &handle.ubuf.user()[roff as usize..(roff + rlen) as usize]);
+                }
+                Ok(())
+            })
+        };
+        // Recycle the handle's frame: the open/commit cycle (paper
+        // Listing 2) then allocates nothing in steady state.
+        crate::scratch::with_read_frames(|frames| {
+            crate::scratch::park_frame(frames, handle.ubuf.into_parts());
+        });
+        result
     }
 
     /// Lists all live objects.
@@ -840,6 +996,12 @@ impl PglPool {
             return Err(ObjError::InvalidOid { off: oid.off }.into());
         }
         Ok(())
+    }
+
+    /// Drops the object's verified-generation cache entry (fault-injection
+    /// support; see [`crate::inject`]).
+    pub(crate) fn vcache_bump(&self, off: u64) {
+        self.inner.vcache.bump(off);
     }
 }
 

@@ -322,6 +322,11 @@ impl Inner {
         let (start, len) = self.heap.storage_of(&self.io, oid.off).map_err(PglError::from)?;
         let first = start / PAGE_SIZE as u64;
         let last = (start + len - 1) / PAGE_SIZE as u64;
+        // The repair rewrites the object's pages: any verified-generation
+        // entry describes pre-repair bytes, so it must not survive —
+        // otherwise a cached read could serve the scribble the repair
+        // just undid.
+        self.vcache.bump(oid.off);
         for page in first..=last {
             if self.io.dev().is_poisoned_page(page) {
                 self.recover_page_frozen(page)?;
@@ -345,8 +350,10 @@ impl Inner {
             )));
         }
         if self.mode.has_checksums() {
+            let stamp = self.vcache.begin_verify(oid.off);
             let mut data = vec![0u8; hdr.size as usize];
             self.io.read(oid.off, &mut data).map_err(PglError::from)?;
+            self.io.dev().note_csum_pass(hdr.size);
             if hdr.csum != adler32(&data) {
                 return Err(PglError::Unrecoverable(format!(
                     "object at {:#x} fails checksum even after parity repair \
@@ -354,6 +361,9 @@ impl Inner {
                     oid.off
                 )));
             }
+            // The repaired object just verified end to end; the pool is
+            // frozen (no concurrent commits), so the publish is race-free.
+            self.vcache.publish(oid.off, hdr.size, stamp);
         }
         Ok(())
     }

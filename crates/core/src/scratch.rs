@@ -104,6 +104,9 @@ pub(crate) struct CommitScratch {
     pub sparse_map: OffMap<SparseBuf>,
     /// Recycled insertion-order buffer.
     pub order: Vec<u64>,
+    /// Recycled lazy-open table (offset → verified size; see
+    /// [`crate::txn::PglTx::open`]).
+    pub lazy_map: OffMap<u64>,
     /// Recycled micro-buffer storage — frame bytes plus range-set
     /// buffers — capacity-preserving.
     pub frames: Vec<(Vec<u8>, RangeSet)>,
@@ -138,14 +141,54 @@ impl CommitScratch {
         self.ubuf_map.clear();
         self.sparse_map.clear();
         self.order.clear();
+        self.lazy_map.clear();
     }
 
     /// Parks a finished micro-buffer's storage for reuse (bounded pool).
     pub fn push_frame(&mut self, parts: (Vec<u8>, RangeSet)) {
-        if self.frames.len() < MAX_FRAMES {
-            self.frames.push(parts);
-        }
+        park_frame(&mut self.frames, parts);
     }
+}
+
+/// Byte bound on a parked frame: [`MAX_FRAMES`] caps the count, this
+/// caps each frame's pinned capacity. Transaction micro-buffers never
+/// exceed the sparse threshold, but the pool-level verified-read paths
+/// load objects up to `max_alloc` — parking those would pin
+/// object-sized DRAM per thread indefinitely, so oversized frames are
+/// dropped and simply re-allocated on the next large read.
+const MAX_FRAME_BYTES: usize = crate::txn::SPARSE_THRESHOLD as usize + 64;
+
+/// Parks micro-buffer storage in `frames`, bounded by [`MAX_FRAMES`]
+/// entries of at most [`MAX_FRAME_BYTES`] each (shared by the commit
+/// scratch and the thread-local read-path pool).
+pub(crate) fn park_frame(frames: &mut Vec<(Vec<u8>, RangeSet)>, parts: (Vec<u8>, RangeSet)) {
+    if frames.len() < MAX_FRAMES && parts.0.capacity() <= MAX_FRAME_BYTES {
+        frames.push(parts);
+    }
+}
+
+thread_local! {
+    /// Recycled frames for the pool-level read paths (`load_ubuf`, the
+    /// Conservative `direct_read`, `read_verified*`, `commit_object`'s
+    /// diff buffer), which run outside any transaction and therefore
+    /// cannot use the commit scratch an in-flight transaction owns.
+    static READ_FRAMES: RefCell<Vec<(Vec<u8>, RangeSet)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with this thread's recycled read-path frames. Frames popped
+/// and parked inside `f` keep their capacity across calls, so steady-state
+/// verified reads allocate nothing. Re-entrant calls (a read inside a
+/// read) see an empty pool and simply fall back to allocating.
+pub(crate) fn with_read_frames<R>(f: impl FnOnce(&mut Vec<(Vec<u8>, RangeSet)>) -> R) -> R {
+    let mut frames = READ_FRAMES.with(|slot| std::mem::take(&mut *slot.borrow_mut()));
+    let r = f(&mut frames);
+    READ_FRAMES.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if slot.is_empty() {
+            *slot = frames;
+        }
+    });
+    r
 }
 
 /// Reads the `len`-byte pre-image of object `obj`'s range at `roff`

@@ -203,6 +203,7 @@ fn scrub_one_object(
             drop(guard);
             continue;
         }
+        let stamp = inner.vcache.begin_verify(oid.off);
         let mut data = vec![0u8; hdr.size as usize];
         match inner.io.read(oid.off, &mut data) {
             Ok(()) => {}
@@ -214,13 +215,22 @@ fn scrub_one_object(
             }
             Err(e) => return Err(e.into()),
         }
-        let ok = !inner.mode.has_checksums() || hdr.csum == adler32(&data);
+        let ok = !inner.mode.has_checksums() || {
+            inner.io.dev().note_csum_pass(hdr.size);
+            hdr.csum == adler32(&data)
+        };
         if !ok && !inner.heap.is_live(&inner.io, oid.off) {
             // The object was freed between our liveness check and the data
             // read, and its bytes were already repurposed (e.g. zeroed for
             // a log-overflow claim). Not a scribble.
             report.objects_skipped += 1;
             return Ok(());
+        }
+        if ok && inner.mode.has_checksums() {
+            // Refresh the verified-generation entry while still under the
+            // exclusive guard's stamp: a commit racing in after the guard
+            // drops bumps the generation and defeats this publish.
+            inner.vcache.publish(oid.off, hdr.size, stamp);
         }
         drop(guard);
         if !ok && !recover_unless_churned(inner, oid, report)? {
@@ -270,20 +280,23 @@ fn scrub_objects_frozen(
         let oid = PMEMoid::new(inner.uuid, off);
         let sane = hdr.size > 0 && hdr.size <= layout.max_alloc();
         let mut ok = sane;
+        let stamp = inner.vcache.begin_verify(off);
         if sane {
             let mut data = vec![0u8; hdr.size as usize];
             match io.read(off, &mut data) {
                 Ok(()) => {
-                    if inner.mode.has_checksums() && hdr.csum != adler32(&data) {
-                        ok = false;
+                    if inner.mode.has_checksums() {
+                        inner.io.dev().note_csum_pass(hdr.size);
+                        ok = hdr.csum == adler32(&data);
                     }
                 }
                 Err(ObjError::Mem(MemError::Poisoned { page })) => {
                     inner.recover_page_frozen(page)?;
                     report.pages_repaired += 1;
                     io.read(off, &mut data).map_err(PglError::from)?;
-                    if inner.mode.has_checksums() && hdr.csum != adler32(&data) {
-                        ok = false;
+                    if inner.mode.has_checksums() {
+                        inner.io.dev().note_csum_pass(hdr.size);
+                        ok = hdr.csum == adler32(&data);
                     }
                 }
                 Err(e) => return Err(e.into()),
@@ -292,6 +305,8 @@ fn scrub_objects_frozen(
         if !ok {
             inner.recover_object_frozen(oid)?;
             report.objects_repaired += 1;
+        } else if inner.mode.has_checksums() {
+            inner.vcache.publish(off, hdr.size, stamp);
         }
         report.objects_verified += 1;
         report.bytes_verified += hdr.size;

@@ -83,6 +83,11 @@ pub struct PglTx<'p> {
     ubufs: OffMap<UBuf>,
     /// Sparse shadows for objects above [`SPARSE_THRESHOLD`].
     sparse: OffMap<SparseBuf>,
+    /// Lazily-opened objects (offset → verified user size): opened while
+    /// verified-fresh in the generation cache, so no micro-buffer was
+    /// materialized yet. Reads are served straight from NVMM; the first
+    /// write materializes the entry into `ubufs` (see [`PglTx::open`]).
+    lazy: OffMap<u64>,
     /// Insertion order, for deterministic commit processing.
     order: Vec<u64>,
     allocs: Vec<AllocReservation>,
@@ -195,12 +200,14 @@ impl<'p> PglTx<'p> {
         let mut scratch = CommitScratch::take();
         let ubufs = std::mem::take(&mut scratch.ubuf_map);
         let sparse = std::mem::take(&mut scratch.sparse_map);
+        let lazy = std::mem::take(&mut scratch.lazy_map);
         let order = std::mem::take(&mut scratch.order);
         PglTx {
             inner,
             lane,
             ubufs,
             sparse,
+            lazy,
             order,
             allocs: Vec::new(),
             frees: Vec::new(),
@@ -221,6 +228,7 @@ impl<'p> PglTx<'p> {
         }
         scratch.ubuf_map = map;
         scratch.sparse_map = std::mem::take(&mut self.sparse);
+        scratch.lazy_map = std::mem::take(&mut self.lazy);
         scratch.order = std::mem::take(&mut self.order);
         scratch.recycle();
     }
@@ -244,10 +252,27 @@ impl<'p> PglTx<'p> {
     /// every column of the stripe. Verification detects the scribble and
     /// repairs the object from parity first, keeping the pre-image and
     /// the parity row consistent.)
+    /// Opens of an object the verified-generation cache knows to be
+    /// verified-fresh are **lazy**: only a header-free `(offset, size)`
+    /// record is made, reads are served straight from NVMM (counted in
+    /// the `verified_cached` bucket), and the O(object) micro-buffer
+    /// materialization is deferred to the first write — so read-mostly
+    /// transactions (the ctree/rbtree/skiplist traversal shape) stop
+    /// paying per touched node.
     pub fn open(&mut self, oid: PMEMoid) -> Result<()> {
         self.check_oid(oid)?;
-        if self.ubufs.contains_key(&oid.off) || self.sparse.contains_key(&oid.off) {
+        if self.ubufs.contains_key(&oid.off)
+            || self.sparse.contains_key(&oid.off)
+            || self.lazy.contains_key(&oid.off)
+        {
             return Ok(());
+        }
+        if let Some(size) = self.inner.vcache.probe(oid.off) {
+            if size <= SPARSE_THRESHOLD {
+                self.lazy.insert(oid.off, size);
+                self.order.push(oid.off);
+                return Ok(());
+            }
         }
         let hdr = self.inner.obj_header_checked(oid)?;
         if hdr.size > SPARSE_THRESHOLD {
@@ -257,6 +282,24 @@ impl<'p> PglTx<'p> {
             self.ubufs.insert(oid.off, ubuf);
         }
         self.order.push(oid.off);
+        Ok(())
+    }
+
+    /// Turns a lazy open into a real micro-buffer (no-op otherwise): the
+    /// deferred O(object) load, paid at the first write. When the object
+    /// is still verified-fresh the checksum pass is skipped; if it was
+    /// mutated since (e.g. repaired by a scrub), the load re-verifies.
+    fn materialize(&mut self, oid: PMEMoid) -> Result<()> {
+        if self.lazy.remove(&oid.off).is_none() {
+            return Ok(());
+        }
+        let hdr = self.inner.obj_header_checked(oid)?;
+        if hdr.size > SPARSE_THRESHOLD {
+            self.sparse.insert(oid.off, SparseBuf::new(oid, hdr));
+            return Ok(());
+        }
+        let ubuf = self.inner.load_ubuf_maybe_cached(oid, hdr, &mut self.scratch.frames)?;
+        self.ubufs.insert(oid.off, ubuf);
         Ok(())
     }
 
@@ -306,7 +349,7 @@ impl<'p> PglTx<'p> {
     /// cancels the reservation.
     pub fn free(&mut self, oid: PMEMoid) -> Result<()> {
         self.check_oid(oid)?;
-        if self.sparse.remove(&oid.off).is_some() {
+        if self.sparse.remove(&oid.off).is_some() || self.lazy.remove(&oid.off).is_some() {
             self.order.retain(|&o| o != oid.off);
         }
         if let Some(b) = self.ubufs.get(&oid.off) {
@@ -340,6 +383,7 @@ impl<'p> PglTx<'p> {
     /// opens the micro-buffer and records the range.
     pub fn add_range(&mut self, oid: PMEMoid, off: u64, len: u64) -> Result<()> {
         self.open(oid)?;
+        self.materialize(oid)?;
         if self.sparse.contains_key(&oid.off) {
             let size = self.sparse.get(&oid.off).expect("exists").user_size();
             if off + len > size {
@@ -423,6 +467,14 @@ impl<'p> PglTx<'p> {
                 return Ok(());
             }
         }
+        if let Some(&size) = self.lazy.get(&oid.off) {
+            // Lazily-opened object, nothing written yet: the open-time
+            // verification coverage extends to this range, so serve it
+            // with one range-sized read (no checksum pass).
+            if Inner::range_fits(off, dst.len(), size) {
+                return self.inner.read_cached_range(oid, off, dst);
+            }
+        }
         self.inner.direct_read(oid, off, dst)
     }
 
@@ -442,6 +494,9 @@ impl<'p> PglTx<'p> {
         }
         if let Some(sb) = self.sparse.get(&oid.off) {
             return Ok(sb.user_size());
+        }
+        if let Some(&size) = self.lazy.get(&oid.off) {
+            return Ok(size);
         }
         Ok(self.inner.obj_header_checked(oid)?.size)
     }
@@ -484,6 +539,7 @@ impl<'p> PglTx<'p> {
     /// [`PglTx::add_range`]).
     pub fn ubuf_mut(&mut self, oid: PMEMoid) -> Result<&mut UBuf> {
         self.open(oid)?;
+        self.materialize(oid)?;
         Ok(self.ubufs.get_mut(&oid.off).expect("just opened"))
     }
 
@@ -688,6 +744,10 @@ impl<'p> PglTx<'p> {
             for off in &new_offs {
                 let b = &self.ubufs[off];
                 let data = b.header_and_user();
+                // The offset may carry a verified-generation cache entry
+                // from a previously freed object; construction reuses the
+                // slot, so drop it before the new bytes land.
+                inner.vcache.bump(*off);
                 if parity {
                     tmp.resize(data.len(), 0);
                     inner.io.read(b.header_off(), tmp).map_err(PglError::from)?;
@@ -841,6 +901,10 @@ impl<'p> PglTx<'p> {
                         inner.span_exclusive(largest),
                     )
                     .map_err(fatal)?;
+                // Invalidate the verified-generation entry under the span
+                // guard, before the first store: post-commit verified
+                // reads must re-verify the new content.
+                inner.vcache.bump(*off);
                 for (roff, rlen) in sb.modified().iter() {
                     tmp.resize(rlen as usize, 0);
                     sb.read(roff, &mut tmp[..rlen as usize]);
@@ -889,6 +953,9 @@ impl<'p> PglTx<'p> {
                     inner.span_exclusive(largest),
                 )
                 .map_err(fatal)?;
+            // Same invalidation as the sparse path: under the guard,
+            // before the write-back's first store.
+            inner.vcache.bump(*off);
             if is_whole_object(b) {
                 // Whole-object fast path: ONE non-temporal store + fence
                 // and ONE parity patch cover header and data together.
@@ -954,6 +1021,10 @@ impl<'p> PglTx<'p> {
             inner.heap.complete_alloc(a);
         }
         for f in &self.frees {
+            // The slot's size (and type) may change when the allocator
+            // reuses it; a cached verified size would let range reads
+            // cross the new object's bounds.
+            inner.vcache.bump(f.oid_off);
             inner.heap.complete_free(f);
         }
         Ok(())
@@ -967,6 +1038,7 @@ impl<'p> PglTx<'p> {
         self.frees.clear();
         self.ubufs.clear();
         self.sparse.clear();
+        self.lazy.clear();
         self.lane.bump_gen(!self.log_chunks.is_empty()).map_err(PglError::from)?;
         release_log_chunks(self.inner, &mut self.log_chunks)?;
         Ok(())

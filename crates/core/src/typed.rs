@@ -521,22 +521,34 @@ impl PglPool {
     }
 
     /// Typed whole-object read with checksum verification (and online
-    /// recovery), regardless of policy. A handle whose brand is larger
-    /// than the stored object fails with [`PglError::TypeMismatch`] even
-    /// in release builds.
+    /// recovery), regardless of policy. Reads straight into a stack
+    /// value — no heap buffer — and a verified-generation cache hit
+    /// serves it with one `size_of::<T>()`-byte NVMM read and no
+    /// checksum pass. A handle whose brand is larger than the stored
+    /// object fails with [`PglError::TypeMismatch`] even in release
+    /// builds.
     pub fn get_verified<T: PType>(&self, h: PObj<T>) -> Result<T> {
         self.typed_check_pool(h.oid(), size_of_u64::<T>(), Some(T::TYPE_NUM))?;
-        let bytes = self.read_verified(h.oid())?;
-        if bytes.len() < std::mem::size_of::<T>() {
-            return Err(PglError::TypeMismatch { off: h.oid().off });
-        }
-        Ok(pgl_nvm::pod::from_bytes(&bytes))
+        let mut v = pgl_nvm::pod::zeroed::<T>();
+        self.read_verified_into(h.oid(), pgl_nvm::pod::bytes_of_mut(&mut v))?;
+        Ok(v)
     }
 
     /// Typed direct field read.
     pub fn read_at<T: PType, F: Pod>(&self, h: PObj<T>, fld: Field<T, F>) -> Result<F> {
         self.typed_check_pool(h.oid(), size_of_u64::<T>(), Some(T::TYPE_NUM))?;
         self.read_pod(h.oid(), fld.offset())
+    }
+
+    /// Typed field read with verification coverage: the range-granular
+    /// counterpart of [`PglPool::get_verified`]. On a verified-generation
+    /// cache hit only the field's bytes are read; on a miss the whole
+    /// object is verified once (populating the cache).
+    pub fn read_at_verified<T: PType, F: Pod>(&self, h: PObj<T>, fld: Field<T, F>) -> Result<F> {
+        self.typed_check_pool(h.oid(), size_of_u64::<T>(), Some(T::TYPE_NUM))?;
+        let mut v = pgl_nvm::pod::zeroed::<F>();
+        self.read_verified_at(h.oid(), fld.offset(), pgl_nvm::pod::bytes_of_mut(&mut v))?;
+        Ok(v)
     }
 
     /// Single-object typed update (paper Listing 2): opens the object's

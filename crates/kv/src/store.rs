@@ -225,6 +225,15 @@ pub trait Store: Send + Sync {
     /// a plain DAX load for the baseline.
     fn read_direct(&self, oid: PMEMoid, off: u64, dst: &mut [u8]) -> KvResult<()>;
 
+    /// Direct read with verification coverage where the backend has any:
+    /// Pangolin serves it through the range-granular verified read path
+    /// (one range-sized NVMM read on a verified-generation cache hit, one
+    /// whole-object verification on a miss); the checksum-less baseline
+    /// falls back to a plain read.
+    fn read_verified_direct(&self, oid: PMEMoid, off: u64, dst: &mut [u8]) -> KvResult<()> {
+        self.read_direct(oid, off, dst)
+    }
+
     /// Counters of the most recently committed transaction on this handle
     /// (single-threaded instrumentation helper for the Table 3 harness).
     fn last_tx_stats(&self) -> TxStats;
@@ -246,6 +255,17 @@ pub trait Store: Send + Sync {
         Self: Sized,
     {
         self.read_pod_direct(h.oid(), 0)
+    }
+
+    /// Typed direct whole-object read with verification coverage (see
+    /// [`Store::read_verified_direct`]); no heap buffer either way.
+    fn get_obj_verified<T: PType>(&self, h: PObj<T>) -> KvResult<T>
+    where
+        Self: Sized,
+    {
+        let mut v = zeroed::<T>();
+        self.read_verified_direct(h.oid(), 0, bytes_of_mut(&mut v))?;
+        Ok(v)
     }
 
     /// Typed direct field read through a [`field!`](pangolin::field)
@@ -440,6 +460,10 @@ impl Store for PglStore {
 
     fn read_direct(&self, oid: PMEMoid, off: u64, dst: &mut [u8]) -> KvResult<()> {
         Ok(self.pool.read(oid, off, dst)?)
+    }
+
+    fn read_verified_direct(&self, oid: PMEMoid, off: u64, dst: &mut [u8]) -> KvResult<()> {
+        Ok(self.pool.read_verified_at(oid, off, dst)?)
     }
 
     fn last_tx_stats(&self) -> TxStats {

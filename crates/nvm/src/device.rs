@@ -475,6 +475,23 @@ impl NvmDevice {
         DeviceStats::add(&self.stats.commit_old_bytes, bytes);
     }
 
+    /// Tags one library-level checksum verification pass over `bytes`
+    /// object bytes. The read path calls this next to every Adler32
+    /// verification it performs, so regression tests can pin that
+    /// cache-hit verified reads run **zero** checksum passes
+    /// ([`StatsSnapshot::csum_passes`]).
+    pub fn note_csum_pass(&self, bytes: u64) {
+        DeviceStats::add(&self.stats.csum_passes, 1);
+        DeviceStats::add(&self.stats.csum_bytes, bytes);
+    }
+
+    /// Tags one verified read of `bytes` served from the DRAM
+    /// verified-generation cache ([`StatsSnapshot::vcache_hits`]).
+    pub fn note_vcache_hit(&self, bytes: u64) {
+        DeviceStats::add(&self.stats.vcache_hits, 1);
+        DeviceStats::add(&self.stats.vcache_hit_bytes, bytes);
+    }
+
     /// Bookkeeping for a cache line about to be dirtied by an XOR path:
     /// captures the pre-content for the crash tracker (Precise mode).
     #[inline]

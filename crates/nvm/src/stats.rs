@@ -24,6 +24,10 @@ pub struct DeviceStats {
     pub(crate) poison_hits: AtomicU64,
     pub(crate) commit_old_reads: AtomicU64,
     pub(crate) commit_old_bytes: AtomicU64,
+    pub(crate) csum_passes: AtomicU64,
+    pub(crate) csum_bytes: AtomicU64,
+    pub(crate) vcache_hits: AtomicU64,
+    pub(crate) vcache_hit_bytes: AtomicU64,
 }
 
 impl DeviceStats {
@@ -47,6 +51,10 @@ impl DeviceStats {
             poison_hits: self.poison_hits.load(Ordering::Relaxed),
             commit_old_reads: self.commit_old_reads.load(Ordering::Relaxed),
             commit_old_bytes: self.commit_old_bytes.load(Ordering::Relaxed),
+            csum_passes: self.csum_passes.load(Ordering::Relaxed),
+            csum_bytes: self.csum_bytes.load(Ordering::Relaxed),
+            vcache_hits: self.vcache_hits.load(Ordering::Relaxed),
+            vcache_hit_bytes: self.vcache_hit_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -79,6 +87,17 @@ pub struct StatsSnapshot {
     pub commit_old_reads: u64,
     /// Bytes covered by commit-time old-data reads.
     pub commit_old_bytes: u64,
+    /// Checksum verification passes the library performed over object
+    /// bytes (see [`crate::NvmDevice::note_csum_pass`]); a cache-hit
+    /// verified read performs none — the regression tests pin that.
+    pub csum_passes: u64,
+    /// Object bytes covered by checksum verification passes.
+    pub csum_bytes: u64,
+    /// Verified reads served from the DRAM verified-generation cache
+    /// (see [`crate::NvmDevice::note_vcache_hit`]).
+    pub vcache_hits: u64,
+    /// Bytes served by cache-hit verified reads.
+    pub vcache_hit_bytes: u64,
 }
 
 impl StatsSnapshot {
@@ -102,6 +121,10 @@ impl StatsSnapshot {
             poison_hits: self.poison_hits.saturating_sub(earlier.poison_hits),
             commit_old_reads: self.commit_old_reads.saturating_sub(earlier.commit_old_reads),
             commit_old_bytes: self.commit_old_bytes.saturating_sub(earlier.commit_old_bytes),
+            csum_passes: self.csum_passes.saturating_sub(earlier.csum_passes),
+            csum_bytes: self.csum_bytes.saturating_sub(earlier.csum_bytes),
+            vcache_hits: self.vcache_hits.saturating_sub(earlier.vcache_hits),
+            vcache_hit_bytes: self.vcache_hit_bytes.saturating_sub(earlier.vcache_hit_bytes),
         }
     }
 }
