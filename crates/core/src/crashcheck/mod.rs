@@ -1,0 +1,63 @@
+//! Crash-oracle harness: exhaustive crash-point sweeps with a
+//! model-checked recovery oracle.
+//!
+//! Pangolin's recovery story (paper §3.6: redo-log replay + parity
+//! recomputation) must hold at *every* point a power failure can
+//! interrupt a transaction, under *every* persistence order the hardware
+//! may choose for the dirty cache lines. This module turns that claim
+//! into a reusable, deterministic checker with three layers:
+//!
+//! 1. **DRAM model oracle** ([`ModelState`]): a verified semantic snapshot
+//!    (root link + every live object's type and bytes) captured from a
+//!    healthy run after each transaction commit. After a crash at any
+//!    boundary inside commit *j+1*, the recovered pool must equal
+//!    snapshot *j* (rolled back) or snapshot *j+1* (fully replayed) —
+//!    all-or-nothing checked semantically, not just "parity holds".
+//! 2. **Sweep driver** ([`sweep`], [`sweep_with`]): counts the mutating
+//!    device-op boundaries of a [`CrashWorkload`] body, then replays it
+//!    crashing at each boundary under a plan matrix — [`PlanSpec::AllOld`],
+//!    [`PlanSpec::AllNew`], K seeded [`PlanSpec::Random`] plans, and when
+//!    the crashed device's dirty-line outcome space is small enough, the
+//!    **exhaustive enumeration of every line-outcome combination**
+//!    ([`PlanSpec::Exhaustive`], the small-model checker mode). Each case
+//!    also checks the parity invariant, a full checksum audit, and that a
+//!    subsequent scrub pass is a semantic no-op.
+//! 3. **Failure reporter** ([`CaseFailure`]): a failing case prints its
+//!    minimal reproduction tuple `(op index, plan)` — with any seed or
+//!    combination index embedded in the plan — and is re-run standalone
+//!    via [`run_case`] to prove the tuple reproduces from scratch.
+//!
+//! Replays are exact because every pass starts from the same device
+//! checkpoint ([`pgl_nvm::NvmDevice::snapshot`] /
+//! [`pgl_nvm::NvmDevice::restore`], which rewind raw bytes, dirty-line
+//! tracking, and the poison list together) and pool operations are
+//! deterministic single-threaded. Checkpoint-rewinding also makes sweeps
+//! cheap: the workload body runs once per boundary, and each *plan* case
+//! reuses the crashed checkpoint instead of re-running the body.
+//!
+//! # Example
+//!
+//! ```
+//! use pangolin::crashcheck::{self, FnWorkload, SweepConfig};
+//!
+//! let workload = FnWorkload::new(
+//!     "touch-root",
+//!     |pool| pool.root(64, 1).map(|_| ()),
+//!     |pool, ctx| {
+//!         let root = pool.root_oid()?;
+//!         pool.tx(|tx| tx.write_pod(root, 0, &0xFEED_u64))?;
+//!         ctx.commit_point(pool)
+//!     },
+//! );
+//! let report = crashcheck::sweep_with(&workload, &SweepConfig::smoke().sampled(8));
+//! assert!(report.cases > 0);
+//! ```
+
+mod model;
+mod sweep;
+
+pub use model::ModelState;
+pub use sweep::{
+    run_case, sweep, sweep_with, try_sweep, CaseFailure, CrashWorkload, FnWorkload, NoVerify,
+    PlanSpec, SweepConfig, SweepCtx, SweepReport,
+};

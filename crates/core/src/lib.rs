@@ -78,6 +78,7 @@
 
 pub mod checksum;
 pub mod config;
+pub mod crashcheck;
 pub mod detect;
 pub mod error;
 pub mod inject;

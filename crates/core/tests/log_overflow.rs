@@ -84,7 +84,7 @@ fn overflow_tx_is_atomic_across_crashes() {
             assert!(p.downcast_ref::<CrashPoint>().is_some());
         }
         drop(pool);
-        dev.simulate_crash(&mut RandomPlan::seeded(k));
+        dev.simulate_crash(&mut RandomPlan::seeded(k)).unwrap();
         let pool = PglPool::options().open(dev).unwrap();
         assert!(pool.verify_parity().unwrap(), "parity broken after crash at {k}");
         let first = pool.read_verified(PMEMoid::new(pool.uuid(), oids[0].off)).unwrap();
@@ -126,7 +126,7 @@ fn overflow_chunks_lost_pages_recover_from_replica() {
     let _ = panic::catch_unwind(AssertUnwindSafe(|| huge_tx(&pool2, &oids2, 0xCC)));
     dev2.disarm_crash();
     drop(pool2);
-    dev2.simulate_crash(&mut RandomPlan::seeded(1234));
+    dev2.simulate_crash(&mut RandomPlan::seeded(1234)).unwrap();
     let pool2 = PglPool::options().open(dev2).unwrap();
     assert!(pool2.verify_parity().unwrap());
     for (i, oid) in oids2.iter().enumerate() {

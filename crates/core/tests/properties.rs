@@ -145,7 +145,7 @@ proptest! {
             apply(&pool, &mut model, &mut order, a);
         }
         drop(pool);
-        dev.simulate_crash(&mut RandomPlan::seeded(seed));
+        dev.simulate_crash(&mut RandomPlan::seeded(seed)).unwrap();
         let pool = PglPool::options().open(dev).unwrap();
         verify_against_model(&pool, &model);
     }

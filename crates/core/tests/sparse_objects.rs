@@ -145,7 +145,7 @@ fn sparse_writes_atomic_at_sampled_crash_points() {
             assert!(p.downcast_ref::<CrashPoint>().is_some());
         }
         drop(pool);
-        dev.simulate_crash(&mut RandomPlan::seeded(k));
+        dev.simulate_crash(&mut RandomPlan::seeded(k)).unwrap();
         let pool = PglPool::options().open(dev).unwrap();
         assert!(pool.verify_parity().unwrap(), "parity at crash point {k}");
         let data = pool.read_verified(PMEMoid::new(pool.uuid(), oid.off)).unwrap();

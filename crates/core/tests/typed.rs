@@ -170,7 +170,7 @@ proptest! {
 
         // Close, crash, reopen through the builder, scrub, re-verify.
         drop(pool);
-        dev.simulate_crash(&mut RandomPlan::seeded(crash_seed));
+        dev.simulate_crash(&mut RandomPlan::seeded(crash_seed)).unwrap();
         let pool = PglPool::options().open(dev).unwrap();
         pool.scrub_now().unwrap();
         verify(&pool, &shadow);

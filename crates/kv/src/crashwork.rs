@@ -1,0 +1,201 @@
+//! Crash-sweep adapter: drives any [`PersistentMap`] through the
+//! `pangolin::crashcheck` oracle harness.
+//!
+//! [`MapCrashWorkload`] wraps a map type and a scripted operation sequence
+//! into a [`CrashWorkload`]: every script step is one failure-atomic map
+//! transaction followed by a commit point, so the sweep driver crashes the
+//! structure at every device-op boundary inside its insert/update/remove
+//! paths and checks, per crash plan, that the recovered map equals the
+//! model before or after the interrupted operation — never a torn tree.
+//!
+//! Verification after each simulated crash goes beyond the harness's
+//! byte-level oracle: the map is re-attached through its anchor, compared
+//! key-by-key against a [`BTreeMap`] model replayed to the committed
+//! prefix, and the structure's own invariant checker (search-tree order,
+//! red-black height, skip-list tower monotonicity, …) is run on the
+//! recovered state.
+
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+
+use pangolin::crashcheck::{CrashWorkload, SweepCtx};
+use pangolin::{PglError, PglPool};
+use pgl_pmemobj::PMEMoid;
+
+use crate::maps::PersistentMap;
+use crate::store::{KvError, KvResult, PglStore, Store};
+
+/// One scripted map operation; each runs as its own transaction and ends
+/// with a commit point.
+#[derive(Debug, Clone, Copy)]
+pub enum MapOp {
+    /// Insert a key that is expected to be absent (structural growth).
+    Insert(u64, u64),
+    /// Overwrite an existing key's value (in-place update).
+    Update(u64, u64),
+    /// Remove a key (unlink / rebalance paths).
+    Remove(u64),
+}
+
+/// A [`CrashWorkload`] that runs a [`PersistentMap`] script.
+pub struct MapCrashWorkload<M: PersistentMap> {
+    name: String,
+    prefill: Vec<(u64, u64)>,
+    script: Vec<MapOp>,
+    check: fn(&M, &PglStore) -> KvResult<u64>,
+    _map: PhantomData<fn() -> M>,
+}
+
+/// Size of the pool root holding the map anchor (`count`-free: just the
+/// anchor offset).
+const ANCHOR_ROOT_SIZE: u64 = 16;
+
+fn pgl(e: KvError) -> PglError {
+    match e {
+        KvError::Pgl(e) => e,
+        other => PglError::Config(other.to_string()),
+    }
+}
+
+impl<M: PersistentMap> MapCrashWorkload<M> {
+    /// A workload over `M` with the given invariant checker, default
+    /// prefill, and a script covering insert, update, and remove.
+    ///
+    /// The prefill keys are clustered small integers plus one high key —
+    /// shared radix prefixes for the ctree/rtree, collisions for the
+    /// hashmap — and the script grows, overwrites, and unlinks against
+    /// them.
+    pub fn new(check: fn(&M, &PglStore) -> KvResult<u64>) -> Self {
+        MapCrashWorkload {
+            name: format!("kv-crash-{}", M::NAME),
+            prefill: vec![(1, 100), (2, 200), (3, 300), (5, 500), (0xFFFF_FF00_0000_0007, 700)],
+            script: vec![MapOp::Insert(4, 400), MapOp::Update(2, 201), MapOp::Remove(1)],
+            check,
+            _map: PhantomData,
+        }
+    }
+
+    /// Replaces the scripted operations.
+    pub fn with_script(mut self, script: Vec<MapOp>) -> Self {
+        self.script = script;
+        self
+    }
+
+    /// Replaces the prefill pairs inserted during setup.
+    pub fn with_prefill(mut self, prefill: Vec<(u64, u64)>) -> Self {
+        self.prefill = prefill;
+        self
+    }
+
+    fn attach(&self, store: &PglStore) -> pangolin::Result<M> {
+        let root = store.root(ANCHOR_ROOT_SIZE, 0).map_err(pgl)?;
+        let off: u64 = store.read_pod_direct(root, 0).map_err(pgl)?;
+        if off == 0 {
+            return Err(PglError::Config("map anchor missing from pool root".into()));
+        }
+        Ok(M::from_anchor(PMEMoid::new(store.uuid(), off)))
+    }
+
+    /// The in-DRAM model after `committed` script steps.
+    fn model_after(&self, committed: usize) -> BTreeMap<u64, u64> {
+        let mut model: BTreeMap<u64, u64> = self.prefill.iter().copied().collect();
+        for op in &self.script[..committed] {
+            match *op {
+                MapOp::Insert(k, v) | MapOp::Update(k, v) => {
+                    model.insert(k, v);
+                }
+                MapOp::Remove(k) => {
+                    model.remove(&k);
+                }
+            }
+        }
+        model
+    }
+
+    /// Every key the workload ever touches (for absent-key probes).
+    fn all_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.prefill.iter().map(|&(k, _)| k).collect();
+        for op in &self.script {
+            keys.push(match *op {
+                MapOp::Insert(k, _) | MapOp::Update(k, _) | MapOp::Remove(k) => k,
+            });
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+}
+
+impl<M: PersistentMap> CrashWorkload for MapCrashWorkload<M> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn setup(&self, pool: &PglPool) -> pangolin::Result<()> {
+        let store = PglStore::new(pool.clone());
+        let map = M::create(&store).map_err(pgl)?;
+        for &(k, v) in &self.prefill {
+            map.insert(&store, k, v).map_err(pgl)?;
+        }
+        // Anchor the map in the pool root so crash replicas can find it.
+        let root = store.root(ANCHOR_ROOT_SIZE, 0).map_err(pgl)?;
+        let off = map.anchor().off;
+        store.txn(&mut |tx| tx.write_pod(root, 0, &off)).map_err(pgl)?;
+        Ok(())
+    }
+
+    fn run(&self, pool: &PglPool, ctx: &mut SweepCtx) -> pangolin::Result<()> {
+        let store = PglStore::new(pool.clone());
+        let map = self.attach(&store)?;
+        for op in &self.script {
+            match *op {
+                MapOp::Insert(k, v) | MapOp::Update(k, v) => {
+                    map.insert(&store, k, v).map_err(pgl)?;
+                }
+                MapOp::Remove(k) => {
+                    map.remove(&store, k).map_err(pgl)?;
+                }
+            }
+            ctx.commit_point(pool)?;
+        }
+        Ok(())
+    }
+
+    fn verify(&self, pool: &PglPool, committed: usize) -> pangolin::Result<()> {
+        let store = PglStore::new(pool.clone());
+        let map = self.attach(&store)?;
+        let model = self.model_after(committed);
+
+        // Key-by-key agreement with the replayed model: present keys hold
+        // the model's value, every other touched key reads absent.
+        for k in self.all_keys() {
+            let got = map.get(&store, k).map_err(pgl)?;
+            let want = model.get(&k).copied();
+            if got != want {
+                return Err(PglError::Config(format!(
+                    "{}: key {k:#x} = {got:?} after {committed} committed ops, model says {want:?}",
+                    M::NAME
+                )));
+            }
+        }
+        let len = map.len(&store).map_err(pgl)?;
+        if len != model.len() as u64 {
+            return Err(PglError::Config(format!(
+                "{}: len {len} != model {}",
+                M::NAME,
+                model.len()
+            )));
+        }
+
+        // The structure's own invariants must hold on the recovered state.
+        let counted = (self.check)(&map, &store).map_err(pgl)?;
+        if counted != model.len() as u64 {
+            return Err(PglError::Config(format!(
+                "{}: invariant walk counted {counted}, model {}",
+                M::NAME,
+                model.len()
+            )));
+        }
+        Ok(())
+    }
+}

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod btree;
+pub mod crashwork;
 pub mod ctree;
 pub mod hashmap;
 pub mod maps;

@@ -1,0 +1,62 @@
+//! Crash-point sweeps for all six persistent data structures.
+//!
+//! Each structure runs the same scripted insert / update / remove sequence
+//! under the `pangolin::crashcheck` oracle harness: the sweep driver
+//! crashes the structure at device-op boundaries inside each operation,
+//! applies the crash-plan matrix (all-old, all-new, seeded random line
+//! outcomes, exhaustive enumeration where the outcome space is small),
+//! recovers, scrubs, and checks the recovered map key-by-key against a
+//! replayed `BTreeMap` model plus the structure's own invariant walker.
+//!
+//! The smoke run samples boundaries to stay inside the CI budget; the
+//! nightly deep sweep (`PGL_DEEP_SWEEP=1`) widens the budget 8×, adds
+//! seeds, and raises the exhaustive-combination cap.
+
+use pangolin::crashcheck::{self, SweepConfig};
+use pgl_kv::crashwork::MapCrashWorkload;
+use pgl_kv::{btree, ctree, hashmap, rbtree, rtree, skiplist};
+use pgl_kv::{BTree, CTree, HashMap, RTree, RbTree, SkipList};
+
+/// Tree/map transactions touch node chains plus allocator and parity
+/// metadata, so boundary counts run into the hundreds per operation;
+/// budget the smoke sweep to ~12 evenly spaced boundaries per structure
+/// (the deep config stretches this 8× and sweeps far denser).
+fn config() -> SweepConfig {
+    SweepConfig::from_env().budget(12)
+}
+
+#[test]
+fn ctree_survives_crash_sweep() {
+    let w = MapCrashWorkload::<CTree>::new(ctree::check_invariants);
+    crashcheck::sweep_with(&w, &config());
+}
+
+#[test]
+fn rbtree_survives_crash_sweep() {
+    let w = MapCrashWorkload::<RbTree>::new(rbtree::check_invariants);
+    crashcheck::sweep_with(&w, &config());
+}
+
+#[test]
+fn btree_survives_crash_sweep() {
+    let w = MapCrashWorkload::<BTree>::new(btree::check_invariants);
+    crashcheck::sweep_with(&w, &config());
+}
+
+#[test]
+fn skiplist_survives_crash_sweep() {
+    let w = MapCrashWorkload::<SkipList>::new(skiplist::check_invariants);
+    crashcheck::sweep_with(&w, &config());
+}
+
+#[test]
+fn rtree_survives_crash_sweep() {
+    let w = MapCrashWorkload::<RTree>::new(rtree::check_invariants);
+    crashcheck::sweep_with(&w, &config());
+}
+
+#[test]
+fn hashmap_survives_crash_sweep() {
+    let w = MapCrashWorkload::<HashMap>::new(hashmap::check_invariants);
+    crashcheck::sweep_with(&w, &config());
+}

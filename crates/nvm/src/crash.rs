@@ -91,3 +91,61 @@ where
         self(line, pending)
     }
 }
+
+/// A plan that assigns a fixed outcome to specific cache lines and a
+/// default to every other line.
+///
+/// This is the building block of exhaustive small-model checking: a sweep
+/// driver enumerates the per-line outcome space reported by
+/// [`crate::NvmDevice::dirty_line_choices`] and materializes each
+/// combination as one `MappedPlan`.
+#[derive(Debug, Clone)]
+pub struct MappedPlan {
+    map: std::collections::HashMap<u64, LineOutcome>,
+    default: LineOutcome,
+}
+
+impl MappedPlan {
+    /// Creates an empty plan; lines without an explicit entry get `default`.
+    pub fn new(default: LineOutcome) -> Self {
+        MappedPlan { map: std::collections::HashMap::new(), default }
+    }
+
+    /// Sets the outcome for one cache line.
+    pub fn set(&mut self, line: u64, outcome: LineOutcome) {
+        self.map.insert(line, outcome);
+    }
+
+    /// Builds the `combo`-th of `∏ (pending_i + 2)` outcome combinations
+    /// over `choices` (as returned by
+    /// [`crate::NvmDevice::dirty_line_choices`]): a mixed-radix decode
+    /// where each line's digit selects `Old`, one of its `pending`
+    /// flush captures, or `New`. `combo` must be less than the product.
+    pub fn nth_combination(choices: &[(u64, usize)], mut combo: u64) -> Self {
+        let mut plan = MappedPlan::new(LineOutcome::Old);
+        for &(line, pending) in choices {
+            let radix = pending as u64 + 2;
+            let digit = combo % radix;
+            combo /= radix;
+            let outcome = match digit {
+                0 => LineOutcome::Old,
+                d if d <= pending as u64 => LineOutcome::Flushed(d as usize - 1),
+                _ => LineOutcome::New,
+            };
+            plan.set(line, outcome);
+        }
+        plan
+    }
+
+    /// The number of outcome combinations `choices` spans
+    /// (`∏ (pending_i + 2)`), saturating at `u64::MAX`.
+    pub fn combinations(choices: &[(u64, usize)]) -> u64 {
+        choices.iter().fold(1u64, |acc, &(_, p)| acc.saturating_mul(p as u64 + 2))
+    }
+}
+
+impl CrashPlan for MappedPlan {
+    fn choose(&mut self, line: u64, _pending: usize) -> LineOutcome {
+        self.map.get(&line).copied().unwrap_or(self.default)
+    }
+}

@@ -21,7 +21,7 @@ use crate::latency::LatencyModel;
 use crate::poison::PoisonSet;
 use crate::rawbuf::RawBuf;
 use crate::stats::{DeviceStats, StatsSnapshot};
-use crate::tracker::Tracker;
+use crate::tracker::{Tracker, TrackerSnapshot};
 use crate::{CACHELINE, PAGE_SIZE};
 
 /// How faithfully the device models persistence.
@@ -72,6 +72,29 @@ impl DeviceConfig {
 /// to distinguish injected crashes from real bugs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrashPoint;
+
+/// A complete checkpoint of an [`NvmDevice`]: raw bytes, dirty-line tracker
+/// state, and the poisoned-page list.
+///
+/// Captured by [`NvmDevice::snapshot`] and re-applied by
+/// [`NvmDevice::restore`]. Crash-sweep drivers use this to rewind a device
+/// to a known state between replayed crash cases without re-running the
+/// (expensive) setup workload.
+pub struct DeviceSnapshot {
+    pub(crate) bytes: Vec<u8>,
+    pub(crate) tracker: Option<TrackerSnapshot>,
+    pub(crate) poisoned: Vec<u64>,
+}
+
+impl std::fmt::Debug for DeviceSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceSnapshot")
+            .field("len", &self.bytes.len())
+            .field("tracked", &self.tracker.is_some())
+            .field("poisoned_pages", &self.poisoned.len())
+            .finish()
+    }
+}
 
 /// Window-word source for the atomic span-XOR walker: one monomorphized
 /// loop serves both a prebuilt patch and a fused `old ⊕ new` diff,
@@ -233,6 +256,18 @@ impl NvmDevice {
     /// Arms the crash-point injector: the `n`-th mutating device operation
     /// from now (0-based) panics with [`CrashPoint`], letting tests explore
     /// a power failure between any two persistence-relevant operations.
+    ///
+    /// # Re-arming semantics
+    ///
+    /// Arming **replaces** any previous countdown; the counts do not add up.
+    /// After the injected panic fires the countdown has passed zero and keeps
+    /// decrementing into negative values, so the injector is effectively
+    /// disarmed — subsequent operations run normally until the next
+    /// `arm_crash_after`. Calling it again (from a fresh catch-unwind scope)
+    /// therefore restarts the count at `n` regardless of prior state; sweep
+    /// drivers rely on this to replay one workload crashing at every
+    /// successive boundary. Use [`NvmDevice::disarm_crash`] to cancel an
+    /// armed countdown that has not fired yet.
     pub fn arm_crash_after(&self, n: u64) {
         self.crash_countdown.store(n as i64, Ordering::SeqCst);
     }
@@ -815,13 +850,12 @@ impl NvmDevice {
     ///
     /// The caller must have quiesced all other device users.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the device was built in [`PersistenceMode::Fast`], which
-    /// does not track dirty lines.
-    pub fn simulate_crash(&self, plan: &mut dyn CrashPlan) {
-        let tracker =
-            self.tracker.as_ref().expect("simulate_crash requires PersistenceMode::Precise");
+    /// Fails with [`MemError::Untracked`] if the device was built in
+    /// [`PersistenceMode::Fast`], which does not track dirty lines.
+    pub fn simulate_crash(&self, plan: &mut dyn CrashPlan) -> Result<()> {
+        let tracker = self.tracker.as_ref().ok_or(MemError::Untracked)?;
         tracker.crash_with(
             plan,
             |line| self.line_content(line),
@@ -836,12 +870,88 @@ impl NvmDevice {
                 }
             },
         );
+        Ok(())
     }
 
     /// Returns the indices of cache lines with unsettled persistence state
     /// (testing/diagnostics; empty in Fast mode).
     pub fn dirty_lines(&self) -> Vec<u64> {
         self.tracker.as_ref().map(|t| t.dirty_lines()).unwrap_or_default()
+    }
+
+    /// Returns `(line index, pending flush captures)` for every cache line
+    /// whose persistence state is still unsettled, sorted by line index
+    /// (empty in Fast mode).
+    ///
+    /// Each listed line has `pending + 2` possible crash outcomes
+    /// ([`crate::LineOutcome::Old`], `pending` distinct
+    /// [`crate::LineOutcome::Flushed`] captures,
+    /// [`crate::LineOutcome::New`]), so the full crash-outcome space of the
+    /// device is `∏ (pending_i + 2)` — the quantity exhaustive small-model
+    /// sweeps enumerate via [`crate::MappedPlan::nth_combination`].
+    pub fn dirty_line_choices(&self) -> Vec<(u64, usize)> {
+        self.tracker
+            .as_ref()
+            .map(|t| t.dirty_line_choices(|line| self.line_content(line)))
+            .unwrap_or_default()
+    }
+
+    /// Captures the complete device state — raw bytes, dirty-line tracker
+    /// state, and the poisoned-page list — into a [`DeviceSnapshot`] that
+    /// [`NvmDevice::restore`] can re-apply later.
+    ///
+    /// The copy bypasses poison checks (a snapshot is a simulator-level
+    /// checkpoint, not a load) and does not count against the crash-point
+    /// countdown. The caller must have quiesced all other device users.
+    pub fn snapshot(&self) -> DeviceSnapshot {
+        let mut bytes = vec![0u8; self.len()];
+        // SAFETY: the copy covers exactly the allocation; callers quiesce
+        // concurrent writers per the documented contract.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.buf.ptr(), bytes.as_mut_ptr(), self.len());
+        }
+        DeviceSnapshot {
+            bytes,
+            tracker: self.tracker.as_ref().map(|t| t.export()),
+            poisoned: self.poison.all(),
+        }
+    }
+
+    /// Restores the device to a previously captured [`DeviceSnapshot`]:
+    /// raw bytes, dirty-line state, and poisoned pages all revert.
+    ///
+    /// Like [`NvmDevice::snapshot`] this is a simulator-level operation: it
+    /// bypasses the store path, counts nothing against the crash countdown,
+    /// and the caller must have quiesced all other device users. The crash
+    /// countdown itself is left untouched — re-arm or disarm explicitly.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MemError::OutOfBounds`] if the snapshot was taken from a
+    /// device of a different size, and with [`MemError::Untracked`] if the
+    /// snapshot carries dirty-line state but this device was built in
+    /// [`PersistenceMode::Fast`].
+    pub fn restore(&self, snap: &DeviceSnapshot) -> Result<()> {
+        if snap.bytes.len() != self.len() {
+            return Err(MemError::OutOfBounds { off: 0, len: snap.bytes.len(), size: self.len() });
+        }
+        match (&self.tracker, &snap.tracker) {
+            (Some(tracker), Some(ts)) => tracker.import(ts),
+            (Some(tracker), None) => tracker.import(&TrackerSnapshot::default()),
+            (None, Some(_)) => return Err(MemError::Untracked),
+            (None, None) => {}
+        }
+        // SAFETY: length verified above; callers quiesce concurrent users.
+        unsafe {
+            std::ptr::copy_nonoverlapping(snap.bytes.as_ptr(), self.buf.ptr(), self.len());
+        }
+        for page in self.poison.all() {
+            self.poison.clear(page);
+        }
+        for &page in &snap.poisoned {
+            self.poison.poison(page);
+        }
+        Ok(())
     }
 
     #[inline]
@@ -867,7 +977,7 @@ impl std::fmt::Debug for NvmDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::crash::{AllNew, AllOld};
+    use crate::crash::{AllNew, AllOld, LineOutcome};
 
     fn dev(mode: PersistenceMode) -> NvmDevice {
         NvmDevice::new(64 * 1024, DeviceConfig { mode, latency: LatencyModel::disabled() }).unwrap()
@@ -899,7 +1009,7 @@ mod tests {
     fn unflushed_store_lost_on_pessimistic_crash() {
         let d = dev(PersistenceMode::Precise);
         d.write(0, &[7u8; 64]).unwrap();
-        d.simulate_crash(&mut AllOld);
+        d.simulate_crash(&mut AllOld).unwrap();
         assert_eq!(d.read_slice(0, 64).unwrap(), &[0u8; 64][..]);
     }
 
@@ -908,7 +1018,7 @@ mod tests {
         let d = dev(PersistenceMode::Precise);
         d.write(0, &[7u8; 64]).unwrap();
         d.persist(0, 64).unwrap();
-        d.simulate_crash(&mut AllOld);
+        d.simulate_crash(&mut AllOld).unwrap();
         assert_eq!(d.read_slice(0, 64).unwrap(), &[7u8; 64][..]);
     }
 
@@ -916,7 +1026,7 @@ mod tests {
     fn evicted_store_can_survive_without_flush() {
         let d = dev(PersistenceMode::Precise);
         d.write(0, &[9u8; 16]).unwrap();
-        d.simulate_crash(&mut AllNew);
+        d.simulate_crash(&mut AllNew).unwrap();
         assert_eq!(d.read_slice(0, 16).unwrap(), &[9u8; 16][..]);
     }
 
@@ -925,12 +1035,12 @@ mod tests {
         let d = dev(PersistenceMode::Precise);
         d.write_nt(128, &[3u8; 32]).unwrap();
         // Without a fence the NT store may be lost.
-        d.simulate_crash(&mut AllOld);
+        d.simulate_crash(&mut AllOld).unwrap();
         assert_eq!(d.read_slice(128, 32).unwrap(), &[0u8; 32][..]);
 
         d.write_nt(128, &[3u8; 32]).unwrap();
         d.drain();
-        d.simulate_crash(&mut AllOld);
+        d.simulate_crash(&mut AllOld).unwrap();
         assert_eq!(d.read_slice(128, 32).unwrap(), &[3u8; 32][..]);
     }
 
@@ -1039,7 +1149,7 @@ mod tests {
         d.write(0, &[1u8; 8]).unwrap();
         d.persist(0, 8).unwrap();
         d.scribble(0, &[0xBA; 8]).unwrap();
-        d.simulate_crash(&mut AllOld);
+        d.simulate_crash(&mut AllOld).unwrap();
         assert_eq!(d.read_slice(0, 8).unwrap(), &[0xBA; 8][..], "scribbles are durable");
     }
 
@@ -1063,7 +1173,145 @@ mod tests {
         let d = dev(PersistenceMode::Precise);
         d.set(64, 0xAB, 200).unwrap();
         assert_eq!(d.read_slice(64, 200).unwrap(), &[0xAB; 200][..]);
-        d.simulate_crash(&mut AllOld);
+        d.simulate_crash(&mut AllOld).unwrap();
         assert_eq!(d.read_slice(64, 200).unwrap(), &[0u8; 200][..]);
+    }
+
+    #[test]
+    fn simulate_crash_on_fast_device_is_a_typed_error() {
+        let d = dev(PersistenceMode::Fast);
+        assert_eq!(d.simulate_crash(&mut AllOld), Err(MemError::Untracked));
+    }
+
+    #[test]
+    fn snapshot_restores_bytes_dirty_state_and_poison() {
+        let d = dev(PersistenceMode::Precise);
+        // Durable data, an unsettled line with one pending flush, and a
+        // poisoned page — the full checkpointable state.
+        d.write(0, &[1u8; 64]).unwrap();
+        d.persist(0, 64).unwrap();
+        d.write(64, &[2u8; 64]).unwrap();
+        d.flush(64, 64).unwrap(); // CLWB issued, never fenced
+        d.write(64, &[3u8; 64]).unwrap(); // newer unflushed store on top
+        d.poison_page(5).unwrap();
+        let snap = d.snapshot();
+
+        // Diverge: settle everything, clear the poison, overwrite.
+        d.write(0, &[9u8; 128]).unwrap();
+        d.persist(0, 128).unwrap();
+        d.repair_page(5, &[0u8; PAGE_SIZE]).unwrap();
+        assert!(d.dirty_line_choices().is_empty());
+
+        d.restore(&snap).unwrap();
+        assert_eq!(d.read_slice(0, 64).unwrap(), &[1u8; 64][..]);
+        assert_eq!(d.read_slice(64, 64).unwrap(), &[3u8; 64][..]);
+        assert_eq!(d.poisoned_pages(), vec![5]);
+        assert_eq!(d.dirty_line_choices(), vec![(1, 1)], "pending flush survived restore");
+        // The restored dirty state replays crash outcomes exactly as the
+        // original would have: Flushed(0) picks the CLWB'd capture.
+        d.simulate_crash(&mut |_line: u64, _p: usize| LineOutcome::Flushed(0)).unwrap();
+        assert_eq!(d.read_slice(64, 64).unwrap(), &[2u8; 64][..]);
+    }
+
+    #[test]
+    fn restore_rejects_size_mismatch_and_fast_mode_tracker_state() {
+        let precise = dev(PersistenceMode::Precise);
+        precise.write(0, &[7u8; 8]).unwrap();
+        let snap = precise.snapshot();
+
+        let small = NvmDevice::new(4096, DeviceConfig::precise()).unwrap();
+        assert!(matches!(small.restore(&snap), Err(MemError::OutOfBounds { .. })));
+
+        let fast = dev(PersistenceMode::Fast);
+        assert_eq!(fast.restore(&snap), Err(MemError::Untracked));
+
+        // Fast → fast roundtrips fine (bytes + poison only).
+        let fast2 = dev(PersistenceMode::Fast);
+        fast2.write(128, b"state").unwrap();
+        let fsnap = fast2.snapshot();
+        fast2.write(128, b"xxxxx").unwrap();
+        fast2.restore(&fsnap).unwrap();
+        assert_eq!(fast2.read_slice(128, 5).unwrap(), b"state");
+    }
+
+    #[test]
+    fn arm_crash_after_rearms_from_scratch() {
+        let d = dev(PersistenceMode::Precise);
+        // Arming replaces the previous countdown rather than adding to it.
+        d.arm_crash_after(1000);
+        d.write(0, &[1u8; 8]).unwrap();
+        d.arm_crash_after(1);
+        d.write(0, &[2u8; 8]).unwrap(); // countdown 1 -> 0
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            d.write(0, &[3u8; 8]).unwrap() // fires at 0
+        }));
+        assert!(crashed.is_err());
+        assert!(crashed.unwrap_err().downcast_ref::<CrashPoint>().is_some());
+        // After firing, the countdown keeps decrementing into negatives:
+        // effectively disarmed until the next arm_crash_after.
+        d.write(0, &[4u8; 8]).unwrap();
+        d.write(0, &[5u8; 8]).unwrap();
+        assert!(d.crash_countdown() < 0);
+        // Re-arming restarts the count regardless of prior state.
+        d.arm_crash_after(0);
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            d.write(0, &[6u8; 8]).unwrap()
+        }));
+        assert!(crashed.is_err());
+        d.disarm_crash();
+        d.write(0, &[7u8; 8]).unwrap();
+    }
+
+    #[test]
+    fn dirty_line_choices_reports_outcome_space() {
+        let d = dev(PersistenceMode::Precise);
+        assert!(d.dirty_line_choices().is_empty());
+        // Settle line 2 first: its drain would otherwise fence line 1's
+        // CLWBs too (SFENCE is global, not per line).
+        d.write(128, &[4u8; 64]).unwrap();
+        d.persist(128, 64).unwrap(); // line 2: settled, not listed
+        d.write(0, &[1u8; 64]).unwrap(); // line 0: store only
+        d.write(64, &[2u8; 64]).unwrap();
+        d.flush(64, 64).unwrap(); // line 1: one pending flush
+        d.write(64, &[3u8; 64]).unwrap();
+        d.flush(64, 64).unwrap(); // line 1: two pending flushes
+        let choices = d.dirty_line_choices();
+        assert_eq!(choices, vec![(0, 0), (1, 2)]);
+        assert_eq!(crate::MappedPlan::combinations(&choices), 2 * 4);
+    }
+
+    #[test]
+    fn mapped_plan_combinations_enumerate_every_outcome() {
+        use crate::MappedPlan;
+        let choices = vec![(0u64, 0usize), (1, 2)];
+        let total = MappedPlan::combinations(&choices);
+        assert_eq!(total, 8);
+        // Decode every combination and collect the (line0, line1) outcomes.
+        let mut seen = Vec::new();
+        for c in 0..total {
+            let mut plan = MappedPlan::nth_combination(&choices, c);
+            let o0 = plan.choose(0, 0);
+            let o1 = plan.choose(1, 2);
+            assert_eq!(plan.choose(999, 0), LineOutcome::Old, "default outcome");
+            seen.push((o0, o1));
+        }
+        seen.sort_by_key(|&(a, b)| (rank(a), rank(b)));
+        seen.dedup();
+        assert_eq!(seen.len(), 8, "all combinations distinct");
+        for o1 in
+            [LineOutcome::Old, LineOutcome::Flushed(0), LineOutcome::Flushed(1), LineOutcome::New]
+        {
+            for o0 in [LineOutcome::Old, LineOutcome::New] {
+                assert!(seen.contains(&(o0, o1)), "missing {o0:?}/{o1:?}");
+            }
+        }
+
+        fn rank(o: LineOutcome) -> usize {
+            match o {
+                LineOutcome::Old => 0,
+                LineOutcome::Flushed(i) => 1 + i,
+                LineOutcome::New => usize::MAX,
+            }
+        }
     }
 }

@@ -29,6 +29,11 @@ pub enum MemError {
     },
     /// An I/O error while saving or loading a device image.
     Io(String),
+    /// A crash-simulation operation ([`crate::NvmDevice::simulate_crash`],
+    /// [`crate::NvmDevice::restore`] of a tracked snapshot) was invoked on a
+    /// device built in [`crate::PersistenceMode::Fast`], which keeps no
+    /// dirty-line state to crash or restore.
+    Untracked,
 }
 
 impl fmt::Display for MemError {
@@ -44,6 +49,12 @@ impl fmt::Display for MemError {
                 write!(f, "offset {off:#x} is not {align}-byte aligned")
             }
             MemError::Io(e) => write!(f, "image i/o error: {e}"),
+            MemError::Untracked => {
+                write!(
+                    f,
+                    "crash simulation requires PersistenceMode::Precise (dirty-line tracking)"
+                )
+            }
         }
     }
 }

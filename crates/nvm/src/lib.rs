@@ -57,8 +57,8 @@ mod poison;
 mod rawbuf;
 mod tracker;
 
-pub use crash::{AllNew, AllOld, CrashPlan, LineOutcome, RandomPlan};
-pub use device::{CrashPoint, DeviceConfig, NvmDevice, PersistenceMode};
+pub use crash::{AllNew, AllOld, CrashPlan, LineOutcome, MappedPlan, RandomPlan};
+pub use device::{CrashPoint, DeviceConfig, DeviceSnapshot, NvmDevice, PersistenceMode};
 pub use error::{MemError, Result};
 pub use latency::LatencyModel;
 pub use pod::Pod;

@@ -32,6 +32,20 @@ struct DirtyLine {
     flushed: Vec<(Box<[u8; CACHELINE]>, u64)>,
 }
 
+/// One dirty line in a [`TrackerSnapshot`]: line index, fenced base
+/// content, and the `(content, epoch)` captures of its un-fenced `CLWB`s.
+type LineSnapshot = (u64, Box<[u8; CACHELINE]>, Vec<(Box<[u8; CACHELINE]>, u64)>);
+
+/// A serialized copy of the tracker's full dirty-line state, captured by
+/// [`crate::NvmDevice::snapshot`] and re-applied by
+/// [`crate::NvmDevice::restore`] so crash-point sweeps can rewind a device
+/// to an earlier instant *including* its unsettled persistence state.
+#[derive(Default)]
+pub(crate) struct TrackerSnapshot {
+    epoch: u64,
+    lines: Vec<LineSnapshot>,
+}
+
 #[derive(Default)]
 struct Shard {
     lines: HashMap<u64, DirtyLine>,
@@ -117,6 +131,68 @@ impl Tracker {
     pub(crate) fn note_store_nt(&self, line: u64, pre: &[u8; CACHELINE], post: &[u8; CACHELINE]) {
         self.note_store(line, pre);
         self.note_flush(line, post);
+    }
+
+    /// Returns `(line, pending_flushes)` for every line that would actually
+    /// consult a [`CrashPlan`] at a crash right now — i.e. after settling
+    /// fenced flushes against the line's current content and dropping clean
+    /// entries. The per-line outcome space a crash could choose from is
+    /// exactly `{Old, Flushed(0..pending), New}`, which is what the
+    /// exhaustive small-model enumerator multiplies out.
+    ///
+    /// Settling mutates tracker state, but only by promoting already-durable
+    /// knowledge; observable crash semantics are unchanged.
+    pub(crate) fn dirty_line_choices(
+        &self,
+        mut read_current: impl FnMut(u64) -> [u8; CACHELINE],
+    ) -> Vec<(u64, usize)> {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let mut s = shard.lock();
+            s.lines.retain(|&line, entry| {
+                let current = read_current(line);
+                if Tracker::settle(entry, epoch, &current) {
+                    false
+                } else {
+                    out.push((line, entry.flushed.len()));
+                    true
+                }
+            });
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Clones the full dirty-line state (device snapshot support).
+    pub(crate) fn export(&self) -> TrackerSnapshot {
+        let mut lines = Vec::new();
+        for shard in self.shards.iter() {
+            let s = shard.lock();
+            for (&line, entry) in &s.lines {
+                lines.push((line, entry.base.clone(), {
+                    entry.flushed.iter().map(|(c, e)| (c.clone(), *e)).collect()
+                }));
+            }
+        }
+        lines.sort_unstable_by_key(|(line, ..)| *line);
+        TrackerSnapshot { epoch: self.epoch.load(Ordering::Acquire), lines }
+    }
+
+    /// Replaces the full dirty-line state with a previously exported
+    /// snapshot (device restore support).
+    pub(crate) fn import(&self, snap: &TrackerSnapshot) {
+        for shard in self.shards.iter() {
+            shard.lock().lines.clear();
+        }
+        for (line, base, flushed) in &snap.lines {
+            let entry = DirtyLine {
+                base: base.clone(),
+                flushed: flushed.iter().map(|(c, e)| (c.clone(), *e)).collect(),
+            };
+            self.shard_for(*line).lock().lines.insert(*line, entry);
+        }
+        self.epoch.store(snap.epoch, Ordering::Release);
     }
 
     /// Returns indices of currently dirty lines (testing/diagnostics).

@@ -69,7 +69,7 @@ fn run_history(ops: &[Op], plan_seed: u64) {
     }
 
     let mut plan = RandomPlan::seeded(plan_seed);
-    dev.simulate_crash(&mut plan);
+    dev.simulate_crash(&mut plan).unwrap();
 
     for (i, m) in model.iter().enumerate() {
         let got = dev.read_slice(i as u64 * CACHELINE as u64, CACHELINE).unwrap();
@@ -115,7 +115,7 @@ proptest! {
             dev.persist(off, CACHELINE).unwrap();
         }
         let mut plan = RandomPlan::seeded(seed);
-        dev.simulate_crash(&mut plan);
+        dev.simulate_crash(&mut plan).unwrap();
         for (i, v) in vals.iter().enumerate() {
             let got = dev.read_slice(i as u64 * CACHELINE as u64, CACHELINE).unwrap();
             prop_assert!(got.iter().all(|b| b == v), "fenced line {i} lost data");
@@ -132,13 +132,13 @@ fn all_old_and_all_new_are_the_extremes() {
     dev.write(64, &[3u8; 64]).unwrap(); // dirty, unflushed
 
     // AllOld: both unflushed writes vanish.
-    dev.simulate_crash(&mut AllOld);
+    dev.simulate_crash(&mut AllOld).unwrap();
     assert_eq!(dev.read_slice(0, 1).unwrap()[0], 1);
     assert_eq!(dev.read_slice(64, 1).unwrap()[0], 0);
 
     // AllNew: everything sticks.
     dev.write(0, &[4u8; 64]).unwrap();
-    dev.simulate_crash(&mut AllNew);
+    dev.simulate_crash(&mut AllNew).unwrap();
     assert_eq!(dev.read_slice(0, 1).unwrap()[0], 4);
 }
 
@@ -152,6 +152,6 @@ fn flushed_unfenced_line_can_persist_flushed_content() {
         assert_eq!(pending, 1);
         LineOutcome::Flushed(0)
     };
-    dev.simulate_crash(&mut plan);
+    dev.simulate_crash(&mut plan).unwrap();
     assert_eq!(dev.read_slice(0, 1).unwrap()[0], 0xAA);
 }

@@ -58,7 +58,7 @@ fn crash_at(
         }
     };
     drop(pool);
-    dev.simulate_crash(&mut RandomPlan::seeded(seed));
+    dev.simulate_crash(&mut RandomPlan::seeded(seed)).unwrap();
     let pool = PmemPool::open(dev).expect("recovery must always succeed");
     verify(&pool, oid, crashed);
 }
@@ -186,7 +186,7 @@ fn aborted_tx_then_crash_leaves_old_state() {
         Err(ObjError::Aborted("test".into()))
     });
     drop(pool);
-    dev.simulate_crash(&mut RandomPlan::seeded(7));
+    dev.simulate_crash(&mut RandomPlan::seeded(7)).unwrap();
     let pool = PmemPool::open(dev).unwrap();
     let mut buf = [0u8; 64];
     pool.read(PMEMoid::new(pool.uuid(), oid.off), 0, &mut buf).unwrap();
@@ -215,7 +215,7 @@ fn double_crash_during_recovery_is_idempotent() {
     }));
     dev.disarm_crash();
     drop(pool);
-    dev.simulate_crash(&mut RandomPlan::seeded(1));
+    dev.simulate_crash(&mut RandomPlan::seeded(1)).unwrap();
 
     // First recovery attempt crashes partway.
     for k in 0..60 {
@@ -230,7 +230,7 @@ fn double_crash_during_recovery_is_idempotent() {
             return;
         }
         drop(attempt);
-        dev.simulate_crash(&mut RandomPlan::seeded(k + 100));
+        dev.simulate_crash(&mut RandomPlan::seeded(k + 100)).unwrap();
         // Final recovery must succeed and restore atomicity.
         let pool = PmemPool::open(dev.clone()).expect("second recovery succeeds");
         let mut buf = [0u8; OBJ_SIZE as usize];

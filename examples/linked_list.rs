@@ -77,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     dev.disarm_crash();
     let _ = std::panic::take_hook();
     drop(pool);
-    dev.simulate_crash(&mut RandomPlan::seeded(7));
+    dev.simulate_crash(&mut RandomPlan::seeded(7)).unwrap();
     let pool = PglPool::options().open(dev)?;
     let root: PObj<Head> = pool.typed_root()?;
     let list = collect(&pool, root)?;

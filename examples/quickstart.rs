@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Power failure: everything committed survives; the pool recovers on
     // open (redo replay + parity recomputation).
     drop(pool);
-    dev.simulate_crash(&mut AllOld);
+    dev.simulate_crash(&mut AllOld).unwrap();
     let pool = PglPool::options().open(dev)?;
     let root: PObj<Greeting> = pool.typed_root()?;
     let g = pool.get_verified(root)?;

@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Power failure: everything committed survives; the pool recovers on
     // open (redo replay + parity recomputation).
     drop(pool);
-    dev.simulate_crash(&mut AllOld);
+    dev.simulate_crash(&mut AllOld).unwrap();
     let pool = PglPool::options().open(dev)?;
     let data = pool.read_verified(pangolin::PMEMoid::new(pool.uuid(), oid.off))?;
     println!("after crash + recovery: {:?}", std::str::from_utf8(&data[..22])?);

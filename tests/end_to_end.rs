@@ -50,7 +50,7 @@ fn kv_store_survives_crash_mid_operation() {
     let _ = panic::catch_unwind(AssertUnwindSafe(|| map.insert(&store, 300, 301)));
     dev.disarm_crash();
     drop(store);
-    dev.simulate_crash(&mut RandomPlan::seeded(42));
+    dev.simulate_crash(&mut RandomPlan::seeded(42)).unwrap();
 
     let pool = PglPool::options().open(dev).unwrap();
     assert!(pool.verify_parity().unwrap());
@@ -182,7 +182,7 @@ fn crash_then_corruption_then_recovery_chain() {
         assert!(p.downcast_ref::<CrashPoint>().is_some());
     }
     drop(pool);
-    dev.simulate_crash(&mut RandomPlan::seeded(3));
+    dev.simulate_crash(&mut RandomPlan::seeded(3)).unwrap();
 
     let pool = PglPool::options().open(dev.clone()).unwrap();
     let first = pool.get_verified(h).unwrap();
