@@ -25,7 +25,7 @@ use std::time::Instant;
 use pgl_bench::{fmt_rate, make_store, print_table, AnyStore, Args, Mode};
 use pgl_kv::ctree::CTree;
 use pgl_kv::store::Store;
-use pgl_kv::workload::{concurrent_mixed_phase, random_keys};
+use pgl_kv::workload::{concurrent_mixed_phase, random_keys, raw_mix_op, RawOp};
 use pgl_pmemobj::PMEMoid;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -39,8 +39,8 @@ fn worker(store: &AnyStore, oids: &mut Vec<PMEMoid>, ops: usize, seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let payload = vec![seed as u8; OBJ_SIZE as usize];
     for i in 0..ops {
-        match i % 8 {
-            0 => {
+        match raw_mix_op(i) {
+            RawOp::Alloc => {
                 let oid = store
                     .txn(&mut |tx| {
                         let oid = tx.alloc(OBJ_SIZE, 7)?;
@@ -50,13 +50,13 @@ fn worker(store: &AnyStore, oids: &mut Vec<PMEMoid>, ops: usize, seed: u64) {
                     .expect("alloc txn");
                 oids.push(oid);
             }
-            1 => {
+            RawOp::Free => {
                 if oids.len() > PER_THREAD_OBJECTS {
                     let victim = oids.swap_remove(rng.gen_range(0..oids.len()));
                     store.txn(&mut |tx| tx.free(victim)).expect("free txn");
                 }
             }
-            _ => {
+            RawOp::Overwrite => {
                 let oid = oids[rng.gen_range(0..oids.len())];
                 store.txn(&mut |tx| tx.write_bytes(oid, 0, &payload)).expect("overwrite txn");
             }

@@ -772,6 +772,56 @@ impl PglPool {
         }
     }
 
+    /// Runs `n` logical transactions as **one group commit**: a single
+    /// lane, a single micro-buffered transaction, and therefore a single
+    /// redo-log persist, commit fence, and parity-patch window for the
+    /// whole batch — the amortization the network service's batcher is
+    /// built on. `f` is called with `0..n`; results are returned in order.
+    ///
+    /// Semantics are all-or-nothing: if any body fails, the whole batch
+    /// aborts (no earlier body's effects survive) and the error is
+    /// returned. A crash during the batch recovers to *either* none or all
+    /// of the batch — never a partially applied body — because the batch
+    /// shares one commit record; callers that need per-transaction error
+    /// isolation re-run the bodies individually on failure.
+    ///
+    /// Bodies observe read-your-writes across the batch (they share the
+    /// transaction's micro-buffers), so a later body sees an earlier
+    /// body's writes exactly as if the transactions had committed
+    /// back-to-back. The paper's §3.4 rule still applies between
+    /// *concurrent* batches: no two in-flight batches may modify the same
+    /// object.
+    pub fn tx_batch<R>(
+        &self,
+        n: usize,
+        mut f: impl FnMut(usize, &mut PglTx<'_>) -> Result<R>,
+    ) -> Result<Vec<R>> {
+        let inner = &*self.inner;
+        while inner.freeze.is_frozen() {
+            std::thread::yield_now();
+        }
+        let lane = inner.lanes.claim(&inner.io);
+        let mut tx = PglTx::new(inner, lane);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            match f(i, &mut tx) {
+                Ok(r) => out.push(r),
+                Err(e) => {
+                    tx.abort()?;
+                    inner.counters.aborts.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+            }
+        }
+        tx.commit()?;
+        inner.io.dev().note_group_commit(n as u64);
+        let scrub_due = inner.note_commit();
+        if scrub_due {
+            self.trigger_scrub()?;
+        }
+        Ok(out)
+    }
+
     fn trigger_scrub(&self) -> Result<()> {
         if let Some(txc) = &self.inner.background_scrub {
             let _ = txc.try_send(()); // a pass is already queued if full

@@ -260,6 +260,135 @@ impl BTree {
         }
     }
 
+    /// Insert inside an already-open transaction — the group-commit
+    /// batcher drives many of these through one [`crate::store::Store::txn_batch`]
+    /// commit. Returns the previous value, if any.
+    pub fn insert_tx(&self, tx: &mut dyn TxOps, key: u64, value: u64) -> KvResult<Option<u64>> {
+        let anchor = self.anchor_h();
+        let root_fld = field!(BAnchor, root: PObj<BNode>);
+        let mut root: PObj<BNode> = tx.read_at(anchor, root_fld)?;
+        if root.is_null() {
+            let h = tx.alloc_obj_zeroed::<BNode>()?;
+            let mut node = BNode::empty();
+            node.n = 1;
+            node.items[0] = Item { key, value, pad: 0 };
+            write_node(tx, h, &node)?;
+            tx.write_at(anchor, root_fld, &h)?;
+            Self::bump_count(tx, anchor, 1)?;
+            return Ok(None);
+        }
+        // Pre-emptive root split.
+        if read_node(tx, root)?.n as usize == MAX_ITEMS {
+            let new_root = tx.alloc_obj_zeroed::<BNode>()?;
+            let mut nr = BNode::empty();
+            nr.children[0] = root;
+            Self::split_child(tx, new_root, &mut nr, 0)?;
+            tx.write_at(anchor, root_fld, &new_root)?;
+            root = new_root;
+        }
+        let mut cur = root;
+        loop {
+            let mut node = read_node(tx, cur)?;
+            let i = node.lower_bound(key);
+            if i < node.n as usize && node.items[i].key == key {
+                let old = node.items[i].value;
+                node.items[i].value = value;
+                write_node(tx, cur, &node)?;
+                return Ok(Some(old));
+            }
+            if node.is_leaf() {
+                node.insert_item_at(i, Item { key, value, pad: 0 });
+                write_node(tx, cur, &node)?;
+                Self::bump_count(tx, anchor, 1)?;
+                return Ok(None);
+            }
+            let child = node.children[i];
+            if read_node(tx, child)?.n as usize == MAX_ITEMS {
+                Self::split_child(tx, cur, &mut node, i)?;
+                // The promoted median may be the key, or shift the path.
+                if node.items[i].key == key {
+                    let old = node.items[i].value;
+                    node.items[i].value = value;
+                    write_node(tx, cur, &node)?;
+                    return Ok(Some(old));
+                }
+                cur = if key > node.items[i].key { node.children[i + 1] } else { node.children[i] };
+            } else {
+                cur = child;
+            }
+        }
+    }
+
+    /// Remove inside an already-open transaction (batched counterpart of
+    /// [`PersistentMap::remove`]). Returns the removed value, if any.
+    pub fn remove_tx(&self, tx: &mut dyn TxOps, key: u64) -> KvResult<Option<u64>> {
+        let anchor = self.anchor_h();
+        let root_fld = field!(BAnchor, root: PObj<BNode>);
+        let root: PObj<BNode> = tx.read_at(anchor, root_fld)?;
+        if root.is_null() {
+            return Ok(None);
+        }
+        let removed = Self::delete_from(tx, root, key)?;
+        if removed.is_some() {
+            Self::bump_count(tx, anchor, -1)?;
+        }
+        // Shrink the root if it emptied out. This can happen even on an
+        // unsuccessful remove: the rebalance-before-descend pass may
+        // merge the root's last two children.
+        let r = read_node(tx, root)?;
+        if r.n == 0 {
+            let new_root = if r.is_leaf() { PObj::null() } else { r.children[0] };
+            tx.write_at(anchor, root_fld, &new_root)?;
+            tx.free_obj(root)?;
+        }
+        Ok(removed)
+    }
+
+    /// Ordered range scan: appends up to `limit` `(key, value)` pairs with
+    /// `key >= start`, ascending, using direct (transaction-free) reads
+    /// like [`PersistentMap::get`]. Serves the service's SCAN verb; per
+    /// the §3.4 rule the caller must not race it with writers of the same
+    /// map (the service's shards are single-writer, so the owning worker
+    /// scans safely).
+    pub fn scan<S: Store>(
+        &self,
+        store: &S,
+        start: u64,
+        limit: usize,
+        out: &mut Vec<(u64, u64)>,
+    ) -> KvResult<()> {
+        fn walk<S: Store>(
+            store: &S,
+            h: PObj<BNode>,
+            start: u64,
+            limit: usize,
+            out: &mut Vec<(u64, u64)>,
+        ) -> KvResult<()> {
+            if h.is_null() || out.len() >= limit {
+                return Ok(());
+            }
+            let node: BNode = store.get_obj_direct(h)?;
+            let n = node.n as usize;
+            // Children before the lower bound hold only keys < start.
+            for i in node.lower_bound(start)..n {
+                if !node.is_leaf() {
+                    walk(store, node.children[i], start, limit, out)?;
+                }
+                if out.len() >= limit {
+                    return Ok(());
+                }
+                out.push((node.items[i].key, node.items[i].value));
+            }
+            if !node.is_leaf() {
+                walk(store, node.children[n], start, limit, out)?;
+            }
+            Ok(())
+        }
+        let root: PObj<BNode> =
+            store.read_at_direct(self.anchor_h(), field!(BAnchor, root: PObj<BNode>))?;
+        walk(store, root, start, limit, out)
+    }
+
     /// Recursive delete; every entered node has at least `T` items (except
     /// the root).
     fn delete_from(tx: &mut dyn TxOps, node_h: PObj<BNode>, key: u64) -> KvResult<Option<u64>> {
@@ -320,90 +449,11 @@ impl PersistentMap for BTree {
     }
 
     fn insert<S: Store>(&self, store: &S, key: u64, value: u64) -> KvResult<Option<u64>> {
-        let anchor = self.anchor_h();
-        store.txn(&mut |tx| {
-            let root_fld = field!(BAnchor, root: PObj<BNode>);
-            let mut root: PObj<BNode> = tx.read_at(anchor, root_fld)?;
-            if root.is_null() {
-                let h = tx.alloc_obj_zeroed::<BNode>()?;
-                let mut node = BNode::empty();
-                node.n = 1;
-                node.items[0] = Item { key, value, pad: 0 };
-                write_node(tx, h, &node)?;
-                tx.write_at(anchor, root_fld, &h)?;
-                Self::bump_count(tx, anchor, 1)?;
-                return Ok(None);
-            }
-            // Pre-emptive root split.
-            if read_node(tx, root)?.n as usize == MAX_ITEMS {
-                let new_root = tx.alloc_obj_zeroed::<BNode>()?;
-                let mut nr = BNode::empty();
-                nr.children[0] = root;
-                Self::split_child(tx, new_root, &mut nr, 0)?;
-                tx.write_at(anchor, root_fld, &new_root)?;
-                root = new_root;
-            }
-            let mut cur = root;
-            loop {
-                let mut node = read_node(tx, cur)?;
-                let i = node.lower_bound(key);
-                if i < node.n as usize && node.items[i].key == key {
-                    let old = node.items[i].value;
-                    node.items[i].value = value;
-                    write_node(tx, cur, &node)?;
-                    return Ok(Some(old));
-                }
-                if node.is_leaf() {
-                    node.insert_item_at(i, Item { key, value, pad: 0 });
-                    write_node(tx, cur, &node)?;
-                    Self::bump_count(tx, anchor, 1)?;
-                    return Ok(None);
-                }
-                let child = node.children[i];
-                if read_node(tx, child)?.n as usize == MAX_ITEMS {
-                    Self::split_child(tx, cur, &mut node, i)?;
-                    // The promoted median may be the key, or shift the path.
-                    if node.items[i].key == key {
-                        let old = node.items[i].value;
-                        node.items[i].value = value;
-                        write_node(tx, cur, &node)?;
-                        return Ok(Some(old));
-                    }
-                    cur = if key > node.items[i].key {
-                        node.children[i + 1]
-                    } else {
-                        node.children[i]
-                    };
-                } else {
-                    cur = child;
-                }
-            }
-        })
+        store.txn(&mut |tx| self.insert_tx(tx, key, value))
     }
 
     fn remove<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>> {
-        let anchor = self.anchor_h();
-        store.txn(&mut |tx| {
-            let root_fld = field!(BAnchor, root: PObj<BNode>);
-            let root: PObj<BNode> = tx.read_at(anchor, root_fld)?;
-            if root.is_null() {
-                return Ok(None);
-            }
-            let removed = Self::delete_from(tx, root, key)?;
-            if removed.is_some() {
-                Self::bump_count(tx, anchor, -1)?;
-            }
-            // Shrink the root if it emptied out. This can happen even on an
-            // unsuccessful remove: the rebalance-before-descend pass may
-            // merge the root's last two children.
-            let r = read_node(tx, root)?;
-            if r.n == 0 {
-                let new_root = if r.is_leaf() { PObj::null() } else { r.children[0] };
-                tx.write_at(anchor, root_fld, &new_root)?;
-                tx.free_obj(root)?;
-            }
-            Ok(removed)
-        })
+        store.txn(&mut |tx| self.remove_tx(tx, key))
     }
 
     fn get<S: Store>(&self, store: &S, key: u64) -> KvResult<Option<u64>> {

@@ -22,8 +22,9 @@ use pangolin::crashcheck::{CrashWorkload, SweepCtx};
 use pangolin::{PglError, PglPool};
 use pgl_pmemobj::PMEMoid;
 
+use crate::btree::{self, BTree};
 use crate::maps::PersistentMap;
-use crate::store::{KvError, KvResult, PglStore, Store};
+use crate::store::{BatchOp, KvError, KvResult, PglStore, Store};
 
 /// One scripted map operation; each runs as its own transaction and ends
 /// with a commit point.
@@ -123,6 +124,169 @@ impl<M: PersistentMap> MapCrashWorkload<M> {
         keys.sort_unstable();
         keys.dedup();
         keys
+    }
+}
+
+/// A [`CrashWorkload`] driving **group commits**: each script step is a
+/// whole batch of B-tree operations executed inside one batched
+/// transaction ([`Store::txn_batch`] — one redo-log persist, one commit
+/// fence, one parity-patch window for the batch), followed by a commit
+/// point.
+///
+/// The sweep driver crashes at every device-op boundary inside the
+/// batches; verification proves the service-level group-commit guarantee:
+/// the recovered map always equals the model replayed to a prefix of
+/// **whole batches** — a crash mid-batch rolls the entire batch back,
+/// never exposing a partially applied group.
+pub struct BatchCrashWorkload {
+    prefill: Vec<(u64, u64)>,
+    batches: Vec<Vec<MapOp>>,
+}
+
+impl Default for BatchCrashWorkload {
+    fn default() -> Self {
+        BatchCrashWorkload::new()
+    }
+}
+
+impl BatchCrashWorkload {
+    /// The default script: three batches mixing growth, in-place updates,
+    /// and removals against the shared prefill, so crashes land inside
+    /// multi-operation redo logs that splice several tree paths at once.
+    pub fn new() -> Self {
+        BatchCrashWorkload {
+            prefill: vec![(1, 100), (2, 200), (3, 300), (5, 500), (0xFFFF_FF00_0000_0007, 700)],
+            batches: vec![
+                vec![MapOp::Insert(4, 400), MapOp::Insert(6, 600), MapOp::Update(2, 201)],
+                vec![MapOp::Remove(1), MapOp::Insert(7, 700), MapOp::Update(3, 301)],
+                vec![
+                    MapOp::Insert(8, 800),
+                    MapOp::Remove(5),
+                    MapOp::Update(4, 401),
+                    MapOp::Insert(9, 900),
+                ],
+            ],
+        }
+    }
+
+    /// Replaces the batch script.
+    pub fn with_batches(mut self, batches: Vec<Vec<MapOp>>) -> Self {
+        self.batches = batches;
+        self
+    }
+
+    fn attach(&self, store: &PglStore) -> pangolin::Result<BTree> {
+        let root = store.root(ANCHOR_ROOT_SIZE, 0).map_err(pgl)?;
+        let off: u64 = store.read_pod_direct(root, 0).map_err(pgl)?;
+        if off == 0 {
+            return Err(PglError::Config("map anchor missing from pool root".into()));
+        }
+        Ok(BTree::from_anchor(PMEMoid::new(store.uuid(), off)))
+    }
+
+    /// The in-DRAM model after `committed` whole batches.
+    fn model_after(&self, committed: usize) -> BTreeMap<u64, u64> {
+        let mut model: BTreeMap<u64, u64> = self.prefill.iter().copied().collect();
+        for op in self.batches[..committed].iter().flatten() {
+            match *op {
+                MapOp::Insert(k, v) | MapOp::Update(k, v) => {
+                    model.insert(k, v);
+                }
+                MapOp::Remove(k) => {
+                    model.remove(&k);
+                }
+            }
+        }
+        model
+    }
+
+    fn all_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.prefill.iter().map(|&(k, _)| k).collect();
+        for op in self.batches.iter().flatten() {
+            keys.push(match *op {
+                MapOp::Insert(k, _) | MapOp::Update(k, _) | MapOp::Remove(k) => k,
+            });
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+}
+
+impl CrashWorkload for BatchCrashWorkload {
+    fn name(&self) -> &str {
+        "kv-crash-group-commit"
+    }
+
+    fn setup(&self, pool: &PglPool) -> pangolin::Result<()> {
+        let store = PglStore::new(pool.clone());
+        let map = BTree::create(&store).map_err(pgl)?;
+        for &(k, v) in &self.prefill {
+            map.insert(&store, k, v).map_err(pgl)?;
+        }
+        let root = store.root(ANCHOR_ROOT_SIZE, 0).map_err(pgl)?;
+        let off = map.anchor().off;
+        store.txn(&mut |tx| tx.write_pod(root, 0, &off)).map_err(pgl)?;
+        Ok(())
+    }
+
+    fn run(&self, pool: &PglPool, ctx: &mut SweepCtx) -> pangolin::Result<()> {
+        let store = PglStore::new(pool.clone());
+        let map = self.attach(&store)?;
+        for batch in &self.batches {
+            let map = &map;
+            let mut ops: Vec<BatchOp<'_>> = batch
+                .iter()
+                .map(|&op| -> BatchOp<'_> {
+                    match op {
+                        MapOp::Insert(k, v) | MapOp::Update(k, v) => {
+                            Box::new(move |tx| map.insert_tx(tx, k, v))
+                        }
+                        MapOp::Remove(k) => Box::new(move |tx| map.remove_tx(tx, k)),
+                    }
+                })
+                .collect();
+            for result in store.txn_batch(&mut ops) {
+                result.map_err(pgl)?;
+            }
+            ctx.commit_point(pool)?;
+        }
+        Ok(())
+    }
+
+    fn verify(&self, pool: &PglPool, committed: usize) -> pangolin::Result<()> {
+        let store = PglStore::new(pool.clone());
+        let map = self.attach(&store)?;
+        let model = self.model_after(committed);
+
+        // Whole-batch atomicity: every touched key agrees with the model
+        // replayed to the committed batch boundary — a partially applied
+        // batch would disagree on at least one key of the torn batch.
+        for k in self.all_keys() {
+            let got = map.get(&store, k).map_err(pgl)?;
+            let want = model.get(&k).copied();
+            if got != want {
+                return Err(PglError::Config(format!(
+                    "group commit: key {k:#x} = {got:?} after {committed} committed batches, \
+                     model says {want:?}",
+                )));
+            }
+        }
+        let len = map.len(&store).map_err(pgl)?;
+        if len != model.len() as u64 {
+            return Err(PglError::Config(format!(
+                "group commit: len {len} != model {}",
+                model.len()
+            )));
+        }
+        let counted = btree::check_invariants(&map, &store).map_err(pgl)?;
+        if counted != model.len() as u64 {
+            return Err(PglError::Config(format!(
+                "group commit: invariant walk counted {counted}, model {}",
+                model.len()
+            )));
+        }
+        Ok(())
     }
 }
 

@@ -159,6 +159,13 @@ impl dyn TxOps + '_ {
     }
 }
 
+/// One logical transaction's work inside a batched (group) commit: each
+/// body runs against the shared transaction and returns the service's
+/// optional `u64` payload (a looked-up value, a PUT's old value, …).
+///
+/// See [`Store::txn_batch`].
+pub type BatchOp<'a> = Box<dyn FnMut(&mut dyn TxOps) -> KvResult<Option<u64>> + 'a>;
+
 /// A persistent object store a data structure can live in.
 ///
 /// # Thread safety
@@ -220,6 +227,22 @@ pub trait Store: Send + Sync {
         &self,
         f: &mut dyn FnMut(&mut dyn TxOps) -> KvResult<R>,
     ) -> KvResult<(R, TxStats)>;
+
+    /// Runs every body in `ops` transactionally, returning per-body
+    /// results in order — the group-commit entry point the network
+    /// service's batcher drives.
+    ///
+    /// The default implementation runs one transaction per body (the
+    /// unbatched baseline). [`PglStore`] overrides it to commit the whole
+    /// batch as **one** Pangolin transaction — one redo-log persist, one
+    /// commit fence, one parity-patch window for the batch — falling back
+    /// to per-body transactions if the batched attempt fails, so error
+    /// isolation matches the default exactly. Either way, a body only
+    /// reports `Ok` once its effects are (or will atomically become)
+    /// durable, and a crash never exposes a partially applied body.
+    fn txn_batch(&self, ops: &mut [BatchOp<'_>]) -> Vec<KvResult<Option<u64>>> {
+        ops.iter_mut().map(|op| self.txn(&mut |tx| op(tx))).collect()
+    }
 
     /// Direct (transaction-free) read — `pgl_get`-style for Pangolin,
     /// a plain DAX load for the baseline.
@@ -455,6 +478,23 @@ impl Store for PglStore {
                 Ok(pair)
             }
             Err(e) => Err(kv_err.unwrap_or(KvError::Pgl(e))),
+        }
+    }
+
+    fn txn_batch(&self, ops: &mut [BatchOp<'_>]) -> Vec<KvResult<Option<u64>>> {
+        if ops.len() < 2 {
+            return ops.iter_mut().map(|op| self.txn(&mut |tx| op(tx))).collect();
+        }
+        let batched = self.pool.tx_batch(ops.len(), |i, tx| {
+            let mut w = PglTxOps(tx);
+            (ops[i])(&mut w).map_err(|e| PglError::Unrecoverable(e.to_string()))
+        });
+        match batched {
+            Ok(results) => results.into_iter().map(Ok).collect(),
+            // The all-or-nothing batch aborted and rolled every body's
+            // effects back; re-run the bodies as individual transactions
+            // so per-body errors come out exactly as unbatched.
+            Err(_) => ops.iter_mut().map(|op| self.txn(&mut |tx| op(tx))).collect(),
         }
     }
 

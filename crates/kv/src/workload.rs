@@ -58,6 +58,197 @@ impl PhaseStats {
     }
 }
 
+/// A seeded zipfian rank sampler: rank 0 is the hottest, with weight
+/// `1/(rank+1)^theta`. Sampling is a binary search over the precomputed
+/// CDF (the vendored `rand` shim has no zipfian distribution, so the
+/// table is built by hand once per workload).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over ranks `0..n` with skew `theta` (`0.99` is the
+    /// YCSB-standard default; `0.0` degrades to uniform).
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "zipf over an empty rank set");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(theta);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// One step of the shuffled insert/remove scheduler. See [`MixedOps`].
+#[derive(Debug, Clone, Copy)]
+pub enum MixedOp {
+    /// Insert the offered key.
+    Insert(u64),
+    /// Remove a previously inserted (still-live) key.
+    Remove(u64),
+}
+
+/// The live-set insert/remove scheduler shared by [`mixed_phase`],
+/// [`concurrent_mixed_phase`] and the service load driver: each step
+/// either removes a random live key (with probability `remove_ratio`,
+/// once any are live) or inserts the next offered key.
+#[derive(Debug)]
+pub struct MixedOps {
+    rng: StdRng,
+    live: Vec<u64>,
+    remove_ratio: f64,
+}
+
+impl MixedOps {
+    /// A scheduler with the given removal probability and RNG seed.
+    pub fn new(remove_ratio: f64, seed: u64) -> MixedOps {
+        MixedOps { rng: StdRng::seed_from_u64(seed), live: Vec::new(), remove_ratio }
+    }
+
+    /// Schedules the next step, offering `key` as the insert candidate.
+    pub fn next(&mut self, key: u64) -> MixedOp {
+        if !self.live.is_empty() && self.rng.gen_bool(self.remove_ratio) {
+            let idx = self.rng.gen_range(0..self.live.len());
+            MixedOp::Remove(self.live.swap_remove(idx))
+        } else {
+            self.live.push(key);
+            MixedOp::Insert(key)
+        }
+    }
+
+    /// Consumes the scheduler, returning the still-live keys shuffled by
+    /// its own RNG (the sequential driver's historical tail behavior).
+    pub fn into_live_shuffled(mut self) -> Vec<u64> {
+        self.live.shuffle(&mut self.rng);
+        self.live
+    }
+}
+
+/// One step of the raw alloc/overwrite/free object mix the Figure 9
+/// scaling bench drives: an allocation every 8th transaction, a free
+/// every 8th (once the working set is warm), overwrites otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RawOp {
+    /// Allocate a fresh object and write it.
+    Alloc,
+    /// Free one previously allocated object.
+    Free,
+    /// Overwrite an existing object.
+    Overwrite,
+}
+
+/// The deterministic raw-mix schedule (step `i` of a thread's loop),
+/// extracted from `fig9_scaling` so the scaling bench and the service
+/// load driver share one scheduler.
+pub fn raw_mix_op(i: usize) -> RawOp {
+    match i % 8 {
+        0 => RawOp::Alloc,
+        1 => RawOp::Free,
+        _ => RawOp::Overwrite,
+    }
+}
+
+/// One client request of a service [`Workload`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadOp {
+    /// Point lookup.
+    Get(u64),
+    /// Insert / overwrite.
+    Put(u64, u64),
+    /// Delete.
+    Del(u64),
+    /// Ordered range scan: `(start_key, limit)`.
+    Scan(u64, u32),
+}
+
+/// Relative operation weights of a service [`Workload`].
+#[derive(Debug, Clone, Copy)]
+pub struct OpMix {
+    /// GET weight.
+    pub get: u32,
+    /// PUT weight.
+    pub put: u32,
+    /// DEL weight.
+    pub del: u32,
+    /// SCAN weight.
+    pub scan: u32,
+}
+
+impl OpMix {
+    /// The load driver's default: read-heavy with a write tail
+    /// (75% GET / 20% PUT / 4% DEL / 1% SCAN).
+    pub fn read_heavy() -> OpMix {
+        OpMix { get: 75, put: 20, del: 4, scan: 1 }
+    }
+
+    /// Write-heavy mix for group-commit stress (70% PUT / 20% GET /
+    /// 10% DEL).
+    pub fn write_heavy() -> OpMix {
+        OpMix { get: 20, put: 70, del: 10, scan: 0 }
+    }
+
+    fn total(&self) -> u32 {
+        self.get + self.put + self.del + self.scan
+    }
+}
+
+/// A reusable client workload: zipfian key popularity over a bounded
+/// keyspace plus a weighted GET/PUT/DEL/SCAN mix. One `Workload` is
+/// shared (immutably) by every simulated client; each client draws with
+/// its own seeded RNG, so runs are deterministic per client.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    keys: Vec<u64>,
+    zipf: Zipf,
+    mix: OpMix,
+}
+
+impl Workload {
+    /// A zipfian workload over `n_keys` distinct random keys (hotness
+    /// rank-ordered by [`random_keys`] position) with skew `theta`.
+    pub fn zipfian(n_keys: usize, theta: f64, mix: OpMix, seed: u64) -> Workload {
+        assert!(mix.total() > 0, "workload op mix has zero total weight");
+        Workload { keys: random_keys(n_keys, seed), zipf: Zipf::new(n_keys, theta), mix }
+    }
+
+    /// The key universe (rank order: hottest first).
+    pub fn keyspace(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Draws one key by zipfian popularity.
+    pub fn key(&self, rng: &mut StdRng) -> u64 {
+        self.keys[self.zipf.sample(rng)]
+    }
+
+    /// Draws one client request: a weighted op kind over a zipfian key.
+    pub fn next_op(&self, rng: &mut StdRng) -> WorkloadOp {
+        let k = self.key(rng);
+        let r = rng.gen_range(0..self.mix.total());
+        if r < self.mix.get {
+            WorkloadOp::Get(k)
+        } else if r < self.mix.get + self.mix.put {
+            WorkloadOp::Put(k, k ^ 0xFEED_FACE)
+        } else if r < self.mix.get + self.mix.put + self.mix.del {
+            WorkloadOp::Del(k)
+        } else {
+            WorkloadOp::Scan(k, 16)
+        }
+    }
+}
+
 /// Generates `n` distinct pseudo-random keys (uniform, seeded).
 pub fn random_keys(n: usize, seed: u64) -> Vec<u64> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -132,24 +323,18 @@ pub fn mixed_phase<M: PersistentMap, S: Store>(
     remove_ratio: f64,
     seed: u64,
 ) -> KvResult<PhaseStats> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut live: Vec<u64> = Vec::new();
+    let mut sched = MixedOps::new(remove_ratio, seed);
     let mut stats = PhaseStats::default();
     let start = std::time::Instant::now();
     for &k in keys {
-        if !live.is_empty() && rng.gen_bool(remove_ratio) {
-            let idx = rng.gen_range(0..live.len());
-            let victim = live.swap_remove(idx);
-            let (_, tx) = map.remove_with_stats(store, victim)?;
-            stats.tx.accumulate(&tx);
-        } else {
-            let (_, tx) = map.insert_with_stats(store, k, k)?;
-            stats.tx.accumulate(&tx);
-            live.push(k);
-        }
+        let (_, tx) = match sched.next(k) {
+            MixedOp::Remove(victim) => map.remove_with_stats(store, victim)?,
+            MixedOp::Insert(k) => map.insert_with_stats(store, k, k)?,
+        };
+        stats.tx.accumulate(&tx);
         stats.ops += 1;
     }
-    live.shuffle(&mut rng);
+    let _ = sched.into_live_shuffled();
     stats.secs = start.elapsed().as_secs_f64();
     Ok(stats)
 }
@@ -189,16 +374,12 @@ pub fn concurrent_mixed_phase<M: PersistentMap + Send + Sync, S: Store + Clone>(
     seed: u64,
 ) -> KvResult<PhaseStats> {
     concurrent_phase(store, keys, threads, move |map: &M, store: &S, part| {
-        let mut rng = StdRng::seed_from_u64(seed ^ part.first().copied().unwrap_or(0));
-        let mut live: Vec<u64> = Vec::new();
+        let mut sched = MixedOps::new(remove_ratio, seed ^ part.first().copied().unwrap_or(0));
         for &k in part {
-            if !live.is_empty() && rng.gen_bool(remove_ratio) {
-                let idx = rng.gen_range(0..live.len());
-                map.remove(store, live.swap_remove(idx))?;
-            } else {
-                map.insert(store, k, k)?;
-                live.push(k);
-            }
+            match sched.next(k) {
+                MixedOp::Remove(victim) => map.remove(store, victim)?,
+                MixedOp::Insert(k) => map.insert(store, k, k)?,
+            };
         }
         Ok(part.len() as u64)
     })
@@ -258,6 +439,73 @@ mod tests {
         cfg.pool.zone_size = 16 << 20;
         let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::fast()).unwrap());
         PglStore::new(PglPool::create(dev, cfg).unwrap())
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_deterministic() {
+        let z = Zipf::new(1000, 0.99);
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let draws: Vec<usize> = (0..5000).map(|_| z.sample(&mut a)).collect();
+        assert!(draws.iter().all(|&r| r < 1000));
+        assert_eq!(draws, (0..5000).map(|_| z.sample(&mut b)).collect::<Vec<_>>());
+        // Rank 0 must dominate any cold rank by a wide margin.
+        let hot = draws.iter().filter(|&&r| r == 0).count();
+        let cold = draws.iter().filter(|&&r| r >= 500).count();
+        assert!(hot > 100, "rank 0 drawn only {hot} times");
+        assert!(hot > cold, "zipf not skewed: hot={hot} cold-half={cold}");
+    }
+
+    #[test]
+    fn mixed_ops_only_remove_live_keys() {
+        let mut sched = MixedOps::new(0.4, 99);
+        let mut live = std::collections::HashSet::new();
+        for k in 0..1000u64 {
+            match sched.next(k) {
+                MixedOp::Insert(k) => assert!(live.insert(k)),
+                MixedOp::Remove(v) => assert!(live.remove(&v), "removed dead key {v}"),
+            }
+        }
+        let left = sched.into_live_shuffled();
+        assert_eq!(left.len(), live.len());
+        assert!(left.iter().all(|k| live.contains(k)));
+    }
+
+    #[test]
+    fn workload_draws_valid_ops_over_its_keyspace() {
+        let w = Workload::zipfian(256, 0.99, OpMix::read_heavy(), 11);
+        let keys: std::collections::HashSet<u64> = w.keyspace().iter().copied().collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (mut gets, mut puts) = (0, 0);
+        for _ in 0..2000 {
+            let k = match w.next_op(&mut rng) {
+                WorkloadOp::Get(k) => {
+                    gets += 1;
+                    k
+                }
+                WorkloadOp::Put(k, v) => {
+                    puts += 1;
+                    assert_eq!(v, k ^ 0xFEED_FACE);
+                    k
+                }
+                WorkloadOp::Del(k) => k,
+                WorkloadOp::Scan(k, limit) => {
+                    assert!(limit > 0);
+                    k
+                }
+            };
+            assert!(keys.contains(&k));
+        }
+        // The read-heavy mix must actually be read-heavy.
+        assert!(gets > puts, "gets={gets} puts={puts}");
+    }
+
+    #[test]
+    fn raw_mix_matches_the_historical_schedule() {
+        assert_eq!(raw_mix_op(0), RawOp::Alloc);
+        assert_eq!(raw_mix_op(1), RawOp::Free);
+        assert_eq!(raw_mix_op(8), RawOp::Alloc);
+        assert!((2..8).all(|i| raw_mix_op(i) == RawOp::Overwrite));
     }
 
     #[test]

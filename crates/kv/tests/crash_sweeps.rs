@@ -13,7 +13,7 @@
 //! seeds, and raises the exhaustive-combination cap.
 
 use pangolin::crashcheck::{self, SweepConfig};
-use pgl_kv::crashwork::MapCrashWorkload;
+use pgl_kv::crashwork::{BatchCrashWorkload, MapCrashWorkload};
 use pgl_kv::{btree, ctree, hashmap, rbtree, rtree, skiplist};
 use pgl_kv::{BTree, CTree, HashMap, RTree, RbTree, SkipList};
 
@@ -58,5 +58,14 @@ fn rtree_survives_crash_sweep() {
 #[test]
 fn hashmap_survives_crash_sweep() {
     let w = MapCrashWorkload::<HashMap>::new(hashmap::check_invariants);
+    crashcheck::sweep_with(&w, &config());
+}
+
+/// The service's group-commit path: each commit point covers a whole
+/// batch of operations in one batched transaction, so every crash must
+/// recover to a prefix of *whole batches* — never a torn batch.
+#[test]
+fn group_commit_batches_recover_to_whole_batch_prefixes() {
+    let w = BatchCrashWorkload::new();
     crashcheck::sweep_with(&w, &config());
 }

@@ -527,6 +527,17 @@ impl NvmDevice {
         DeviceStats::add(&self.stats.vcache_hit_bytes, bytes);
     }
 
+    /// Tags one group commit that carried `txns` logical transactions
+    /// through a single redo-log persist / commit fence / parity-patch
+    /// window ([`StatsSnapshot::group_commits`] /
+    /// [`StatsSnapshot::group_txns`]). The batched commit entry point
+    /// calls this once per batch, so fence-amortization tests can relate
+    /// `fences` to the logical transaction count.
+    pub fn note_group_commit(&self, txns: u64) {
+        DeviceStats::add(&self.stats.group_commits, 1);
+        DeviceStats::add(&self.stats.group_txns, txns);
+    }
+
     /// Bookkeeping for a cache line about to be dirtied by an XOR path:
     /// captures the pre-content for the crash tracker (Precise mode).
     #[inline]

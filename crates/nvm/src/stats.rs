@@ -28,6 +28,8 @@ pub struct DeviceStats {
     pub(crate) csum_bytes: AtomicU64,
     pub(crate) vcache_hits: AtomicU64,
     pub(crate) vcache_hit_bytes: AtomicU64,
+    pub(crate) group_commits: AtomicU64,
+    pub(crate) group_txns: AtomicU64,
 }
 
 impl DeviceStats {
@@ -55,6 +57,8 @@ impl DeviceStats {
             csum_bytes: self.csum_bytes.load(Ordering::Relaxed),
             vcache_hits: self.vcache_hits.load(Ordering::Relaxed),
             vcache_hit_bytes: self.vcache_hit_bytes.load(Ordering::Relaxed),
+            group_commits: self.group_commits.load(Ordering::Relaxed),
+            group_txns: self.group_txns.load(Ordering::Relaxed),
         }
     }
 }
@@ -98,6 +102,14 @@ pub struct StatsSnapshot {
     pub vcache_hits: u64,
     /// Bytes served by cache-hit verified reads.
     pub vcache_hit_bytes: u64,
+    /// Group (batched) commits performed: one redo-log persist, one
+    /// commit fence and one parity-patch window amortized across a whole
+    /// batch of logical transactions (see
+    /// [`crate::NvmDevice::note_group_commit`]).
+    pub group_commits: u64,
+    /// Logical transactions carried by group commits. `group_txns /
+    /// group_commits` is the achieved batching factor.
+    pub group_txns: u64,
 }
 
 impl StatsSnapshot {
@@ -125,6 +137,8 @@ impl StatsSnapshot {
             csum_bytes: self.csum_bytes.saturating_sub(earlier.csum_bytes),
             vcache_hits: self.vcache_hits.saturating_sub(earlier.vcache_hits),
             vcache_hit_bytes: self.vcache_hit_bytes.saturating_sub(earlier.vcache_hit_bytes),
+            group_commits: self.group_commits.saturating_sub(earlier.group_commits),
+            group_txns: self.group_txns.saturating_sub(earlier.group_txns),
         }
     }
 }
@@ -142,12 +156,16 @@ mod tests {
         DeviceStats::add(&stats.bytes_written, 50);
         DeviceStats::add(&stats.bytes_read, 10);
         DeviceStats::add(&stats.commit_old_reads, 1);
+        DeviceStats::add(&stats.group_commits, 1);
+        DeviceStats::add(&stats.group_txns, 8);
         let b = stats.snapshot();
         let d = b.delta_since(&a);
         assert_eq!(d.bytes_written, 50);
         assert_eq!(d.fences, 0);
         assert_eq!(d.bytes_read, 10);
         assert_eq!(d.commit_old_reads, 1);
+        assert_eq!(d.group_commits, 1);
+        assert_eq!(d.group_txns, 8);
         assert_eq!(b.total_bytes_written(), 150);
     }
 }

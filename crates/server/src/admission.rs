@@ -1,0 +1,125 @@
+//! Admission control: a global in-flight request cap so overload sheds
+//! work at the front door (typed [`crate::proto::Response::Busy`]) instead
+//! of growing queues without bound.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A counting admission gate. Requests acquire before entering the lane
+/// queues and release (via [`Permit`] drop) once their responses are
+/// collected, so `in-flight ≤ capacity` holds at every instant — the
+/// bounded-memory guarantee the overload test pins via [`Admission::peak`].
+#[derive(Debug)]
+pub struct Admission {
+    cap: usize,
+    inflight: AtomicUsize,
+    peak: AtomicUsize,
+    shed: AtomicU64,
+}
+
+/// An RAII admission grant for `n` requests; dropping it releases them.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    gate: &'a Admission,
+    n: usize,
+}
+
+impl Admission {
+    /// A gate admitting at most `cap` concurrent requests.
+    pub fn new(cap: usize) -> Admission {
+        Admission {
+            cap: cap.max(1),
+            inflight: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Tries to admit `n` requests; `None` (and a shed count bump) when
+    /// they would push the in-flight total over capacity.
+    pub fn try_acquire(&self, n: usize) -> Option<Permit<'_>> {
+        let mut cur = self.inflight.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(n);
+            if next > self.cap {
+                self.shed.fetch_add(n as u64, Ordering::Relaxed);
+                return None;
+            }
+            match self.inflight.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.peak.fetch_max(next, Ordering::Relaxed);
+                    return Some(Permit { gate: self, n });
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Requests currently admitted.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of concurrently admitted requests.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed (rejected `Busy`) at this gate so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.gate.inflight.fetch_sub(self.n, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_capacity_and_sheds_beyond() {
+        let gate = Admission::new(4);
+        let a = gate.try_acquire(3).expect("3 of 4");
+        let b = gate.try_acquire(1).expect("4 of 4");
+        assert!(gate.try_acquire(1).is_none(), "over capacity");
+        assert_eq!(gate.shed(), 1);
+        assert_eq!(gate.inflight(), 4);
+        drop(a);
+        assert_eq!(gate.inflight(), 1);
+        let _c = gate.try_acquire(3).expect("room again");
+        drop(b);
+        assert_eq!(gate.peak(), 4);
+    }
+
+    #[test]
+    fn peak_never_exceeds_capacity() {
+        let gate = Admission::new(8);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        if let Some(p) = gate.try_acquire(3) {
+                            assert!(gate.inflight() <= gate.capacity());
+                            drop(p);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(gate.peak() <= 8);
+    }
+}

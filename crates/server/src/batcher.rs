@@ -1,0 +1,154 @@
+//! The shard worker: drains its lane queue and coalesces queued writes
+//! into **group commits**.
+//!
+//! The worker blocks on its queue, then drains everything already queued
+//! (up to `batch_max`) and accumulates its writes into one
+//! [`Store::txn_batch`] call — on a Pangolin store that is one
+//! micro-buffered transaction, i.e. one redo-log persist, one commit
+//! fence and one parity-patch window for the whole group. Reads are
+//! served directly as they are encountered *without* breaking the write
+//! group: a read only forces the pending group to commit first when it
+//! touches a key that group wrote (or is a scan), which preserves
+//! per-key program order while keeping interleaved point reads from
+//! fragmenting the batch. Under light load a write still commits alone
+//! (no added latency); under concurrency the queue builds while a batch
+//! commits, so the next drain finds a deeper group — the classic
+//! group-commit feedback loop.
+//!
+//! Each shard owns its map exclusively (single writer), satisfying the
+//! paper's §3.4 rule without any map-level locking; concurrency across
+//! shards comes from Pangolin's per-lane transactions and striped parity
+//! range-locks.
+
+use std::sync::mpsc::Receiver;
+
+use pgl_kv::btree::BTree;
+use pgl_kv::maps::PersistentMap;
+use pgl_kv::store::{BatchOp, KvResult, Store};
+
+use crate::lane::Job;
+use crate::proto::{Request, Response, MAX_SCAN_LIMIT};
+
+/// One shard's executor: a map, a store handle, and the lane consumer.
+pub struct ShardWorker<S: Store> {
+    store: S,
+    map: BTree,
+    rx: Receiver<Job>,
+    batch_max: usize,
+}
+
+impl<S: Store> ShardWorker<S> {
+    /// A worker executing `rx`'s jobs against `map` on `store`, grouping
+    /// at most `batch_max` writes per commit.
+    pub fn new(store: S, map: BTree, rx: Receiver<Job>, batch_max: usize) -> ShardWorker<S> {
+        ShardWorker { store, map, rx, batch_max: batch_max.max(1) }
+    }
+
+    /// Runs until every producer handle is gone (service shutdown).
+    pub fn run(self) {
+        let mut jobs: Vec<Job> = Vec::with_capacity(self.batch_max);
+        loop {
+            let Ok(first) = self.rx.recv() else {
+                return; // all lanes dropped: clean shutdown
+            };
+            jobs.push(first);
+            while jobs.len() < self.batch_max {
+                match self.rx.try_recv() {
+                    Ok(job) => jobs.push(job),
+                    Err(_) => break,
+                }
+            }
+            self.execute(&mut jobs);
+        }
+    }
+
+    /// Executes one drained batch and replies per job. Writes accumulate
+    /// into a single group commit; reads are answered in place, flushing
+    /// the pending group first only on a per-key conflict (a read of a
+    /// key the group wrote must see that write) or a scan.
+    fn execute(&self, jobs: &mut Vec<Job>) {
+        let mut group: Vec<Job> = Vec::new();
+        let mut written: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for job in jobs.drain(..) {
+            match job.req {
+                Request::Put { key, .. } | Request::Del { key } => {
+                    written.insert(key);
+                    group.push(job);
+                }
+                Request::Get { key } => {
+                    if written.contains(&key) {
+                        self.commit_write_run(&group);
+                        group.clear();
+                        written.clear();
+                    }
+                    let resp = self.serve_read(&job.req);
+                    let _ = job.reply.send((job.slot, resp));
+                }
+                Request::Scan { .. } => {
+                    if !group.is_empty() {
+                        self.commit_write_run(&group);
+                        group.clear();
+                        written.clear();
+                    }
+                    let resp = self.serve_read(&job.req);
+                    let _ = job.reply.send((job.slot, resp));
+                }
+            }
+        }
+        if !group.is_empty() {
+            self.commit_write_run(&group);
+        }
+    }
+
+    /// Groups a contiguous run of writes into one batched commit.
+    fn commit_write_run(&self, run: &[Job]) {
+        let map = &self.map;
+        let mut ops: Vec<BatchOp<'_>> = run
+            .iter()
+            .map(|job| -> BatchOp<'_> {
+                match job.req {
+                    Request::Put { key, value } => {
+                        Box::new(move |tx| map.insert_tx(tx, key, value))
+                    }
+                    Request::Del { key } => Box::new(move |tx| map.remove_tx(tx, key)),
+                    // `is_write` gated the run; reads never reach here.
+                    Request::Get { .. } | Request::Scan { .. } => {
+                        unreachable!("read in write run")
+                    }
+                }
+            })
+            .collect();
+        let results = self.store.txn_batch(&mut ops);
+        for (job, result) in run.iter().zip(results) {
+            let resp = match result {
+                Ok(old) => Response::Value(old),
+                Err(e) => Response::Error(e.to_string()),
+            };
+            let _ = job.reply.send((job.slot, resp));
+        }
+    }
+
+    /// Serves a read directly (no transaction): this worker is the only
+    /// writer of its map, so direct reads cannot race a commit.
+    fn serve_read(&self, req: &Request) -> Response {
+        let result: KvResult<Response> = match *req {
+            Request::Get { key } => self.map.get(&self.store, key).map(Response::Value),
+            Request::Scan { start, limit } => {
+                let limit = limit.min(MAX_SCAN_LIMIT) as usize;
+                let mut pairs = Vec::new();
+                self.map
+                    .scan(&self.store, start, limit, &mut pairs)
+                    .map(|()| Response::Pairs(pairs))
+            }
+            Request::Put { .. } | Request::Del { .. } => {
+                unreachable!("write served as read")
+            }
+        };
+        result.unwrap_or_else(|e| Response::Error(e.to_string()))
+    }
+}
+
+/// Whether a request mutates the map (and therefore batches).
+pub fn is_write(req: &Request) -> bool {
+    matches!(req, Request::Put { .. } | Request::Del { .. })
+}

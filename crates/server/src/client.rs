@@ -1,0 +1,66 @@
+//! A minimal blocking client for the KV service protocol.
+//!
+//! One frame of requests per [`Client::call`]; batching many requests
+//! into a frame is how clients amortize round-trips and how the server
+//! finds group-commit opportunities.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{decode_responses, encode_requests, read_frame, write_frame, Request, Response};
+
+/// A blocking connection to a [`crate::server::KvServer`].
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    frame: Vec<u8>,
+    payload: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, frame: Vec::new(), payload: Vec::new() })
+    }
+
+    /// Sends one frame of requests and returns the positional responses.
+    pub fn call(&mut self, reqs: &[Request]) -> io::Result<Vec<Response>> {
+        encode_requests(reqs, &mut self.frame)?;
+        write_frame(&mut self.stream, &self.frame)?;
+        if !read_frame(&mut self.stream, &mut self.payload)? {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection"));
+        }
+        let resps = decode_responses(&self.payload)?;
+        // A decode-error reply is a single Error frame for the whole batch.
+        if resps.len() != reqs.len() && !matches!(resps.as_slice(), [Response::Error(_)]) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "response count mismatch"));
+        }
+        Ok(resps)
+    }
+
+    /// Single-request `GET key`.
+    pub fn get(&mut self, key: u64) -> io::Result<Response> {
+        self.call(&[Request::Get { key }]).map(first)
+    }
+
+    /// Single-request `PUT key value`.
+    pub fn put(&mut self, key: u64, value: u64) -> io::Result<Response> {
+        self.call(&[Request::Put { key, value }]).map(first)
+    }
+
+    /// Single-request `DEL key`.
+    pub fn del(&mut self, key: u64) -> io::Result<Response> {
+        self.call(&[Request::Del { key }]).map(first)
+    }
+
+    /// Single-request `SCAN start limit`.
+    pub fn scan(&mut self, start: u64, limit: u32) -> io::Result<Response> {
+        self.call(&[Request::Scan { start, limit }]).map(first)
+    }
+}
+
+fn first(mut resps: Vec<Response>) -> Response {
+    resps.remove(0)
+}

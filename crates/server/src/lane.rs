@@ -1,0 +1,75 @@
+//! Bounded per-shard request queues.
+//!
+//! Each shard (one worker thread, one single-writer map — the paper's
+//! §3.4 rule needs no locks this way) is fed by one `LaneQueue`: a
+//! bounded MPSC channel. Producers never block — a full queue is an
+//! immediate [`crate::proto::Response::Busy`], which together with the
+//! admission gate keeps service memory bounded under overload.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+
+use crate::proto::{Request, Response};
+
+/// One queued request plus its reply route: the response is sent back
+/// tagged with the request's `slot` (its position in the client frame).
+#[derive(Debug)]
+pub struct Job {
+    /// The request to execute.
+    pub req: Request,
+    /// Position of this request in its originating frame.
+    pub slot: usize,
+    /// Where the worker sends `(slot, response)`.
+    pub reply: std::sync::mpsc::Sender<(usize, Response)>,
+}
+
+/// The producer side of a shard's bounded queue.
+#[derive(Debug, Clone)]
+pub struct LaneQueue {
+    tx: SyncSender<Job>,
+    depth: usize,
+}
+
+impl LaneQueue {
+    /// A queue holding at most `depth` pending jobs; returns the consumer
+    /// end for the shard worker.
+    pub fn new(depth: usize) -> (LaneQueue, Receiver<Job>) {
+        let depth = depth.max(1);
+        let (tx, rx) = sync_channel(depth);
+        (LaneQueue { tx, depth }, rx)
+    }
+
+    /// Non-blocking enqueue. A full queue — or a dead worker — hands the
+    /// job back so the caller can answer `Busy`.
+    pub fn try_push(&self, job: Job) -> Result<(), Job> {
+        match self.tx.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => Err(job),
+        }
+    }
+
+    /// The queue's bound.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(reply: &std::sync::mpsc::Sender<(usize, Response)>) -> Job {
+        Job { req: Request::Get { key: 0 }, slot: 0, reply: reply.clone() }
+    }
+
+    #[test]
+    fn full_queue_hands_the_job_back() {
+        let (lane, rx) = LaneQueue::new(2);
+        let (reply, _keep) = std::sync::mpsc::channel();
+        assert!(lane.try_push(job(&reply)).is_ok());
+        assert!(lane.try_push(job(&reply)).is_ok());
+        let bounced = lane.try_push(job(&reply));
+        assert!(bounced.is_err(), "third push must bounce at depth 2");
+        drop(rx); // worker gone: pushes bounce instead of hanging
+        assert!(lane.try_push(job(&reply)).is_err());
+    }
+}

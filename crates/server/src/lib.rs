@@ -1,0 +1,34 @@
+//! `pgl-server`: a network-facing KV service over `pgl-kv`'s [`Store`]
+//! with **pipelined group commit**.
+//!
+//! The service shards keys across single-writer B-trees (the paper's
+//! §3.4 rule: no two concurrent transactions touch the same object), and
+//! each shard's worker drains a bounded lane queue, coalescing queued
+//! writes into one Pangolin transaction — one redo-log persist, one
+//! commit fence, one parity-patch window per *batch* instead of per
+//! transaction. A `std::net` TCP layer (no async runtime, no new
+//! dependencies) frames requests with a 4-byte length-prefixed binary
+//! protocol; admission control plus the bounded queues shed overload as
+//! typed `Busy` responses so memory stays bounded.
+//!
+//! Layering: `proto` (wire format) → `lane`/`admission` (queueing) →
+//! `batcher` (group commit) → `service` (sharded service) →
+//! `server`/`client` (TCP).
+//!
+//! [`Store`]: pgl_kv::store::Store
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod batcher;
+pub mod client;
+pub mod lane;
+pub mod proto;
+pub mod server;
+pub mod service;
+
+pub use admission::Admission;
+pub use client::Client;
+pub use proto::{Request, Response};
+pub use server::KvServer;
+pub use service::{KvService, ServiceConfig};

@@ -1,0 +1,411 @@
+//! The wire protocol: length-prefixed binary frames carrying batches of
+//! requests or responses.
+//!
+//! A frame is `[u32 LE payload length][payload]`; the payload is
+//! `[u8 frame kind][u32 LE count][count items]` with fixed little-endian
+//! item encodings. Responses are positional: the `i`-th response in a
+//! frame answers the `i`-th request of the frame it replies to, so no
+//! request ids travel on the wire.
+//!
+//! Decoding is total: any input — truncated, oversized, or garbage —
+//! yields a typed [`ProtoError`], never a panic (the round-trip property
+//! suite fuzzes this).
+
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on a frame payload (1 MiB): anything larger is rejected
+/// before allocation, bounding per-connection memory.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Maximum requests (or responses) per frame.
+pub const MAX_BATCH: usize = 1024;
+
+/// Maximum pairs a single SCAN may request; larger limits are clamped.
+pub const MAX_SCAN_LIMIT: u32 = 4096;
+
+const FRAME_REQ: u8 = 0x01;
+const FRAME_RESP: u8 = 0x02;
+
+const TAG_GET: u8 = 0x10;
+const TAG_PUT: u8 = 0x11;
+const TAG_DEL: u8 = 0x12;
+const TAG_SCAN: u8 = 0x13;
+
+const TAG_NONE: u8 = 0x20;
+const TAG_SOME: u8 = 0x21;
+const TAG_PAIRS: u8 = 0x22;
+const TAG_BUSY: u8 = 0x23;
+const TAG_ERROR: u8 = 0x24;
+
+/// One client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Point lookup.
+    Get {
+        /// Key to look up.
+        key: u64,
+    },
+    /// Insert or overwrite; the response carries the old value.
+    Put {
+        /// Key to write.
+        key: u64,
+        /// Value to store.
+        value: u64,
+    },
+    /// Delete; the response carries the removed value.
+    Del {
+        /// Key to delete.
+        key: u64,
+    },
+    /// Ordered range scan from `start`, at most `limit` pairs.
+    Scan {
+        /// First key of the range (inclusive).
+        start: u64,
+        /// Maximum pairs to return (clamped to [`MAX_SCAN_LIMIT`]).
+        limit: u32,
+    },
+}
+
+/// One response, positionally matched to its request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// GET result, or a write's previous value (`None` = absent).
+    Value(Option<u64>),
+    /// SCAN result: ascending `(key, value)` pairs.
+    Pairs(Vec<(u64, u64)>),
+    /// Shed by admission control or a full lane queue; the request did
+    /// **not** execute — retry later.
+    Busy,
+    /// Server-side execution error (the request may have aborted).
+    Error(String),
+}
+
+/// A typed wire-format error; decoding never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The payload ended before the declared content.
+    Truncated,
+    /// A frame, batch, string, or scan limit exceeded its bound.
+    Oversized {
+        /// What exceeded the bound.
+        what: &'static str,
+        /// The offending size.
+        len: u64,
+    },
+    /// Unknown frame kind byte.
+    BadFrameKind(u8),
+    /// Unknown item tag byte.
+    BadTag(u8),
+    /// Bytes left over after the declared items were decoded.
+    Trailing(usize),
+    /// An error string was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "frame truncated"),
+            ProtoError::Oversized { what, len } => write!(f, "{what} too large ({len})"),
+            ProtoError::BadFrameKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            ProtoError::BadTag(t) => write!(f, "unknown item tag {t:#04x}"),
+            ProtoError::Trailing(n) => write!(f, "{n} trailing bytes after frame content"),
+            ProtoError::BadUtf8 => write!(f, "error string is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<ProtoError> for io::Error {
+    fn from(e: ProtoError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+// --- encode ----------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encodes a request frame (length prefix included) into `buf`.
+pub fn encode_requests(reqs: &[Request], buf: &mut Vec<u8>) -> Result<(), ProtoError> {
+    if reqs.len() > MAX_BATCH {
+        return Err(ProtoError::Oversized { what: "request batch", len: reqs.len() as u64 });
+    }
+    buf.clear();
+    buf.extend_from_slice(&[0; 4]); // length prefix, patched below
+    buf.push(FRAME_REQ);
+    put_u32(buf, reqs.len() as u32);
+    for req in reqs {
+        match *req {
+            Request::Get { key } => {
+                buf.push(TAG_GET);
+                put_u64(buf, key);
+            }
+            Request::Put { key, value } => {
+                buf.push(TAG_PUT);
+                put_u64(buf, key);
+                put_u64(buf, value);
+            }
+            Request::Del { key } => {
+                buf.push(TAG_DEL);
+                put_u64(buf, key);
+            }
+            Request::Scan { start, limit } => {
+                buf.push(TAG_SCAN);
+                put_u64(buf, start);
+                put_u32(buf, limit);
+            }
+        }
+    }
+    finish_frame(buf)
+}
+
+/// Encodes a response frame (length prefix included) into `buf`.
+pub fn encode_responses(resps: &[Response], buf: &mut Vec<u8>) -> Result<(), ProtoError> {
+    if resps.len() > MAX_BATCH {
+        return Err(ProtoError::Oversized { what: "response batch", len: resps.len() as u64 });
+    }
+    buf.clear();
+    buf.extend_from_slice(&[0; 4]);
+    buf.push(FRAME_RESP);
+    put_u32(buf, resps.len() as u32);
+    for resp in resps {
+        match resp {
+            Response::Value(None) => buf.push(TAG_NONE),
+            Response::Value(Some(v)) => {
+                buf.push(TAG_SOME);
+                put_u64(buf, *v);
+            }
+            Response::Pairs(pairs) => {
+                if pairs.len() as u64 > MAX_SCAN_LIMIT as u64 {
+                    return Err(ProtoError::Oversized {
+                        what: "scan result",
+                        len: pairs.len() as u64,
+                    });
+                }
+                buf.push(TAG_PAIRS);
+                put_u32(buf, pairs.len() as u32);
+                for &(k, v) in pairs {
+                    put_u64(buf, k);
+                    put_u64(buf, v);
+                }
+            }
+            Response::Busy => buf.push(TAG_BUSY),
+            Response::Error(msg) => {
+                let bytes = msg.as_bytes();
+                let bytes = &bytes[..bytes.len().min(512)]; // bound error text
+                buf.push(TAG_ERROR);
+                put_u32(buf, bytes.len() as u32);
+                buf.extend_from_slice(bytes);
+            }
+        }
+    }
+    finish_frame(buf)
+}
+
+fn finish_frame(buf: &mut [u8]) -> Result<(), ProtoError> {
+    let payload = buf.len() - 4;
+    if payload > MAX_FRAME {
+        return Err(ProtoError::Oversized { what: "frame", len: payload as u64 });
+    }
+    buf[..4].copy_from_slice(&(payload as u32).to_le_bytes());
+    Ok(())
+}
+
+// --- decode ----------------------------------------------------------
+
+struct Cursor<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.rest.len() < n {
+            return Err(ProtoError::Truncated);
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4-byte slice")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
+    }
+}
+
+fn frame_header(c: &mut Cursor<'_>, want_kind: u8) -> Result<usize, ProtoError> {
+    let kind = c.u8()?;
+    if kind != want_kind {
+        return Err(ProtoError::BadFrameKind(kind));
+    }
+    let count = c.u32()? as usize;
+    if count > MAX_BATCH {
+        return Err(ProtoError::Oversized { what: "batch count", len: count as u64 });
+    }
+    Ok(count)
+}
+
+fn finish(c: Cursor<'_>) -> Result<(), ProtoError> {
+    if c.rest.is_empty() {
+        Ok(())
+    } else {
+        Err(ProtoError::Trailing(c.rest.len()))
+    }
+}
+
+/// Decodes a request-frame payload (the bytes after the length prefix).
+pub fn decode_requests(payload: &[u8]) -> Result<Vec<Request>, ProtoError> {
+    let mut c = Cursor { rest: payload };
+    let count = frame_header(&mut c, FRAME_REQ)?;
+    let mut reqs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tag = c.u8()?;
+        reqs.push(match tag {
+            TAG_GET => Request::Get { key: c.u64()? },
+            TAG_PUT => Request::Put { key: c.u64()?, value: c.u64()? },
+            TAG_DEL => Request::Del { key: c.u64()? },
+            TAG_SCAN => {
+                let start = c.u64()?;
+                let limit = c.u32()?;
+                if limit > MAX_SCAN_LIMIT {
+                    return Err(ProtoError::Oversized { what: "scan limit", len: limit as u64 });
+                }
+                Request::Scan { start, limit }
+            }
+            other => return Err(ProtoError::BadTag(other)),
+        });
+    }
+    finish(c)?;
+    Ok(reqs)
+}
+
+/// Decodes a response-frame payload (the bytes after the length prefix).
+pub fn decode_responses(payload: &[u8]) -> Result<Vec<Response>, ProtoError> {
+    let mut c = Cursor { rest: payload };
+    let count = frame_header(&mut c, FRAME_RESP)?;
+    let mut resps = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tag = c.u8()?;
+        resps.push(match tag {
+            TAG_NONE => Response::Value(None),
+            TAG_SOME => Response::Value(Some(c.u64()?)),
+            TAG_PAIRS => {
+                let n = c.u32()?;
+                if n > MAX_SCAN_LIMIT {
+                    return Err(ProtoError::Oversized { what: "scan result", len: n as u64 });
+                }
+                let mut pairs = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    pairs.push((c.u64()?, c.u64()?));
+                }
+                Response::Pairs(pairs)
+            }
+            TAG_BUSY => Response::Busy,
+            TAG_ERROR => {
+                let n = c.u32()?;
+                if n > 512 {
+                    return Err(ProtoError::Oversized { what: "error string", len: n as u64 });
+                }
+                let bytes = c.take(n as usize)?;
+                let msg = std::str::from_utf8(bytes).map_err(|_| ProtoError::BadUtf8)?;
+                Response::Error(msg.to_string())
+            }
+            other => return Err(ProtoError::BadTag(other)),
+        });
+    }
+    finish(c)?;
+    Ok(resps)
+}
+
+// --- framed I/O ------------------------------------------------------
+
+/// Reads one frame payload into `payload`. Returns `Ok(false)` on a clean
+/// end-of-stream (no frame started), `Err` on a short or oversized frame.
+pub fn read_frame(r: &mut impl Read, payload: &mut Vec<u8>) -> io::Result<bool> {
+    let mut len4 = [0u8; 4];
+    match r.read_exact(&mut len4) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(false),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len4) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(ProtoError::Oversized { what: "frame", len: len as u64 }.into());
+    }
+    payload.resize(len, 0);
+    r.read_exact(payload)?;
+    Ok(true)
+}
+
+/// Writes one already-encoded frame (from [`encode_requests`] /
+/// [`encode_responses`]; the buffer starts with its length prefix).
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    w.write_all(frame)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let reqs = vec![
+            Request::Get { key: 1 },
+            Request::Put { key: 2, value: 3 },
+            Request::Del { key: u64::MAX },
+            Request::Scan { start: 0, limit: 64 },
+        ];
+        let mut buf = Vec::new();
+        encode_requests(&reqs, &mut buf).unwrap();
+        assert_eq!(decode_requests(&buf[4..]).unwrap(), reqs);
+
+        let resps = vec![
+            Response::Value(None),
+            Response::Value(Some(7)),
+            Response::Pairs(vec![(1, 2), (3, 4)]),
+            Response::Busy,
+            Response::Error("nope".into()),
+        ];
+        encode_responses(&resps, &mut buf).unwrap();
+        assert_eq!(decode_responses(&buf[4..]).unwrap(), resps);
+    }
+
+    #[test]
+    fn garbage_is_a_typed_error() {
+        assert!(matches!(decode_requests(&[]), Err(ProtoError::Truncated)));
+        assert!(matches!(decode_requests(&[0xFF]), Err(ProtoError::BadFrameKind(0xFF))));
+        let mut buf = Vec::new();
+        encode_requests(&[Request::Get { key: 9 }], &mut buf).unwrap();
+        // Truncate mid-item.
+        assert!(matches!(decode_requests(&buf[4..buf.len() - 1]), Err(ProtoError::Truncated)));
+        // Trailing junk.
+        buf.push(0);
+        assert!(matches!(decode_requests(&buf[4..]), Err(ProtoError::Trailing(1))));
+    }
+
+    #[test]
+    fn oversized_counts_are_rejected() {
+        let mut payload = vec![FRAME_REQ];
+        payload.extend_from_slice(&(MAX_BATCH as u32 + 1).to_le_bytes());
+        assert!(matches!(decode_requests(&payload), Err(ProtoError::Oversized { .. })));
+        let too_many = vec![Request::Get { key: 0 }; MAX_BATCH + 1];
+        let mut buf = Vec::new();
+        assert!(matches!(encode_requests(&too_many, &mut buf), Err(ProtoError::Oversized { .. })));
+    }
+}

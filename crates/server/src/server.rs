@@ -1,0 +1,146 @@
+//! The TCP front end: a thin framing layer over [`KvService`].
+//!
+//! One accept thread plus one thread per connection, all plain blocking
+//! `std::net` — no async runtime, matching the repo's no-new-deps rule.
+//! A connection reads one request frame, runs it through
+//! [`KvService::call`], and writes one response frame; pipelining across
+//! connections is what feeds the group-commit batcher.
+
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use pgl_kv::store::Store;
+
+use crate::proto::{decode_requests, encode_responses, read_frame, write_frame, Response};
+use crate::service::{KvService, ServiceConfig};
+
+/// Live-connection registry so shutdown can unblock reader threads.
+#[derive(Default)]
+struct ConnTable {
+    streams: Mutex<Vec<TcpStream>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running KV server: the service plus its TCP accept loop.
+///
+/// Dropping the server (or calling [`KvServer::shutdown`]) stops
+/// accepting, severs every open connection, joins all threads, and then
+/// tears down the service (joining the shard workers).
+pub struct KvServer<S: Store + Clone + 'static> {
+    service: Arc<KvService<S>>,
+    addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<ConnTable>,
+}
+
+impl<S: Store + Clone + 'static> KvServer<S> {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `store` with the given service configuration.
+    pub fn start<A: ToSocketAddrs>(store: S, config: ServiceConfig, addr: A) -> io::Result<Self> {
+        let service = Arc::new(
+            KvService::new(store, config)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+        );
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let running = Arc::new(AtomicBool::new(true));
+        let conns = Arc::new(ConnTable::default());
+        let accept = {
+            let service = Arc::clone(&service);
+            let running = Arc::clone(&running);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || {
+                while let Ok((stream, _)) = listener.accept() {
+                    if !running.load(Ordering::Acquire) {
+                        break; // woken by shutdown's dummy connect
+                    }
+                    let service = Arc::clone(&service);
+                    if let Ok(dup) = stream.try_clone() {
+                        conns.streams.lock().unwrap().push(dup);
+                    }
+                    let handle = std::thread::spawn(move || serve_conn(stream, &service));
+                    conns.handles.lock().unwrap().push(handle);
+                }
+            })
+        };
+        Ok(KvServer { service, addr, running, accept: Some(accept), conns })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The underlying service (stats, store handle, direct calls).
+    pub fn service(&self) -> &KvService<S> {
+        &self.service
+    }
+
+    /// Stops the server and joins every thread it spawned.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if !self.running.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the accept loop, then sever readers blocked in read_frame.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for s in self.conns.streams.lock().unwrap().drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        let handles: Vec<_> = self.conns.handles.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<S: Store + Clone + 'static> Drop for KvServer<S> {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One connection's loop: frame in, service call, frame out.
+fn serve_conn<S: Store + Clone + 'static>(mut stream: TcpStream, service: &KvService<S>) {
+    let _ = stream.set_nodelay(true);
+    let mut payload = Vec::new();
+    let mut frame = Vec::new();
+    // Loop until a clean close (Ok(false)) or a dead peer (Err).
+    while let Ok(true) = read_frame(&mut stream, &mut payload) {
+        let resps = match decode_requests(&payload) {
+            Ok(reqs) => service.call(&reqs),
+            Err(e) => {
+                // Protocol desync: answer one typed error, then close —
+                // the stream position can no longer be trusted.
+                let err = vec![Response::Error(format!("bad frame: {e}"))];
+                if encode_responses(&err, &mut frame).is_ok() {
+                    let _ = write_frame(&mut stream, &frame);
+                }
+                break;
+            }
+        };
+        if encode_responses(&resps, &mut frame).is_err() {
+            // Response exceeds the frame limit (huge scan batch): report
+            // once and close rather than send an unframeable reply.
+            let err = vec![Response::Error("response exceeds frame limit".into())];
+            if encode_responses(&err, &mut frame).is_ok() {
+                let _ = write_frame(&mut stream, &frame);
+            }
+            break;
+        }
+        if write_frame(&mut stream, &frame).is_err() {
+            break;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}

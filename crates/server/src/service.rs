@@ -1,0 +1,227 @@
+//! The in-process KV service: sharded single-writer maps, bounded lane
+//! queues, group-commit workers, and an admission gate. The TCP front end
+//! ([`crate::server::KvServer`]) is a thin framing layer over
+//! [`KvService::call`]; tests and the load driver can also call it
+//! directly.
+
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use pgl_kv::btree::BTree;
+use pgl_kv::maps::{splitmix64, PersistentMap};
+use pgl_kv::store::{KvError, KvResult, Store};
+use pgl_pmemobj::PMEMoid;
+
+use crate::admission::Admission;
+use crate::batcher::ShardWorker;
+use crate::lane::{Job, LaneQueue};
+use crate::proto::{Request, Response, MAX_SCAN_LIMIT};
+
+/// Object type number of the service's shard-directory root object.
+const TYPE_SERVICE_ROOT: u32 = 200;
+
+/// Hard cap on shards (each is one worker thread + one lane queue).
+const MAX_SHARDS: usize = 64;
+
+/// Service sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Shard count: single-writer maps, one worker thread each. Must
+    /// match the pool's directory when re-attaching an existing pool.
+    pub shards: usize,
+    /// Bound of each shard's request queue (overload backpressure).
+    pub queue_depth: usize,
+    /// Most writes grouped into one commit by a shard worker.
+    pub batch_max: usize,
+    /// Global in-flight request cap (admission control).
+    pub max_inflight: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig { shards: 4, queue_depth: 128, batch_max: 32, max_inflight: 1024 }
+    }
+}
+
+/// The sharded group-commit KV service over any [`Store`].
+///
+/// Keys are routed to shards by a [`splitmix64`] hash; each shard's
+/// worker thread is the sole writer of its B-tree (the paper's §3.4
+/// concurrency rule), and coalesces queued writes into group commits via
+/// [`Store::txn_batch`]. Dropping the service closes the lanes and joins
+/// the workers.
+pub struct KvService<S: Store + Clone + 'static> {
+    store: S,
+    lanes: Vec<LaneQueue>,
+    admission: Admission,
+    workers: Vec<JoinHandle<()>>,
+    config: ServiceConfig,
+}
+
+impl<S: Store + Clone + 'static> KvService<S> {
+    /// Starts the service: creates (first run) or re-attaches (reopened
+    /// pool) the shard directory in the pool root, then spawns one
+    /// batching worker per shard.
+    pub fn new(store: S, config: ServiceConfig) -> KvResult<KvService<S>> {
+        let shards = config.shards.clamp(1, MAX_SHARDS);
+        let maps = open_shard_maps(&store, shards)?;
+        let mut lanes = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for map in maps {
+            let (lane, rx) = LaneQueue::new(config.queue_depth);
+            let worker = ShardWorker::new(store.clone(), map, rx, config.batch_max);
+            workers.push(std::thread::spawn(move || worker.run()));
+            lanes.push(lane);
+        }
+        Ok(KvService {
+            store,
+            lanes,
+            admission: Admission::new(config.max_inflight),
+            workers,
+            config: ServiceConfig { shards, ..config },
+        })
+    }
+
+    /// Executes one frame's worth of requests, returning positional
+    /// responses. Shedding (admission or a full lane queue) yields
+    /// [`Response::Busy`] for the affected requests; everything else
+    /// executes exactly once.
+    pub fn call(&self, reqs: &[Request]) -> Vec<Response> {
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        let n = reqs.len();
+        let Some(_permit) = self.admission.try_acquire(n) else {
+            return vec![Response::Busy; n];
+        };
+        let (reply, rx) = mpsc::channel();
+        let mut out: Vec<Option<Response>> = (0..n).map(|_| None).collect();
+        // Scans fan out to every shard; track outstanding parts per slot.
+        let mut scan_parts: Vec<Vec<(u64, u64)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut scan_outstanding: Vec<usize> = vec![0; n];
+        let mut scan_limits: Vec<usize> = vec![0; n];
+        let mut expected = 0usize;
+        for (slot, &req) in reqs.iter().enumerate() {
+            match req {
+                Request::Get { key } | Request::Put { key, .. } | Request::Del { key } => {
+                    let lane = &self.lanes[self.shard_of(key)];
+                    match lane.try_push(Job { req, slot, reply: reply.clone() }) {
+                        Ok(()) => expected += 1,
+                        Err(_) => out[slot] = Some(Response::Busy),
+                    }
+                }
+                Request::Scan { start, limit } => {
+                    let limit = limit.min(MAX_SCAN_LIMIT);
+                    let mut parts = 0;
+                    for lane in &self.lanes {
+                        let job =
+                            Job { req: Request::Scan { start, limit }, slot, reply: reply.clone() };
+                        if lane.try_push(job).is_ok() {
+                            parts += 1;
+                        }
+                    }
+                    expected += parts;
+                    if parts == self.lanes.len() {
+                        scan_outstanding[slot] = parts;
+                        scan_limits[slot] = limit as usize;
+                    } else {
+                        // Partial fan-out sheds the whole scan; stray
+                        // parts are drained (and discarded) below.
+                        out[slot] = Some(Response::Busy);
+                    }
+                }
+            }
+        }
+        drop(reply);
+        for _ in 0..expected {
+            let Ok((slot, resp)) = rx.recv() else {
+                break; // a worker died; unanswered slots become errors
+            };
+            if scan_outstanding[slot] == 0 {
+                if out[slot].is_none() {
+                    out[slot] = Some(resp);
+                }
+                continue; // else: stray part of a shed or failed scan
+            }
+            match resp {
+                Response::Pairs(mut pairs) => {
+                    scan_parts[slot].append(&mut pairs);
+                    scan_outstanding[slot] -= 1;
+                    if scan_outstanding[slot] == 0 {
+                        let mut all = std::mem::take(&mut scan_parts[slot]);
+                        all.sort_unstable(); // keys are disjoint across shards
+                        all.truncate(scan_limits[slot]);
+                        out[slot] = Some(Response::Pairs(all));
+                    }
+                }
+                other => {
+                    // A shard failed this scan: report it, drop the rest.
+                    scan_outstanding[slot] = 0;
+                    out[slot] = Some(other);
+                }
+            }
+        }
+        out.into_iter()
+            .map(|r| r.unwrap_or_else(|| Response::Error("shard worker unavailable".into())))
+            .collect()
+    }
+
+    fn shard_of(&self, key: u64) -> usize {
+        (splitmix64(key) % self.lanes.len() as u64) as usize
+    }
+
+    /// The backing store handle.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// The admission gate (shed/peak/in-flight observability).
+    pub fn admission(&self) -> &Admission {
+        &self.admission
+    }
+
+    /// The resolved configuration.
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+}
+
+impl<S: Store + Clone + 'static> Drop for KvService<S> {
+    fn drop(&mut self) {
+        // Closing the lanes ends each worker's `recv` loop.
+        self.lanes.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Creates or re-attaches the per-shard maps through a directory object
+/// in the pool root: `[u64 shard_count][u64 anchor_off; shard_count]`.
+fn open_shard_maps<S: Store>(store: &S, shards: usize) -> KvResult<Vec<BTree>> {
+    let root = store.root(8 * (MAX_SHARDS as u64 + 1), TYPE_SERVICE_ROOT)?;
+    let count: u64 = store.read_pod_direct(root, 0)?;
+    if count == 0 {
+        let maps: Vec<BTree> =
+            (0..shards).map(|_| BTree::create(store)).collect::<KvResult<_>>()?;
+        store.txn(&mut |tx| {
+            for (i, m) in maps.iter().enumerate() {
+                tx.write_pod(root, 8 * (i as u64 + 1), &m.anchor().off)?;
+            }
+            tx.write_pod(root, 0, &(shards as u64))
+        })?;
+        Ok(maps)
+    } else if count != shards as u64 {
+        Err(KvError::Corrupt("service shard count does not match the pool's directory"))
+    } else {
+        (0..shards)
+            .map(|i| {
+                let off: u64 = store.read_pod_direct(root, 8 * (i as u64 + 1))?;
+                if off == 0 {
+                    return Err(KvError::Corrupt("missing shard anchor in service directory"));
+                }
+                Ok(BTree::from_anchor(PMEMoid::new(store.uuid(), off)))
+            })
+            .collect()
+    }
+}

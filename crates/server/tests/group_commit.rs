@@ -1,0 +1,138 @@
+//! Group-commit regression battery: the batcher must (a) produce exactly
+//! the same results as unbatched execution and an in-memory model, and
+//! (b) issue strictly fewer persistence fences than one-commit-per-txn
+//! execution of the same load — the whole point of grouping.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use pangolin::{PglConfig, PglPool};
+use pgl_kv::store::PglStore;
+use pgl_nvm::{DeviceConfig, NvmDevice, StatsSnapshot};
+use pgl_server::proto::{Request, Response};
+use pgl_server::service::{KvService, ServiceConfig};
+
+const THREADS: u64 = 4;
+const FRAMES_PER_THREAD: u64 = 16;
+const FRAME_LEN: u64 = 8;
+
+fn pgl_store() -> (PglStore, Arc<NvmDevice>) {
+    let mut cfg = PglConfig::small();
+    cfg.pool.size = 32 << 20;
+    cfg.pool.zone_size = 16 << 20;
+    let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::fast()).unwrap());
+    (PglStore::new(PglPool::create(dev.clone(), cfg).unwrap()), dev)
+}
+
+/// Runs the identical concurrent put load through a service configured
+/// with the given `batch_max`, returning the device-stats delta.
+fn run_load(batch_max: usize) -> (StatsSnapshot, KvService<PglStore>) {
+    let (store, dev) = pgl_store();
+    let cfg = ServiceConfig { shards: 1, queue_depth: 256, batch_max, max_inflight: 1024 };
+    let service = KvService::new(store, cfg).unwrap();
+    let before = dev.stats();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let service = &service;
+            s.spawn(move || {
+                for f in 0..FRAMES_PER_THREAD {
+                    // Disjoint per-thread key ranges: results are
+                    // deterministic regardless of interleaving.
+                    let base = t * 10_000 + f * FRAME_LEN;
+                    let reqs: Vec<Request> = (0..FRAME_LEN)
+                        .map(|i| Request::Put { key: base + i, value: (base + i) * 31 })
+                        .collect();
+                    for resp in service.call(&reqs) {
+                        assert!(
+                            matches!(resp, Response::Value(None)),
+                            "fresh keys, ample queues: {resp:?}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    (dev.stats().delta_since(&before), service)
+}
+
+#[test]
+fn grouped_commits_issue_fewer_fences_than_per_txn_commits() {
+    let (grouped, service) = run_load(64);
+    let (single, _svc) = run_load(1);
+
+    let txns = THREADS * FRAMES_PER_THREAD * FRAME_LEN;
+    assert!(
+        grouped.group_commits > 0 && grouped.group_txns > grouped.group_commits,
+        "concurrent load must actually group: {} commits / {} txns",
+        grouped.group_commits,
+        grouped.group_txns,
+    );
+    assert!(
+        grouped.fences < single.fences,
+        "group commit must reduce fences: grouped={} unbatched={}",
+        grouped.fences,
+        single.fences,
+    );
+    // The batched run amortizes the commit fence across whole batches, so
+    // fences per transaction must drop materially, not by rounding noise.
+    assert!(
+        grouped.fences * 2 <= single.fences + txns,
+        "expected a material fence reduction: grouped={} unbatched={} txns={txns}",
+        grouped.fences,
+        single.fences,
+    );
+
+    // Same load, same answers: every key is present with its model value.
+    let mut model = BTreeMap::new();
+    for t in 0..THREADS {
+        for f in 0..FRAMES_PER_THREAD {
+            for i in 0..FRAME_LEN {
+                let k = t * 10_000 + f * FRAME_LEN + i;
+                model.insert(k, k * 31);
+            }
+        }
+    }
+    let reqs: Vec<Request> = model.keys().map(|&key| Request::Get { key }).collect();
+    // Chunks must fit the single shard's queue depth or they shed Busy.
+    for chunk in reqs.chunks(128) {
+        let resps = service.call(chunk);
+        for (req, resp) in chunk.iter().zip(resps) {
+            let Request::Get { key } = *req else { unreachable!() };
+            assert_eq!(resp, Response::Value(model.get(&key).copied()), "key {key}");
+        }
+    }
+}
+
+#[test]
+fn batched_and_unbatched_runs_agree_under_mixed_ops() {
+    // The same deterministic mixed script (puts, dels, overwrites) through
+    // a grouping service and a non-grouping one must externalize the same
+    // final map.
+    let finals: Vec<Vec<(u64, u64)>> = [64usize, 1]
+        .iter()
+        .map(|&batch_max| {
+            let (store, _dev) = pgl_store();
+            let cfg = ServiceConfig { shards: 2, queue_depth: 128, batch_max, max_inflight: 512 };
+            let service = KvService::new(store, cfg).unwrap();
+            let mut reqs = Vec::new();
+            for k in 0..300u64 {
+                reqs.push(Request::Put { key: k % 100, value: k });
+                if k % 7 == 0 {
+                    reqs.push(Request::Del { key: (k + 3) % 100 });
+                }
+            }
+            for chunk in reqs.chunks(64) {
+                for resp in service.call(chunk) {
+                    assert!(matches!(resp, Response::Value(_)), "unexpected {resp:?}");
+                }
+            }
+            let resps = service.call(&[Request::Scan { start: 0, limit: 4096 }]);
+            match resps.into_iter().next().unwrap() {
+                Response::Pairs(pairs) => pairs,
+                other => panic!("scan failed: {other:?}"),
+            }
+        })
+        .collect();
+    assert_eq!(finals[0], finals[1], "grouping changed observable state");
+    assert!(!finals[0].is_empty());
+}

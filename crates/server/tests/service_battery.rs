@@ -1,0 +1,156 @@
+//! Service-level battery over real TCP: scripted mixed workloads checked
+//! against a `BTreeMap` model, multi-connection consistency, zero-length
+//! batches, and malformed-frame handling (typed error, then close, with
+//! the server staying healthy for other connections).
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use pangolin::{PglConfig, PglPool};
+use pgl_kv::store::PglStore;
+use pgl_nvm::{DeviceConfig, NvmDevice};
+use pgl_server::proto::{decode_responses, read_frame, Request, Response};
+use pgl_server::{Client, KvServer, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn pgl_store() -> PglStore {
+    let mut cfg = PglConfig::small();
+    cfg.pool.size = 32 << 20;
+    cfg.pool.zone_size = 16 << 20;
+    let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::fast()).unwrap());
+    PglStore::new(PglPool::create(dev, cfg).unwrap())
+}
+
+fn start_server() -> KvServer<PglStore> {
+    let cfg = ServiceConfig { shards: 4, ..ServiceConfig::default() };
+    KvServer::start(pgl_store(), cfg, "127.0.0.1:0").unwrap()
+}
+
+#[test]
+fn tcp_mixed_workload_matches_model() {
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut rng = StdRng::seed_from_u64(0x5eed_cafe);
+
+    for round in 0..40u64 {
+        // One frame of writes (duplicate keys allowed: same-key requests
+        // share a shard lane, so in-frame order is preserved).
+        let writes: Vec<Request> = (0..16)
+            .map(|_| {
+                let key = rng.gen_range(0..200u64);
+                if rng.gen_bool(0.25) {
+                    Request::Del { key }
+                } else {
+                    Request::Put { key, value: key * 31 + round }
+                }
+            })
+            .collect();
+        for (req, resp) in writes.iter().zip(client.call(&writes).unwrap()) {
+            let want = match *req {
+                Request::Put { key, value } => model.insert(key, value),
+                Request::Del { key } => model.remove(&key),
+                _ => unreachable!(),
+            };
+            assert_eq!(resp, Response::Value(want), "round {round}: {req:?}");
+        }
+
+        // One frame of reads; the previous frame is fully acknowledged,
+        // so the model is exact even for cross-shard scans.
+        let mut reads: Vec<Request> =
+            (0..8).map(|_| Request::Get { key: rng.gen_range(0..200u64) }).collect();
+        let start = rng.gen_range(0..200u64);
+        reads.push(Request::Scan { start, limit: 10 });
+        let resps = client.call(&reads).unwrap();
+        for (req, resp) in reads.iter().zip(resps) {
+            match *req {
+                Request::Get { key } => {
+                    assert_eq!(resp, Response::Value(model.get(&key).copied()), "get {key}");
+                }
+                Request::Scan { start, .. } => {
+                    let want: Vec<(u64, u64)> =
+                        model.range(start..).take(10).map(|(&k, &v)| (k, v)).collect();
+                    assert_eq!(resp, Response::Pairs(want), "scan from {start}");
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_connections_settle_to_a_consistent_state() {
+    let server = start_server();
+    let addr = server.local_addr();
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            s.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for f in 0..10u64 {
+                    let reqs: Vec<Request> = (0..8)
+                        .map(|i| Request::Put { key: t * 1000 + f * 8 + i, value: t })
+                        .collect();
+                    for resp in client.call(&reqs).unwrap() {
+                        assert!(matches!(resp, Response::Value(_)), "{resp:?}");
+                    }
+                }
+            });
+        }
+    });
+    let mut client = Client::connect(addr).unwrap();
+    for t in 0..4u64 {
+        for k in 0..80u64 {
+            let resp = client.get(t * 1000 + k).unwrap();
+            assert_eq!(resp, Response::Value(Some(t)), "key {}", t * 1000 + k);
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn empty_frames_round_trip() {
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(client.call(&[]).unwrap(), Vec::<Response>::new());
+    // The connection stays usable afterwards.
+    assert_eq!(client.put(1, 2).unwrap(), Response::Value(None));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_get_a_typed_error_then_close() {
+    let server = start_server();
+    let addr = server.local_addr();
+
+    // Valid length prefix, garbage payload: one Error response, then EOF.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    let garbage = [0xFFu8, 0xDE, 0xAD, 0xBE, 0xEF];
+    raw.write_all(&(garbage.len() as u32).to_le_bytes()).unwrap();
+    raw.write_all(&garbage).unwrap();
+    let mut payload = Vec::new();
+    assert!(read_frame(&mut raw, &mut payload).unwrap(), "expected an error reply");
+    let resps = decode_responses(&payload).unwrap();
+    assert!(
+        matches!(resps.as_slice(), [Response::Error(msg)] if msg.contains("bad frame")),
+        "got {resps:?}"
+    );
+    let mut byte = [0u8; 1];
+    assert_eq!(raw.read(&mut byte).unwrap(), 0, "server must close after a bad frame");
+
+    // Oversized length prefix: the server closes without replying.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    let mut buf = Vec::new();
+    let got = read_frame(&mut raw, &mut buf);
+    assert!(matches!(got, Ok(false) | Err(_)), "no reply expected, got {got:?}");
+
+    // Other connections are unaffected.
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.put(7, 8).unwrap(), Response::Value(None));
+    assert_eq!(client.get(7).unwrap(), Response::Value(Some(8)));
+    server.shutdown();
+}

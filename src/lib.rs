@@ -7,7 +7,9 @@
 //! * [`nvm`] — simulated NVMM device (persistence model, poison, crashes);
 //! * [`pmemobj`] — the `libpmemobj`-equivalent substrate and baseline;
 //! * [`pangolin`] — the fault-tolerant library itself;
-//! * [`kv`] — the six PMDK-toolkit data structures.
+//! * [`kv`] — the six PMDK-toolkit data structures;
+//! * [`server`] — the network-facing KV service with pipelined group
+//!   commit.
 //!
 //! See the workspace `README.md` for the architecture overview and
 //! `EXPERIMENTS.md` for the paper-reproduction results.
@@ -16,3 +18,4 @@ pub use pangolin;
 pub use pgl_kv as kv;
 pub use pgl_nvm as nvm;
 pub use pgl_pmemobj as pmemobj;
+pub use pgl_server as server;
