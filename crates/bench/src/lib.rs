@@ -174,6 +174,9 @@ pub struct Args {
     pub threads_explicit: bool,
     /// RNG seed (`--seed N`).
     pub seed: u64,
+    /// Machine-readable results path (`--json PATH`); binaries that
+    /// support it write a one-line JSON summary there.
+    pub json: Option<String>,
 }
 
 impl Args {
@@ -187,6 +190,7 @@ impl Args {
             threads: vec![1, 2, 4],
             threads_explicit: false,
             seed: 0xC0FFEE,
+            json: None,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -212,10 +216,14 @@ impl Args {
                     i += 1;
                     args.seed = argv[i].parse().expect("--seed N");
                 }
+                "--json" => {
+                    i += 1;
+                    args.json = Some(argv[i].clone());
+                }
                 other => {
                     eprintln!(
                         "unknown option {other}; supported: --ops N --pool-mb N \
-                         --no-latency --threads a,b,c --seed N"
+                         --no-latency --threads a,b,c --seed N --json PATH"
                     );
                     std::process::exit(2);
                 }

@@ -84,6 +84,7 @@ pub mod error;
 pub mod inject;
 pub mod options;
 pub mod parity;
+pub mod ploc;
 pub mod pool;
 pub mod recover;
 pub(crate) mod scratch;
@@ -98,6 +99,7 @@ pub use config::{CsumPolicy, PglConfig, PglMode};
 pub use detect::VulnSnapshot;
 pub use error::{PglError, Result};
 pub use options::OpenOptions;
+pub use ploc::{CasOutcome, CasRecovery, DetectableCas, WordCas};
 pub use pool::{ObjHandle, PglCounters, PglPool};
 pub use scrub::ScrubReport;
 pub use txn::{PglTx, TxStats};

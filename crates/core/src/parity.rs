@@ -250,6 +250,22 @@ impl ParityEngine {
         Ok(self.acquire(ids, exclusive))
     }
 
+    /// Locks the range-locks covering each of the given disjoint 8-byte
+    /// data words in one deadlock-free guard — the detectable-CAS fast
+    /// path holds a single *shared* guard over its target word and its
+    /// object's header word while it XOR-patches both parity columns,
+    /// instead of the whole-object span guard a commit write-back takes.
+    pub fn lock_words(&self, offs: &[u64], exclusive: bool) -> Result<RangeGuard<'_>> {
+        let mut ids = Vec::with_capacity(offs.len());
+        for &off in offs {
+            for seg in SegIter::new(&self.layout, off, 8) {
+                let seg = seg?;
+                self.push_stripes(seg.zone, seg.col, seg.len, &mut ids);
+            }
+        }
+        Ok(self.acquire(&mut ids, exclusive))
+    }
+
     /// Applies the parity effect of overwriting `[off, off+len)` with `new`
     /// where the current NVMM content is `old`: for each row segment,
     /// patches the parity row with `old ⊕ new`. Acquires its own

@@ -1,0 +1,458 @@
+//! Detectable persistent atomics (`ploc` — persistent lock-free operation
+//! checkpoints).
+//!
+//! Transactions give atomicity for arbitrary updates, but every structure
+//! built on them is lock-per-store: under the striped range-locks, hot
+//! nodes serialize all writers. This module provides the alternative the
+//! lock-free `pgl-kv` structures build on: a **detectable compare-and-swap
+//! over one 8-byte word of a pangolin object**, with the object's Adler32
+//! checksum and parity column patched at word granularity — no whole-object
+//! span guard, no redo log, two fences per operation.
+//!
+//! # Operation descriptors (the checkpoint region)
+//!
+//! Every lane header (64 bytes, of which the transaction engine uses only
+//! the 8-byte generation word) donates its spare bytes as one persistent
+//! *operation descriptor*:
+//!
+//! ```text
+//! lane_off + 0   generation          (owned by the transaction engine)
+//!          + 8   state               0 = IDLE, 1 = PREPARED
+//!          + 16  tag                 caller-chosen operation identity
+//!          + 24  obj_off             user-data offset of the target object
+//!          + 32  word_off            absolute offset of the CAS target word
+//!          + 40  expected            the compare value
+//!          + 48  new                 the swap value
+//! ```
+//!
+//! The descriptor shares the generation word's cache line, so it is
+//! mirrored to the lane-replica region in ML modes for free, and — because
+//! the crash model (like real hardware) never tears a cache line — it
+//! persists all-or-nothing.
+//!
+//! # Fence discipline
+//!
+//! A successful word CAS (`Inner::word_cas`, reached through
+//! [`crate::PglPool::atomic_update`]) issues exactly two fences:
+//!
+//! 1. **Prepare.** Write the descriptor (`PREPARED`, tag, addresses,
+//!    values) to every lane-header copy, flush, fence. From here on a
+//!    crash *replays* the operation instead of losing it.
+//! 2. **Publish + patch.** Under a *shared* stripe guard covering just the
+//!    target word's and the object header word's parity columns: bump the
+//!    object's verified-generation cache entry, CAS the word, XOR
+//!    `expected ⊕ new` into its parity column, fold the same delta into
+//!    the object's Adler32 with a CAS loop on the header's
+//!    `(type_num, csum)` word, XOR the header-word diff into *its* parity
+//!    column, flush the touched lines, fence.
+//!
+//! The descriptor then stays `PREPARED` until the lane's next operation
+//! overwrites it: retiring it eagerly would need a third fence, and a
+//! *lazily* retired descriptor could persist as `IDLE` while the CAS
+//! itself persisted — turning a completed operation invisible, which is
+//! exactly what detectability forbids. A failed CAS *does* retire its
+//! descriptor with a fence (the cold path), so replay can never promote a
+//! mismatch into a completion.
+//!
+//! # Recovery
+//!
+//! `replay_descriptors` runs at pool open, after redo-log replay. For
+//! every `PREPARED` descriptor it decides the operation's fate by
+//! comparing the target word against the descriptor's `new` value —
+//! **recompute, never re-apply**: the word itself persisted atomically, so
+//! recovery only re-derives the object checksum from the bytes actually on
+//! media and recomputes the two parity columns (both idempotent), then
+//! reports a [`CasRecovery`] through [`crate::PglPool::cas_recoveries`].
+//! A crashed operation therefore either never happened (descriptor absent
+//! or `IDLE`; the word is untouched) or completed exactly once (descriptor
+//! `PREPARED`; the word decides), and the client that was running it can
+//! tell which from the report for its tag.
+//!
+//! The decision rule assumes the in-flight word is not concurrently
+//! retargeted between the crash and the comparison — the single-threaded
+//! crash model — and, like every detectable-CAS design, that tags are not
+//! reused across unrelated operations on the same word (an ABA on the
+//! *word value itself* between prepare and replay would misreport; the
+//! lock-free structures never reuse a node offset while its operation is
+//! in flight, see `pgl-kv::lockfree`).
+
+use pgl_pmemobj::lane::LaneHandle;
+use pgl_pmemobj::{Layout, PMEMoid, PoolIo, OBJ_HEADER_SIZE};
+
+use crate::checksum::{adler32, adler32_update};
+use crate::error::{PglError, Result};
+use crate::parity::ParityEngine;
+use crate::pool::Inner;
+
+use pgl_pmemobj::lane::LogMirror;
+
+/// Byte offset of the descriptor state word within a lane header.
+const DESC_STATE: u64 = 8;
+/// Descriptor length in bytes (state through `new`).
+const DESC_LEN: usize = 48;
+
+/// Descriptor state: no operation in flight (or the last one failed).
+const STATE_IDLE: u64 = 0;
+/// Descriptor state: an operation is prepared; replay decides its fate.
+const STATE_PREPARED: u64 = 1;
+
+/// What recovery decided about a prepared CAS found after a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CasOutcome {
+    /// The swapped value is on media: the operation completed (exactly
+    /// once — replay recomputes checksum/parity but never re-applies).
+    Completed,
+    /// The word does not hold the swap value: the operation never took
+    /// effect and has been rolled away entirely.
+    RolledBack,
+}
+
+/// One recovered CAS descriptor, reported from pool open via
+/// [`crate::PglPool::cas_recoveries`].
+#[derive(Debug, Clone, Copy)]
+pub struct CasRecovery {
+    /// Lane whose descriptor slot held the operation.
+    pub lane: u32,
+    /// Caller-chosen operation identity (see [`crate::PglPool::atomic_update`]).
+    pub tag: u64,
+    /// User-data offset of the target object.
+    pub obj_off: u64,
+    /// Absolute device offset of the CAS target word.
+    pub word_off: u64,
+    /// The compare value the operation carried.
+    pub expected: u64,
+    /// The swap value the operation carried.
+    pub new: u64,
+    /// Whether the operation completed or rolled back.
+    pub outcome: CasOutcome,
+}
+
+/// Result of a detectable word CAS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WordCas {
+    /// The word held `expected` and now holds `new`, durably.
+    Applied,
+    /// The word held this value instead of `expected`; nothing changed.
+    Mismatch(u64),
+}
+
+impl WordCas {
+    /// `true` when the CAS took effect.
+    pub fn is_applied(&self) -> bool {
+        matches!(self, WordCas::Applied)
+    }
+}
+
+/// Operands of one validated word CAS (internal bundle; `size` is the
+/// target object's user size, already range-checked against `off`).
+#[derive(Clone, Copy)]
+struct CasOp {
+    oid: PMEMoid,
+    off: u64,
+    size: u64,
+    expected: u64,
+    new: u64,
+    tag: u64,
+}
+
+/// A typed detectable CAS cell: one 8-byte word at a fixed offset inside a
+/// pangolin object, plus the operation tag its owner uses for recovery.
+///
+/// This is the `ploc`-style primitive the lock-free structures are built
+/// from: construct one per (object, field) you CAS, call
+/// [`DetectableCas::cas`] with a fresh tag per logical operation, and
+/// after a crash ask [`crate::PglPool::cas_recoveries`] what happened to
+/// the tag that was in flight.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectableCas {
+    oid: PMEMoid,
+    off: u64,
+}
+
+impl DetectableCas {
+    /// A cell over the 8-byte word at `off` inside `oid`'s user data.
+    pub fn new(oid: PMEMoid, off: u64) -> DetectableCas {
+        DetectableCas { oid, off }
+    }
+
+    /// The object this cell lives in.
+    pub fn oid(&self) -> PMEMoid {
+        self.oid
+    }
+
+    /// Atomically reads the cell.
+    pub fn load(&self, pool: &crate::PglPool) -> Result<u64> {
+        pool.atomic_load(self.oid, self.off)
+    }
+
+    /// Detectable CAS on the cell; `tag` names the operation for recovery.
+    pub fn cas(&self, pool: &crate::PglPool, expected: u64, new: u64, tag: u64) -> Result<WordCas> {
+        pool.atomic_update(self.oid, self.off, expected, new, tag)
+    }
+}
+
+/// Descriptor slot offsets (absolute) for lane `idx`: the primary lane
+/// header plus the replica header in log-mirroring modes.
+fn desc_offsets(layout: &Layout, idx: u32, mirror: LogMirror) -> (u64, Option<u64>) {
+    let primary = layout.lane_off(idx as u64) + DESC_STATE;
+    let replica =
+        (mirror == LogMirror::SameDevice).then(|| layout.lane_replica_off(idx as u64) + DESC_STATE);
+    (primary, replica)
+}
+
+fn encode_desc(
+    state: u64,
+    tag: u64,
+    obj_off: u64,
+    word_off: u64,
+    expected: u64,
+    new: u64,
+) -> [u8; DESC_LEN] {
+    let mut d = [0u8; DESC_LEN];
+    for (i, w) in [state, tag, obj_off, word_off, expected, new].iter().enumerate() {
+        d[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
+    }
+    d
+}
+
+fn word_at(d: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(d[i * 8..i * 8 + 8].try_into().expect("8 bytes"))
+}
+
+/// The (zone-relative) parity cache line a data word's column patch lands
+/// on, for the distinct-line accounting behind
+/// [`pgl_nvm::StatsSnapshot::atomic_parity_patches`].
+fn parity_line_of(layout: &Layout, off: u64) -> Result<u64> {
+    let (zone, _row, col) = layout.row_col_of(off).map_err(PglError::from)?;
+    Ok(layout.parity_off(zone, col) / 64)
+}
+
+impl Inner {
+    /// The detectable-CAS fast path (see the module docs for the protocol).
+    ///
+    /// `lane` supplies the descriptor slot: the pool-level entry point
+    /// claims a lane for the call's duration, while [`crate::PglTx::cas_word`]
+    /// passes the transaction's own lane (claiming a second one there
+    /// could deadlock a pool whose lanes are all held by transactions).
+    pub(crate) fn word_cas(
+        &self,
+        lane: &LaneHandle<'_>,
+        oid: PMEMoid,
+        off: u64,
+        expected: u64,
+        new: u64,
+        tag: u64,
+    ) -> Result<WordCas> {
+        if oid.is_null() || oid.pool != self.uuid {
+            return Err(pgl_pmemobj::ObjError::InvalidOid { off: oid.off }.into());
+        }
+        if off % 8 != 0 {
+            return Err(PglError::Config(format!("cas_word offset {off} is not 8-byte aligned")));
+        }
+        // Header read (with online recovery) before entering the commit
+        // bracket: recovery freezes the pool and would deadlock against
+        // our own begin_commit.
+        let hdr = self.obj_header_checked(oid)?;
+        if !Inner::range_fits(off, 8, hdr.size) {
+            return Err(PglError::Config(format!(
+                "cas_word range {off}+8 exceeds object size {}",
+                hdr.size
+            )));
+        }
+        if expected == new {
+            // Degenerate CAS: success would change nothing, so nothing
+            // needs to persist — report against the current word.
+            let cur = self.io.dev().atomic_load_u64(oid.off + off).map_err(PglError::from)?;
+            return Ok(if cur == expected { WordCas::Applied } else { WordCas::Mismatch(cur) });
+        }
+        self.freeze.begin_commit();
+        let res = self.word_cas_in(lane, &CasOp { oid, off, size: hdr.size, expected, new, tag });
+        self.freeze.end_commit();
+        res
+    }
+
+    fn word_cas_in(&self, lane: &LaneHandle<'_>, op: &CasOp) -> Result<WordCas> {
+        let CasOp { oid, off, size, expected, new, tag } = *op;
+        let word_off = oid.off + off;
+        // The 8-byte header word holding (type_num, csum).
+        let hw_off = oid.header_off() + 8;
+        let (primary, replica) = desc_offsets(&self.layout, lane.index(), self.mirror());
+
+        // ---- fence #1: persist the PREPARED descriptor -----------------
+        let desc = encode_desc(STATE_PREPARED, tag, oid.off, word_off, expected, new);
+        for base in std::iter::once(primary).chain(replica) {
+            self.io.write(base, &desc).map_err(PglError::from)?;
+            self.io.flush(base, DESC_LEN).map_err(PglError::from)?;
+        }
+        self.io.drain();
+
+        // Shared stripe guard over exactly the two words' parity columns:
+        // excludes the scrubber's and commit write-backs' exclusive guards
+        // while letting concurrent word CASes (whose atomic XOR patches
+        // commute) through.
+        let guard = match &self.parity {
+            Some(engine) => Some(engine.lock_words(&[word_off, hw_off], false)?),
+            None => None,
+        };
+
+        // Invalidate cached verification *before* the store can be seen:
+        // the same write-back rule the span-guard path follows, so a
+        // reader racing this CAS re-verifies instead of trusting a stale
+        // cached generation.
+        self.vcache.bump(oid.off);
+
+        // ---- publish ---------------------------------------------------
+        let prev = self.io.atomic_cas_u64(word_off, expected, new).map_err(PglError::from)?;
+        if prev != expected {
+            drop(guard);
+            // Retire the descriptor *with* a fence: were it left PREPARED
+            // and the word later matched `new` by other means, replay
+            // would promote this failed operation to Completed.
+            for base in std::iter::once(primary).chain(replica) {
+                self.io.atomic_store_u64(base, STATE_IDLE).map_err(PglError::from)?;
+                self.io.flush(base, 8).map_err(PglError::from)?;
+            }
+            self.io.drain();
+            return Ok(WordCas::Mismatch(prev));
+        }
+
+        let oldb = expected.to_le_bytes();
+        let newb = new.to_le_bytes();
+        let mut patched_lines: [Option<u64>; 2] = [None, None];
+        if let (Some(engine), Some(g)) = (&self.parity, &guard) {
+            if engine.update_under_flush_only(g, &self.io, word_off, &oldb, &newb)? {
+                patched_lines[0] = Some(parity_line_of(&self.layout, word_off)?);
+            }
+        }
+
+        // Fold the word delta into the object's Adler32 with a CAS loop on
+        // the header word: the delta depends only on (offset, old, new,
+        // size), not on the base checksum, so concurrent CASes on the same
+        // object serialize here linearizably no matter the order their
+        // data words landed in.
+        if self.mode.has_checksums() {
+            loop {
+                let cur = self.io.dev().atomic_load_u64(hw_off).map_err(PglError::from)?;
+                let csum = (cur >> 32) as u32;
+                let csum2 = adler32_update(csum, size, off, &oldb, &newb);
+                let neww = (cur & 0xFFFF_FFFF) | ((csum2 as u64) << 32);
+                let prevh = self.io.atomic_cas_u64(hw_off, cur, neww).map_err(PglError::from)?;
+                if prevh != cur {
+                    continue;
+                }
+                if let (Some(engine), Some(g)) = (&self.parity, &guard) {
+                    if engine.update_under_flush_only(
+                        g,
+                        &self.io,
+                        hw_off,
+                        &cur.to_le_bytes(),
+                        &neww.to_le_bytes(),
+                    )? {
+                        patched_lines[1] = Some(parity_line_of(&self.layout, hw_off)?);
+                    }
+                }
+                self.io.flush(hw_off, 8).map_err(PglError::from)?;
+                break;
+            }
+        }
+
+        // ---- fence #2: data word + header word + parity lines ----------
+        self.io.flush(word_off, 8).map_err(PglError::from)?;
+        self.io.drain();
+        drop(guard);
+
+        let distinct = match patched_lines {
+            [Some(a), Some(b)] if a == b => 1,
+            [a, b] => a.is_some() as u64 + b.is_some() as u64,
+        };
+        if distinct > 0 {
+            self.io.dev().note_atomic_parity_patch(distinct);
+        }
+        // The descriptor stays PREPARED until this lane's next operation
+        // overwrites it (see the module docs for why eager retirement is
+        // not free and lazy retirement is wrong).
+        Ok(WordCas::Applied)
+    }
+}
+
+/// Replays every lane's CAS descriptor after a crash (pool open path,
+/// *after* redo-log replay — transactions win the recovery order, the
+/// word-granular recompute below is idempotent either way).
+pub(crate) fn replay_descriptors(
+    io: &PoolIo,
+    layout: &Layout,
+    mirror: LogMirror,
+    parity: Option<&ParityEngine>,
+    has_csums: bool,
+) -> Result<Vec<CasRecovery>> {
+    let mut reports = Vec::new();
+    for l in 0..layout.cfg.n_lanes as u32 {
+        let (primary, replica) = desc_offsets(layout, l, mirror);
+        let mut desc = [0u8; DESC_LEN];
+        match io.read_with_replica_fallback(primary, &mut desc) {
+            Ok(()) => {}
+            Err(_) if replica.is_some() => {
+                io.read(replica.expect("mirrored"), &mut desc).map_err(PglError::from)?;
+            }
+            Err(e) => return Err(e.into()),
+        }
+        if word_at(&desc, 0) != STATE_PREPARED {
+            continue;
+        }
+        let (tag, obj_off, word_off, expected, new) = (
+            word_at(&desc, 1),
+            word_at(&desc, 2),
+            word_at(&desc, 3),
+            word_at(&desc, 4),
+            word_at(&desc, 5),
+        );
+        // Defensive bounds check — a descriptor normally only ever holds
+        // addresses word_cas validated, but recovery trusts nothing.
+        let dev_len = io.dev().len() as u64;
+        if obj_off < OBJ_HEADER_SIZE
+            || word_off < obj_off
+            || word_off % 8 != 0
+            || word_off + 8 > dev_len
+        {
+            continue;
+        }
+        let outcome = if io.read_u64(word_off).map_err(PglError::from)? == new {
+            CasOutcome::Completed
+        } else {
+            CasOutcome::RolledBack
+        };
+        let hw_off = obj_off - OBJ_HEADER_SIZE + 8;
+        if has_csums {
+            // Re-derive the object checksum from the bytes actually on
+            // media: the crash may have persisted the data word without
+            // the delta-patched header word (or vice versa).
+            let size = io.read_u64(obj_off - OBJ_HEADER_SIZE).map_err(PglError::from)?;
+            if size >= 8 && word_off + 8 <= obj_off + size && obj_off + size <= dev_len {
+                let mut data = vec![0u8; size as usize];
+                io.read(obj_off, &mut data).map_err(PglError::from)?;
+                let csum = adler32(&data);
+                let cur = io.read_u64(hw_off).map_err(PglError::from)?;
+                let neww = (cur & 0xFFFF_FFFF) | ((csum as u64) << 32);
+                if neww != cur {
+                    io.write(hw_off, &neww.to_le_bytes()).map_err(PglError::from)?;
+                    io.persist(hw_off, 8).map_err(PglError::from)?;
+                }
+            }
+        }
+        if let Some(engine) = parity {
+            // Recompute (not re-patch) the two columns the operation
+            // touches — idempotent, so replaying an already-complete
+            // operation is harmless.
+            for off in [word_off, hw_off] {
+                let (zone, _row, col) = layout.row_col_of(off).map_err(PglError::from)?;
+                engine.recompute_columns(io, zone, col, 8)?;
+            }
+        }
+        for base in std::iter::once(primary).chain(replica) {
+            io.atomic_store_u64(base, STATE_IDLE).map_err(PglError::from)?;
+            io.persist(base, 8).map_err(PglError::from)?;
+        }
+        reports.push(CasRecovery { lane: l, tag, obj_off, word_off, expected, new, outcome });
+    }
+    Ok(reports)
+}

@@ -66,6 +66,9 @@ pub struct Inner {
     pub(crate) vcache: VCache,
     pub(crate) counters: PglCounters,
     pub(crate) scrub_tick: AtomicU64,
+    /// CAS descriptors replayed at open (see [`crate::ploc`]); empty for
+    /// freshly created pools and after clean shutdowns.
+    pub(crate) cas_recoveries: Vec<crate::ploc::CasRecovery>,
     background_scrub: Option<std::sync::mpsc::SyncSender<()>>,
 }
 
@@ -553,7 +556,7 @@ impl PglPool {
                 engine.recompute_columns(&io, z, 0, cm_span)?;
             }
         }
-        Self::assemble(io, layout, uuid, cfg, mirror)
+        Self::assemble(io, layout, uuid, cfg, mirror, Vec::new())
     }
 
     /// Returns the pool-construction builder — the one entry point for
@@ -638,7 +641,16 @@ impl PglPool {
             .then(|| ParityEngine::new(layout, cfg.parity_lock_granule, cfg.hybrid_threshold));
         crate::recover::crash_recover(&io, &layout, mirror, parity.as_ref())?;
         crate::recover::finish_page_repair_if_pending(&io, &layout, parity.as_ref())?;
-        Self::assemble(io, layout, hdr.uuid, cfg, mirror)
+        // Detectable-CAS replay runs after redo replay: transactions win
+        // the recovery order, and the ploc recompute is idempotent.
+        let cas_recoveries = crate::ploc::replay_descriptors(
+            &io,
+            &layout,
+            mirror,
+            parity.as_ref(),
+            mode.has_checksums(),
+        )?;
+        Self::assemble(io, layout, hdr.uuid, cfg, mirror, cas_recoveries)
     }
 
     fn assemble(
@@ -647,6 +659,7 @@ impl PglPool {
         uuid: u64,
         cfg: PglConfig,
         mirror: LogMirror,
+        cas_recoveries: Vec<crate::ploc::CasRecovery>,
     ) -> Result<Self> {
         let heap = match Heap::rebuild(&io, layout, cfg.mode.has_checksums()) {
             Ok(h) => h,
@@ -686,6 +699,7 @@ impl PglPool {
             vcache: VCache::new(cfg.vcache_shards, cfg.vcache_capacity, cfg.mode.has_checksums()),
             counters: PglCounters::default(),
             scrub_tick: AtomicU64::new(0),
+            cas_recoveries,
             background_scrub: txc,
         });
         if let Some(rx) = rxc {
@@ -871,6 +885,50 @@ impl PglPool {
         let mut v = pgl_nvm::pod::zeroed::<T>();
         self.read(oid, off, pgl_nvm::pod::bytes_of_mut(&mut v))?;
         Ok(v)
+    }
+
+    /// Detectable compare-and-swap on the 8-byte word at `off` inside
+    /// `oid`'s user data (the `ploc` fast path, see [`crate::ploc`]):
+    /// patches the object's Adler32 and the word's parity column at word
+    /// granularity under a shared stripe guard — no whole-object span
+    /// guard, no redo log, two fences. `tag` names the operation; after a
+    /// crash, [`PglPool::cas_recoveries`] reports whether the tagged
+    /// operation completed or rolled back. Durable (and crash-replayable)
+    /// the moment it returns [`crate::ploc::WordCas::Applied`].
+    pub fn atomic_update(
+        &self,
+        oid: PMEMoid,
+        off: u64,
+        expected: u64,
+        new: u64,
+        tag: u64,
+    ) -> Result<crate::ploc::WordCas> {
+        let lane = self.inner.lanes.claim(&self.inner.io);
+        self.inner.word_cas(&lane, oid, off, expected, new, tag)
+    }
+
+    /// Atomically reads the 8-byte word at `off` inside `oid`'s user data
+    /// (acquire ordering against concurrent [`PglPool::atomic_update`]s).
+    /// No checksum verification — lock-free traversals read words whose
+    /// coherence the CAS protocol, not the checksum, guarantees; the read
+    /// is counted in the unverified-bytes vulnerability bucket.
+    pub fn atomic_load(&self, oid: PMEMoid, off: u64) -> Result<u64> {
+        self.check_oid(oid)?;
+        if off % 8 != 0 {
+            return Err(PglError::Config(format!("atomic_load offset {off} not 8-byte aligned")));
+        }
+        if self.inner.mode.has_checksums() {
+            self.inner.vuln.note_unverified(8);
+        }
+        self.inner.io.dev().atomic_load_u64(oid.off + off).map_err(PglError::from)
+    }
+
+    /// The CAS descriptors replayed when this pool was opened after a
+    /// crash (see [`crate::ploc`]): one entry per lane whose operation was
+    /// in flight, reporting whether it completed or rolled back. Empty
+    /// for freshly created pools.
+    pub fn cas_recoveries(&self) -> &[crate::ploc::CasRecovery] {
+        &self.inner.cas_recoveries
     }
 
     /// The object's header metadata `(user size, type number)`, with

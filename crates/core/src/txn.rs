@@ -501,6 +501,36 @@ impl<'p> PglTx<'p> {
         Ok(self.inner.obj_header_checked(oid)?.size)
     }
 
+    /// Detectable compare-and-swap on the 8-byte word at `off` inside
+    /// `oid`'s user data, using this transaction's lane for the operation
+    /// descriptor (see [`crate::ploc`]). Unlike buffered writes this is
+    /// **immediate and durable**: it publishes the moment it returns
+    /// [`crate::ploc::WordCas::Applied`] and is *not* undone by abort —
+    /// lock-free structures use it to publish nodes their enclosing
+    /// transaction allocated and initialized. The target object must not
+    /// be open in this transaction's micro-buffers (the buffered copy
+    /// would go stale and its write-back would clobber the CAS).
+    pub fn cas_word(
+        &mut self,
+        oid: PMEMoid,
+        off: u64,
+        expected: u64,
+        new: u64,
+        tag: u64,
+    ) -> Result<crate::ploc::WordCas> {
+        self.check_oid(oid)?;
+        if self.ubufs.contains_key(&oid.off)
+            || self.sparse.contains_key(&oid.off)
+            || self.lazy.contains_key(&oid.off)
+        {
+            return Err(PglError::Config(format!(
+                "cas_word target {:#x} is buffered in this transaction",
+                oid.off
+            )));
+        }
+        self.inner.word_cas(&self.lane, oid, off, expected, new, tag)
+    }
+
     /// Debug-build verification that a typed handle's brand matches the
     /// object it points at. `size == 0` skips the size/type check (array
     /// handles, whose length is a run-time property). Release builds

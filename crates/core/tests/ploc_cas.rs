@@ -1,0 +1,296 @@
+//! The detectable-CAS subsystem (`pangolin::ploc`): fast-path cost
+//! accounting, vcache invalidation ordering, descriptor retirement
+//! semantics, transactional `cas_word`, and a bare-CAS crash sweep that
+//! exercises every boundary of the two-fence protocol — including the
+//! window between the descriptor's persist fence and the CAS publication.
+
+use std::sync::Arc;
+
+use pangolin::crashcheck::{self, FnWorkload, SweepConfig};
+use pangolin::{CasOutcome, PglConfig, PglError, PglPool, WordCas};
+use pgl_nvm::{DeviceConfig, NvmDevice};
+use pgl_pmemobj::PMEMoid;
+
+fn make_pool() -> (PglPool, Arc<NvmDevice>) {
+    let cfg = PglConfig::small();
+    let dev = Arc::new(NvmDevice::new(cfg.pool.size, DeviceConfig::fast()).unwrap());
+    (PglPool::create(dev.clone(), cfg).unwrap(), dev)
+}
+
+/// Allocates a 24-byte object whose first data word shares a cache line
+/// (and therefore a parity line) with the object's header word — the
+/// size classes keep 8-byte granularity, so one turns up within a few
+/// allocations.
+fn alloc_line_sharing_object(pool: &PglPool) -> PMEMoid {
+    for _ in 0..64 {
+        let oid = pool
+            .tx(|tx| {
+                let oid = tx.alloc(24, 5)?;
+                tx.write(oid, 0, &[0x11u8; 24])?;
+                Ok(oid)
+            })
+            .unwrap();
+        let line_pos = oid.off % 64;
+        if line_pos >= 8 && line_pos + 8 <= 64 {
+            return oid;
+        }
+    }
+    panic!("no allocation placed a data word on the header word's line");
+}
+
+#[test]
+fn cas_word_applies_durably_and_keeps_checksum_coherent() {
+    let (pool, _dev) = make_pool();
+    let oid = pool
+        .tx(|tx| {
+            let oid = tx.alloc(32, 5)?;
+            tx.write(oid, 0, &[0xABu8; 32])?;
+            Ok(oid)
+        })
+        .unwrap();
+    let old = u64::from_le_bytes([0xAB; 8]);
+
+    assert_eq!(pool.atomic_update(oid, 16, old, 0xDEAD_BEEF, 1).unwrap(), WordCas::Applied);
+    // A verified read recomputes the checksum over the bytes on media:
+    // it passing proves the delta patch matched the stored word.
+    let bytes = pool.read_verified(oid).unwrap();
+    assert_eq!(u64::from_le_bytes(bytes[16..24].try_into().unwrap()), 0xDEAD_BEEF);
+    assert_eq!(&bytes[..16], &[0xAB; 16]);
+
+    // Mismatch: reports the actual value, changes nothing.
+    assert_eq!(
+        pool.atomic_update(oid, 16, old, 0x5555, 2).unwrap(),
+        WordCas::Mismatch(0xDEAD_BEEF)
+    );
+    assert_eq!(pool.read_pod::<u64>(oid, 16).unwrap(), 0xDEAD_BEEF);
+
+    assert!(pool.verify_parity().unwrap());
+    assert!(pool.find_corrupt_objects().unwrap().is_empty());
+}
+
+#[test]
+fn cas_word_rejects_bad_ranges() {
+    let (pool, _dev) = make_pool();
+    let oid = pool.tx(|tx| tx.alloc(16, 5)).unwrap();
+    assert!(pool.atomic_update(oid, 4, 0, 1, 1).is_err(), "unaligned offset");
+    assert!(pool.atomic_update(oid, 16, 0, 1, 1).is_err(), "word past object end");
+    assert!(pool.atomic_load(oid, 4).is_err(), "unaligned load");
+}
+
+/// Satellite: the word-CAS fast path costs exactly one parity XOR line
+/// (data word and header word share the line here) and performs zero
+/// whole-object pre-image reads — the span-guard commit path's costs
+/// don't leak in.
+#[test]
+fn single_word_cas_costs_one_parity_line_and_no_preimage_reads() {
+    let (pool, dev) = make_pool();
+    let oid = alloc_line_sharing_object(&pool);
+    let old = u64::from_le_bytes([0x11; 8]);
+
+    let s0 = dev.stats();
+    assert_eq!(pool.atomic_update(oid, 0, old, 0x2222, 3).unwrap(), WordCas::Applied);
+    let d = dev.stats().delta_since(&s0);
+
+    // One CAS on the data word, one on the header (type_num, csum) word.
+    assert_eq!(d.atomic_cas_ops, 2, "data-word CAS + header-word CAS");
+    // Both words sit on one cache line, so one parity line is patched.
+    assert_eq!(d.atomic_parity_patches, 1, "exactly one parity line XORed");
+    // No whole-object pre-image read (the transactional commit path's
+    // signature cost) and no checksum pass on the fast path itself.
+    assert_eq!(d.commit_old_reads, 0, "no pre-image reads");
+    assert_eq!(d.csum_passes, 0, "no whole-object checksum pass");
+
+    // The patched checksum still verifies.
+    let bytes = pool.read_verified(oid).unwrap();
+    assert_eq!(u64::from_le_bytes(bytes[..8].try_into().unwrap()), 0x2222);
+    assert!(pool.verify_parity().unwrap());
+}
+
+/// Satellite: the CAS bumps the object's verified-generation entry
+/// *before* the new value becomes visible, so a verified read issued
+/// after the CAS can never serve the stale cached verification.
+#[test]
+fn cas_invalidates_vcache_before_the_store_is_visible() {
+    let (pool, dev) = make_pool();
+    let oid = pool
+        .tx(|tx| {
+            let oid = tx.alloc(32, 5)?;
+            tx.write(oid, 0, &[0x33u8; 32])?;
+            Ok(oid)
+        })
+        .unwrap();
+
+    // Warm the verified-generation cache and prove it serves hits.
+    pool.read_verified(oid).unwrap();
+    let s0 = dev.stats();
+    pool.read_verified(oid).unwrap();
+    assert_eq!(dev.stats().delta_since(&s0).vcache_hits, 1, "cache warm before CAS");
+
+    let old = u64::from_le_bytes([0x33; 8]);
+    assert_eq!(pool.atomic_update(oid, 8, old, 0x4444, 4).unwrap(), WordCas::Applied);
+
+    // The read after the CAS must re-verify (miss), not trust the stale
+    // generation — and must see the new value.
+    let s1 = dev.stats();
+    let bytes = pool.read_verified(oid).unwrap();
+    let d = dev.stats().delta_since(&s1);
+    assert_eq!(d.vcache_hits, 0, "generation bumped: no stale cache hit");
+    assert!(d.csum_passes >= 1, "the post-CAS read re-verified the object");
+    assert_eq!(u64::from_le_bytes(bytes[8..16].try_into().unwrap()), 0x4444);
+}
+
+#[test]
+fn degenerate_cas_touches_no_device_state() {
+    let (pool, dev) = make_pool();
+    let oid = pool
+        .tx(|tx| {
+            let oid = tx.alloc(16, 5)?;
+            tx.write(oid, 0, &7u64.to_le_bytes())?;
+            Ok(oid)
+        })
+        .unwrap();
+    let s0 = dev.stats();
+    // expected == new: nothing would change, so nothing persists.
+    assert_eq!(pool.atomic_update(oid, 0, 7, 7, 5).unwrap(), WordCas::Applied);
+    assert_eq!(pool.atomic_update(oid, 0, 9, 9, 6).unwrap(), WordCas::Mismatch(7));
+    let d = dev.stats().delta_since(&s0);
+    assert_eq!(d.atomic_cas_ops, 0);
+    assert_eq!(d.atomic_parity_patches, 0);
+}
+
+/// Descriptor lifecycle: a successful CAS leaves its descriptor prepared
+/// (replay re-reports it, harmlessly and idempotently, as `Completed`),
+/// while a failed CAS retires its descriptor with a fence so replay can
+/// never promote the mismatch into a completion.
+#[test]
+fn descriptor_retirement_decides_replay_reports() {
+    let (pool, dev) = make_pool();
+    let oid = pool
+        .tx(|tx| {
+            let oid = tx.alloc(16, 5)?;
+            tx.write(oid, 0, &1u64.to_le_bytes())?;
+            Ok(oid)
+        })
+        .unwrap();
+
+    // Failed CAS first (its retired descriptor is then overwritten by the
+    // successful one — same thread, same preferred lane).
+    assert_eq!(pool.atomic_update(oid, 0, 99, 100, 8).unwrap(), WordCas::Mismatch(1));
+    assert_eq!(pool.atomic_update(oid, 0, 1, 2, 7).unwrap(), WordCas::Applied);
+
+    drop(pool);
+    let pool = PglPool::options().open(dev).unwrap();
+    let reports = pool.cas_recoveries();
+    assert!(
+        reports.iter().any(|r| r.tag == 7 && r.outcome == CasOutcome::Completed),
+        "the completed operation's descriptor replays as Completed: {reports:?}"
+    );
+    assert!(
+        !reports.iter().any(|r| r.tag == 8),
+        "the failed operation's descriptor was retired: {reports:?}"
+    );
+    assert_eq!(pool.read_pod::<u64>(oid, 0).unwrap(), 2);
+    assert!(pool.verify_parity().unwrap());
+    assert!(pool.find_corrupt_objects().unwrap().is_empty());
+}
+
+#[test]
+fn tx_cas_word_is_immediate_and_rejects_buffered_objects() {
+    let (pool, _dev) = make_pool();
+    let oid = pool
+        .tx(|tx| {
+            let oid = tx.alloc(16, 5)?;
+            tx.write(oid, 0, &10u64.to_le_bytes())?;
+            Ok(oid)
+        })
+        .unwrap();
+
+    // A CAS on an object this transaction has buffered would bypass the
+    // micro-buffer (lost-update): rejected.
+    let err = pool.tx(|tx| {
+        tx.write(oid, 8, &5u64.to_le_bytes())?;
+        tx.cas_word(oid, 0, 10, 11, 9)
+    });
+    assert!(matches!(err, Err(PglError::Config(_))), "buffered target must be rejected: {err:?}");
+
+    // cas_word takes effect immediately — even if the transaction later
+    // aborts, the CAS is durable (it is not undone by the redo log).
+    let res: Result<(), PglError> = pool.tx(|tx| {
+        assert_eq!(tx.cas_word(oid, 0, 10, 12, 10)?, WordCas::Applied);
+        Err(PglError::Unrecoverable("deliberate abort".into()))
+    });
+    assert!(res.is_err());
+    assert_eq!(pool.read_pod::<u64>(oid, 0).unwrap(), 12);
+    assert!(pool.verify_parity().unwrap());
+    assert!(pool.find_corrupt_objects().unwrap().is_empty());
+}
+
+/// Bare-CAS crash sweep: four detectable CASes on the root object, a
+/// commit point after each, crashed at every device-op boundary — which
+/// includes the window between descriptor persist and CAS publication.
+/// Recovery must report each in-flight tag as completed or rolled back,
+/// never promote the deliberate mismatch, and leave checksum and parity
+/// coherent (the harness checks those).
+#[test]
+fn bare_cas_survives_crash_sweep() {
+    // (word index, expected, new, must_mismatch)
+    const OPS: [(u64, u64, u64, bool); 4] =
+        [(0, 0, 5, false), (1, 0, 7, false), (0, 5, 9, false), (2, 1, 3, true)];
+
+    let w = FnWorkload::new(
+        "bare-cas",
+        |pool| {
+            pool.root(32, 91)?;
+            Ok(())
+        },
+        |pool, ctx| {
+            let root = pool.root(32, 91)?;
+            for (i, (word, expected, new, must_mismatch)) in OPS.iter().enumerate() {
+                let res = pool.atomic_update(root, word * 8, *expected, *new, (i + 1) as u64)?;
+                assert_eq!(!res.is_applied(), *must_mismatch, "op {i}");
+                ctx.commit_point(pool)?;
+            }
+            Ok(())
+        },
+    )
+    .with_verify(|pool, committed| {
+        let root = pool.root(32, 91)?;
+        let mut words = [0u64; 4];
+        for (i, (word, _, new, must_mismatch)) in OPS.iter().enumerate() {
+            let tag = (i + 1) as u64;
+            let applied = if i < committed {
+                !*must_mismatch
+            } else {
+                // The in-flight op: recovery's report decides. A mismatch
+                // must never be promoted to Completed.
+                let completed = pool
+                    .cas_recoveries()
+                    .iter()
+                    .any(|r| r.tag == tag && r.outcome == CasOutcome::Completed);
+                if completed && *must_mismatch {
+                    return Err(PglError::Unrecoverable(format!(
+                        "mismatch op {i} promoted to Completed by replay"
+                    )));
+                }
+                completed
+            };
+            if applied {
+                words[*word as usize] = *new;
+            }
+            if i >= committed {
+                break;
+            }
+        }
+        let bytes = pool.read_verified(root)?;
+        for (w, expect) in words.iter().enumerate() {
+            let got = u64::from_le_bytes(bytes[w * 8..w * 8 + 8].try_into().unwrap());
+            if got != *expect {
+                return Err(PglError::Unrecoverable(format!(
+                    "word {w} after {committed} commits: got {got}, expected {expect}"
+                )));
+            }
+        }
+        Ok(())
+    });
+    crashcheck::sweep_with(&w, &SweepConfig::from_env().budget(16));
+}

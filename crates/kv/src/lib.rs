@@ -41,6 +41,7 @@ pub mod btree;
 pub mod crashwork;
 pub mod ctree;
 pub mod hashmap;
+pub mod lockfree;
 pub mod maps;
 pub mod rbtree;
 pub mod rtree;
@@ -51,6 +52,7 @@ pub mod workload;
 pub use btree::BTree;
 pub use ctree::CTree;
 pub use hashmap::HashMap;
+pub use lockfree::{LfHash, LfQueue, LfStack, LockedQueue, LockedStack};
 pub use maps::PersistentMap;
 pub use rbtree::RbTree;
 pub use rtree::RTree;

@@ -499,6 +499,42 @@ impl NvmDevice {
         Ok(())
     }
 
+    /// Atomically compares-and-swaps the `u64` at an 8-byte-aligned offset.
+    /// Returns the value observed *before* the operation: the CAS took
+    /// effect iff the return value equals `expected`. This is the
+    /// publication primitive of the detectable-CAS subsystem
+    /// (`pangolin::ploc`): an aligned 8-byte store is failure-atomic
+    /// (paper §2.3), so under the per-line crash model the word persists
+    /// as either the old or the new value, never torn.
+    pub fn atomic_cas_u64(&self, off: u64, expected: u64, new: u64) -> Result<u64> {
+        self.check_aligned8(off)?;
+        self.maybe_crash();
+        DeviceStats::add(&self.stats.atomic_cas_ops, 1);
+        if self.latency.atomic_rmw_ns > 0 {
+            LatencyModel::charge(self.latency.atomic_rmw_ns);
+        }
+        if let Some(tracker) = &self.tracker {
+            let line = off / CACHELINE as u64;
+            tracker.note_store(line, &self.line_content(line));
+        }
+        // SAFETY: aligned, in-bounds.
+        let atom = unsafe { &*(self.ptr_at(off) as *const AtomicU64) };
+        match atom.compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(prev) => Ok(prev),
+            Err(prev) => Ok(prev),
+        }
+    }
+
+    /// Tags `lines` parity cache lines patched by a word-granular CAS
+    /// (the delta-checksum + single-line XOR fast path). The ploc commit
+    /// path calls this once per successful CAS with the number of
+    /// *distinct* parity lines it XOR-patched, so regression tests can
+    /// pin the one-parity-line-per-word-CAS invariant
+    /// ([`StatsSnapshot::atomic_parity_patches`]).
+    pub fn note_atomic_parity_patch(&self, lines: u64) {
+        DeviceStats::add(&self.stats.atomic_parity_patches, lines);
+    }
+
     /// Tags `bytes` of a just-issued read as a *commit-time old-data
     /// read*. The commit pipeline calls this exactly once next to the
     /// single per-range read it performs, so regression tests can assert

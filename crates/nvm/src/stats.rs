@@ -30,6 +30,8 @@ pub struct DeviceStats {
     pub(crate) vcache_hit_bytes: AtomicU64,
     pub(crate) group_commits: AtomicU64,
     pub(crate) group_txns: AtomicU64,
+    pub(crate) atomic_cas_ops: AtomicU64,
+    pub(crate) atomic_parity_patches: AtomicU64,
 }
 
 impl DeviceStats {
@@ -59,6 +61,8 @@ impl DeviceStats {
             vcache_hit_bytes: self.vcache_hit_bytes.load(Ordering::Relaxed),
             group_commits: self.group_commits.load(Ordering::Relaxed),
             group_txns: self.group_txns.load(Ordering::Relaxed),
+            atomic_cas_ops: self.atomic_cas_ops.load(Ordering::Relaxed),
+            atomic_parity_patches: self.atomic_parity_patches.load(Ordering::Relaxed),
         }
     }
 }
@@ -110,6 +114,14 @@ pub struct StatsSnapshot {
     /// Logical transactions carried by group commits. `group_txns /
     /// group_commits` is the achieved batching factor.
     pub group_txns: u64,
+    /// 8-byte compare-and-swap operations (the detectable-CAS publication
+    /// primitive; see [`crate::NvmDevice::atomic_cas_u64`]).
+    pub atomic_cas_ops: u64,
+    /// Distinct parity cache lines XOR-patched by word-granular CAS
+    /// commits (see [`crate::NvmDevice::note_atomic_parity_patch`]); a
+    /// single-word CAS whose data and header words share a cache line
+    /// patches exactly one — the regression tests pin that.
+    pub atomic_parity_patches: u64,
 }
 
 impl StatsSnapshot {
@@ -139,6 +151,10 @@ impl StatsSnapshot {
             vcache_hit_bytes: self.vcache_hit_bytes.saturating_sub(earlier.vcache_hit_bytes),
             group_commits: self.group_commits.saturating_sub(earlier.group_commits),
             group_txns: self.group_txns.saturating_sub(earlier.group_txns),
+            atomic_cas_ops: self.atomic_cas_ops.saturating_sub(earlier.atomic_cas_ops),
+            atomic_parity_patches: self
+                .atomic_parity_patches
+                .saturating_sub(earlier.atomic_parity_patches),
         }
     }
 }

@@ -109,6 +109,21 @@ impl PoolIo {
         Ok(())
     }
 
+    /// Atomic 8-byte compare-and-swap, serialized on the primary pool.
+    /// Returns the primary's pre-CAS value; on success the new value is
+    /// propagated to the replica with a plain atomic store (the primary
+    /// is the ordering authority — replicated pools have no concurrent
+    /// CAS users of their own).
+    pub fn atomic_cas_u64(&self, off: u64, expected: u64, new: u64) -> Result<u64> {
+        let prev = self.dev.atomic_cas_u64(off, expected, new)?;
+        if prev == expected {
+            if let Some(r) = &self.replica {
+                r.atomic_store_u64(off, new)?;
+            }
+        }
+        Ok(prev)
+    }
+
     /// Reads from the primary pool only (loads are never mirrored).
     pub fn read(&self, off: u64, dst: &mut [u8]) -> Result<()> {
         Ok(self.dev.read(off, dst)?)
