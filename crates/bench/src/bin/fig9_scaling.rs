@@ -72,8 +72,12 @@ fn worker(store: &AnyStore, oids: &mut Vec<PMEMoid>, ops: usize, seed: u64) {
 /// Measures aggregate transactions/sec for `threads` workers on one pool.
 fn bench(store: &Arc<AnyStore>, threads: usize, ops_per_thread: usize, seed: u64) -> f64 {
     // Pre-populate each thread's private object set (outside the timing).
+    // Each thread is pinned to a parity shard (round-robin), so its
+    // objects — and later its commits — stay inside one parity domain:
+    // no stripe-lock sharing across threads and no cross-shard commits.
     let mut sets: Vec<Vec<PMEMoid>> = Vec::new();
     for t in 0..threads {
+        store.bind_shard(t);
         let mut oids = Vec::with_capacity(PER_THREAD_OBJECTS * 2);
         for _ in 0..PER_THREAD_OBJECTS {
             let oid = store
@@ -92,7 +96,10 @@ fn bench(store: &Arc<AnyStore>, threads: usize, ops_per_thread: usize, seed: u64
     std::thread::scope(|s| {
         for (tid, oids) in sets.iter_mut().enumerate() {
             let store = store.clone();
-            s.spawn(move || worker(&store, oids, ops_per_thread, seed ^ tid as u64));
+            s.spawn(move || {
+                store.bind_shard(tid);
+                worker(&store, oids, ops_per_thread, seed ^ tid as u64)
+            });
         }
     });
     let secs = t0.elapsed().as_secs_f64();

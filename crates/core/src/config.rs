@@ -91,6 +91,14 @@ pub struct PglConfig {
     /// power of two). More stripes cut contention between concurrent
     /// readers/committers; each costs one mutex + map.
     pub vcache_shards: usize,
+    /// Parity shard (domain) count. Each shard owns the zones with
+    /// `zone % shards == shard`, with its own parity stripe-lock table,
+    /// recovery sweep and scrub partition. `0` picks an automatic count
+    /// (`min(n_zones, 8)`); any explicit value is clamped to the zone
+    /// count. Runtime-only — not persisted in the pool header, so a pool
+    /// can be reopened with any shard count and `shards = 1` is
+    /// byte-compatible with pre-sharding pools.
+    pub shards: usize,
 }
 
 impl PglConfig {
@@ -105,6 +113,7 @@ impl PglConfig {
             background_scrub: false,
             vcache_capacity: 64 << 10,
             vcache_shards: 64,
+            shards: 1,
         }
     }
 
@@ -119,6 +128,7 @@ impl PglConfig {
             background_scrub: false,
             vcache_capacity: 64 << 10,
             vcache_shards: 64,
+            shards: 0,
         }
     }
 

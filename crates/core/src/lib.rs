@@ -99,6 +99,7 @@ pub use config::{CsumPolicy, PglConfig, PglMode};
 pub use detect::VulnSnapshot;
 pub use error::{PglError, Result};
 pub use options::OpenOptions;
+pub use parity::{ParityDomains, ShardMap};
 pub use ploc::{CasOutcome, CasRecovery, DetectableCas, WordCas};
 pub use pool::{ObjHandle, PglCounters, PglPool};
 pub use scrub::ScrubReport;

@@ -123,6 +123,14 @@ impl OpenOptions {
         self
     }
 
+    /// Parity shard (domain) count: `0` = automatic (`min(n_zones, 8)`),
+    /// explicit values are clamped to the zone count. Runtime-only — any
+    /// pool can be reopened with any shard count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = shards;
+        self
+    }
+
     /// The [`PglConfig`] the builder currently describes (what
     /// [`OpenOptions::create`] would use).
     pub fn config(&self) -> PglConfig {

@@ -600,37 +600,291 @@ impl ParityEngine {
     /// may run concurrently with committing transactions (which hold the
     /// same locks across their write-backs).
     pub fn verify_all(&self, io: &PoolIo) -> Result<Vec<(u64, u64)>> {
-        const STEP: u64 = ParityEngine::VERIFY_STEP;
         let mut mismatches = Vec::new();
-        let mut acc = vec![0u8; STEP as usize];
-        let mut buf = vec![0u8; STEP as usize];
         for zone in 0..self.layout.n_zones {
-            let mut col = 0;
-            while col < self.layout.zone.row_size {
-                let len = STEP.min(self.layout.zone.row_size - col);
-                let acc = &mut acc[..len as usize];
-                let buf = &mut buf[..len as usize];
-                acc.fill(0);
-                let guard = self.lock_columns(zone, col, len, true);
-                for row in 0..self.layout.zone.data_rows {
-                    self.read_row_range(io, zone, row, col, buf)?;
-                    for (a, b) in acc.iter_mut().zip(buf.iter()) {
-                        *a ^= b;
-                    }
-                }
-                io.read(self.layout.parity_off(zone, col), buf).map_err(PglError::from)?;
-                drop(guard);
-                if acc != buf {
-                    mismatches.push((zone, col));
-                }
-                col += len;
-            }
+            self.verify_zone(io, zone, &mut mismatches)?;
         }
         Ok(mismatches)
     }
 
+    /// Verifies the parity invariant for every column window of one zone,
+    /// appending each mismatching `(zone, column)` to `mismatches` (the
+    /// per-zone core of [`ParityEngine::verify_all`]; sharded pools sweep
+    /// one engine's own zones through here).
+    pub fn verify_zone(
+        &self,
+        io: &PoolIo,
+        zone: u64,
+        mismatches: &mut Vec<(u64, u64)>,
+    ) -> Result<()> {
+        const STEP: u64 = ParityEngine::VERIFY_STEP;
+        let mut acc = vec![0u8; STEP as usize];
+        let mut buf = vec![0u8; STEP as usize];
+        let mut col = 0;
+        while col < self.layout.zone.row_size {
+            let len = STEP.min(self.layout.zone.row_size - col);
+            let acc = &mut acc[..len as usize];
+            let buf = &mut buf[..len as usize];
+            acc.fill(0);
+            let guard = self.lock_columns(zone, col, len, true);
+            for row in 0..self.layout.zone.data_rows {
+                self.read_row_range(io, zone, row, col, buf)?;
+                for (a, b) in acc.iter_mut().zip(buf.iter()) {
+                    *a ^= b;
+                }
+            }
+            io.read(self.layout.parity_off(zone, col), buf).map_err(PglError::from)?;
+            drop(guard);
+            if acc != buf {
+                mismatches.push((zone, col));
+            }
+            col += len;
+        }
+        Ok(())
+    }
+
     /// Column window size used by [`ParityEngine::verify_all`].
     pub const VERIFY_STEP: u64 = 4096;
+}
+
+/// Maps zones to parity shards (domains) and routes pool offsets to their
+/// owning shard. Shard membership is `zone % n_shards` — round-robin, so
+/// shards stay balanced however many zones the pool has.
+///
+/// `Copy` so the commit path, recovery workers and the service layer can
+/// all carry the routing rule by value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    heap_off: u64,
+    zone_size: u64,
+    n_zones: u64,
+    n_shards: u64,
+}
+
+impl ShardMap {
+    /// Builds the map for `layout` with the configured shard count
+    /// (resolved via [`ShardMap::resolve`]).
+    pub fn new(layout: &Layout, shards: usize) -> ShardMap {
+        ShardMap {
+            heap_off: layout.heap_off,
+            zone_size: layout.cfg.zone_size as u64,
+            n_zones: layout.n_zones,
+            n_shards: Self::resolve(layout.n_zones, shards),
+        }
+    }
+
+    /// Resolves a configured shard count against the zone count: `0` is
+    /// automatic (`min(n_zones, 8)`), explicit values are clamped to the
+    /// zone count — a shard with no zones would be pure overhead.
+    pub fn resolve(n_zones: u64, shards: usize) -> u64 {
+        if shards == 0 {
+            n_zones.clamp(1, 8)
+        } else {
+            (shards as u64).clamp(1, n_zones.max(1))
+        }
+    }
+
+    /// Number of parity shards.
+    pub fn n_shards(&self) -> u64 {
+        self.n_shards
+    }
+
+    /// Number of zones in the pool.
+    pub fn n_zones(&self) -> u64 {
+        self.n_zones
+    }
+
+    /// The shard owning `zone`.
+    pub fn shard_of_zone(&self, zone: u64) -> u64 {
+        zone % self.n_shards
+    }
+
+    /// The shard owning the zone containing pool offset `off`. Offsets
+    /// below the heap (pool header, lanes) conventionally route to shard 0.
+    pub fn shard_of_off(&self, off: u64) -> u64 {
+        if off < self.heap_off {
+            return 0;
+        }
+        let zone = ((off - self.heap_off) / self.zone_size).min(self.n_zones - 1);
+        self.shard_of_zone(zone)
+    }
+
+    /// Iterates the zones owned by `shard`.
+    pub fn zones_of(&self, shard: u64) -> impl Iterator<Item = u64> + '_ {
+        let n_shards = self.n_shards;
+        (0..self.n_zones).filter(move |z| z % n_shards == shard % n_shards)
+    }
+
+    /// The pool byte ranges `[lo, hi)` covered by `shard`'s zones — what a
+    /// shard's recovery sweep arms as its read scope
+    /// (`pgl_nvm::NvmDevice::arm_read_scope`).
+    pub fn zone_ranges(&self, shard: u64) -> Vec<(u64, u64)> {
+        self.zones_of(shard)
+            .map(|z| {
+                let lo = self.heap_off + z * self.zone_size;
+                (lo, lo + self.zone_size)
+            })
+            .collect()
+    }
+}
+
+/// N self-contained parity shards: one [`ParityEngine`] per shard, each
+/// owning the zones with `zone % n_shards == shard` (paper §3.1 parity,
+/// partitioned into independent persistence domains à la the Parallel
+/// Persistent Memory Model). Each shard has its **own** striped lock
+/// table, so commits in different shards never contend on a stripe, and
+/// recovery/scrub sweep shards on parallel workers.
+///
+/// All routing is by the zone of the target offset; object data, CM
+/// entries and parity columns are all zone-local, so every span a
+/// transaction locks lives in exactly one shard.
+pub struct ParityDomains {
+    engines: Vec<ParityEngine>,
+    map: ShardMap,
+}
+
+impl ParityDomains {
+    /// Builds `shards` (resolved via [`ShardMap::resolve`]) engines over
+    /// `layout`.
+    pub fn new(layout: Layout, granule: u64, threshold: u64, shards: usize) -> ParityDomains {
+        let map = ShardMap::new(&layout, shards);
+        let engines =
+            (0..map.n_shards()).map(|_| ParityEngine::new(layout, granule, threshold)).collect();
+        ParityDomains { engines, map }
+    }
+
+    /// The zone→shard routing map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Number of parity shards.
+    pub fn n_shards(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The engine owning shard `shard`.
+    pub fn engine(&self, shard: u64) -> &ParityEngine {
+        &self.engines[(shard % self.engines.len() as u64) as usize]
+    }
+
+    /// The engine owning the zone that contains pool offset `off`.
+    pub fn engine_for(&self, off: u64) -> &ParityEngine {
+        self.engine(self.map.shard_of_off(off))
+    }
+
+    /// The engine owning `zone`.
+    pub fn engine_for_zone(&self, zone: u64) -> &ParityEngine {
+        self.engine(self.map.shard_of_zone(zone))
+    }
+
+    /// The hybrid-update crossover (identical across shards).
+    pub fn threshold(&self) -> u64 {
+        self.engines[0].threshold()
+    }
+
+    /// `true` when a `len`-byte write-back should take its range-locks
+    /// exclusively (see [`ParityEngine::prefers_exclusive`]).
+    pub fn prefers_exclusive(&self, len: u64) -> bool {
+        self.engines[0].prefers_exclusive(len)
+    }
+
+    /// Routes [`ParityEngine::lock_span`] to the owning shard.
+    pub fn lock_span(&self, off: u64, len: u64, exclusive: bool) -> Result<RangeGuard<'_>> {
+        self.engine_for(off).lock_span(off, len, exclusive)
+    }
+
+    /// Routes [`ParityEngine::lock_span_with`] to the owning shard.
+    pub fn lock_span_with(
+        &self,
+        ids: &mut Vec<usize>,
+        off: u64,
+        len: u64,
+        exclusive: bool,
+    ) -> Result<RangeGuard<'_>> {
+        self.engine_for(off).lock_span_with(ids, off, len, exclusive)
+    }
+
+    /// Routes [`ParityEngine::lock_words`] to the owning shard. All words
+    /// must live in one shard (the detectable-CAS path locks a target word
+    /// and its object header, which share a zone).
+    pub fn lock_words(&self, offs: &[u64], exclusive: bool) -> Result<RangeGuard<'_>> {
+        debug_assert!(
+            offs.iter().all(|&o| self.map.shard_of_off(o) == self.map.shard_of_off(offs[0])),
+            "word set crosses parity shards"
+        );
+        self.engine_for(offs[0]).lock_words(offs, exclusive)
+    }
+
+    /// Routes [`ParityEngine::lock_columns`] to the zone's shard.
+    pub fn lock_columns(&self, zone: u64, col: u64, len: u64, exclusive: bool) -> RangeGuard<'_> {
+        self.engine_for_zone(zone).lock_columns(zone, col, len, exclusive)
+    }
+
+    /// Routes [`ParityEngine::update`] to the owning shard.
+    pub fn update(&self, io: &PoolIo, off: u64, old: &[u8], new: &[u8]) -> Result<()> {
+        self.engine_for(off).update(io, off, old, new)
+    }
+
+    /// Routes [`ParityEngine::update_under`] to the owning shard.
+    pub fn update_under(
+        &self,
+        guard: &RangeGuard<'_>,
+        io: &PoolIo,
+        off: u64,
+        old: &[u8],
+        new: &[u8],
+    ) -> Result<()> {
+        self.engine_for(off).update_under(guard, io, off, old, new)
+    }
+
+    /// Routes [`ParityEngine::update_under_flush_only`] to the owning
+    /// shard.
+    pub fn update_under_flush_only(
+        &self,
+        guard: &RangeGuard<'_>,
+        io: &PoolIo,
+        off: u64,
+        old: &[u8],
+        new: &[u8],
+    ) -> Result<bool> {
+        self.engine_for(off).update_under_flush_only(guard, io, off, old, new)
+    }
+
+    /// Routes [`ParityEngine::flip_cm_parity_first`] to the owning shard.
+    pub fn flip_cm_parity_first(&self, io: &PoolIo, cm_off: u64, new_cm: &[u8]) -> Result<()> {
+        self.engine_for(cm_off).flip_cm_parity_first(io, cm_off, new_cm)
+    }
+
+    /// Routes [`ParityEngine::apply_patch`] to the zone's shard.
+    pub fn apply_patch(&self, io: &PoolIo, zone: u64, col: u64, patch: &[u8]) -> Result<()> {
+        self.engine_for_zone(zone).apply_patch(io, zone, col, patch)
+    }
+
+    /// Routes [`ParityEngine::recompute_columns`] to the zone's shard.
+    pub fn recompute_columns(&self, io: &PoolIo, zone: u64, col: u64, len: u64) -> Result<()> {
+        self.engine_for_zone(zone).recompute_columns(io, zone, col, len)
+    }
+
+    /// Routes [`ParityEngine::reconstruct_page`] to the owning shard.
+    pub fn reconstruct_page(&self, io: &PoolIo, page_off: u64) -> Result<Vec<u8>> {
+        self.engine_for(page_off).reconstruct_page(io, page_off)
+    }
+
+    /// Verifies the parity invariant pool-wide, reporting every
+    /// mismatching `(shard, zone, column)` triple — each zone checked by
+    /// its owning shard's engine (so the sweep contends only with that
+    /// shard's committers).
+    pub fn verify_all(&self, io: &PoolIo) -> Result<Vec<(u64, u64, u64)>> {
+        let mut out = Vec::new();
+        for zone in 0..self.map.n_zones() {
+            let shard = self.map.shard_of_zone(zone);
+            let mut pairs = Vec::new();
+            self.engine(shard).verify_zone(io, zone, &mut pairs)?;
+            out.extend(pairs.into_iter().map(|(z, c)| (shard, z, c)));
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -804,5 +1058,65 @@ mod tests {
             }
         });
         assert_eq!(eng.verify_all(&io).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn shard_map_resolution_rules() {
+        // 0 = auto: min(n_zones, 8), floor 1.
+        assert_eq!(ShardMap::resolve(6, 0), 6);
+        assert_eq!(ShardMap::resolve(32, 0), 8);
+        // Explicit counts clamp to the zone count, floor 1.
+        assert_eq!(ShardMap::resolve(6, 4), 4);
+        assert_eq!(ShardMap::resolve(6, 64), 6);
+        assert_eq!(ShardMap::resolve(6, 1), 1);
+    }
+
+    #[test]
+    fn shard_map_routes_offsets_round_robin() {
+        let layout = Layout::new(PoolConfig::small()).unwrap();
+        let map = ShardMap::new(&layout, 2);
+        assert_eq!(map.n_shards(), ShardMap::resolve(layout.n_zones, 2));
+        // Pre-heap offsets (header, lanes) conventionally route to shard 0.
+        assert_eq!(map.shard_of_off(0), 0);
+        assert_eq!(map.shard_of_off(layout.heap_off - 1), 0);
+        // Zone membership is round-robin and offset routing matches it.
+        for z in 0..layout.n_zones {
+            assert_eq!(map.shard_of_zone(z), z % map.n_shards());
+            let off = layout.heap_off + z * layout.cfg.zone_size as u64;
+            assert_eq!(map.shard_of_off(off), map.shard_of_zone(z));
+        }
+        // Every zone is owned by exactly one shard.
+        let owned: u64 = (0..map.n_shards()).map(|s| map.zones_of(s).count() as u64).sum();
+        assert_eq!(owned, layout.n_zones);
+        // zone_ranges are zone-size spans inside the heap, disjoint by
+        // construction of zones_of.
+        for s in 0..map.n_shards() {
+            for (lo, hi) in map.zone_ranges(s) {
+                assert!(lo >= layout.heap_off);
+                assert_eq!(hi - lo, layout.cfg.zone_size as u64);
+                assert_eq!(map.shard_of_off(lo), s);
+            }
+        }
+    }
+
+    #[test]
+    fn parity_domains_report_shard_zone_col_triples() {
+        let cfg = PoolConfig::small();
+        let layout = Layout::new(cfg).unwrap();
+        let dev = Arc::new(NvmDevice::new(cfg.size, DeviceConfig::fast()).unwrap());
+        let io = PoolIo::new(dev);
+        let domains = ParityDomains::new(layout, 8 << 10, 8 << 10, 2);
+        assert_eq!(domains.verify_all(&io).unwrap(), vec![]);
+        // Tear a byte in zone 0 (no parity patch): the detailed verify
+        // must attribute it to the owning shard.
+        let base = layout.chunk_base(0, layout.zone.cm_chunks);
+        io.write(base + 7, &[0x99]).unwrap();
+        io.persist(base + 7, 1).unwrap();
+        let bad = domains.verify_all(&io).unwrap();
+        assert!(!bad.is_empty(), "tear must be detected");
+        for &(shard, zone, _col) in &bad {
+            assert_eq!(zone, 0);
+            assert_eq!(shard, domains.map().shard_of_zone(zone));
+        }
     }
 }

@@ -81,7 +81,7 @@ use pgl_pmemobj::{Layout, PMEMoid, PoolIo, OBJ_HEADER_SIZE};
 
 use crate::checksum::{adler32, adler32_update};
 use crate::error::{PglError, Result};
-use crate::parity::ParityEngine;
+use crate::parity::ParityDomains;
 use crate::pool::Inner;
 
 use pgl_pmemobj::lane::LogMirror;
@@ -382,7 +382,7 @@ pub(crate) fn replay_descriptors(
     io: &PoolIo,
     layout: &Layout,
     mirror: LogMirror,
-    parity: Option<&ParityEngine>,
+    parity: Option<&ParityDomains>,
     has_csums: bool,
 ) -> Result<Vec<CasRecovery>> {
     let mut reports = Vec::new();

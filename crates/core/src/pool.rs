@@ -1,5 +1,6 @@
 //! The Pangolin pool: fault-tolerant persistent object storage.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -14,7 +15,7 @@ use crate::checksum::adler32;
 use crate::config::{CsumPolicy, PglConfig, PglMode};
 use crate::detect::{Freeze, Vuln, VulnSnapshot};
 use crate::error::{PglError, Result};
-use crate::parity::{ParityEngine, RangeGuard};
+use crate::parity::{ParityDomains, ParityEngine, RangeGuard, ShardMap};
 use crate::scrub::{self, ScrubReport};
 use crate::txn::{PglTx, TxStats};
 use crate::ubuf::UBuf;
@@ -22,6 +23,12 @@ use crate::vcache::VCache;
 
 const POOL_VERSION_MAGIC: u64 = 0x50_41_4E_47_4F_4C_49_4E; // "PANGOLIN"
 const _: u64 = POOL_VERSION_MAGIC; // reserved for future format versioning
+
+thread_local! {
+    /// The calling thread's preferred parity shard for new allocations
+    /// (set via [`PglPool::bind_thread_to_shard`]); `None` = no affinity.
+    static ALLOC_SHARD: Cell<Option<u64>> = const { Cell::new(None) };
+}
 
 /// A held (or vacuous) set of parity range-locks over one data span.
 ///
@@ -60,12 +67,18 @@ pub struct Inner {
     pub(crate) uuid: u64,
     pub(crate) mode: PglMode,
     pub(crate) policy: CsumPolicy,
-    pub(crate) parity: Option<ParityEngine>,
+    pub(crate) parity: Option<ParityDomains>,
+    /// Zone→shard routing, present in every mode (parity or not): it also
+    /// partitions recovery sweeps, scrubbing and allocation affinity.
+    pub(crate) shard_map: ShardMap,
     pub(crate) freeze: Freeze,
     pub(crate) vuln: Vuln,
     pub(crate) vcache: VCache,
     pub(crate) counters: PglCounters,
     pub(crate) scrub_tick: AtomicU64,
+    /// Per-shard scrub progress `(objects done, objects total)` of the
+    /// current (or last) pass — the scrubber's per-shard cursor.
+    pub(crate) scrub_progress: Vec<(AtomicU64, AtomicU64)>,
     /// CAS descriptors replayed at open (see [`crate::ploc`]); empty for
     /// freshly created pools and after clean shutdowns.
     pub(crate) cas_recoveries: Vec<crate::ploc::CasRecovery>,
@@ -425,6 +438,12 @@ impl Inner {
         }
     }
 
+    /// The calling thread's allocation affinity as a `(shard, n_shards)`
+    /// zone-order preference for the heap (see `Heap::reserve_alloc_in`).
+    pub(crate) fn alloc_pref(&self) -> Option<(u64, u64)> {
+        ALLOC_SHARD.with(|c| c.get()).map(|s| (s, self.shard_map.n_shards()))
+    }
+
     /// Bumps the scrub tick; returns `true` when a scrub pass is due.
     pub(crate) fn note_commit(&self) -> bool {
         self.counters.commits.fetch_add(1, Ordering::Relaxed);
@@ -631,15 +650,17 @@ impl PglPool {
             background_scrub: opts.background_scrub,
             vcache_capacity: opts.vcache_capacity,
             vcache_shards: opts.vcache_shards,
+            shards: opts.shards,
         };
         cfg.validate().map_err(PglError::Config)?;
         let layout = Layout::new(pool_cfg).map_err(PglError::from)?;
         let mirror = if mode.replicates_logs() { LogMirror::SameDevice } else { LogMirror::None };
         // Crash recovery must run before the heap scan.
-        let parity = mode
-            .has_parity()
-            .then(|| ParityEngine::new(layout, cfg.parity_lock_granule, cfg.hybrid_threshold));
-        crate::recover::crash_recover(&io, &layout, mirror, parity.as_ref())?;
+        let parity = mode.has_parity().then(|| {
+            ParityDomains::new(layout, cfg.parity_lock_granule, cfg.hybrid_threshold, cfg.shards)
+        });
+        let shard_map = ShardMap::new(&layout, cfg.shards);
+        crate::recover::crash_recover(&io, &layout, mirror, parity.as_ref(), &shard_map)?;
         crate::recover::finish_page_repair_if_pending(&io, &layout, parity.as_ref())?;
         // Detectable-CAS replay runs after redo replay: transactions win
         // the recovery order, and the ploc recompute is idempotent.
@@ -661,7 +682,9 @@ impl PglPool {
         mirror: LogMirror,
         cas_recoveries: Vec<crate::ploc::CasRecovery>,
     ) -> Result<Self> {
-        let heap = match Heap::rebuild(&io, layout, cfg.mode.has_checksums()) {
+        let shard_map = ShardMap::new(&layout, cfg.shards);
+        let workers = shard_map.n_shards() as usize;
+        let heap = match Heap::rebuild_with(&io, layout, cfg.mode.has_checksums(), workers) {
             Ok(h) => h,
             Err(ObjError::Corruption { off, .. }) if cfg.mode.has_parity() => {
                 // Chunk metadata corrupt: repair its page from parity and
@@ -669,15 +692,14 @@ impl PglPool {
                 let engine =
                     ParityEngine::new(layout, cfg.parity_lock_granule, cfg.hybrid_threshold);
                 crate::recover::repair_page_by_compare(&io, &engine, off)?;
-                Heap::rebuild(&io, layout, true).map_err(PglError::from)?
+                Heap::rebuild_with(&io, layout, true, workers).map_err(PglError::from)?
             }
             Err(e) => return Err(e.into()),
         };
         let lanes = Lanes::load(&io, layout, mirror).map_err(PglError::from)?;
-        let parity = cfg
-            .mode
-            .has_parity()
-            .then(|| ParityEngine::new(layout, cfg.parity_lock_granule, cfg.hybrid_threshold));
+        let parity = cfg.mode.has_parity().then(|| {
+            ParityDomains::new(layout, cfg.parity_lock_granule, cfg.hybrid_threshold, cfg.shards)
+        });
         let want_bg = cfg.background_scrub && matches!(cfg.policy, CsumPolicy::ScrubEvery(_));
         let (txc, rxc) = if want_bg {
             let (a, b) = std::sync::mpsc::sync_channel::<()>(1);
@@ -694,11 +716,16 @@ impl PglPool {
             mode: cfg.mode,
             policy: cfg.policy,
             parity,
+            shard_map,
             freeze: Freeze::new(),
             vuln: Vuln::new(),
-            vcache: VCache::new(cfg.vcache_shards, cfg.vcache_capacity, cfg.mode.has_checksums()),
+            vcache: VCache::new(cfg.vcache_shards, cfg.vcache_capacity, cfg.mode.has_checksums())
+                .with_affinity(shard_map),
             counters: PglCounters::default(),
             scrub_tick: AtomicU64::new(0),
+            scrub_progress: (0..shard_map.n_shards())
+                .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+                .collect(),
             cas_recoveries,
             background_scrub: txc,
         });
@@ -1071,15 +1098,56 @@ impl PglPool {
     }
 
     /// Verifies the parity invariant and returns **every** mismatching
-    /// `(zone, column)` window (empty = consistent; modes without parity
-    /// are trivially consistent). The full list makes multi-threaded
+    /// `(shard, zone, column)` window (empty = consistent; modes without
+    /// parity are trivially consistent). The full list makes multi-threaded
     /// stress-test failures diagnosable: the damage pattern tells one torn
-    /// commit apart from a systematic locking bug.
-    pub fn verify_parity_detailed(&self) -> Result<Vec<(u64, u64)>> {
+    /// commit apart from a systematic locking bug, and the shard coordinate
+    /// tells which domain's committers to suspect.
+    pub fn verify_parity_detailed(&self) -> Result<Vec<(u64, u64, u64)>> {
         match &self.inner.parity {
-            Some(e) => e.verify_all(&self.inner.io),
+            Some(d) => d.verify_all(&self.inner.io),
             None => Ok(Vec::new()),
         }
+    }
+
+    /// Number of parity shards (domains) this pool handle runs with. `1`
+    /// for unsharded pools; the count is a runtime knob
+    /// ([`crate::OpenOptions::shards`]), not a persistent property.
+    pub fn shards(&self) -> usize {
+        self.inner.shard_map.n_shards() as usize
+    }
+
+    /// The zone→shard routing map.
+    pub fn shard_map(&self) -> ShardMap {
+        self.inner.shard_map
+    }
+
+    /// Binds the calling thread's allocations to parity shard `shard`
+    /// (modulo the shard count): [`PglTx::alloc`] fills that shard's zones
+    /// first, so a thread's objects — and therefore its commits' parity
+    /// traffic — stay inside one domain. The service layer binds each of
+    /// its shard workers this way so group commits never cross domains.
+    pub fn bind_thread_to_shard(&self, shard: usize) {
+        let s = shard as u64 % self.inner.shard_map.n_shards();
+        ALLOC_SHARD.with(|c| c.set(Some(s)));
+    }
+
+    /// Clears the calling thread's shard affinity
+    /// (see [`PglPool::bind_thread_to_shard`]).
+    pub fn unbind_thread_from_shard(&self) {
+        ALLOC_SHARD.with(|c| c.set(None));
+    }
+
+    /// Per-shard scrub progress: `(objects scrubbed, objects total)` of
+    /// the current pass for each shard — the per-shard cursor that
+    /// replaced the scrubber's old single global position. Totals are 0
+    /// before the first pass.
+    pub fn scrub_progress(&self) -> Vec<(u64, u64)> {
+        self.inner
+            .scrub_progress
+            .iter()
+            .map(|(d, t)| (d.load(Ordering::Relaxed), t.load(Ordering::Relaxed)))
+            .collect()
     }
 
     /// Verifies every live object's checksum without repair (diagnostics).

@@ -12,132 +12,272 @@
 //! repairs the device page. A persistent repair record makes a crash during
 //! repair re-execute it at the next open.
 
-use pgl_nvm::PAGE_SIZE;
+use pgl_nvm::{NvmDevice, PAGE_SIZE};
 use pgl_pmemobj::heap::MetaOp;
 use pgl_pmemobj::lane::{Lanes, LogMirror};
 use pgl_pmemobj::layout::RUN_HEADER_SIZE;
-use pgl_pmemobj::ulog::{self, EntryKind};
+use pgl_pmemobj::ulog::{self, payload, Entry, EntryKind};
 use pgl_pmemobj::{Layout, PoolIo};
 
 use crate::checksum::adler32;
 use crate::error::{PglError, Result};
-use crate::parity::{segments, ParityEngine};
+use crate::parity::{segments, ParityDomains, ParityEngine, ShardMap};
 use crate::pool::Inner;
 
 /// Offset (within the pool-header page) of the persistent repair record.
 const REPAIR_RECORD_OFF: u64 = 1024;
 const REPAIR_MAGIC: u64 = 0x5245_5041_4952_3031; // "REPAIR01"
 
+/// One shard-routed recovery effect of a committed lane, applied in lane
+/// order by that shard's sweep worker.
+enum Op<'a> {
+    /// Redo a logged data range.
+    Write {
+        /// Target pool offset.
+        off: u64,
+        /// Logged content.
+        payload: &'a [u8],
+    },
+    /// Re-apply an allocator meta op (idempotent).
+    Meta(MetaOp),
+}
+
 /// Replays all lanes after a crash: committed transactions complete,
 /// uncommitted ones leave no trace, and parity is re-levelled for every
 /// column they might have torn.
+///
+/// The sweep runs in three phases:
+///
+/// 1. **Scan** (parallel): read every lane's log on `n_shards` workers
+///    (`lane % workers`; the lane region is outside every shard's zones
+///    and lanes decode independently), decide commit status, and then
+///    apply the cross-shard roll-forward rule — a committed lane carrying a
+///    [`EntryKind::CrossShard`] marker vouches for its secondary lane iff
+///    that lane's generation still matches the marker (the ordered
+///    two-shard commit wrote the secondary's entries, then the primary's
+///    commit fence, then the secondary's own commit record; a crash in the
+///    window leaves the secondary commit-less but vouched-for).
+/// 2. **Sweep** (parallel): effects partition by the parity shard of their
+///    target zone, and one worker per non-empty shard replays writes,
+///    re-applies meta ops, recomputes torn parity columns and sweeps its
+///    own zones' orphan log chunks. Conflicting bitmap RMWs always share a
+///    zone, hence a shard, hence a worker — cross-shard effects never
+///    race. Each worker arms a read scope over its shard's zones
+///    (`NvmDevice::arm_read_scope`), pinning the zero-reads-outside-
+///    own-zones invariant.
+/// 3. **Invalidate** (serial): bump every swept lane's generation. Any
+///    crash before this phase re-runs the whole (idempotent) sweep.
 pub fn crash_recover(
     io: &PoolIo,
     layout: &Layout,
     mirror: LogMirror,
-    parity: Option<&ParityEngine>,
+    parity: Option<&ParityDomains>,
+    shard_map: &ShardMap,
 ) -> Result<()> {
-    for l in 0..layout.cfg.n_lanes as u32 {
-        let entries = Lanes::read_entries(io, layout, l, mirror).map_err(PglError::from)?;
-        if entries.is_empty() {
+    // Phase 1: scan lanes — partitioned `lane % workers` across the same
+    // worker count as the shard sweep. The lane region sits outside every
+    // shard's zones (no read scope applies) and each lane's log decodes
+    // independently, so the scan parallelizes freely; with log mirroring
+    // it reads two full lane-size segments per lane and dominates restart
+    // time, which is exactly what more shards are meant to cut.
+    let n_workers = shard_map.n_shards() as usize;
+    let n_lanes = layout.cfg.n_lanes as u32;
+    let scan = |w: u32| -> Result<Vec<(u32, Vec<Entry>, bool)>> {
+        let mut out = Vec::new();
+        for l in (w..n_lanes).step_by(n_workers) {
+            let entries = Lanes::read_entries(io, layout, l, mirror).map_err(PglError::from)?;
+            if entries.is_empty() {
+                continue;
+            }
+            let committed = ulog::is_committed(&entries);
+            out.push((l, entries, committed));
+        }
+        Ok(out)
+    };
+    let mut lanes: Vec<(u32, Vec<Entry>, bool)> = if n_workers == 1 {
+        scan(0)?
+    } else {
+        let scanned: Vec<Result<_>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n_workers as u32).map(|w| s.spawn(move || scan(w))).collect();
+            handles.into_iter().map(|h| h.join().expect("lane-scan worker panicked")).collect()
+        });
+        let mut merged = Vec::new();
+        for part in scanned {
+            merged.extend(part?);
+        }
+        // Restore ascending lane order so replay matches the serial scan.
+        merged.sort_unstable_by_key(|(l, _, _)| *l);
+        merged
+    };
+    let mut forced: Vec<u32> = Vec::new();
+    for (_, entries, committed) in &lanes {
+        if !*committed {
             continue;
         }
-        // Ranges whose parity must be recomputed.
-        let mut dirty: Vec<(u64, u64)> = Vec::new();
-        if ulog::is_committed(&entries) {
-            for e in &entries {
-                match e.kind {
-                    EntryKind::Data => {
-                        io.write(e.off, &e.payload).map_err(PglError::from)?;
-                        io.persist(e.off, e.payload.len()).map_err(PglError::from)?;
-                        dirty.push((e.off, e.payload.len() as u64));
-                    }
-                    EntryKind::AllocIntent => {
-                        let len =
-                            u64::from_le_bytes(e.payload[..8].try_into().expect("intent payload"));
-                        dirty.push((e.off, len));
-                    }
-                    EntryKind::Commit => {}
-                    _ => {
-                        if let Some(op) = MetaOp::decode(e) {
-                            op.apply(io).map_err(PglError::from)?;
-                            dirty.push(meta_target(&op));
-                        }
-                    }
+        for e in entries {
+            if e.kind == EntryKind::CrossShard {
+                let (lane, gen) = payload::parse_cross_shard(&e.payload);
+                if Lanes::read_gen(io, layout, lane, mirror).map_err(PglError::from)? == gen {
+                    forced.push(lane);
                 }
             }
-        } else {
-            // Uncommitted: objects and metadata were never touched, but
-            // construction write-back may have torn parity under the
-            // recorded intents.
-            for e in &entries {
-                if e.kind == EntryKind::AllocIntent {
+        }
+    }
+    for (l, _, committed) in lanes.iter_mut() {
+        if forced.contains(l) {
+            *committed = true;
+        }
+    }
+
+    // Partition effects by shard, preserving lane order within a shard.
+    let n_shards = shard_map.n_shards() as usize;
+    let mut ops: Vec<Vec<Op<'_>>> = (0..n_shards).map(|_| Vec::new()).collect();
+    let mut dirty: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n_shards];
+    for (_, entries, committed) in &lanes {
+        for e in entries {
+            match e.kind {
+                EntryKind::Data if *committed => {
+                    let s = shard_map.shard_of_off(e.off) as usize;
+                    ops[s].push(Op::Write { off: e.off, payload: &e.payload });
+                    dirty[s].push((e.off, e.payload.len() as u64));
+                }
+                EntryKind::AllocIntent => {
+                    // Construction write-back may have torn parity whether
+                    // or not the transaction committed.
                     let len =
                         u64::from_le_bytes(e.payload[..8].try_into().expect("intent payload"));
-                    dirty.push((e.off, len));
+                    dirty[shard_map.shard_of_off(e.off) as usize].push((e.off, len));
                 }
+                EntryKind::Commit | EntryKind::CrossShard => {}
+                _ if *committed => {
+                    if let Some(op) = MetaOp::decode(e) {
+                        let (off, len) = meta_target(&op);
+                        let s = shard_map.shard_of_off(off) as usize;
+                        dirty[s].push((off, len));
+                        ops[s].push(Op::Meta(op));
+                    }
+                }
+                _ => {}
             }
         }
-        if let Some(engine) = parity {
-            for (off, len) in dirty {
-                for seg in segments(layout, off, len)? {
-                    engine.recompute_columns(io, seg.zone, seg.col, seg.len)?;
-                }
-            }
-        }
-        Lanes::invalidate(io, layout, l, mirror).map_err(PglError::from)?;
     }
-    sweep_orphan_log_chunks(io, layout, parity)?;
+
+    // Phase 2: sweep shards — inline when single-sharded, on a worker
+    // pool otherwise.
+    if n_shards == 1 {
+        sweep_shard(io, layout, parity, shard_map, 0, &ops[0], &dirty[0])?;
+    } else {
+        let results: Vec<Result<()>> = std::thread::scope(|s| {
+            let handles: Vec<_> = ops
+                .iter()
+                .zip(dirty.iter())
+                .enumerate()
+                .map(|(shard, (ops, dirty))| {
+                    s.spawn(move || {
+                        let ranges = shard_map.zone_ranges(shard as u64);
+                        NvmDevice::arm_read_scope(&ranges);
+                        let r =
+                            sweep_shard(io, layout, parity, shard_map, shard as u64, ops, dirty);
+                        NvmDevice::disarm_read_scope();
+                        r
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("recovery worker panicked")).collect()
+        });
+        for r in results {
+            r?;
+        }
+    }
+
+    // Phase 3: invalidate swept lanes.
+    for (l, _, _) in &lanes {
+        Lanes::invalidate(io, layout, *l, mirror).map_err(PglError::from)?;
+    }
     Ok(())
 }
 
-/// Returns every `Log`-typed chunk to `Free` after all lanes are invalid.
-/// With parity, the chunk is zeroed first (parity-neutral: `Log` chunks are
-/// excluded, and their parity contribution was levelled to zero when they
-/// were claimed), and the CM-entry columns are recomputed.
-fn sweep_orphan_log_chunks(
+/// One shard's recovery sweep: replay its routed effects in lane order,
+/// recompute the parity columns they may have torn, and sweep the shard's
+/// own zones for orphan log chunks. Reads stay inside the shard's zones.
+fn sweep_shard(
     io: &PoolIo,
     layout: &Layout,
-    parity: Option<&ParityEngine>,
+    parity: Option<&ParityDomains>,
+    shard_map: &ShardMap,
+    shard: u64,
+    ops: &[Op<'_>],
+    dirty: &[(u64, u64)],
+) -> Result<()> {
+    for op in ops {
+        match op {
+            Op::Write { off, payload } => {
+                io.write(*off, payload).map_err(PglError::from)?;
+                io.persist(*off, payload.len()).map_err(PglError::from)?;
+            }
+            Op::Meta(m) => m.apply(io).map_err(PglError::from)?,
+        }
+    }
+    if let Some(domains) = parity {
+        for &(off, len) in dirty {
+            for seg in segments(layout, off, len)? {
+                domains.recompute_columns(io, seg.zone, seg.col, seg.len)?;
+            }
+        }
+    }
+    for z in shard_map.zones_of(shard) {
+        sweep_orphan_log_chunks_zone(io, layout, parity, z)?;
+    }
+    io.dev().note_recovery_sweep(shard as usize);
+    Ok(())
+}
+
+/// Returns every `Log`-typed chunk of `zone` to `Free` after all lanes are
+/// replayed. With parity, the chunk is zeroed first (parity-neutral: `Log`
+/// chunks are excluded, and their parity contribution was levelled to zero
+/// when they were claimed), and the CM-entry columns are recomputed.
+fn sweep_orphan_log_chunks_zone(
+    io: &PoolIo,
+    layout: &Layout,
+    parity: Option<&ParityDomains>,
+    z: u64,
 ) -> Result<()> {
     use pgl_pmemobj::heap::run::{ChunkMeta, ChunkType};
     let free = ChunkMeta::new(ChunkType::Free, 0, 0).to_bytes();
-    for z in 0..layout.n_zones {
-        let mut c = layout.zone.cm_chunks;
-        while c < layout.zone.n_chunks {
-            let mut buf = [0u8; 16];
-            io.read(layout.cm_entry_off(z, c), &mut buf).map_err(PglError::from)?;
-            let cm = ChunkMeta::from_slice(&buf);
-            let mut advance = 1u64;
-            match cm.chunk_type() {
-                Some(ChunkType::Log) => {
-                    io.set(layout.chunk_base(z, c), 0, layout.cfg.chunk_size)
-                        .map_err(PglError::from)?;
-                    io.persist(layout.chunk_base(z, c), layout.cfg.chunk_size)
-                        .map_err(PglError::from)?;
-                    let cm_off = layout.cm_entry_off(z, c);
-                    if let Some(engine) = parity {
-                        // First re-level the CM column against the current
-                        // (still-`Log`) entry — the tear being repaired may
-                        // be in this very column. Then flip Log→Free with
-                        // the parity-first protocol: a crash anywhere in
-                        // between leaves the entry reading `Log`, so the
-                        // next open's sweep redoes exactly this sequence
-                        // (recovery stays idempotent).
-                        for seg in segments(layout, cm_off, 16)? {
-                            engine.recompute_columns(io, seg.zone, seg.col, seg.len)?;
-                        }
-                        engine.flip_cm_parity_first(io, cm_off, &free)?;
-                    } else {
-                        io.write(cm_off, &free).map_err(PglError::from)?;
-                        io.persist(cm_off, 16).map_err(PglError::from)?;
+    let mut c = layout.zone.cm_chunks;
+    while c < layout.zone.n_chunks {
+        let mut buf = [0u8; 16];
+        io.read(layout.cm_entry_off(z, c), &mut buf).map_err(PglError::from)?;
+        let cm = ChunkMeta::from_slice(&buf);
+        let mut advance = 1u64;
+        match cm.chunk_type() {
+            Some(ChunkType::Log) => {
+                io.set(layout.chunk_base(z, c), 0, layout.cfg.chunk_size)
+                    .map_err(PglError::from)?;
+                io.persist(layout.chunk_base(z, c), layout.cfg.chunk_size)
+                    .map_err(PglError::from)?;
+                let cm_off = layout.cm_entry_off(z, c);
+                if let Some(domains) = parity {
+                    // First re-level the CM column against the current
+                    // (still-`Log`) entry — the tear being repaired may
+                    // be in this very column. Then flip Log→Free with
+                    // the parity-first protocol: a crash anywhere in
+                    // between leaves the entry reading `Log`, so the
+                    // next open's sweep redoes exactly this sequence
+                    // (recovery stays idempotent).
+                    for seg in segments(layout, cm_off, 16)? {
+                        domains.recompute_columns(io, seg.zone, seg.col, seg.len)?;
                     }
+                    domains.flip_cm_parity_first(io, cm_off, &free)?;
+                } else {
+                    io.write(cm_off, &free).map_err(PglError::from)?;
+                    io.persist(cm_off, 16).map_err(PglError::from)?;
                 }
-                Some(ChunkType::Large) => advance = cm.size_idx.max(1) as u64,
-                _ => {}
             }
-            c += advance;
+            Some(ChunkType::Large) => advance = cm.size_idx.max(1) as u64,
+            _ => {}
         }
+        c += advance;
     }
     Ok(())
 }
@@ -194,7 +334,7 @@ fn clear_repair_record(io: &PoolIo, layout: &Layout) -> Result<()> {
 pub fn finish_page_repair_if_pending(
     io: &PoolIo,
     layout: &Layout,
-    parity: Option<&ParityEngine>,
+    parity: Option<&ParityDomains>,
 ) -> Result<()> {
     let mut rec = [0u8; 16];
     for base in [layout.hdr_off, layout.hdr_replica_off] {
@@ -331,7 +471,8 @@ impl Inner {
             if self.io.dev().is_poisoned_page(page) {
                 self.recover_page_frozen(page)?;
             } else {
-                repair_page_by_compare(&self.io, engine, page * PAGE_SIZE as u64)?;
+                let page_off = page * PAGE_SIZE as u64;
+                repair_page_by_compare(&self.io, engine.engine_for(page_off), page_off)?;
             }
         }
         // Re-verify the object end to end.

@@ -22,6 +22,8 @@
 //! The pass finally closes the vulnerability window (Table 4 counts
 //! unverified bytes between scrub passes).
 
+use std::sync::atomic::Ordering;
+
 use pgl_nvm::pod::{bytes_of, from_bytes};
 use pgl_nvm::MemError;
 use pgl_pmemobj::heap::run::ChunkMeta;
@@ -48,6 +50,18 @@ pub struct ScrubReport {
     /// Objects skipped because they were freed or reallocated mid-sweep
     /// (the next pass sees them in a stable state).
     pub objects_skipped: u64,
+}
+
+impl ScrubReport {
+    /// Accumulates another report's counters (per-shard scrub workers
+    /// merge their local reports into the pass total).
+    fn absorb(&mut self, o: &ScrubReport) {
+        self.objects_verified += o.objects_verified;
+        self.bytes_verified += o.bytes_verified;
+        self.objects_repaired += o.objects_repaired;
+        self.pages_repaired += o.pages_repaired;
+        self.objects_skipped += o.objects_skipped;
+    }
 }
 
 /// Runs one scrub pass: metadata under a brief freeze, then the live
@@ -109,7 +123,7 @@ fn scrub_metadata_frozen(inner: &Inner) -> Result<ScrubReport> {
                         let pristine = buf == [0u8; 16];
                         if !pristine
                             && (!cm.verify() || cm.chunk_type().is_none())
-                            && repair_page_by_compare(io, engine, off)?
+                            && repair_page_by_compare(io, engine.engine_for(off), off)?
                         {
                             report.pages_repaired += 1;
                         }
@@ -131,15 +145,51 @@ fn scrub_metadata_frozen(inner: &Inner) -> Result<ScrubReport> {
 /// parity range-locks they do; without parity there are no range-locks,
 /// so the whole sweep runs under one pool freeze instead (those modes
 /// have no object checksums to verify, so the sweep is metadata-cheap).
+///
+/// With multiple parity shards the live set is partitioned by owning
+/// shard and swept by one worker per shard: each shard owns its own
+/// stripe-lock table, so workers never contend on parity locks, and each
+/// publishes its own progress cursor (`PglPool::scrub_progress`).
 fn scrub_objects_live(
     inner: &Inner,
     live: Vec<(u64, ObjectHeader)>,
     report: &mut ScrubReport,
 ) -> Result<()> {
     if inner.parity.is_some() {
+        let n_shards = inner.shard_map.n_shards() as usize;
+        let mut by_shard: Vec<Vec<(u64, ObjectHeader)>> = vec![Vec::new(); n_shards];
         for (off, hint) in live {
-            let oid = PMEMoid::new(inner.uuid, off);
-            scrub_one_object(inner, oid, hint.size, report)?;
+            by_shard[inner.shard_map.shard_of_off(off) as usize].push((off, hint));
+        }
+        for (shard, objs) in by_shard.iter().enumerate() {
+            let (done, total) = &inner.scrub_progress[shard];
+            done.store(0, Ordering::Relaxed);
+            total.store(objs.len() as u64, Ordering::Relaxed);
+        }
+        let sweep = |shard: usize, objs: &[(u64, ObjectHeader)]| -> Result<ScrubReport> {
+            let mut local = ScrubReport::default();
+            for (off, hint) in objs {
+                let oid = PMEMoid::new(inner.uuid, *off);
+                scrub_one_object(inner, oid, hint.size, &mut local)?;
+                inner.scrub_progress[shard].0.fetch_add(1, Ordering::Relaxed);
+            }
+            inner.io.dev().note_scrub_pass(shard);
+            Ok(local)
+        };
+        if n_shards == 1 {
+            report.absorb(&sweep(0, &by_shard[0])?);
+        } else {
+            let locals: Vec<Result<ScrubReport>> = std::thread::scope(|s| {
+                let handles: Vec<_> = by_shard
+                    .iter()
+                    .enumerate()
+                    .map(|(shard, objs)| s.spawn(move || sweep(shard, objs)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("scrub worker panicked")).collect()
+            });
+            for local in locals {
+                report.absorb(&local?);
+            }
         }
     } else {
         // No parity ⇒ no range-locks (and no checksums in these modes

@@ -34,12 +34,38 @@
 //! and the checksum is one full pass over the new bytes. See the README's
 //! "Commit pipeline & performance" section for the invariants and the
 //! `commit_path` bench.
+//!
+//! # Cross-shard commits
+//!
+//! With more than one parity shard (see [`crate::parity::ShardMap`]),
+//! recovery sweeps each shard's lanes on its own worker, so a
+//! transaction whose effects span shards must not leave a single log
+//! that one worker would replay into another worker's zones. Commit
+//! therefore routes each redo entry to a per-shard lane and runs an
+//! **ordered commit protocol**: the lowest-id touched shard is the
+//! *primary*; its lane carries one `CrossShard` marker per secondary
+//! lane (recording the secondary's index and generation), then the
+//! primary's commit record — the commit point. Only after that fence do
+//! the secondary lanes get their own commit records (ascending shard
+//! order, second fence). Recovery rolls a secondary half forward iff
+//! the primary committed *and* the secondary lane still carries the
+//! generation named by the marker — so a crash between the two fences
+//! replays both halves, and a crash before the first fence replays
+//! neither (all-or-nothing). At the end of commit the secondaries are
+//! invalidated durably *first*: once a secondary's generation advances,
+//! its marker no longer matches and the primary's lazy invalidation
+//! can settle whenever.
+//!
+//! Known limit: a multi-shard commit holds one extra lane per secondary
+//! shard, so pools sized with very few lanes can stall when many
+//! multi-shard transactions run concurrently (claims spin until a lane
+//! frees; single-shard transactions only ever hold one).
 
 use pgl_nvm::pod::{bytes_of, Pod};
 use pgl_pmemobj::heap::run::{ChunkMeta, ChunkType};
 use pgl_pmemobj::heap::{AllocReservation, FreeReservation, MetaOp};
 use pgl_pmemobj::lane::LaneHandle;
-use pgl_pmemobj::ulog::EntryKind;
+use pgl_pmemobj::ulog::{payload, EntryKind};
 use pgl_pmemobj::{ObjError, PMEMoid, OBJ_HEADER_SIZE};
 
 pub use pgl_pmemobj::TxStats;
@@ -125,8 +151,35 @@ fn append_with_overflow(
 }
 
 fn claim_log_chunk(inner: &Inner) -> Result<LogChunk> {
-    let (zone, chunk, base) = inner.heap.reserve_log_chunk().map_err(PglError::from)?;
+    let (zone, chunk, base) =
+        inner.heap.reserve_log_chunk_in(inner.alloc_pref()).map_err(PglError::from)?;
     Ok(LogChunk { zone, chunk, base })
+}
+
+/// Routes a redo entry to the lane of the shard owning `off`: the primary
+/// lane when the target lives in the primary shard (or the transaction is
+/// single-shard), else the secondary lane claimed for that shard.
+#[allow(clippy::too_many_arguments)]
+fn append_shard<'a>(
+    inner: &Inner,
+    primary: &mut LaneHandle<'a>,
+    primary_shard: u64,
+    sec: &mut [(u64, LaneHandle<'a>)],
+    log_chunks: &mut Vec<(LogChunk, Option<LogChunk>)>,
+    kind: EntryKind,
+    off: u64,
+    payload: &[u8],
+) -> Result<()> {
+    let shard = inner.shard_map.shard_of_off(off);
+    let lane = if shard == primary_shard {
+        primary
+    } else {
+        match sec.iter_mut().find(|(s, _)| *s == shard) {
+            Some((_, l)) => l,
+            None => primary,
+        }
+    };
+    append_with_overflow(inner, lane, log_chunks, kind, off, payload)
 }
 
 fn grow_log(
@@ -333,7 +386,7 @@ impl<'p> PglTx<'p> {
     /// Allocates a new `size`-byte object of `type_num`, returning its OID.
     /// The object exists only as a micro-buffer until commit.
     pub fn alloc(&mut self, size: u64, type_num: u32) -> Result<PMEMoid> {
-        let r = self.inner.heap.reserve_alloc(size, type_num)?;
+        let r = self.inner.heap.reserve_alloc_in(size, type_num, self.inner.alloc_pref())?;
         let oid = PMEMoid::new(self.inner.uuid, r.oid_off);
         let parts = self.scratch.frames.pop().unwrap_or_default();
         let ubuf = UBuf::for_alloc_in(oid, size, type_num, parts);
@@ -734,8 +787,56 @@ impl<'p> PglTx<'p> {
             }
         }
 
+        // Allocator ops are final by now; compute them up front so the
+        // shard routing below can see their target offsets.
+        let ops: Vec<MetaOp> = self
+            .allocs
+            .iter()
+            .flat_map(|a| a.ops.iter().cloned())
+            .chain(self.frees.iter().flat_map(|f| f.ops.iter().cloned()))
+            .collect();
+
+        // Cross-shard routing (see the module docs): collect the set of
+        // parity shards this transaction's persistent effects land in.
+        // One touched shard commits on the single claimed lane exactly as
+        // before; more run the ordered two-phase protocol — the lowest
+        // shard id is the primary, every other touched shard gets its own
+        // claimed lane carrying that shard's redo entries.
+        let mut touched: Vec<u64> = Vec::new();
+        {
+            let mut note = |off: u64| {
+                let s = inner.shard_map.shard_of_off(off);
+                if !touched.contains(&s) {
+                    touched.push(s);
+                }
+            };
+            for off in &self.order {
+                if let Some(sb) = self.sparse.get(off) {
+                    if sb.is_modified() {
+                        note(sb.header_off());
+                    }
+                } else if let Some(b) = self.ubufs.get(off) {
+                    if b.state() != UBufState::Clean {
+                        note(b.header_off());
+                    }
+                }
+            }
+            for a in &self.allocs {
+                note(a.start_off);
+            }
+            for op in &ops {
+                note(op.encode().1);
+            }
+        }
+        touched.sort_unstable();
+        let primary_shard = touched.first().copied().unwrap_or(0);
+        let mut sec: Vec<(u64, LaneHandle<'_>)> =
+            touched.iter().skip(1).map(|&s| (s, inner.lanes.claim(&inner.io))).collect();
+
         // (3) Persist allocation intents (parity modes) so a pre-commit
-        // crash can re-level parity over torn construction writes.
+        // crash can re-level parity over torn construction writes. Each
+        // intent goes to the lane of the shard whose zones it names, so
+        // that shard's recovery worker re-levels it.
         let new_offs: Vec<u64> = self
             .order
             .iter()
@@ -749,9 +850,11 @@ impl<'p> PglTx<'p> {
                     .iter()
                     .find(|a| a.oid_off == *off)
                     .expect("new ubuf implies reservation");
-                append_with_overflow(
+                append_shard(
                     inner,
                     &mut self.lane,
+                    primary_shard,
+                    &mut sec,
                     &mut self.log_chunks,
                     EntryKind::AllocIntent,
                     r.start_off,
@@ -759,6 +862,9 @@ impl<'p> PglTx<'p> {
                 )?;
             }
             self.lane.persist_log()?;
+            for (_, l) in &mut sec {
+                l.persist_log()?;
+            }
         }
 
         // (4) Construction write-back: header + content of new objects,
@@ -806,9 +912,11 @@ impl<'p> PglTx<'p> {
                     let tmp = &mut self.scratch.tmp;
                     tmp.resize(rlen as usize, 0);
                     sb.read(roff, &mut tmp[..rlen as usize]);
-                    append_with_overflow(
+                    append_shard(
                         inner,
                         &mut self.lane,
+                        primary_shard,
+                        &mut sec,
                         &mut self.log_chunks,
                         EntryKind::Data,
                         sb.oid().off + roff,
@@ -816,9 +924,11 @@ impl<'p> PglTx<'p> {
                     )?;
                 }
                 let h = sb.header();
-                append_with_overflow(
+                append_shard(
                     inner,
                     &mut self.lane,
+                    primary_shard,
+                    &mut sec,
                     &mut self.log_chunks,
                     EntryKind::Data,
                     sb.header_off(),
@@ -835,9 +945,11 @@ impl<'p> PglTx<'p> {
                 // Whole-object fast path: header and data are adjacent,
                 // so one redo entry carries both (the header already
                 // holds the refreshed checksum).
-                append_with_overflow(
+                append_shard(
                     inner,
                     &mut self.lane,
+                    primary_shard,
+                    &mut sec,
                     &mut self.log_chunks,
                     EntryKind::Data,
                     b.header_off(),
@@ -848,9 +960,11 @@ impl<'p> PglTx<'p> {
             }
             for (roff, rlen) in b.modified().iter() {
                 let data = &b.user()[roff as usize..(roff + rlen) as usize];
-                append_with_overflow(
+                append_shard(
                     inner,
                     &mut self.lane,
+                    primary_shard,
+                    &mut sec,
                     &mut self.log_chunks,
                     EntryKind::Data,
                     b.oid().off + roff,
@@ -866,9 +980,11 @@ impl<'p> PglTx<'p> {
                 out.copy_from_slice(bytes_of(&h));
                 out
             };
-            append_with_overflow(
+            append_shard(
                 inner,
                 &mut self.lane,
+                primary_shard,
+                &mut sec,
                 &mut self.log_chunks,
                 EntryKind::Data,
                 b.header_off(),
@@ -876,27 +992,68 @@ impl<'p> PglTx<'p> {
             )?;
             logged = true;
         }
-        let ops: Vec<MetaOp> = self
-            .allocs
-            .iter()
-            .flat_map(|a| a.ops.iter().cloned())
-            .chain(self.frees.iter().flat_map(|f| f.ops.iter().cloned()))
-            .collect();
         for op in &ops {
             let (kind, off, payload) = op.encode();
-            append_with_overflow(inner, &mut self.lane, &mut self.log_chunks, kind, off, &payload)?;
-            logged = true;
-        }
-        if logged || !new_offs.is_empty() {
-            append_with_overflow(
+            append_shard(
                 inner,
                 &mut self.lane,
+                primary_shard,
+                &mut sec,
                 &mut self.log_chunks,
-                EntryKind::Commit,
-                0,
-                &[],
+                kind,
+                off,
+                &payload,
             )?;
-            self.lane.persist_log()?; // COMMIT POINT
+            logged = true;
+        }
+        let fatal =
+            |e: PglError| PglError::Unrecoverable(format!("failure after commit point: {e}"));
+        if logged || !new_offs.is_empty() {
+            if sec.is_empty() {
+                append_with_overflow(
+                    inner,
+                    &mut self.lane,
+                    &mut self.log_chunks,
+                    EntryKind::Commit,
+                    0,
+                    &[],
+                )?;
+                self.lane.persist_log()?; // COMMIT POINT
+            } else {
+                // Ordered cross-shard commit (module docs): make every
+                // secondary half durable WITHOUT a commit record, then
+                // commit the primary with one CrossShard marker per
+                // secondary — that fence is the commit point — and only
+                // then seal the secondaries in ascending shard order.
+                for (_, l) in &mut sec {
+                    l.persist_log().map_err(PglError::from)?;
+                }
+                for (_, l) in &sec {
+                    let marker = payload::cross_shard(l.index(), l.gen());
+                    append_with_overflow(
+                        inner,
+                        &mut self.lane,
+                        &mut self.log_chunks,
+                        EntryKind::CrossShard,
+                        0,
+                        &marker,
+                    )?;
+                }
+                append_with_overflow(
+                    inner,
+                    &mut self.lane,
+                    &mut self.log_chunks,
+                    EntryKind::Commit,
+                    0,
+                    &[],
+                )?;
+                self.lane.persist_log()?; // COMMIT POINT (first fence)
+                for (_, l) in &mut sec {
+                    append_with_overflow(inner, l, &mut self.log_chunks, EntryKind::Commit, 0, &[])
+                        .map_err(fatal)?;
+                    l.persist_log().map_err(|e| fatal(e.into()))?; // second fence
+                }
+            }
         }
 
         // (6) Write back modified ranges and headers, updating parity.
@@ -913,8 +1070,6 @@ impl<'p> PglTx<'p> {
         // buffer inside `protected_write_locked`. Failures past the
         // commit point cannot abort; recovery would replay the redo log,
         // so report them as unrecoverable here.
-        let fatal =
-            |e: PglError| PglError::Unrecoverable(format!("failure after commit point: {e}"));
         let CommitScratch { old, ranges, tmp, stripe_ids, .. } = &mut self.scratch;
         let mut cur = 0usize;
         for off in &self.order {
@@ -1042,6 +1197,13 @@ impl<'p> PglTx<'p> {
         // (7) Publish allocator metadata (parity-aware), invalidate the
         // log, and complete volatile state.
         inner.apply_meta_ops(&ops).map_err(fatal)?;
+        // Secondary lanes invalidate FIRST, durably: once a secondary's
+        // generation advances, the primary's CrossShard marker no longer
+        // matches and recovery stops trying to roll that half forward —
+        // so the primary below keeps its cheap lazy invalidation.
+        for (_, l) in &mut sec {
+            l.bump_gen(true).map_err(|e| fatal(e.into()))?;
+        }
         // Lazy log invalidation (see `bump_gen`): only overflow
         // transactions must persist the bump before their chunks return
         // to the allocator.

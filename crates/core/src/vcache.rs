@@ -51,9 +51,22 @@
 //! two), each a small mutex-protected map with a bounded entry count —
 //! overflow clears the shard (absence is always safe, it only costs a
 //! re-verification).
+//!
+//! # Parity-shard affinity
+//!
+//! With multiple parity shards ([`crate::parity::ShardMap`]) the stripe
+//! array is partitioned into one group per parity shard and an offset
+//! hashes *within its parity shard's group*. Mutation stamps are
+//! shard-wide pessimism: a commit bumping a stripe defeats every
+//! in-flight verification hashing onto it. Affinity confines that
+//! aliasing to the parity shard where the mutation happened — a commit
+//! in shard A's zones can never invalidate a concurrent verification of
+//! an object in shard B, matching the engine's promise that shards are
+//! independent contention domains.
 
 use parking_lot::Mutex;
 
+use crate::parity::ShardMap;
 use crate::scratch::OffMap;
 
 /// One shard: verified sizes keyed by object offset, plus the mutation
@@ -79,6 +92,10 @@ pub(crate) struct VCache {
     /// `false` disables every operation (modes without checksums, or
     /// `vcache_capacity == 0`).
     enabled: bool,
+    /// Parity-shard router: when present (and the pool runs more than
+    /// one parity shard), stripes are partitioned per parity shard so
+    /// mutation stamps never alias across shards (module docs).
+    affinity: Option<ShardMap>,
 }
 
 /// The stamp a verifier takes before reading object data (see
@@ -99,7 +116,17 @@ impl VCache {
             mask: shards as u64 - 1,
             per_shard,
             enabled: enabled && capacity > 0,
+            affinity: None,
         }
+    }
+
+    /// Routes stripe selection by parity shard (module docs). A
+    /// single-shard map is a no-op: plain hashing spreads better.
+    pub fn with_affinity(mut self, map: ShardMap) -> VCache {
+        if map.n_shards() > 1 {
+            self.affinity = Some(map);
+        }
+        self
     }
 
     #[inline]
@@ -108,7 +135,20 @@ impl VCache {
         // unique with low-entropy low bits.
         let mut h = off.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         h ^= h >> 32;
-        &self.shards[(h & self.mask) as usize]
+        let i = match &self.affinity {
+            Some(m) => {
+                // Group the stripe array by parity shard; hash within
+                // the group. When parity shards outnumber stripes the
+                // groups wrap (modulo), which degrades gracefully to
+                // partial isolation.
+                let n = self.shards.len() as u64;
+                let groups = m.n_shards().min(n);
+                let per = n / groups;
+                (m.shard_of_off(off) % groups) * per + h % per
+            }
+            None => h & self.mask,
+        };
+        &self.shards[i as usize]
     }
 
     /// Cache lookup: `Some(user_size)` when the object at `off` is
@@ -215,6 +255,29 @@ mod tests {
         c.publish(5, 16, st);
         assert_eq!(c.probe(5), Some(16));
         assert_eq!(c.probe(1), None, "evicted on overflow");
+    }
+
+    #[test]
+    fn parity_affinity_isolates_mutation_stamps() {
+        use pgl_pmemobj::{Layout, PoolConfig};
+        let mut cfg = PoolConfig::small();
+        cfg.size = 16 << 20;
+        cfg.zone_size = 2 << 20;
+        let layout = Layout::new(cfg).unwrap();
+        let map = ShardMap::new(&layout, 2);
+        assert!(map.n_shards() > 1, "geometry must give multiple shards");
+        let c = VCache::new(8, 64, true).with_affinity(map);
+        // One offset per parity shard (zone 0 → shard 0, zone 1 → shard 1).
+        let a = layout.heap_off + 4096;
+        let b = layout.heap_off + layout.cfg.zone_size as u64 + 4096;
+        // A mutation storm in shard 0 must not defeat a concurrent
+        // verification of shard 1's object, whatever the hash says.
+        let st = c.begin_verify(b);
+        for _ in 0..64 {
+            c.bump(a);
+        }
+        c.publish(b, 32, st);
+        assert_eq!(c.probe(b), Some(32), "cross-shard bump must not alias");
     }
 
     #[test]

@@ -244,6 +244,13 @@ pub trait Store: Send + Sync {
         ops.iter_mut().map(|op| self.txn(&mut |tx| op(tx))).collect()
     }
 
+    /// Pins the calling thread's allocations to one of the backing
+    /// pool's parity shards (a service worker thread calls this once at
+    /// startup with its shard index, so its group commits stay inside
+    /// one parity domain and never pay the cross-shard commit protocol).
+    /// Backends without parity shards ignore it.
+    fn bind_shard(&self, _shard: usize) {}
+
     /// Direct (transaction-free) read — `pgl_get`-style for Pangolin,
     /// a plain DAX load for the baseline.
     fn read_direct(&self, oid: PMEMoid, off: u64, dst: &mut [u8]) -> KvResult<()>;
@@ -454,6 +461,10 @@ impl TxOps for PglTxOps<'_, '_> {
 impl Store for PglStore {
     fn uuid(&self) -> u64 {
         self.pool.uuid()
+    }
+
+    fn bind_shard(&self, shard: usize) {
+        self.pool.bind_thread_to_shard(shard);
     }
 
     fn txn_with_stats<R>(

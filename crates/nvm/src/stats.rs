@@ -9,6 +9,11 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Number of per-shard counter slots in [`DeviceStats`]. Shard indices at
+/// or above this are folded into the last slot, so any shard count is
+/// countable (the library's own shard cap is well below this).
+pub const STAT_SHARDS: usize = 16;
+
 /// Monotonic operation counters, updated with relaxed atomics.
 #[derive(Debug, Default)]
 pub struct DeviceStats {
@@ -32,12 +37,22 @@ pub struct DeviceStats {
     pub(crate) group_txns: AtomicU64,
     pub(crate) atomic_cas_ops: AtomicU64,
     pub(crate) atomic_parity_patches: AtomicU64,
+    pub(crate) recovery_sweeps: [AtomicU64; STAT_SHARDS],
+    pub(crate) scrub_passes: [AtomicU64; STAT_SHARDS],
+    pub(crate) scope_violations: AtomicU64,
 }
 
 impl DeviceStats {
     #[inline]
     pub(crate) fn add(field: &AtomicU64, n: u64) {
         field.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments a per-shard counter slot, clamping the shard index into
+    /// the [`STAT_SHARDS`] range.
+    #[inline]
+    pub(crate) fn add_shard(field: &[AtomicU64; STAT_SHARDS], shard: usize, n: u64) {
+        field[shard.min(STAT_SHARDS - 1)].fetch_add(n, Ordering::Relaxed);
     }
 
     /// Takes a point-in-time snapshot of all counters.
@@ -63,6 +78,11 @@ impl DeviceStats {
             group_txns: self.group_txns.load(Ordering::Relaxed),
             atomic_cas_ops: self.atomic_cas_ops.load(Ordering::Relaxed),
             atomic_parity_patches: self.atomic_parity_patches.load(Ordering::Relaxed),
+            recovery_sweeps: std::array::from_fn(|i| {
+                self.recovery_sweeps[i].load(Ordering::Relaxed)
+            }),
+            scrub_passes: std::array::from_fn(|i| self.scrub_passes[i].load(Ordering::Relaxed)),
+            scope_violations: self.scope_violations.load(Ordering::Relaxed),
         }
     }
 }
@@ -122,6 +142,17 @@ pub struct StatsSnapshot {
     /// single-word CAS whose data and header words share a cache line
     /// patches exactly one — the regression tests pin that.
     pub atomic_parity_patches: u64,
+    /// Recovery sweeps completed, indexed by parity shard (see
+    /// [`crate::NvmDevice::note_recovery_sweep`]); shard ids at or above
+    /// [`STAT_SHARDS`] fold into the last slot.
+    pub recovery_sweeps: [u64; STAT_SHARDS],
+    /// Scrub passes completed, indexed by parity shard (see
+    /// [`crate::NvmDevice::note_scrub_pass`]).
+    pub scrub_passes: [u64; STAT_SHARDS],
+    /// Reads that landed outside the thread's armed read scope (see
+    /// [`crate::NvmDevice::arm_read_scope`]); a shard-confined recovery
+    /// sweep keeps this at zero — the regression tests pin that.
+    pub scope_violations: u64,
 }
 
 impl StatsSnapshot {
@@ -155,6 +186,13 @@ impl StatsSnapshot {
             atomic_parity_patches: self
                 .atomic_parity_patches
                 .saturating_sub(earlier.atomic_parity_patches),
+            recovery_sweeps: std::array::from_fn(|i| {
+                self.recovery_sweeps[i].saturating_sub(earlier.recovery_sweeps[i])
+            }),
+            scrub_passes: std::array::from_fn(|i| {
+                self.scrub_passes[i].saturating_sub(earlier.scrub_passes[i])
+            }),
+            scope_violations: self.scope_violations.saturating_sub(earlier.scope_violations),
         }
     }
 }
@@ -183,5 +221,24 @@ mod tests {
         assert_eq!(d.group_commits, 1);
         assert_eq!(d.group_txns, 8);
         assert_eq!(b.total_bytes_written(), 150);
+    }
+
+    #[test]
+    fn per_shard_counters_clamp_and_delta() {
+        let stats = DeviceStats::default();
+        DeviceStats::add_shard(&stats.recovery_sweeps, 0, 1);
+        DeviceStats::add_shard(&stats.recovery_sweeps, 3, 2);
+        // Out-of-range shard ids fold into the last slot instead of panicking.
+        DeviceStats::add_shard(&stats.scrub_passes, STAT_SHARDS + 5, 1);
+        let a = stats.snapshot();
+        assert_eq!(a.recovery_sweeps[0], 1);
+        assert_eq!(a.recovery_sweeps[3], 2);
+        assert_eq!(a.scrub_passes[STAT_SHARDS - 1], 1);
+        DeviceStats::add_shard(&stats.recovery_sweeps, 3, 1);
+        DeviceStats::add(&stats.scope_violations, 4);
+        let d = stats.snapshot().delta_since(&a);
+        assert_eq!(d.recovery_sweeps[3], 1);
+        assert_eq!(d.recovery_sweeps[0], 0);
+        assert_eq!(d.scope_violations, 4);
     }
 }

@@ -219,77 +219,123 @@ impl Heap {
     /// as [`ObjError::Corruption`] carrying the entry offset (Pangolin's
     /// open path repairs it from parity and retries).
     pub fn rebuild(io: &PoolIo, layout: Layout, verify: bool) -> Result<Heap> {
-        let mut zones = Vec::with_capacity(layout.n_zones as usize);
-        for z in 0..layout.n_zones {
-            let mut zs = ZoneState::new();
-            let mut c = layout.zone.cm_chunks; // CM chunks are never free
-            let mut pending_free: Option<(u64, u64)> = None;
-            while c < layout.zone.n_chunks {
-                let cm = Self::read_cm(io, &layout, z, c)?;
-                let cm_off = layout.cm_entry_off(z, c);
-                if verify && !(cm.verify() || cm == ChunkMeta::default()) {
-                    return Err(ObjError::Corruption { off: cm_off, what: "chunk metadata" });
-                }
-                let ctype = cm.chunk_type().unwrap_or(ChunkType::Free);
-                let mut advance = 1u64;
-                match ctype {
-                    ChunkType::Free => {
-                        pending_free = match pending_free {
-                            Some((s, n)) if s + n == c => Some((s, n + 1)),
-                            Some((s, n)) => {
-                                zs.return_free_chunks(s, n);
-                                Some((c, 1))
-                            }
-                            None => Some((c, 1)),
-                        };
-                    }
-                    ChunkType::Run => {
-                        let base = layout.chunk_base(z, c);
-                        let hdr = RunHeader::read(io, base)?;
-                        hdr.validate(layout.cfg.chunk_size)
-                            .map_err(|_| ObjError::Corruption { off: base, what: "run header" })?;
-                        let class = classes::class_index_of(hdr.block_size)
-                            .ok_or(ObjError::Corruption { off: base, what: "run class" })?;
-                        let free_blocks = hdr.free_blocks();
-                        let has_free = !free_blocks.is_empty();
-                        zs.runs.insert(
-                            c,
-                            RunState {
-                                class,
-                                block_size: hdr.block_size,
-                                nblocks: hdr.nblocks,
-                                free_blocks,
-                                pending: false,
-                            },
-                        );
-                        if has_free {
-                            zs.by_class[class].push(c);
-                        }
-                    }
-                    ChunkType::Large => {
-                        advance = cm.size_idx.max(1) as u64;
-                    }
-                    ChunkType::LargeCont => {
-                        return Err(ObjError::Corruption {
-                            off: cm_off,
-                            what: "orphan large-continuation chunk",
-                        });
-                    }
-                    ChunkType::Meta | ChunkType::Log => {}
-                }
-                if ctype != ChunkType::Free {
-                    if let Some((s, n)) = pending_free.take() {
-                        zs.return_free_chunks(s, n);
-                    }
-                }
-                c += advance;
+        Self::rebuild_with(io, layout, verify, 1)
+    }
+
+    /// Like [`Heap::rebuild`], but scans zones on up to `workers` threads.
+    ///
+    /// Zone scans are independent (each zone's chunk metadata is
+    /// self-contained), so the sweep partitions zones into contiguous
+    /// ranges and merges the per-zone states in order. With a simulated
+    /// NVM latency model the per-thread stalls overlap, so open time drops
+    /// with the worker count.
+    pub fn rebuild_with(io: &PoolIo, layout: Layout, verify: bool, workers: usize) -> Result<Heap> {
+        let n = layout.n_zones;
+        let workers = workers.clamp(1, n as usize);
+        let zones = if workers == 1 {
+            let mut zones = Vec::with_capacity(n as usize);
+            for z in 0..n {
+                zones.push(Self::scan_zone(io, &layout, z, verify)?);
             }
-            if let Some((s, n)) = pending_free {
-                zs.return_free_chunks(s, n);
+            zones
+        } else {
+            let span = (n as usize).div_ceil(workers);
+            let mut results: Vec<Result<Vec<ZoneState>>> = Vec::new();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let lo = (w * span) as u64;
+                        let hi = ((w + 1) * span).min(n as usize) as u64;
+                        s.spawn(move || {
+                            (lo..hi)
+                                .map(|z| Self::scan_zone(io, &layout, z, verify))
+                                .collect::<Result<Vec<_>>>()
+                        })
+                    })
+                    .collect();
+                results = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("zone scan worker panicked"))
+                    .collect();
+            });
+            let mut zones = Vec::with_capacity(n as usize);
+            for r in results {
+                zones.extend(r?);
             }
-            zones.push(zs);
-        }
+            zones
+        };
         Ok(Heap { layout, zones: Mutex::new(zones), publish: Mutex::new(()) })
+    }
+
+    /// Scans one zone's chunk metadata into a fresh [`ZoneState`].
+    fn scan_zone(io: &PoolIo, layout: &Layout, z: u64, verify: bool) -> Result<ZoneState> {
+        let mut zs = ZoneState::new();
+        let mut c = layout.zone.cm_chunks; // CM chunks are never free
+        let mut pending_free: Option<(u64, u64)> = None;
+        while c < layout.zone.n_chunks {
+            let cm = Self::read_cm(io, layout, z, c)?;
+            let cm_off = layout.cm_entry_off(z, c);
+            if verify && !(cm.verify() || cm == ChunkMeta::default()) {
+                return Err(ObjError::Corruption { off: cm_off, what: "chunk metadata" });
+            }
+            let ctype = cm.chunk_type().unwrap_or(ChunkType::Free);
+            let mut advance = 1u64;
+            match ctype {
+                ChunkType::Free => {
+                    pending_free = match pending_free {
+                        Some((s, n)) if s + n == c => Some((s, n + 1)),
+                        Some((s, n)) => {
+                            zs.return_free_chunks(s, n);
+                            Some((c, 1))
+                        }
+                        None => Some((c, 1)),
+                    };
+                }
+                ChunkType::Run => {
+                    let base = layout.chunk_base(z, c);
+                    let hdr = RunHeader::read(io, base)?;
+                    hdr.validate(layout.cfg.chunk_size)
+                        .map_err(|_| ObjError::Corruption { off: base, what: "run header" })?;
+                    let class = classes::class_index_of(hdr.block_size)
+                        .ok_or(ObjError::Corruption { off: base, what: "run class" })?;
+                    let free_blocks = hdr.free_blocks();
+                    let has_free = !free_blocks.is_empty();
+                    zs.runs.insert(
+                        c,
+                        RunState {
+                            class,
+                            block_size: hdr.block_size,
+                            nblocks: hdr.nblocks,
+                            free_blocks,
+                            pending: false,
+                        },
+                    );
+                    if has_free {
+                        zs.by_class[class].push(c);
+                    }
+                }
+                ChunkType::Large => {
+                    advance = cm.size_idx.max(1) as u64;
+                }
+                ChunkType::LargeCont => {
+                    return Err(ObjError::Corruption {
+                        off: cm_off,
+                        what: "orphan large-continuation chunk",
+                    });
+                }
+                ChunkType::Meta | ChunkType::Log => {}
+            }
+            if ctype != ChunkType::Free {
+                if let Some((s, n)) = pending_free.take() {
+                    zs.return_free_chunks(s, n);
+                }
+            }
+            c += advance;
+        }
+        if let Some((s, n)) = pending_free {
+            zs.return_free_chunks(s, n);
+        }
+        Ok(zs)
     }
 
     fn read_cm(io: &PoolIo, layout: &Layout, z: u64, c: u64) -> Result<ChunkMeta> {
@@ -303,69 +349,120 @@ impl Heap {
         &self.layout
     }
 
+    /// The zone visit order for a reservation: with an affinity preference
+    /// `(shard, n_shards)`, zones belonging to that shard (`z % n_shards ==
+    /// shard`) come first, then all others — affine allocations cluster in
+    /// the preferred parity shard but never fail spuriously while other
+    /// shards still have space.
+    fn zone_order(&self, pref: Option<(u64, u64)>) -> Vec<u64> {
+        self.zone_groups(pref).concat()
+    }
+
+    /// Zone visit order as preference *groups*: with an affinity
+    /// `(shard, n_shards)`, the first group is the preferred shard's zones
+    /// and the second is everything else; without one there is a single
+    /// group of all zones. Reservation strategies that can either reuse
+    /// existing state or claim fresh space must exhaust **both** strategies
+    /// within a group before moving to the next, otherwise a half-full run
+    /// in a foreign zone silently defeats the affinity.
+    fn zone_groups(&self, pref: Option<(u64, u64)>) -> Vec<Vec<u64>> {
+        let n = self.layout.n_zones;
+        match pref {
+            Some((shard, n_shards)) if n_shards > 1 => {
+                let shard = shard % n_shards;
+                vec![
+                    (0..n).filter(|z| z % n_shards == shard).collect(),
+                    (0..n).filter(|z| z % n_shards != shard).collect(),
+                ]
+            }
+            _ => vec![(0..n).collect()],
+        }
+    }
+
     /// Reserves storage for a `size`-byte object of type `type_num`.
     pub fn reserve_alloc(&self, size: u64, type_num: u32) -> Result<AllocReservation> {
+        self.reserve_alloc_in(size, type_num, None)
+    }
+
+    /// Like [`Heap::reserve_alloc`], but with an optional parity-shard
+    /// affinity `(shard, n_shards)`: zones of the preferred shard are tried
+    /// first — both reuse of half-full runs and fresh-chunk claims exhaust
+    /// the preferred zone group before falling back to foreign zones.
+    pub fn reserve_alloc_in(
+        &self,
+        size: u64,
+        type_num: u32,
+        pref: Option<(u64, u64)>,
+    ) -> Result<AllocReservation> {
         if size == 0 || size > self.layout.max_alloc() {
             return Err(ObjError::OutOfMemory { requested: size as usize });
         }
         let alloc_size = size + OBJ_HEADER_SIZE;
         let chunk_size = self.layout.cfg.chunk_size;
+        let groups = self.zone_groups(pref);
         let mut zones = self.zones.lock();
 
         if let Some(ci) = classes::class_for(alloc_size, chunk_size) {
             let block_size = classes::CLASS_SIZES[ci];
-            // Existing run with a free block?
-            for (zi, zs) in zones.iter_mut().enumerate() {
-                if let Some((chunk, block, bs)) = zs.pop_block(ci) {
-                    let base = self.layout.chunk_base(zi as u64, chunk);
-                    let (word, mask) = RunHeader::bit_pos(base, block);
-                    let start = RunHeader::block_off(base, bs, block);
-                    return Ok(AllocReservation {
-                        oid_off: start + OBJ_HEADER_SIZE,
-                        start_off: start,
-                        total_len: bs as u64,
-                        user_size: size,
-                        type_num,
-                        ops: vec![MetaOp::SetBits { off: word, mask }],
-                        kind: ReserveKind::Run { zone: zi as u64, chunk, block, fresh_run: false },
-                    });
+            // Per preference group: reuse an existing run, else format a
+            // fresh one — both tried in the preferred shard's zones before
+            // any fallback zone is considered.
+            for group in &groups {
+                // Existing run with a free block?
+                for &zi in group {
+                    let zs = &mut zones[zi as usize];
+                    if let Some((chunk, block, bs)) = zs.pop_block(ci) {
+                        let base = self.layout.chunk_base(zi, chunk);
+                        let (word, mask) = RunHeader::bit_pos(base, block);
+                        let start = RunHeader::block_off(base, bs, block);
+                        return Ok(AllocReservation {
+                            oid_off: start + OBJ_HEADER_SIZE,
+                            start_off: start,
+                            total_len: bs as u64,
+                            user_size: size,
+                            type_num,
+                            ops: vec![MetaOp::SetBits { off: word, mask }],
+                            kind: ReserveKind::Run { zone: zi, chunk, block, fresh_run: false },
+                        });
+                    }
                 }
-            }
-            // Format a new run from a free chunk.
-            for (zi, zs) in zones.iter_mut().enumerate() {
-                if let Some(chunk) = zs.take_free_chunks(1) {
-                    let nblocks = classes::nblocks(chunk_size, block_size);
-                    let base = self.layout.chunk_base(zi as u64, chunk);
-                    let block = 0u32;
-                    zs.runs.insert(
-                        chunk,
-                        RunState {
-                            class: ci,
-                            block_size,
-                            nblocks,
-                            free_blocks: (1..nblocks).rev().collect(),
-                            pending: true,
-                        },
-                    );
-                    let (word, mask) = RunHeader::bit_pos(base, block);
-                    let cm = ChunkMeta::new(ChunkType::Run, ci as u16, 1);
-                    let start = RunHeader::block_off(base, block_size, block);
-                    return Ok(AllocReservation {
-                        oid_off: start + OBJ_HEADER_SIZE,
-                        start_off: start,
-                        total_len: block_size as u64,
-                        user_size: size,
-                        type_num,
-                        ops: vec![
-                            MetaOp::RunFmt { off: base, block_size, nblocks },
-                            MetaOp::WriteCm {
-                                off: self.layout.cm_entry_off(zi as u64, chunk),
-                                data: cm.to_bytes(),
+                // Format a new run from a free chunk.
+                for &zi in group {
+                    let zs = &mut zones[zi as usize];
+                    if let Some(chunk) = zs.take_free_chunks(1) {
+                        let nblocks = classes::nblocks(chunk_size, block_size);
+                        let base = self.layout.chunk_base(zi, chunk);
+                        let block = 0u32;
+                        zs.runs.insert(
+                            chunk,
+                            RunState {
+                                class: ci,
+                                block_size,
+                                nblocks,
+                                free_blocks: (1..nblocks).rev().collect(),
+                                pending: true,
                             },
-                            MetaOp::SetBits { off: word, mask },
-                        ],
-                        kind: ReserveKind::Run { zone: zi as u64, chunk, block, fresh_run: true },
-                    });
+                        );
+                        let (word, mask) = RunHeader::bit_pos(base, block);
+                        let cm = ChunkMeta::new(ChunkType::Run, ci as u16, 1);
+                        let start = RunHeader::block_off(base, block_size, block);
+                        return Ok(AllocReservation {
+                            oid_off: start + OBJ_HEADER_SIZE,
+                            start_off: start,
+                            total_len: block_size as u64,
+                            user_size: size,
+                            type_num,
+                            ops: vec![
+                                MetaOp::RunFmt { off: base, block_size, nblocks },
+                                MetaOp::WriteCm {
+                                    off: self.layout.cm_entry_off(zi, chunk),
+                                    data: cm.to_bytes(),
+                                },
+                                MetaOp::SetBits { off: word, mask },
+                            ],
+                            kind: ReserveKind::Run { zone: zi, chunk, block, fresh_run: true },
+                        });
+                    }
                 }
             }
             return Err(ObjError::OutOfMemory { requested: size as usize });
@@ -373,19 +470,21 @@ impl Heap {
 
         // Large allocation: contiguous chunks.
         let n = alloc_size.div_ceil(chunk_size as u64);
-        for (zi, zs) in zones.iter_mut().enumerate() {
+        let order: Vec<u64> = groups.concat();
+        for &zi in &order {
+            let zs = &mut zones[zi as usize];
             if let Some(chunk) = zs.take_free_chunks(n) {
-                let base = self.layout.chunk_base(zi as u64, chunk);
+                let base = self.layout.chunk_base(zi, chunk);
                 let mut ops = Vec::with_capacity(n as usize);
                 let head = ChunkMeta::new(ChunkType::Large, 0, n as u32);
                 ops.push(MetaOp::WriteCm {
-                    off: self.layout.cm_entry_off(zi as u64, chunk),
+                    off: self.layout.cm_entry_off(zi, chunk),
                     data: head.to_bytes(),
                 });
                 let cont = ChunkMeta::new(ChunkType::LargeCont, 0, 0);
                 for k in 1..n {
                     ops.push(MetaOp::WriteCm {
-                        off: self.layout.cm_entry_off(zi as u64, chunk + k),
+                        off: self.layout.cm_entry_off(zi, chunk + k),
                         data: cont.to_bytes(),
                     });
                 }
@@ -396,7 +495,7 @@ impl Heap {
                     user_size: size,
                     type_num,
                     ops,
-                    kind: ReserveKind::Large { zone: zi as u64, chunk, n },
+                    kind: ReserveKind::Large { zone: zi, chunk, n },
                 });
             }
         }
@@ -602,10 +701,20 @@ impl Heap {
     /// publishes the `Log` chunk type itself). Returns `(zone, chunk,
     /// chunk_base)`.
     pub fn reserve_log_chunk(&self) -> Result<(u64, u64, u64)> {
+        self.reserve_log_chunk_in(None)
+    }
+
+    /// Like [`Heap::reserve_log_chunk`], but with an optional parity-shard
+    /// affinity `(shard, n_shards)`: overflow log
+    /// chunks land in the transaction's own shard when it has space, so log
+    /// publication stays within one parity domain.
+    pub fn reserve_log_chunk_in(&self, pref: Option<(u64, u64)>) -> Result<(u64, u64, u64)> {
+        let order = self.zone_order(pref);
         let mut zones = self.zones.lock();
-        for (zi, zs) in zones.iter_mut().enumerate() {
+        for &zi in &order {
+            let zs = &mut zones[zi as usize];
             if let Some(chunk) = zs.take_free_chunks(1) {
-                return Ok((zi as u64, chunk, self.layout.chunk_base(zi as u64, chunk)));
+                return Ok((zi, chunk, self.layout.chunk_base(zi, chunk)));
             }
         }
         Err(ObjError::OutOfMemory { requested: self.layout.cfg.chunk_size })

@@ -60,6 +60,13 @@ pub enum EntryKind {
     /// Log continuation: the log continues in an overflow heap chunk
     /// (payload: primary offset, replica offset or 0, capacity).
     LogExt = 8,
+    /// Cross-shard commit marker (Pangolin sharded parity domains): this
+    /// committed lane also covers the entries of a *secondary* lane
+    /// (payload: lane index, expected generation). Recovery rolls the
+    /// secondary's entries forward iff its generation still matches —
+    /// the ordered two-shard commit writes the secondary's own commit
+    /// record only after this lane's commit fence.
+    CrossShard = 9,
 }
 
 impl EntryKind {
@@ -73,6 +80,7 @@ impl EntryKind {
             6 => EntryKind::AllocIntent,
             7 => EntryKind::Commit,
             8 => EntryKind::LogExt,
+            9 => EntryKind::CrossShard,
             _ => return None,
         })
     }
@@ -218,6 +226,23 @@ pub mod payload {
         let c = u64::from_le_bytes(p[16..24].try_into().expect("len checked"));
         (a, b, c)
     }
+
+    /// Payload of a [`super::EntryKind::CrossShard`] entry: the secondary
+    /// lane's index and the generation its entries were written under.
+    pub fn cross_shard(lane: u32, gen: u64) -> [u8; 12] {
+        let mut p = [0u8; 12];
+        p[..4].copy_from_slice(&lane.to_le_bytes());
+        p[4..].copy_from_slice(&gen.to_le_bytes());
+        p
+    }
+
+    /// Decodes a [`super::EntryKind::CrossShard`] payload into
+    /// `(lane, generation)`.
+    pub fn parse_cross_shard(p: &[u8]) -> (u32, u64) {
+        let lane = u32::from_le_bytes(p[..4].try_into().expect("len checked"));
+        let gen = u64::from_le_bytes(p[4..12].try_into().expect("len checked"));
+        (lane, gen)
+    }
 }
 
 #[cfg(test)]
@@ -291,5 +316,16 @@ mod tests {
         let p = payload::run_fmt(128, 500);
         assert_eq!(payload::parse_run_fmt(&p), (128, 500));
         assert_eq!(payload::parse_mask(&payload::mask(u64::MAX)), u64::MAX);
+        let p = payload::cross_shard(7, 0xDEAD_BEEF_0042);
+        assert_eq!(payload::parse_cross_shard(&p), (7, 0xDEAD_BEEF_0042));
+    }
+
+    #[test]
+    fn cross_shard_marker_roundtrip() {
+        let mut buf = Vec::new();
+        encode_entry(&mut buf, EntryKind::CrossShard, 0, &payload::cross_shard(3, 9), 2);
+        let (e, _) = decode_entry(&buf, 2).unwrap().expect("valid");
+        assert_eq!(e.kind, EntryKind::CrossShard);
+        assert_eq!(payload::parse_cross_shard(&e.payload), (3, 9));
     }
 }

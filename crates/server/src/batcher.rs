@@ -35,17 +35,32 @@ pub struct ShardWorker<S: Store> {
     map: BTree,
     rx: Receiver<Job>,
     batch_max: usize,
+    /// Service shard index — doubles as the parity-shard binding, so a
+    /// worker's group commits allocate inside one parity domain and never
+    /// pay the cross-shard commit protocol.
+    shard: usize,
 }
 
 impl<S: Store> ShardWorker<S> {
     /// A worker executing `rx`'s jobs against `map` on `store`, grouping
-    /// at most `batch_max` writes per commit.
-    pub fn new(store: S, map: BTree, rx: Receiver<Job>, batch_max: usize) -> ShardWorker<S> {
-        ShardWorker { store, map, rx, batch_max: batch_max.max(1) }
+    /// at most `batch_max` writes per commit. `shard` is this worker's
+    /// service-shard index, forwarded to [`Store::bind_shard`] on the
+    /// worker thread at startup.
+    pub fn new(
+        store: S,
+        map: BTree,
+        rx: Receiver<Job>,
+        batch_max: usize,
+        shard: usize,
+    ) -> ShardWorker<S> {
+        ShardWorker { store, map, rx, batch_max: batch_max.max(1), shard }
     }
 
     /// Runs until every producer handle is gone (service shutdown).
     pub fn run(self) {
+        // Align this worker (thread) with a parity shard: allocations it
+        // makes prefer that shard's zones.
+        self.store.bind_shard(self.shard);
         let mut jobs: Vec<Job> = Vec::with_capacity(self.batch_max);
         loop {
             let Ok(first) = self.rx.recv() else {

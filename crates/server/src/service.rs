@@ -67,9 +67,9 @@ impl<S: Store + Clone + 'static> KvService<S> {
         let maps = open_shard_maps(&store, shards)?;
         let mut lanes = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
-        for map in maps {
+        for (shard, map) in maps.into_iter().enumerate() {
             let (lane, rx) = LaneQueue::new(config.queue_depth);
-            let worker = ShardWorker::new(store.clone(), map, rx, config.batch_max);
+            let worker = ShardWorker::new(store.clone(), map, rx, config.batch_max, shard);
             workers.push(std::thread::spawn(move || worker.run()));
             lanes.push(lane);
         }
