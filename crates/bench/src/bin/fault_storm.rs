@@ -1,0 +1,253 @@
+//! Degraded-mode fault-storm benchmark: commit latency under a seeded
+//! [`FaultStorm`] with background self-healing, plus acked-write survival
+//! accounting across close → reopen.
+//!
+//! Two parity shards: writer threads overwrite the *hot* shard's objects
+//! while the storm fires poisons and scribbles at the *cold* shard's zone
+//! (cold data models media decay at rest; see the soak test for why a
+//! scribble racing its victim's own overwrite is out of model). Reported:
+//!
+//! * p50/p99 commit latency with and without the storm + scrubbers;
+//! * the storm report vs the device's injection counters;
+//! * self-healing totals (scrub repairs, quarantined zones);
+//! * acked-write survival: every committed overwrite reads back verified
+//!   after the storm **and** after reopen, or its zone is quarantined and
+//!   the loss is typed — never silent.
+//!
+//! Run: `cargo run --release -p pgl-bench --bin fault_storm`
+//! Options: `--ops N` overwrites per phase, `--pool-mb N`, `--seed N`,
+//! `--no-latency`, `--json PATH`.
+//!
+//! [`FaultStorm`]: pangolin::inject::FaultStorm
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pangolin::inject::{FaultPlan, FaultStorm};
+use pangolin::{PMEMoid, PglError, PglPool};
+use pgl_bench::{print_table, Args};
+use pgl_nvm::{DeviceConfig, NvmDevice};
+
+const OBJ_SIZE: u64 = 1024;
+const OBJS_PER_SHARD: usize = 64;
+const SHARDS: usize = 2;
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// One phase: `threads` writers round-robin overwriting disjoint slices of
+/// `hot`, `ops` commits total. Returns per-commit latencies (µs) and the
+/// last acked fill per object.
+fn write_phase(
+    pool: &PglPool,
+    hot: &[PMEMoid],
+    ops: usize,
+    threads: usize,
+) -> (Vec<f64>, HashMap<u64, u8>) {
+    let per = ops / threads;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let pool = pool.clone();
+            let slice: Vec<PMEMoid> = hot.iter().skip(t).step_by(threads).copied().collect();
+            std::thread::spawn(move || {
+                pool.bind_thread_to_shard(0);
+                let mut lat = Vec::with_capacity(per);
+                let mut acked = HashMap::new();
+                for i in 0..per {
+                    let oid = slice[i % slice.len()];
+                    let fill = (i % 127) as u8 | 0x80;
+                    let start = Instant::now();
+                    pool.tx(|tx| tx.write(oid, 0, &[fill; OBJ_SIZE as usize]))
+                        .expect("hot-shard commit must succeed");
+                    lat.push(start.elapsed().as_nanos() as f64 / 1000.0);
+                    acked.insert(oid.off, fill);
+                }
+                pool.unbind_thread_from_shard();
+                (lat, acked)
+            })
+        })
+        .collect();
+    let mut lat = Vec::new();
+    let mut acked = HashMap::new();
+    for h in handles {
+        let (l, a) = h.join().expect("writer thread");
+        lat.extend(l);
+        acked.extend(a);
+    }
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("ordered"));
+    (lat, acked)
+}
+
+/// Survival accounting: per acked object — verified read-back, typed
+/// quarantined loss, or (fatal) silent loss / untyped failure.
+fn survival(pool: &PglPool, expect: &HashMap<u64, u8>) -> (u64, u64) {
+    let q = pool.quarantined_zones();
+    let (mut verified, mut fenced) = (0u64, 0u64);
+    for (&off, &fill) in expect {
+        let oid = PMEMoid::new(pool.uuid(), off);
+        match pool.read_verified(oid) {
+            Ok(data) => {
+                assert_eq!(data, vec![fill; OBJ_SIZE as usize], "acked write lost at {off:#x}");
+                verified += 1;
+            }
+            Err(PglError::Unrecoverable { zone, .. }) => {
+                assert!(q.contains(&zone), "unrecoverable {off:#x} outside quarantine");
+                fenced += 1;
+            }
+            Err(e) => panic!("untyped failure at {off:#x}: {e}"),
+        }
+    }
+    (verified, fenced)
+}
+
+fn main() {
+    let args = Args::parse();
+    let ops = if args.ops_explicit { args.ops } else { 20_000 };
+    println!("fault-storm soak: degraded-mode latency and self-healing");
+
+    let pool_bytes = args.pool_bytes.min(64 << 20);
+    let dev = Arc::new(
+        NvmDevice::new(pool_bytes, DeviceConfig { latency: args.latency, ..DeviceConfig::fast() })
+            .expect("device"),
+    );
+    let pool = PglPool::options()
+        .size(pool_bytes)
+        .zone_size(2 << 20)
+        .shards(SHARDS)
+        .background_scrub(true)
+        .scrub_interval_ms(10)
+        .create(Arc::clone(&dev))
+        .expect("create");
+
+    // Populate: hot objects on shard 0 (written throughout), cold on
+    // shard 1 (the storm's target, written once here).
+    let mut sets: Vec<Vec<PMEMoid>> = Vec::new();
+    for shard in 0..SHARDS {
+        pool.bind_thread_to_shard(shard);
+        sets.push(
+            (0..OBJS_PER_SHARD)
+                .map(|i| {
+                    pool.tx(|tx| {
+                        let o = tx.alloc(OBJ_SIZE, (shard * OBJS_PER_SHARD + i) as u32 + 1)?;
+                        tx.write(o, 0, &[0x42; OBJ_SIZE as usize])?;
+                        Ok(o)
+                    })
+                    .expect("populate")
+                })
+                .collect(),
+        );
+    }
+    pool.unbind_thread_from_shard();
+    let (hot, cold) = (sets[0].clone(), sets[1].clone());
+    let (storm_zone, _) = pool.layout().zone_and_rel(cold[0].off).expect("cold zone");
+
+    // Phase 1: calm baseline.
+    let (calm, _) = write_phase(&pool, &hot, ops, 2);
+
+    // Phase 2: same traffic under the storm + concurrent self-healing.
+    let storm = FaultStorm::launch(
+        &pool,
+        FaultPlan {
+            seed: args.seed,
+            max_events: 0,
+            mean_gap: Duration::from_micros(500),
+            poison_per_mille: 250,
+            zones: Some(vec![storm_zone]),
+            ..FaultPlan::default()
+        },
+    );
+    let (stormy, acked) = write_phase(&pool, &hot, ops, 2);
+    let report = storm.stop();
+    let stats = dev.stats();
+    assert_eq!(stats.poison_injected, report.poisons, "poison counter matches report");
+
+    // Drain the remaining damage, then the invariant must hold outside
+    // quarantine and every acked write must be accounted for.
+    loop {
+        let r = pool.scrub_now().expect("scrub");
+        if r.objects_repaired == 0 && r.pages_repaired == 0 {
+            break;
+        }
+    }
+    assert_eq!(
+        pool.verify_parity_detailed().expect("verify"),
+        vec![],
+        "parity dirty outside quarantined zones"
+    );
+    let cold_expect: HashMap<u64, u8> = cold.iter().map(|o| (o.off, 0x42)).collect();
+    let (hot_ok, hot_fenced) = survival(&pool, &acked);
+    let (cold_ok, cold_fenced) = survival(&pool, &cold_expect);
+    assert_eq!(hot_fenced, 0, "storm-free shard must never lose an acked write");
+    let scrub_repairs = dev.stats().total_scrub_repairs();
+    let quarantined = pool.quarantined_zones();
+
+    // Close → reopen: quarantine and every acked write survive.
+    drop(pool);
+    let start = Instant::now();
+    let pool = PglPool::options().shards(SHARDS).open(Arc::clone(&dev)).expect("reopen");
+    let reopen_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(pool.quarantined_zones(), quarantined, "quarantine survived reopen");
+    let (hot_ok2, _) = survival(&pool, &acked);
+    let (cold_ok2, cold_fenced2) = survival(&pool, &cold_expect);
+    assert_eq!(hot_ok2, hot_ok, "hot survival changed across reopen");
+    assert_eq!((cold_ok2, cold_fenced2), (cold_ok, cold_fenced), "cold survival changed");
+
+    let rows = vec![
+        vec![
+            "calm".into(),
+            format!("{:.1}", percentile(&calm, 0.50)),
+            format!("{:.1}", percentile(&calm, 0.99)),
+            format!("{ops} commits, 2 writers"),
+        ],
+        vec![
+            "storm".into(),
+            format!("{:.1}", percentile(&stormy, 0.50)),
+            format!("{:.1}", percentile(&stormy, 0.99)),
+            format!("{} poisons + {} scribbles injected", report.poisons, report.scribbles),
+        ],
+    ];
+    print_table("commit latency (us)", &["phase", "p50", "p99", "notes"], &rows);
+    println!(
+        "self-healing: {scrub_repairs} background scrub repairs, {} zone(s) quarantined {:?}",
+        quarantined.len(),
+        quarantined
+    );
+    println!(
+        "acked-write survival: hot {hot_ok}/{} verified, cold {cold_ok} verified + \
+         {cold_fenced} typed-fenced of {}; reopen {reopen_ms:.1} ms",
+        acked.len(),
+        cold_expect.len()
+    );
+
+    if let Some(path) = &args.json {
+        let json = format!(
+            "{{\"bench\":\"fault_storm\",\"mode\":\"pgl-MLPC\",\"unit\":\"us\",\
+             \"ops\":{ops},\"seed\":{seed},\
+             \"calm_p50\":{:.3},\"calm_p99\":{:.3},\
+             \"storm_p50\":{:.3},\"storm_p99\":{:.3},\
+             \"poisons\":{},\"scribbles\":{},\"skipped\":{},\
+             \"scrub_repairs\":{scrub_repairs},\"quarantined_zones\":{},\
+             \"hot_acked\":{},\"hot_verified\":{hot_ok},\
+             \"cold_verified\":{cold_ok},\"cold_fenced\":{cold_fenced},\
+             \"acked_lost\":0,\"reopen_ms\":{reopen_ms:.3}}}\n",
+            percentile(&calm, 0.50),
+            percentile(&calm, 0.99),
+            percentile(&stormy, 0.50),
+            percentile(&stormy, 0.99),
+            report.poisons,
+            report.scribbles,
+            report.skipped,
+            quarantined.len(),
+            acked.len(),
+            seed = args.seed,
+        );
+        std::fs::write(path, json).expect("write --json file");
+        println!("wrote {path}");
+    }
+}

@@ -143,8 +143,13 @@ fn run_pass(opts: &Opts, batch_max: usize, label: &'static str) -> PassResult {
     let dev = Arc::new(NvmDevice::new(pool_bytes, dev_cfg).expect("device"));
     let cfg = PglConfig::bench(pool_bytes, PglMode::Mlpc);
     let store = PglStore::new(PglPool::create(dev.clone(), cfg).expect("pool"));
-    let svc_cfg =
-        ServiceConfig { shards: opts.shards, queue_depth: 4096, batch_max, max_inflight: 1 << 16 };
+    let svc_cfg = ServiceConfig {
+        shards: opts.shards,
+        queue_depth: 4096,
+        batch_max,
+        max_inflight: 1 << 16,
+        ..ServiceConfig::default()
+    };
     let server = KvServer::start(store, svc_cfg, "127.0.0.1:0").expect("server");
     let addr = server.local_addr();
 

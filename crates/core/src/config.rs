@@ -99,6 +99,18 @@ pub struct PglConfig {
     /// can be reopened with any shard count and `shards = 1` is
     /// byte-compatible with pre-sharding pools.
     pub shards: usize,
+    /// Pacing delay (milliseconds) background scrub workers sleep between
+    /// object batches, bounding the scrubber's read bandwidth next to live
+    /// traffic. `0` means no pacing (the worker only yields). Under load
+    /// (commits observed during a batch) workers back off exponentially up
+    /// to 8x this value.
+    pub scrub_pace_ms: u64,
+    /// Periodic wake-up interval (milliseconds) for background scrub
+    /// workers: each worker re-scrubs its shard this often even without a
+    /// commit-tick trigger, so faults on cold data are still found and
+    /// healed online. `0` disables periodic wake-ups (workers then run
+    /// only when [`CsumPolicy::ScrubEvery`] ticks fire).
+    pub scrub_interval_ms: u64,
 }
 
 impl PglConfig {
@@ -114,6 +126,8 @@ impl PglConfig {
             vcache_capacity: 64 << 10,
             vcache_shards: 64,
             shards: 1,
+            scrub_pace_ms: 0,
+            scrub_interval_ms: 0,
         }
     }
 
@@ -129,6 +143,8 @@ impl PglConfig {
             vcache_capacity: 64 << 10,
             vcache_shards: 64,
             shards: 0,
+            scrub_pace_ms: 0,
+            scrub_interval_ms: 0,
         }
     }
 

@@ -30,8 +30,22 @@ pub enum PglError {
         off: u64,
     },
     /// Data was lost beyond the fault-tolerance guarantee (e.g. two pages
-    /// of the same page column).
-    Unrecoverable(String),
+    /// of the same page column). Carries the failure's location so callers
+    /// (and the network service) can report exactly which parity shard and
+    /// zone degraded while every other shard keeps serving; the affected
+    /// zone is quarantined (see [`crate::quarantine`]).
+    Unrecoverable {
+        /// Parity shard owning the lost zone, or [`u64::MAX`] when the
+        /// failure is not attributable to a shard (metadata, no parity).
+        shard: u64,
+        /// Zone index of the lost data, or [`u64::MAX`] when unknown.
+        zone: u64,
+        /// Pool offset nearest to the failure, or [`u64::MAX`] when
+        /// unknown.
+        off: u64,
+        /// Human-readable description of what was lost and why.
+        detail: String,
+    },
     /// The configuration is internally inconsistent.
     Config(String),
 }
@@ -49,7 +63,19 @@ impl fmt::Display for PglError {
             PglError::TypeMismatch { off } => {
                 write!(f, "typed handle mismatch for object at {off:#x}")
             }
-            PglError::Unrecoverable(s) => write!(f, "unrecoverable: {s}"),
+            PglError::Unrecoverable { shard, zone, off, detail } => {
+                write!(f, "unrecoverable")?;
+                if *shard != u64::MAX {
+                    write!(f, " [shard {shard}]")?;
+                }
+                if *zone != u64::MAX {
+                    write!(f, " [zone {zone}]")?;
+                }
+                if *off != u64::MAX {
+                    write!(f, " [near {off:#x}]")?;
+                }
+                write!(f, ": {detail}")
+            }
             PglError::Config(s) => write!(f, "bad configuration: {s}"),
         }
     }
@@ -77,6 +103,37 @@ impl PglError {
             PglError::Obj(ObjError::Mem(MemError::Poisoned { page })) => Some(*page),
             _ => None,
         }
+    }
+
+    /// Builds an [`PglError::Unrecoverable`] with no location information
+    /// (shard/zone/offset unknown); used where the failure cannot be
+    /// attributed to a parity zone.
+    pub fn unrecoverable(detail: impl Into<String>) -> PglError {
+        PglError::Unrecoverable {
+            shard: u64::MAX,
+            zone: u64::MAX,
+            off: u64::MAX,
+            detail: detail.into(),
+        }
+    }
+
+    /// Builds a located [`PglError::Unrecoverable`] pinned to parity
+    /// `shard` and `zone` near pool offset `off` (use [`u64::MAX`] for any
+    /// coordinate that is unknown).
+    pub fn unrecoverable_at(
+        shard: u64,
+        zone: u64,
+        off: u64,
+        detail: impl Into<String>,
+    ) -> PglError {
+        PglError::Unrecoverable { shard, zone, off, detail: detail.into() }
+    }
+
+    /// Returns `true` if this is a permanent data-loss error — the one
+    /// class a caller must never retry (the network client's retry loop
+    /// keys off this split).
+    pub fn is_unrecoverable(&self) -> bool {
+        matches!(self, PglError::Unrecoverable { .. })
     }
 }
 

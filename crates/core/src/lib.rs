@@ -86,6 +86,7 @@ pub mod options;
 pub mod parity;
 pub mod ploc;
 pub mod pool;
+pub mod quarantine;
 pub mod recover;
 pub(crate) mod scratch;
 pub mod scrub;
@@ -98,10 +99,12 @@ pub mod vcache;
 pub use config::{CsumPolicy, PglConfig, PglMode};
 pub use detect::VulnSnapshot;
 pub use error::{PglError, Result};
+pub use inject::{FaultKind, FaultPlan, FaultStorm, StormReport};
 pub use options::OpenOptions;
 pub use parity::{ParityDomains, ShardMap};
 pub use ploc::{CasOutcome, CasRecovery, DetectableCas, WordCas};
 pub use pool::{ObjHandle, PglCounters, PglPool};
+pub use quarantine::QuarantineSet;
 pub use scrub::ScrubReport;
 pub use txn::{PglTx, TxStats};
 pub use typed::{Field, PArr, PObj, PType};

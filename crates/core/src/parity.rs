@@ -505,9 +505,12 @@ impl ParityEngine {
                 continue;
             }
             self.read_row_range(io, zone, row, col, &mut buf).map_err(|e| {
-                PglError::Unrecoverable(format!(
-                    "double failure: row {row} of the same page column is also lost ({e})"
-                ))
+                PglError::unrecoverable_at(
+                    u64::MAX,
+                    zone,
+                    page_off,
+                    format!("double failure: row {row} of the same page column is also lost ({e})"),
+                )
             })?;
             for (a, b) in acc.iter_mut().zip(&buf) {
                 *a ^= b;
@@ -517,7 +520,12 @@ impl ParityEngine {
             // Reconstructing a data page: fold in the parity page.
             let parity_off = self.layout.parity_off(zone, col);
             io.read(parity_off, &mut buf).map_err(|e| {
-                PglError::Unrecoverable(format!("parity page of the column is also lost ({e})"))
+                PglError::unrecoverable_at(
+                    u64::MAX,
+                    zone,
+                    page_off,
+                    format!("parity page of the column is also lost ({e})"),
+                )
             })?;
             for (a, b) in acc.iter_mut().zip(&buf) {
                 *a ^= b;
@@ -530,9 +538,12 @@ impl ParityEngine {
     /// pages or `(zone, None, col)` for parity pages.
     fn locate(&self, page_off: u64) -> Result<(u64, Option<u64>, u64)> {
         if page_off % PAGE_SIZE as u64 != 0 {
-            return Err(PglError::Unrecoverable(format!(
-                "page offset {page_off:#x} not page-aligned"
-            )));
+            return Err(PglError::unrecoverable_at(
+                u64::MAX,
+                u64::MAX,
+                page_off,
+                "page offset not page-aligned",
+            ));
         }
         if let Ok((zone, row, col)) = self.layout.row_col_of(page_off) {
             return Ok((zone, Some(row), col));
@@ -543,9 +554,12 @@ impl ParityEngine {
         if zoff >= pbase && zoff < pbase + self.layout.zone.row_size {
             Ok((zone, None, zoff - pbase))
         } else {
-            Err(PglError::Unrecoverable(format!(
-                "page {page_off:#x} is outside the parity-protected area"
-            )))
+            Err(PglError::unrecoverable_at(
+                u64::MAX,
+                zone,
+                page_off,
+                "page is outside the parity-protected area",
+            ))
         }
     }
 
@@ -876,8 +890,23 @@ impl ParityDomains {
     /// its owning shard's engine (so the sweep contends only with that
     /// shard's committers).
     pub fn verify_all(&self, io: &PoolIo) -> Result<Vec<(u64, u64, u64)>> {
+        self.verify_all_except(io, &|_| false)
+    }
+
+    /// Like [`ParityDomains::verify_all`], but skipping every zone for
+    /// which `skip` returns `true` (quarantined zones hold unreconstructable
+    /// pages, so their parity invariant is knowingly — and acceptably —
+    /// broken).
+    pub fn verify_all_except(
+        &self,
+        io: &PoolIo,
+        skip: &dyn Fn(u64) -> bool,
+    ) -> Result<Vec<(u64, u64, u64)>> {
         let mut out = Vec::new();
         for zone in 0..self.map.n_zones() {
+            if skip(zone) {
+                continue;
+            }
             let shard = self.map.shard_of_zone(zone);
             let mut pairs = Vec::new();
             self.engine(shard).verify_zone(io, zone, &mut pairs)?;
@@ -994,7 +1023,7 @@ mod tests {
         // Poison the target page AND the same column one row below.
         io.dev().poison_page(col_page).unwrap();
         io.dev().poison_page(col_page + layout.zone.row_size / PAGE_SIZE as u64).unwrap();
-        assert!(matches!(eng.reconstruct_page(&io, base), Err(PglError::Unrecoverable(_))));
+        assert!(matches!(eng.reconstruct_page(&io, base), Err(PglError::Unrecoverable { .. })));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use pgl_nvm::pod::{bytes_of, from_bytes, Pod};
 use pgl_nvm::NvmDevice;
-use pgl_pmemobj::heap::{scan_live, Heap, MetaOp};
+use pgl_pmemobj::heap::{scan_live_excluding, Heap, MetaOp};
 use pgl_pmemobj::lane::{Lanes, LogMirror};
 use pgl_pmemobj::pool::{read_header, write_header, PoolHeader, FLAG_MODE_SHIFT, FLAG_PARITY};
 use pgl_pmemobj::{Layout, ObjError, ObjectHeader, PMEMoid, PoolIo, OID_NULL};
@@ -16,7 +16,8 @@ use crate::config::{CsumPolicy, PglConfig, PglMode};
 use crate::detect::{Freeze, Vuln, VulnSnapshot};
 use crate::error::{PglError, Result};
 use crate::parity::{ParityDomains, ParityEngine, RangeGuard, ShardMap};
-use crate::scrub::{self, ScrubReport};
+use crate::quarantine::QuarantineSet;
+use crate::scrub::{self, ScrubReport, ScrubTotals};
 use crate::txn::{PglTx, TxStats};
 use crate::ubuf::UBuf;
 use crate::vcache::VCache;
@@ -82,7 +83,15 @@ pub struct Inner {
     /// CAS descriptors replayed at open (see [`crate::ploc`]); empty for
     /// freshly created pools and after clean shutdowns.
     pub(crate) cas_recoveries: Vec<crate::ploc::CasRecovery>,
-    background_scrub: Option<std::sync::mpsc::SyncSender<()>>,
+    /// Zones containing data lost beyond the fault-tolerance guarantee
+    /// (see [`crate::quarantine`]): reads there fail fast with a located
+    /// [`PglError::Unrecoverable`], allocation and scrub skip them.
+    pub(crate) quarantine: QuarantineSet,
+    /// Aggregated background-scrub activity (passes, cumulative report).
+    pub(crate) scrub_totals: std::sync::Mutex<ScrubTotals>,
+    /// Per-shard kick channels of the background scrub workers (`None`
+    /// when scrubbing is synchronous).
+    background_scrub: Option<Vec<std::sync::mpsc::SyncSender<()>>>,
 }
 
 impl Inner {
@@ -94,10 +103,19 @@ impl Inner {
         }
     }
 
+    /// Builds a located [`PglError::Unrecoverable`] for pool offset `off`,
+    /// resolving the zone and its parity shard where possible.
+    pub(crate) fn unrecoverable_here(&self, off: u64, detail: impl Into<String>) -> PglError {
+        let zone = self.layout.zone_and_rel(off).map(|(z, _)| z).unwrap_or(u64::MAX);
+        let shard = if zone == u64::MAX { u64::MAX } else { self.shard_map.shard_of_zone(zone) };
+        PglError::unrecoverable_at(shard, zone, off, detail)
+    }
+
     /// Reads with transparent online media-error recovery: a poisoned page
     /// freezes the pool, reconstructs the page from its column, repairs it
     /// and retries (paper §3.6).
     pub(crate) fn read_with_recovery(&self, off: u64, dst: &mut [u8]) -> Result<()> {
+        self.check_quarantine(off)?;
         for _ in 0..4 {
             match self.io.read(off, dst) {
                 Ok(()) => return Ok(()),
@@ -107,9 +125,64 @@ impl Inner {
                 Err(e) => return Err(e.into()),
             }
         }
-        Err(PglError::Unrecoverable(format!(
-            "page at {off:#x} keeps failing after repeated recovery"
-        )))
+        Err(self.unrecoverable_here(off, "page keeps failing after repeated recovery"))
+    }
+
+    /// Fails fast with a located [`PglError::Unrecoverable`] when `off`
+    /// falls inside a quarantined zone: data there is already known lost,
+    /// so no read, repair or retry is attempted (the rest of the pool keeps
+    /// serving).
+    pub(crate) fn check_quarantine(&self, off: u64) -> Result<()> {
+        if self.quarantine.is_empty() {
+            return Ok(());
+        }
+        if let Ok((zone, _)) = self.layout.zone_and_rel(off) {
+            if self.quarantine.contains(zone) {
+                return Err(self.unrecoverable_here(off, "zone is quarantined"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Moves `zone` into quarantine: in-memory set (reads fail fast),
+    /// persistent header region (survives restarts; best-effort — the
+    /// in-memory containment works even if the header write fails), the
+    /// allocator ban list, and the device counter. Idempotent.
+    pub(crate) fn quarantine_zone(&self, zone: u64) {
+        if self.quarantine.insert(zone) {
+            self.io.dev().note_zone_quarantined();
+            self.heap.ban_zone(zone);
+            let _ = crate::quarantine::persist_zone(&self.io, &self.layout, zone);
+        }
+    }
+
+    /// Handles a double fault at `off`: quarantines the containing zone
+    /// (when `off` resolves to one) and returns the located
+    /// [`PglError::Unrecoverable`] the caller surfaces.
+    pub(crate) fn quarantine_for(&self, off: u64, detail: impl Into<String>) -> PglError {
+        if let Ok((zone, _)) = self.layout.zone_and_rel(off) {
+            self.quarantine_zone(zone);
+        }
+        self.unrecoverable_here(off, detail)
+    }
+
+    /// Records one completed background per-shard scrub pass: aggregates
+    /// the report, bumps the per-shard repair counters, and closes the
+    /// vulnerability window once every shard has completed a pass of the
+    /// current round.
+    pub(crate) fn note_bg_pass(&self, shard: u64, report: &ScrubReport) {
+        self.io.dev().note_scrub_repair(shard as usize, report.repairs());
+        self.counters.scrubs.fetch_add(1, Ordering::Relaxed);
+        let full_round = {
+            let mut t = self.scrub_totals.lock().unwrap();
+            t.shard_passes += 1;
+            t.cumulative.absorb(report);
+            t.last = *report;
+            t.shard_passes % self.shard_map.n_shards() == 0
+        };
+        if full_round {
+            self.vuln.end_scrub_window();
+        }
     }
 
     /// Reads an object's header with media recovery and sanity validation.
@@ -575,7 +648,7 @@ impl PglPool {
                 engine.recompute_columns(&io, z, 0, cm_span)?;
             }
         }
-        Self::assemble(io, layout, uuid, cfg, mirror, Vec::new())
+        Self::assemble(io, layout, uuid, cfg, mirror, Vec::new(), QuarantineSet::default())
     }
 
     /// Returns the pool-construction builder — the one entry point for
@@ -651,17 +724,31 @@ impl PglPool {
             vcache_capacity: opts.vcache_capacity,
             vcache_shards: opts.vcache_shards,
             shards: opts.shards,
+            scrub_pace_ms: opts.scrub_pace_ms,
+            scrub_interval_ms: opts.scrub_interval_ms,
         };
         cfg.validate().map_err(PglError::Config)?;
         let layout = Layout::new(pool_cfg).map_err(PglError::from)?;
         let mirror = if mode.replicates_logs() { LogMirror::SameDevice } else { LogMirror::None };
+        // The persistent quarantine set loads before anything touches the
+        // heap: recovery, repair-record replay and the heap scan must all
+        // skip zones already known lost (their pages may be poisoned beyond
+        // reconstruction, and reading them would fail the whole open).
+        let quarantine = crate::quarantine::load(&io, &layout)?;
         // Crash recovery must run before the heap scan.
         let parity = mode.has_parity().then(|| {
             ParityDomains::new(layout, cfg.parity_lock_granule, cfg.hybrid_threshold, cfg.shards)
         });
         let shard_map = ShardMap::new(&layout, cfg.shards);
-        crate::recover::crash_recover(&io, &layout, mirror, parity.as_ref(), &shard_map)?;
-        crate::recover::finish_page_repair_if_pending(&io, &layout, parity.as_ref())?;
+        crate::recover::crash_recover(
+            &io,
+            &layout,
+            mirror,
+            parity.as_ref(),
+            &shard_map,
+            &quarantine,
+        )?;
+        crate::recover::finish_page_repair_if_pending(&io, &layout, parity.as_ref(), &quarantine)?;
         // Detectable-CAS replay runs after redo replay: transactions win
         // the recovery order, and the ploc recompute is idempotent.
         let cas_recoveries = crate::ploc::replay_descriptors(
@@ -671,7 +758,7 @@ impl PglPool {
             parity.as_ref(),
             mode.has_checksums(),
         )?;
-        Self::assemble(io, layout, hdr.uuid, cfg, mirror, cas_recoveries)
+        Self::assemble(io, layout, hdr.uuid, cfg, mirror, cas_recoveries, quarantine)
     }
 
     fn assemble(
@@ -681,10 +768,18 @@ impl PglPool {
         cfg: PglConfig,
         mirror: LogMirror,
         cas_recoveries: Vec<crate::ploc::CasRecovery>,
+        quarantine: QuarantineSet,
     ) -> Result<Self> {
         let shard_map = ShardMap::new(&layout, cfg.shards);
         let workers = shard_map.n_shards() as usize;
-        let heap = match Heap::rebuild_with(&io, layout, cfg.mode.has_checksums(), workers) {
+        let banned = quarantine.zone_set();
+        let heap = match Heap::rebuild_excluding(
+            &io,
+            layout,
+            cfg.mode.has_checksums(),
+            workers,
+            &banned,
+        ) {
             Ok(h) => h,
             Err(ObjError::Corruption { off, .. }) if cfg.mode.has_parity() => {
                 // Chunk metadata corrupt: repair its page from parity and
@@ -692,7 +787,8 @@ impl PglPool {
                 let engine =
                     ParityEngine::new(layout, cfg.parity_lock_granule, cfg.hybrid_threshold);
                 crate::recover::repair_page_by_compare(&io, &engine, off)?;
-                Heap::rebuild_with(&io, layout, true, workers).map_err(PglError::from)?
+                Heap::rebuild_excluding(&io, layout, true, workers, &banned)
+                    .map_err(PglError::from)?
             }
             Err(e) => return Err(e.into()),
         };
@@ -700,13 +796,21 @@ impl PglPool {
         let parity = cfg.mode.has_parity().then(|| {
             ParityDomains::new(layout, cfg.parity_lock_granule, cfg.hybrid_threshold, cfg.shards)
         });
-        let want_bg = cfg.background_scrub && matches!(cfg.policy, CsumPolicy::ScrubEvery(_));
-        let (txc, rxc) = if want_bg {
-            let (a, b) = std::sync::mpsc::sync_channel::<()>(1);
-            (Some(a), Some(b))
-        } else {
-            (None, None)
-        };
+        // Background self-healing spawns one worker per parity shard —
+        // each sweeps only its own zones under its own stripe locks, so
+        // workers never contend with each other. Workers wake on
+        // commit-tick kicks (ScrubEvery) and/or a periodic interval.
+        let want_bg = cfg.background_scrub
+            && (matches!(cfg.policy, CsumPolicy::ScrubEvery(_)) || cfg.scrub_interval_ms > 0);
+        let mut kick_txs = Vec::new();
+        let mut kick_rxs = Vec::new();
+        if want_bg {
+            for _ in 0..workers {
+                let (a, b) = std::sync::mpsc::sync_channel::<()>(1);
+                kick_txs.push(a);
+                kick_rxs.push(b);
+            }
+        }
         let inner = Arc::new(Inner {
             io,
             layout,
@@ -727,25 +831,19 @@ impl PglPool {
                 .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
                 .collect(),
             cas_recoveries,
-            background_scrub: txc,
+            quarantine,
+            scrub_totals: std::sync::Mutex::new(ScrubTotals::default()),
+            background_scrub: want_bg.then_some(kick_txs),
         });
-        if let Some(rx) = rxc {
-            // The thread holds a Weak reference, so dropping the last pool
-            // handle disconnects the channel and the thread exits.
+        for (shard, rx) in kick_rxs.into_iter().enumerate() {
+            // Each worker holds a Weak reference, so dropping the last pool
+            // handle disconnects its kick channel and the thread exits.
             let weak = Arc::downgrade(&inner);
+            let (pace_ms, interval_ms) = (cfg.scrub_pace_ms, cfg.scrub_interval_ms);
             std::thread::Builder::new()
-                .name("pgl-scrub".into())
-                .spawn(move || {
-                    while rx.recv().is_ok() {
-                        match weak.upgrade() {
-                            Some(inner) => {
-                                let _ = scrub::scrub_sync(&inner);
-                            }
-                            None => break,
-                        }
-                    }
-                })
-                .map_err(|e| PglError::Config(format!("cannot spawn scrub thread: {e}")))?;
+                .name(format!("pgl-scrub-{shard}"))
+                .spawn(move || scrub::bg_worker(weak, shard as u64, rx, pace_ms, interval_ms))
+                .map_err(|e| PglError::Config(format!("cannot spawn scrub worker: {e}")))?;
         }
         Ok(PglPool { inner })
     }
@@ -864,8 +962,10 @@ impl PglPool {
     }
 
     fn trigger_scrub(&self) -> Result<()> {
-        if let Some(txc) = &self.inner.background_scrub {
-            let _ = txc.try_send(()); // a pass is already queued if full
+        if let Some(kicks) = &self.inner.background_scrub {
+            for txc in kicks {
+                let _ = txc.try_send(()); // a pass is already queued if full
+            }
             Ok(())
         } else {
             scrub::scrub_sync(&self.inner).map(|_| ())
@@ -1083,13 +1183,18 @@ impl PglPool {
         result
     }
 
-    /// Lists all live objects.
+    /// Lists all live objects (quarantined zones excluded — their objects
+    /// are lost, not live).
     pub fn live_objects(&self) -> Result<Vec<(PMEMoid, ObjectHeader)>> {
-        Ok(scan_live(&self.inner.io, &self.inner.layout)
-            .map_err(PglError::from)?
-            .into_iter()
-            .map(|(off, h)| (PMEMoid::new(self.inner.uuid, off), h))
-            .collect())
+        Ok(scan_live_excluding(
+            &self.inner.io,
+            &self.inner.layout,
+            &self.inner.quarantine.zone_set(),
+        )
+        .map_err(PglError::from)?
+        .into_iter()
+        .map(|(off, h)| (PMEMoid::new(self.inner.uuid, off), h))
+        .collect())
     }
 
     /// Verifies the parity invariant across the whole pool (diagnostics).
@@ -1103,9 +1208,19 @@ impl PglPool {
     /// stress-test failures diagnosable: the damage pattern tells one torn
     /// commit apart from a systematic locking bug, and the shard coordinate
     /// tells which domain's committers to suspect.
+    /// Quarantined zones are skipped: their pages hold unreconstructable
+    /// losses, so their parity invariant is knowingly broken and checking
+    /// it would only re-report the already-surfaced fault.
     pub fn verify_parity_detailed(&self) -> Result<Vec<(u64, u64, u64)>> {
         match &self.inner.parity {
-            Some(d) => d.verify_all(&self.inner.io),
+            Some(d) => {
+                let q = &self.inner.quarantine;
+                if q.is_empty() {
+                    d.verify_all(&self.inner.io)
+                } else {
+                    d.verify_all_except(&self.inner.io, &|z| q.contains(z))
+                }
+            }
             None => Ok(Vec::new()),
         }
     }
@@ -1148,6 +1263,37 @@ impl PglPool {
             .iter()
             .map(|(d, t)| (d.load(Ordering::Relaxed), t.load(Ordering::Relaxed)))
             .collect()
+    }
+
+    /// The currently quarantined zone ids (ascending; normally empty).
+    /// A zone enters quarantine when a fault exceeds the parity guarantee —
+    /// two lost pages in one column, or corruption that survives repair —
+    /// and stays there across reopens: access fails fast with a located
+    /// [`PglError::Unrecoverable`], allocation and scrubbing skip it, and
+    /// every other zone keeps serving.
+    pub fn quarantined_zones(&self) -> Vec<u64> {
+        self.inner.quarantine.zones()
+    }
+
+    /// Administratively quarantines `zone` (operator fencing: take a zone
+    /// with suspect media out of service before it double-faults). The
+    /// same persistent, crash-atomic path the double-fault detector uses.
+    pub fn quarantine_zone(&self, zone: u64) -> Result<()> {
+        if zone >= self.inner.layout.n_zones {
+            return Err(PglError::Config(format!(
+                "zone {zone} out of range ({} zones)",
+                self.inner.layout.n_zones
+            )));
+        }
+        self.inner.quarantine_zone(zone);
+        Ok(())
+    }
+
+    /// Aggregated background-scrub activity: completed per-shard passes
+    /// and what they verified/repaired ([`ScrubTotals`]). All zeros when
+    /// background scrubbing is off.
+    pub fn scrub_totals(&self) -> crate::scrub::ScrubTotals {
+        *self.inner.scrub_totals.lock().unwrap()
     }
 
     /// Verifies every live object's checksum without repair (diagnostics).

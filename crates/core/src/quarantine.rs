@@ -1,0 +1,181 @@
+//! Zone quarantine: persistent containment of unrecoverable double faults.
+//!
+//! Pangolin's parity tolerates one lost page per page column (§3.6). When a
+//! *second* fault lands in the same column — or corruption strikes an
+//! object mid-repair — parity + checksum can no longer reconstruct the
+//! data. Instead of wedging the pool or panicking, the affected **zone** is
+//! moved to a persistent quarantine set: all access to it fails fast with a
+//! located [`PglError::Unrecoverable`], allocation and scrubbing skip it,
+//! and every other parity shard keeps committing. This is the degraded
+//! mode: one bad DIMM page costs one zone of one shard, not the service.
+//!
+//! # Persistence format
+//!
+//! The set lives in a reserved region of both pool-header pages (after the
+//! page-repair record), so it survives restarts and header-page media
+//! errors:
+//!
+//! ```text
+//! hdr_off + 1088 .. +1096   magic  ("PGLQUAR1"; absent ⇒ empty set)
+//! hdr_off + 1096 .. +1104   count  (number of valid entries)
+//! hdr_off + 1104 .. +1360   entries (up to 32 zone ids, u64 LE each)
+//! ```
+//!
+//! # Crash atomicity
+//!
+//! Appends follow a *count-last* protocol: the new zone id is written into
+//! slot `count` and persisted, **then** the count (and, for the first
+//! entry, the magic) is atomically bumped and persisted. A crash anywhere
+//! in between leaves the count unchanged, so recovery observes either the
+//! fully-quarantined or the fully-healthy state — never a half-written
+//! entry. The crash-oracle harness sweeps this path (see
+//! `crates/core/tests/quarantine_crash.rs`). The replica header's copy is
+//! mirrored after the primary commits; it only serves header-page repair,
+//! reads always decode the primary.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::RwLock;
+
+use pgl_pmemobj::{Layout, PoolIo};
+
+use crate::error::{PglError, Result};
+
+/// Offset of the quarantine region within each pool-header page (the
+/// page-repair record ends at 1040; see `recover.rs`).
+pub(crate) const QUARANTINE_REGION_OFF: u64 = 1088;
+/// Maximum number of quarantined zones the persistent region can hold.
+/// Beyond this the pool is lost-cause hardware; further zones are tracked
+/// in memory only.
+pub const QUARANTINE_CAP: usize = 32;
+const QUARANTINE_MAGIC: u64 = 0x5047_4c51_5541_5231; // "PGLQUAR1"
+
+/// Total size of the persistent region in bytes (magic + count + entries).
+pub(crate) const QUARANTINE_REGION_LEN: usize = 16 + QUARANTINE_CAP * 8;
+
+/// The in-memory quarantine set: a lock-free emptiness fast path (checked
+/// on every read) over a small ordered set, mirroring the device poison
+/// set's design.
+#[derive(Debug, Default)]
+pub struct QuarantineSet {
+    count: AtomicUsize,
+    zones: RwLock<std::collections::BTreeSet<u64>>,
+}
+
+impl QuarantineSet {
+    /// `true` when no zone is quarantined — the hot-path check costs one
+    /// relaxed load.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count.load(Ordering::Relaxed) == 0
+    }
+
+    /// Number of quarantined zones.
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// `true` if `zone` is quarantined.
+    #[inline]
+    pub fn contains(&self, zone: u64) -> bool {
+        !self.is_empty() && self.zones.read().unwrap().contains(&zone)
+    }
+
+    /// The quarantined zone ids, ascending.
+    pub fn zones(&self) -> Vec<u64> {
+        self.zones.read().unwrap().iter().copied().collect()
+    }
+
+    /// Snapshot of the quarantined zones as an ordered set — the shape the
+    /// heap-rebuild and live-scan skip paths take.
+    pub(crate) fn zone_set(&self) -> std::collections::BTreeSet<u64> {
+        self.zones.read().unwrap().clone()
+    }
+
+    /// Inserts `zone`; returns `false` if it was already present.
+    pub(crate) fn insert(&self, zone: u64) -> bool {
+        let mut set = self.zones.write().unwrap();
+        let fresh = set.insert(zone);
+        if fresh {
+            self.count.store(set.len(), Ordering::Release);
+        }
+        fresh
+    }
+}
+
+/// Decodes the persistent quarantine set from the primary header page.
+/// An absent or garbled region decodes as the empty set (fresh pools never
+/// format it).
+pub(crate) fn load(io: &PoolIo, layout: &Layout) -> Result<QuarantineSet> {
+    let base = layout.hdr_off + QUARANTINE_REGION_OFF;
+    let mut buf = vec![0u8; QUARANTINE_REGION_LEN];
+    io.read(base, &mut buf).map_err(PglError::from)?;
+    let set = QuarantineSet::default();
+    let magic = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+    if magic != QUARANTINE_MAGIC {
+        return Ok(set);
+    }
+    let count = u64::from_le_bytes(buf[8..16].try_into().unwrap()).min(QUARANTINE_CAP as u64);
+    for i in 0..count as usize {
+        let zone = u64::from_le_bytes(buf[16 + i * 8..24 + i * 8].try_into().unwrap());
+        set.insert(zone);
+    }
+    Ok(set)
+}
+
+/// Appends `zone` to the persistent region at `hdr_base` with the
+/// count-last protocol. `persisted` is the number of entries currently
+/// persisted there.
+fn append_at(io: &PoolIo, hdr_base: u64, persisted: usize, zone: u64) -> Result<()> {
+    let base = hdr_base + QUARANTINE_REGION_OFF;
+    let slot = base + 16 + persisted as u64 * 8;
+    io.write(slot, &zone.to_le_bytes()).map_err(PglError::from)?;
+    io.persist(slot, 8).map_err(PglError::from)?;
+    // Commit point: the 8-byte count store makes the entry visible.
+    io.atomic_store_u64(base + 8, persisted as u64 + 1).map_err(PglError::from)?;
+    io.persist(base + 8, 8).map_err(PglError::from)?;
+    if persisted == 0 {
+        // First entry ever: the magic (persisted last) activates the region.
+        io.atomic_store_u64(base, QUARANTINE_MAGIC).map_err(PglError::from)?;
+        io.persist(base, 8).map_err(PglError::from)?;
+    }
+    Ok(())
+}
+
+/// Persists the quarantining of `zone`: appends to the primary header's
+/// region (crash-atomic), then mirrors to the replica header.
+pub(crate) fn persist_zone(io: &PoolIo, layout: &Layout, zone: u64) -> Result<()> {
+    let mut buf = [0u8; 16];
+    io.read(layout.hdr_off + QUARANTINE_REGION_OFF, &mut buf).map_err(PglError::from)?;
+    let magic = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+    let persisted = if magic == QUARANTINE_MAGIC {
+        u64::from_le_bytes(buf[8..16].try_into().unwrap()).min(QUARANTINE_CAP as u64) as usize
+    } else {
+        0
+    };
+    if persisted >= QUARANTINE_CAP {
+        return Ok(()); // region full; tracked in memory only
+    }
+    append_at(io, layout.hdr_off, persisted, zone)?;
+    // Mirror to the replica header (best effort ordering: the primary is
+    // authoritative; the replica only serves header-page repair).
+    append_at(io, layout.hdr_replica_off, persisted, zone)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_fast_path_and_contents() {
+        let s = QuarantineSet::default();
+        assert!(s.is_empty());
+        assert!(!s.contains(3));
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(7));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.zones(), vec![3, 7]);
+    }
+}

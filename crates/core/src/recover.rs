@@ -23,6 +23,7 @@ use crate::checksum::adler32;
 use crate::error::{PglError, Result};
 use crate::parity::{segments, ParityDomains, ParityEngine, ShardMap};
 use crate::pool::Inner;
+use crate::quarantine::QuarantineSet;
 
 /// Offset (within the pool-header page) of the persistent repair record.
 const REPAIR_RECORD_OFF: u64 = 1024;
@@ -73,6 +74,7 @@ pub fn crash_recover(
     mirror: LogMirror,
     parity: Option<&ParityDomains>,
     shard_map: &ShardMap,
+    quarantine: &QuarantineSet,
 ) -> Result<()> {
     // Phase 1: scan lanes — partitioned `lane % workers` across the same
     // worker count as the shard sweep. The lane region sits outside every
@@ -130,28 +132,39 @@ pub fn crash_recover(
     }
 
     // Partition effects by shard, preserving lane order within a shard.
+    // Effects targeting quarantined zones are dropped: the data there is
+    // already lost beyond reconstruction, and replaying into (or
+    // recomputing parity over) unreadable pages would fail the open.
     let n_shards = shard_map.n_shards() as usize;
+    let skip = |off: u64| {
+        !quarantine.is_empty()
+            && layout.zone_and_rel(off).is_ok_and(|(z, _)| quarantine.contains(z))
+    };
     let mut ops: Vec<Vec<Op<'_>>> = (0..n_shards).map(|_| Vec::new()).collect();
     let mut dirty: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n_shards];
     for (_, entries, committed) in &lanes {
         for e in entries {
             match e.kind {
-                EntryKind::Data if *committed => {
+                EntryKind::Data if *committed && !skip(e.off) => {
                     let s = shard_map.shard_of_off(e.off) as usize;
                     ops[s].push(Op::Write { off: e.off, payload: &e.payload });
                     dirty[s].push((e.off, e.payload.len() as u64));
                 }
-                EntryKind::AllocIntent => {
+                EntryKind::AllocIntent if !skip(e.off) => {
                     // Construction write-back may have torn parity whether
                     // or not the transaction committed.
                     let len =
                         u64::from_le_bytes(e.payload[..8].try_into().expect("intent payload"));
                     dirty[shard_map.shard_of_off(e.off) as usize].push((e.off, len));
                 }
+                EntryKind::Data | EntryKind::AllocIntent => {}
                 EntryKind::Commit | EntryKind::CrossShard => {}
                 _ if *committed => {
                     if let Some(op) = MetaOp::decode(e) {
                         let (off, len) = meta_target(&op);
+                        if skip(off) {
+                            continue;
+                        }
                         let s = shard_map.shard_of_off(off) as usize;
                         dirty[s].push((off, len));
                         ops[s].push(Op::Meta(op));
@@ -165,7 +178,7 @@ pub fn crash_recover(
     // Phase 2: sweep shards — inline when single-sharded, on a worker
     // pool otherwise.
     if n_shards == 1 {
-        sweep_shard(io, layout, parity, shard_map, 0, &ops[0], &dirty[0])?;
+        sweep_shard(io, layout, parity, shard_map, 0, &ops[0], &dirty[0], quarantine)?;
     } else {
         let results: Vec<Result<()>> = std::thread::scope(|s| {
             let handles: Vec<_> = ops
@@ -176,8 +189,16 @@ pub fn crash_recover(
                     s.spawn(move || {
                         let ranges = shard_map.zone_ranges(shard as u64);
                         NvmDevice::arm_read_scope(&ranges);
-                        let r =
-                            sweep_shard(io, layout, parity, shard_map, shard as u64, ops, dirty);
+                        let r = sweep_shard(
+                            io,
+                            layout,
+                            parity,
+                            shard_map,
+                            shard as u64,
+                            ops,
+                            dirty,
+                            quarantine,
+                        );
                         NvmDevice::disarm_read_scope();
                         r
                     })
@@ -200,6 +221,7 @@ pub fn crash_recover(
 /// One shard's recovery sweep: replay its routed effects in lane order,
 /// recompute the parity columns they may have torn, and sweep the shard's
 /// own zones for orphan log chunks. Reads stay inside the shard's zones.
+#[allow(clippy::too_many_arguments)]
 fn sweep_shard(
     io: &PoolIo,
     layout: &Layout,
@@ -208,6 +230,7 @@ fn sweep_shard(
     shard: u64,
     ops: &[Op<'_>],
     dirty: &[(u64, u64)],
+    quarantine: &QuarantineSet,
 ) -> Result<()> {
     for op in ops {
         match op {
@@ -225,7 +248,7 @@ fn sweep_shard(
             }
         }
     }
-    for z in shard_map.zones_of(shard) {
+    for z in shard_map.zones_of(shard).filter(|z| !quarantine.contains(*z)) {
         sweep_orphan_log_chunks_zone(io, layout, parity, z)?;
     }
     io.dev().note_recovery_sweep(shard as usize);
@@ -330,11 +353,15 @@ fn clear_repair_record(io: &PoolIo, layout: &Layout) -> Result<()> {
 }
 
 /// At pool open: if a crash interrupted a page repair, re-execute it
-/// (recovery is idempotent, paper §3.6).
+/// (recovery is idempotent, paper §3.6). A page whose zone is quarantined —
+/// or whose reconstruction *still* double-faults — is given up on: the
+/// zone is quarantined persistently, the record cleared, and the open
+/// proceeds in degraded mode instead of failing.
 pub fn finish_page_repair_if_pending(
     io: &PoolIo,
     layout: &Layout,
     parity: Option<&ParityDomains>,
+    quarantine: &QuarantineSet,
 ) -> Result<()> {
     let mut rec = [0u8; 16];
     for base in [layout.hdr_off, layout.hdr_replica_off] {
@@ -346,10 +373,29 @@ pub fn finish_page_repair_if_pending(
             continue;
         }
         let page_off = u64::from_le_bytes(rec[8..].try_into().expect("8"));
+        let zone = layout.zone_and_rel(page_off).ok().map(|(z, _)| z);
+        if let Some(z) = zone {
+            if quarantine.contains(z) {
+                clear_repair_record(io, layout)?;
+                return Ok(());
+            }
+        }
         if let Some(engine) = parity {
-            let rebuilt = engine.reconstruct_page(io, page_off)?;
-            let page = page_off / PAGE_SIZE as u64;
-            io.dev().repair_page(page, &rebuilt).map_err(PglError::from)?;
+            match engine.reconstruct_page(io, page_off) {
+                Ok(rebuilt) => {
+                    let page = page_off / PAGE_SIZE as u64;
+                    io.dev().repair_page(page, &rebuilt).map_err(PglError::from)?;
+                }
+                Err(e) if e.is_unrecoverable() => {
+                    if let Some(z) = zone {
+                        if quarantine.insert(z) {
+                            io.dev().note_zone_quarantined();
+                            let _ = crate::quarantine::persist_zone(io, layout, z);
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
         }
         clear_repair_record(io, layout)?;
         return Ok(());
@@ -366,6 +412,9 @@ impl Inner {
         self.freeze.unfreeze();
         if r.is_ok() {
             self.counters.page_recoveries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.io.dev().note_repair_ok();
+        } else {
+            self.io.dev().note_repair_failed();
         }
         r
     }
@@ -378,13 +427,17 @@ impl Inner {
         let page_off = page * PAGE_SIZE as u64;
         let layout = &self.layout;
 
+        // Quarantined zones hold known-unreconstructable pages: fail fast
+        // instead of re-attempting (and re-failing) the reconstruction.
+        self.check_quarantine(page_off)?;
+
         // Pool header pages repair from their redundant copy.
         if page_off < layout.lanes_off {
             let other =
                 if page_off == layout.hdr_off { layout.hdr_replica_off } else { layout.hdr_off };
             let mut buf = vec![0u8; PAGE_SIZE];
             self.io.read(other, &mut buf).map_err(|e| {
-                PglError::Unrecoverable(format!("both pool header pages lost: {e}"))
+                self.unrecoverable_here(page_off, format!("both pool header pages lost: {e}"))
             })?;
             self.io.dev().repair_page(page, &buf).map_err(PglError::from)?;
             return Ok(());
@@ -398,10 +451,10 @@ impl Inner {
         // Heap pages (data rows, CM chunks, parity row) reconstruct from
         // the page column, with a persistent record for crash idempotence.
         let Some(engine) = &self.parity else {
-            return Err(PglError::Unrecoverable(format!(
-                "page {page} lost and this mode has no parity (mode {:?})",
-                self.mode
-            )));
+            return Err(self.unrecoverable_here(
+                page_off,
+                format!("page {page} lost and this mode has no parity (mode {:?})", self.mode),
+            ));
         };
         // Pages in the inter-row gap (zone header reserve) hold no state.
         if layout.row_col_of(page_off).is_err() {
@@ -415,7 +468,21 @@ impl Inner {
             }
         }
         write_repair_record(&self.io, layout, page_off)?;
-        let rebuilt = engine.reconstruct_page(&self.io, page_off)?;
+        let rebuilt = match engine.reconstruct_page(&self.io, page_off) {
+            Ok(b) => b,
+            Err(e) if e.is_unrecoverable() => {
+                // Double fault: a second page of this column is also gone.
+                // Clear the repair record (a reopen must not retry a repair
+                // that cannot succeed), quarantine the zone, surface the
+                // located error — the rest of the pool keeps serving.
+                clear_repair_record(&self.io, layout)?;
+                return Err(self.quarantine_for(
+                    page_off,
+                    format!("page {page} lost beyond the parity guarantee: {e}"),
+                ));
+            }
+            Err(e) => return Err(e),
+        };
         self.io.dev().repair_page(page, &rebuilt).map_err(PglError::from)?;
         clear_repair_record(&self.io, layout)
     }
@@ -423,10 +490,10 @@ impl Inner {
     fn recover_lane_page(&self, page_off: u64) -> Result<()> {
         let layout = &self.layout;
         if self.mirror() != LogMirror::SameDevice {
-            return Err(PglError::Unrecoverable(format!(
-                "log page {page_off:#x} lost and logs are not replicated (mode {:?})",
-                self.mode
-            )));
+            return Err(self.unrecoverable_here(
+                page_off,
+                format!("log page lost and logs are not replicated (mode {:?})", self.mode),
+            ));
         }
         let lane_region = (layout.cfg.n_lanes * layout.cfg.lane_size) as u64;
         let mirror_off = if page_off < layout.lanes_replica_off {
@@ -435,9 +502,9 @@ impl Inner {
             page_off - lane_region
         };
         let mut buf = vec![0u8; PAGE_SIZE];
-        self.io.read(mirror_off, &mut buf).map_err(|e| {
-            PglError::Unrecoverable(format!("both log copies lost at {page_off:#x}: {e}"))
-        })?;
+        self.io
+            .read(mirror_off, &mut buf)
+            .map_err(|e| self.unrecoverable_here(page_off, format!("both log copies lost: {e}")))?;
         self.io.dev().repair_page(page_off / PAGE_SIZE as u64, &buf).map_err(PglError::from)?;
         Ok(())
     }
@@ -451,14 +518,31 @@ impl Inner {
         self.freeze.unfreeze();
         if r.is_ok() {
             self.counters.object_recoveries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.io.dev().note_repair_ok();
+        } else {
+            self.io.dev().note_repair_failed();
         }
         r
+    }
+
+    /// Quarantines `oid`'s zone for a post-repair failure **iff the object
+    /// is still live** — the scrubber's free/realloc churn race can hand a
+    /// dead slot here, and a dead slot's garbage must not cost a zone.
+    /// (The pool is frozen, so the liveness check is stable.) Returns the
+    /// error to surface either way.
+    fn object_double_fault(&self, oid: pgl_pmemobj::PMEMoid, detail: String) -> PglError {
+        if self.heap.is_live(&self.io, oid.off) {
+            self.quarantine_for(oid.off, detail)
+        } else {
+            self.unrecoverable_here(oid.off, detail)
+        }
     }
 
     pub(crate) fn recover_object_frozen(&self, oid: pgl_pmemobj::PMEMoid) -> Result<()> {
         let Some(engine) = &self.parity else {
             return Err(PglError::ChecksumMismatch { off: oid.off });
         };
+        self.check_quarantine(oid.off)?;
         let (start, len) = self.heap.storage_of(&self.io, oid.off).map_err(PglError::from)?;
         let first = start / PAGE_SIZE as u64;
         let last = (start + len - 1) / PAGE_SIZE as u64;
@@ -468,27 +552,35 @@ impl Inner {
         // just undid.
         self.vcache.bump(oid.off);
         for page in first..=last {
-            if self.io.dev().is_poisoned_page(page) {
-                self.recover_page_frozen(page)?;
+            let r = if self.io.dev().is_poisoned_page(page) {
+                self.recover_page_frozen(page).map(|_| false)
             } else {
                 let page_off = page * PAGE_SIZE as u64;
-                repair_page_by_compare(&self.io, engine.engine_for(page_off), page_off)?;
+                repair_page_by_compare(&self.io, engine.engine_for(page_off), page_off)
+            };
+            match r {
+                Ok(_) => {}
+                // A double fault mid-repair (e.g. the column's parity page
+                // is also lost): contain it like any other terminal repair
+                // failure so the error carries the quarantined location.
+                Err(e) if e.is_unrecoverable() => {
+                    return Err(
+                        self.object_double_fault(oid, format!("repair double-faulted: {e}"))
+                    );
+                }
+                Err(e) => return Err(e),
             }
         }
         // Re-verify the object end to end.
         let mut hdr_buf = [0u8; 16];
         self.io.read(oid.header_off(), &mut hdr_buf).map_err(|e| {
-            PglError::Unrecoverable(format!(
-                "object at {:#x} unreadable after repair: {e}",
-                oid.off
-            ))
+            self.object_double_fault(oid, format!("object unreadable after repair: {e}"))
         })?;
         let hdr: pgl_pmemobj::ObjectHeader = pgl_nvm::pod::from_bytes(&hdr_buf);
         if hdr.size == 0 || oid.off + hdr.size > start + len {
-            return Err(PglError::Unrecoverable(format!(
-                "object header at {:#x} still invalid after repair",
-                oid.off
-            )));
+            return Err(
+                self.object_double_fault(oid, "object header still invalid after repair".into())
+            );
         }
         if self.mode.has_checksums() {
             let stamp = self.vcache.begin_verify(oid.off);
@@ -496,11 +588,12 @@ impl Inner {
             self.io.read(oid.off, &mut data).map_err(PglError::from)?;
             self.io.dev().note_csum_pass(hdr.size);
             if hdr.csum != adler32(&data) {
-                return Err(PglError::Unrecoverable(format!(
-                    "object at {:#x} fails checksum even after parity repair \
-                     (corruption in more than one row of a column?)",
-                    oid.off
-                )));
+                return Err(self.object_double_fault(
+                    oid,
+                    "object fails checksum even after parity repair \
+                     (corruption in more than one row of a column?)"
+                        .into(),
+                ));
             }
             // The repaired object just verified end to end; the pool is
             // frozen (no concurrent commits), so the publish is race-free.

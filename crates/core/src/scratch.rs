@@ -212,7 +212,7 @@ pub(crate) fn read_old_range(
     let start = old.len();
     old.resize(start + len, 0);
     io.read(pool_off, &mut old[start..start + len]).map_err(|e| {
-        PglError::Unrecoverable(format!("media error during commit (old-data read): {e}"))
+        PglError::unrecoverable(format!("media error during commit (old-data read): {e}"))
     })?;
     io.dev().note_commit_old_read(len as u64);
     ranges.push(OldRange { obj, roff, start, len });

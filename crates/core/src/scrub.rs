@@ -23,11 +23,14 @@
 //! unverified bytes between scrub passes).
 
 use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Weak;
+use std::time::Duration;
 
 use pgl_nvm::pod::{bytes_of, from_bytes};
-use pgl_nvm::MemError;
+use pgl_nvm::{MemError, PAGE_SIZE};
 use pgl_pmemobj::heap::run::ChunkMeta;
-use pgl_pmemobj::heap::scan_live;
+use pgl_pmemobj::heap::scan_live_excluding;
 use pgl_pmemobj::pool::read_header;
 use pgl_pmemobj::{ObjError, ObjectHeader, PMEMoid, OBJ_HEADER_SIZE};
 
@@ -55,13 +58,32 @@ pub struct ScrubReport {
 impl ScrubReport {
     /// Accumulates another report's counters (per-shard scrub workers
     /// merge their local reports into the pass total).
-    fn absorb(&mut self, o: &ScrubReport) {
+    pub(crate) fn absorb(&mut self, o: &ScrubReport) {
         self.objects_verified += o.objects_verified;
         self.bytes_verified += o.bytes_verified;
         self.objects_repaired += o.objects_repaired;
         self.pages_repaired += o.pages_repaired;
         self.objects_skipped += o.objects_skipped;
     }
+
+    /// Repairs this pass performed (objects plus pages).
+    pub fn repairs(&self) -> u64 {
+        self.objects_repaired + self.pages_repaired
+    }
+}
+
+/// Aggregated background-scrub activity ([`crate::pool::PglPool::scrub_totals`]):
+/// how many per-shard passes the background workers completed and what
+/// they verified and repaired, cumulatively and most recently.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubTotals {
+    /// Completed background per-shard passes (each shard's pass counts
+    /// one; a full pool round is `n_shards` of these).
+    pub shard_passes: u64,
+    /// Counters summed over every background pass.
+    pub cumulative: ScrubReport,
+    /// The most recently completed background pass's report.
+    pub last: ScrubReport,
 }
 
 /// Runs one scrub pass: metadata under a brief freeze, then the live
@@ -72,8 +94,11 @@ pub fn scrub_sync(inner: &Inner) -> Result<ScrubReport> {
     // chunk metadata, run bitmaps and object headers with plain reads, so
     // it must not race in-flight write-backs. The expensive part — reading
     // and checksumming every object's *data* — happens after the thaw.
-    let meta = scrub_metadata_frozen(inner)
-        .and_then(|r| scan_live(&inner.io, &inner.layout).map_err(PglError::from).map(|l| (r, l)));
+    let meta = scrub_metadata_frozen(inner, None).and_then(|r| {
+        scan_live_excluding(&inner.io, &inner.layout, &inner.quarantine.zone_set())
+            .map_err(PglError::from)
+            .map(|l| (r, l))
+    });
     inner.freeze.unfreeze();
     let (mut report, live) = meta?;
     scrub_objects_live(inner, live, &mut report)?;
@@ -83,37 +108,57 @@ pub fn scrub_sync(inner: &Inner) -> Result<ScrubReport> {
 }
 
 /// Phase 1 (frozen): known-bad pages, pool headers, chunk metadata.
-fn scrub_metadata_frozen(inner: &Inner) -> Result<ScrubReport> {
+///
+/// With `only_shard`, the sweep confines itself to that shard's share:
+/// its own zones' bad pages and chunk metadata, with the non-zone regions
+/// (pool headers, lanes) assigned to shard 0. Quarantined zones are left
+/// untouched — their pages are known-unreconstructable and deliberately
+/// stay poisoned.
+fn scrub_metadata_frozen(inner: &Inner, only_shard: Option<u64>) -> Result<ScrubReport> {
     let mut report = ScrubReport::default();
     let io = &inner.io;
     let layout = &inner.layout;
+    let mine = |zone: Option<u64>| -> bool {
+        if let Some(z) = zone {
+            !inner.quarantine.contains(z)
+                && only_shard.is_none_or(|s| inner.shard_map.shard_of_zone(z) == s)
+        } else {
+            only_shard.is_none_or(|s| s == 0)
+        }
+    };
 
     // 0. Known bad pages: the kernel tracks poisoned pages across reboots;
     //    repair every one proactively. (The paper describes this sweep in
     //    §3.3 but marks it "not currently implemented" — implemented here.)
     for page in io.dev().poisoned_pages() {
+        let zone = layout.zone_and_rel(page * PAGE_SIZE as u64).ok().map(|(z, _)| z);
+        if !mine(zone) {
+            continue;
+        }
         inner.recover_page_frozen(page)?;
         report.pages_repaired += 1;
     }
 
     // 1. Pool headers: both copies must parse; repair a bad one from the
     //    good one.
-    let hdr = read_header(io).map_err(PglError::from)?;
-    let hdr_bytes = bytes_of(&hdr).to_vec();
-    for off in [layout.hdr_off, layout.hdr_replica_off] {
-        let mut buf = vec![0u8; hdr_bytes.len()];
-        let ok = io.read(off, &mut buf).is_ok() && buf == hdr_bytes;
-        if !ok {
-            io.write(off, &hdr_bytes).map_err(PglError::from)?;
-            io.persist(off, hdr_bytes.len()).map_err(PglError::from)?;
-            report.pages_repaired += 1;
+    if mine(None) {
+        let hdr = read_header(io).map_err(PglError::from)?;
+        let hdr_bytes = bytes_of(&hdr).to_vec();
+        for off in [layout.hdr_off, layout.hdr_replica_off] {
+            let mut buf = vec![0u8; hdr_bytes.len()];
+            let ok = io.read(off, &mut buf).is_ok() && buf == hdr_bytes;
+            if !ok {
+                io.write(off, &hdr_bytes).map_err(PglError::from)?;
+                io.persist(off, hdr_bytes.len()).map_err(PglError::from)?;
+                report.pages_repaired += 1;
+            }
         }
     }
 
     // 2. Chunk metadata: every entry must carry a valid checksum (or be
     //    all-zero, i.e. never written). Parity repairs scribbled entries.
     if let Some(engine) = &inner.parity {
-        for z in 0..layout.n_zones {
+        for z in (0..layout.n_zones).filter(|&z| mine(Some(z))) {
             for c in 0..layout.zone.n_chunks {
                 let off = layout.cm_entry_off(z, c);
                 let mut buf = [0u8; 16];
@@ -170,10 +215,11 @@ fn scrub_objects_live(
             let mut local = ScrubReport::default();
             for (off, hint) in objs {
                 let oid = PMEMoid::new(inner.uuid, *off);
-                scrub_one_object(inner, oid, hint.size, &mut local)?;
+                scrub_contained(inner, oid, hint.size, &mut local)?;
                 inner.scrub_progress[shard].0.fetch_add(1, Ordering::Relaxed);
             }
             inner.io.dev().note_scrub_pass(shard);
+            inner.io.dev().note_scrub_repair(shard, local.repairs());
             Ok(local)
         };
         if n_shards == 1 {
@@ -200,6 +246,31 @@ fn scrub_objects_live(
         r?;
     }
     Ok(())
+}
+
+/// [`scrub_one_object`] with degraded-mode containment: an unrecoverable
+/// double fault quarantines the object's zone (inside the recovery path)
+/// and is *absorbed* here as a skip — the sweep moves on to the next
+/// object, so one dead zone never aborts a scrub pass or wedges a
+/// background worker. Other errors still propagate.
+fn scrub_contained(
+    inner: &Inner,
+    oid: PMEMoid,
+    size_hint: u64,
+    report: &mut ScrubReport,
+) -> Result<()> {
+    if inner.check_quarantine(oid.off).is_err() {
+        report.objects_skipped += 1;
+        return Ok(());
+    }
+    match scrub_one_object(inner, oid, size_hint, report) {
+        Ok(()) => Ok(()),
+        Err(e) if e.is_unrecoverable() => {
+            report.objects_skipped += 1;
+            Ok(())
+        }
+        Err(e) => Err(e),
+    }
 }
 
 /// Verifies one object under an exclusive parity range-lock over its span
@@ -363,4 +434,90 @@ fn scrub_objects_frozen(
         inner.vuln.note_verified(hdr.size);
     }
     Ok(())
+}
+
+/// Objects swept per pacing batch by a background shard worker.
+const BG_BATCH: usize = 32;
+
+/// One background worker's scrub pass over its own shard: a brief freeze
+/// for the shard's share of the metadata sweep (plus live-object
+/// discovery), then a *paced* sweep of the shard's live objects under the
+/// shard's own parity range-locks. Pacing sleeps `pace` between
+/// [`BG_BATCH`]-object batches and backs off exponentially (up to 8×)
+/// while commits are observed landing, so the self-healing read bandwidth
+/// yields to live traffic. Unrecoverable double faults quarantine their
+/// zone and are absorbed as skips — a dead zone never kills the worker.
+pub(crate) fn scrub_shard(inner: &Inner, shard: u64, pace: Duration) -> Result<ScrubReport> {
+    inner.freeze.freeze();
+    let meta = scrub_metadata_frozen(inner, Some(shard)).and_then(|r| {
+        scan_live_excluding(&inner.io, &inner.layout, &inner.quarantine.zone_set())
+            .map_err(PglError::from)
+            .map(|l| (r, l))
+    });
+    inner.freeze.unfreeze();
+    let (mut report, live) = meta?;
+    let objs: Vec<(u64, ObjectHeader)> =
+        live.into_iter().filter(|(off, _)| inner.shard_map.shard_of_off(*off) == shard).collect();
+    let (done, total) = &inner.scrub_progress[shard as usize];
+    done.store(0, Ordering::Relaxed);
+    total.store(objs.len() as u64, Ordering::Relaxed);
+    if inner.parity.is_some() {
+        let mut backoff = pace;
+        for batch in objs.chunks(BG_BATCH) {
+            let commits_before = inner.counters.commits.load(Ordering::Relaxed);
+            for (off, hint) in batch {
+                let oid = PMEMoid::new(inner.uuid, *off);
+                scrub_contained(inner, oid, hint.size, &mut report)?;
+                done.fetch_add(1, Ordering::Relaxed);
+            }
+            if pace.is_zero() {
+                std::thread::yield_now();
+            } else {
+                let busy = inner.counters.commits.load(Ordering::Relaxed) != commits_before;
+                backoff = if busy { (backoff * 2).min(pace * 8) } else { pace };
+                std::thread::sleep(backoff);
+            }
+        }
+        inner.io.dev().note_scrub_pass(shard as usize);
+    } else {
+        // Modes without parity range-locks sweep frozen (see
+        // `scrub_objects_live`).
+        inner.freeze.freeze();
+        let r = scrub_objects_frozen(inner, &objs, &mut report);
+        inner.freeze.unfreeze();
+        r?;
+        inner.io.dev().note_scrub_pass(shard as usize);
+    }
+    Ok(report)
+}
+
+/// Body of one `pgl-scrub-<shard>` background worker thread: waits for a
+/// commit-tick kick (or a periodic `interval` timeout when configured),
+/// then runs [`scrub_shard`]. The worker holds only a [`Weak`] reference —
+/// dropping the last pool handle disconnects the kick channel and the
+/// worker exits; a failed pass (e.g. pool-wide I/O trouble) is dropped and
+/// retried at the next trigger rather than crashing the thread.
+pub(crate) fn bg_worker(
+    weak: Weak<Inner>,
+    shard: u64,
+    rx: Receiver<()>,
+    pace_ms: u64,
+    interval_ms: u64,
+) {
+    loop {
+        if interval_ms == 0 {
+            if rx.recv().is_err() {
+                return;
+            }
+        } else {
+            match rx.recv_timeout(Duration::from_millis(interval_ms)) {
+                Ok(()) | Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+        let Some(inner) = weak.upgrade() else { return };
+        if let Ok(report) = scrub_shard(&inner, shard, Duration::from_millis(pace_ms)) {
+            inner.note_bg_pass(shard, &report);
+        }
+    }
 }

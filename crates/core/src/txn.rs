@@ -1007,7 +1007,7 @@ impl<'p> PglTx<'p> {
             logged = true;
         }
         let fatal =
-            |e: PglError| PglError::Unrecoverable(format!("failure after commit point: {e}"));
+            |e: PglError| PglError::unrecoverable(format!("failure after commit point: {e}"));
         if logged || !new_offs.is_empty() {
             if sec.is_empty() {
                 append_with_overflow(

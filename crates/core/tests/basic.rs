@@ -71,7 +71,7 @@ fn abort_leaves_no_trace() {
     let err = pool.tx(|tx| -> pangolin::Result<()> {
         tx.write(oid, 0, &[2; 64])?;
         let _garbage = tx.alloc(128, 2)?;
-        Err(PglError::Unrecoverable("user abort".into()))
+        Err(PglError::unrecoverable("user abort"))
     });
     assert!(err.is_err());
     let data = pool.read_verified(oid).unwrap();

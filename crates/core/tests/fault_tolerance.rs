@@ -213,7 +213,7 @@ fn double_page_failure_in_one_column_is_unrecoverable() {
     pool.io().dev().poison_page(same_column_next_row).unwrap();
     let err = pool.read_verified(oid);
     assert!(
-        matches!(err, Err(PglError::Unrecoverable(_))),
+        matches!(err, Err(PglError::Unrecoverable { .. })),
         "two pages of one column exceed the guarantee: {err:?}"
     );
 }
@@ -274,7 +274,7 @@ fn baseline_mode_cannot_recover_media_errors() {
         .unwrap();
     inject::poison_object_page(&pool, oid).unwrap();
     let err = pool.read_verified(oid);
-    assert!(matches!(err, Err(PglError::Unrecoverable(_))), "{err:?}");
+    assert!(matches!(err, Err(PglError::Unrecoverable { .. })), "{err:?}");
 }
 
 #[test]
@@ -296,4 +296,160 @@ fn repeated_inject_repair_cycles() {
     }
     assert!(pool.verify_parity().unwrap());
     assert!(pool.find_corrupt_objects().unwrap().is_empty());
+}
+
+// --- Degraded mode: double faults, zone quarantine, typed surfacing ----
+
+/// 16 MiB / 2 MiB zones: enough heap zones for explicit shard counts.
+fn sharded_pool(shards: usize) -> PglPool {
+    let opts = PglPool::options().size(16 << 20).zone_size(2 << 20).shards(shards);
+    let dev = Arc::new(NvmDevice::new(opts.config().pool.size, DeviceConfig::fast()).unwrap());
+    opts.create(dev).unwrap()
+}
+
+/// One object per shard, pinned by thread→shard affinity.
+fn object_per_shard(pool: &PglPool, fill: u8) -> Vec<PMEMoid> {
+    let mut oids = Vec::new();
+    for shard in 0..pool.shards() {
+        pool.bind_thread_to_shard(shard);
+        oids.push(
+            pool.tx(|tx| {
+                let o = tx.alloc(256, shard as u32 + 1)?;
+                tx.write(o, 0, &[fill; 256])?;
+                Ok(o)
+            })
+            .unwrap(),
+        );
+    }
+    pool.unbind_thread_from_shard();
+    oids
+}
+
+#[test]
+fn double_fault_quarantines_zone_while_other_shards_serve() {
+    let pool = sharded_pool(2);
+    let oids = object_per_shard(&pool, 0x5A);
+    let layout = *pool.layout();
+    let victim = oids[0];
+    let (zone, _) = layout.zone_and_rel(victim.off).unwrap();
+
+    // Two poisoned pages sharing a parity column: beyond the guarantee.
+    let page = victim.off / PAGE_SIZE as u64;
+    pool.io().dev().poison_page(page).unwrap();
+    pool.io().dev().poison_page(page + layout.zone.row_size / PAGE_SIZE as u64).unwrap();
+
+    // The failure surfaces as a *located* typed error...
+    match pool.read_verified(victim) {
+        Err(PglError::Unrecoverable { shard, zone: z, off, .. }) => {
+            assert_eq!(z, zone, "error names the lost zone");
+            assert_eq!(shard, pool.shard_map().shard_of_zone(zone));
+            assert_ne!(off, u64::MAX, "error carries a pool offset");
+        }
+        other => panic!("expected typed Unrecoverable, got {other:?}"),
+    }
+    // ...and the zone is quarantined, persistently and observably.
+    assert_eq!(pool.quarantined_zones(), vec![zone]);
+    assert!(pool.io().dev().stats().zones_quarantined >= 1);
+    assert!(pool.io().dev().stats().repairs_failed >= 1);
+
+    // Later access to the zone fails fast with the typed error — no panic,
+    // no hang, no repair storm.
+    assert!(matches!(pool.read_verified(victim), Err(PglError::Unrecoverable { .. })));
+
+    // Every other shard keeps serving reads AND commits.
+    let other = oids[1];
+    pool.tx(|tx| tx.write(other, 0, &[0x77; 16])).unwrap();
+    assert_eq!(&pool.read_verified(other).unwrap()[..16], &[0x77; 16]);
+
+    // New allocations avoid the quarantined zone.
+    let fresh = pool
+        .tx(|tx| {
+            let o = tx.alloc(64, 9)?;
+            tx.write(o, 0, &[1; 64])?;
+            Ok(o)
+        })
+        .unwrap();
+    assert_ne!(layout.zone_and_rel(fresh.off).unwrap().0, zone);
+
+    // Parity verification is clean outside the quarantined zone.
+    assert!(pool.verify_parity_detailed().unwrap().is_empty());
+}
+
+#[test]
+fn corruption_during_repair_surfaces_typed_error() {
+    let pool = pool();
+    let oid = make_object(&pool, 300, 0x5A);
+    let layout = *pool.layout();
+    let page_off = oid.off & !(PAGE_SIZE as u64 - 1);
+    let (zone, _row, col) = layout.row_col_of(page_off).unwrap();
+
+    // Scribble the object, then lose the parity page its repair needs.
+    inject::scribble_object(&pool, oid, 0, 200, 0xEE).unwrap();
+    let parity_page = layout.parity_off(zone, col) / PAGE_SIZE as u64;
+    pool.io().dev().poison_page(parity_page).unwrap();
+
+    // The mid-repair double fault is contained: typed error, quarantine.
+    let err = pool.read_verified(oid);
+    assert!(matches!(err, Err(PglError::Unrecoverable { .. })), "{err:?}");
+    assert_eq!(pool.quarantined_zones(), vec![zone]);
+}
+
+#[test]
+fn poison_inside_quarantined_zone_fails_fast_without_repair() {
+    let pool = sharded_pool(2);
+    let oids = object_per_shard(&pool, 0x33);
+    let layout = *pool.layout();
+    let victim = oids[0];
+    let (zone, _) = layout.zone_and_rel(victim.off).unwrap();
+
+    // Operator fencing: quarantine the zone directly via the admin API.
+    pool.quarantine_zone(zone).unwrap();
+    assert_eq!(pool.quarantined_zones(), vec![zone]);
+
+    // A *new* media error inside the quarantined zone must not trigger
+    // repair machinery: access fails fast with the typed error.
+    let repairs_before = pool.counters().page_recoveries.load(std::sync::atomic::Ordering::Relaxed);
+    inject::poison_object_page(&pool, victim).unwrap();
+    let err = pool.read_verified(victim);
+    assert!(matches!(err, Err(PglError::Unrecoverable { .. })), "{err:?}");
+    assert_eq!(
+        pool.counters().page_recoveries.load(std::sync::atomic::Ordering::Relaxed),
+        repairs_before,
+        "no repair attempted inside a quarantined zone"
+    );
+
+    // Scrub skips the zone (it would otherwise die on the poisoned page)
+    // and the rest of the pool stays healthy.
+    pool.scrub_now().unwrap();
+    assert_eq!(&pool.read_verified(oids[1]).unwrap()[..4], &[0x33; 4]);
+    assert!(pool.verify_parity_detailed().unwrap().is_empty());
+}
+
+#[test]
+fn quarantine_survives_reopen_and_skips_rebuild() {
+    let opts = PglPool::options().size(16 << 20).zone_size(2 << 20).shards(2);
+    let dev = Arc::new(NvmDevice::new(opts.config().pool.size, DeviceConfig::fast()).unwrap());
+    let pool = opts.create(dev.clone()).unwrap();
+    let oids = object_per_shard(&pool, 0x21);
+    let layout = *pool.layout();
+    let victim = oids[0];
+    let (zone, _) = layout.zone_and_rel(victim.off).unwrap();
+
+    // Double fault → quarantine, while the pool is live.
+    let page = victim.off / PAGE_SIZE as u64;
+    pool.io().dev().poison_page(page).unwrap();
+    pool.io().dev().poison_page(page + layout.zone.row_size / PAGE_SIZE as u64).unwrap();
+    assert!(pool.read_verified(victim).is_err());
+    assert_eq!(pool.quarantined_zones(), vec![zone]);
+    drop(pool);
+
+    // Reopen: the quarantine set is decoded from the pool header, the
+    // heap rebuild skips the zone (its pages are unreadable), and access
+    // stays typed-failed while the healthy shard serves.
+    let pool = PglPool::options().shards(2).open(dev).unwrap();
+    assert_eq!(pool.quarantined_zones(), vec![zone]);
+    assert!(matches!(pool.read_verified(victim), Err(PglError::Unrecoverable { .. })));
+    assert_eq!(pool.read_verified(oids[1]).unwrap(), vec![0x21; 256]);
+    pool.tx(|tx| tx.write(oids[1], 0, &[0x44; 8])).unwrap();
+    assert!(pool.verify_parity_detailed().unwrap().is_empty());
 }

@@ -217,7 +217,7 @@ fn tx_cas_word_is_immediate_and_rejects_buffered_objects() {
     // aborts, the CAS is durable (it is not undone by the redo log).
     let res: Result<(), PglError> = pool.tx(|tx| {
         assert_eq!(tx.cas_word(oid, 0, 10, 12, 10)?, WordCas::Applied);
-        Err(PglError::Unrecoverable("deliberate abort".into()))
+        Err(PglError::unrecoverable("deliberate abort"))
     });
     assert!(res.is_err());
     assert_eq!(pool.read_pod::<u64>(oid, 0).unwrap(), 12);
@@ -268,7 +268,7 @@ fn bare_cas_survives_crash_sweep() {
                     .iter()
                     .any(|r| r.tag == tag && r.outcome == CasOutcome::Completed);
                 if completed && *must_mismatch {
-                    return Err(PglError::Unrecoverable(format!(
+                    return Err(PglError::unrecoverable(format!(
                         "mismatch op {i} promoted to Completed by replay"
                     )));
                 }
@@ -285,7 +285,7 @@ fn bare_cas_survives_crash_sweep() {
         for (w, expect) in words.iter().enumerate() {
             let got = u64::from_le_bytes(bytes[w * 8..w * 8 + 8].try_into().unwrap());
             if got != *expect {
-                return Err(PglError::Unrecoverable(format!(
+                return Err(PglError::unrecoverable(format!(
                     "word {w} after {committed} commits: got {got}, expected {expect}"
                 )));
             }

@@ -90,7 +90,7 @@ fn apply(pool: &PglPool, model: &mut StdMap<u64, Vec<u8>>, order: &mut Vec<u64>,
             let r = pool.tx(|tx| -> pangolin::Result<()> {
                 tx.write(oid, 0, &[fill; 8])?;
                 let _leak = tx.alloc(64, 9)?;
-                Err(PglError::Unrecoverable("intentional abort".into()))
+                Err(PglError::unrecoverable("intentional abort"))
             });
             assert!(r.is_err());
             // Aborted: the model is unchanged.

@@ -1,0 +1,164 @@
+//! Crash-point sweep of the persistent quarantine set (degraded mode).
+//!
+//! Quarantining a zone appends its id to a small persistent region in the
+//! pool header under a count-last protocol: the entry is persisted first,
+//! then the count (and, for the first entry, the magic) — so a crash at
+//! any device-operation boundary must leave the set a clean **prefix** of
+//! the quarantine order. A zone is fully quarantined or fully healthy
+//! after reopen, never half: no phantom zone ids, no gaps, and everything
+//! fenced before the last reached commit point stays fenced.
+//!
+//! The workload interleaves ordinary transactions (so the model oracle
+//! pins transactional atomicity at the same boundaries) with
+//! administrative [`PglPool::quarantine_zone`] calls on high, object-free
+//! zones — the same persist path the double-fault detector takes.
+
+use pangolin::crashcheck::{self, FnWorkload, SweepConfig};
+use pangolin::{PMEMoid, PglConfig, PglError, PglPool};
+use pgl_pmemobj::PoolConfig;
+
+const OBJ_SIZE: u64 = 128;
+
+/// A pool with enough zones that fencing the top three leaves the data
+/// (allocated bottom-up from zone 0) untouched.
+fn multi_zone_config() -> PglConfig {
+    let mut cfg = PglConfig::small();
+    cfg.pool = PoolConfig { size: 8 << 20, zone_size: 1 << 20, ..PoolConfig::small() };
+    cfg
+}
+
+/// The fixed quarantine order: the three highest zones, object-free in
+/// this workload.
+fn fence_order(pool: &PglPool) -> Vec<u64> {
+    let nz = pool.layout().n_zones;
+    assert!(nz >= 5, "need head-room zones to fence, got {nz}");
+    vec![nz - 1, nz - 2, nz - 3]
+}
+
+fn find_obj(pool: &PglPool) -> pangolin::Result<PMEMoid> {
+    pool.live_objects()?
+        .into_iter()
+        .find(|(_, h)| h.type_num == 7)
+        .map(|(oid, _)| PMEMoid::new(pool.uuid(), oid.off))
+        .ok_or_else(|| PglError::Config("workload object missing".into()))
+}
+
+#[test]
+fn quarantine_set_is_prefix_atomic_at_every_crash_point() {
+    let workload = FnWorkload::new(
+        "quarantine-persist",
+        |pool| {
+            pool.tx(|tx| {
+                let oid = tx.alloc(OBJ_SIZE, 7)?;
+                tx.write(oid, 0, &[0x10; OBJ_SIZE as usize])
+            })
+        },
+        |pool, ctx| {
+            let order = fence_order(pool);
+            let oid = find_obj(pool)?;
+            // commit 1: plain overwrite before any fencing.
+            pool.tx(|tx| tx.write(oid, 0, &[0x20; OBJ_SIZE as usize]))?;
+            ctx.commit_point(pool)?;
+            // First quarantine append: initialises the region (magic +
+            // entry + count ordering is the interesting window).
+            pool.quarantine_zone(order[0])?;
+            // commit 2: transactions keep committing in degraded mode.
+            pool.tx(|tx| tx.write(oid, 0, &[0x30; OBJ_SIZE as usize]))?;
+            ctx.commit_point(pool)?;
+            // Back-to-back appends: count must step one entry at a time.
+            pool.quarantine_zone(order[1])?;
+            pool.quarantine_zone(order[2])?;
+            // commit 3: still serving with three zones fenced.
+            pool.tx(|tx| tx.write(oid, 0, &[0x40; OBJ_SIZE as usize]))?;
+            ctx.commit_point(pool)
+        },
+    )
+    .with_config(multi_zone_config())
+    .with_verify(|pool, committed| {
+        let order = fence_order(pool);
+        let q = pool.quarantined_zones();
+        // Prefix property: the recovered set is exactly the first k zones
+        // of the quarantine order (quarantined_zones() sorts ascending).
+        if q.len() > order.len() {
+            return Err(PglError::Config(format!("phantom quarantine entries: {q:?}")));
+        }
+        let mut expect = order[..q.len()].to_vec();
+        expect.sort_unstable();
+        if q != expect {
+            return Err(PglError::Config(format!(
+                "quarantine set {q:?} is not a prefix of the fence order {order:?}"
+            )));
+        }
+        // Monotone with commits: every quarantine that happened-before the
+        // last reached commit point must have survived (the append is
+        // synchronous and persisted before quarantine_zone returns).
+        let min_fenced = match committed {
+            0 | 1 => 0,
+            2 => 1,
+            _ => 3,
+        };
+        if q.len() < min_fenced {
+            return Err(PglError::Config(format!(
+                "commit {committed} reached but only {q:?} fenced (need {min_fenced})"
+            )));
+        }
+        // The fenced pool still serves: object readable, fresh allocation
+        // lands outside every quarantined zone.
+        let data = pool.read_verified(find_obj(pool)?)?;
+        if !data.iter().all(|&b| b == data[0]) {
+            return Err(PglError::Config("torn object despite oracle pass".into()));
+        }
+        let fresh = pool.tx(|tx| tx.alloc(OBJ_SIZE, 8))?;
+        let (fz, _) = pool.layout().zone_and_rel(fresh.off)?;
+        if q.contains(&fz) {
+            return Err(PglError::Config(format!("allocation landed in quarantined zone {fz}")));
+        }
+        Ok(())
+    });
+
+    // Smoke runs crash ~40 evenly spaced boundaries (three fences plus
+    // three commits make the body op-heavy); PGL_DEEP_SWEEP=1 sweeps the
+    // full 8x budget.
+    let report = crashcheck::sweep_with(&workload, &SweepConfig::from_env().budget(40));
+    assert!(report.boundaries > 30, "fence path too trivial: {} ops", report.boundaries);
+}
+
+#[test]
+fn quarantine_append_is_idempotent_across_crash_and_reopen() {
+    // Re-quarantining an already-fenced zone after recovery must not grow
+    // the set or corrupt the region — the detector and the administrator
+    // can race to fence the same zone across a crash.
+    let workload = FnWorkload::new(
+        "quarantine-idempotent",
+        |pool| {
+            pool.tx(|tx| {
+                let oid = tx.alloc(OBJ_SIZE, 7)?;
+                tx.write(oid, 0, &[0x11; OBJ_SIZE as usize])
+            })
+        },
+        |pool, ctx| {
+            let z = fence_order(pool)[0];
+            pool.quarantine_zone(z)?;
+            pool.quarantine_zone(z)?; // duplicate: must be a no-op
+            let oid = find_obj(pool)?;
+            pool.tx(|tx| tx.write(oid, 0, &[0x22; OBJ_SIZE as usize]))?;
+            ctx.commit_point(pool)
+        },
+    )
+    .with_config(multi_zone_config())
+    .with_verify(|pool, _committed| {
+        let z = fence_order(pool)[0];
+        let q = pool.quarantined_zones();
+        if !(q.is_empty() || q == vec![z]) {
+            return Err(PglError::Config(format!("duplicate append leaked: {q:?}")));
+        }
+        // And the fence keeps working post-recovery.
+        pool.quarantine_zone(z)?;
+        if pool.quarantined_zones() != vec![z] {
+            return Err(PglError::Config("re-fence after reopen failed".into()));
+        }
+        Ok(())
+    });
+
+    crashcheck::sweep_with(&workload, &SweepConfig::from_env().budget(25));
+}

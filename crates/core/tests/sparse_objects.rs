@@ -100,7 +100,7 @@ fn sparse_aborts_leave_nvmm_untouched() {
     let oid = make_big(&pool);
     let err = pool.tx(|tx| -> pangolin::Result<()> {
         tx.write(oid, 0, &[0xFF; 1024])?;
-        Err(pangolin::PglError::Unrecoverable("abort".into()))
+        Err(pangolin::PglError::unrecoverable("abort"))
     });
     assert!(err.is_err());
     let data = pool.read_verified(oid).unwrap();

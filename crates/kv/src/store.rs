@@ -479,7 +479,7 @@ impl Store for PglStore {
                 Err(e) => {
                     let msg = e.to_string();
                     kv_err = Some(e);
-                    Err(PglError::Unrecoverable(msg))
+                    Err(PglError::unrecoverable(msg))
                 }
             }
         });
@@ -498,7 +498,7 @@ impl Store for PglStore {
         }
         let batched = self.pool.tx_batch(ops.len(), |i, tx| {
             let mut w = PglTxOps(tx);
-            (ops[i])(&mut w).map_err(|e| PglError::Unrecoverable(e.to_string()))
+            (ops[i])(&mut w).map_err(|e| PglError::unrecoverable(e.to_string()))
         });
         match batched {
             Ok(results) => results.into_iter().map(Ok).collect(),

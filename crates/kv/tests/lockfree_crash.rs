@@ -24,7 +24,7 @@ use pgl_pmemobj::PMEMoid;
 const TYPE_ROOT: u32 = 90;
 
 fn kv<T>(r: KvResult<T>) -> Result<T> {
-    r.map_err(|e| PglError::Unrecoverable(format!("kv: {e}")))
+    r.map_err(|e| PglError::unrecoverable(format!("kv: {e}")))
 }
 
 fn config() -> SweepConfig {
@@ -136,7 +136,7 @@ impl CrashWorkload for StackWorkload {
         }
         let got = kv(s.items(pool))?;
         if got != model {
-            return Err(PglError::Unrecoverable(format!(
+            return Err(PglError::unrecoverable(format!(
                 "lf-stack after {committed} commits: got {got:?}, expected {model:?}"
             )));
         }
@@ -238,7 +238,7 @@ impl CrashWorkload for QueueWorkload {
         }
         let got = kv(q.items(pool))?;
         if got != model {
-            return Err(PglError::Unrecoverable(format!(
+            return Err(PglError::unrecoverable(format!(
                 "lf-queue after {committed} commits: got {got:?}, expected {model:?}"
             )));
         }
@@ -361,14 +361,14 @@ impl CrashWorkload for HashWorkload {
         let got = kv(h.items(pool))?;
         let want: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
         if got != want {
-            return Err(PglError::Unrecoverable(format!(
+            return Err(PglError::unrecoverable(format!(
                 "lf-hash after {committed} commits: got {got:?}, expected {want:?}"
             )));
         }
         for k in [5u64, 9, 13, 99] {
             let got = kv(h.get(pool, k))?;
             if got != model.get(&k).copied() {
-                return Err(PglError::Unrecoverable(format!(
+                return Err(PglError::unrecoverable(format!(
                     "lf-hash get({k}) after {committed} commits: got {got:?}, expected {:?}",
                     model.get(&k)
                 )));

@@ -596,6 +596,40 @@ impl NvmDevice {
         DeviceStats::add_shard(&self.stats.scrub_passes, shard, 1);
     }
 
+    /// Tags one injected media fault (poisoned page)
+    /// ([`StatsSnapshot::poison_injected`]).
+    pub fn note_poison_injected(&self) {
+        DeviceStats::add(&self.stats.poison_injected, 1);
+    }
+
+    /// Tags one injected scribble ([`StatsSnapshot::scribbles_injected`]).
+    pub fn note_scribble_injected(&self) {
+        DeviceStats::add(&self.stats.scribbles_injected, 1);
+    }
+
+    /// Tags one successful page/object repair ([`StatsSnapshot::repairs_ok`]).
+    pub fn note_repair_ok(&self) {
+        DeviceStats::add(&self.stats.repairs_ok, 1);
+    }
+
+    /// Tags one permanently failed repair — a double fault parity could not
+    /// reconstruct ([`StatsSnapshot::repairs_failed`]).
+    pub fn note_repair_failed(&self) {
+        DeviceStats::add(&self.stats.repairs_failed, 1);
+    }
+
+    /// Tags one online repair performed by a background scrub worker of
+    /// parity shard `shard` ([`StatsSnapshot::scrub_repairs`]).
+    pub fn note_scrub_repair(&self, shard: usize, n: u64) {
+        DeviceStats::add_shard(&self.stats.scrub_repairs, shard, n);
+    }
+
+    /// Tags one zone moved to the persistent quarantine set
+    /// ([`StatsSnapshot::zones_quarantined`]).
+    pub fn note_zone_quarantined(&self) {
+        DeviceStats::add(&self.stats.zones_quarantined, 1);
+    }
+
     /// Declares the byte ranges the **current thread's** subsequent
     /// [`NvmDevice::read`]/[`NvmDevice::read_slice`] calls are expected
     /// to stay within. A read outside every armed range increments

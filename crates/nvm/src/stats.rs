@@ -40,6 +40,12 @@ pub struct DeviceStats {
     pub(crate) recovery_sweeps: [AtomicU64; STAT_SHARDS],
     pub(crate) scrub_passes: [AtomicU64; STAT_SHARDS],
     pub(crate) scope_violations: AtomicU64,
+    pub(crate) poison_injected: AtomicU64,
+    pub(crate) scribbles_injected: AtomicU64,
+    pub(crate) repairs_ok: AtomicU64,
+    pub(crate) repairs_failed: AtomicU64,
+    pub(crate) scrub_repairs: [AtomicU64; STAT_SHARDS],
+    pub(crate) zones_quarantined: AtomicU64,
 }
 
 impl DeviceStats {
@@ -83,6 +89,12 @@ impl DeviceStats {
             }),
             scrub_passes: std::array::from_fn(|i| self.scrub_passes[i].load(Ordering::Relaxed)),
             scope_violations: self.scope_violations.load(Ordering::Relaxed),
+            poison_injected: self.poison_injected.load(Ordering::Relaxed),
+            scribbles_injected: self.scribbles_injected.load(Ordering::Relaxed),
+            repairs_ok: self.repairs_ok.load(Ordering::Relaxed),
+            repairs_failed: self.repairs_failed.load(Ordering::Relaxed),
+            scrub_repairs: std::array::from_fn(|i| self.scrub_repairs[i].load(Ordering::Relaxed)),
+            zones_quarantined: self.zones_quarantined.load(Ordering::Relaxed),
         }
     }
 }
@@ -153,6 +165,29 @@ pub struct StatsSnapshot {
     /// [`crate::NvmDevice::arm_read_scope`]); a shard-confined recovery
     /// sweep keeps this at zero — the regression tests pin that.
     pub scope_violations: u64,
+    /// Media faults (uncorrectable/poisoned pages) injected by test and
+    /// storm harnesses (see [`crate::NvmDevice::note_poison_injected`]).
+    /// Exact fault accounting: soak tests compare this against repair and
+    /// quarantine counters.
+    pub poison_injected: u64,
+    /// Scribbles (silent corruptions, detectable only by checksum)
+    /// injected by test and storm harnesses (see
+    /// [`crate::NvmDevice::note_scribble_injected`]).
+    pub scribbles_injected: u64,
+    /// Page/object repairs that completed successfully (parity
+    /// reconstruction verified; see [`crate::NvmDevice::note_repair_ok`]).
+    pub repairs_ok: u64,
+    /// Repair attempts that failed permanently — parity + checksum could
+    /// not reconstruct the data (double faults; see
+    /// [`crate::NvmDevice::note_repair_failed`]). Each failure is expected
+    /// to quarantine a zone.
+    pub repairs_failed: u64,
+    /// Online repairs performed by background scrub workers, indexed by
+    /// parity shard (see [`crate::NvmDevice::note_scrub_repair`]).
+    pub scrub_repairs: [u64; STAT_SHARDS],
+    /// Zones moved to the persistent quarantine set after an unrecoverable
+    /// double fault (see [`crate::NvmDevice::note_zone_quarantined`]).
+    pub zones_quarantined: u64,
 }
 
 impl StatsSnapshot {
@@ -193,7 +228,21 @@ impl StatsSnapshot {
                 self.scrub_passes[i].saturating_sub(earlier.scrub_passes[i])
             }),
             scope_violations: self.scope_violations.saturating_sub(earlier.scope_violations),
+            poison_injected: self.poison_injected.saturating_sub(earlier.poison_injected),
+            scribbles_injected: self.scribbles_injected.saturating_sub(earlier.scribbles_injected),
+            repairs_ok: self.repairs_ok.saturating_sub(earlier.repairs_ok),
+            repairs_failed: self.repairs_failed.saturating_sub(earlier.repairs_failed),
+            scrub_repairs: std::array::from_fn(|i| {
+                self.scrub_repairs[i].saturating_sub(earlier.scrub_repairs[i])
+            }),
+            zones_quarantined: self.zones_quarantined.saturating_sub(earlier.zones_quarantined),
         }
+    }
+
+    /// Total online repairs performed by background scrub workers, summed
+    /// across shards.
+    pub fn total_scrub_repairs(&self) -> u64 {
+        self.scrub_repairs.iter().sum()
     }
 }
 

@@ -193,6 +193,10 @@ pub struct Heap {
     /// Serializes persistent metadata publication (bitmap RMW) between
     /// concurrent committers and Pangolin's parity-aware op application.
     publish: Mutex<()>,
+    /// Zones excluded from every reservation path (Pangolin bans a zone
+    /// when unrecoverable media faults quarantine it): existing objects
+    /// there stay addressable, but no new storage is handed out.
+    banned: Mutex<std::collections::BTreeSet<u64>>,
 }
 
 impl Heap {
@@ -230,12 +234,34 @@ impl Heap {
     /// NVM latency model the per-thread stalls overlap, so open time drops
     /// with the worker count.
     pub fn rebuild_with(io: &PoolIo, layout: Layout, verify: bool, workers: usize) -> Result<Heap> {
+        Self::rebuild_excluding(io, layout, verify, workers, &std::collections::BTreeSet::new())
+    }
+
+    /// Like [`Heap::rebuild_with`], but never reading the zones in `skip`
+    /// (Pangolin passes its quarantined zones: their pages may be
+    /// unreconstructably poisoned, so scanning them could fail the whole
+    /// open). Skipped zones come up empty *and banned* — no free chunks,
+    /// no reservations, no liveness.
+    pub fn rebuild_excluding(
+        io: &PoolIo,
+        layout: Layout,
+        verify: bool,
+        workers: usize,
+        skip: &std::collections::BTreeSet<u64>,
+    ) -> Result<Heap> {
         let n = layout.n_zones;
         let workers = workers.clamp(1, n as usize);
+        let scan = |z: u64| -> Result<ZoneState> {
+            if skip.contains(&z) {
+                Ok(ZoneState::new())
+            } else {
+                Self::scan_zone(io, &layout, z, verify)
+            }
+        };
         let zones = if workers == 1 {
             let mut zones = Vec::with_capacity(n as usize);
             for z in 0..n {
-                zones.push(Self::scan_zone(io, &layout, z, verify)?);
+                zones.push(scan(z)?);
             }
             zones
         } else {
@@ -246,11 +272,8 @@ impl Heap {
                     .map(|w| {
                         let lo = (w * span) as u64;
                         let hi = ((w + 1) * span).min(n as usize) as u64;
-                        s.spawn(move || {
-                            (lo..hi)
-                                .map(|z| Self::scan_zone(io, &layout, z, verify))
-                                .collect::<Result<Vec<_>>>()
-                        })
+                        let scan = &scan;
+                        s.spawn(move || (lo..hi).map(scan).collect::<Result<Vec<_>>>())
                     })
                     .collect();
                 results = handles
@@ -264,7 +287,19 @@ impl Heap {
             }
             zones
         };
-        Ok(Heap { layout, zones: Mutex::new(zones), publish: Mutex::new(()) })
+        Ok(Heap {
+            layout,
+            zones: Mutex::new(zones),
+            publish: Mutex::new(()),
+            banned: Mutex::new(skip.clone()),
+        })
+    }
+
+    /// Excludes `zone` from all future reservations (allocation, log
+    /// overflow). Idempotent; existing allocations in the zone are
+    /// unaffected.
+    pub fn ban_zone(&self, zone: u64) {
+        self.banned.lock().insert(zone);
     }
 
     /// Scans one zone's chunk metadata into a fresh [`ZoneState`].
@@ -367,15 +402,17 @@ impl Heap {
     /// in a foreign zone silently defeats the affinity.
     fn zone_groups(&self, pref: Option<(u64, u64)>) -> Vec<Vec<u64>> {
         let n = self.layout.n_zones;
+        let banned = self.banned.lock();
+        let ok = |z: &u64| !banned.contains(z);
         match pref {
             Some((shard, n_shards)) if n_shards > 1 => {
                 let shard = shard % n_shards;
                 vec![
-                    (0..n).filter(|z| z % n_shards == shard).collect(),
-                    (0..n).filter(|z| z % n_shards != shard).collect(),
+                    (0..n).filter(|z| z % n_shards == shard).filter(ok).collect(),
+                    (0..n).filter(|z| z % n_shards != shard).filter(ok).collect(),
                 ]
             }
-            _ => vec![(0..n).collect()],
+            _ => vec![(0..n).filter(ok).collect()],
         }
     }
 
@@ -743,8 +780,18 @@ impl Heap {
 /// Scans persistent metadata and returns the user-data offsets and headers
 /// of all live objects (used by Pangolin's scrubber, paper §3.3).
 pub fn scan_live(io: &PoolIo, layout: &Layout) -> Result<Vec<(u64, ObjectHeader)>> {
+    scan_live_excluding(io, layout, &std::collections::BTreeSet::new())
+}
+
+/// [`scan_live`] minus the zones in `skip` (quarantined zones may hold
+/// unreadable pages; their objects are lost, not live).
+pub fn scan_live_excluding(
+    io: &PoolIo,
+    layout: &Layout,
+    skip: &std::collections::BTreeSet<u64>,
+) -> Result<Vec<(u64, ObjectHeader)>> {
     let mut out = Vec::new();
-    for z in 0..layout.n_zones {
+    for z in (0..layout.n_zones).filter(|z| !skip.contains(z)) {
         let mut c = layout.zone.cm_chunks;
         while c < layout.zone.n_chunks {
             let mut cm_buf = [0u8; 16];

@@ -22,12 +22,26 @@
 
 use std::sync::mpsc::Receiver;
 
+use pangolin::PglError;
 use pgl_kv::btree::BTree;
 use pgl_kv::maps::PersistentMap;
-use pgl_kv::store::{BatchOp, KvResult, Store};
+use pgl_kv::store::{BatchOp, KvError, KvResult, Store};
 
 use crate::lane::Job;
 use crate::proto::{Request, Response, MAX_SCAN_LIMIT};
+
+/// Maps a store error to its wire response. Data loss beyond the parity
+/// guarantee surfaces as the typed [`Response::Unrecoverable`] (carrying
+/// the quarantined shard/zone) so clients can distinguish "lost, do not
+/// retry" from transient execution errors.
+pub fn response_for_error(e: &KvError) -> Response {
+    match e {
+        KvError::Pgl(PglError::Unrecoverable { shard, zone, .. }) => {
+            Response::Unrecoverable { shard: *shard, zone: *zone }
+        }
+        other => Response::Error(other.to_string()),
+    }
+}
 
 /// One shard's executor: a map, a store handle, and the lane consumer.
 pub struct ShardWorker<S: Store> {
@@ -137,7 +151,7 @@ impl<S: Store> ShardWorker<S> {
         for (job, result) in run.iter().zip(results) {
             let resp = match result {
                 Ok(old) => Response::Value(old),
-                Err(e) => Response::Error(e.to_string()),
+                Err(e) => response_for_error(&e),
             };
             let _ = job.reply.send((job.slot, resp));
         }
@@ -159,7 +173,7 @@ impl<S: Store> ShardWorker<S> {
                 unreachable!("write served as read")
             }
         };
-        result.unwrap_or_else(|e| Response::Error(e.to_string()))
+        result.unwrap_or_else(|e| response_for_error(&e))
     }
 }
 

@@ -3,26 +3,115 @@
 //! One frame of requests per [`Client::call`]; batching many requests
 //! into a frame is how clients amortize round-trips and how the server
 //! finds group-commit opportunities.
+//!
+//! Degraded-mode ergonomics live here too: configurable connect and I/O
+//! deadlines ([`ClientConfig`]) so a wedged server cannot hang a caller,
+//! and [`Client::call_retry`] — exponential backoff with deterministic
+//! jitter that retries **only** retryable responses ([`Response::Busy`]).
+//! Typed [`Response::Unrecoverable`] and execution errors surface
+//! immediately: retrying lost data only burns time.
 
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::proto::{decode_responses, encode_requests, read_frame, write_frame, Request, Response};
+
+/// Connection and retry policy for a [`Client`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// TCP connect deadline; `None` blocks until the OS gives up.
+    pub connect_timeout: Option<Duration>,
+    /// Per-frame read deadline (server stall detection); `None` blocks.
+    pub read_timeout: Option<Duration>,
+    /// Per-frame write deadline; `None` blocks.
+    pub write_timeout: Option<Duration>,
+    /// Maximum retry attempts in [`Client::call_retry`] after the first
+    /// try (`0` = no retries).
+    pub max_retries: u32,
+    /// First backoff pause; doubles each retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Jitter seed: equal seeds replay equal backoff sequences, so tests
+    /// and benchmarks are reproducible.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            max_retries: 5,
+            backoff_base: Duration::from_millis(2),
+            backoff_max: Duration::from_millis(250),
+            jitter_seed: 0x636c_6965_6e74,
+        }
+    }
+}
 
 /// A blocking connection to a [`crate::server::KvServer`].
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    config: ClientConfig,
+    rng: u64,
     frame: Vec<u8>,
     payload: Vec<u8>,
 }
 
+fn connect_stream(addr: &impl ToSocketAddrs, config: &ClientConfig) -> io::Result<TcpStream> {
+    let stream = match config.connect_timeout {
+        None => TcpStream::connect(addr)?,
+        Some(limit) => {
+            // `connect_timeout` needs resolved addresses; try each.
+            let mut last = None;
+            let mut found = None;
+            for sa in addr.to_socket_addrs()? {
+                match TcpStream::connect_timeout(&sa, limit) {
+                    Ok(s) => {
+                        found = Some(s);
+                        break;
+                    }
+                    Err(e) => last = Some(e),
+                }
+            }
+            found.ok_or_else(|| {
+                last.unwrap_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "no addresses to connect to")
+                })
+            })?
+        }
+    };
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(config.read_timeout)?;
+    stream.set_write_timeout(config.write_timeout)?;
+    Ok(stream)
+}
+
 impl Client {
-    /// Connects to a running server.
+    /// Connects with the default deadlines and retry policy.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Client { stream, frame: Vec::new(), payload: Vec::new() })
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with an explicit [`ClientConfig`].
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, config: ClientConfig) -> io::Result<Client> {
+        let stream = connect_stream(&addr, &config)?;
+        Ok(Client {
+            stream,
+            config,
+            rng: config.jitter_seed,
+            frame: Vec::new(),
+            payload: Vec::new(),
+        })
+    }
+
+    /// The peer this client is connected to.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.stream.peer_addr()
     }
 
     /// Sends one frame of requests and returns the positional responses.
@@ -38,6 +127,48 @@ impl Client {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "response count mismatch"));
         }
         Ok(resps)
+    }
+
+    /// Like [`Client::call`], but re-issues requests whose response was
+    /// retryable (`Busy` — shed before executing) with exponential
+    /// backoff and deterministic jitter. Permanent outcomes — values,
+    /// execution errors, and typed [`Response::Unrecoverable`] — are
+    /// never retried. Returns positional responses; any request still
+    /// `Busy` after `max_retries` keeps its `Busy` response.
+    pub fn call_retry(&mut self, reqs: &[Request]) -> io::Result<Vec<Response>> {
+        let mut out = self.call(reqs)?;
+        for attempt in 0..self.config.max_retries {
+            let pending: Vec<usize> = (0..out.len()).filter(|&i| out[i].is_retryable()).collect();
+            if pending.is_empty() {
+                break;
+            }
+            std::thread::sleep(self.backoff(attempt));
+            let again: Vec<Request> = pending.iter().map(|&i| reqs[i]).collect();
+            let resps = self.call(&again)?;
+            if resps.len() != again.len() {
+                break; // whole-batch decode error; leave Busy in place
+            }
+            for (&slot, resp) in pending.iter().zip(resps) {
+                out[slot] = resp;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Jittered exponential backoff: `base * 2^attempt`, clamped to
+    /// `backoff_max`, scaled by a seeded 50–100% jitter factor.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let ceil = self.config.backoff_max.as_micros().max(1) as u64;
+        let raw = (self.config.backoff_base.as_micros() as u64)
+            .saturating_mul(1u64 << attempt.min(20))
+            .clamp(1, ceil);
+        // SplitMix64 step for deterministic jitter.
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        Duration::from_micros(raw / 2 + z % (raw / 2 + 1))
     }
 
     /// Single-request `GET key`.

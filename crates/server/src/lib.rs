@@ -28,7 +28,7 @@ pub mod server;
 pub mod service;
 
 pub use admission::Admission;
-pub use client::Client;
+pub use client::{Client, ClientConfig};
 pub use proto::{Request, Response};
 pub use server::KvServer;
 pub use service::{KvService, ServiceConfig};

@@ -36,6 +36,7 @@ const TAG_SOME: u8 = 0x21;
 const TAG_PAIRS: u8 = 0x22;
 const TAG_BUSY: u8 = 0x23;
 const TAG_ERROR: u8 = 0x24;
+const TAG_UNRECOVERABLE: u8 = 0x25;
 
 /// One client request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +79,28 @@ pub enum Response {
     Busy,
     /// Server-side execution error (the request may have aborted).
     Error(String),
+    /// The request touched data lost beyond the parity guarantee (a
+    /// quarantined zone). **Not retryable**: the same request will keep
+    /// failing until an operator intervenes; other shards keep serving.
+    /// Shard/zone use `u64::MAX` when the fault could not be located.
+    Unrecoverable {
+        /// Parity shard of the lost data.
+        shard: u64,
+        /// Quarantined zone id within that shard.
+        zone: u64,
+    },
+}
+
+impl Response {
+    /// `true` for responses a client may transparently retry ([`Busy`]):
+    /// the request did not execute. Execution errors and
+    /// [`Unrecoverable`] are permanent and must surface to the caller.
+    ///
+    /// [`Busy`]: Response::Busy
+    /// [`Unrecoverable`]: Response::Unrecoverable
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Response::Busy)
+    }
 }
 
 /// A typed wire-format error; decoding never panics.
@@ -198,6 +221,11 @@ pub fn encode_responses(resps: &[Response], buf: &mut Vec<u8>) -> Result<(), Pro
                 }
             }
             Response::Busy => buf.push(TAG_BUSY),
+            Response::Unrecoverable { shard, zone } => {
+                buf.push(TAG_UNRECOVERABLE);
+                put_u64(buf, *shard);
+                put_u64(buf, *zone);
+            }
             Response::Error(msg) => {
                 let bytes = msg.as_bytes();
                 let bytes = &bytes[..bytes.len().min(512)]; // bound error text
@@ -316,6 +344,7 @@ pub fn decode_responses(payload: &[u8]) -> Result<Vec<Response>, ProtoError> {
                 Response::Pairs(pairs)
             }
             TAG_BUSY => Response::Busy,
+            TAG_UNRECOVERABLE => Response::Unrecoverable { shard: c.u64()?, zone: c.u64()? },
             TAG_ERROR => {
                 let n = c.u32()?;
                 if n > 512 {
@@ -381,6 +410,8 @@ mod tests {
             Response::Pairs(vec![(1, 2), (3, 4)]),
             Response::Busy,
             Response::Error("nope".into()),
+            Response::Unrecoverable { shard: 1, zone: 42 },
+            Response::Unrecoverable { shard: u64::MAX, zone: u64::MAX },
         ];
         encode_responses(&resps, &mut buf).unwrap();
         assert_eq!(decode_responses(&buf[4..]).unwrap(), resps);

@@ -80,22 +80,35 @@ impl<S: Store + Clone + 'static> KvServer<S> {
         &self.service
     }
 
-    /// Stops the server and joins every thread it spawned.
+    /// Stops the server and joins every thread it spawned. In-flight
+    /// frames may be cut off mid-reply; use [`KvServer::drain`] when
+    /// clients should see their pending responses first.
     pub fn shutdown(mut self) {
-        self.stop();
+        self.stop(Shutdown::Both);
     }
 
-    fn stop(&mut self) {
+    /// Gracefully drains the server: stops accepting, half-closes every
+    /// connection's **read** side — so a frame already being executed
+    /// still gets its response written before the connection loop sees
+    /// end-of-stream — joins the connection threads, and then (on drop)
+    /// tears down the service, which flushes every queued lane job
+    /// through the shard workers before they exit.
+    pub fn drain(mut self) {
+        self.stop(Shutdown::Read);
+    }
+
+    fn stop(&mut self, how: Shutdown) {
         if !self.running.swap(false, Ordering::AcqRel) {
             return;
         }
-        // Wake the accept loop, then sever readers blocked in read_frame.
+        // Wake the accept loop, then end (drain) or sever (shutdown) the
+        // readers blocked in read_frame.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
         for s in self.conns.streams.lock().unwrap().drain(..) {
-            let _ = s.shutdown(Shutdown::Both);
+            let _ = s.shutdown(how);
         }
         let handles: Vec<_> = self.conns.handles.lock().unwrap().drain(..).collect();
         for h in handles {
@@ -106,7 +119,7 @@ impl<S: Store + Clone + 'static> KvServer<S> {
 
 impl<S: Store + Clone + 'static> Drop for KvServer<S> {
     fn drop(&mut self) {
-        self.stop();
+        self.stop(Shutdown::Both);
     }
 }
 

@@ -35,11 +35,21 @@ pub struct ServiceConfig {
     pub batch_max: usize,
     /// Global in-flight request cap (admission control).
     pub max_inflight: usize,
+    /// Per-frame execution deadline in milliseconds; requests still
+    /// unanswered when it expires get a typed deadline error instead of
+    /// holding the connection. `0` disables the deadline.
+    pub request_deadline_ms: u64,
 }
 
 impl Default for ServiceConfig {
     fn default() -> ServiceConfig {
-        ServiceConfig { shards: 4, queue_depth: 128, batch_max: 32, max_inflight: 1024 }
+        ServiceConfig {
+            shards: 4,
+            queue_depth: 128,
+            batch_max: 32,
+            max_inflight: 1024,
+            request_deadline_ms: 0,
+        }
     }
 }
 
@@ -133,9 +143,29 @@ impl<S: Store + Clone + 'static> KvService<S> {
             }
         }
         drop(reply);
+        let deadline = (self.config.request_deadline_ms > 0).then(|| {
+            std::time::Instant::now()
+                + std::time::Duration::from_millis(self.config.request_deadline_ms)
+        });
+        let mut timed_out = false;
         for _ in 0..expected {
-            let Ok((slot, resp)) = rx.recv() else {
-                break; // a worker died; unanswered slots become errors
+            let received = match deadline {
+                None => rx.recv().ok(),
+                Some(dl) => {
+                    // Remaining budget shrinks as earlier replies arrive;
+                    // an expired budget abandons the rest of the frame
+                    // (stray late replies land on a dropped receiver).
+                    let now = std::time::Instant::now();
+                    if now >= dl {
+                        None
+                    } else {
+                        rx.recv_timeout(dl - now).ok()
+                    }
+                }
+            };
+            let Some((slot, resp)) = received else {
+                timed_out = deadline.is_some_and(|dl| std::time::Instant::now() >= dl);
+                break; // deadline expired, or a worker died
             };
             if scan_outstanding[slot] == 0 {
                 if out[slot].is_none() {
@@ -161,9 +191,12 @@ impl<S: Store + Clone + 'static> KvService<S> {
                 }
             }
         }
-        out.into_iter()
-            .map(|r| r.unwrap_or_else(|| Response::Error("shard worker unavailable".into())))
-            .collect()
+        let missing = if timed_out {
+            format!("request deadline exceeded ({} ms)", self.config.request_deadline_ms)
+        } else {
+            "shard worker unavailable".to_string()
+        };
+        out.into_iter().map(|r| r.unwrap_or_else(|| Response::Error(missing.clone()))).collect()
     }
 
     fn shard_of(&self, key: u64) -> usize {

@@ -1,0 +1,206 @@
+//! Degraded-mode service battery: typed `Unrecoverable` surfaced over the
+//! wire, request deadlines, client retry/backoff on `Busy`, client I/O
+//! timeouts against a wedged server, and graceful drain.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pangolin::{PglConfig, PglPool};
+use pgl_kv::store::PglStore;
+use pgl_nvm::{DeviceConfig, NvmDevice};
+use pgl_server::proto::{
+    decode_requests, encode_responses, read_frame, write_frame, Request, Response,
+};
+use pgl_server::{Client, ClientConfig, KvServer, ServiceConfig};
+
+fn small_store(dev: &Arc<NvmDevice>) -> PglStore {
+    let mut cfg = PglConfig::small();
+    cfg.pool.size = 32 << 20;
+    cfg.pool.zone_size = 16 << 20;
+    PglStore::new(PglPool::create(Arc::clone(dev), cfg).unwrap())
+}
+
+#[test]
+fn quarantined_zone_surfaces_typed_unrecoverable_over_wire() {
+    let dev = Arc::new(NvmDevice::new(32 << 20, DeviceConfig::fast()).unwrap());
+    let store = small_store(&dev);
+    let pool = store.pool().clone();
+    let server = KvServer::start(store, ServiceConfig::default(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    for key in 0..32u64 {
+        assert_eq!(client.put(key, key + 100).unwrap(), Response::Value(None));
+    }
+
+    // Fence the zone holding the tree (operator quarantine: the same
+    // persistent path the double-fault detector takes).
+    pool.quarantine_zone(0).unwrap();
+
+    // Reads now surface the loss as the typed wire response — shard and
+    // zone coordinates intact, never a stringly error, never a hang.
+    let resp = client.get(7).unwrap();
+    match resp {
+        Response::Unrecoverable { zone, .. } => assert_eq!(zone, 0),
+        other => panic!("expected typed Unrecoverable, got {other:?}"),
+    }
+    assert!(!resp.is_retryable(), "unrecoverable must not invite retries");
+
+    // call_retry must pass the permanent failure straight through
+    // (retrying lost data only burns time).
+    let start = Instant::now();
+    let resps = client.call_retry(&[Request::Get { key: 7 }]).unwrap();
+    assert!(matches!(resps[0], Response::Unrecoverable { .. }), "{resps:?}");
+    assert!(
+        start.elapsed() < Duration::from_millis(250),
+        "client backed off on a non-retryable response"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn request_deadline_expires_as_typed_error_and_service_recovers() {
+    let dev = Arc::new(NvmDevice::new(32 << 20, DeviceConfig::fast()).unwrap());
+    let store = small_store(&dev);
+    let config = ServiceConfig {
+        shards: 1,
+        queue_depth: 1024,
+        max_inflight: 4096,
+        request_deadline_ms: 1,
+        ..ServiceConfig::default()
+    };
+    let server = KvServer::start(store, config, "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    for key in 0..2_000u64 {
+        client.put(key, key).unwrap();
+    }
+
+    // One frame of many full-range scans: the single shard worker serves
+    // them serially, so late slots cannot make the 1 ms budget.
+    let reqs: Vec<Request> = (0..256).map(|_| Request::Scan { start: 0, limit: 2_000 }).collect();
+    let resps = client.call(&reqs).unwrap();
+    assert_eq!(resps.len(), reqs.len());
+    let deadline_errors = resps
+        .iter()
+        .filter(|r| matches!(r, Response::Error(msg) if msg.contains("deadline")))
+        .count();
+    assert!(deadline_errors > 0, "no slot hit the 1 ms deadline: {:?}", &resps[..4]);
+
+    // The connection and the service survive the expiry: a cheap request
+    // still completes (the deadline sheds waiting, it does not poison).
+    let resp = client.get(3).unwrap();
+    assert!(
+        matches!(resp, Response::Value(Some(3))) || matches!(resp, Response::Error(_)),
+        "service wedged after deadline expiry: {resp:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn client_retries_busy_with_backoff_and_patches_positionally() {
+    // A scripted server: first frame answered all-Busy, the retry frame
+    // (which must contain only the retryable subset) answered with values.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let script = std::thread::spawn(move || {
+        let (mut sock, _) = listener.accept().unwrap();
+        let mut payload = Vec::new();
+        let mut frame = Vec::new();
+
+        assert!(read_frame(&mut sock, &mut payload).unwrap());
+        let first = decode_requests(&payload).unwrap();
+        let resps: Vec<Response> = first
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i % 2 == 0 { Response::Value(Some(i as u64)) } else { Response::Busy })
+            .collect();
+        encode_responses(&resps, &mut frame).unwrap();
+        write_frame(&mut sock, &frame).unwrap();
+
+        assert!(read_frame(&mut sock, &mut payload).unwrap());
+        let second = decode_requests(&payload).unwrap();
+        assert_eq!(second.len(), first.len() / 2, "retry must re-issue only Busy slots");
+        let resps: Vec<Response> = second.iter().map(|_| Response::Value(Some(99))).collect();
+        encode_responses(&resps, &mut frame).unwrap();
+        write_frame(&mut sock, &frame).unwrap();
+        (first.len(), second.len())
+    });
+
+    let config = ClientConfig {
+        max_retries: 3,
+        backoff_base: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(8),
+        ..ClientConfig::default()
+    };
+    let mut client = Client::connect_with(addr, config).unwrap();
+    let reqs: Vec<Request> = (0..8).map(|key| Request::Get { key }).collect();
+    let out = client.call_retry(&reqs).unwrap();
+    let (first_len, retry_len) = script.join().unwrap();
+    assert_eq!((first_len, retry_len), (8, 4));
+    for (i, resp) in out.iter().enumerate() {
+        let expect = if i % 2 == 0 { Some(i as u64) } else { Some(99) };
+        assert_eq!(*resp, Response::Value(expect), "slot {i} patched wrong");
+    }
+}
+
+#[test]
+fn client_read_timeout_bounds_a_wedged_server() {
+    // A listener that accepts and then never replies: the read deadline
+    // must turn a would-be infinite hang into a prompt typed I/O error.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let wedge = std::thread::spawn(move || {
+        let (sock, _) = listener.accept().unwrap();
+        std::thread::sleep(Duration::from_secs(5));
+        drop(sock);
+    });
+
+    let config = ClientConfig {
+        connect_timeout: Some(Duration::from_secs(1)),
+        read_timeout: Some(Duration::from_millis(100)),
+        ..ClientConfig::default()
+    };
+    let mut client = Client::connect_with(addr, config).unwrap();
+    let start = Instant::now();
+    let err = client.get(1).expect_err("read must time out");
+    assert!(
+        matches!(err.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut),
+        "unexpected error kind: {err:?}"
+    );
+    assert!(start.elapsed() < Duration::from_secs(2), "timeout not honored");
+    drop(client);
+    drop(wedge); // detach; the wedge thread exits on its own
+}
+
+#[test]
+fn drain_flushes_acked_writes_then_closes() {
+    let dev = Arc::new(NvmDevice::new(32 << 20, DeviceConfig::fast()).unwrap());
+    let store = small_store(&dev);
+    let server = KvServer::start(store, ServiceConfig::default(), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    let mut acked = Vec::new();
+    for key in 0..50u64 {
+        if client.put(key, key * 3).unwrap() == Response::Value(None) {
+            acked.push((key, key * 3));
+        }
+    }
+    assert_eq!(acked.len(), 50);
+
+    // Graceful drain: in-flight work flushes, then connections close. A
+    // further call must fail promptly (EOF or reset), not hang.
+    server.drain();
+    let start = Instant::now();
+    client.get(1).expect_err("connection should close after drain");
+    assert!(start.elapsed() < Duration::from_secs(5), "drain left the client hanging");
+
+    // Every acked write survives reopen.
+    let store = PglStore::new(PglPool::options().open(dev).unwrap());
+    let service = pgl_server::KvService::new(store, ServiceConfig::default()).unwrap();
+    let reqs: Vec<Request> = acked.iter().map(|&(key, _)| Request::Get { key }).collect();
+    for (&(key, value), resp) in acked.iter().zip(service.call(&reqs)) {
+        assert_eq!(resp, Response::Value(Some(value)), "acked key {key} lost across drain");
+    }
+}

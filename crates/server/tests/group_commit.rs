@@ -28,7 +28,13 @@ fn pgl_store() -> (PglStore, Arc<NvmDevice>) {
 /// with the given `batch_max`, returning the device-stats delta.
 fn run_load(batch_max: usize) -> (StatsSnapshot, KvService<PglStore>) {
     let (store, dev) = pgl_store();
-    let cfg = ServiceConfig { shards: 1, queue_depth: 256, batch_max, max_inflight: 1024 };
+    let cfg = ServiceConfig {
+        shards: 1,
+        queue_depth: 256,
+        batch_max,
+        max_inflight: 1024,
+        ..ServiceConfig::default()
+    };
     let service = KvService::new(store, cfg).unwrap();
     let before = dev.stats();
     std::thread::scope(|s| {
@@ -112,7 +118,13 @@ fn batched_and_unbatched_runs_agree_under_mixed_ops() {
         .iter()
         .map(|&batch_max| {
             let (store, _dev) = pgl_store();
-            let cfg = ServiceConfig { shards: 2, queue_depth: 128, batch_max, max_inflight: 512 };
+            let cfg = ServiceConfig {
+                shards: 2,
+                queue_depth: 128,
+                batch_max,
+                max_inflight: 512,
+                ..ServiceConfig::default()
+            };
             let service = KvService::new(store, cfg).unwrap();
             let mut reqs = Vec::new();
             for k in 0..300u64 {

@@ -18,7 +18,13 @@ const FRAMES_PER_THREAD: u64 = 50;
 const FRAME_LEN: u64 = 4;
 
 fn tiny_config() -> ServiceConfig {
-    ServiceConfig { shards: 1, queue_depth: 2, batch_max: 4, max_inflight: 8 }
+    ServiceConfig {
+        shards: 1,
+        queue_depth: 2,
+        batch_max: 4,
+        max_inflight: 8,
+        ..ServiceConfig::default()
+    }
 }
 
 #[test]
@@ -78,7 +84,13 @@ fn saturation_sheds_typed_busy_and_acked_writes_survive_reopen() {
     let store = PglStore::new(PglPool::options().open(dev).unwrap());
     // Only the shard count must match the pool's directory; verify with
     // roomy queues so nothing is shed while checking.
-    let roomy = ServiceConfig { shards: 1, queue_depth: 1024, batch_max: 16, max_inflight: 4096 };
+    let roomy = ServiceConfig {
+        shards: 1,
+        queue_depth: 1024,
+        batch_max: 16,
+        max_inflight: 4096,
+        ..ServiceConfig::default()
+    };
     let service = KvService::new(store, roomy).unwrap();
     for chunk in acked.chunks(512) {
         let reqs: Vec<Request> = chunk.iter().map(|&(key, _)| Request::Get { key }).collect();

@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     dev.poison_page(page)?;
     dev.poison_page(page + row_pages)?;
     let err = pool.get_verified(h);
-    assert!(matches!(err, Err(PglError::Unrecoverable(_))));
+    assert!(matches!(err, Err(PglError::Unrecoverable { .. })));
     println!("    {err:?}");
     println!("    (the paper: increase the chunk-row count to shrink this window)");
     dev.repair_page(page + row_pages, &vec![0u8; PAGE_SIZE])?;
